@@ -1,0 +1,24 @@
+//! Baselines and adversaries for the BlindFL evaluation.
+//!
+//! * [`secureml`] — the MPC/data-outsourcing comparator of Table 5:
+//!   secret-shared matrix multiplication via Beaver triplets, in both
+//!   the *client-aided* (dealer triplets, crypto-free online phase) and
+//!   *HE-assisted* (two-party Paillier triplet generation) variants.
+//!   Outsourced features are dense by construction — reproducing the
+//!   paper's argument that outsourcing destroys sparsity.
+//! * [`split`] — the split-learning comparator (local bottom models,
+//!   plaintext activation/derivative exchange): deliberately insecure,
+//!   it is the attack surface for Figures 9 and 10.
+//! * [`attacks`] — the label-inference adversaries: prediction from
+//!   forward activations (`X_A·W_A` / `X_A·U_A`, Figure 9) and
+//!   cosine-direction clustering of backward derivatives (`∇E_A`,
+//!   Figure 10).
+
+#![allow(clippy::needless_range_loop)] // index-parallel numeric loops
+pub mod attacks;
+pub mod secureml;
+pub mod split;
+
+pub use attacks::{activation_attack_auc, derivative_attack_accuracy, feature_similarity_attack};
+pub use secureml::{secureml_batch_cost, SecuremlOutcome, TripletMode};
+pub use split::{SplitGlm, SplitWdl};

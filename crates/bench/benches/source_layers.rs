@@ -1,0 +1,48 @@
+//! Criterion benchmarks of the federated source layers themselves —
+//! one full forward+backward mini-batch per iteration (the unit Table 5
+//! reports), plus the SecureML online phase for comparison.
+
+use bf_bench::{cfg_quality, cfg_timing, matmul_source_batch_secs};
+use bf_datagen::{generate, spec, vsplit};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench_matmul_source(c: &mut Criterion) {
+    let mut g = c.benchmark_group("matmul_source_batch");
+    g.measurement_time(Duration::from_secs(5))
+        .warm_up_time(Duration::from_millis(500))
+        .sample_size(10);
+
+    let ds = spec("a9a");
+    let mut ds = ds.scaled(100, 1);
+    ds.train_rows = 512;
+    let (train, _) = generate(&ds, 1);
+    let v = vsplit(&train);
+
+    // Iteration = 1 measured batch (bs 64) through the full two-thread
+    // protocol, Paillier 512 vs Plain.
+    let (a, b) = (v.party_a.clone(), v.party_b.clone());
+    g.bench_function("a9a_lr_paillier512_bs64", |bch| {
+        bch.iter(|| matmul_source_batch_secs(&cfg_timing(), &a, &b, 1, 64, 1))
+    });
+    let (a, b) = (v.party_a.clone(), v.party_b.clone());
+    g.bench_function("a9a_lr_plain_bs64", |bch| {
+        bch.iter(|| matmul_source_batch_secs(&cfg_quality(), &a, &b, 1, 64, 1))
+    });
+    g.finish();
+}
+
+fn bench_secureml_online(c: &mut Criterion) {
+    let mut g = c.benchmark_group("secureml_online");
+    g.measurement_time(Duration::from_secs(4))
+        .warm_up_time(Duration::from_millis(500))
+        .sample_size(10);
+    use bf_baselines::secureml::{secureml_batch_cost, TripletMode};
+    g.bench_function("client_aided_bs64_d123", |bch| {
+        bch.iter(|| secureml_batch_cost(64, 123, 1, TripletMode::ClientAided, 5.0, 1 << 30))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_matmul_source, bench_secureml_online);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Figure 11 — model weights vs. their secret-share pieces.
+//!
+//! After training, a party's share piece (`U_A` of the MatMul weights,
+//! `S_A` of the embedding table) must reveal neither the sign nor the
+//! magnitude of the true value on any coordinate. We print sample
+//! coordinates plus the aggregate informativeness statistics (Pearson
+//! correlation and sign-agreement rate — both ≈ chance for a
+//! protective sharing).
+
+use bf_bench::{cfg_quality, quality_spec};
+use bf_datagen::{generate, vsplit};
+use bf_ml::TrainConfig;
+use bf_util::Table;
+use blindfl::inspect::{embed_share_vs_table, matmul_share_vs_weight, share_informativeness};
+use blindfl::models::FedSpec;
+use blindfl::train::{train_federated, FedTrainConfig};
+
+fn main() {
+    println!("Figure 11: true values vs. secret-share pieces (after training)\n");
+
+    // w8a / LR — U_A vs W_A.
+    let pairs = trained_pairs("w8a", FedSpec::Glm { out: 1 }, false);
+    print_panel("w8a, LR — piece U_A vs weight W_A", &pairs);
+
+    // a9a / WDL — S_A vs Q_A.
+    let pairs = trained_pairs(
+        "a9a",
+        FedSpec::Wdl { emb_dim: 8, deep_hidden: vec![16], out: 1 },
+        true,
+    );
+    print_panel("a9a, W&D — piece S_A vs table Q_A", &pairs);
+}
+
+fn trained_pairs(name: &str, spec: FedSpec, embed: bool) -> Vec<(f64, f64)> {
+    let ds = quality_spec(name);
+    let (train_ds, test_ds) = generate(&ds, 0xF11);
+    let train_v = vsplit(&train_ds);
+    let test_v = vsplit(&test_ds);
+    let tc = FedTrainConfig {
+        base: TrainConfig { epochs: 5, ..Default::default() },
+        snapshot_u_a: false,
+    };
+    let outcome = train_federated(
+        &spec,
+        &cfg_quality(),
+        &tc,
+        train_v.party_a,
+        train_v.party_b,
+        test_v.party_a,
+        test_v.party_b,
+        0xF11,
+    );
+    if embed {
+        embed_share_vs_table(&outcome.party_a, &outcome.party_b)
+    } else {
+        matmul_share_vs_weight(&outcome.party_a, &outcome.party_b)
+    }
+}
+
+fn print_panel(title: &str, pairs: &[(f64, f64)]) {
+    println!("{title}");
+    let mut t = Table::new(vec!["coordinate", "share piece", "true value"]);
+    let step = (pairs.len() / 10).max(1);
+    for (i, (p, w)) in pairs.iter().step_by(step).take(10).enumerate() {
+        t.row(vec![(i * step).to_string(), format!("{p:+.3}"), format!("{w:+.5}")]);
+    }
+    t.print();
+    let (corr, sign) = share_informativeness(pairs);
+    let piece_mag = pairs.iter().map(|p| p.0.abs()).fold(0.0f64, f64::max);
+    let true_mag = pairs.iter().map(|p| p.1.abs()).fold(0.0f64, f64::max);
+    println!(
+        "pearson(piece, truth) = {corr:+.4}   sign agreement = {sign:.3}   \
+         max|piece| = {piece_mag:.2}   max|truth| = {true_mag:.4}\n"
+    );
+}

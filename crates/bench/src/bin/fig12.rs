@@ -1,0 +1,159 @@
+//! Figure 12 — model quality: training-loss trajectory and test metric
+//! for BlindFL vs NonFed-collocated vs NonFed-Party-B across the eight
+//! dataset/model combinations of the paper.
+//!
+//! Runs the Plain backend: the protocols are lossless (verified exactly
+//! by the `blindfl` equivalence tests), so convergence matches the
+//! Paillier backend while keeping this harness minutes-scale.
+
+use bf_bench::{cfg_quality, quality_spec};
+use bf_datagen::{generate, vsplit};
+use bf_ml::models::{DlrmModel, GlmModel, WdlModel};
+use bf_ml::{MlpModel, TrainConfig};
+use bf_util::Table;
+use blindfl::models::FedSpec;
+use blindfl::train::{train_federated, FedTrainConfig};
+use rand::SeedableRng;
+
+const EPOCHS: usize = 10;
+
+struct Case {
+    dataset: &'static str,
+    model: &'static str,
+}
+
+fn main() {
+    let cases = [
+        Case { dataset: "a9a", model: "LR" },
+        Case { dataset: "w8a", model: "LR" },
+        Case { dataset: "connect-4", model: "MLP" },
+        Case { dataset: "news20", model: "MLR" },
+        Case { dataset: "higgs", model: "LR" },
+        Case { dataset: "avazu-app", model: "LR" },
+        Case { dataset: "avazu-app", model: "WDL" },
+        Case { dataset: "industry", model: "DLRM" },
+    ];
+    println!("Figure 12: model quality — BlindFL vs non-federated baselines ({EPOCHS} epochs)\n");
+    let mut t = Table::new(vec![
+        "Dataset, Model",
+        "Metric",
+        "NonFed-Party B",
+        "NonFed-collocated",
+        "BlindFL",
+        "BlindFL vs Party B",
+        "loss first→last (BlindFL)",
+    ]);
+    for case in &cases {
+        eprintln!("[fig12] {} / {} ...", case.dataset, case.model);
+        let row = run_case(case);
+        t.row(row);
+    }
+    t.print();
+    println!(
+        "\nExpected shape (paper): BlindFL ≈ NonFed-collocated on every combination (lossless),\n\
+         and strictly better than NonFed-Party B (Party A's features add signal)."
+    );
+}
+
+fn run_case(case: &Case) -> Vec<String> {
+    let spec = quality_spec(case.dataset);
+    let (train_ds, test_ds) = generate(&spec, 0xF12);
+    let v_train = vsplit(&train_ds);
+    let v_test = vsplit(&test_ds);
+    let classes = spec.classes;
+    let out = if classes == 2 { 1 } else { classes };
+    let tc = TrainConfig { epochs: EPOCHS, ..Default::default() };
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xC0FFEE);
+
+    // Non-federated baselines.
+    let (party_b, collocated) = match case.model {
+        "LR" | "MLR" => {
+            let mut mb = GlmModel::new(&mut rng, v_train.party_b.num_dim(), out);
+            let rb = bf_ml::train(&mut mb, &v_train.party_b, &v_test.party_b, &tc);
+            let mut mc = GlmModel::new(&mut rng, train_ds.num_dim(), out);
+            let rc = bf_ml::train(&mut mc, &train_ds, &test_ds, &tc);
+            (rb.test_metric, rc.test_metric)
+        }
+        "MLP" => {
+            let widths = vec![64, 16, out];
+            let mut mb = MlpModel::new(&mut rng, v_train.party_b.num_dim(), &widths);
+            let rb = bf_ml::train(&mut mb, &v_train.party_b, &v_test.party_b, &tc);
+            let mut mc = MlpModel::new(&mut rng, train_ds.num_dim(), &widths);
+            let rc = bf_ml::train(&mut mc, &train_ds, &test_ds, &tc);
+            (rb.test_metric, rc.test_metric)
+        }
+        "WDL" => {
+            let run = |ds_train: &bf_ml::Dataset, ds_test: &bf_ml::Dataset, rng: &mut rand::rngs::StdRng| {
+                let cat = ds_train.cat.as_ref().unwrap();
+                let mut m = WdlModel::new(
+                    rng,
+                    ds_train.num_dim(),
+                    cat.vocab(),
+                    cat.fields(),
+                    8,
+                    &[16],
+                    out,
+                );
+                bf_ml::train(&mut m, ds_train, ds_test, &tc).test_metric
+            };
+            (
+                run(&v_train.party_b, &v_test.party_b, &mut rng),
+                run(&train_ds, &test_ds, &mut rng),
+            )
+        }
+        "DLRM" => {
+            let run = |ds_train: &bf_ml::Dataset, ds_test: &bf_ml::Dataset, rng: &mut rand::rngs::StdRng| {
+                let cat = ds_train.cat.as_ref().unwrap();
+                let mut m = DlrmModel::new(
+                    rng,
+                    ds_train.num_dim(),
+                    cat.vocab(),
+                    cat.fields(),
+                    8,
+                    &[16],
+                    &[16],
+                    out,
+                );
+                bf_ml::train(&mut m, ds_train, ds_test, &tc).test_metric
+            };
+            (
+                run(&v_train.party_b, &v_test.party_b, &mut rng),
+                run(&train_ds, &test_ds, &mut rng),
+            )
+        }
+        other => panic!("unknown model {other}"),
+    };
+
+    // BlindFL.
+    let fed_spec = match case.model {
+        "LR" | "MLR" => FedSpec::Glm { out },
+        "MLP" => FedSpec::Mlp { widths: vec![64, 16, out] },
+        "WDL" => FedSpec::Wdl { emb_dim: 8, deep_hidden: vec![16], out },
+        "DLRM" => FedSpec::Dlrm { emb_dim: 8, vec_dim: 16, top_hidden: vec![16] },
+        _ => unreachable!(),
+    };
+    let ftc = FedTrainConfig { base: tc.clone(), snapshot_u_a: false };
+    let outcome = train_federated(
+        &fed_spec,
+        &cfg_quality(),
+        &ftc,
+        v_train.party_a.clone(),
+        v_train.party_b.clone(),
+        v_test.party_a.clone(),
+        v_test.party_b.clone(),
+        0xF12,
+    );
+    let fed = outcome.report.test_metric;
+    let losses = &outcome.report.losses;
+    let metric_name = if classes == 2 { "AUC" } else { "Accuracy" };
+
+    vec![
+        format!("{}, {}", case.dataset, case.model),
+        metric_name.to_string(),
+        format!("{party_b:.3}"),
+        format!("{collocated:.3}"),
+        format!("{fed:.3}"),
+        format!("{:+.3}", fed - party_b),
+        format!("{:.3}→{:.3}", losses.first().copied().unwrap_or(f64::NAN), losses.last().copied().unwrap_or(f64::NAN)),
+    ]
+}

@@ -1,0 +1,137 @@
+//! Figure 9 — label leakage from forward activations.
+//!
+//! Party A predicts the labels from its local view of the first layer:
+//! `X_A·W_A` under split learning (it owns `W_A`), `X_A·U_A` under
+//! BlindFL (it owns only the share `U_A`), and `X_A·U_A` under the
+//! ModelSS-without-GradSS ablation (`U_A` updated with plaintext
+//! gradients against a frozen `V_A` of varying magnitude). The paper's
+//! finding: everything except full BlindFL leaks.
+
+use bf_baselines::attacks::{activation_attack_accuracy, activation_attack_auc};
+use bf_baselines::split::SplitGlm;
+use bf_bench::{cfg_quality, quality_spec};
+use bf_datagen::{generate, vsplit, VflData};
+use bf_ml::data::{BatchIter, Labels};
+use bf_ml::{Sgd, TrainConfig};
+use bf_tensor::Dense;
+use bf_util::Table;
+use blindfl::config::GradMode;
+use blindfl::models::FedSpec;
+use blindfl::train::{train_federated, FedTrainConfig};
+use rand::SeedableRng;
+
+const EPOCHS: usize = 10;
+
+fn main() {
+    run_dataset("w8a", 1, "Testing AUC");
+    run_dataset("news20", 20, "Testing Accuracy");
+}
+
+fn run_dataset(name: &str, classes: usize, metric_name: &str) {
+    let spec = quality_spec(name);
+    let (train_ds, test_ds) = generate(&spec, 0xF19);
+    let train_v = vsplit(&train_ds);
+    let test_v = vsplit(&test_ds);
+    let out = if classes == 2 { 1 } else { classes };
+
+    println!("\nFigure 9: predicting labels from Party A's activations — {name} ({metric_name})\n");
+    let mut table = Table::new(vec![
+        "Epoch",
+        "NonFed-collocated",
+        "SplitLearning (X_A·W_A)",
+        "BlindFL (X_A·U_A)",
+        "noGradSS v=1",
+        "noGradSS v=5",
+        "noGradSS v=10",
+    ]);
+
+    // Reference: collocated model quality (flat line in the paper plot).
+    let collocated = collocated_metric(&spec, &train_ds, &test_ds, out);
+
+    // Split learning per-epoch attack.
+    let split_attack = split_attack_curve(&train_v, &test_v, out);
+
+    // BlindFL per-epoch attack via U_A snapshots.
+    let blindfl_attack = fed_attack_curve(&train_v, &test_v, out, GradMode::SecretShared);
+    let ablation: Vec<Vec<f64>> = [1.0, 5.0, 10.0]
+        .iter()
+        .map(|&v| fed_attack_curve(&train_v, &test_v, out, GradMode::PlainGradToA { v_scale: v }))
+        .collect();
+
+    for e in 0..EPOCHS {
+        table.row(vec![
+            (e + 1).to_string(),
+            format!("{collocated:.3}"),
+            format!("{:.3}", split_attack[e]),
+            format!("{:.3}", blindfl_attack[e]),
+            format!("{:.3}", ablation[0][e]),
+            format!("{:.3}", ablation[1][e]),
+            format!("{:.3}", ablation[2][e]),
+        ]);
+    }
+    table.print();
+    println!(
+        "\nExpected shape: split learning and every no-GradSS ablation approach the collocated\n\
+         metric (label leakage); BlindFL stays at chance ({}).",
+        if classes == 2 { "≈0.5 AUC" } else { "≈1/C accuracy" }
+    );
+}
+
+fn collocated_metric(
+    spec: &bf_datagen::DatasetSpec,
+    train: &bf_ml::Dataset,
+    test: &bf_ml::Dataset,
+    out: usize,
+) -> f64 {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let mut m = bf_ml::GlmModel::new(&mut rng, spec.shape.features(), out);
+    let tc = TrainConfig { epochs: EPOCHS, ..Default::default() };
+    bf_ml::train(&mut m, train, test, &tc).test_metric
+}
+
+/// Attack metric on the test split given Party A's visible matrix.
+fn attack_metric(test_v: &VflData, m: &Dense) -> f64 {
+    let x_a = test_v.party_a.num.as_ref().unwrap();
+    match test_v.party_b.labels.as_ref().unwrap() {
+        Labels::Binary(y) => activation_attack_auc(x_a, m, y),
+        Labels::Multi { y, .. } => activation_attack_accuracy(x_a, m, y),
+    }
+}
+
+fn split_attack_curve(train_v: &VflData, test_v: &VflData, out: usize) -> Vec<f64> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let mut model = SplitGlm::new(
+        &mut rng,
+        train_v.party_a.num_dim(),
+        train_v.party_b.num_dim(),
+        out,
+    );
+    let opt = Sgd::paper_default();
+    let mut curve = Vec::new();
+    for epoch in 0..EPOCHS {
+        for idx in BatchIter::new(train_v.party_a.rows(), 128, 42 ^ epoch as u64) {
+            model.train_batch(&train_v.party_a.select(&idx), &train_v.party_b.select(&idx), &opt);
+        }
+        curve.push(attack_metric(test_v, &model.bottom_a.w));
+    }
+    curve
+}
+
+fn fed_attack_curve(train_v: &VflData, test_v: &VflData, out: usize, grad_mode: GradMode) -> Vec<f64> {
+    let cfg = cfg_quality().with_grad_mode(grad_mode);
+    let tc = FedTrainConfig {
+        base: TrainConfig { epochs: EPOCHS, ..Default::default() },
+        snapshot_u_a: true,
+    };
+    let outcome = train_federated(
+        &FedSpec::Glm { out },
+        &cfg,
+        &tc,
+        train_v.party_a.clone(),
+        train_v.party_b.clone(),
+        test_v.party_a.clone(),
+        test_v.party_b.clone(),
+        9,
+    );
+    outcome.report.u_a_snapshots.iter().map(|u| attack_metric(test_v, u)).collect()
+}

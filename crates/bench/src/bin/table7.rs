@@ -1,0 +1,67 @@
+//! Table 7 — scalability w.r.t. the source layer's output
+//! dimensionality (connect-4, 3-layer MLP; first-layer width swept
+//! over {32, 64, 128, 256}).
+//!
+//! The paper finds the training time grows ≈linearly with the source
+//! layer's output width (the cryptography is the bottleneck) while
+//! validation accuracy moves only slightly.
+
+use bf_bench::{cfg_quality, cfg_timing, matmul_source_batch_secs, quality_spec, timing_spec};
+use bf_datagen::{generate, vsplit};
+use bf_ml::TrainConfig;
+use bf_util::Table;
+use blindfl::models::FedSpec;
+use blindfl::train::{train_federated, FedTrainConfig};
+
+const BS: usize = 128;
+
+fn main() {
+    println!("Table 7: scalability vs source-layer output width (connect-4, 3-layer MLP)\n");
+    let widths = [32usize, 64, 128, 256];
+
+    // Timing at full dimensionality (Paillier).
+    let tspec = timing_spec("connect-4");
+    let (t_train, _) = generate(&tspec, 0x7AB7);
+    let tv = vsplit(&t_train);
+    let mut secs = Vec::new();
+    for &w in &widths {
+        eprintln!("[table7] timing width {w}...");
+        secs.push(matmul_source_batch_secs(&cfg_timing(), &tv.party_a, &tv.party_b, w, BS, 2));
+    }
+
+    // Accuracy with the Plain backend.
+    let qspec = quality_spec("connect-4");
+    let (q_train, q_test) = generate(&qspec, 0x7AB7);
+    let qv_train = vsplit(&q_train);
+    let qv_test = vsplit(&q_test);
+    let mut accs = Vec::new();
+    for &w in &widths {
+        eprintln!("[table7] accuracy width {w}...");
+        let tc = FedTrainConfig {
+            base: TrainConfig { epochs: 5, ..Default::default() },
+            snapshot_u_a: false,
+        };
+        let outcome = train_federated(
+            &FedSpec::Mlp { widths: vec![w, 16, 3] },
+            &cfg_quality(),
+            &tc,
+            qv_train.party_a.clone(),
+            qv_train.party_b.clone(),
+            qv_test.party_a.clone(),
+            qv_test.party_b.clone(),
+            0x7AB7,
+        );
+        accs.push(outcome.report.test_metric);
+    }
+
+    let mut t = Table::new(vec!["Hidden Dim", "Relative Time Cost", "Validation Accuracy"]);
+    for (i, &w) in widths.iter().enumerate() {
+        t.row(vec![
+            w.to_string(),
+            format!("{:.2}x", secs[i] / secs[0]),
+            format!("{:.1}%", accs[i] * 100.0),
+        ]);
+    }
+    t.print();
+    println!("\nExpected shape: time ≈ width/32 (linear in OUT); accuracy changes little.");
+}

@@ -1,0 +1,95 @@
+//! Table 8 — scalability w.r.t. the number of layers (connect-4 MLP;
+//! 32-unit layers inserted between a 64-wide source layer and a
+//! 16-wide penultimate layer).
+//!
+//! The paper's point: the federated source layer dominates the cost, so
+//! additional *local* hidden layers at Party B are nearly free.
+
+use bf_bench::{cfg_quality, cfg_timing, quality_spec, timing_spec};
+use bf_datagen::{generate, vsplit};
+use bf_ml::TrainConfig;
+use bf_util::{Stopwatch, Table};
+use blindfl::models::FedSpec;
+use blindfl::train::{train_federated, FedTrainConfig};
+
+#[allow(clippy::same_item_push)]
+fn widths_for(layers: usize) -> Vec<usize> {
+    // 3 layers: 64, 16, 3; k>3 inserts (k-3) 32-unit layers after 64.
+    let mut w = vec![64usize];
+    for _ in 0..layers.saturating_sub(3) {
+        w.push(32);
+    }
+    w.push(16);
+    w.push(3);
+    w
+}
+
+fn main() {
+    println!("Table 8: scalability vs number of layers (connect-4, MLP)\n");
+    let layer_counts = [3usize, 4, 5, 6];
+
+    // Timing: full federated batches (source + local top) with Paillier
+    // — one epoch over a few batches each.
+    let tspec = timing_spec("connect-4");
+    let (t_train, t_test) = generate(&tspec, 0x7AB8);
+    let tv_train = vsplit(&t_train);
+    let tv_test = vsplit(&t_test);
+    let mut secs = Vec::new();
+    for &k in &layer_counts {
+        eprintln!("[table8] timing {k} layers...");
+        let tc = FedTrainConfig {
+            base: TrainConfig { epochs: 1, batch_size: 128, ..Default::default() },
+            snapshot_u_a: false,
+        };
+        let mut sw = Stopwatch::new();
+        sw.start();
+        let _ = train_federated(
+            &FedSpec::Mlp { widths: widths_for(k) },
+            &cfg_timing(),
+            &tc,
+            tv_train.party_a.clone(),
+            tv_train.party_b.clone(),
+            tv_test.party_a.clone(),
+            tv_test.party_b.clone(),
+            0x7AB8,
+        );
+        sw.stop();
+        secs.push(sw.secs());
+    }
+
+    // Accuracy with the Plain backend.
+    let qspec = quality_spec("connect-4");
+    let (q_train, q_test) = generate(&qspec, 0x7AB8);
+    let qv_train = vsplit(&q_train);
+    let qv_test = vsplit(&q_test);
+    let mut accs = Vec::new();
+    for &k in &layer_counts {
+        eprintln!("[table8] accuracy {k} layers...");
+        let tc = FedTrainConfig {
+            base: TrainConfig { epochs: 5, ..Default::default() },
+            snapshot_u_a: false,
+        };
+        let outcome = train_federated(
+            &FedSpec::Mlp { widths: widths_for(k) },
+            &cfg_quality(),
+            &tc,
+            qv_train.party_a.clone(),
+            qv_train.party_b.clone(),
+            qv_test.party_a.clone(),
+            qv_test.party_b.clone(),
+            0x7AB8,
+        );
+        accs.push(outcome.report.test_metric);
+    }
+
+    let mut t = Table::new(vec!["# Layers", "Relative Time Cost", "Validation Accuracy"]);
+    for (i, &k) in layer_counts.iter().enumerate() {
+        t.row(vec![
+            k.to_string(),
+            format!("{:.2}x", secs[i] / secs[0]),
+            format!("{:.1}%", accs[i] * 100.0),
+        ]);
+    }
+    t.print();
+    println!("\nExpected shape: ≈1.0x across layer counts (the source layer dominates).");
+}

@@ -1,0 +1,199 @@
+//! Division and remainder via Knuth's Algorithm D (TAOCP vol. 2, 4.3.1),
+//! with a fast path for single-limb divisors.
+
+use crate::BigUint;
+
+impl BigUint {
+    /// Quotient and remainder; panics if `divisor` is zero.
+    pub fn div_rem(&self, divisor: &BigUint) -> (BigUint, BigUint) {
+        assert!(!divisor.is_zero(), "division by zero");
+        if self < divisor {
+            return (BigUint::zero(), self.clone());
+        }
+        if divisor.limbs.len() == 1 {
+            let (q, r) = self.div_rem_u64(divisor.limbs[0]);
+            return (q, BigUint::from_u64(r));
+        }
+        knuth_d(self, divisor)
+    }
+
+    /// Quotient and remainder by a `u64`; panics on zero divisor.
+    pub fn div_rem_u64(&self, d: u64) -> (BigUint, u64) {
+        assert_ne!(d, 0, "division by zero");
+        let mut q = vec![0u64; self.limbs.len()];
+        let mut rem = 0u128;
+        for i in (0..self.limbs.len()).rev() {
+            let cur = (rem << 64) | self.limbs[i] as u128;
+            q[i] = (cur / d as u128) as u64;
+            rem = cur % d as u128;
+        }
+        (BigUint::from_limbs(q), rem as u64)
+    }
+
+    /// Remainder.
+    pub fn rem(&self, modulus: &BigUint) -> BigUint {
+        self.div_rem(modulus).1
+    }
+
+    /// Modular addition: `(self + other) mod m`. Inputs need not be reduced.
+    pub fn mod_add(&self, other: &BigUint, m: &BigUint) -> BigUint {
+        self.add(other).rem(m)
+    }
+
+    /// Modular subtraction: `(self - other) mod m` where both are `< m`.
+    pub fn mod_sub(&self, other: &BigUint, m: &BigUint) -> BigUint {
+        debug_assert!(self < m && other < m);
+        if self >= other {
+            self.sub(other)
+        } else {
+            self.add(m).sub(other)
+        }
+    }
+
+    /// Modular multiplication via full product and reduction.
+    pub fn mod_mul(&self, other: &BigUint, m: &BigUint) -> BigUint {
+        self.mul(other).rem(m)
+    }
+}
+
+/// Knuth Algorithm D for multi-limb divisors (len >= 2).
+fn knuth_d(num: &BigUint, den: &BigUint) -> (BigUint, BigUint) {
+    let n = den.limbs.len();
+    let m = num.limbs.len() - n;
+
+    // D1: normalize so the divisor's top limb has its high bit set.
+    let shift = den.limbs[n - 1].leading_zeros() as usize;
+    let v = den.shl(shift);
+    let mut u = num.shl(shift).limbs;
+    u.resize(num.limbs.len() + 1, 0); // u has m+n+1 limbs
+
+    let v_limbs = &v.limbs;
+    debug_assert_eq!(v_limbs.len(), n);
+    let vn1 = v_limbs[n - 1];
+    let vn2 = v_limbs[n - 2];
+
+    let mut q = vec![0u64; m + 1];
+
+    // D2..D7: main loop.
+    for j in (0..=m).rev() {
+        // D3: estimate qhat from the top two limbs of u and top of v.
+        let u_hi = ((u[j + n] as u128) << 64) | u[j + n - 1] as u128;
+        let mut qhat = u_hi / vn1 as u128;
+        let mut rhat = u_hi % vn1 as u128;
+        // Refine: at most two corrections.
+        while qhat >> 64 != 0
+            || qhat * vn2 as u128 > ((rhat << 64) | u[j + n - 2] as u128)
+        {
+            qhat -= 1;
+            rhat += vn1 as u128;
+            if rhat >> 64 != 0 {
+                break;
+            }
+        }
+        let mut qhat = qhat as u64;
+
+        // D4: multiply and subtract u[j..j+n+1] -= qhat * v.
+        let mut borrow = 0i128;
+        let mut carry = 0u128;
+        for i in 0..n {
+            let p = qhat as u128 * v_limbs[i] as u128 + carry;
+            carry = p >> 64;
+            let t = u[j + i] as i128 - (p as u64) as i128 + borrow;
+            u[j + i] = t as u64;
+            borrow = t >> 64; // arithmetic shift: 0 or -1
+        }
+        let t = u[j + n] as i128 - carry as i128 + borrow;
+        u[j + n] = t as u64;
+        borrow = t >> 64;
+
+        // D5/D6: if we subtracted too much, add back one v.
+        if borrow != 0 {
+            qhat -= 1;
+            let mut carry = 0u128;
+            for i in 0..n {
+                let s = u[j + i] as u128 + v_limbs[i] as u128 + carry;
+                u[j + i] = s as u64;
+                carry = s >> 64;
+            }
+            u[j + n] = u[j + n].wrapping_add(carry as u64);
+        }
+        q[j] = qhat;
+    }
+
+    // D8: denormalize remainder.
+    let rem = BigUint::from_limbs(u[..n].to_vec()).shr(shift);
+    (BigUint::from_limbs(q), rem)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_division() {
+        let a = BigUint::from_u64(1000);
+        let b = BigUint::from_u64(7);
+        let (q, r) = a.div_rem(&b);
+        assert_eq!(q.low_u64(), 142);
+        assert_eq!(r.low_u64(), 6);
+    }
+
+    #[test]
+    fn divide_by_larger_is_zero() {
+        let (q, r) = BigUint::from_u64(5).div_rem(&BigUint::from_u64(100));
+        assert!(q.is_zero());
+        assert_eq!(r.low_u64(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        let _ = BigUint::one().div_rem(&BigUint::zero());
+    }
+
+    #[test]
+    fn multi_limb_reconstruction() {
+        // (q*d + r) == n, r < d, across limb-boundary cases.
+        let mut n = BigUint::one();
+        for i in 0..12u64 {
+            n = n.shl(61).add_u64(0xdeadbeef ^ (i.wrapping_mul(0x9e3779b9)));
+        }
+        let mut d = BigUint::from_u64(3);
+        for i in 0..5u64 {
+            d = d.shl(59).add_u64(0x12345678 ^ i);
+            let (q, r) = n.div_rem(&d);
+            assert!(r < d);
+            assert_eq!(q.mul(&d).add(&r), n);
+        }
+    }
+
+    #[test]
+    fn knuth_d_addback_case() {
+        // A crafted case that historically triggers the D6 add-back step:
+        // numerator with high limbs just below the divisor pattern.
+        let u = BigUint::from_limbs(vec![0, u64::MAX - 1, u64::MAX]);
+        let v = BigUint::from_limbs(vec![u64::MAX, u64::MAX]);
+        let (q, r) = u.div_rem(&v);
+        assert_eq!(q.mul(&v).add(&r), u);
+        assert!(r < v);
+    }
+
+    #[test]
+    fn mod_helpers() {
+        let m = BigUint::from_u64(97);
+        let a = BigUint::from_u64(95);
+        let b = BigUint::from_u64(10);
+        assert_eq!(a.mod_add(&b, &m).low_u64(), 8);
+        assert_eq!(b.mod_sub(&a, &m).low_u64(), 12);
+        assert_eq!(a.mod_mul(&b, &m).low_u64(), 950 % 97);
+    }
+
+    #[test]
+    fn div_rem_u64_matches_generic() {
+        let n = BigUint::from_u128(0xffee_ddcc_bbaa_9988_7766_5544_3322_1100);
+        let (q1, r1) = n.div_rem_u64(12345);
+        let (q2, r2) = n.div_rem(&BigUint::from_u64(12345));
+        assert_eq!(q1, q2);
+        assert_eq!(BigUint::from_u64(r1), r2);
+    }
+}

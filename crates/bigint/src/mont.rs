@@ -1,0 +1,340 @@
+//! Montgomery multiplication and windowed modular exponentiation.
+//!
+//! Paillier encryption is dominated by `r^n mod n^2`; a CIOS (coarsely
+//! integrated operand scanning) Montgomery multiplier plus 4-bit-window
+//! exponentiation makes this tractable without GMP.
+
+use crate::BigUint;
+
+/// Precomputed context for arithmetic modulo a fixed odd modulus.
+#[derive(Clone, Debug)]
+pub struct MontCtx {
+    /// The modulus (odd, > 1).
+    pub m: BigUint,
+    /// Limb count of the modulus.
+    k: usize,
+    /// `-m^{-1} mod 2^64`.
+    m_inv: u64,
+    /// `R mod m` where `R = 2^{64k}` (the Montgomery form of 1).
+    r1: Vec<u64>,
+    /// `R^2 mod m`, used to convert into Montgomery form.
+    r2: Vec<u64>,
+}
+
+impl MontCtx {
+    /// Build a context. Panics if `m` is even or < 3.
+    pub fn new(m: &BigUint) -> Self {
+        assert!(!m.is_even() && m.bits() >= 2, "modulus must be odd and > 1");
+        let k = m.limbs.len();
+        let m_inv = inv64(m.limbs[0]).wrapping_neg();
+        let r = BigUint::one().shl(64 * k);
+        let r1 = pad(&r.rem(m), k);
+        let r2 = pad(&r.mod_mul(&r, m), k);
+        Self { m: m.clone(), k, m_inv, r1, r2 }
+    }
+
+    /// Convert to Montgomery form: `a*R mod m`. `a` must be `< m`.
+    pub fn to_mont(&self, a: &BigUint) -> Vec<u64> {
+        debug_assert!(a < &self.m);
+        self.mont_mul(&pad(a, self.k), &self.r2)
+    }
+
+    /// Convert out of Montgomery form.
+    pub fn from_mont(&self, a: &[u64]) -> BigUint {
+        let one = pad(&BigUint::one(), self.k);
+        BigUint::from_limbs(self.mont_mul(a, &one))
+    }
+
+    /// CIOS Montgomery product: returns `a*b*R^{-1} mod m` in limb form.
+    pub fn mont_mul(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+        let k = self.k;
+        debug_assert_eq!(a.len(), k);
+        debug_assert_eq!(b.len(), k);
+        let m = &self.m.limbs;
+        let mut t = vec![0u64; k + 2];
+        for &ai in a.iter() {
+            // t += ai * b
+            let mut carry = 0u128;
+            for j in 0..k {
+                let s = t[j] as u128 + ai as u128 * b[j] as u128 + carry;
+                t[j] = s as u64;
+                carry = s >> 64;
+            }
+            let s = t[k] as u128 + carry;
+            t[k] = s as u64;
+            t[k + 1] = (s >> 64) as u64;
+
+            // u = t[0] * m' mod 2^64 ; t += u*m ; t >>= 64
+            let u = t[0].wrapping_mul(self.m_inv);
+            let s = t[0] as u128 + u as u128 * m[0] as u128;
+            let mut carry = s >> 64;
+            for j in 1..k {
+                let s = t[j] as u128 + u as u128 * m[j] as u128 + carry;
+                t[j - 1] = s as u64;
+                carry = s >> 64;
+            }
+            let s = t[k] as u128 + carry;
+            t[k - 1] = s as u64;
+            t[k] = t[k + 1] + ((s >> 64) as u64);
+            t[k + 1] = 0;
+        }
+        t.truncate(k + 1);
+        // Conditional subtraction to bring into [0, m).
+        if t[k] != 0 || cmp_limbs(&t[..k], m) >= 0 {
+            sub_limbs(&mut t, m);
+        }
+        t.truncate(k);
+        t
+    }
+
+    /// Montgomery squaring (delegates to `mont_mul`).
+    pub fn mont_sqr(&self, a: &[u64]) -> Vec<u64> {
+        self.mont_mul(a, a)
+    }
+
+    /// Modular multiplication of reduced operands (`a, b < m`).
+    pub fn mul(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        let am = self.to_mont(a);
+        let bm = self.to_mont(b);
+        self.from_mont(&self.mont_mul(&am, &bm))
+    }
+
+    /// The Montgomery form of 1 (`R mod m`).
+    pub fn one_mont(&self) -> Vec<u64> {
+        self.r1.clone()
+    }
+
+    /// Limb width of operands in this context.
+    pub fn limb_count(&self) -> usize {
+        self.k
+    }
+
+    /// Exponentiation entirely in the Montgomery domain: given
+    /// `base_mont = aR mod m`, returns `a^exp · R mod m`.
+    ///
+    /// This is the hot path of the Paillier CryptoTensor, which keeps
+    /// ciphertexts in Montgomery form end to end.
+    pub fn pow_mont(&self, base_mont: &[u64], exp: &BigUint) -> Vec<u64> {
+        if exp.is_zero() {
+            return self.r1.clone();
+        }
+        let mut table = Vec::with_capacity(16);
+        table.push(self.r1.clone());
+        table.push(base_mont.to_vec());
+        for i in 2..16 {
+            table.push(self.mont_mul(&table[i - 1], base_mont));
+        }
+        let bits = exp.bits();
+        let nwin = bits.div_ceil(4);
+        let mut acc = table[window(exp, nwin - 1)].clone();
+        for w in (0..nwin - 1).rev() {
+            acc = self.mont_sqr(&acc);
+            acc = self.mont_sqr(&acc);
+            acc = self.mont_sqr(&acc);
+            acc = self.mont_sqr(&acc);
+            let d = window(exp, w);
+            if d != 0 {
+                acc = self.mont_mul(&acc, &table[d]);
+            }
+        }
+        acc
+    }
+
+    /// Modular exponentiation `base^exp mod m` with a 4-bit fixed window.
+    /// `base` must be `< m`.
+    pub fn pow(&self, base: &BigUint, exp: &BigUint) -> BigUint {
+        if exp.is_zero() {
+            return BigUint::one().rem(&self.m);
+        }
+        let bm = self.to_mont(&base.rem(&self.m));
+        // Precompute odd powers table: bm^0..bm^15.
+        let mut table = Vec::with_capacity(16);
+        table.push(self.r1.clone()); // 1 in Montgomery form
+        table.push(bm.clone());
+        for i in 2..16 {
+            table.push(self.mont_mul(&table[i - 1], &bm));
+        }
+        let bits = exp.bits();
+        let nwin = bits.div_ceil(4);
+        let mut acc = table[window(exp, nwin - 1)].clone();
+        for w in (0..nwin - 1).rev() {
+            acc = self.mont_sqr(&acc);
+            acc = self.mont_sqr(&acc);
+            acc = self.mont_sqr(&acc);
+            acc = self.mont_sqr(&acc);
+            let d = window(exp, w);
+            if d != 0 {
+                acc = self.mont_mul(&acc, &table[d]);
+            }
+        }
+        self.from_mont(&acc)
+    }
+}
+
+/// Extract the `w`-th 4-bit window (little-endian) of `e`.
+fn window(e: &BigUint, w: usize) -> usize {
+    let bit = w * 4;
+    let limb = bit / 64;
+    let off = bit % 64;
+    let lo = e.limbs.get(limb).copied().unwrap_or(0) >> off;
+    let v = if off > 60 {
+        let hi = e.limbs.get(limb + 1).copied().unwrap_or(0);
+        lo | (hi << (64 - off))
+    } else {
+        lo
+    };
+    (v & 0xf) as usize
+}
+
+/// Inverse of an odd u64 modulo 2^64 (Newton iteration).
+fn inv64(x: u64) -> u64 {
+    debug_assert!(x & 1 == 1);
+    let mut inv = x; // correct mod 2^3
+    for _ in 0..5 {
+        inv = inv.wrapping_mul(2u64.wrapping_sub(x.wrapping_mul(inv)));
+    }
+    debug_assert_eq!(x.wrapping_mul(inv), 1);
+    inv
+}
+
+fn pad(a: &BigUint, k: usize) -> Vec<u64> {
+    let mut v = a.limbs.clone();
+    v.resize(k, 0);
+    v
+}
+
+fn cmp_limbs(a: &[u64], b: &[u64]) -> i32 {
+    debug_assert_eq!(a.len(), b.len());
+    for i in (0..a.len()).rev() {
+        if a[i] != b[i] {
+            return if a[i] > b[i] { 1 } else { -1 };
+        }
+    }
+    0
+}
+
+fn sub_limbs(a: &mut [u64], b: &[u64]) {
+    let mut borrow = 0u64;
+    for i in 0..b.len() {
+        let (d1, b1) = a[i].overflowing_sub(b[i]);
+        let (d2, b2) = d1.overflowing_sub(borrow);
+        a[i] = d2;
+        borrow = (b1 as u64) + (b2 as u64);
+    }
+    let mut i = b.len();
+    while borrow != 0 && i < a.len() {
+        let (d, bw) = a[i].overflowing_sub(borrow);
+        a[i] = d;
+        borrow = bw as u64;
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_pow(base: u64, exp: u64, m: u64) -> u64 {
+        let mut acc: u128 = 1;
+        let mut b: u128 = base as u128 % m as u128;
+        let mut e = exp;
+        while e > 0 {
+            if e & 1 == 1 {
+                acc = acc * b % m as u128;
+            }
+            b = b * b % m as u128;
+            e >>= 1;
+        }
+        acc as u64
+    }
+
+    #[test]
+    fn mont_mul_single_limb() {
+        let m = BigUint::from_u64(0xffff_ffff_ffff_ffc5); // prime
+        let ctx = MontCtx::new(&m);
+        let a = BigUint::from_u64(0x1234_5678_9abc_def1);
+        let b = BigUint::from_u64(0xfeed_face_cafe_beef);
+        let want = a.mod_mul(&b, &m);
+        assert_eq!(ctx.mul(&a, &b), want);
+    }
+
+    #[test]
+    fn mont_mul_multi_limb() {
+        // m = a large odd number spanning several limbs.
+        let mut m = BigUint::from_u64(0xdead_beef);
+        for i in 0..6u64 {
+            m = m.shl(64).add_u64(0x1111_2222_3333_4444 ^ i);
+        }
+        m = if m.is_even() { m.add_u64(1) } else { m };
+        let ctx = MontCtx::new(&m);
+        let a = m.shr(3).add_u64(12345);
+        let b = m.shr(5).add_u64(999);
+        assert_eq!(ctx.mul(&a, &b), a.mod_mul(&b, &m));
+    }
+
+    #[test]
+    fn pow_matches_naive_u64() {
+        let m = BigUint::from_u64(1_000_000_007);
+        let ctx = MontCtx::new(&m);
+        for (b, e) in [(2u64, 10u64), (3, 100), (12345, 67890), (999999, 1)] {
+            let got = ctx.pow(&BigUint::from_u64(b), &BigUint::from_u64(e));
+            assert_eq!(got.low_u64(), naive_pow(b, e, 1_000_000_007));
+        }
+    }
+
+    #[test]
+    fn pow_edge_cases() {
+        let m = BigUint::from_u64(97);
+        let ctx = MontCtx::new(&m);
+        assert_eq!(ctx.pow(&BigUint::from_u64(5), &BigUint::zero()).low_u64(), 1);
+        assert_eq!(ctx.pow(&BigUint::zero(), &BigUint::from_u64(5)).low_u64(), 0);
+        assert_eq!(ctx.pow(&BigUint::from_u64(96), &BigUint::from_u64(2)).low_u64(), 1);
+    }
+
+    #[test]
+    fn fermat_little_theorem_multi_limb() {
+        // p = 2^127 - 1 (Mersenne prime), a^(p-1) = 1 mod p.
+        let p = BigUint::one().shl(127).sub_u64(1);
+        let ctx = MontCtx::new(&p);
+        let a = BigUint::from_u64(0xabcdef0123456789);
+        let e = p.sub_u64(1);
+        assert!(ctx.pow(&a, &e).is_one());
+    }
+
+    #[test]
+    fn pow_large_exponent_consistency() {
+        // (a^e1)^e2 == a^(e1*e2) mod m
+        let mut m = BigUint::from_u64(7);
+        for _ in 0..4 {
+            m = m.shl(64).add_u64(0x0123_4567_89ab_cdef);
+        }
+        let m = m.add_u64(if m.is_even() { 1 } else { 0 });
+        let ctx = MontCtx::new(&m);
+        let a = BigUint::from_u64(31337);
+        let e1 = BigUint::from_u64(65537);
+        let e2 = BigUint::from_u64(101);
+        let lhs = ctx.pow(&ctx.pow(&a, &e1), &e2);
+        let rhs = ctx.pow(&a, &e1.mul(&e2));
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn pow_mont_matches_pow() {
+        let m = BigUint::one().shl(127).sub_u64(1);
+        let ctx = MontCtx::new(&m);
+        let a = BigUint::from_u64(123456789);
+        let e = BigUint::from_u64(987654);
+        let am = ctx.to_mont(&a);
+        let got = ctx.from_mont(&ctx.pow_mont(&am, &e));
+        assert_eq!(got, ctx.pow(&a, &e));
+        // Zero exponent gives 1.
+        assert_eq!(ctx.from_mont(&ctx.pow_mont(&am, &BigUint::zero())).low_u64(), 1);
+    }
+
+    #[test]
+    fn inv64_works() {
+        for x in [1u64, 3, 5, 0xffff_ffff_ffff_ffff, 0x1234_5679] {
+            assert_eq!(x.wrapping_mul(inv64(x)), 1);
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests for the bignum substrate: ring laws, division
+//! reconstruction, Montgomery consistency, and modular-inverse
+//! correctness over arbitrary inputs.
+
+use bf_bigint::{mod_inv, BigUint, MontCtx};
+use proptest::prelude::*;
+
+fn big(max_limbs: usize) -> impl Strategy<Value = BigUint> {
+    prop::collection::vec(any::<u64>(), 0..=max_limbs).prop_map(BigUint::from_limbs)
+}
+
+/// An odd modulus with at least 2 bits.
+fn odd_modulus(max_limbs: usize) -> impl Strategy<Value = BigUint> {
+    prop::collection::vec(any::<u64>(), 1..=max_limbs).prop_map(|mut limbs| {
+        limbs[0] |= 1;
+        let m = BigUint::from_limbs(limbs);
+        if m.bits() < 2 {
+            BigUint::from_u64(3)
+        } else {
+            m
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn add_commutes(a in big(8), b in big(8)) {
+        prop_assert_eq!(a.add(&b), b.add(&a));
+    }
+
+    #[test]
+    fn add_sub_roundtrip(a in big(8), b in big(8)) {
+        prop_assert_eq!(a.add(&b).sub(&b), a);
+    }
+
+    #[test]
+    fn add_associates(a in big(6), b in big(6), c in big(6)) {
+        prop_assert_eq!(a.add(&b).add(&c), a.add(&b.add(&c)));
+    }
+
+    #[test]
+    fn mul_commutes(a in big(6), b in big(6)) {
+        prop_assert_eq!(a.mul(&b), b.mul(&a));
+    }
+
+    #[test]
+    fn mul_distributes(a in big(5), b in big(5), c in big(5)) {
+        prop_assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+    }
+
+    #[test]
+    fn sqr_is_self_mul(a in big(8)) {
+        prop_assert_eq!(a.sqr(), a.mul(&a));
+    }
+
+    #[test]
+    fn u128_mul_reference(x in any::<u64>(), y in any::<u64>()) {
+        let got = BigUint::from_u64(x).mul(&BigUint::from_u64(y));
+        prop_assert_eq!(got, BigUint::from_u128(x as u128 * y as u128));
+    }
+
+    #[test]
+    fn div_rem_reconstructs(n in big(10), d in big(4)) {
+        prop_assume!(!d.is_zero());
+        let (q, r) = n.div_rem(&d);
+        prop_assert!(r < d);
+        prop_assert_eq!(q.mul(&d).add(&r), n);
+    }
+
+    #[test]
+    fn shl_shr_roundtrip(a in big(6), s in 0usize..300) {
+        prop_assert_eq!(a.shl(s).shr(s), a);
+    }
+
+    #[test]
+    fn shl_is_mul_by_power_of_two(a in big(5), s in 0usize..120) {
+        prop_assert_eq!(a.shl(s), a.mul(&BigUint::one().shl(s)));
+    }
+
+    #[test]
+    fn bytes_roundtrip(a in big(8)) {
+        prop_assert_eq!(BigUint::from_bytes_be(&a.to_bytes_be()), a);
+    }
+
+    #[test]
+    fn hex_roundtrip(a in big(8)) {
+        prop_assert_eq!(BigUint::from_hex(&a.to_hex()).unwrap(), a);
+    }
+
+    #[test]
+    fn mont_mul_matches_mod_mul(m in odd_modulus(5), a in big(5), b in big(5)) {
+        let ctx = MontCtx::new(&m);
+        let ar = a.rem(&m);
+        let br = b.rem(&m);
+        prop_assert_eq!(ctx.mul(&ar, &br), ar.mod_mul(&br, &m));
+    }
+
+    #[test]
+    fn mont_pow_matches_naive(m in odd_modulus(3), a in big(3), e in 0u64..500) {
+        let ctx = MontCtx::new(&m);
+        let ar = a.rem(&m);
+        // Naive square-and-multiply reference.
+        let mut want = BigUint::one().rem(&m);
+        for _ in 0..e {
+            want = want.mod_mul(&ar, &m);
+        }
+        prop_assert_eq!(ctx.pow(&ar, &BigUint::from_u64(e)), want);
+    }
+
+    #[test]
+    fn mod_inv_correct_when_exists(m in odd_modulus(4), a in big(4)) {
+        let ar = a.rem(&m);
+        if let Some(inv) = mod_inv(&ar, &m) {
+            prop_assert!(inv < m.clone());
+            prop_assert!(ar.mod_mul(&inv, &m).is_one() || m.is_one());
+        } else {
+            prop_assert!(!bf_bigint::gcd(&ar, &m).is_one() || m.is_one());
+        }
+    }
+
+    #[test]
+    fn ordering_consistent_with_sub(a in big(6), b in big(6)) {
+        if a >= b {
+            let d = a.sub(&b);
+            prop_assert_eq!(b.add(&d), a);
+        } else {
+            let d = b.sub(&a);
+            prop_assert_eq!(a.add(&d), b);
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! **blindfl** — a from-scratch Rust reproduction of
+//! *BlindFL: Vertical Federated Machine Learning without Peeking into
+//! Your Data* (Fu, Xue, Cheng, Tao, Cui — SIGMOD 2022).
+//!
+//! Two parties own disjoint feature sets over the same instances;
+//! Party B additionally owns the labels. BlindFL trains models over the
+//! virtually-joint data through **federated source layers**: the first
+//! layer of the network is computed jointly under Paillier encryption
+//! and two-party additive secret sharing, so that
+//!
+//! * Party A never observes any forward activation, backward
+//!   derivative, model weight, or model gradient (⇒ no label leakage),
+//! * Party B never observes `X_A·W_A` / `E_A` / any weight in plaintext
+//!   (⇒ no feature leakage),
+//! * the outputs and updates are **lossless** — identical to
+//!   non-federated training up to fixed-point quantisation.
+//!
+//! # Crate layout
+//!
+//! * [`config`] / [`session`] — protocol parameters and the per-party
+//!   cryptographic session (key handshake, transport, RNG).
+//! * [`privacy`] — the paper's Tables 2 & 3 as data: the restricted
+//!   observables per party, consumed by the security tests.
+//! * [`source::matmul`] — the MatMul federated source layer (Figure 6).
+//! * [`source::embed`] — the Embed-MatMul federated source layer
+//!   (Figure 7).
+//! * [`source::ss_top`] — the secret-shared-top-model variants
+//!   (Appendix B, Figures 13–14).
+//! * [`multiparty`] — the multi-Party-A MatMul extension (Appendix C,
+//!   Algorithm 3).
+//! * [`models`] / [`train`] — the federated model zoo (LR, MLR, MLP,
+//!   WDL, DLRM) and the two-thread training/inference runtime.
+//!
+//! # Quickstart
+//!
+//! See `examples/quickstart.rs` at the repository root: generate a
+//! vertically-split dataset, call [`train::train_federated`] with a
+//! [`models::FedSpec`], and compare against the collocated baseline.
+
+#![allow(clippy::too_many_arguments)] // protocol functions mirror the paper's parameter lists
+pub mod config;
+pub mod inspect;
+pub mod models;
+pub mod multiparty;
+pub mod privacy;
+pub mod session;
+pub mod source;
+pub mod train;
+
+pub use config::{Backend, FedConfig, GradMode};
+pub use models::FedSpec;
+pub use session::Session;
+pub use train::{train_federated, FedOutcome, FedReport, FedTrainConfig};

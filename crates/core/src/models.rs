@@ -1,0 +1,404 @@
+//! The federated model zoo: LR, MLR, MLP, WDL and DLRM with federated
+//! source layers and a local (Party B) top model.
+//!
+//! A model is described by a [`FedSpec`]; both parties instantiate
+//! their halves from the same spec ([`PartyAModel`] /
+//! [`PartyBModel`]) and execute forward/backward in lock-step. The top
+//! model (bias, activations, hidden towers, loss) lives entirely at
+//! Party B and reuses the plaintext `bf-ml` layers — exactly the
+//! paper's architecture (Figure 4).
+
+use bf_ml::data::{Dataset, Labels};
+use bf_ml::layers::{ActKind, Activation, Bias, Mlp};
+use bf_ml::models::loss_and_grad;
+use bf_tensor::Dense;
+
+use crate::session::Session;
+use crate::source::matmul::{aggregate_a, aggregate_b};
+use crate::source::{EmbedSource, MatMulSource};
+
+/// Architecture of a federated model (shared by both parties).
+#[derive(Clone, Debug)]
+pub enum FedSpec {
+    /// Logistic / multinomial logistic regression: MatMul source +
+    /// bias top. `out = 1` for LR, `C` for MLR.
+    Glm {
+        /// Output width.
+        out: usize,
+    },
+    /// MLP: MatMul source into a ReLU tower at Party B.
+    Mlp {
+        /// Hidden widths then output width (e.g. `[64, 16, 3]`).
+        widths: Vec<usize>,
+    },
+    /// Wide & Deep (paper Figure 5): MatMul source (wide) + Embed-MatMul
+    /// source (deep, projecting to `deep_hidden[0]`) + hidden tower.
+    Wdl {
+        /// Embedding dimension.
+        emb_dim: usize,
+        /// Deep-tower hidden widths.
+        deep_hidden: Vec<usize>,
+        /// Output width.
+        out: usize,
+    },
+    /// DLRM-style: Embed-MatMul source producing a joint categorical
+    /// vector, MatMul source producing a joint numerical vector, dot
+    /// interaction, top tower at Party B.
+    Dlrm {
+        /// Embedding dimension.
+        emb_dim: usize,
+        /// Width of the two source vectors.
+        vec_dim: usize,
+        /// Top-tower hidden widths.
+        top_hidden: Vec<usize>,
+    },
+}
+
+impl FedSpec {
+    /// Does this architecture use an Embed-MatMul source layer?
+    pub fn uses_categorical(&self) -> bool {
+        matches!(self, FedSpec::Wdl { .. } | FedSpec::Dlrm { .. })
+    }
+}
+
+/// Party A's half: the A-sides of the source layers plus the fixed
+/// execution order.
+pub struct PartyAModel {
+    matmul: Option<MatMulSource>,
+    embed: Option<EmbedSource>,
+}
+
+impl PartyAModel {
+    /// Initialise from the spec and Party A's data view.
+    pub fn init(sess: &mut Session, spec: &FedSpec, data: &Dataset) -> PartyAModel {
+        let num_dim = data.num_dim();
+        let (matmul, embed) = match spec {
+            FedSpec::Glm { out } => (Some(MatMulSource::init(sess, num_dim, *out)), None),
+            FedSpec::Mlp { widths } => (Some(MatMulSource::init(sess, num_dim, widths[0])), None),
+            FedSpec::Wdl { emb_dim, deep_hidden, out } => {
+                let mm = MatMulSource::init(sess, num_dim, *out);
+                let cat = data.cat.as_ref().expect("WDL needs categorical features");
+                let proj = deep_hidden.first().copied().unwrap_or(*out);
+                let em = EmbedSource::init(sess, cat.vocab(), cat.fields(), *emb_dim, proj);
+                (Some(mm), Some(em))
+            }
+            FedSpec::Dlrm { emb_dim, vec_dim, .. } => {
+                let mm = MatMulSource::init(sess, num_dim, *vec_dim);
+                let cat = data.cat.as_ref().expect("DLRM needs categorical features");
+                let em = EmbedSource::init(sess, cat.vocab(), cat.fields(), *emb_dim, *vec_dim);
+                (Some(mm), Some(em))
+            }
+        };
+        PartyAModel { matmul, embed }
+    }
+
+    /// One forward pass over a batch view (A's side of every source
+    /// layer, in the canonical order: MatMul first, then Embed).
+    pub fn forward(&mut self, sess: &mut Session, batch: &Dataset, train: bool) {
+        if let Some(mm) = &mut self.matmul {
+            let x = batch.num.as_ref().expect("missing numerical block");
+            let z = mm.forward(sess, x, train);
+            aggregate_a(sess, z);
+        }
+        if let Some(em) = &mut self.embed {
+            let x = batch.cat.as_ref().expect("missing categorical block");
+            let z = em.forward(sess, x, train);
+            aggregate_a(sess, z);
+        }
+    }
+
+    /// One backward pass (reverse order: Embed first, then MatMul).
+    pub fn backward(&mut self, sess: &mut Session) {
+        if let Some(em) = &mut self.embed {
+            em.backward_a(sess);
+        }
+        if let Some(mm) = &mut self.matmul {
+            mm.backward_a(sess);
+        }
+    }
+
+    /// The MatMul source half (inspection).
+    pub fn matmul(&self) -> Option<&MatMulSource> {
+        self.matmul.as_ref()
+    }
+
+    /// The Embed source half (inspection).
+    pub fn embed(&self) -> Option<&EmbedSource> {
+        self.embed.as_ref()
+    }
+}
+
+/// Party B's half: B-sides of the source layers plus the local top
+/// model and loss.
+pub struct PartyBModel {
+    spec: FedSpec,
+    matmul: Option<MatMulSource>,
+    embed: Option<EmbedSource>,
+    top: Top,
+}
+
+/// Party B's local top model.
+enum Top {
+    /// Bias only (GLM).
+    Bias(Bias),
+    /// Bias + ReLU + tower (MLP).
+    Tower { bias: Bias, act: Activation, tower: Mlp },
+    /// WDL: wide Z + deep(Z_cat → bias+relu+tower), summed, plus bias.
+    Wdl { deep_bias: Bias, deep_act: Activation, deep_tower: Mlp, out_bias: Bias },
+    /// DLRM: interaction of the two source vectors + top tower.
+    Dlrm { tower: Mlp },
+}
+
+impl PartyBModel {
+    /// Initialise from the spec and Party B's data view.
+    pub fn init(sess: &mut Session, spec: &FedSpec, data: &Dataset) -> PartyBModel {
+        let num_dim = data.num_dim();
+        let (matmul, embed, top) = match spec {
+            FedSpec::Glm { out } => (
+                Some(MatMulSource::init(sess, num_dim, *out)),
+                None,
+                Top::Bias(Bias::new(*out)),
+            ),
+            FedSpec::Mlp { widths } => {
+                let mm = MatMulSource::init(sess, num_dim, widths[0]);
+                let tower = Mlp::new(&mut sess.rng, widths);
+                (
+                    Some(mm),
+                    None,
+                    Top::Tower {
+                        bias: Bias::new(widths[0]),
+                        act: Activation::new(ActKind::Relu),
+                        tower,
+                    },
+                )
+            }
+            FedSpec::Wdl { emb_dim, deep_hidden, out } => {
+                let mm = MatMulSource::init(sess, num_dim, *out);
+                let cat = data.cat.as_ref().expect("WDL needs categorical features");
+                let proj = deep_hidden.first().copied().unwrap_or(*out);
+                let em = EmbedSource::init(sess, cat.vocab(), cat.fields(), *emb_dim, proj);
+                let mut widths = deep_hidden.clone();
+                widths.push(*out);
+                (
+                    Some(mm),
+                    Some(em),
+                    Top::Wdl {
+                        deep_bias: Bias::new(proj),
+                        deep_act: Activation::new(ActKind::Relu),
+                        deep_tower: Mlp::new(&mut sess.rng, &widths),
+                        out_bias: Bias::new(*out),
+                    },
+                )
+            }
+            FedSpec::Dlrm { emb_dim, vec_dim, top_hidden } => {
+                let mm = MatMulSource::init(sess, num_dim, *vec_dim);
+                let cat = data.cat.as_ref().expect("DLRM needs categorical features");
+                let em = EmbedSource::init(sess, cat.vocab(), cat.fields(), *emb_dim, *vec_dim);
+                // Interaction vector: [z_num | z_cat | dot(z_num, z_cat)].
+                let mut widths = vec![2 * vec_dim + 1];
+                widths.extend_from_slice(top_hidden);
+                widths.push(1);
+                (Some(mm), Some(em), Top::Dlrm { tower: Mlp::new(&mut sess.rng, &widths) })
+            }
+        };
+        PartyBModel { spec: spec.clone(), matmul, embed, top }
+    }
+
+    /// Output width of the model.
+    pub fn out_dim(&self) -> usize {
+        match &self.spec {
+            FedSpec::Glm { out } | FedSpec::Wdl { out, .. } => *out,
+            FedSpec::Mlp { widths } => *widths.last().unwrap(),
+            FedSpec::Dlrm { .. } => 1,
+        }
+    }
+
+    /// Forward over a batch view: returns the logits plus the caches
+    /// needed by the matching backward call.
+    pub fn forward(&mut self, sess: &mut Session, batch: &Dataset, train: bool) -> (Dense, FwdCache) {
+        let z_num = self.matmul.as_mut().map(|mm| {
+            let x = batch.num.as_ref().expect("missing numerical block");
+            let z_own = mm.forward(sess, x, train);
+            aggregate_b(sess, z_own)
+        });
+        let z_cat = self.embed.as_mut().map(|em| {
+            let x = batch.cat.as_ref().expect("missing categorical block");
+            let z_own = em.forward(sess, x, train);
+            aggregate_b(sess, z_own)
+        });
+        let mut cache = FwdCache::default();
+        let logits = match &mut self.top {
+            Top::Bias(bias) => bias.forward(z_num.as_ref().unwrap()),
+            Top::Tower { bias, act, tower } => {
+                let h = act.forward(&bias.forward(z_num.as_ref().unwrap()));
+                tower.forward(&h)
+            }
+            Top::Wdl { deep_bias, deep_act, deep_tower, out_bias } => {
+                let h = deep_act.forward(&deep_bias.forward(z_cat.as_ref().unwrap()));
+                let deep = deep_tower.forward(&h);
+                out_bias.forward(&z_num.as_ref().unwrap().add(&deep))
+            }
+            Top::Dlrm { tower } => {
+                let zn = z_num.as_ref().unwrap();
+                let zc = z_cat.as_ref().unwrap();
+                let inter = dlrm_interact(zn, zc);
+                cache.z_num = Some(zn.clone());
+                cache.z_cat = Some(zc.clone());
+                tower.forward(&inter)
+            }
+        };
+        (logits, cache)
+    }
+
+    /// Backward from a loss gradient w.r.t. the logits; drives the
+    /// federated source-layer updates (Embed first, then MatMul —
+    /// mirroring Party A).
+    pub fn backward(&mut self, sess: &mut Session, grad_logits: &Dense, cache: &FwdCache) {
+        let (grad_z_num, grad_z_cat): (Option<Dense>, Option<Dense>) = match &mut self.top {
+            Top::Bias(bias) => {
+                bias.backward(grad_logits);
+                bias.step(&sess.sgd());
+                (Some(grad_logits.clone()), None)
+            }
+            Top::Tower { bias, act, tower } => {
+                let gh = tower.backward(grad_logits);
+                let gz = act.backward(&gh);
+                bias.backward(&gz);
+                let opt = sess.sgd();
+                tower.step(&opt);
+                bias.step(&opt);
+                (Some(gz), None)
+            }
+            Top::Wdl { deep_bias, deep_act, deep_tower, out_bias } => {
+                out_bias.backward(grad_logits);
+                let g_deep = deep_tower.backward(grad_logits);
+                let gz_cat = deep_act.backward(&g_deep);
+                deep_bias.backward(&gz_cat);
+                let opt = sess.sgd();
+                out_bias.step(&opt);
+                deep_tower.step(&opt);
+                deep_bias.step(&opt);
+                (Some(grad_logits.clone()), Some(gz_cat))
+            }
+            Top::Dlrm { tower } => {
+                let g_inter = tower.backward(grad_logits);
+                tower.step(&sess.sgd());
+                let zn = cache.z_num.as_ref().expect("DLRM cache");
+                let zc = cache.z_cat.as_ref().expect("DLRM cache");
+                let (gn, gc) = dlrm_interact_backward(zn, zc, &g_inter);
+                (Some(gn), Some(gc))
+            }
+        };
+        // Reverse order (Embed then MatMul) to mirror Party A.
+        if let Some(em) = &mut self.embed {
+            em.backward_b(sess, grad_z_cat.as_ref().expect("missing ∇Z_cat"));
+        }
+        if let Some(mm) = &mut self.matmul {
+            mm.backward_b(sess, grad_z_num.as_ref().expect("missing ∇Z_num"));
+        }
+    }
+
+    /// One full training step: forward, loss, backward. Returns the
+    /// batch loss.
+    pub fn train_batch(&mut self, sess: &mut Session, batch: &Dataset) -> f64 {
+        let labels = batch.labels.as_ref().expect("Party B holds the labels");
+        let (logits, cache) = self.forward(sess, batch, true);
+        let (loss, grad) = loss_and_grad(&logits, labels);
+        self.backward(sess, &grad, &cache);
+        loss
+    }
+
+    /// Inference logits for a batch view.
+    pub fn predict_batch(&mut self, sess: &mut Session, batch: &Dataset) -> Dense {
+        self.forward(sess, batch, false).0
+    }
+
+    /// Loss/metric helper reused by the trainer.
+    pub fn loss_for(&self, logits: &Dense, labels: &Labels) -> f64 {
+        loss_and_grad(logits, labels).0
+    }
+
+    /// The MatMul source half (inspection).
+    pub fn matmul(&self) -> Option<&MatMulSource> {
+        self.matmul.as_ref()
+    }
+
+    /// The Embed source half (inspection).
+    pub fn embed(&self) -> Option<&EmbedSource> {
+        self.embed.as_ref()
+    }
+}
+
+/// Forward-pass caches Party B's top model needs for backward.
+#[derive(Default)]
+pub struct FwdCache {
+    z_num: Option<Dense>,
+    z_cat: Option<Dense>,
+}
+
+/// DLRM-lite interaction: `[z_num | z_cat | rowwise dot]`.
+fn dlrm_interact(zn: &Dense, zc: &Dense) -> Dense {
+    let bs = zn.rows();
+    let d = zn.cols();
+    let mut out = Dense::zeros(bs, 2 * d + 1);
+    for r in 0..bs {
+        out.row_mut(r)[..d].copy_from_slice(zn.row(r));
+        out.row_mut(r)[d..2 * d].copy_from_slice(zc.row(r));
+        let dot: f64 = zn.row(r).iter().zip(zc.row(r)).map(|(a, b)| a * b).sum();
+        out.row_mut(r)[2 * d] = dot;
+    }
+    out
+}
+
+/// Backward of [`dlrm_interact`].
+fn dlrm_interact_backward(zn: &Dense, zc: &Dense, g: &Dense) -> (Dense, Dense) {
+    let bs = zn.rows();
+    let d = zn.cols();
+    let mut gn = Dense::zeros(bs, d);
+    let mut gc = Dense::zeros(bs, d);
+    for r in 0..bs {
+        let grow = g.row(r);
+        let gdot = grow[2 * d];
+        for k in 0..d {
+            gn.set(r, k, grow[k] + gdot * zc.get(r, k));
+            gc.set(r, k, grow[d + k] + gdot * zn.get(r, k));
+        }
+    }
+    (gn, gc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interact_backward_finite_difference() {
+        let zn = Dense::from_vec(2, 3, vec![0.5, -1.0, 2.0, 1.5, 0.0, -0.5]);
+        let zc = Dense::from_vec(2, 3, vec![1.0, 2.0, -1.0, 0.5, 1.0, 0.25]);
+        let out = dlrm_interact(&zn, &zc);
+        assert_eq!(out.cols(), 7);
+        let g = Dense::from_vec(2, 7, vec![1.0; 14]);
+        let (gn, gc) = dlrm_interact_backward(&zn, &zc, &g);
+        let eps = 1e-6;
+        for (r, k) in [(0usize, 0usize), (1, 2)] {
+            let mut zp = zn.clone();
+            zp.set(r, k, zn.get(r, k) + eps);
+            let fp: f64 = dlrm_interact(&zp, &zc).data().iter().sum();
+            zp.set(r, k, zn.get(r, k) - eps);
+            let fm: f64 = dlrm_interact(&zp, &zc).data().iter().sum();
+            assert!(((fp - fm) / (2.0 * eps) - gn.get(r, k)).abs() < 1e-5);
+            let mut cp = zc.clone();
+            cp.set(r, k, zc.get(r, k) + eps);
+            let fp: f64 = dlrm_interact(&zn, &cp).data().iter().sum();
+            cp.set(r, k, zc.get(r, k) - eps);
+            let fm: f64 = dlrm_interact(&zn, &cp).data().iter().sum();
+            assert!(((fp - fm) / (2.0 * eps) - gc.get(r, k)).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn spec_categorical_flag() {
+        assert!(!FedSpec::Glm { out: 1 }.uses_categorical());
+        assert!(FedSpec::Wdl { emb_dim: 8, deep_hidden: vec![16], out: 1 }.uses_categorical());
+    }
+}

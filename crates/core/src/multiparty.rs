@@ -1,0 +1,249 @@
+//! Multi-party MatMul source layer (paper Appendix C, Algorithm 3).
+//!
+//! With `M` Party A's, Party B secret-shares its weights into `M+1`
+//! pieces — `W_B = U_B + Σ_i V_B(i)` with `V_B(i)` created by the
+//! `i`-th Party A — and runs the pairwise MatMul routine with every
+//! A(i) using `U_B/M` as its local piece. Each Party A's code path is
+//! **exactly** the two-party [`MatMulSource`](crate::source::MatMulSource):
+//! "let all Party A's execute the same routines".
+
+use bf_mpc::convert::he2ss_peer;
+use bf_mpc::transport::Msg;
+use bf_paillier::CtMat;
+use bf_tensor::{Dense, Features};
+
+use crate::session::{Role, Session};
+use crate::source::matmul::shared_matmul_fw;
+use crate::source::step_piece;
+
+/// Party B's half of a multi-party MatMul source layer, linked to `M`
+/// Party A sessions.
+pub struct MultiMatMulB {
+    /// `U_B` (B's own piece of `W_B`).
+    u_own: Dense,
+    vel_u: Dense,
+    links: Vec<Link>,
+    out: usize,
+    cached_x: Option<Features>,
+    cached_support: Vec<u32>,
+}
+
+/// Per-Party-A state at B.
+struct Link {
+    /// `V_A(i)`: B's piece of A(i)'s weights.
+    v_a: Dense,
+    vel_v_a: Dense,
+    /// `⟦V_B(i)⟧` under A(i)'s key.
+    enc_v_b: CtMat,
+}
+
+impl MultiMatMulB {
+    /// Initialise against `sessions` (one per Party A). Each session
+    /// must be a `Role::B` session whose peer runs
+    /// `MatMulSource::init`.
+    pub fn init(sessions: &mut [Session], in_own: usize, out: usize) -> MultiMatMulB {
+        let mut links = Vec::with_capacity(sessions.len());
+        let mut u_own = None;
+        for sess in sessions.iter_mut() {
+            assert_eq!(sess.role, Role::B, "MultiMatMulB drives Role::B sessions");
+            sess.ep.send(Msg::U64(in_own as u64));
+            let in_a = sess.ep.recv_u64() as usize;
+            if u_own.is_none() {
+                u_own = Some(bf_tensor::init::xavier(&mut sess.rng, in_own, out));
+            }
+            let bound = (6.0 / (in_a + out) as f64).sqrt() * 0.5;
+            let v_a = bf_mpc::shares::random_mask(&mut sess.rng, in_a, out, bound);
+            sess.ep.send(Msg::Ct(sess.own_pk.encrypt(&v_a, &sess.obf)));
+            let enc_v_b = sess.ep.recv_ct();
+            links.push(Link { vel_v_a: Dense::zeros(in_a, out), v_a, enc_v_b });
+        }
+        let u_own = u_own.expect("at least one Party A");
+        MultiMatMulB {
+            vel_u: Dense::zeros(in_own, out),
+            u_own,
+            links,
+            out,
+            cached_x: None,
+            cached_support: Vec::new(),
+        }
+    }
+
+    /// Number of linked Party A's.
+    pub fn parties(&self) -> usize {
+        self.links.len()
+    }
+
+    /// `U_B` (inspection).
+    pub fn u_own(&self) -> &Dense {
+        &self.u_own
+    }
+
+    /// B's piece of A(i)'s weights (inspection).
+    pub fn v_a(&self, i: usize) -> &Dense {
+        &self.links[i].v_a
+    }
+
+    /// Forward: runs the pairwise shared matmul with every A(i) using
+    /// `U_B/M` as the local piece (Algorithm 3, lines 12–16), receives
+    /// each A(i)'s share, and returns the aggregated
+    /// `Z = Σ_i X_A(i)·W_A(i) + X_B·W_B`.
+    pub fn forward(&mut self, sessions: &mut [Session], x: &Features, train: bool) -> Dense {
+        let m = self.links.len() as f64;
+        let u_frac = self.u_own.scale(1.0 / m);
+        let mut z = Dense::zeros(x.rows(), self.out);
+        for (link, sess) in self.links.iter().zip(sessions.iter_mut()) {
+            let z_b = shared_matmul_fw(sess, x, &u_frac, &link.enc_v_b);
+            let z_a = sess.ep.recv_mat();
+            z.add_assign(&z_b);
+            z.add_assign(&z_a);
+        }
+        if train {
+            self.cached_support = x.col_support();
+            self.cached_x = Some(x.clone());
+        }
+        z
+    }
+
+    /// Backward (Algorithm 3, lines 20–31): update `U_B` locally, then
+    /// assist every A(i) exactly as in the two-party protocol.
+    pub fn backward(&mut self, sessions: &mut [Session], grad_z: &Dense) {
+        let x = self.cached_x.take().expect("backward before forward");
+        let support = std::mem::take(&mut self.cached_support);
+        let g = x.t_matmul_support(grad_z, &support);
+        let rows: Vec<usize> = support.iter().map(|&c| c as usize).collect();
+        // Local ∇W_B (line 27). Use the first session's hyper-params.
+        let (lr, mu) = (sessions[0].cfg.lr, sessions[0].cfg.momentum);
+        let _ = step_piece(&mut self.u_own, &mut self.vel_u, &g, &rows, lr, mu);
+
+        for (link, sess) in self.links.iter_mut().zip(sessions.iter_mut()) {
+            // Lines 22–26 per Party A(i).
+            sess.ep.send(Msg::Ct(sess.own_pk.encrypt(grad_z, &sess.obf)));
+            let support_a = sess.ep.recv_support();
+            let rows_a: Vec<usize> = support_a.iter().map(|&c| c as usize).collect();
+            let piece = he2ss_peer(&sess.ep, &sess.own_sk);
+            let delta = step_piece(&mut link.v_a, &mut link.vel_v_a, &piece, &rows_a, lr, mu);
+            sess.ep.send(Msg::Ct(sess.own_pk.encrypt(&delta, &sess.obf)));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FedConfig;
+    use crate::session::{Role, Session};
+    use crate::source::matmul::{aggregate_a, MatMulSource};
+    use rand::SeedableRng;
+
+    /// Run an M-party training round: M Party-A threads + B inline.
+    fn run_multi(
+        cfg: &FedConfig,
+        xs_a: Vec<Features>,
+        x_b: Features,
+        out: usize,
+        grad_z: Option<Dense>,
+        steps: usize,
+    ) -> (Vec<MatMulSource>, MultiMatMulB, Dense) {
+        let m = xs_a.len();
+        let mut eps_b = Vec::new();
+        let mut handles = Vec::new();
+        for (i, x_a) in xs_a.into_iter().enumerate() {
+            let (ep_a, ep_b) = bf_mpc::channel_pair();
+            eps_b.push(ep_b);
+            let cfg_a = cfg.clone();
+            let gz = grad_z.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut sess =
+                    Session::handshake(ep_a, cfg_a, Role::A, 1000 + i as u64);
+                let mut layer = MatMulSource::init(&mut sess, x_a.cols(), out);
+                for _ in 0..steps {
+                    let z = layer.forward(&mut sess, &x_a, gz.is_some());
+                    aggregate_a(&sess, z);
+                    if gz.is_some() {
+                        layer.backward_a(&mut sess);
+                    }
+                }
+                let z = layer.forward(&mut sess, &x_a, false);
+                aggregate_a(&sess, z);
+                layer
+            }));
+        }
+        let mut sessions: Vec<Session> = eps_b
+            .into_iter()
+            .enumerate()
+            .map(|(i, ep)| Session::handshake(ep, cfg.clone(), Role::B, 2000 + i as u64))
+            .collect();
+        let mut layer_b = MultiMatMulB::init(&mut sessions, x_b.cols(), out);
+        for _ in 0..steps {
+            let _z = layer_b.forward(&mut sessions, &x_b, grad_z.is_some());
+            if let Some(g) = &grad_z {
+                layer_b.backward(&mut sessions, g);
+            }
+        }
+        let z = layer_b.forward(&mut sessions, &x_b, false);
+        let layers_a: Vec<MatMulSource> =
+            handles.into_iter().map(|h| h.join().expect("party A panicked")).collect();
+        assert_eq!(layers_a.len(), m);
+        (layers_a, layer_b, z)
+    }
+
+    fn rand_dense(rows: usize, cols: usize, seed: u64) -> Dense {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        bf_tensor::init::uniform(&mut rng, rows, cols, 1.0)
+    }
+
+    #[test]
+    fn three_party_forward_is_lossless() {
+        let cfg = FedConfig::plain();
+        let xs_a = vec![
+            Features::Dense(rand_dense(5, 3, 1)),
+            Features::Dense(rand_dense(5, 4, 2)),
+        ];
+        let x_b = Features::Dense(rand_dense(5, 2, 3));
+        let (layers_a, layer_b, z) = run_multi(&cfg, xs_a.clone(), x_b.clone(), 2, None, 1);
+        // Reconstruct: W_A(i) = U_A(i) + V_A(i); W_B = U_B + Σ V_B(i).
+        let mut want = Dense::zeros(5, 2);
+        let mut w_b = layer_b.u_own().clone();
+        for (i, la) in layers_a.iter().enumerate() {
+            let w_a = la.u_own().add(layer_b.v_a(i));
+            want.add_assign(&xs_a[i].matmul(&w_a));
+            w_b.add_assign(la.v_peer());
+        }
+        want.add_assign(&x_b.matmul(&w_b));
+        assert!(z.approx_eq(&want, 1e-4), "max err {}", z.sub(&want).max_abs());
+    }
+
+    #[test]
+    fn three_party_backward_stays_synchronized() {
+        let cfg = FedConfig::paillier_test();
+        let xs_a = vec![
+            Features::Dense(rand_dense(4, 2, 4)),
+            Features::Dense(rand_dense(4, 3, 5)),
+        ];
+        let x_b = Features::Dense(rand_dense(4, 2, 6));
+        let grad_z = rand_dense(4, 1, 7).scale(0.1);
+        let (layers_a, layer_b, z) =
+            run_multi(&cfg, xs_a.clone(), x_b.clone(), 1, Some(grad_z), 2);
+        let mut want = Dense::zeros(4, 1);
+        let mut w_b = layer_b.u_own().clone();
+        for (i, la) in layers_a.iter().enumerate() {
+            let w_a = la.u_own().add(layer_b.v_a(i));
+            want.add_assign(&xs_a[i].matmul(&w_a));
+            w_b.add_assign(la.v_peer());
+        }
+        want.add_assign(&x_b.matmul(&w_b));
+        assert!(z.approx_eq(&want, 1e-3), "max err {}", z.sub(&want).max_abs());
+    }
+
+    #[test]
+    fn single_party_reduces_to_two_party() {
+        let cfg = FedConfig::plain();
+        let xs_a = vec![Features::Dense(rand_dense(3, 2, 8))];
+        let x_b = Features::Dense(rand_dense(3, 2, 9));
+        let (layers_a, layer_b, z) = run_multi(&cfg, xs_a.clone(), x_b.clone(), 2, None, 1);
+        let w_a = layers_a[0].u_own().add(layer_b.v_a(0));
+        let w_b = layer_b.u_own().add(layers_a[0].v_peer());
+        let want = xs_a[0].matmul(&w_a).add(&x_b.matmul(&w_b));
+        assert!(z.approx_eq(&want, 1e-4));
+    }
+}

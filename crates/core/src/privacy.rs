@@ -1,0 +1,141 @@
+//! The paper's privacy requirements (Section 4.2) and per-layer
+//! restriction tables (Tables 2 & 3), expressed as data.
+//!
+//! These are consumed by the security tests in `tests/` — every value a
+//! protocol run exposes to a party is checked against the restriction
+//! set for that party — and serve as the normative reference for
+//! reviewers of the protocol implementations.
+
+/// The values generated during federated execution, classified.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Observable {
+    /// Aggregated forward output `Z = X_A·W_A + X_B·W_B` (or the
+    /// Embed-MatMul analogue).
+    Z,
+    /// Party A's partial activation `X_A·W_A` / `E_A·W_A`.
+    PartialActivationA,
+    /// Party B's partial activation `X_B·W_B` / `E_B·W_B`.
+    PartialActivationB,
+    /// Party A's embedding rows `E_A`.
+    EmbeddingA,
+    /// Party B's embedding rows `E_B`.
+    EmbeddingB,
+    /// Backward derivative of the source output, `∇Z`.
+    GradZ,
+    /// `∇E_A`.
+    GradEmbeddingA,
+    /// `∇E_B`.
+    GradEmbeddingB,
+    /// Weights `W_A` (reconstructed plaintext).
+    WeightsA,
+    /// Weights `W_B`.
+    WeightsB,
+    /// Embedding table `Q_A`.
+    TableA,
+    /// Embedding table `Q_B`.
+    TableB,
+    /// Gradient `∇W_A`.
+    GradWeightsA,
+    /// Gradient `∇W_B`.
+    GradWeightsB,
+    /// Gradient `∇Q_A`.
+    GradTableA,
+    /// Gradient `∇Q_B`.
+    GradTableB,
+}
+
+/// Table 2: observables Party A must never obtain in the MatMul layer.
+pub fn matmul_forbidden_for_a() -> Vec<Observable> {
+    use Observable::*;
+    vec![Z, PartialActivationA, PartialActivationB, GradZ, WeightsA, WeightsB, GradWeightsA, GradWeightsB]
+}
+
+/// Table 2: observables Party B must never obtain in the MatMul layer.
+pub fn matmul_forbidden_for_b() -> Vec<Observable> {
+    use Observable::*;
+    vec![PartialActivationA, PartialActivationB, WeightsA, WeightsB, GradWeightsA]
+}
+
+/// Table 3: observables Party A must never obtain in the Embed-MatMul
+/// layer.
+pub fn embed_forbidden_for_a() -> Vec<Observable> {
+    use Observable::*;
+    vec![
+        Z,
+        EmbeddingA,
+        EmbeddingB,
+        PartialActivationA,
+        PartialActivationB,
+        GradZ,
+        GradEmbeddingA,
+        GradEmbeddingB,
+        WeightsA,
+        WeightsB,
+        TableA,
+        TableB,
+        GradWeightsA,
+        GradWeightsB,
+        GradTableA,
+        GradTableB,
+    ]
+}
+
+/// Table 3: observables Party B must never obtain in the Embed-MatMul
+/// layer.
+pub fn embed_forbidden_for_b() -> Vec<Observable> {
+    use Observable::*;
+    vec![
+        EmbeddingA,
+        EmbeddingB,
+        PartialActivationA,
+        PartialActivationB,
+        WeightsA,
+        WeightsB,
+        TableA,
+        TableB,
+        GradWeightsA,
+        GradTableA,
+        GradTableB,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn party_b_may_see_z_and_grad_z_with_local_top() {
+        // With a non-federated top model, Z and ∇Z are Party B's
+        // working values (Theorems 5.2 / 6.2 bound what they reveal).
+        assert!(!matmul_forbidden_for_b().contains(&Observable::Z));
+        assert!(!matmul_forbidden_for_b().contains(&Observable::GradZ));
+        assert!(!embed_forbidden_for_b().contains(&Observable::GradZ));
+    }
+
+    #[test]
+    fn party_a_sees_nothing_informative() {
+        let forbidden = matmul_forbidden_for_a();
+        for o in [Observable::Z, Observable::GradZ, Observable::WeightsA, Observable::GradWeightsA] {
+            assert!(forbidden.contains(&o));
+        }
+    }
+
+    #[test]
+    fn embed_restrictions_superset_matmul() {
+        // Table 3 inherits every Table 2 restriction.
+        let emb = embed_forbidden_for_a();
+        for o in matmul_forbidden_for_a() {
+            assert!(emb.contains(&o), "{o:?} missing from embed restrictions");
+        }
+    }
+
+    #[test]
+    fn party_b_restricted_from_own_embedding_values() {
+        // The paper's strong restriction: B must not see E_B / ∇E_B /
+        // Q_B, because ∇E_B = ∇Z·W_Bᵀ would let B infer W_B.
+        let f = embed_forbidden_for_b();
+        assert!(f.contains(&Observable::EmbeddingB));
+        assert!(f.contains(&Observable::TableB));
+        assert!(f.contains(&Observable::GradTableB));
+    }
+}

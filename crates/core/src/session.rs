@@ -1,0 +1,143 @@
+//! Per-party cryptographic session: own key pair, the peer's public
+//! key, encryption randomness, the transport endpoint, and a seeded RNG
+//! for the secret-sharing masks.
+
+use bf_mpc::transport::{Endpoint, Msg};
+use bf_paillier::{keygen, keys::plain_keys, Obfuscator, PublicKey, SecretKey};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::config::{Backend, FedConfig};
+
+/// Which role this party plays. Party B holds the labels.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Role {
+    /// Feature-only party.
+    A,
+    /// Label-holding party.
+    B,
+}
+
+/// One party's protocol session.
+pub struct Session {
+    /// Protocol configuration (identical on both sides).
+    pub cfg: FedConfig,
+    /// This party's role.
+    pub role: Role,
+    /// Own public key.
+    pub own_pk: PublicKey,
+    /// Own secret key.
+    pub own_sk: SecretKey,
+    /// Encryption randomness for the own key.
+    pub obf: Obfuscator,
+    /// The peer's public key (received in the handshake).
+    pub peer_pk: PublicKey,
+    /// Duplex channel to the peer.
+    pub ep: Endpoint,
+    /// Mask RNG (each party's masks must be private to it, so the two
+    /// sessions use independent seeds).
+    pub rng: StdRng,
+}
+
+impl Session {
+    /// Generate keys and exchange public keys with the peer.
+    pub fn handshake(ep: Endpoint, cfg: FedConfig, role: Role, seed: u64) -> Session {
+        // Key generation uses a *separate* RNG stream so the protocol
+        // RNG (mask/initialisation draws) is identical across crypto
+        // backends — this is what makes the Plain and Paillier runs
+        // coordinate-for-coordinate comparable in the lossless tests.
+        let mut key_rng = StdRng::seed_from_u64(seed ^ 0x5EED_07E7);
+        let rng = StdRng::seed_from_u64(seed);
+        let (own_pk, own_sk) = match cfg.backend {
+            Backend::Paillier { key_bits } => keygen(key_bits, cfg.frac_bits, &mut key_rng),
+            Backend::Plain => plain_keys(cfg.frac_bits),
+        };
+        let obf = Obfuscator::new(&own_pk, cfg.obf_mode, seed ^ 0x0bf);
+        ep.send(Msg::Key(own_pk.clone()));
+        let peer_pk = ep.recv_key();
+        Session { cfg, role, own_pk, own_sk, obf, peer_pk, ep, rng }
+    }
+
+    /// The learning rate as an [`bf_ml::Sgd`] for piecewise updates.
+    pub fn sgd(&self) -> bf_ml::Sgd {
+        bf_ml::Sgd { lr: self.cfg.lr, momentum: self.cfg.momentum }
+    }
+
+    /// True if this session runs the Plain (identity) backend.
+    pub fn is_plain(&self) -> bool {
+        matches!(self.cfg.backend, Backend::Plain)
+    }
+}
+
+/// Spawn a Party A thread and run `f_b` as Party B on the current
+/// thread; returns `(A's result, B's result)`. The standard harness for
+/// every two-party protocol in this crate.
+pub fn run_pair<RA, RB>(
+    cfg: &FedConfig,
+    seed: u64,
+    f_a: impl FnOnce(Session) -> RA + Send + 'static,
+    f_b: impl FnOnce(Session) -> RB,
+) -> (RA, RB)
+where
+    RA: Send + 'static,
+{
+    let (ep_a, ep_b) = bf_mpc::channel_pair();
+    let cfg_a = cfg.clone();
+    let handle = std::thread::Builder::new()
+        .name("party-a".into())
+        .stack_size(16 << 20)
+        .spawn(move || {
+            let sess = Session::handshake(ep_a, cfg_a, Role::A, seed.wrapping_mul(2) + 1);
+            f_a(sess)
+        })
+        .expect("spawn party A");
+    let sess_b = Session::handshake(ep_b, cfg.clone(), Role::B, seed.wrapping_mul(2) + 2);
+    let rb = f_b(sess_b);
+    let ra = handle.join().expect("party A panicked");
+    (ra, rb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bf_paillier::CtMat;
+    use bf_tensor::Dense;
+
+    #[test]
+    fn handshake_exchanges_keys() {
+        // B encrypts under its own key; A operates homomorphically on
+        // the ciphertext (no secret key needed) and returns it; B
+        // decrypts the masked value — a miniature HE2SS round.
+        let cfg = FedConfig::paillier_test();
+        run_pair(
+            &cfg,
+            7,
+            |sess| {
+                let ct: CtMat = sess.ep.recv_ct();
+                let phi = Dense::from_vec(1, 2, vec![10.0, -20.0]);
+                sess.ep.send(bf_mpc::Msg::Ct(sess.peer_pk.sub_plain(&ct, &phi)));
+            },
+            |sess| {
+                let m = Dense::from_vec(1, 2, vec![1.5, -2.5]);
+                sess.ep.send(bf_mpc::Msg::Ct(sess.own_pk.encrypt(&m, &sess.obf)));
+                let masked = sess.own_sk.decrypt(&sess.ep.recv_ct());
+                let want = Dense::from_vec(1, 2, vec![1.5 - 10.0, -2.5 + 20.0]);
+                assert!(masked.approx_eq(&want, 1e-5));
+            },
+        );
+    }
+
+    #[test]
+    fn plain_backend_handshake() {
+        let cfg = FedConfig::plain();
+        run_pair(
+            &cfg,
+            1,
+            |sess| {
+                assert!(sess.is_plain());
+                assert!(sess.peer_pk.is_plain());
+            },
+            |sess| assert!(sess.is_plain()),
+        );
+    }
+}

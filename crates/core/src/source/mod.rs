@@ -1,0 +1,60 @@
+//! Federated source layers — the paper's core contribution.
+//!
+//! A source layer is the first layer of a VFL model, computed *jointly*
+//! so that neither party can evaluate it alone (unlike split learning's
+//! local bottom models). Two kinds are provided, mirroring Figures 6
+//! and 7:
+//!
+//! * [`matmul::MatMulSource`] for numerical (dense or sparse) features,
+//! * [`embed::EmbedSource`] for categorical features (secret-shared
+//!   embedding table + secret-shared projection).
+//!
+//! Both support the standard non-federated-top flow (Party B receives
+//! the aggregated `Z` and supplies `∇Z`) and, via [`ss_top`], the
+//! secret-shared-top flow of Appendix B where even `Z` and `∇Z` stay
+//! shared.
+
+pub mod embed;
+pub mod matmul;
+pub mod ss_top;
+
+pub use embed::EmbedSource;
+pub use matmul::MatMulSource;
+
+use bf_tensor::Dense;
+
+/// Apply one party's gradient piece to its weight piece with lazy
+/// momentum on the given rows; returns the applied delta (`−η·vel`)
+/// rows, which the caller freshly encrypts to refresh the peer's
+/// cached ciphertext copy.
+///
+/// Momentum distributes over the secret sharing: with both parties
+/// applying `v ← μv + g_piece; w ← w − ηv` to their pieces, the hidden
+/// sum follows exact (lazy) momentum SGD.
+pub(crate) fn step_piece(
+    param: &mut Dense,
+    vel: &mut Dense,
+    piece_rows: &Dense,
+    rows: &[usize],
+    lr: f64,
+    momentum: f64,
+) -> Dense {
+    debug_assert_eq!(piece_rows.rows(), rows.len());
+    let cols = param.cols();
+    let mut delta = Dense::zeros(rows.len(), cols);
+    for (i, &r) in rows.iter().enumerate() {
+        let g = piece_rows.row(i);
+        let v = vel.row_mut(r);
+        for (vv, &gg) in v.iter_mut().zip(g) {
+            *vv = momentum * *vv + gg;
+        }
+        let v = vel.row(r);
+        let p = param.row_mut(r);
+        let d = delta.row_mut(i);
+        for ((pp, dd), &vv) in p.iter_mut().zip(d.iter_mut()).zip(v) {
+            *pp -= lr * vv;
+            *dd = -lr * vv;
+        }
+    }
+    delta
+}

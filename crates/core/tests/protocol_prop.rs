@@ -1,0 +1,205 @@
+//! Property tests of the federated source-layer protocols: losslessness
+//! and share synchronisation must hold for *arbitrary* shapes, inputs,
+//! sparsity patterns and gradient streams — not just the unit tests'
+//! fixed examples.
+
+use bf_tensor::{CatBlock, Csr, Dense, Features};
+use blindfl::config::FedConfig;
+use blindfl::session::run_pair;
+use blindfl::source::matmul::{aggregate_a, aggregate_b};
+use blindfl::source::{EmbedSource, MatMulSource};
+use proptest::prelude::*;
+
+fn dense(rows: usize, cols: usize) -> impl Strategy<Value = Dense> {
+    prop::collection::vec(-2.0f64..2.0, rows * cols)
+        .prop_map(move |v| Dense::from_vec(rows, cols, v))
+}
+
+/// Sparse features with arbitrary (possibly empty) rows.
+fn sparse(rows: usize, cols: usize) -> impl Strategy<Value = Features> {
+    prop::collection::vec(prop_oneof![4 => Just(0.0f64), 1 => -2.0f64..2.0], rows * cols)
+        .prop_map(move |v| {
+            Features::Sparse(Csr::from_dense(&Dense::from_vec(rows, cols, v)))
+        })
+}
+
+fn cat(rows: usize, vocabs: &'static [u32]) -> impl Strategy<Value = CatBlock> {
+    let fields = vocabs.len();
+    prop::collection::vec(0u32..vocabs.iter().copied().min().unwrap(), rows * fields)
+        .prop_map(move |local| CatBlock::from_local(rows, vocabs, local))
+}
+
+/// One train step + eval forward through the real two-thread runtime.
+fn matmul_roundtrip(
+    x_a: Features,
+    x_b: Features,
+    out: usize,
+    grads: Vec<Dense>,
+) -> (MatMulSource, MatMulSource, Dense) {
+    let cfg = FedConfig::plain();
+    let ina = x_a.cols();
+    let inb = x_b.cols();
+    let gz_a = grads.clone();
+    let (a, (b, z)) = run_pair(
+        &cfg,
+        42,
+        move |mut sess| {
+            let mut layer = MatMulSource::init(&mut sess, ina, out);
+            for _ in &gz_a {
+                let z = layer.forward(&mut sess, &x_a, true);
+                aggregate_a(&sess, z);
+                layer.backward_a(&mut sess);
+            }
+            let z = layer.forward(&mut sess, &x_a, false);
+            aggregate_a(&sess, z);
+            layer
+        },
+        move |mut sess| {
+            let mut layer = MatMulSource::init(&mut sess, inb, out);
+            for g in &grads {
+                let z_own = layer.forward(&mut sess, &x_b, true);
+                let _ = aggregate_b(&sess, z_own);
+                layer.backward_b(&mut sess, g);
+            }
+            let z_own = layer.forward(&mut sess, &x_b, false);
+            let z = aggregate_b(&sess, z_own);
+            (layer, z)
+        },
+    );
+    (a, b, z)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 10, .. ProptestConfig::default() })]
+
+    #[test]
+    fn matmul_forward_lossless_any_shape(
+        xa in sparse(5, 7),
+        xb in dense(5, 4),
+        out in 1usize..4,
+    ) {
+        let (a, b, z) = matmul_roundtrip(xa.clone(), Features::Dense(xb.clone()), out, vec![]);
+        let w_a = a.u_own().add(b.v_peer());
+        let w_b = b.u_own().add(a.v_peer());
+        let want = xa.matmul(&w_a).add(&xb.matmul(&w_b));
+        prop_assert!(z.approx_eq(&want, 1e-4), "err {}", z.sub(&want).max_abs());
+    }
+
+    #[test]
+    fn matmul_stays_synchronized_over_random_gradient_streams(
+        xa in sparse(4, 6),
+        xb in sparse(4, 5),
+        grads in prop::collection::vec(dense(4, 2), 1..4),
+    ) {
+        let (a, b, z) = matmul_roundtrip(xa.clone(), xb.clone(), 2, grads);
+        let w_a = a.u_own().add(b.v_peer());
+        let w_b = b.u_own().add(a.v_peer());
+        let want = xa.matmul(&w_a).add(&xb.matmul(&w_b));
+        prop_assert!(z.approx_eq(&want, 1e-4), "err {}", z.sub(&want).max_abs());
+    }
+
+    #[test]
+    fn embed_forward_lossless_any_indices(
+        xa in cat(3, &[4, 3]),
+        xb in cat(3, &[5]),
+        grads in prop::collection::vec(dense(3, 2), 0..3),
+    ) {
+        let cfg = FedConfig::plain();
+        let xa2 = xa.clone();
+        let xb2 = xb.clone();
+        let gz_a = grads.clone();
+        let (a, (b, z)) = run_pair(
+            &cfg,
+            7,
+            move |mut sess| {
+                let mut layer = EmbedSource::init(&mut sess, xa2.vocab(), xa2.fields(), 2, 2);
+                for _ in &gz_a {
+                    let z = layer.forward(&mut sess, &xa2, true);
+                    aggregate_a(&sess, z);
+                    layer.backward_a(&mut sess);
+                }
+                let z = layer.forward(&mut sess, &xa2, false);
+                aggregate_a(&sess, z);
+                layer
+            },
+            move |mut sess| {
+                let mut layer = EmbedSource::init(&mut sess, xb2.vocab(), xb2.fields(), 2, 2);
+                for g in &grads {
+                    let z_own = layer.forward(&mut sess, &xb2, true);
+                    let _ = aggregate_b(&sess, z_own);
+                    layer.backward_b(&mut sess, g);
+                }
+                let z_own = layer.forward(&mut sess, &xb2, false);
+                let z = aggregate_b(&sess, z_own);
+                (layer, z)
+            },
+        );
+        // Reference from the reconstructed tables/weights.
+        let q_a = a.s_own().add(b.t_peer());
+        let q_b = b.s_own().add(a.t_peer());
+        let w_a = a.u_own().add(b.v_peer());
+        let w_b = b.u_own().add(a.v_peer());
+        let want = lookup(&q_a, &xa).matmul(&w_a).add(&lookup(&q_b, &xb).matmul(&w_b));
+        prop_assert!(z.approx_eq(&want, 1e-4), "err {}", z.sub(&want).max_abs());
+    }
+}
+
+/// Plaintext embedding lookup used by the references above.
+fn lookup(table: &Dense, x: &CatBlock) -> Dense {
+    let dim = table.cols();
+    let mut e = Dense::zeros(x.rows(), x.fields() * dim);
+    for r in 0..x.rows() {
+        for (f, &g) in x.row(r).iter().enumerate() {
+            e.row_mut(r)[f * dim..(f + 1) * dim].copy_from_slice(table.row(g as usize));
+        }
+    }
+    e
+}
+
+#[test]
+fn embed_lossless_exhaustive_small_vocab() {
+    // All 3^2 index combinations for a 2-row, 1-field-per-party layout.
+    for i in 0..3u32 {
+        for j in 0..3u32 {
+            let xa = CatBlock::from_local(2, &[3], vec![i, j]);
+            let xb = CatBlock::from_local(2, &[3], vec![j, i]);
+            let cfg = FedConfig::plain();
+            let xa2 = xa.clone();
+            let xb2 = xb.clone();
+            let (a, (b, z)) = run_pair(
+                &cfg,
+                100 + (i * 3 + j) as u64,
+                move |mut sess| {
+                    let mut layer = EmbedSource::init(&mut sess, 3, 1, 2, 1);
+                    let z = layer.forward(&mut sess, &xa2, false);
+                    aggregate_a(&sess, z);
+                    layer
+                },
+                move |mut sess| {
+                    let mut layer = EmbedSource::init(&mut sess, 3, 1, 2, 1);
+                    let z_own = layer.forward(&mut sess, &xb2, false);
+                    let z = aggregate_b(&sess, z_own);
+                    (layer, z)
+                },
+            );
+            let q_a = a.s_own().add(b.t_peer());
+            let q_b = b.s_own().add(a.t_peer());
+            let w_a = a.u_own().add(b.v_peer());
+            let w_b = b.u_own().add(a.v_peer());
+            let mut want = Dense::zeros(2, 1);
+            for r in 0..2 {
+                let ea = q_a.row(xa.row(r)[0] as usize);
+                let eb = q_b.row(xb.row(r)[0] as usize);
+                let mut acc = 0.0;
+                for (k, &e) in ea.iter().enumerate() {
+                    acc += e * w_a.get(k, 0);
+                }
+                for (k, &e) in eb.iter().enumerate() {
+                    acc += e * w_b.get(k, 0);
+                }
+                want.set(r, 0, acc);
+            }
+            assert!(z.approx_eq(&want, 1e-4), "i={i} j={j} err {}", z.sub(&want).max_abs());
+        }
+    }
+}

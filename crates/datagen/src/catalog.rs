@@ -1,0 +1,229 @@
+//! Dataset specifications — Table 4 of the paper, plus Fashion-MNIST
+//! from the appendix (Table 6 / Figure 15).
+
+/// Feature-space shape of a dataset.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Shape {
+    /// Sparse numerical features (one-hot-ish binary values).
+    Sparse {
+        /// Total feature dimensionality.
+        features: usize,
+        /// Average non-zeros per instance.
+        avg_nnz: usize,
+    },
+    /// Dense numerical features.
+    Dense {
+        /// Feature dimensionality.
+        features: usize,
+    },
+    /// Sparse numerical features *plus* categorical fields (the view
+    /// WDL/DLRM consume: wide sparse part + deep categorical part).
+    Tabular {
+        /// Sparse numerical dimensionality.
+        features: usize,
+        /// Average non-zeros per instance.
+        avg_nnz: usize,
+        /// Per-field vocabulary sizes.
+        vocabs: Vec<u32>,
+    },
+    /// Dense image-like features (class-prototype mixture), `h × w`.
+    Image {
+        /// Image height.
+        h: usize,
+        /// Image width.
+        w: usize,
+    },
+}
+
+impl Shape {
+    /// Numerical feature dimensionality.
+    pub fn features(&self) -> usize {
+        match self {
+            Shape::Sparse { features, .. } | Shape::Dense { features } => *features,
+            Shape::Tabular { features, .. } => *features,
+            Shape::Image { h, w } => h * w,
+        }
+    }
+
+    /// Average non-zeros per row (dense rows count every feature).
+    pub fn avg_nnz(&self) -> usize {
+        match self {
+            Shape::Sparse { avg_nnz, .. } | Shape::Tabular { avg_nnz, .. } => *avg_nnz,
+            Shape::Dense { features } => *features,
+            Shape::Image { h, w } => h * w,
+        }
+    }
+
+    /// Sparsity fraction (zeros / total), as reported in Table 5.
+    pub fn sparsity(&self) -> f64 {
+        1.0 - self.avg_nnz() as f64 / self.features() as f64
+    }
+}
+
+/// A dataset specification.
+#[derive(Clone, Debug)]
+pub struct DatasetSpec {
+    /// Dataset name (matching the paper).
+    pub name: &'static str,
+    /// Training instances.
+    pub train_rows: usize,
+    /// Test instances.
+    pub test_rows: usize,
+    /// Number of classes (2 = binary).
+    pub classes: usize,
+    /// Feature-space shape.
+    pub shape: Shape,
+}
+
+impl DatasetSpec {
+    /// Scale the row counts down by `row_div` and the feature space by
+    /// `feat_div` (avg nnz shrinks with the feature space but never
+    /// below 4). Used to keep harnesses laptop-scale while preserving
+    /// sparsity ratios.
+    pub fn scaled(&self, row_div: usize, feat_div: usize) -> DatasetSpec {
+        let scale_shape = |s: &Shape| match s {
+            Shape::Sparse { features, avg_nnz } => Shape::Sparse {
+                features: (features / feat_div).max(8),
+                avg_nnz: (*avg_nnz).min((features / feat_div).max(8)).max(4),
+            },
+            Shape::Dense { features } => Shape::Dense { features: (features / feat_div).max(4) },
+            Shape::Tabular { features, avg_nnz, vocabs } => Shape::Tabular {
+                features: (features / feat_div).max(8),
+                avg_nnz: (*avg_nnz).min((features / feat_div).max(8)).max(4),
+                vocabs: vocabs.iter().map(|&v| (v / feat_div as u32).max(4)).collect(),
+            },
+            Shape::Image { h, w } => Shape::Image { h: *h, w: *w },
+        };
+        DatasetSpec {
+            name: self.name,
+            train_rows: (self.train_rows / row_div).max(256),
+            test_rows: (self.test_rows / row_div).max(128),
+            classes: self.classes,
+            shape: scale_shape(&self.shape),
+        }
+    }
+}
+
+/// The paper-scale dataset inventory (Table 4 plus fmnist).
+pub fn catalog() -> Vec<DatasetSpec> {
+    vec![
+        DatasetSpec {
+            name: "a9a",
+            train_rows: 32_000,
+            test_rows: 16_000,
+            classes: 2,
+            shape: Shape::Tabular { features: 123, avg_nnz: 14, vocabs: vec![16, 8, 7, 16, 6, 5, 2, 2] },
+        },
+        DatasetSpec {
+            name: "w8a",
+            train_rows: 50_000,
+            test_rows: 15_000,
+            classes: 2,
+            shape: Shape::Tabular { features: 300, avg_nnz: 12, vocabs: vec![32, 16, 16, 8, 8, 4] },
+        },
+        DatasetSpec {
+            name: "connect-4",
+            train_rows: 50_000,
+            test_rows: 17_000,
+            classes: 3,
+            shape: Shape::Sparse { features: 126, avg_nnz: 42 },
+        },
+        DatasetSpec {
+            name: "news20",
+            train_rows: 16_000,
+            test_rows: 4_000,
+            classes: 20,
+            shape: Shape::Sparse { features: 62_000, avg_nnz: 80 },
+        },
+        DatasetSpec {
+            name: "higgs",
+            train_rows: 8_000_000,
+            test_rows: 3_000_000,
+            classes: 2,
+            shape: Shape::Dense { features: 28 },
+        },
+        DatasetSpec {
+            name: "avazu-app",
+            train_rows: 13_000_000,
+            test_rows: 2_000_000,
+            classes: 2,
+            shape: Shape::Tabular {
+                features: 1_000_000,
+                avg_nnz: 14,
+                vocabs: vec![4096, 2048, 1024, 512, 256, 64, 32, 8],
+            },
+        },
+        DatasetSpec {
+            name: "industry",
+            train_rows: 100_000_000,
+            test_rows: 8_000_000,
+            classes: 2,
+            shape: Shape::Tabular {
+                features: 10_000_000,
+                avg_nnz: 12,
+                vocabs: vec![65536, 16384, 4096, 1024, 512, 128, 64, 16],
+            },
+        },
+        DatasetSpec {
+            name: "fmnist",
+            train_rows: 60_000,
+            test_rows: 10_000,
+            classes: 10,
+            shape: Shape::Image { h: 28, w: 28 },
+        },
+    ]
+}
+
+/// Look up a paper-scale spec by name.
+pub fn spec(name: &str) -> DatasetSpec {
+    catalog()
+        .into_iter()
+        .find(|s| s.name == name)
+        .unwrap_or_else(|| panic!("unknown dataset {name}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_matches_table4() {
+        let c = catalog();
+        assert_eq!(c.len(), 8);
+        let a9a = spec("a9a");
+        assert_eq!(a9a.shape.features(), 123);
+        assert_eq!(a9a.shape.avg_nnz(), 14);
+        assert_eq!(spec("news20").classes, 20);
+        assert_eq!(spec("higgs").shape.avg_nnz(), 28); // dense
+        assert!(spec("industry").shape.sparsity() > 0.9999);
+    }
+
+    #[test]
+    fn sparsity_matches_paper_table5() {
+        // Table 5 reports these sparsity percentages.
+        assert!((spec("a9a").shape.sparsity() - 0.8872).abs() < 0.01);
+        assert!((spec("w8a").shape.sparsity() - 0.96).abs() < 0.01);
+        assert!((spec("connect-4").shape.sparsity() - 0.6667).abs() < 0.01);
+        assert!(spec("news20").shape.sparsity() > 0.998);
+    }
+
+    #[test]
+    fn scaling_preserves_type_and_bounds() {
+        let s = spec("avazu-app").scaled(1000, 100);
+        assert!(s.train_rows >= 256);
+        match &s.shape {
+            Shape::Tabular { features, avg_nnz, vocabs } => {
+                assert_eq!(*features, 10_000);
+                assert!(*avg_nnz >= 4);
+                assert!(vocabs.iter().all(|&v| v >= 4));
+            }
+            _ => panic!("shape changed"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown dataset")]
+    fn unknown_name_panics() {
+        spec("mnist-c");
+    }
+}

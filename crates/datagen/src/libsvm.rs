@@ -1,0 +1,151 @@
+//! LIBSVM-format loader.
+//!
+//! The paper's public datasets (a9a, w8a, connect-4, news20, higgs,
+//! avazu-app) are distributed in LIBSVM text format
+//! (`<label> <idx>:<val> <idx>:<val> ...`, 1-based indices). This
+//! repository ships synthetic stand-ins, but if you download the real
+//! files you can run every harness on them through this loader.
+
+use bf_ml::data::{Dataset, Labels};
+use bf_tensor::{Csr, Features};
+
+/// Parse LIBSVM-format text into a sparse dataset.
+///
+/// * `features`: total dimensionality (pass 0 to infer from the data).
+/// * `classes`: 2 for binary (labels are mapped `{-1,0}→0`, `{+1}→1`;
+///   any other value is thresholded at 0), otherwise labels are read as
+///   0-based or 1-based class indices (1-based detected when the
+///   minimum label is 1 and the maximum equals `classes`).
+pub fn parse_libsvm(text: &str, features: usize, classes: usize) -> Result<Dataset, String> {
+    let mut triplets: Vec<(usize, u32, f64)> = Vec::new();
+    let mut raw_labels: Vec<f64> = Vec::new();
+    let mut max_idx = 0u32;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let row = raw_labels.len();
+        let mut parts = line.split_whitespace();
+        let label: f64 = parts
+            .next()
+            .ok_or_else(|| format!("line {}: empty", lineno + 1))?
+            .parse()
+            .map_err(|e| format!("line {}: bad label ({e})", lineno + 1))?;
+        raw_labels.push(label);
+        for tok in parts {
+            let (idx, val) = tok
+                .split_once(':')
+                .ok_or_else(|| format!("line {}: expected idx:val, got {tok:?}", lineno + 1))?;
+            let idx: u32 = idx
+                .parse()
+                .map_err(|e| format!("line {}: bad index ({e})", lineno + 1))?;
+            if idx == 0 {
+                return Err(format!("line {}: LIBSVM indices are 1-based", lineno + 1));
+            }
+            let val: f64 = val
+                .parse()
+                .map_err(|e| format!("line {}: bad value ({e})", lineno + 1))?;
+            max_idx = max_idx.max(idx);
+            triplets.push((row, idx - 1, val));
+        }
+    }
+    if raw_labels.is_empty() {
+        return Err("no instances".to_string());
+    }
+    let dim = if features == 0 { max_idx as usize } else { features };
+    if (max_idx as usize) > dim {
+        return Err(format!("feature index {max_idx} exceeds declared dimensionality {dim}"));
+    }
+    let x = Csr::from_triplets(raw_labels.len(), dim, triplets);
+    let labels = if classes == 2 {
+        Labels::Binary(raw_labels.iter().map(|&l| if l > 0.0 { 1.0 } else { 0.0 }).collect())
+    } else {
+        let min = raw_labels.iter().cloned().fold(f64::INFINITY, f64::min);
+        let offset = if min >= 1.0 { 1.0 } else { 0.0 };
+        let y: Vec<u32> = raw_labels
+            .iter()
+            .map(|&l| {
+                let c = (l - offset) as i64;
+                if c < 0 || c as usize >= classes {
+                    u32::MAX
+                } else {
+                    c as u32
+                }
+            })
+            .collect();
+        if y.contains(&u32::MAX) {
+            return Err("label out of class range".to_string());
+        }
+        Labels::Multi { classes, y }
+    };
+    Ok(Dataset { num: Some(Features::Sparse(x)), cat: None, labels: Some(labels) })
+}
+
+/// Load a LIBSVM file from disk.
+pub fn load_libsvm(path: &std::path::Path, features: usize, classes: usize) -> Result<Dataset, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    parse_libsvm(&text, features, classes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
++1 1:1 5:1 7:0.5
+-1 2:1 3:1
++1 1:1 7:1
+";
+
+    #[test]
+    fn parses_binary_sample() {
+        let ds = parse_libsvm(SAMPLE, 0, 2).unwrap();
+        assert_eq!(ds.rows(), 3);
+        assert_eq!(ds.num_dim(), 7); // inferred from max index
+        let y = ds.labels.as_ref().unwrap().as_binary();
+        assert_eq!(y, &[1.0, 0.0, 1.0]);
+        let f = ds.num.as_ref().unwrap();
+        assert_eq!(f.nnz(), 7);
+        // Value and 0-based column check.
+        let Features::Sparse(s) = f else { panic!() };
+        assert_eq!(s.row(0), (&[0u32, 4, 6][..], &[1.0, 1.0, 0.5][..]));
+    }
+
+    #[test]
+    fn declared_dimensionality_respected() {
+        let ds = parse_libsvm(SAMPLE, 123, 2).unwrap();
+        assert_eq!(ds.num_dim(), 123);
+        assert!(parse_libsvm(SAMPLE, 3, 2).is_err(), "index above declared dim must fail");
+    }
+
+    #[test]
+    fn multiclass_one_based() {
+        let txt = "1 1:1\n3 2:1\n2 3:1\n";
+        let ds = parse_libsvm(txt, 0, 3).unwrap();
+        assert_eq!(ds.labels.as_ref().unwrap().as_multi(), &[0, 2, 1]);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse_libsvm("+1 0:1\n", 0, 2).is_err(), "0 index");
+        assert!(parse_libsvm("+1 a:1\n", 0, 2).is_err(), "bad index");
+        assert!(parse_libsvm("+1 1=1\n", 0, 2).is_err(), "bad separator");
+        assert!(parse_libsvm("", 0, 2).is_err(), "empty file");
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let txt = "# header\n\n+1 1:2.5\n";
+        let ds = parse_libsvm(txt, 0, 2).unwrap();
+        assert_eq!(ds.rows(), 1);
+    }
+
+    #[test]
+    fn loaded_data_splits_vertically() {
+        let ds = parse_libsvm(SAMPLE, 8, 2).unwrap();
+        let v = crate::vsplit(&ds);
+        assert_eq!(v.party_a.num_dim() + v.party_b.num_dim(), 8);
+        assert!(v.party_b.labels.is_some());
+    }
+}

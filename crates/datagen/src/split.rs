@@ -1,0 +1,120 @@
+//! Vertical (feature-wise) splitting of a collocated dataset into the
+//! two-party VFL views of Figure 1: Party A holds the first half of the
+//! features; Party B holds the second half **and the labels**.
+
+use bf_ml::data::Dataset;
+use bf_tensor::Features;
+
+/// One party's view of a vertically-partitioned dataset.
+pub type VflView = Dataset;
+
+/// Collocated data plus the two party views (train or test).
+#[derive(Clone, Debug)]
+pub struct VflData {
+    /// The full dataset (for the NonFed-collocated baseline only; a
+    /// real deployment never materialises this).
+    pub collocated: Dataset,
+    /// Party A: features only.
+    pub party_a: VflView,
+    /// Party B: features plus labels.
+    pub party_b: VflView,
+}
+
+/// Split features evenly: Party A gets the first half of numerical
+/// columns and the first half of categorical fields.
+pub fn vsplit(ds: &Dataset) -> VflData {
+    let (num_a, num_b) = match &ds.num {
+        Some(Features::Sparse(s)) => {
+            let half = s.cols() / 2;
+            let left: Vec<u32> = (0..half as u32).collect();
+            let right: Vec<u32> = (half as u32..s.cols() as u32).collect();
+            (
+                Some(Features::Sparse(s.select_cols(&left))),
+                Some(Features::Sparse(s.select_cols(&right))),
+            )
+        }
+        Some(Features::Dense(d)) => {
+            let half = d.cols() / 2;
+            let left: Vec<usize> = (0..half).collect();
+            let right: Vec<usize> = (half..d.cols()).collect();
+            (
+                Some(Features::Dense(d.select_cols(&left))),
+                Some(Features::Dense(d.select_cols(&right))),
+            )
+        }
+        None => (None, None),
+    };
+    let (cat_a, cat_b) = match &ds.cat {
+        Some(c) => {
+            let half = (c.fields() / 2).max(1);
+            if half == c.fields() {
+                // A single field cannot be split; Party B keeps it.
+                (None, Some(c.clone()))
+            } else {
+                (Some(c.select_fields(0, half)), Some(c.select_fields(half, c.fields())))
+            }
+        }
+        None => (None, None),
+    };
+    VflData {
+        collocated: ds.clone(),
+        party_a: Dataset { num: num_a, cat: cat_a, labels: None },
+        party_b: Dataset { num: num_b, cat: cat_b, labels: ds.labels.clone() },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::spec;
+    use crate::synth::generate;
+    use bf_tensor::Dense;
+
+    #[test]
+    fn split_partitions_features() {
+        let s = spec("a9a").scaled(200, 1);
+        let (train_ds, _) = generate(&s, 1);
+        let v = vsplit(&train_ds);
+        assert_eq!(v.party_a.num_dim() + v.party_b.num_dim(), train_ds.num_dim());
+        assert!(v.party_a.labels.is_none(), "Party A must not hold labels");
+        assert!(v.party_b.labels.is_some());
+        assert_eq!(v.party_a.rows(), v.party_b.rows());
+    }
+
+    #[test]
+    fn split_preserves_row_content() {
+        let s = spec("a9a").scaled(200, 1);
+        let (train_ds, _) = generate(&s, 2);
+        let v = vsplit(&train_ds);
+        // Reassembling A|B columns gives back the original matrix.
+        let full = train_ds.num.as_ref().unwrap().to_dense();
+        let a = v.party_a.num.as_ref().unwrap().to_dense();
+        let b = v.party_b.num.as_ref().unwrap().to_dense();
+        let rebuilt: Dense = a.hstack(&b);
+        assert!(rebuilt.approx_eq(&full, 0.0));
+    }
+
+    #[test]
+    fn categorical_fields_split() {
+        let s = spec("avazu-app").scaled(10_000, 100);
+        let (train_ds, _) = generate(&s, 3);
+        let v = vsplit(&train_ds);
+        let total = train_ds.cat.as_ref().unwrap().fields();
+        let fa = v.party_a.cat.as_ref().unwrap().fields();
+        let fb = v.party_b.cat.as_ref().unwrap().fields();
+        assert_eq!(fa + fb, total);
+        // Vocabularies are rebased per party.
+        let va = v.party_a.cat.as_ref().unwrap().vocab();
+        let vb = v.party_b.cat.as_ref().unwrap().vocab();
+        assert_eq!(va + vb, train_ds.cat.as_ref().unwrap().vocab());
+    }
+
+    #[test]
+    fn dense_split() {
+        let s = spec("higgs").scaled(50_000, 1);
+        let (train_ds, _) = generate(&s, 4);
+        let v = vsplit(&train_ds);
+        assert_eq!(v.party_a.num_dim(), 14);
+        assert_eq!(v.party_b.num_dim(), 14);
+    }
+}

@@ -1,0 +1,319 @@
+//! Data synthesis with planted cross-party signal.
+
+use bf_ml::data::{Dataset, Labels};
+use bf_tensor::{CatBlock, Csr, Dense, Features};
+use rand::Rng;
+use rand::SeedableRng;
+
+use crate::catalog::{DatasetSpec, Shape};
+
+/// Generate `(train, test)` collocated datasets for a spec.
+///
+/// The planted model draws a weight per feature (and a latent effect
+/// per categorical value); labels are sampled from the resulting
+/// logits with moderate noise, so linear models reach strong-but-not-
+/// perfect metrics and extra features (Party A's half) always help.
+pub fn generate(spec: &DatasetSpec, seed: u64) -> (Dataset, Dataset) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let planted = Planted::new(&mut rng, spec);
+    let train = synth_rows(&mut rng, spec, &planted, spec.train_rows);
+    let test = synth_rows(&mut rng, spec, &planted, spec.test_rows);
+    (train, test)
+}
+
+/// The hidden ground-truth model.
+struct Planted {
+    /// Per-numerical-feature weight, one column per class (binary uses
+    /// a single column).
+    w_num: Dense,
+    /// Per-categorical-value effect (vocab × classes'), empty when the
+    /// spec has no categorical fields.
+    w_cat: Dense,
+    /// Logit sharpness.
+    gain: f64,
+}
+
+impl Planted {
+    fn new<R: Rng + ?Sized>(rng: &mut R, spec: &DatasetSpec) -> Self {
+        let out = if spec.classes == 2 { 1 } else { spec.classes };
+        let features = spec.shape.features();
+        let w_num = bf_tensor::init::gaussian(rng, features, out, 1.0);
+        let vocab_total: u32 = match &spec.shape {
+            Shape::Tabular { vocabs, .. } => vocabs.iter().sum(),
+            _ => 0,
+        };
+        // Categorical effects are a secondary signal (weight 0.3) so the
+        // numerical-only GLMs of the evaluation still reach strong
+        // metrics, while WDL/DLRM gain from the embeddings.
+        let w_cat = bf_tensor::init::gaussian(rng, vocab_total as usize, out, 0.3);
+        // Sparse rows have ~avg_nnz active weights; normalise the logit
+        // variance so labels are neither pure noise nor deterministic.
+        // Image labels are set directly by the prototype sampler.
+        // Many-class tasks need a sharper signal for the argmax to be
+        // learnable at laptop-scale row counts.
+        let class_boost = if spec.classes > 3 { 2.0 } else { 1.0 };
+        let gain = match spec.shape {
+            Shape::Image { .. } => 1.0,
+            _ => 3.0 * class_boost / (spec.shape.avg_nnz() as f64).sqrt(),
+        };
+        Self { w_num, w_cat, gain }
+    }
+}
+
+fn synth_rows<R: Rng + ?Sized>(
+    rng: &mut R,
+    spec: &DatasetSpec,
+    planted: &Planted,
+    rows: usize,
+) -> Dataset {
+    let out = planted.w_num.cols();
+    let mut logits = Dense::zeros(rows, out);
+
+    // Numerical part.
+    let num: Features = match &spec.shape {
+        Shape::Sparse { features, avg_nnz } | Shape::Tabular { features, avg_nnz, .. } => {
+            let x = sparse_rows(rng, rows, *features, *avg_nnz);
+            accumulate_logits(&mut logits, &x.matmul_dense(&planted.w_num));
+            Features::Sparse(x)
+        }
+        Shape::Dense { features } => {
+            let x = bf_tensor::init::gaussian(rng, rows, *features, 1.0);
+            accumulate_logits(&mut logits, &x.matmul(&planted.w_num));
+            Features::Dense(x)
+        }
+        Shape::Image { h, w } => {
+            let x = image_rows(rng, rows, *h, *w, spec.classes, &mut logits);
+            Features::Dense(x)
+        }
+    };
+
+    // Categorical part.
+    let cat = match &spec.shape {
+        Shape::Tabular { vocabs, .. } => {
+            let cb = cat_rows(rng, rows, vocabs);
+            // Latent effect per looked-up value.
+            for r in 0..rows {
+                for &g in cb.row(r) {
+                    for j in 0..out {
+                        let cur = logits.get(r, j);
+                        logits.set(r, j, cur + planted.w_cat.get(g as usize, j));
+                    }
+                }
+            }
+            Some(cb)
+        }
+        _ => None,
+    };
+
+    // Labels from noisy logits.
+    let labels = if spec.classes == 2 {
+        let y = (0..rows)
+            .map(|r| {
+                let p = bf_ml::layers::sigmoid(logits.get(r, 0) * planted.gain);
+                if rng.random::<f64>() < p {
+                    1.0
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        Labels::Binary(y)
+    } else {
+        let y = (0..rows)
+            .map(|r| {
+                // Softmax sample with temperature 1/gain.
+                let row = logits.row(r);
+                let max = row.iter().fold(f64::NEG_INFINITY, |m, &v| m.max(v * planted.gain));
+                let exps: Vec<f64> = row.iter().map(|&v| (v * planted.gain - max).exp()).collect();
+                let total: f64 = exps.iter().sum();
+                let mut t = rng.random::<f64>() * total;
+                let mut cls = 0u32;
+                for (j, &e) in exps.iter().enumerate() {
+                    if t < e {
+                        cls = j as u32;
+                        break;
+                    }
+                    t -= e;
+                }
+                cls
+            })
+            .collect();
+        Labels::Multi { classes: spec.classes, y }
+    };
+
+    Dataset { num: Some(num), cat, labels: Some(labels) }
+}
+
+fn accumulate_logits(logits: &mut Dense, contrib: &Dense) {
+    logits.add_assign(contrib);
+}
+
+/// Sparse binary rows shaped like real one-hot/hashed data: the feature
+/// space is partitioned into `avg_nnz` fields and each row activates at
+/// most one (skewed) value per field. Popular values recur across rows,
+/// so a linear model generalises; the skew keeps a long tail, so the
+/// batch support stays much smaller than the dimensionality (the
+/// property the sparse protocol exploits).
+fn sparse_rows<R: Rng + ?Sized>(rng: &mut R, rows: usize, features: usize, avg_nnz: usize) -> Csr {
+    let nfields = avg_nnz.min(features);
+    let width = features / nfields;
+    let mut triplets = Vec::with_capacity(rows * nfields);
+    for r in 0..rows {
+        for f in 0..nfields {
+            // ~8% missing values so nnz varies per row.
+            if rng.random::<f64>() < 0.08 {
+                continue;
+            }
+            let base = f * width;
+            let w = if f == nfields - 1 { features - base } else { width };
+            // Skewed within-field choice (power transform).
+            let u: f64 = rng.random::<f64>().max(1e-12);
+            let v = ((w as f64).powf(u) - 1.0) as usize;
+            triplets.push((r, (base + v.min(w - 1)) as u32, 1.0));
+        }
+    }
+    Csr::from_triplets(rows, features, triplets)
+}
+
+/// Categorical rows with skewed per-field value popularity.
+fn cat_rows<R: Rng + ?Sized>(rng: &mut R, rows: usize, vocabs: &[u32]) -> CatBlock {
+    let fields = vocabs.len();
+    let mut local = Vec::with_capacity(rows * fields);
+    for _ in 0..rows {
+        for &v in vocabs {
+            let u: f64 = rng.random::<f64>().max(1e-12);
+            let idx = ((v as f64).powf(u) - 1.0) as u32;
+            local.push(idx.min(v - 1));
+        }
+    }
+    CatBlock::from_local(rows, vocabs, local)
+}
+
+/// Image-like rows: class prototypes + pixel noise; fills `logits` with
+/// a near-one-hot signal so the downstream label sampler mostly picks
+/// the prototype class (≈12% label noise caps the achievable accuracy,
+/// like the real fmnist task).
+///
+/// The vertical split gives Party A the *first* half of the pixels
+/// (the paper splits each image into two 14×28 sub-figures). To give
+/// Party A's half genuine marginal value — the Figure 15 gap — two
+/// pairs of classes share their second-half prototype, so the label
+/// owner's half alone cannot tell those pairs apart.
+fn image_rows<R: Rng + ?Sized>(
+    rng: &mut R,
+    rows: usize,
+    h: usize,
+    w: usize,
+    classes: usize,
+    logits: &mut Dense,
+) -> Dense {
+    let d = h * w;
+    let half = d / 2;
+    // Fixed prototypes per class (fixed child seed so train and test
+    // share them).
+    let mut proto_rng = rand::rngs::StdRng::seed_from_u64(0xF00D);
+    let mut protos: Vec<Dense> =
+        (0..classes).map(|_| bf_tensor::init::gaussian(&mut proto_rng, 1, d, 1.0)).collect();
+    // Classes 1 and 3 copy the second half of classes 0 and 2.
+    for (dup, src) in [(1usize, 0usize), (3, 2)] {
+        if dup < classes && src < classes {
+            let shared: Vec<f64> = protos[src].data()[half..].to_vec();
+            protos[dup].data_mut()[half..].copy_from_slice(&shared);
+        }
+    }
+    let mut x = Dense::zeros(rows, d);
+    for r in 0..rows {
+        let cls = rng.random_range(0..classes);
+        let noise = bf_tensor::init::gaussian(rng, 1, d, 1.2);
+        for c in 0..d {
+            x.set(r, c, protos[cls].get(0, c) + noise.get(0, c));
+        }
+        // ~12% label noise via the softmax sampler.
+        logits.set(r, cls, (0.88f64 * (classes - 1) as f64 / 0.12).ln());
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::spec;
+    use bf_ml::models::GlmModel;
+    use bf_ml::train::{train, TrainConfig};
+
+    #[test]
+    fn shapes_match_spec() {
+        let s = spec("a9a").scaled(100, 1);
+        let (train_ds, test_ds) = generate(&s, 1);
+        assert_eq!(train_ds.rows(), s.train_rows);
+        assert_eq!(test_ds.rows(), s.test_rows);
+        assert_eq!(train_ds.num_dim(), 123);
+        assert!(train_ds.cat.is_some());
+        let f = train_ds.num.as_ref().unwrap();
+        assert!(f.is_sparse());
+    }
+
+    #[test]
+    fn sparsity_close_to_spec() {
+        let s = spec("w8a").scaled(100, 1);
+        let (train_ds, _) = generate(&s, 2);
+        let f = train_ds.num.as_ref().unwrap();
+        let avg_nnz = f.nnz() as f64 / train_ds.rows() as f64;
+        assert!((avg_nnz - 12.0).abs() < 4.0, "avg_nnz={avg_nnz}");
+    }
+
+    #[test]
+    fn labels_are_balanced_enough() {
+        let s = spec("a9a").scaled(100, 1);
+        let (train_ds, _) = generate(&s, 3);
+        let y = train_ds.labels.as_ref().unwrap().as_binary();
+        let pos = y.iter().filter(|&&v| v > 0.5).count() as f64 / y.len() as f64;
+        assert!(pos > 0.2 && pos < 0.8, "pos rate {pos}");
+    }
+
+    #[test]
+    fn planted_signal_is_learnable() {
+        let s = spec("a9a").scaled(50, 1);
+        let (train_ds, test_ds) = generate(&s, 4);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut m = GlmModel::new(&mut rng, train_ds.num_dim(), 1);
+        let cfg = TrainConfig { epochs: 6, ..Default::default() };
+        let report = train(&mut m, &train_ds, &test_ds, &cfg);
+        assert!(report.test_metric > 0.75, "auc={}", report.test_metric);
+    }
+
+    #[test]
+    fn multiclass_generation() {
+        let s = spec("connect-4").scaled(100, 1);
+        let (train_ds, _) = generate(&s, 6);
+        match train_ds.labels.as_ref().unwrap() {
+            Labels::Multi { classes, y } => {
+                assert_eq!(*classes, 3);
+                assert!(y.iter().any(|&c| c == 0));
+                assert!(y.iter().any(|&c| c == 2));
+            }
+            _ => panic!("expected multi-class"),
+        }
+    }
+
+    #[test]
+    fn image_generation_learnable_by_prototype_distance() {
+        let s = spec("fmnist").scaled(200, 1);
+        let (train_ds, test_ds) = generate(&s, 7);
+        assert_eq!(train_ds.num_dim(), 784);
+        // Same prototypes in train and test: an MLR should beat chance easily.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let mut m = GlmModel::new(&mut rng, 784, 10);
+        let cfg = TrainConfig { epochs: 4, ..Default::default() };
+        let report = train(&mut m, &train_ds, &test_ds, &cfg);
+        assert!(report.test_metric > 0.5, "acc={}", report.test_metric);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let s = spec("a9a").scaled(200, 1);
+        let (a, _) = generate(&s, 9);
+        let (b, _) = generate(&s, 9);
+        assert_eq!(a.labels.as_ref().unwrap().as_binary(), b.labels.as_ref().unwrap().as_binary());
+    }
+}

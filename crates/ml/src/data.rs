@@ -1,0 +1,197 @@
+//! Dataset containers and mini-batch iteration.
+
+use bf_tensor::{CatBlock, Features};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Classification labels: binary (`f64 ∈ {0,1}`) or multi-class.
+#[derive(Clone, Debug)]
+pub enum Labels {
+    /// Binary labels.
+    Binary(Vec<f64>),
+    /// Class indices with the number of classes.
+    Multi { classes: usize, y: Vec<u32> },
+}
+
+impl Labels {
+    /// Number of labelled instances.
+    pub fn len(&self) -> usize {
+        match self {
+            Labels::Binary(v) => v.len(),
+            Labels::Multi { y, .. } => y.len(),
+        }
+    }
+
+    /// Empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of model outputs (1 for binary, C for multi-class).
+    pub fn out_dim(&self) -> usize {
+        match self {
+            Labels::Binary(_) => 1,
+            Labels::Multi { classes, .. } => *classes,
+        }
+    }
+
+    /// Gather a batch of labels.
+    pub fn select(&self, idx: &[usize]) -> Labels {
+        match self {
+            Labels::Binary(v) => Labels::Binary(idx.iter().map(|&i| v[i]).collect()),
+            Labels::Multi { classes, y } => {
+                Labels::Multi { classes: *classes, y: idx.iter().map(|&i| y[i]).collect() }
+            }
+        }
+    }
+
+    /// Binary labels as a slice (panics for multi-class).
+    pub fn as_binary(&self) -> &[f64] {
+        match self {
+            Labels::Binary(v) => v,
+            _ => panic!("expected binary labels"),
+        }
+    }
+
+    /// Multi-class labels as a slice (panics for binary).
+    pub fn as_multi(&self) -> &[u32] {
+        match self {
+            Labels::Multi { y, .. } => y,
+            _ => panic!("expected multi-class labels"),
+        }
+    }
+}
+
+/// A (possibly single-party view of a) dataset: numerical features,
+/// optional categorical features, optional labels.
+///
+/// Under the VFL split, Party A's view has `labels = None`; Party B's
+/// view has the labels. A collocated dataset has everything.
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    /// Numerical features (dense or sparse). `None` for purely
+    /// categorical datasets.
+    pub num: Option<Features>,
+    /// Categorical features. `None` for purely numerical datasets.
+    pub cat: Option<CatBlock>,
+    /// Labels, if this view owns them.
+    pub labels: Option<Labels>,
+}
+
+impl Dataset {
+    /// Number of instances.
+    pub fn rows(&self) -> usize {
+        if let Some(n) = &self.num {
+            return n.rows();
+        }
+        if let Some(c) = &self.cat {
+            return c.rows();
+        }
+        0
+    }
+
+    /// Numerical dimensionality (0 when absent).
+    pub fn num_dim(&self) -> usize {
+        self.num.as_ref().map_or(0, |f| f.cols())
+    }
+
+    /// Gather a mini-batch view.
+    pub fn select(&self, idx: &[usize]) -> Dataset {
+        Dataset {
+            num: self.num.as_ref().map(|f| f.select_rows(idx)),
+            cat: self.cat.as_ref().map(|c| c.select_rows(idx)),
+            labels: self.labels.as_ref().map(|l| l.select(idx)),
+        }
+    }
+}
+
+/// Deterministic shuffled mini-batch index iterator.
+///
+/// Both parties construct the same `BatchIter` from a shared seed, so
+/// their batch schedules agree without exchanging indices — mirroring
+/// the PSI-aligned instance ordering the paper assumes.
+#[derive(Clone, Debug)]
+pub struct BatchIter {
+    order: Vec<usize>,
+    batch: usize,
+    pos: usize,
+}
+
+impl BatchIter {
+    /// A shuffled pass over `n` instances in batches of `batch`
+    /// (the final short batch is dropped, as mini-batch SGD usually
+    /// does).
+    pub fn new(n: usize, batch: usize, seed: u64) -> Self {
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        order.shuffle(&mut rng);
+        Self { order, batch, pos: 0 }
+    }
+
+    /// Sequential (unshuffled) batches, e.g. for evaluation.
+    pub fn sequential(n: usize, batch: usize) -> Self {
+        Self { order: (0..n).collect(), batch, pos: 0 }
+    }
+
+    /// Number of full batches in a pass.
+    pub fn batches_per_epoch(&self) -> usize {
+        self.order.len() / self.batch
+    }
+}
+
+impl Iterator for BatchIter {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Vec<usize>> {
+        if self.pos + self.batch > self.order.len() {
+            return None;
+        }
+        let out = self.order[self.pos..self.pos + self.batch].to_vec();
+        self.pos += self.batch;
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bf_tensor::Dense;
+
+    #[test]
+    fn batch_iter_is_deterministic_partition() {
+        let a: Vec<Vec<usize>> = BatchIter::new(10, 3, 7).collect();
+        let b: Vec<Vec<usize>> = BatchIter::new(10, 3, 7).collect();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3); // drops the short batch
+        let mut seen: Vec<usize> = a.concat();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 9);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a: Vec<Vec<usize>> = BatchIter::new(100, 10, 1).collect();
+        let b: Vec<Vec<usize>> = BatchIter::new(100, 10, 2).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn dataset_select_views() {
+        let x = Dense::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let ds = Dataset {
+            num: Some(Features::Dense(x)),
+            cat: None,
+            labels: Some(Labels::Binary(vec![0.0, 1.0, 1.0])),
+        };
+        let b = ds.select(&[2, 0]);
+        assert_eq!(b.rows(), 2);
+        assert_eq!(b.labels.unwrap().as_binary(), &[1.0, 0.0]);
+    }
+
+    #[test]
+    fn labels_out_dim() {
+        assert_eq!(Labels::Binary(vec![0.0]).out_dim(), 1);
+        assert_eq!(Labels::Multi { classes: 5, y: vec![0] }.out_dim(), 5);
+    }
+}

@@ -1,0 +1,26 @@
+//! A minimal neural-network stack for blindfl-rs.
+//!
+//! Provides the plaintext substrate the paper builds on top of PyTorch:
+//! layers with explicit forward/backward, momentum SGD, classification
+//! losses, AUC/accuracy metrics, a mini-batch loader, and the five model
+//! families of the evaluation (LR, MLR, MLP, WDL, DLRM) in
+//! *collocated* (non-federated) form. The federated variants in the
+//! `blindfl` crate swap the first layer for a federated source layer
+//! and reuse everything else here as the (local) top model.
+
+#![allow(clippy::needless_range_loop)] // index-parallel numeric loops
+pub mod data;
+pub mod layers;
+pub mod loss;
+pub mod metrics;
+pub mod models;
+pub mod optim;
+pub mod train;
+
+pub use data::{BatchIter, Dataset, Labels};
+pub use layers::{ActKind, Activation, Embedding, Linear, LinearF, Mlp};
+pub use loss::{bce_with_logits, softmax_ce};
+pub use metrics::{accuracy_binary, accuracy_multiclass, auc};
+pub use models::{DlrmModel, GlmModel, MlpModel, Model, WdlModel};
+pub use optim::Sgd;
+pub use train::{evaluate, train, TrainConfig, TrainReport};

@@ -1,0 +1,110 @@
+//! Classification losses with analytic gradients w.r.t. logits.
+
+use bf_tensor::Dense;
+
+use crate::layers::sigmoid;
+
+/// Binary cross-entropy with logits.
+///
+/// `logits` is `(bs × 1)`, `y ∈ {0,1}`. Returns the mean loss and the
+/// gradient `∂L/∂z = (σ(z) − y)/bs`.
+pub fn bce_with_logits(logits: &Dense, y: &[f64]) -> (f64, Dense) {
+    assert_eq!(logits.cols(), 1, "bce expects single-logit output");
+    assert_eq!(logits.rows(), y.len(), "bce label count mismatch");
+    let bs = y.len() as f64;
+    let mut loss = 0.0;
+    let mut grad = Dense::zeros(logits.rows(), 1);
+    for i in 0..logits.rows() {
+        let z = logits.get(i, 0);
+        let t = y[i];
+        // log(1 + e^{-|z|}) + max(z,0) - z·t is the stable form.
+        loss += (1.0 + (-z.abs()).exp()).ln() + z.max(0.0) - z * t;
+        grad.set(i, 0, (sigmoid(z) - t) / bs);
+    }
+    (loss / bs, grad)
+}
+
+/// Softmax cross-entropy for multi-class labels.
+///
+/// `logits` is `(bs × C)`, `y[i] ∈ 0..C`. Returns the mean loss and
+/// `∂L/∂z = (softmax(z) − onehot(y))/bs`.
+pub fn softmax_ce(logits: &Dense, y: &[u32]) -> (f64, Dense) {
+    assert_eq!(logits.rows(), y.len(), "softmax label count mismatch");
+    let bs = y.len() as f64;
+    let c = logits.cols();
+    let mut loss = 0.0;
+    let mut grad = Dense::zeros(logits.rows(), c);
+    for i in 0..logits.rows() {
+        let row = logits.row(i);
+        let max = row.iter().fold(f64::NEG_INFINITY, |m, &v| m.max(v));
+        let exp: Vec<f64> = row.iter().map(|&v| (v - max).exp()).collect();
+        let sum: f64 = exp.iter().sum();
+        let t = y[i] as usize;
+        assert!(t < c, "label out of range");
+        loss += -(exp[t] / sum).ln();
+        let grow = grad.row_mut(i);
+        for (j, e) in exp.iter().enumerate() {
+            grow[j] = (e / sum - if j == t { 1.0 } else { 0.0 }) / bs;
+        }
+    }
+    (loss / bs, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bce_known_values() {
+        let z = Dense::from_vec(2, 1, vec![0.0, 0.0]);
+        let (loss, grad) = bce_with_logits(&z, &[1.0, 0.0]);
+        assert!((loss - (2.0f64).ln()).abs() < 1e-12);
+        assert!((grad.get(0, 0) + 0.25).abs() < 1e-12);
+        assert!((grad.get(1, 0) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bce_gradient_finite_difference() {
+        let z0 = 0.37;
+        let eps = 1e-6;
+        let lp = bce_with_logits(&Dense::from_vec(1, 1, vec![z0 + eps]), &[1.0]).0;
+        let lm = bce_with_logits(&Dense::from_vec(1, 1, vec![z0 - eps]), &[1.0]).0;
+        let g = bce_with_logits(&Dense::from_vec(1, 1, vec![z0]), &[1.0]).1;
+        assert!(((lp - lm) / (2.0 * eps) - g.get(0, 0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bce_stable_for_large_logits() {
+        let z = Dense::from_vec(2, 1, vec![500.0, -500.0]);
+        let (loss, _) = bce_with_logits(&z, &[1.0, 0.0]);
+        assert!(loss.is_finite());
+        assert!(loss < 1e-6);
+    }
+
+    #[test]
+    fn softmax_uniform_logits() {
+        let z = Dense::zeros(1, 4);
+        let (loss, grad) = softmax_ce(&z, &[2]);
+        assert!((loss - (4.0f64).ln()).abs() < 1e-12);
+        assert!((grad.get(0, 2) + 0.75).abs() < 1e-12);
+        assert!((grad.get(0, 0) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn softmax_gradient_rows_sum_to_zero() {
+        let z = Dense::from_vec(2, 3, vec![1.0, -2.0, 0.5, 3.0, 0.0, -1.0]);
+        let (_, grad) = softmax_ce(&z, &[0, 2]);
+        for i in 0..2 {
+            let s: f64 = grad.row(i).iter().sum();
+            assert!(s.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn softmax_stable_for_large_logits() {
+        let z = Dense::from_vec(1, 2, vec![1000.0, -1000.0]);
+        let (loss, grad) = softmax_ce(&z, &[0]);
+        assert!(loss.is_finite() && loss < 1e-9);
+        assert!(grad.data().iter().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,122 @@
+//! Evaluation metrics: ROC-AUC and accuracy (binary and multi-class) —
+//! the metrics the paper reports in Figures 9, 10, 12 and 15.
+
+use bf_tensor::Dense;
+
+/// ROC-AUC of `scores` against binary `labels` (exact rank statistic,
+/// tie-aware: ties contribute 1/2).
+pub fn auc(scores: &[f64], labels: &[f64]) -> f64 {
+    assert_eq!(scores.len(), labels.len());
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).unwrap());
+    // Assign average ranks over tie groups.
+    let mut ranks = vec![0.0f64; scores.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && scores[order[j + 1]] == scores[order[i]] {
+            j += 1;
+        }
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &o in &order[i..=j] {
+            ranks[o] = avg;
+        }
+        i = j + 1;
+    }
+    let pos = labels.iter().filter(|&&l| l > 0.5).count() as f64;
+    let neg = labels.len() as f64 - pos;
+    if pos == 0.0 || neg == 0.0 {
+        return 0.5;
+    }
+    let rank_sum: f64 = labels
+        .iter()
+        .zip(&ranks)
+        .filter(|(&l, _)| l > 0.5)
+        .map(|(_, &r)| r)
+        .sum();
+    (rank_sum - pos * (pos + 1.0) / 2.0) / (pos * neg)
+}
+
+/// Binary accuracy at threshold 0 on logits (or 0.5 on probabilities —
+/// pass the matching `threshold`).
+pub fn accuracy_binary(scores: &[f64], labels: &[f64], threshold: f64) -> f64 {
+    assert_eq!(scores.len(), labels.len());
+    if scores.is_empty() {
+        return 0.0;
+    }
+    let correct = scores
+        .iter()
+        .zip(labels)
+        .filter(|(&s, &l)| (s > threshold) == (l > 0.5))
+        .count();
+    correct as f64 / scores.len() as f64
+}
+
+/// Multi-class accuracy from a logit matrix (`bs × C`).
+pub fn accuracy_multiclass(logits: &Dense, labels: &[u32]) -> f64 {
+    assert_eq!(logits.rows(), labels.len());
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let mut correct = 0;
+    for (i, &t) in labels.iter().enumerate() {
+        let row = logits.row(i);
+        let pred = row
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(j, _)| j)
+            .unwrap();
+        if pred == t as usize {
+            correct += 1;
+        }
+    }
+    correct as f64 / labels.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auc_perfect_separation() {
+        let scores = [0.1, 0.2, 0.8, 0.9];
+        let labels = [0.0, 0.0, 1.0, 1.0];
+        assert!((auc(&scores, &labels) - 1.0).abs() < 1e-12);
+        let rev = [1.0, 1.0, 0.0, 0.0];
+        assert!(auc(&scores, &rev).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_random_is_half() {
+        let scores = [0.5, 0.5, 0.5, 0.5];
+        let labels = [0.0, 1.0, 0.0, 1.0];
+        assert!((auc(&scores, &labels) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_known_mixed_case() {
+        // scores: pos {0.8, 0.4}, neg {0.6, 0.2}: pairs won 3/4.
+        let scores = [0.8, 0.4, 0.6, 0.2];
+        let labels = [1.0, 1.0, 0.0, 0.0];
+        assert!((auc(&scores, &labels) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_single_class_degenerate() {
+        assert_eq!(auc(&[0.1, 0.9], &[1.0, 1.0]), 0.5);
+    }
+
+    #[test]
+    fn binary_accuracy() {
+        let got = accuracy_binary(&[-1.0, 2.0, 0.5, -0.5], &[0.0, 1.0, 0.0, 1.0], 0.0);
+        assert!((got - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multiclass_accuracy() {
+        let logits = Dense::from_vec(3, 3, vec![5.0, 1.0, 0.0, 0.0, 2.0, 1.0, 0.0, 0.0, 9.0]);
+        assert!((accuracy_multiclass(&logits, &[0, 1, 2]) - 1.0).abs() < 1e-12);
+        assert!((accuracy_multiclass(&logits, &[1, 1, 1]) - 1.0 / 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,100 @@
+//! HE ↔ SS conversion — the paper's Algorithm 1 and Algorithm 2.
+//!
+//! `HE2SS` turns a ciphertext `⟦v⟧` (held by the party *without* the
+//! secret key) into an additive sharing `⟨φ, v − φ⟩`: the holder
+//! subtracts a random mask homomorphically and ships the result to the
+//! key owner for decryption. `SS2HE` turns a sharing into ciphertexts
+//! of `v` under each party's key via one exchange of encrypted pieces.
+
+use bf_paillier::{CtMat, Obfuscator, PublicKey, SecretKey};
+use bf_tensor::Dense;
+use rand::Rng;
+
+use crate::shares::random_mask;
+use crate::transport::{Endpoint, Msg};
+
+/// Algorithm 1, holder side: given `⟦v⟧` under the *peer's* key,
+/// generate a mask `φ`, send `⟦v − φ⟧` to the peer, and return `φ`.
+pub fn he2ss_holder<R: Rng + ?Sized>(
+    ep: &Endpoint,
+    peer_pk: &PublicKey,
+    ct: &CtMat,
+    mask: f64,
+    rng: &mut R,
+) -> Dense {
+    let phi = random_mask(rng, ct.rows(), ct.cols(), mask);
+    let masked = peer_pk.sub_plain(ct, &phi);
+    ep.send(Msg::Ct(masked));
+    phi
+}
+
+/// Algorithm 1, key-owner side: receive `⟦v − φ⟧` and decrypt it,
+/// yielding this party's piece `v − φ`.
+pub fn he2ss_peer(ep: &Endpoint, sk: &SecretKey) -> Dense {
+    let ct = ep.recv_ct();
+    sk.decrypt(&ct)
+}
+
+/// Algorithm 2 (symmetric in both parties): given this party's piece
+/// `v_mine` of a sharing of `v`, encrypt and send it under *this
+/// party's own* key, receive the peer's encrypted piece (under the
+/// peer's key), and return `⟦v⟧ = ⟦v_peer⟧ + v_mine` — a ciphertext of
+/// the full value under the **peer's** key.
+pub fn ss2he(
+    ep: &Endpoint,
+    own_pk: &PublicKey,
+    own_obf: &Obfuscator,
+    peer_pk: &PublicKey,
+    v_mine: &Dense,
+) -> CtMat {
+    let enc_mine = own_pk.encrypt(v_mine, own_obf);
+    ep.send(Msg::Ct(enc_mine));
+    let enc_peer = ep.recv_ct();
+    peer_pk.add_plain(&enc_peer, v_mine)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::channel_pair;
+    use bf_paillier::{keygen, ObfMode};
+    use bf_tensor::Dense;
+    use rand::SeedableRng;
+
+    #[test]
+    fn he2ss_reconstructs() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let (pk_b, sk_b) = keygen(256, 24, &mut rng);
+        let obf_b = Obfuscator::new(&pk_b, ObfMode::Pool(4), 1);
+        let v = Dense::from_vec(2, 2, vec![1.25, -3.5, 0.0, 42.0]);
+        // B encrypts v under its key; A holds ⟦v⟧_B.
+        let ct = pk_b.encrypt(&v, &obf_b);
+        let (ep_a, ep_b) = channel_pair();
+        let phi = he2ss_holder(&ep_a, &pk_b, &ct, 100.0, &mut rng);
+        let piece_b = he2ss_peer(&ep_b, &sk_b);
+        assert!(phi.add(&piece_b).approx_eq(&v, 1e-5));
+    }
+
+    #[test]
+    fn ss2he_reconstructs_under_both_keys() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        let (pk_a, sk_a) = keygen(192, 20, &mut rng);
+        let (pk_b, sk_b) = keygen(192, 20, &mut rng);
+        let obf_a = Obfuscator::new(&pk_a, ObfMode::Pool(4), 2);
+        let obf_b = Obfuscator::new(&pk_b, ObfMode::Pool(4), 3);
+        let v = Dense::from_vec(1, 3, vec![5.0, -1.5, 2.25]);
+        let (piece_a, piece_b) = crate::shares::share_dense(&mut rng, &v, 10.0);
+
+        let (ep_a, ep_b) = channel_pair();
+        let pk_a2 = pk_a.clone();
+        let pk_b2 = pk_b.clone();
+        let pa = piece_a.clone();
+        let handle = std::thread::spawn(move || ss2he(&ep_a, &pk_a2, &obf_a, &pk_b2, &pa));
+        let ct_under_a = ss2he(&ep_b, &pk_b, &obf_b, &pk_a, &piece_b);
+        let ct_under_b = handle.join().unwrap();
+
+        // A's output decrypts under B's key; B's under A's key.
+        assert!(sk_b.decrypt(&ct_under_b).approx_eq(&v, 1e-5));
+        assert!(sk_a.decrypt(&ct_under_a).approx_eq(&v, 1e-5));
+    }
+}

@@ -1,0 +1,23 @@
+//! Two-party MPC primitives for BlindFL.
+//!
+//! * [`transport`] — the "network": paired in-process duplex channels
+//!   with full byte/message accounting, so the harnesses can report
+//!   communication volume alongside wall-clock time.
+//! * [`shares`] — two-party additive secret sharing of `f64` tensors
+//!   (the representation the paper's `FederatedParameter`s use; see
+//!   Figure 11 for the magnitude convention).
+//! * [`convert`] — the paper's Algorithm 1 (`HE2SS`) and Algorithm 2
+//!   (`SS2HE`), the glue between the Paillier and secret-sharing
+//!   domains.
+//! * [`beaver`] — Beaver matmul triplets (trusted-dealer / client-aided
+//!   and HE-assisted generation) powering the SecureML baseline.
+
+#![allow(clippy::too_many_arguments)] // protocol functions mirror the paper's parameter lists
+pub mod beaver;
+pub mod convert;
+pub mod shares;
+pub mod transport;
+
+pub use convert::{he2ss_holder, he2ss_peer, ss2he};
+pub use shares::{reconstruct, share_dense};
+pub use transport::{channel_pair, channel_pair_with_network, Endpoint, Msg, NetworkProfile, TrafficStats};

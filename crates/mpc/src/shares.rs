@@ -1,0 +1,72 @@
+//! Two-party additive secret sharing of `f64` tensors.
+//!
+//! A value `v` is split as `v = s1 + s2` with `s1` uniform in
+//! `[-mask, mask]`. As in the paper's implementation (and visible in
+//! its Figure 11), pieces are floating-point tensors whose masks are
+//! orders of magnitude larger than the hidden values — statistical
+//! hiding sized so that reconstruction keeps ≈10 significant decimal
+//! digits.
+
+use bf_tensor::Dense;
+use rand::Rng;
+
+/// Default mask magnitude for model-weight shares. Figure 11 of the
+/// paper shows share pieces spanning roughly ±50 against weights of
+/// ±1; we default somewhat larger.
+pub const DEFAULT_MASK: f64 = 100.0;
+
+/// Split `v` into `(piece_kept, piece_sent)` with the kept piece drawn
+/// uniformly from `[-mask, mask]`.
+pub fn share_dense<R: Rng + ?Sized>(rng: &mut R, v: &Dense, mask: f64) -> (Dense, Dense) {
+    let rand_piece = random_mask(rng, v.rows(), v.cols(), mask);
+    let other = v.sub(&rand_piece);
+    (rand_piece, other)
+}
+
+/// A uniform random tensor in `[-mask, mask]` (the `φ`/`ε`/`ρ` masks of
+/// Figures 6 and 7).
+pub fn random_mask<R: Rng + ?Sized>(rng: &mut R, rows: usize, cols: usize, mask: f64) -> Dense {
+    let data = (0..rows * cols)
+        .map(|_| (rng.random::<f64>() * 2.0 - 1.0) * mask)
+        .collect();
+    Dense::from_vec(rows, cols, data)
+}
+
+/// Reconstruct a shared value.
+pub fn reconstruct(s1: &Dense, s2: &Dense) -> Dense {
+    s1.add(s2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn share_reconstructs() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let v = Dense::from_vec(2, 3, vec![1.5, -2.0, 0.0, 3.25, -0.5, 10.0]);
+        let (s1, s2) = share_dense(&mut rng, &v, DEFAULT_MASK);
+        assert!(reconstruct(&s1, &s2).approx_eq(&v, 1e-10));
+    }
+
+    #[test]
+    fn pieces_hide_the_value() {
+        // The kept piece must be independent of the secret: same RNG
+        // stream, different secrets, identical first piece.
+        let mut rng1 = rand::rngs::StdRng::seed_from_u64(7);
+        let mut rng2 = rand::rngs::StdRng::seed_from_u64(7);
+        let a = Dense::from_vec(1, 4, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Dense::from_vec(1, 4, vec![-9.0, 0.0, 5.5, 100.0]);
+        let (p1a, _) = share_dense(&mut rng1, &a, 50.0);
+        let (p1b, _) = share_dense(&mut rng2, &b, 50.0);
+        assert!(p1a.approx_eq(&p1b, 0.0));
+    }
+
+    #[test]
+    fn mask_bounds_respected() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let m = random_mask(&mut rng, 20, 20, 5.0);
+        assert!(m.max_abs() <= 5.0);
+    }
+}

@@ -1,0 +1,859 @@
+//! [`CtMat`] — the paper's *CryptoTensor*: a matrix of Paillier
+//! ciphertexts with dense and sparse homomorphic kernels.
+//!
+//! Ciphertexts are stored flat in Montgomery form (`k` limbs each), so
+//! homomorphic addition is one `mont_mul` and scalar multiplication is a
+//! short-exponent `pow_mont`. Negative fixed-point scalars are handled
+//! by accumulating positive and negative partial products separately and
+//! resolving the negatives with one batched modular inversion per output
+//! row (Montgomery's trick), instead of a full-width exponentiation per
+//! entry.
+
+use bf_bigint::{batch_mod_inv, BigUint};
+use bf_tensor::{CatBlock, Dense, Features};
+use bf_util::par_map;
+
+use crate::codec;
+use crate::keys::{PaillierPk, PublicKey, SecretKey};
+use crate::obf::Obfuscator;
+
+/// A matrix of ciphertexts (or the Plain backend's `f64`s).
+#[derive(Clone, Debug)]
+pub struct CtMat {
+    rows: usize,
+    cols: usize,
+    /// Fixed-point scale in multiples of `frac_bits` (1 = fresh
+    /// encryption, 2 = plain×cipher product).
+    scale: u8,
+    body: Body,
+}
+
+#[derive(Clone, Debug)]
+enum Body {
+    /// Flat Montgomery-form limbs: entry `(i, j)` occupies
+    /// `limbs[(i*cols + j)*k .. +k]`.
+    Enc { k: usize, limbs: Vec<u64> },
+    /// Plain backend.
+    Plain(Vec<f64>),
+}
+
+impl CtMat {
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Fixed-point scale multiplier (1 or 2).
+    pub fn scale(&self) -> u8 {
+        self.scale
+    }
+
+    /// Serialized size in bytes (for transport accounting).
+    pub fn wire_size(&self) -> usize {
+        16 + match &self.body {
+            Body::Enc { limbs, .. } => limbs.len() * 8,
+            Body::Plain(v) => v.len() * 8,
+        }
+    }
+
+    /// True if this is a Plain-backend matrix.
+    pub fn is_plain(&self) -> bool {
+        matches!(self.body, Body::Plain(_))
+    }
+
+    fn entry(&self, k: usize, i: usize, j: usize) -> &[u64] {
+        let Body::Enc { limbs, .. } = &self.body else { unreachable!() };
+        let off = (i * self.cols + j) * k;
+        &limbs[off..off + k]
+    }
+
+    /// Transposed copy (pure index permutation — no homomorphic work).
+    pub fn transpose(&self) -> CtMat {
+        let body = match &self.body {
+            Body::Enc { k, limbs } => {
+                let k = *k;
+                let mut out = vec![0u64; limbs.len()];
+                for i in 0..self.rows {
+                    for j in 0..self.cols {
+                        let src = (i * self.cols + j) * k;
+                        let dst = (j * self.rows + i) * k;
+                        out[dst..dst + k].copy_from_slice(&limbs[src..src + k]);
+                    }
+                }
+                Body::Enc { k, limbs: out }
+            }
+            Body::Plain(v) => {
+                let mut out = vec![0.0; v.len()];
+                for i in 0..self.rows {
+                    for j in 0..self.cols {
+                        out[j * self.rows + i] = v[i * self.cols + j];
+                    }
+                }
+                Body::Plain(out)
+            }
+        };
+        CtMat { rows: self.cols, cols: self.rows, scale: self.scale, body }
+    }
+
+    /// Gather a subset of rows.
+    pub fn select_rows(&self, rows: &[usize]) -> CtMat {
+        let body = match &self.body {
+            Body::Enc { k, limbs } => {
+                let stride = self.cols * k;
+                let mut out = Vec::with_capacity(rows.len() * stride);
+                for &r in rows {
+                    out.extend_from_slice(&limbs[r * stride..(r + 1) * stride]);
+                }
+                Body::Enc { k: *k, limbs: out }
+            }
+            Body::Plain(v) => {
+                let mut out = Vec::with_capacity(rows.len() * self.cols);
+                for &r in rows {
+                    out.extend_from_slice(&v[r * self.cols..(r + 1) * self.cols]);
+                }
+                Body::Plain(out)
+            }
+        };
+        CtMat { rows: rows.len(), cols: self.cols, scale: self.scale, body }
+    }
+}
+
+/// Quantise to `frac_bits` fractional bits (what encryption would do),
+/// so the Plain backend reproduces fixed-point rounding.
+fn quantize(v: f64, frac_bits: u32) -> f64 {
+    let s = (frac_bits as f64).exp2();
+    (v * s).round() / s
+}
+
+impl PublicKey {
+    /// Encrypt a dense matrix (scale 1).
+    pub fn encrypt(&self, m: &Dense, obf: &Obfuscator) -> CtMat {
+        match self {
+            PublicKey::Paillier(pk) => {
+                let k = pk.ct_limbs();
+                let n = m.rows() * m.cols();
+                let data = m.data();
+                let per_entry: Vec<Vec<u64>> = par_map(n, |i| {
+                    let enc = codec::encode(data[i], pk.frac_bits, 1, &pk.n);
+                    pk.raw_encrypt(&enc, &obf.next_rn(pk))
+                });
+                CtMat {
+                    rows: m.rows(),
+                    cols: m.cols(),
+                    scale: 1,
+                    body: Body::Enc { k, limbs: flatten(per_entry, k) },
+                }
+            }
+            PublicKey::Plain { frac_bits } => CtMat {
+                rows: m.rows(),
+                cols: m.cols(),
+                scale: 1,
+                body: Body::Plain(m.data().iter().map(|&v| quantize(v, *frac_bits)).collect()),
+            },
+        }
+    }
+
+    /// Encrypt a dense matrix at an explicit fixed-point scale (used
+    /// when a fresh encryption must be added to a scale-2 product,
+    /// e.g. `⟦∇Z·V_Aᵀ⟧` in the Embed-MatMul backward pass).
+    pub fn encrypt_at_scale(&self, m: &Dense, scale: u8, obf: &Obfuscator) -> CtMat {
+        match self {
+            PublicKey::Paillier(pk) => {
+                let k = pk.ct_limbs();
+                let n = m.rows() * m.cols();
+                let data = m.data();
+                let per_entry: Vec<Vec<u64>> = par_map(n, |i| {
+                    let enc = codec::encode(data[i], pk.frac_bits, scale, &pk.n);
+                    pk.raw_encrypt(&enc, &obf.next_rn(pk))
+                });
+                CtMat {
+                    rows: m.rows(),
+                    cols: m.cols(),
+                    scale,
+                    body: Body::Enc { k, limbs: flatten(per_entry, k) },
+                }
+            }
+            PublicKey::Plain { frac_bits } => CtMat {
+                rows: m.rows(),
+                cols: m.cols(),
+                scale,
+                body: Body::Plain(m.data().iter().map(|&v| quantize(v, *frac_bits)).collect()),
+            },
+        }
+    }
+
+    /// A deterministic matrix of `⟦0⟧` accumulator seeds (scale 2),
+    /// used by `lkup_bw` scatter accumulation.
+    fn zeros_ct(&self, rows: usize, cols: usize, scale: u8) -> CtMat {
+        match self {
+            PublicKey::Paillier(pk) => {
+                let k = pk.ct_limbs();
+                let one = pk.mont.one_mont(); // ⟦0⟧ = g^0 = 1
+                let mut limbs = Vec::with_capacity(rows * cols * k);
+                for _ in 0..rows * cols {
+                    limbs.extend_from_slice(&one);
+                }
+                CtMat { rows, cols, scale, body: Body::Enc { k, limbs } }
+            }
+            PublicKey::Plain { .. } => {
+                CtMat { rows, cols, scale, body: Body::Plain(vec![0.0; rows * cols]) }
+            }
+        }
+    }
+
+    /// Homomorphic elementwise sum (scales must match).
+    pub fn add(&self, a: &CtMat, b: &CtMat) -> CtMat {
+        assert_eq!(a.shape(), b.shape(), "ct add shape mismatch");
+        assert_eq!(a.scale, b.scale, "ct add scale mismatch");
+        match (self, &a.body, &b.body) {
+            (PublicKey::Paillier(pk), Body::Enc { k, .. }, Body::Enc { .. }) => {
+                let k = *k;
+                let n = a.rows * a.cols;
+                let per: Vec<Vec<u64>> =
+                    par_map(n, |i| pk.mont.mont_mul(a.entry(k, i / a.cols, i % a.cols), b.entry(k, i / b.cols, i % b.cols)));
+                CtMat { rows: a.rows, cols: a.cols, scale: a.scale, body: Body::Enc { k, limbs: flatten(per, k) } }
+            }
+            (PublicKey::Plain { .. }, Body::Plain(va), Body::Plain(vb)) => CtMat {
+                rows: a.rows,
+                cols: a.cols,
+                scale: a.scale,
+                body: Body::Plain(va.iter().zip(vb).map(|(x, y)| x + y).collect()),
+            },
+            _ => panic!("ct add backend mismatch"),
+        }
+    }
+
+    /// Homomorphic `ct + plain` (plain encoded at the ciphertext's
+    /// scale; no fresh randomness — privacy is inherited from `ct`).
+    pub fn add_plain(&self, a: &CtMat, p: &Dense) -> CtMat {
+        assert_eq!(a.shape(), p.shape(), "add_plain shape mismatch");
+        match (self, &a.body) {
+            (PublicKey::Paillier(pk), Body::Enc { k, .. }) => {
+                let k = *k;
+                let n = a.rows * a.cols;
+                let data = p.data();
+                let per: Vec<Vec<u64>> = par_map(n, |i| {
+                    let m = codec::encode(data[i], pk.frac_bits, a.scale, &pk.n);
+                    let g = pk.raw_encrypt_deterministic(&m);
+                    pk.mont.mont_mul(a.entry(k, i / a.cols, i % a.cols), &g)
+                });
+                CtMat { rows: a.rows, cols: a.cols, scale: a.scale, body: Body::Enc { k, limbs: flatten(per, k) } }
+            }
+            (PublicKey::Plain { .. }, Body::Plain(v)) => CtMat {
+                rows: a.rows,
+                cols: a.cols,
+                scale: a.scale,
+                body: Body::Plain(v.iter().zip(p.data()).map(|(x, y)| x + y).collect()),
+            },
+            _ => panic!("add_plain backend mismatch"),
+        }
+    }
+
+    /// Homomorphic `ct - plain`.
+    pub fn sub_plain(&self, a: &CtMat, p: &Dense) -> CtMat {
+        self.add_plain(a, &p.scale(-1.0))
+    }
+
+    /// `X · ⟦W⟧` — plaintext features times an encrypted weight matrix
+    /// (scale 1 → scale 2). Sparse `X` touches only its non-zeros.
+    pub fn matmul(&self, x: &Features, w: &CtMat) -> CtMat {
+        assert_eq!(x.cols(), w.rows, "matmul shape mismatch");
+        assert_eq!(w.scale, 1, "matmul expects a scale-1 weight ciphertext");
+        match (self, &w.body) {
+            (PublicKey::Paillier(pk), Body::Enc { k, .. }) => {
+                let k = *k;
+                let out_cols = w.cols;
+                let rows: Vec<Vec<u64>> = par_map(x.rows(), |i| {
+                    let mut pos = vec![pk.mont.one_mont(); out_cols];
+                    let mut neg: Vec<Option<Vec<u64>>> = vec![None; out_cols];
+                    for_each_nonzero(x, i, |c, v| {
+                        let e = codec::encode_exponent(v, pk.frac_bits);
+                        if e.is_zero() {
+                            return;
+                        }
+                        for j in 0..out_cols {
+                            let p = pk.mont.pow_mont(w.entry(k, c, j), &e.mag);
+                            accumulate(pk, &mut pos[j], &mut neg[j], p, e.neg);
+                        }
+                    });
+                    resolve_row(pk, pos, neg, k)
+                });
+                CtMat {
+                    rows: x.rows(),
+                    cols: out_cols,
+                    scale: 2,
+                    body: Body::Enc { k, limbs: rows.concat() },
+                }
+            }
+            (PublicKey::Plain { frac_bits }, Body::Plain(wv)) => {
+                let wd = Dense::from_vec(w.rows, w.cols, wv.clone());
+                let xq = quantize_features(x, *frac_bits);
+                CtMat {
+                    rows: x.rows(),
+                    cols: w.cols,
+                    scale: 2,
+                    body: Body::Plain(xq.matmul(&wd).data().to_vec()),
+                }
+            }
+            _ => panic!("matmul backend mismatch"),
+        }
+    }
+
+    /// `Xᵀ · ⟦G⟧` restricted to the feature rows in `support` (sorted
+    /// global column indices of `X`): output row `s` is
+    /// `Σ_i X[i, support[s]] · G[i, ·]`.
+    ///
+    /// This is the sparse gradient projection `∇W = Xᵀ∇Z`; for sparse
+    /// `X` the protocol only ever materialises the batch's support rows.
+    pub fn t_matmul_support(&self, x: &Features, g: &CtMat, support: &[u32]) -> CtMat {
+        assert_eq!(x.rows(), g.rows, "t_matmul shape mismatch");
+        assert_eq!(g.scale, 1, "t_matmul expects a scale-1 ciphertext");
+        // Build per-support-row coefficient lists (i, value).
+        let pos_of: std::collections::HashMap<u32, usize> =
+            support.iter().enumerate().map(|(p, &c)| (c, p)).collect();
+        let mut coeffs: Vec<Vec<(usize, f64)>> = vec![Vec::new(); support.len()];
+        for i in 0..x.rows() {
+            for_each_nonzero(x, i, |c, v| {
+                if let Some(&p) = pos_of.get(&(c as u32)) {
+                    coeffs[p].push((i, v));
+                }
+            });
+        }
+        match (self, &g.body) {
+            (PublicKey::Paillier(pk), Body::Enc { k, .. }) => {
+                let k = *k;
+                let out_cols = g.cols;
+                let rows: Vec<Vec<u64>> = par_map(support.len(), |s| {
+                    let mut pos = vec![pk.mont.one_mont(); out_cols];
+                    let mut neg: Vec<Option<Vec<u64>>> = vec![None; out_cols];
+                    for &(i, v) in &coeffs[s] {
+                        let e = codec::encode_exponent(v, pk.frac_bits);
+                        if e.is_zero() {
+                            continue;
+                        }
+                        for j in 0..out_cols {
+                            let p = pk.mont.pow_mont(g.entry(k, i, j), &e.mag);
+                            accumulate(pk, &mut pos[j], &mut neg[j], p, e.neg);
+                        }
+                    }
+                    resolve_row(pk, pos, neg, k)
+                });
+                CtMat {
+                    rows: support.len(),
+                    cols: g.cols,
+                    scale: 2,
+                    body: Body::Enc { k, limbs: rows.concat() },
+                }
+            }
+            (PublicKey::Plain { frac_bits }, Body::Plain(gv)) => {
+                let gd = Dense::from_vec(g.rows, g.cols, gv.clone());
+                let mut out = Dense::zeros(support.len(), g.cols);
+                for (s, list) in coeffs.iter().enumerate() {
+                    for &(i, v) in list {
+                        let vq = quantize(v, *frac_bits);
+                        let orow = out.row_mut(s);
+                        for (o, &gval) in orow.iter_mut().zip(gd.row(i)) {
+                            *o += vq * gval;
+                        }
+                    }
+                }
+                CtMat { rows: support.len(), cols: g.cols, scale: 2, body: Body::Plain(out.data().to_vec()) }
+            }
+            _ => panic!("t_matmul backend mismatch"),
+        }
+    }
+
+    /// `⟦G⟧ · Wᵀ` — encrypted activations times a plaintext weight
+    /// transpose: output `(i, e) = Σ_j G[i,j]·W[e,j]` (scale 1 → 2).
+    /// Used for `⟦∇E⟧ = ⟦∇Z⟧·Uᵀ` in the Embed-MatMul backward pass.
+    pub fn matmul_ct_wt(&self, g: &CtMat, w: &Dense) -> CtMat {
+        assert_eq!(g.cols, w.cols(), "matmul_ct_wt shape mismatch");
+        assert_eq!(g.scale, 1, "matmul_ct_wt expects a scale-1 ciphertext");
+        match (self, &g.body) {
+            (PublicKey::Paillier(pk), Body::Enc { k, .. }) => {
+                let k = *k;
+                let out_cols = w.rows();
+                let rows: Vec<Vec<u64>> = par_map(g.rows, |i| {
+                    let mut pos = vec![pk.mont.one_mont(); out_cols];
+                    let mut neg: Vec<Option<Vec<u64>>> = vec![None; out_cols];
+                    for j in 0..g.cols {
+                        let ct = g.entry(k, i, j);
+                        for e_idx in 0..out_cols {
+                            let e = codec::encode_exponent(w.get(e_idx, j), pk.frac_bits);
+                            if e.is_zero() {
+                                continue;
+                            }
+                            let p = pk.mont.pow_mont(ct, &e.mag);
+                            accumulate(pk, &mut pos[e_idx], &mut neg[e_idx], p, e.neg);
+                        }
+                    }
+                    resolve_row(pk, pos, neg, k)
+                });
+                CtMat { rows: g.rows, cols: out_cols, scale: 2, body: Body::Enc { k, limbs: rows.concat() } }
+            }
+            (PublicKey::Plain { frac_bits }, Body::Plain(gv)) => {
+                let gd = Dense::from_vec(g.rows, g.cols, gv.clone());
+                let wq = Dense::from_vec(
+                    w.rows(),
+                    w.cols(),
+                    w.data().iter().map(|&v| quantize(v, *frac_bits)).collect(),
+                );
+                CtMat {
+                    rows: g.rows,
+                    cols: w.rows(),
+                    scale: 2,
+                    body: Body::Plain(gd.matmul_t(&wq).data().to_vec()),
+                }
+            }
+            _ => panic!("matmul_ct_wt backend mismatch"),
+        }
+    }
+
+    /// Embedding lookup over an encrypted table: gathers, for each
+    /// instance, the table rows of its categorical indices and
+    /// concatenates them (`rows × fields·dim`). Pure data movement — the
+    /// indices never leave their owner.
+    pub fn lkup(&self, table: &CtMat, x: &CatBlock) -> CtMat {
+        assert_eq!(table.rows, x.vocab(), "lkup vocab mismatch");
+        let dim = table.cols;
+        let fields = x.fields();
+        match &table.body {
+            Body::Enc { k, limbs } => {
+                let k = *k;
+                let stride = dim * k;
+                let mut out = Vec::with_capacity(x.rows() * fields * stride);
+                for r in 0..x.rows() {
+                    for &g in x.row(r) {
+                        let off = g as usize * stride;
+                        out.extend_from_slice(&limbs[off..off + stride]);
+                    }
+                }
+                CtMat {
+                    rows: x.rows(),
+                    cols: fields * dim,
+                    scale: table.scale,
+                    body: Body::Enc { k, limbs: out },
+                }
+            }
+            Body::Plain(v) => {
+                let mut out = Vec::with_capacity(x.rows() * fields * dim);
+                for r in 0..x.rows() {
+                    for &g in x.row(r) {
+                        let off = g as usize * dim;
+                        out.extend_from_slice(&v[off..off + dim]);
+                    }
+                }
+                CtMat { rows: x.rows(), cols: fields * dim, scale: table.scale, body: Body::Plain(out) }
+            }
+        }
+    }
+
+    /// Embedding backward over encrypted derivatives: scatter-adds each
+    /// instance-field slice of `⟦∇E⟧` into the touched table rows.
+    /// Output row `s` is `Σ_{(r,f): X[r,f]=support[s]} ∇E[r, f·dim..]`
+    /// — only the batch-support rows are materialised (sparse).
+    pub fn lkup_bw(&self, grad_e: &CtMat, x: &CatBlock, support: &[u32], dim: usize) -> CtMat {
+        assert_eq!(grad_e.cols, x.fields() * dim, "lkup_bw shape mismatch");
+        assert_eq!(grad_e.rows, x.rows(), "lkup_bw row mismatch");
+        // Per-support hit lists.
+        let pos_of: std::collections::HashMap<u32, usize> =
+            support.iter().enumerate().map(|(p, &c)| (c, p)).collect();
+        let mut hits: Vec<Vec<(usize, usize)>> = vec![Vec::new(); support.len()];
+        for r in 0..x.rows() {
+            for (f, &g) in x.row(r).iter().enumerate() {
+                if let Some(&p) = pos_of.get(&g) {
+                    hits[p].push((r, f));
+                }
+            }
+        }
+        let mut out = self.zeros_ct(support.len(), dim, grad_e.scale);
+        match (self, &mut out.body, &grad_e.body) {
+            (PublicKey::Paillier(pk), Body::Enc { k, limbs }, Body::Enc { .. }) => {
+                let k = *k;
+                let rows: Vec<Vec<u64>> = par_map(support.len(), |s| {
+                    let mut acc = vec![pk.mont.one_mont(); dim];
+                    for &(r, f) in &hits[s] {
+                        #[allow(clippy::needless_range_loop)]
+                        for d in 0..dim {
+                            let ct = grad_e.entry(k, r, f * dim + d);
+                            acc[d] = pk.mont.mont_mul(&acc[d], ct);
+                        }
+                    }
+                    acc.concat()
+                });
+                *limbs = rows.concat();
+            }
+            (PublicKey::Plain { .. }, Body::Plain(ov), Body::Plain(gv)) => {
+                for (s, list) in hits.iter().enumerate() {
+                    for &(r, f) in list {
+                        for d in 0..dim {
+                            ov[s * dim + d] += gv[r * grad_e.cols + f * dim + d];
+                        }
+                    }
+                }
+            }
+            _ => panic!("lkup_bw backend mismatch"),
+        }
+        out
+    }
+
+    /// Homomorphically add `delta`'s rows into the given rows of a
+    /// cached ciphertext (the `Recv and Update ⟦V⟧` steps of Figures 6
+    /// and 7). Scales must match.
+    pub fn rows_add_assign(&self, cache: &mut CtMat, rows: &[usize], delta: &CtMat) {
+        assert_eq!(rows.len(), delta.rows, "rows_add_assign row mismatch");
+        assert_eq!(cache.cols, delta.cols, "rows_add_assign col mismatch");
+        assert_eq!(cache.scale, delta.scale, "rows_add_assign scale mismatch");
+        match (self, &mut cache.body, &delta.body) {
+            (PublicKey::Paillier(pk), Body::Enc { k, limbs }, Body::Enc { .. }) => {
+                let k = *k;
+                let stride = cache.cols * k;
+                for (d, &r) in rows.iter().enumerate() {
+                    for j in 0..cache.cols {
+                        let prod = {
+                            let cur = &limbs[r * stride + j * k..r * stride + (j + 1) * k];
+                            pk.mont.mont_mul(cur, delta.entry(k, d, j))
+                        };
+                        limbs[r * stride + j * k..r * stride + (j + 1) * k].copy_from_slice(&prod);
+                    }
+                }
+            }
+            (PublicKey::Plain { .. }, Body::Plain(cv), Body::Plain(dv)) => {
+                for (d, &r) in rows.iter().enumerate() {
+                    for j in 0..cache.cols {
+                        cv[r * cache.cols + j] += dv[d * cache.cols + j];
+                    }
+                }
+            }
+            _ => panic!("rows_add_assign backend mismatch"),
+        }
+    }
+}
+
+impl SecretKey {
+    /// Decrypt to a dense matrix, rescaling by the ciphertext's
+    /// fixed-point scale.
+    pub fn decrypt(&self, ct: &CtMat) -> Dense {
+        match (self, &ct.body) {
+            (SecretKey::Paillier(sk), Body::Enc { k, .. }) => {
+                let pk = sk.pk();
+                let n = ct.rows * ct.cols;
+                let k = *k;
+                let vals: Vec<f64> = par_map(n, |i| {
+                    let m = sk.raw_decrypt(ct.entry(k, i / ct.cols, i % ct.cols));
+                    codec::decode(&m, pk.frac_bits, ct.scale, &pk.n, &pk.half_n)
+                });
+                Dense::from_vec(ct.rows, ct.cols, vals)
+            }
+            (SecretKey::Plain, Body::Plain(v)) => Dense::from_vec(ct.rows, ct.cols, v.clone()),
+            _ => panic!("decrypt backend mismatch"),
+        }
+    }
+}
+
+#[allow(clippy::needless_range_loop)]
+/// (index-parallel accumulator loops above)
+/// Iterate the non-zeros of row `i` of a feature block.
+fn for_each_nonzero(x: &Features, i: usize, mut f: impl FnMut(usize, f64)) {
+    match x {
+        Features::Dense(d) => {
+            for (c, &v) in d.row(i).iter().enumerate() {
+                if v != 0.0 {
+                    f(c, v);
+                }
+            }
+        }
+        Features::Sparse(s) => {
+            let (idx, vals) = s.row(i);
+            for (&c, &v) in idx.iter().zip(vals) {
+                f(c as usize, v);
+            }
+        }
+    }
+}
+
+fn quantize_features(x: &Features, frac_bits: u32) -> Dense {
+    let d = x.to_dense();
+    d.map(|v| quantize(v, frac_bits))
+}
+
+/// Fold a signed partial product into the positive/negative accumulators.
+fn accumulate(
+    pk: &PaillierPk,
+    pos: &mut Vec<u64>,
+    neg: &mut Option<Vec<u64>>,
+    p: Vec<u64>,
+    is_neg: bool,
+) {
+    if is_neg {
+        *neg = Some(match neg.take() {
+            Some(cur) => pk.mont.mont_mul(&cur, &p),
+            None => p,
+        });
+    } else {
+        *pos = pk.mont.mont_mul(pos, &p);
+    }
+}
+
+/// Resolve a row of accumulators: `pos · neg^{-1}` with one batched
+/// inversion for the whole row; returns the row's flat limbs.
+fn resolve_row(
+    pk: &PaillierPk,
+    pos: Vec<Vec<u64>>,
+    neg: Vec<Option<Vec<u64>>>,
+    _k: usize,
+) -> Vec<u64> {
+    let need: Vec<usize> =
+        neg.iter().enumerate().filter_map(|(j, n)| n.as_ref().map(|_| j)).collect();
+    if need.is_empty() {
+        return pos.concat();
+    }
+    let values: Vec<BigUint> = need
+        .iter()
+        .map(|&j| pk.mont.from_mont(neg[j].as_ref().unwrap()))
+        .collect();
+    let invs = batch_mod_inv(&values, &pk.n2);
+    let mut out = pos;
+    for (&j, inv) in need.iter().zip(&invs) {
+        let inv_mont = pk.mont.to_mont(inv);
+        out[j] = pk.mont.mont_mul(&out[j], &inv_mont);
+    }
+    out.concat()
+}
+
+fn flatten(per: Vec<Vec<u64>>, _k: usize) -> Vec<u64> {
+    per.concat()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::{keygen, plain_keys};
+    use crate::{ObfMode, Obfuscator};
+    use bf_tensor::Csr;
+    use rand::SeedableRng;
+
+    fn setup() -> (PublicKey, SecretKey, Obfuscator) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        let (pk, sk) = keygen(256, 20, &mut rng);
+        let obf = Obfuscator::new(&pk, ObfMode::Pool(8), 5);
+        (pk, sk, obf)
+    }
+
+    fn dense(rows: usize, cols: usize, seed: u64) -> Dense {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        bf_tensor::init::uniform(&mut rng, rows, cols, 3.0)
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip() {
+        let (pk, sk, obf) = setup();
+        let m = dense(3, 4, 1);
+        let ct = pk.encrypt(&m, &obf);
+        assert_eq!(ct.scale(), 1);
+        assert!(sk.decrypt(&ct).approx_eq(&m, 1e-5));
+    }
+
+    #[test]
+    fn homomorphic_add_and_plain_ops() {
+        let (pk, sk, obf) = setup();
+        let a = dense(2, 3, 2);
+        let b = dense(2, 3, 3);
+        let ca = pk.encrypt(&a, &obf);
+        let cb = pk.encrypt(&b, &obf);
+        assert!(sk.decrypt(&pk.add(&ca, &cb)).approx_eq(&a.add(&b), 1e-5));
+        assert!(sk.decrypt(&pk.add_plain(&ca, &b)).approx_eq(&a.add(&b), 1e-5));
+        assert!(sk.decrypt(&pk.sub_plain(&ca, &b)).approx_eq(&a.sub(&b), 1e-5));
+    }
+
+    #[test]
+    fn matmul_dense_matches_plaintext() {
+        let (pk, sk, obf) = setup();
+        let x = dense(4, 3, 4);
+        let w = dense(3, 2, 5);
+        let cw = pk.encrypt(&w, &obf);
+        let cz = pk.matmul(&Features::Dense(x.clone()), &cw);
+        assert_eq!(cz.scale(), 2);
+        assert!(sk.decrypt(&cz).approx_eq(&x.matmul(&w), 1e-4));
+    }
+
+    #[test]
+    fn matmul_sparse_matches_plaintext() {
+        let (pk, sk, obf) = setup();
+        let mut xd = dense(5, 6, 6);
+        // Zero out most entries.
+        for (i, v) in xd.data_mut().iter_mut().enumerate() {
+            if i % 3 != 0 {
+                *v = 0.0;
+            }
+        }
+        let x = Csr::from_dense(&xd);
+        let w = dense(6, 2, 7);
+        let cw = pk.encrypt(&w, &obf);
+        let cz = pk.matmul(&Features::Sparse(x), &cw);
+        assert!(sk.decrypt(&cz).approx_eq(&xd.matmul(&w), 1e-4));
+    }
+
+    #[test]
+    fn t_matmul_support_matches_plaintext() {
+        let (pk, sk, obf) = setup();
+        let mut xd = dense(4, 5, 8);
+        for (i, v) in xd.data_mut().iter_mut().enumerate() {
+            if i % 2 == 0 {
+                *v = 0.0;
+            }
+        }
+        let x = Csr::from_dense(&xd);
+        let support = x.col_support();
+        let g = dense(4, 3, 9);
+        let cg = pk.encrypt(&g, &obf);
+        let cgrad = pk.t_matmul_support(&Features::Sparse(x), &cg, &support);
+        let full = xd.t_matmul(&g);
+        let want = full.select_rows(&support.iter().map(|&c| c as usize).collect::<Vec<_>>());
+        assert!(sk.decrypt(&cgrad).approx_eq(&want, 1e-4));
+    }
+
+    #[test]
+    fn matmul_ct_wt_matches_plaintext() {
+        let (pk, sk, obf) = setup();
+        let g = dense(3, 4, 10);
+        let w = dense(5, 4, 11);
+        let cg = pk.encrypt(&g, &obf);
+        let out = pk.matmul_ct_wt(&cg, &w);
+        assert!(sk.decrypt(&out).approx_eq(&g.matmul_t(&w), 1e-4));
+    }
+
+    #[test]
+    fn lkup_and_lkup_bw_roundtrip() {
+        let (pk, sk, obf) = setup();
+        let table = dense(6, 2, 12); // vocab 6, dim 2
+        let x = CatBlock::from_local(3, &[3, 3], vec![0, 2, 1, 0, 2, 2]);
+        let ct = pk.encrypt(&table, &obf);
+        let e = pk.lkup(&ct, &x);
+        assert_eq!(e.shape(), (3, 4));
+        // Expected plaintext lookup.
+        let mut want = Dense::zeros(3, 4);
+        for r in 0..3 {
+            for (f, &g) in x.row(r).iter().enumerate() {
+                for d in 0..2 {
+                    want.set(r, f * 2 + d, table.get(g as usize, d));
+                }
+            }
+        }
+        assert!(sk.decrypt(&e).approx_eq(&want, 1e-5));
+
+        // lkup_bw: scatter a gradient back; compare against a dense
+        // scatter-add reference.
+        let grad_e = dense(3, 4, 13);
+        let cge = pk.encrypt(&grad_e, &obf);
+        let support = x.support();
+        let gq = pk.lkup_bw(&cge, &x, &support, 2);
+        let mut want_q = Dense::zeros(support.len(), 2);
+        for r in 0..3 {
+            for (f, &g) in x.row(r).iter().enumerate() {
+                let s = support.binary_search(&g).unwrap();
+                for d in 0..2 {
+                    let cur = want_q.get(s, d);
+                    want_q.set(s, d, cur + grad_e.get(r, f * 2 + d));
+                }
+            }
+        }
+        assert!(sk.decrypt(&gq).approx_eq(&want_q, 1e-4));
+    }
+
+    #[test]
+    fn rows_add_assign_updates_cache() {
+        let (pk, sk, obf) = setup();
+        let v = dense(4, 2, 14);
+        let delta = dense(2, 2, 15);
+        let mut cache = pk.encrypt(&v, &obf);
+        let cdelta = pk.encrypt(&delta, &obf);
+        pk.rows_add_assign(&mut cache, &[1, 3], &cdelta);
+        let got = sk.decrypt(&cache);
+        let mut want = v.clone();
+        for (d, &r) in [1usize, 3].iter().enumerate() {
+            for j in 0..2 {
+                let cur = want.get(r, j);
+                want.set(r, j, cur + delta.get(d, j));
+            }
+        }
+        assert!(got.approx_eq(&want, 1e-5));
+    }
+
+    #[test]
+    fn select_rows_gathers() {
+        let (pk, sk, obf) = setup();
+        let m = dense(4, 3, 16);
+        let ct = pk.encrypt(&m, &obf);
+        let sel = ct.select_rows(&[2, 0]);
+        assert!(sk.decrypt(&sel).approx_eq(&m.select_rows(&[2, 0]), 1e-5));
+    }
+
+    #[test]
+    fn plain_backend_mirrors_paillier() {
+        let (pk, sk) = plain_keys(20);
+        let obf = Obfuscator::new(&pk, ObfMode::Pool(2), 0);
+        let x = dense(4, 3, 17);
+        let w = dense(3, 2, 18);
+        let cw = pk.encrypt(&w, &obf);
+        let cz = pk.matmul(&Features::Dense(x.clone()), &cw);
+        assert!(sk.decrypt(&cz).approx_eq(&x.matmul(&w), 1e-4));
+        let g = dense(4, 2, 19);
+        let cg = pk.encrypt(&g, &obf);
+        let support: Vec<u32> = (0..3).collect();
+        let grad = pk.t_matmul_support(&Features::Dense(x.clone()), &cg, &support);
+        assert!(sk.decrypt(&grad).approx_eq(&x.t_matmul(&g), 1e-4));
+    }
+
+    #[test]
+    fn transpose_roundtrip_and_decrypt() {
+        let (pk, sk, obf) = setup();
+        let m = dense(3, 5, 21);
+        let ct = pk.encrypt(&m, &obf);
+        let t = ct.transpose();
+        assert_eq!(t.shape(), (5, 3));
+        assert!(sk.decrypt(&t).approx_eq(&m.transpose(), 1e-5));
+        assert!(sk.decrypt(&t.transpose()).approx_eq(&m, 1e-5));
+    }
+
+    #[test]
+    fn encrypt_at_scale_two_adds_with_products() {
+        let (pk, sk, obf) = setup();
+        let x = dense(2, 3, 22);
+        let w = dense(3, 2, 23);
+        let cw = pk.encrypt(&w, &obf);
+        let prod = pk.matmul(&Features::Dense(x.clone()), &cw); // scale 2
+        let extra = dense(2, 2, 24);
+        let cextra = pk.encrypt_at_scale(&extra, 2, &obf);
+        let sum = pk.add(&prod, &cextra);
+        assert!(sk.decrypt(&sum).approx_eq(&x.matmul(&w).add(&extra), 1e-4));
+    }
+
+    #[test]
+    fn matmul_with_transposed_ct() {
+        // G·⟦W⟧ᵀ via matmul(Features, ⟦W⟧.transpose()): the ∇Z·V_Bᵀ path.
+        let (pk, sk, obf) = setup();
+        let g = dense(3, 2, 25); // bs × out
+        let v = dense(4, 2, 26); // d_e × out
+        let cv = pk.encrypt(&v, &obf);
+        let out = pk.matmul(&Features::Dense(g.clone()), &cv.transpose());
+        assert!(sk.decrypt(&out).approx_eq(&g.matmul_t(&v), 1e-4));
+    }
+
+    #[test]
+    fn wire_size_positive() {
+        let (pk, _, obf) = setup();
+        let ct = pk.encrypt(&dense(2, 2, 20), &obf);
+        assert!(ct.wire_size() > 4 * 8);
+    }
+}

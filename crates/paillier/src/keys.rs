@@ -1,0 +1,341 @@
+//! Paillier key generation, encryption, and CRT decryption, plus the
+//! `Plain` testing backend.
+
+use std::sync::Arc;
+
+use bf_bigint::{gen_prime, mod_inv, modular::lcm, BigUint, MontCtx};
+use rand::Rng;
+
+use crate::codec;
+
+/// Paillier public parameters plus precomputed Montgomery context for
+/// `n^2`. Shared via `Arc` inside [`PublicKey`].
+#[derive(Clone, Debug)]
+pub struct PaillierPk {
+    /// Modulus `n = p·q`.
+    pub n: BigUint,
+    /// `n^2` (ciphertext modulus).
+    pub n2: BigUint,
+    /// Montgomery context mod `n^2` — ciphertexts live in this domain.
+    pub mont: MontCtx,
+    /// `n/2`, the positive/negative decoding threshold.
+    pub half_n: BigUint,
+    /// Fixed-point fractional bits.
+    pub frac_bits: u32,
+    /// Modulus size in bits.
+    pub key_bits: usize,
+}
+
+impl PaillierPk {
+    /// Limbs per ciphertext (the width of the `n^2` Montgomery domain).
+    pub fn ct_limbs(&self) -> usize {
+        self.mont.limb_count()
+    }
+
+    /// Raw Paillier encryption of a ring element `m ∈ Z_n` with the
+    /// supplied obfuscation `r^n` (Montgomery form). Returns the
+    /// ciphertext in Montgomery form.
+    ///
+    /// Uses the `g = n+1` optimisation: `g^m = 1 + m·n (mod n^2)`, one
+    /// multiplication instead of an exponentiation.
+    pub fn raw_encrypt(&self, m: &BigUint, rn_mont: &[u64]) -> Vec<u64> {
+        let gm = BigUint::one().add(&m.mul(&self.n)); // < n^2 since m < n
+        let gm_mont = self.mont.to_mont(&gm);
+        self.mont.mont_mul(&gm_mont, rn_mont)
+    }
+
+    /// Deterministic (obfuscation-free) encryption of a ring element.
+    /// Only valid where the result's privacy is inherited from other
+    /// ciphertexts it is combined with (e.g. `⟦v⟧ - φ` in HE2SS) or
+    /// where the value is an accumulator seed (`⟦0⟧` in `lkup_bw`).
+    pub fn raw_encrypt_deterministic(&self, m: &BigUint) -> Vec<u64> {
+        let gm = BigUint::one().add(&m.mul(&self.n));
+        self.mont.to_mont(&gm)
+    }
+}
+
+/// Paillier secret key with CRT decryption precomputations.
+#[derive(Clone, Debug)]
+pub struct PaillierSk {
+    /// Prime factor `p`.
+    p: BigUint,
+    /// Prime factor `q`.
+    q: BigUint,
+    /// Montgomery context mod `p^2`.
+    mont_p2: MontCtx,
+    /// Montgomery context mod `q^2`.
+    mont_q2: MontCtx,
+    /// `Lp((n+1)^{p-1} mod p^2)^{-1} mod p`.
+    hp: BigUint,
+    /// `Lq((n+1)^{q-1} mod q^2)^{-1} mod q`.
+    hq: BigUint,
+    /// `p^{-1} mod q` for CRT recombination.
+    p_inv_q: BigUint,
+    /// Copy of the public parameters.
+    pk: Arc<PaillierPk>,
+}
+
+impl PaillierSk {
+    /// Decrypt a Montgomery-form ciphertext to a ring element of `Z_n`
+    /// via CRT (decrypting mod `p^2` and `q^2` separately — roughly 4×
+    /// cheaper than the textbook `c^λ mod n^2`).
+    pub fn raw_decrypt(&self, ct_mont: &[u64]) -> BigUint {
+        let c = self.pk.mont.from_mont(ct_mont);
+        let p = &self.p;
+        let q = &self.q;
+        // m_p = Lp(c^{p-1} mod p^2) * hp mod p
+        let cp = c.rem(&self.mont_p2.m);
+        let xp = self.mont_p2.pow(&cp, &p.sub_u64(1));
+        let lp = xp.sub_u64(1).div_rem(p).0;
+        let mp = lp.mod_mul(&self.hp, p);
+        // m_q symmetric
+        let cq = c.rem(&self.mont_q2.m);
+        let xq = self.mont_q2.pow(&cq, &q.sub_u64(1));
+        let lq = xq.sub_u64(1).div_rem(q).0;
+        let mq = lq.mod_mul(&self.hq, q);
+        // Garner: m = mp + p * ((mq - mp) * p^{-1} mod q)
+        let diff = mq.mod_sub(&mp.rem(q), q);
+        let t = diff.mod_mul(&self.p_inv_q, q);
+        mp.add(&p.mul(&t))
+    }
+
+    /// Public parameters associated with this key.
+    pub fn pk(&self) -> &Arc<PaillierPk> {
+        &self.pk
+    }
+
+    /// The prime factors `(p, q)` (used by key serialization; every
+    /// CRT precomputation is derivable from them).
+    pub fn factors(&self) -> (&BigUint, &BigUint) {
+        (&self.p, &self.q)
+    }
+}
+
+/// Rebuild a full secret key (all CRT precomputations) from its prime
+/// factors, validating primality cheaply via the invertibility checks.
+pub(crate) fn rebuild_secret(p: BigUint, q: BigUint, frac_bits: u32) -> Result<PaillierSk, String> {
+    if p.is_even() || q.is_even() || p == q || p.bits() < 16 || q.bits() < 16 {
+        return Err("invalid prime factors".to_string());
+    }
+    let n = p.mul(&q);
+    let n2 = n.sqr();
+    let mont = MontCtx::new(&n2);
+    let half_n = n.shr(1);
+    let key_bits = n.bits();
+    let pk = Arc::new(PaillierPk { n: n.clone(), n2, mont, half_n, frac_bits, key_bits });
+    build_sk(p, q, pk).ok_or_else(|| "factors do not form a valid Paillier key".to_string())
+}
+
+/// Shared CRT setup used by keygen and deserialization.
+fn build_sk(p: BigUint, q: BigUint, pk: Arc<PaillierPk>) -> Option<PaillierSk> {
+    let p2 = p.sqr();
+    let q2 = q.sqr();
+    let mont_p2 = MontCtx::new(&p2);
+    let mont_q2 = MontCtx::new(&q2);
+    let g = pk.n.add_u64(1);
+    let xp = mont_p2.pow(&g.rem(&p2), &p.sub_u64(1));
+    let lp = xp.sub_u64(1).div_rem(&p).0;
+    let hp = mod_inv(&lp, &p)?;
+    let xq = mont_q2.pow(&g.rem(&q2), &q.sub_u64(1));
+    let lq = xq.sub_u64(1).div_rem(&q).0;
+    let hq = mod_inv(&lq, &q)?;
+    let p_inv_q = mod_inv(&p, &q)?;
+    Some(PaillierSk { p, q, mont_p2, mont_q2, hp, hq, p_inv_q, pk })
+}
+
+/// A public key: real Paillier, or the identity `Plain` backend.
+#[derive(Clone, Debug)]
+pub enum PublicKey {
+    /// Real Paillier public parameters.
+    Paillier(Arc<PaillierPk>),
+    /// Identity backend: "ciphertexts" are plaintext `f64`s. For tests
+    /// and the lossless model-quality experiments only.
+    Plain {
+        /// Fixed-point quantisation applied on "encryption", so Plain
+        /// runs reproduce the same quantisation error as real runs.
+        frac_bits: u32,
+    },
+}
+
+impl PublicKey {
+    /// Fixed-point fractional bits of this key.
+    pub fn frac_bits(&self) -> u32 {
+        match self {
+            PublicKey::Paillier(pk) => pk.frac_bits,
+            PublicKey::Plain { frac_bits } => *frac_bits,
+        }
+    }
+
+    /// True for the Plain (identity) backend.
+    pub fn is_plain(&self) -> bool {
+        matches!(self, PublicKey::Plain { .. })
+    }
+}
+
+/// A secret key matching [`PublicKey`].
+#[derive(Clone, Debug)]
+pub enum SecretKey {
+    /// Real Paillier secret key.
+    Paillier(PaillierSk),
+    /// Identity backend.
+    Plain,
+}
+
+impl SecretKey {
+    /// The matching public key.
+    pub fn public(&self) -> PublicKey {
+        match self {
+            SecretKey::Paillier(sk) => PublicKey::Paillier(sk.pk.clone()),
+            SecretKey::Plain => PublicKey::Plain { frac_bits: crate::DEFAULT_FRAC_BITS },
+        }
+    }
+}
+
+/// Generate a Paillier key pair with an `key_bits`-bit modulus.
+pub fn keygen<R: Rng + ?Sized>(key_bits: usize, frac_bits: u32, rng: &mut R) -> (PublicKey, SecretKey) {
+    assert!(key_bits >= 64, "keygen: modulus too small");
+    let half = key_bits / 2;
+    let (p, q) = loop {
+        let p = gen_prime(half, rng);
+        let q = gen_prime(key_bits - half, rng);
+        if p != q {
+            // gcd(pq, (p-1)(q-1)) == 1 holds when p, q are distinct
+            // primes of equal size; verify anyway.
+            let n = p.mul(&q);
+            let lambda = lcm(&p.sub_u64(1), &q.sub_u64(1));
+            if bf_bigint::gcd(&n, &lambda).is_one() {
+                break (p, q);
+            }
+        }
+    };
+    let n = p.mul(&q);
+    let n2 = n.sqr();
+    let mont = MontCtx::new(&n2);
+    let half_n = n.shr(1);
+    let pk = Arc::new(PaillierPk {
+        n: n.clone(),
+        n2,
+        mont,
+        half_n,
+        frac_bits,
+        key_bits,
+    });
+
+    let sk = build_sk(p, q, pk.clone()).expect("fresh primes form a valid key");
+    (PublicKey::Paillier(pk), SecretKey::Paillier(sk))
+}
+
+/// Generate a Plain (identity) "key pair" for fast functional runs.
+pub fn plain_keys(frac_bits: u32) -> (PublicKey, SecretKey) {
+    (PublicKey::Plain { frac_bits }, SecretKey::Plain)
+}
+
+/// Encrypt/decrypt a single scalar — convenience used by tests.
+pub fn encrypt_scalar(pk: &PublicKey, obf: &crate::Obfuscator, v: f64) -> ScalarCt {
+    match pk {
+        PublicKey::Paillier(p) => {
+            let m = codec::encode(v, p.frac_bits, 1, &p.n);
+            ScalarCt::Enc(p.raw_encrypt(&m, &obf.next_rn(p)))
+        }
+        PublicKey::Plain { .. } => ScalarCt::Plain(v),
+    }
+}
+
+/// Decrypt a single scalar.
+pub fn decrypt_scalar(sk: &SecretKey, ct: &ScalarCt) -> f64 {
+    match (sk, ct) {
+        (SecretKey::Paillier(s), ScalarCt::Enc(c)) => {
+            let m = s.raw_decrypt(c);
+            codec::decode(&m, s.pk.frac_bits, 1, &s.pk.n, &s.pk.half_n)
+        }
+        (SecretKey::Plain, ScalarCt::Plain(v)) => *v,
+        _ => panic!("key/ciphertext backend mismatch"),
+    }
+}
+
+/// A single ciphertext (test helper).
+#[derive(Clone, Debug)]
+pub enum ScalarCt {
+    Enc(Vec<u64>),
+    Plain(f64),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ObfMode, Obfuscator};
+    use rand::SeedableRng;
+
+    fn setup() -> (PublicKey, SecretKey, Obfuscator) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        let (pk, sk) = keygen(256, 24, &mut rng);
+        let obf = Obfuscator::new(&pk, ObfMode::Pool(8), 123);
+        (pk, sk, obf)
+    }
+
+    #[test]
+    fn scalar_roundtrip() {
+        let (pk, sk, obf) = setup();
+        for v in [0.0, 1.0, -1.0, 3.75, -123.456, 1e-5] {
+            let ct = encrypt_scalar(&pk, &obf, v);
+            let dec = decrypt_scalar(&sk, &ct);
+            assert!((dec - v).abs() < 1e-6, "v={v} dec={dec}");
+        }
+    }
+
+    #[test]
+    fn ciphertexts_are_randomised() {
+        let (pk, _, obf) = setup();
+        let PublicKey::Paillier(p) = &pk else { unreachable!() };
+        let m = codec::encode(5.0, p.frac_bits, 1, &p.n);
+        let c1 = p.raw_encrypt(&m, &obf.next_rn(p));
+        let c2 = p.raw_encrypt(&m, &obf.next_rn(p));
+        assert_ne!(c1, c2, "two encryptions of the same value must differ");
+    }
+
+    #[test]
+    fn homomorphic_add_of_raw_cts() {
+        let (pk, sk, obf) = setup();
+        let PublicKey::Paillier(p) = &pk else { unreachable!() };
+        let SecretKey::Paillier(s) = &sk else { unreachable!() };
+        let a = codec::encode(2.5, p.frac_bits, 1, &p.n);
+        let b = codec::encode(-1.25, p.frac_bits, 1, &p.n);
+        let ca = p.raw_encrypt(&a, &obf.next_rn(p));
+        let cb = p.raw_encrypt(&b, &obf.next_rn(p));
+        let sum = p.mont.mont_mul(&ca, &cb);
+        let dec = codec::decode(&s.raw_decrypt(&sum), p.frac_bits, 1, &p.n, &p.half_n);
+        assert!((dec - 1.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn scalar_mult_via_pow() {
+        let (pk, sk, obf) = setup();
+        let PublicKey::Paillier(p) = &pk else { unreachable!() };
+        let SecretKey::Paillier(s) = &sk else { unreachable!() };
+        let m = codec::encode(3.0, p.frac_bits, 1, &p.n);
+        let c = p.raw_encrypt(&m, &obf.next_rn(p));
+        // 7 * ⟦3⟧ (integer scalar) = ⟦21⟧
+        let c7 = p.mont.pow_mont(&c, &bf_bigint::BigUint::from_u64(7));
+        let dec = codec::decode(&s.raw_decrypt(&c7), p.frac_bits, 1, &p.n, &p.half_n);
+        assert!((dec - 21.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn plain_backend_roundtrip() {
+        let (pk, sk) = plain_keys(32);
+        let obf = Obfuscator::new(&pk, ObfMode::Pool(2), 1);
+        let ct = encrypt_scalar(&pk, &obf, -9.5);
+        assert_eq!(decrypt_scalar(&sk, &ct), -9.5);
+    }
+
+    #[test]
+    fn deterministic_encrypt_decrypts() {
+        let (pk, sk, _) = setup();
+        let PublicKey::Paillier(p) = &pk else { unreachable!() };
+        let SecretKey::Paillier(s) = &sk else { unreachable!() };
+        let m = codec::encode(-4.5, p.frac_bits, 1, &p.n);
+        let c = p.raw_encrypt_deterministic(&m);
+        let dec = codec::decode(&s.raw_decrypt(&c), p.frac_bits, 1, &p.n, &p.half_n);
+        assert!((dec + 4.5).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,137 @@
+//! Encryption randomness (`r^n mod n^2`) generation.
+//!
+//! Computing a fresh `r^n` is by far the most expensive part of a
+//! Paillier encryption (a full-width exponentiation). Production
+//! deployments — including the GMP-based system the paper describes —
+//! amortise it; we support two strategies:
+//!
+//! * [`ObfMode::Exact`] — a fresh `r^n` per encryption (randomness
+//!   derived from a per-call PRG seed so encryption can be
+//!   data-parallel),
+//! * [`ObfMode::Pool`] — precompute a pool of exact obfuscations in
+//!   parallel at construction, then combine two random pool entries per
+//!   encryption (the product of two valid obfuscations is a valid
+//!   obfuscation). This trades full entropy for a large constant-factor
+//!   speedup and is the default for the training-loop experiments.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bf_bigint::{rng::random_coprime, BigUint};
+use rand::SeedableRng;
+
+use crate::keys::{PaillierPk, PublicKey};
+
+/// Obfuscation generation strategy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ObfMode {
+    /// Fresh `r^n` per encryption.
+    Exact,
+    /// Precomputed pool of the given size; each encryption multiplies
+    /// two pseudo-randomly chosen entries.
+    Pool(usize),
+}
+
+/// Thread-safe source of `r^n mod n^2` values in Montgomery form.
+#[derive(Debug)]
+pub struct Obfuscator {
+    mode: ObfMode,
+    seed: u64,
+    ctr: AtomicU64,
+    pool: Vec<Vec<u64>>,
+}
+
+impl Obfuscator {
+    /// Build an obfuscator for the given key. For the Plain backend this
+    /// is a no-op shell.
+    pub fn new(pk: &PublicKey, mode: ObfMode, seed: u64) -> Self {
+        let pool = match (pk, mode) {
+            (PublicKey::Paillier(p), ObfMode::Pool(size)) => {
+                assert!(size >= 2, "pool must have at least 2 entries");
+                bf_util::par_map(size, |i| fresh_rn(p, splitmix(seed ^ (i as u64).wrapping_mul(0x9e37))))
+            }
+            _ => Vec::new(),
+        };
+        Self { mode, seed, ctr: AtomicU64::new(0), pool }
+    }
+
+    /// Next obfuscation value (Montgomery form) for the given key.
+    pub fn next_rn(&self, pk: &PaillierPk) -> Vec<u64> {
+        let i = self.ctr.fetch_add(1, Ordering::Relaxed);
+        match self.mode {
+            ObfMode::Exact => fresh_rn(pk, splitmix(self.seed.wrapping_add(i.wrapping_mul(0x9e3779b97f4a7c15)))),
+            ObfMode::Pool(size) => {
+                let h = splitmix(self.seed ^ i.wrapping_mul(0xbf58476d1ce4e5b9));
+                let a = (h % size as u64) as usize;
+                let b = ((h >> 32) % size as u64) as usize;
+                if a == b {
+                    pk.mont.mont_sqr(&self.pool[a])
+                } else {
+                    pk.mont.mont_mul(&self.pool[a], &self.pool[b])
+                }
+            }
+        }
+    }
+
+    /// Number of obfuscations drawn so far (diagnostics).
+    pub fn drawn(&self) -> u64 {
+        self.ctr.load(Ordering::Relaxed)
+    }
+}
+
+/// One exact `r^n mod n^2` in Montgomery form, from a PRG seed.
+fn fresh_rn(pk: &PaillierPk, seed: u64) -> Vec<u64> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let r: BigUint = random_coprime(&mut rng, &pk.n);
+    let r2 = r.rem(&pk.n2);
+    pk.mont.pow_mont(&pk.mont.to_mont(&r2), &pk.n)
+}
+
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::keygen;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pool_entries_distinct_and_counted() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let (pk, _) = keygen(128, 16, &mut rng);
+        let obf = Obfuscator::new(&pk, ObfMode::Pool(4), 9);
+        let PublicKey::Paillier(p) = &pk else { unreachable!() };
+        let a = obf.next_rn(p);
+        let b = obf.next_rn(p);
+        assert_ne!(a, b);
+        assert_eq!(obf.drawn(), 2);
+    }
+
+    #[test]
+    fn exact_mode_distinct() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let (pk, _) = keygen(128, 16, &mut rng);
+        let obf = Obfuscator::new(&pk, ObfMode::Exact, 42);
+        let PublicKey::Paillier(p) = &pk else { unreachable!() };
+        assert_ne!(obf.next_rn(p), obf.next_rn(p));
+    }
+
+    #[test]
+    fn obfuscations_are_encryptions_of_zero() {
+        // r^n decrypts to 0, so multiplying a ciphertext by an
+        // obfuscation re-randomises without changing the payload.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let (pk, sk) = keygen(192, 16, &mut rng);
+        let PublicKey::Paillier(p) = &pk else { unreachable!() };
+        let crate::keys::SecretKey::Paillier(s) = &sk else { unreachable!() };
+        let obf = Obfuscator::new(&pk, ObfMode::Pool(3), 11);
+        for _ in 0..4 {
+            let rn = obf.next_rn(p);
+            assert!(s.raw_decrypt(&rn).is_zero());
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Key serialization — hex export/import for persisting and
+//! distributing key material (the paper's deployment exchanges public
+//! keys at initialisation; a production system also needs durable
+//! secret-key storage at each party).
+//!
+//! Format: colon-separated lowercase hex fields with a version/type
+//! prefix, e.g. `bfpk1:<frac_bits>:<n>` and `bfsk1:<frac_bits>:<p>:<q>`.
+
+use std::sync::Arc;
+
+use bf_bigint::BigUint;
+
+use crate::keys::{PaillierPk, PublicKey, SecretKey};
+
+/// Serialize a public key.
+pub fn export_public(pk: &PublicKey) -> String {
+    match pk {
+        PublicKey::Paillier(p) => format!("bfpk1:{}:{}", p.frac_bits, p.n.to_hex()),
+        PublicKey::Plain { frac_bits } => format!("bfplain1:{frac_bits}"),
+    }
+}
+
+/// Deserialize a public key.
+pub fn import_public(s: &str) -> Result<PublicKey, String> {
+    let mut parts = s.split(':');
+    match parts.next() {
+        Some("bfpk1") => {
+            let frac_bits: u32 = parse_field(parts.next(), "frac_bits")?;
+            let n = parse_hex(parts.next(), "n")?;
+            if parts.next().is_some() {
+                return Err("trailing fields".into());
+            }
+            Ok(PublicKey::Paillier(Arc::new(rebuild_pk(n, frac_bits))))
+        }
+        Some("bfplain1") => {
+            let frac_bits: u32 = parse_field(parts.next(), "frac_bits")?;
+            Ok(PublicKey::Plain { frac_bits })
+        }
+        other => Err(format!("unknown key type {other:?}")),
+    }
+}
+
+/// Serialize a secret key. **Handle with care** — this string decrypts
+/// everything encrypted under the matching public key.
+pub fn export_secret(sk: &SecretKey) -> String {
+    match sk {
+        SecretKey::Paillier(s) => {
+            let (p, q) = s.factors();
+            format!("bfsk1:{}:{}:{}", s.pk().frac_bits, p.to_hex(), q.to_hex())
+        }
+        SecretKey::Plain => "bfplainsk1".to_string(),
+    }
+}
+
+/// Deserialize a secret key (rebuilding all CRT precomputations).
+pub fn import_secret(s: &str) -> Result<SecretKey, String> {
+    let mut parts = s.split(':');
+    match parts.next() {
+        Some("bfsk1") => {
+            let frac_bits: u32 = parse_field(parts.next(), "frac_bits")?;
+            let p = parse_hex(parts.next(), "p")?;
+            let q = parse_hex(parts.next(), "q")?;
+            if parts.next().is_some() {
+                return Err("trailing fields".into());
+            }
+            crate::keys::rebuild_secret(p, q, frac_bits).map(SecretKey::Paillier)
+        }
+        Some("bfplainsk1") => Ok(SecretKey::Plain),
+        other => Err(format!("unknown key type {other:?}")),
+    }
+}
+
+fn parse_field<T: std::str::FromStr>(f: Option<&str>, name: &str) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    f.ok_or_else(|| format!("missing {name}"))?
+        .parse()
+        .map_err(|e| format!("bad {name}: {e}"))
+}
+
+fn parse_hex(f: Option<&str>, name: &str) -> Result<BigUint, String> {
+    BigUint::from_hex(f.ok_or_else(|| format!("missing {name}"))?)
+        .ok_or_else(|| format!("bad hex in {name}"))
+}
+
+fn rebuild_pk(n: BigUint, frac_bits: u32) -> PaillierPk {
+    let n2 = n.sqr();
+    let mont = bf_bigint::MontCtx::new(&n2);
+    let half_n = n.shr(1);
+    let key_bits = n.bits();
+    PaillierPk { n, n2, mont, half_n, frac_bits, key_bits }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::keygen;
+    use crate::{ObfMode, Obfuscator};
+    use bf_tensor::Dense;
+    use rand::SeedableRng;
+
+    #[test]
+    fn public_key_roundtrip_interoperates() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let (pk, sk) = keygen(256, 24, &mut rng);
+        let pk2 = import_public(&export_public(&pk)).unwrap();
+        // Encrypt under the re-imported key; decrypt with the original sk.
+        let obf = Obfuscator::new(&pk2, ObfMode::Pool(4), 2);
+        let m = Dense::from_vec(1, 3, vec![1.5, -2.0, 10.25]);
+        let ct = pk2.encrypt(&m, &obf);
+        assert!(sk.decrypt(&ct).approx_eq(&m, 1e-5));
+    }
+
+    #[test]
+    fn secret_key_roundtrip_decrypts() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let (pk, sk) = keygen(256, 24, &mut rng);
+        let sk2 = import_secret(&export_secret(&sk)).unwrap();
+        let obf = Obfuscator::new(&pk, ObfMode::Pool(4), 4);
+        let m = Dense::from_vec(2, 2, vec![0.5, -0.5, 3.25, -7.0]);
+        let ct = pk.encrypt(&m, &obf);
+        assert!(sk2.decrypt(&ct).approx_eq(&m, 1e-5));
+    }
+
+    #[test]
+    fn plain_keys_roundtrip() {
+        let pk = PublicKey::Plain { frac_bits: 20 };
+        let got = import_public(&export_public(&pk)).unwrap();
+        assert!(matches!(got, PublicKey::Plain { frac_bits: 20 }));
+        let sk = import_secret(&export_secret(&SecretKey::Plain)).unwrap();
+        assert!(matches!(sk, SecretKey::Plain));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(import_public("nonsense").is_err());
+        assert!(import_public("bfpk1:abc:xyz").is_err());
+        assert!(import_secret("bfsk1:24:ff").is_err()); // missing q
+        assert!(import_public("bfpk1:24:ff:extra").is_err());
+    }
+}

@@ -1,0 +1,169 @@
+//! Categorical feature blocks for the Embed-MatMul source layer.
+//!
+//! A [`CatBlock`] holds, for each instance, one categorical index per
+//! field. All fields share a single embedding table; field `f`'s values
+//! are offset into the table by `field_offsets[f]`, exactly like the
+//! fused embedding tables of DLRM-style systems.
+
+/// Categorical features: `rows` instances × `fields` categorical fields.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CatBlock {
+    rows: usize,
+    fields: usize,
+    /// Row-major *global* indices into the shared embedding table,
+    /// length `rows * fields`.
+    indices: Vec<u32>,
+    /// Per-field starting offset in the shared table; `field_offsets[f]
+    /// ..field_offsets[f] + vocab[f]` is field `f`'s slice.
+    field_offsets: Vec<u32>,
+    /// Total vocabulary (number of rows of the shared embedding table).
+    vocab: usize,
+}
+
+impl CatBlock {
+    /// Build from per-field *local* indices (`local[r][f] < vocab_sizes[f]`).
+    pub fn from_local(rows: usize, vocab_sizes: &[u32], local: Vec<u32>) -> Self {
+        let fields = vocab_sizes.len();
+        assert_eq!(local.len(), rows * fields, "CatBlock size mismatch");
+        let mut field_offsets = Vec::with_capacity(fields);
+        let mut acc = 0u32;
+        for &v in vocab_sizes {
+            field_offsets.push(acc);
+            acc += v;
+        }
+        let mut indices = local;
+        for (i, idx) in indices.iter_mut().enumerate() {
+            let f = i % fields;
+            assert!(*idx < vocab_sizes[f], "categorical index out of vocab");
+            *idx += field_offsets[f];
+        }
+        Self { rows, fields, indices, field_offsets, vocab: acc as usize }
+    }
+
+    /// Number of instances.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of categorical fields.
+    pub fn fields(&self) -> usize {
+        self.fields
+    }
+
+    /// Total vocabulary size (embedding-table rows).
+    pub fn vocab(&self) -> usize {
+        self.vocab
+    }
+
+    /// Global indices of instance `r` (one per field).
+    #[inline]
+    pub fn row(&self, r: usize) -> &[u32] {
+        &self.indices[r * self.fields..(r + 1) * self.fields]
+    }
+
+    /// All global indices, row-major.
+    pub fn indices(&self) -> &[u32] {
+        &self.indices
+    }
+
+    /// Gather a mini-batch of instances.
+    pub fn select_rows(&self, rows: &[usize]) -> CatBlock {
+        let mut indices = Vec::with_capacity(rows.len() * self.fields);
+        for &r in rows {
+            indices.extend_from_slice(self.row(r));
+        }
+        CatBlock {
+            rows: rows.len(),
+            fields: self.fields,
+            indices,
+            field_offsets: self.field_offsets.clone(),
+            vocab: self.vocab,
+        }
+    }
+
+    /// Sorted unique global indices appearing in this block — the
+    /// embedding rows a mini-batch touches (sparse protocol support).
+    pub fn support(&self) -> Vec<u32> {
+        let mut s = self.indices.clone();
+        s.sort_unstable();
+        s.dedup();
+        s
+    }
+
+    /// Restrict to a contiguous range of fields (vertical split between
+    /// parties), rebasing table offsets so the new block's vocabulary is
+    /// self-contained.
+    pub fn select_fields(&self, lo: usize, hi: usize) -> CatBlock {
+        assert!(lo < hi && hi <= self.fields, "bad field range");
+        let base = self.field_offsets[lo];
+        let end = if hi == self.fields {
+            self.vocab as u32
+        } else {
+            self.field_offsets[hi]
+        };
+        let fields = hi - lo;
+        let mut indices = Vec::with_capacity(self.rows * fields);
+        for r in 0..self.rows {
+            for &g in &self.row(r)[lo..hi] {
+                indices.push(g - base);
+            }
+        }
+        let field_offsets =
+            self.field_offsets[lo..hi].iter().map(|&o| o - base).collect();
+        CatBlock { rows: self.rows, fields, indices, field_offsets, vocab: (end - base) as usize }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CatBlock {
+        // 3 rows, 2 fields with vocab sizes [3, 2]
+        CatBlock::from_local(3, &[3, 2], vec![0, 1, 2, 0, 1, 1])
+    }
+
+    #[test]
+    fn global_offsets() {
+        let c = sample();
+        assert_eq!(c.vocab(), 5);
+        assert_eq!(c.row(0), &[0, 4]); // field1 offset is 3
+        assert_eq!(c.row(1), &[2, 3]);
+        assert_eq!(c.row(2), &[1, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of vocab")]
+    fn vocab_bounds_checked() {
+        CatBlock::from_local(1, &[2], vec![2]);
+    }
+
+    #[test]
+    fn select_rows_batches() {
+        let c = sample();
+        let b = c.select_rows(&[2, 0]);
+        assert_eq!(b.rows(), 2);
+        assert_eq!(b.row(0), c.row(2));
+        assert_eq!(b.row(1), c.row(0));
+    }
+
+    #[test]
+    fn support_is_sorted_unique() {
+        let c = sample();
+        assert_eq!(c.support(), vec![0, 1, 2, 3, 4]);
+        assert_eq!(c.select_rows(&[0]).support(), vec![0, 4]);
+    }
+
+    #[test]
+    fn select_fields_rebases() {
+        let c = sample();
+        let right = c.select_fields(1, 2);
+        assert_eq!(right.fields(), 1);
+        assert_eq!(right.vocab(), 2);
+        assert_eq!(right.row(0), &[1]);
+        assert_eq!(right.row(1), &[0]);
+        let left = c.select_fields(0, 1);
+        assert_eq!(left.vocab(), 3);
+        assert_eq!(left.row(1), &[2]);
+    }
+}

@@ -1,0 +1,168 @@
+//! A storage-agnostic view over numerical feature blocks.
+
+use crate::{Csr, Dense};
+
+/// Numerical features in either dense or sparse storage.
+///
+/// The federated MatMul source layer and the plaintext models both take
+/// `Features`, dispatching to the sparsity-aware kernel when possible —
+/// mirroring how BlindFL's CryptoTensor keeps sparse inputs sparse.
+#[derive(Clone, Debug)]
+pub enum Features {
+    Dense(Dense),
+    Sparse(Csr),
+}
+
+impl Features {
+    /// Number of instances.
+    pub fn rows(&self) -> usize {
+        match self {
+            Features::Dense(d) => d.rows(),
+            Features::Sparse(s) => s.rows(),
+        }
+    }
+
+    /// Feature dimensionality.
+    pub fn cols(&self) -> usize {
+        match self {
+            Features::Dense(d) => d.cols(),
+            Features::Sparse(s) => s.cols(),
+        }
+    }
+
+    /// `X * W`.
+    pub fn matmul(&self, w: &Dense) -> Dense {
+        match self {
+            Features::Dense(d) => d.matmul(w),
+            Features::Sparse(s) => s.matmul_dense(w),
+        }
+    }
+
+    /// `Xᵀ * G` (gradient projection).
+    pub fn t_matmul(&self, g: &Dense) -> Dense {
+        match self {
+            Features::Dense(d) => d.t_matmul(g),
+            Features::Sparse(s) => s.t_matmul_dense(g),
+        }
+    }
+
+    /// `Xᵀ · G` restricted to the feature rows in `support` (sorted):
+    /// output row `s` is `Σ_i X[i, support[s]] · G[i, ·]`.
+    ///
+    /// This is the plaintext twin of the CryptoTensor's sparse gradient
+    /// projection: only the batch-support rows are materialised.
+    pub fn t_matmul_support(&self, g: &Dense, support: &[u32]) -> Dense {
+        assert_eq!(self.rows(), g.rows(), "t_matmul_support row mismatch");
+        let mut out = Dense::zeros(support.len(), g.cols());
+        match self {
+            Features::Dense(d) => {
+                for i in 0..d.rows() {
+                    let xrow = d.row(i);
+                    let grow = g.row(i);
+                    for (s, &c) in support.iter().enumerate() {
+                        let x = xrow[c as usize];
+                        if x == 0.0 {
+                            continue;
+                        }
+                        let orow = out.row_mut(s);
+                        for (o, &gv) in orow.iter_mut().zip(grow) {
+                            *o += x * gv;
+                        }
+                    }
+                }
+            }
+            Features::Sparse(sp) => {
+                for i in 0..sp.rows() {
+                    let (idx, vals) = sp.row(i);
+                    let grow = g.row(i);
+                    for (&c, &x) in idx.iter().zip(vals) {
+                        if let Ok(s) = support.binary_search(&c) {
+                            let orow = out.row_mut(s);
+                            for (o, &gv) in orow.iter_mut().zip(grow) {
+                                *o += x * gv;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Gather a mini-batch of rows.
+    pub fn select_rows(&self, rows: &[usize]) -> Features {
+        match self {
+            Features::Dense(d) => Features::Dense(d.select_rows(rows)),
+            Features::Sparse(s) => Features::Sparse(s.select_rows(rows)),
+        }
+    }
+
+    /// Sorted unique feature indices with a non-zero in this block; for
+    /// dense blocks that is all columns.
+    pub fn col_support(&self) -> Vec<u32> {
+        match self {
+            Features::Dense(d) => (0..d.cols() as u32).collect(),
+            Features::Sparse(s) => s.col_support(),
+        }
+    }
+
+    /// Is this block stored sparsely?
+    pub fn is_sparse(&self) -> bool {
+        matches!(self, Features::Sparse(_))
+    }
+
+    /// Stored non-zero count (dense counts every entry).
+    pub fn nnz(&self) -> usize {
+        match self {
+            Features::Dense(d) => d.rows() * d.cols(),
+            Features::Sparse(s) => s.nnz(),
+        }
+    }
+
+    /// Densified copy (diagnostics only).
+    pub fn to_dense(&self) -> Dense {
+        match self {
+            Features::Dense(d) => d.clone(),
+            Features::Sparse(s) => s.to_dense(),
+        }
+    }
+}
+
+impl From<Dense> for Features {
+    fn from(d: Dense) -> Self {
+        Features::Dense(d)
+    }
+}
+
+impl From<Csr> for Features {
+    fn from(s: Csr) -> Self {
+        Features::Sparse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispatch_consistency() {
+        let d = Dense::from_vec(2, 3, vec![1.0, 0.0, 2.0, 0.0, 3.0, 0.0]);
+        let s = Csr::from_dense(&d);
+        let w = Dense::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let fd = Features::from(d.clone());
+        let fs = Features::from(s);
+        assert!(fd.matmul(&w).approx_eq(&fs.matmul(&w), 1e-12));
+        let g = Dense::from_vec(2, 2, vec![0.1, -0.2, 0.3, 0.4]);
+        assert!(fd.t_matmul(&g).approx_eq(&fs.t_matmul(&g), 1e-12));
+        // Support-restricted projection agrees with the full one.
+        let support = [0u32, 2];
+        let full = fd.t_matmul(&g);
+        let want = full.select_rows(&[0, 2]);
+        assert!(fd.t_matmul_support(&g, &support).approx_eq(&want, 1e-12));
+        assert!(fs.t_matmul_support(&g, &support).approx_eq(&want, 1e-12));
+        assert_eq!(fd.col_support(), vec![0, 1, 2]);
+        assert_eq!(fs.col_support(), vec![0, 1, 2]);
+        assert!(fs.is_sparse());
+        assert!(!fd.is_sparse());
+    }
+}

@@ -1,0 +1,67 @@
+//! Random matrix initialisation.
+
+use crate::Dense;
+use rand::Rng;
+
+/// Uniform entries in `[-scale, scale)`.
+pub fn uniform<R: Rng + ?Sized>(rng: &mut R, rows: usize, cols: usize, scale: f64) -> Dense {
+    let data = (0..rows * cols)
+        .map(|_| (rng.random::<f64>() * 2.0 - 1.0) * scale)
+        .collect();
+    Dense::from_vec(rows, cols, data)
+}
+
+/// Xavier/Glorot uniform: `U(-sqrt(6/(fan_in+fan_out)), +...)`.
+pub fn xavier<R: Rng + ?Sized>(rng: &mut R, fan_in: usize, fan_out: usize) -> Dense {
+    let bound = (6.0 / (fan_in + fan_out) as f64).sqrt();
+    uniform(rng, fan_in, fan_out, bound)
+}
+
+/// Standard normal entries scaled by `std` (Box–Muller).
+pub fn gaussian<R: Rng + ?Sized>(rng: &mut R, rows: usize, cols: usize, std: f64) -> Dense {
+    let n = rows * cols;
+    let mut data = Vec::with_capacity(n);
+    while data.len() < n {
+        let u1: f64 = rng.random::<f64>().max(1e-12);
+        let u2: f64 = rng.random();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        data.push(r * theta.cos() * std);
+        if data.len() < n {
+            data.push(r * theta.sin() * std);
+        }
+    }
+    Dense::from_vec(rows, cols, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_in_range() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let m = uniform(&mut rng, 10, 10, 0.5);
+        assert!(m.data().iter().all(|&v| (-0.5..0.5).contains(&v)));
+    }
+
+    #[test]
+    fn xavier_bound() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let m = xavier(&mut rng, 100, 50);
+        let bound = (6.0 / 150.0f64).sqrt();
+        assert!(m.max_abs() <= bound);
+        assert_eq!(m.shape(), (100, 50));
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let m = gaussian(&mut rng, 100, 100, 2.0);
+        let mean: f64 = m.data().iter().sum::<f64>() / 10_000.0;
+        let var: f64 = m.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / 10_000.0;
+        assert!(mean.abs() < 0.1, "mean={mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "std={}", var.sqrt());
+    }
+}

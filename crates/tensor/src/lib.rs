@@ -1,0 +1,26 @@
+//! Dense and sparse matrix substrate for blindfl-rs.
+//!
+//! The BlindFL protocols operate on three kinds of data:
+//!
+//! * [`Dense`] — row-major `f64` matrices (activations, weights,
+//!   gradients),
+//! * [`Csr`] — compressed sparse row matrices (the paper's
+//!   high-dimensional sparse feature blocks; keeping these sparse is the
+//!   entire point of the federated source layer vs. MPC outsourcing),
+//! * [`CatBlock`] — categorical feature blocks (per-field indices into a
+//!   shared embedding table) consumed by the Embed-MatMul source layer.
+//!
+//! [`Features`] unifies dense and sparse numerical blocks behind one
+//! matmul interface so models and protocols are agnostic to the storage
+//! format.
+
+pub mod cat;
+pub mod dense;
+pub mod features;
+pub mod init;
+pub mod sparse;
+
+pub use cat::CatBlock;
+pub use dense::Dense;
+pub use features::Features;
+pub use sparse::Csr;

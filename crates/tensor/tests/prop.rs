@@ -1,0 +1,91 @@
+//! Property tests for the tensor substrate: linear-algebra laws and
+//! dense/sparse kernel agreement on random matrices.
+
+use bf_tensor::{Csr, Dense};
+use proptest::prelude::*;
+
+/// Random dense matrix with entries that are zero ~half of the time (so
+/// CSR conversion exercises real sparsity patterns).
+fn dense(rows: usize, cols: usize) -> impl Strategy<Value = Dense> {
+    prop::collection::vec(
+        prop_oneof![3 => Just(0.0f64), 2 => -5.0f64..5.0],
+        rows * cols,
+    )
+    .prop_map(move |data| Dense::from_vec(rows, cols, data))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn matmul_associative(a in dense(4, 3), b in dense(3, 5), c in dense(5, 2)) {
+        let lhs = a.matmul(&b).matmul(&c);
+        let rhs = a.matmul(&b.matmul(&c));
+        prop_assert!(lhs.approx_eq(&rhs, 1e-9));
+    }
+
+    #[test]
+    fn matmul_distributes_over_add(a in dense(4, 3), b in dense(3, 4), c in dense(3, 4)) {
+        let lhs = a.matmul(&b.add(&c));
+        let rhs = a.matmul(&b).add(&a.matmul(&c));
+        prop_assert!(lhs.approx_eq(&rhs, 1e-9));
+    }
+
+    #[test]
+    fn transpose_of_product(a in dense(4, 3), b in dense(3, 5)) {
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        prop_assert!(lhs.approx_eq(&rhs, 1e-9));
+    }
+
+    #[test]
+    fn sparse_matmul_agrees_with_dense(a in dense(6, 5), b in dense(5, 4)) {
+        let s = Csr::from_dense(&a);
+        prop_assert!(s.matmul_dense(&b).approx_eq(&a.matmul(&b), 1e-9));
+    }
+
+    #[test]
+    fn sparse_t_matmul_agrees_with_dense(a in dense(6, 5), b in dense(6, 3)) {
+        let s = Csr::from_dense(&a);
+        prop_assert!(s.t_matmul_dense(&b).approx_eq(&a.t_matmul(&b), 1e-9));
+    }
+
+    #[test]
+    fn csr_roundtrip(a in dense(5, 7)) {
+        let s = Csr::from_dense(&a);
+        prop_assert!(s.to_dense().approx_eq(&a, 0.0));
+        prop_assert_eq!(s.nnz(), a.data().iter().filter(|&&v| v != 0.0).count());
+    }
+
+    #[test]
+    fn select_rows_then_matmul_commutes(a in dense(6, 4), b in dense(4, 3)) {
+        let s = Csr::from_dense(&a);
+        let rows = [4usize, 1, 1, 5];
+        let lhs = s.select_rows(&rows).matmul_dense(&b);
+        let rhs = a.select_rows(&rows).matmul(&b);
+        prop_assert!(lhs.approx_eq(&rhs, 1e-9));
+    }
+
+    #[test]
+    fn column_split_partitions_product(a in dense(5, 6), b in dense(6, 2)) {
+        // X*W == X_left*W_left + X_right*W_right under a column split,
+        // which is exactly the VFL decomposition Z = X_A W_A + X_B W_B.
+        let s = Csr::from_dense(&a);
+        let left_cols: Vec<u32> = (0..3).collect();
+        let right_cols: Vec<u32> = (3..6).collect();
+        let xl = s.select_cols(&left_cols);
+        let xr = s.select_cols(&right_cols);
+        let wl = b.select_rows(&[0, 1, 2]);
+        let wr = b.select_rows(&[3, 4, 5]);
+        let joint = s.matmul_dense(&b);
+        let split = xl.matmul_dense(&wl).add(&xr.matmul_dense(&wr));
+        prop_assert!(joint.approx_eq(&split, 1e-9));
+    }
+
+    #[test]
+    fn axpy_matches_scale_add(a in dense(3, 3), b in dense(3, 3), alpha in -2.0f64..2.0) {
+        let mut c = a.clone();
+        c.axpy(alpha, &b);
+        prop_assert!(c.approx_eq(&a.add(&b.scale(alpha)), 1e-12));
+    }
+}

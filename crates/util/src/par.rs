@@ -1,0 +1,157 @@
+//! Minimal data-parallel helpers built on `crossbeam::scope`.
+//!
+//! The crypto tensor operations in `bf-paillier` are embarrassingly
+//! parallel over matrix rows/entries; these helpers split an index range
+//! into per-thread chunks without any allocation beyond the output.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of worker threads to use for parallel sections.
+///
+/// Respects the `BLINDFL_THREADS` environment variable; defaults to the
+/// machine's available parallelism.
+pub fn num_threads() -> usize {
+    static CACHED: AtomicUsize = AtomicUsize::new(0);
+    let cached = CACHED.load(Ordering::Relaxed);
+    if cached != 0 {
+        return cached;
+    }
+    let n = std::env::var("BLINDFL_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+    CACHED.store(n, Ordering::Relaxed);
+    n
+}
+
+/// Parallel map over `0..n`, producing a `Vec<T>` where `out[i] = f(i)`.
+///
+/// `f` must be cheap to share across threads (`Sync`). Falls back to a
+/// serial loop for small `n` to avoid thread spawn overhead.
+pub fn par_map<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = num_threads().min(n.max(1));
+    if threads <= 1 || n < 32 {
+        return (0..n).map(f).collect();
+    }
+    let mut out: Vec<std::mem::MaybeUninit<T>> = Vec::with_capacity(n);
+    // SAFETY: every element is written exactly once below before assume_init.
+    #[allow(clippy::uninit_vec)]
+    unsafe {
+        out.set_len(n);
+    }
+    let next = AtomicUsize::new(0);
+    let chunk = (n / (threads * 8)).max(1);
+    {
+        let out_ptr = SendPtr(out.as_mut_ptr());
+        crossbeam::scope(|s| {
+            for _ in 0..threads {
+                let f = &f;
+                let next = &next;
+                let out_ptr = &out_ptr;
+                s.spawn(move |_| loop {
+                    let start = next.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= n {
+                        break;
+                    }
+                    let end = (start + chunk).min(n);
+                    for i in start..end {
+                        // SAFETY: disjoint indices across threads.
+                        unsafe {
+                            out_ptr.0.add(i).write(std::mem::MaybeUninit::new(f(i)));
+                        }
+                    }
+                });
+            }
+        })
+        .expect("parallel worker panicked");
+    }
+    // SAFETY: all n elements initialised by the workers.
+    unsafe { std::mem::transmute::<Vec<std::mem::MaybeUninit<T>>, Vec<T>>(out) }
+}
+
+struct SendPtr<T>(*mut T);
+// SAFETY: used only with disjoint index ranges per thread.
+unsafe impl<T> Sync for SendPtr<T> {}
+unsafe impl<T> Send for SendPtr<T> {}
+
+/// Parallel in-place mutation of a slice: `f(i, &mut slice[i])`.
+pub fn par_for_each_mut<T, F>(slice: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    let n = slice.len();
+    let threads = num_threads().min(n.max(1));
+    if threads <= 1 || n < 32 {
+        for (i, v) in slice.iter_mut().enumerate() {
+            f(i, v);
+        }
+        return;
+    }
+    let next = AtomicUsize::new(0);
+    let chunk = (n / (threads * 8)).max(1);
+    let base = SendPtr(slice.as_mut_ptr());
+    crossbeam::scope(|s| {
+        for _ in 0..threads {
+            let f = &f;
+            let next = &next;
+            let base = &base;
+            s.spawn(move |_| loop {
+                let start = next.fetch_add(chunk, Ordering::Relaxed);
+                if start >= n {
+                    break;
+                }
+                let end = (start + chunk).min(n);
+                for i in start..end {
+                    // SAFETY: disjoint indices across threads.
+                    unsafe { f(i, &mut *base.0.add(i)) };
+                }
+            });
+        }
+    })
+    .expect("parallel worker panicked");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_matches_serial() {
+        let got = par_map(1000, |i| i * i);
+        let want: Vec<usize> = (0..1000).map(|i| i * i).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn par_map_small_input() {
+        assert_eq!(par_map(3, |i| i + 1), vec![1, 2, 3]);
+        assert_eq!(par_map(0, |i| i), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn par_for_each_mut_matches_serial() {
+        let mut a: Vec<u64> = (0..500).collect();
+        par_for_each_mut(&mut a, |i, v| *v += i as u64);
+        for (i, v) in a.iter().enumerate() {
+            assert_eq!(*v, 2 * i as u64);
+        }
+    }
+
+    #[test]
+    fn par_map_nontrivial_type() {
+        let got = par_map(200, |i| vec![i; 3]);
+        for (i, v) in got.iter().enumerate() {
+            assert_eq!(v, &vec![i; 3]);
+        }
+    }
+}

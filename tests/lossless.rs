@@ -1,0 +1,92 @@
+//! Lossless-equivalence tests (the paper's core accuracy claim):
+//! federated training must match plaintext training on the
+//! reconstructed parameters *exactly* (up to fixed-point/f64 noise),
+//! for both source-layer kinds and both crypto backends.
+
+use bf_datagen::{generate, spec, vsplit};
+use bf_ml::TrainConfig;
+use bf_tensor::Dense;
+use blindfl::config::FedConfig;
+use blindfl::models::FedSpec;
+use blindfl::train::{train_federated, FedOutcome, FedTrainConfig};
+
+fn run(cfg: &FedConfig, epochs: usize, seed: u64) -> (FedOutcome, Dense, Dense) {
+    let ds = spec("a9a").scaled(200, 1);
+    let (train, test) = generate(&ds, 0x105);
+    let train_v = vsplit(&train);
+    let test_v = vsplit(&test);
+    let tc = FedTrainConfig {
+        base: TrainConfig { epochs, batch_size: 64, ..Default::default() },
+        snapshot_u_a: false,
+    };
+    let outcome = train_federated(
+        &FedSpec::Glm { out: 1 },
+        cfg,
+        &tc,
+        train_v.party_a.clone(),
+        train_v.party_b.clone(),
+        test_v.party_a.clone(),
+        test_v.party_b.clone(),
+        seed,
+    );
+    let w_a = outcome
+        .party_a
+        .matmul()
+        .unwrap()
+        .u_own()
+        .add(outcome.party_b.matmul().unwrap().v_peer());
+    let w_b = outcome
+        .party_b
+        .matmul()
+        .unwrap()
+        .u_own()
+        .add(outcome.party_a.matmul().unwrap().v_peer());
+    (outcome, w_a, w_b)
+}
+
+#[test]
+fn paillier_and_plain_backends_agree() {
+    // Same seed ⇒ same initial shares and batch schedule; the two
+    // backends must produce (near-)identical trained weights — the
+    // only difference is fixed-point quantisation inside Paillier.
+    let (_, wa_plain, wb_plain) = run(&FedConfig::plain(), 2, 9);
+    let mut cfg = FedConfig::paillier_test();
+    cfg.frac_bits = 32;
+    let (_, wa_pail, wb_pail) = run(&cfg, 2, 9);
+    let err_a = wa_plain.sub(&wa_pail).max_abs();
+    let err_b = wb_plain.sub(&wb_pail).max_abs();
+    assert!(err_a < 1e-3, "W_A backend divergence {err_a}");
+    assert!(err_b < 1e-3, "W_B backend divergence {err_b}");
+}
+
+#[test]
+fn metrics_match_across_backends() {
+    let (out_plain, _, _) = run(&FedConfig::plain(), 2, 11);
+    let (out_pail, _, _) = run(&FedConfig::paillier_test(), 2, 11);
+    let gap = (out_plain.report.test_metric - out_pail.report.test_metric).abs();
+    assert!(gap < 5e-3, "metric gap across backends {gap}");
+}
+
+#[test]
+fn forward_outputs_match_plaintext_model() {
+    // Reconstruct W after training and verify the federated test
+    // logits equal X·W + b computed in the clear.
+    let (outcome, w_a, w_b) = run(&FedConfig::plain(), 2, 13);
+    let ds = spec("a9a").scaled(200, 1);
+    let (_, test) = generate(&ds, 0x105);
+    let test_v = vsplit(&test);
+    let z_a = test_v.party_a.num.as_ref().unwrap().matmul(&w_a);
+    let z_b = test_v.party_b.num.as_ref().unwrap().matmul(&w_b);
+    let mut joint = z_a.add(&z_b);
+    // Add Party B's bias (reconstructed from the logits of any row):
+    // logits - (z_a + z_b) is constant = bias.
+    let bias = outcome.report.test_logits.get(0, 0) - joint.get(0, 0);
+    for v in joint.data_mut() {
+        *v += bias;
+    }
+    assert!(
+        joint.approx_eq(&outcome.report.test_logits, 1e-6),
+        "forward mismatch {}",
+        joint.sub(&outcome.report.test_logits).max_abs()
+    );
+}
