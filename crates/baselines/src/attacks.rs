@@ -117,7 +117,11 @@ pub fn feature_similarity_attack(x_a: &Dense, view: &Dense, max_pairs: usize) ->
 }
 
 fn dist(a: &[f64], b: &[f64]) -> f64 {
-    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
 }
 
 /// Pairwise-direction statistic used in the paper's discussion: the
@@ -133,7 +137,12 @@ pub fn derivative_direction_consistency(grads: &Dense, labels: &[f64]) -> f64 {
     let mut total = 0usize;
     for i in 0..n {
         for j in (i + 1)..n.min(i + 50) {
-            let dot: f64 = grads.row(i).iter().zip(grads.row(j)).map(|(a, b)| a * b).sum();
+            let dot: f64 = grads
+                .row(i)
+                .iter()
+                .zip(grads.row(j))
+                .map(|(a, b)| a * b)
+                .sum();
             let same = (labels[i] > 0.5) == (labels[j] > 0.5);
             if (dot >= 0.0) == same {
                 ok += 1;
@@ -154,8 +163,11 @@ mod tests {
         let x = Dense::from_vec(4, 2, vec![1.0, 0.0, -1.0, 0.0, 2.0, 1.0, -2.0, -1.0]);
         let w = Dense::from_vec(2, 1, vec![1.0, 0.5]);
         let scores = x.matmul(&w);
-        let labels: Vec<f64> =
-            scores.data().iter().map(|&s| if s > 0.0 { 1.0 } else { 0.0 }).collect();
+        let labels: Vec<f64> = scores
+            .data()
+            .iter()
+            .map(|&s| if s > 0.0 { 1.0 } else { 0.0 })
+            .collect();
         let got = activation_attack_auc(&Features::Dense(x), &w, &labels);
         assert!((got - 1.0).abs() < 1e-12);
     }
@@ -205,7 +217,10 @@ mod tests {
         let noise = bf_tensor::init::gaussian(&mut rng, 60, 4, 100.0);
         let masked = z.add(&noise);
         let corr_masked = feature_similarity_attack(&x, &masked, 500);
-        assert!(corr_masked.abs() < 0.25, "masked view should decorrelate: {corr_masked}");
+        assert!(
+            corr_masked.abs() < 0.25,
+            "masked view should decorrelate: {corr_masked}"
+        );
     }
 
     #[test]

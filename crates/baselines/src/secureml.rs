@@ -86,17 +86,26 @@ pub fn secureml_batch_cost(
     let probe_secs = run_batches(bs, probe_d, out, mode, 1);
     let predicted_full = probe_secs * d as f64 / probe_d as f64;
     if d == probe_d {
-        return SecuremlOutcome::Ok { secs: probe_secs, extrapolated: false };
+        return SecuremlOutcome::Ok {
+            secs: probe_secs,
+            extrapolated: false,
+        };
     }
     if predicted_full <= budget_secs {
         let secs = run_batches(bs, d, out, mode, 1);
-        SecuremlOutcome::Ok { secs, extrapolated: false }
+        SecuremlOutcome::Ok {
+            secs,
+            extrapolated: false,
+        }
     } else {
         // Largest d that fits the budget, then linear extrapolation.
         let d_run = ((budget_secs / probe_secs) * probe_d as f64) as usize;
         let d_run = d_run.clamp(probe_d, d);
         let secs_run = run_batches(bs, d_run, out, mode, 1);
-        SecuremlOutcome::Ok { secs: secs_run * d as f64 / d_run as f64, extrapolated: true }
+        SecuremlOutcome::Ok {
+            secs: secs_run * d as f64 / d_run as f64,
+            extrapolated: true,
+        }
     }
 }
 
@@ -142,7 +151,10 @@ fn run_batches(bs: usize, d: usize, out: usize, mode: TripletMode, iters: usize)
                         // Dealer share arrives out-of-band (free third
                         // party): deterministically mirrored on both
                         // sides for the benchmark.
-                        (dealer_share(bs, d, out, i as u64, true), dealer_share(d, bs, out, i as u64 + 7_000, true))
+                        (
+                            dealer_share(bs, d, out, i as u64, true),
+                            dealer_share(d, bs, out, i as u64 + 7_000, true),
+                        )
                     }
                 };
                 let _z = beaver_matmul(&ep1, true, &x1, &w1, &tf);

@@ -59,7 +59,8 @@ impl SplitGlm {
     /// Party A's local activations `X_A·W_A` — available to A at any
     /// time because A owns the bottom model (the Figure 9 leak).
     pub fn party_a_activations(&self, data_a: &Dataset) -> Dense {
-        self.bottom_a.infer(data_a.num.as_ref().expect("party A features"))
+        self.bottom_a
+            .infer(data_a.num.as_ref().expect("party A features"))
     }
 
     /// Joint logits (Party B's view).

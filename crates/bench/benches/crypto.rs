@@ -11,7 +11,8 @@ use std::time::Duration;
 
 fn bench_bigint(c: &mut Criterion) {
     let mut g = c.benchmark_group("bigint");
-    g.measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     // 1024-bit odd modulus (the size of n² for a 512-bit key).
     let mut m = BigUint::from_u64(0xdead_beef_1234_5677);
     for i in 0..15u64 {
@@ -20,7 +21,7 @@ fn bench_bigint(c: &mut Criterion) {
     let m = if m.is_even() { m.add_u64(1) } else { m };
     let ctx = MontCtx::new(&m);
     let base = m.shr(1).sub_u64(12345);
-    let small_exp = BigUint::from_u64(0xffff_ffff_ff); // 40-bit
+    let small_exp = BigUint::from_u64(0x00ff_ffff_ffff); // 40-bit
     let big_exp = m.shr(2);
 
     g.bench_function("mont_mul_1024", |b| {
@@ -49,8 +50,12 @@ fn bench_paillier(c: &mut Criterion) {
     let obf_exact = Obfuscator::new(&pk, ObfMode::Exact, 3);
     let m = bf_tensor::init::uniform(&mut rng, 8, 8, 1.0);
 
-    g.bench_function("encrypt_64_pooled", |b| b.iter(|| pk.encrypt(&m, &obf_pool)));
-    g.bench_function("encrypt_64_exact", |b| b.iter(|| pk.encrypt(&m, &obf_exact)));
+    g.bench_function("encrypt_64_pooled", |b| {
+        b.iter(|| pk.encrypt(&m, &obf_pool))
+    });
+    g.bench_function("encrypt_64_exact", |b| {
+        b.iter(|| pk.encrypt(&m, &obf_exact))
+    });
     let ct = pk.encrypt(&m, &obf_pool);
     g.bench_function("decrypt_64_crt", |b| b.iter(|| sk.decrypt(&ct)));
     g.finish();
@@ -76,12 +81,16 @@ fn bench_ctmat(c: &mut Criterion) {
     let x_sparse = Features::Sparse(Csr::from_triplets(32, 2000, triplets));
     let w = bf_tensor::init::uniform(&mut rng, 2000, 1, 0.1);
     let cw = pk.encrypt(&w, &obf);
-    g.bench_function("sparse_matmul_32x2000_nnz16", |b| b.iter(|| pk.matmul(&x_sparse, &cw)));
+    g.bench_function("sparse_matmul_32x2000_nnz16", |b| {
+        b.iter(|| pk.matmul(&x_sparse, &cw))
+    });
 
     // Dense equivalent at the same nnz count (16 columns): what the
     // outsourcing baseline must pay is the full 2000 columns instead.
     let x_dense = Features::Dense(x_sparse.to_dense());
-    g.bench_function("densified_matmul_32x2000", |b| b.iter(|| pk.matmul(&x_dense, &cw)));
+    g.bench_function("densified_matmul_32x2000", |b| {
+        b.iter(|| pk.matmul(&x_dense, &cw))
+    });
 
     // Gradient projection on the batch support.
     let gz = bf_tensor::init::uniform(&mut rng, 32, 1, 0.1);
@@ -95,7 +104,8 @@ fn bench_ctmat(c: &mut Criterion) {
 
 fn bench_plain_backend(c: &mut Criterion) {
     let mut g = c.benchmark_group("plain_backend");
-    g.measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(200));
+    g.measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(200));
     let pk = PublicKey::Plain { frac_bits: 32 };
     let obf = Obfuscator::new(&pk, ObfMode::Pool(2), 0);
     let mut rng = rand::rngs::StdRng::seed_from_u64(9);
@@ -106,5 +116,11 @@ fn bench_plain_backend(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_bigint, bench_paillier, bench_ctmat, bench_plain_backend);
+criterion_group!(
+    benches,
+    bench_bigint,
+    bench_paillier,
+    bench_ctmat,
+    bench_plain_backend
+);
 criterion_main!(benches);

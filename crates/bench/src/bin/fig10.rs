@@ -17,7 +17,12 @@ use rand::SeedableRng;
 
 fn main() {
     println!("Figure 10: predicting training labels from ∇E_A (split-learning WDL)\n");
-    let mut t = Table::new(vec!["Dataset", "#Hiddens = 2", "#Hiddens = 3", "#Hiddens = 4"]);
+    let mut t = Table::new(vec![
+        "Dataset",
+        "#Hiddens = 2",
+        "#Hiddens = 3",
+        "#Hiddens = 4",
+    ]);
     for name in ["a9a", "w8a"] {
         let mut cells = vec![name.to_string()];
         for hidden in [2usize, 3, 4] {

@@ -25,7 +25,11 @@ fn main() {
     // a9a / WDL — S_A vs Q_A.
     let pairs = trained_pairs(
         "a9a",
-        FedSpec::Wdl { emb_dim: 8, deep_hidden: vec![16], out: 1 },
+        FedSpec::Wdl {
+            emb_dim: 8,
+            deep_hidden: vec![16],
+            out: 1,
+        },
         true,
     );
     print_panel("a9a, W&D — piece S_A vs table Q_A", &pairs);
@@ -37,7 +41,10 @@ fn trained_pairs(name: &str, spec: FedSpec, embed: bool) -> Vec<(f64, f64)> {
     let train_v = vsplit(&train_ds);
     let test_v = vsplit(&test_ds);
     let tc = FedTrainConfig {
-        base: TrainConfig { epochs: 5, ..Default::default() },
+        base: TrainConfig {
+            epochs: 5,
+            ..Default::default()
+        },
         snapshot_u_a: false,
     };
     let outcome = train_federated(
@@ -62,7 +69,11 @@ fn print_panel(title: &str, pairs: &[(f64, f64)]) {
     let mut t = Table::new(vec!["coordinate", "share piece", "true value"]);
     let step = (pairs.len() / 10).max(1);
     for (i, (p, w)) in pairs.iter().step_by(step).take(10).enumerate() {
-        t.row(vec![(i * step).to_string(), format!("{p:+.3}"), format!("{w:+.5}")]);
+        t.row(vec![
+            (i * step).to_string(),
+            format!("{p:+.3}"),
+            format!("{w:+.5}"),
+        ]);
     }
     t.print();
     let (corr, sign) = share_informativeness(pairs);

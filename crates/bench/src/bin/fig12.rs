@@ -24,14 +24,38 @@ struct Case {
 
 fn main() {
     let cases = [
-        Case { dataset: "a9a", model: "LR" },
-        Case { dataset: "w8a", model: "LR" },
-        Case { dataset: "connect-4", model: "MLP" },
-        Case { dataset: "news20", model: "MLR" },
-        Case { dataset: "higgs", model: "LR" },
-        Case { dataset: "avazu-app", model: "LR" },
-        Case { dataset: "avazu-app", model: "WDL" },
-        Case { dataset: "industry", model: "DLRM" },
+        Case {
+            dataset: "a9a",
+            model: "LR",
+        },
+        Case {
+            dataset: "w8a",
+            model: "LR",
+        },
+        Case {
+            dataset: "connect-4",
+            model: "MLP",
+        },
+        Case {
+            dataset: "news20",
+            model: "MLR",
+        },
+        Case {
+            dataset: "higgs",
+            model: "LR",
+        },
+        Case {
+            dataset: "avazu-app",
+            model: "LR",
+        },
+        Case {
+            dataset: "avazu-app",
+            model: "WDL",
+        },
+        Case {
+            dataset: "industry",
+            model: "DLRM",
+        },
     ];
     println!("Figure 12: model quality — BlindFL vs non-federated baselines ({EPOCHS} epochs)\n");
     let mut t = Table::new(vec![
@@ -62,7 +86,10 @@ fn run_case(case: &Case) -> Vec<String> {
     let v_test = vsplit(&test_ds);
     let classes = spec.classes;
     let out = if classes == 2 { 1 } else { classes };
-    let tc = TrainConfig { epochs: EPOCHS, ..Default::default() };
+    let tc = TrainConfig {
+        epochs: EPOCHS,
+        ..Default::default()
+    };
     let mut rng = rand::rngs::StdRng::seed_from_u64(0xC0FFEE);
 
     // Non-federated baselines.
@@ -83,7 +110,9 @@ fn run_case(case: &Case) -> Vec<String> {
             (rb.test_metric, rc.test_metric)
         }
         "WDL" => {
-            let run = |ds_train: &bf_ml::Dataset, ds_test: &bf_ml::Dataset, rng: &mut rand::rngs::StdRng| {
+            let run = |ds_train: &bf_ml::Dataset,
+                       ds_test: &bf_ml::Dataset,
+                       rng: &mut rand::rngs::StdRng| {
                 let cat = ds_train.cat.as_ref().unwrap();
                 let mut m = WdlModel::new(
                     rng,
@@ -102,7 +131,9 @@ fn run_case(case: &Case) -> Vec<String> {
             )
         }
         "DLRM" => {
-            let run = |ds_train: &bf_ml::Dataset, ds_test: &bf_ml::Dataset, rng: &mut rand::rngs::StdRng| {
+            let run = |ds_train: &bf_ml::Dataset,
+                       ds_test: &bf_ml::Dataset,
+                       rng: &mut rand::rngs::StdRng| {
                 let cat = ds_train.cat.as_ref().unwrap();
                 let mut m = DlrmModel::new(
                     rng,
@@ -127,12 +158,25 @@ fn run_case(case: &Case) -> Vec<String> {
     // BlindFL.
     let fed_spec = match case.model {
         "LR" | "MLR" => FedSpec::Glm { out },
-        "MLP" => FedSpec::Mlp { widths: vec![64, 16, out] },
-        "WDL" => FedSpec::Wdl { emb_dim: 8, deep_hidden: vec![16], out },
-        "DLRM" => FedSpec::Dlrm { emb_dim: 8, vec_dim: 16, top_hidden: vec![16] },
+        "MLP" => FedSpec::Mlp {
+            widths: vec![64, 16, out],
+        },
+        "WDL" => FedSpec::Wdl {
+            emb_dim: 8,
+            deep_hidden: vec![16],
+            out,
+        },
+        "DLRM" => FedSpec::Dlrm {
+            emb_dim: 8,
+            vec_dim: 16,
+            top_hidden: vec![16],
+        },
         _ => unreachable!(),
     };
-    let ftc = FedTrainConfig { base: tc.clone(), snapshot_u_a: false };
+    let ftc = FedTrainConfig {
+        base: tc.clone(),
+        snapshot_u_a: false,
+    };
     let outcome = train_federated(
         &fed_spec,
         &cfg_quality(),
@@ -154,6 +198,10 @@ fn run_case(case: &Case) -> Vec<String> {
         format!("{collocated:.3}"),
         format!("{fed:.3}"),
         format!("{:+.3}", fed - party_b),
-        format!("{:.3}→{:.3}", losses.first().copied().unwrap_or(f64::NAN), losses.last().copied().unwrap_or(f64::NAN)),
+        format!(
+            "{:.3}→{:.3}",
+            losses.first().copied().unwrap_or(f64::NAN),
+            losses.last().copied().unwrap_or(f64::NAN)
+        ),
     ]
 }

@@ -55,7 +55,14 @@ fn run_dataset(name: &str, classes: usize, metric_name: &str) {
     let blindfl_attack = fed_attack_curve(&train_v, &test_v, out, GradMode::SecretShared);
     let ablation: Vec<Vec<f64>> = [1.0, 5.0, 10.0]
         .iter()
-        .map(|&v| fed_attack_curve(&train_v, &test_v, out, GradMode::PlainGradToA { v_scale: v }))
+        .map(|&v| {
+            fed_attack_curve(
+                &train_v,
+                &test_v,
+                out,
+                GradMode::PlainGradToA { v_scale: v },
+            )
+        })
         .collect();
 
     for e in 0..EPOCHS {
@@ -73,7 +80,11 @@ fn run_dataset(name: &str, classes: usize, metric_name: &str) {
     println!(
         "\nExpected shape: split learning and every no-GradSS ablation approach the collocated\n\
          metric (label leakage); BlindFL stays at chance ({}).",
-        if classes == 2 { "≈0.5 AUC" } else { "≈1/C accuracy" }
+        if classes == 2 {
+            "≈0.5 AUC"
+        } else {
+            "≈1/C accuracy"
+        }
     );
 }
 
@@ -85,7 +96,10 @@ fn collocated_metric(
 ) -> f64 {
     let mut rng = rand::rngs::StdRng::seed_from_u64(1);
     let mut m = bf_ml::GlmModel::new(&mut rng, spec.shape.features(), out);
-    let tc = TrainConfig { epochs: EPOCHS, ..Default::default() };
+    let tc = TrainConfig {
+        epochs: EPOCHS,
+        ..Default::default()
+    };
     bf_ml::train(&mut m, train, test, &tc).test_metric
 }
 
@@ -110,17 +124,29 @@ fn split_attack_curve(train_v: &VflData, test_v: &VflData, out: usize) -> Vec<f6
     let mut curve = Vec::new();
     for epoch in 0..EPOCHS {
         for idx in BatchIter::new(train_v.party_a.rows(), 128, 42 ^ epoch as u64) {
-            model.train_batch(&train_v.party_a.select(&idx), &train_v.party_b.select(&idx), &opt);
+            model.train_batch(
+                &train_v.party_a.select(&idx),
+                &train_v.party_b.select(&idx),
+                &opt,
+            );
         }
         curve.push(attack_metric(test_v, &model.bottom_a.w));
     }
     curve
 }
 
-fn fed_attack_curve(train_v: &VflData, test_v: &VflData, out: usize, grad_mode: GradMode) -> Vec<f64> {
+fn fed_attack_curve(
+    train_v: &VflData,
+    test_v: &VflData,
+    out: usize,
+    grad_mode: GradMode,
+) -> Vec<f64> {
     let cfg = cfg_quality().with_grad_mode(grad_mode);
     let tc = FedTrainConfig {
-        base: TrainConfig { epochs: EPOCHS, ..Default::default() },
+        base: TrainConfig {
+            epochs: EPOCHS,
+            ..Default::default()
+        },
         snapshot_u_a: true,
     };
     let outcome = train_federated(
@@ -133,5 +159,10 @@ fn fed_attack_curve(train_v: &VflData, test_v: &VflData, out: usize, grad_mode: 
         test_v.party_b.clone(),
         9,
     );
-    outcome.report.u_a_snapshots.iter().map(|u| attack_metric(test_v, u)).collect()
+    outcome
+        .report
+        .u_a_snapshots
+        .iter()
+        .map(|u| attack_metric(test_v, u))
+        .collect()
 }

@@ -8,7 +8,13 @@ use bf_util::Table;
 
 fn main() {
     println!("Table 4: datasets (paper-scale statistics)\n");
-    let mut t = Table::new(vec!["Dataset", "#Instances (train/test)", "#Features", "Avg #nnz", "#Classes"]);
+    let mut t = Table::new(vec![
+        "Dataset",
+        "#Instances (train/test)",
+        "#Features",
+        "Avg #nnz",
+        "#Classes",
+    ]);
     for s in catalog() {
         t.row(vec![
             s.name.to_string(),
@@ -21,7 +27,13 @@ fn main() {
     t.print();
 
     println!("\nScaled variants used by the quality harnesses:\n");
-    let mut t = Table::new(vec!["Dataset", "#Instances (train/test)", "#Features", "Avg #nnz", "#Classes"]);
+    let mut t = Table::new(vec![
+        "Dataset",
+        "#Instances (train/test)",
+        "#Features",
+        "Avg #nnz",
+        "#Classes",
+    ]);
     for s in catalog() {
         let q = quality_spec(s.name);
         t.row(vec![

@@ -43,14 +43,8 @@ fn main() {
         let v = vsplit(&train_ds);
 
         eprintln!("[table5] {name}: BlindFL source layer...");
-        let blindfl = bf_bench::matmul_source_batch_secs(
-            &cfg_timing(),
-            &v.party_a,
-            &v.party_b,
-            out,
-            BS,
-            3,
-        );
+        let blindfl =
+            bf_bench::matmul_source_batch_secs(&cfg_timing(), &v.party_a, &v.party_b, out, BS, 3);
 
         eprintln!("[table5] {name}: SecureML (HE-assisted)...");
         let sml = secureml_batch_cost(
@@ -83,7 +77,11 @@ fn main() {
 fn fmt_outcome(o: &SecuremlOutcome) -> String {
     match o {
         SecuremlOutcome::Ok { secs, extrapolated } => {
-            format!("{}{}", if *extrapolated { "~" } else { "" }, fmt_secs(*secs))
+            format!(
+                "{}{}",
+                if *extrapolated { "~" } else { "" },
+                fmt_secs(*secs)
+            )
         }
         SecuremlOutcome::Oom { bytes } => format!("OOM ({} GiB)", bytes >> 30),
     }
@@ -107,11 +105,21 @@ fn client_aided_cost(d: usize, out: usize) -> String {
     // Largest dimension whose dense state fits the budget (with margin).
     let per_d = 2 * 8 * (5 * BS + 4 * out);
     let d_run = ((MEM_LIMIT / per_d) * 9 / 10).min(d / 2).max(100_000);
-    let out_run =
-        secureml_batch_cost(BS, d_run, out, TripletMode::ClientAided, BUDGET_SECS, MEM_LIMIT);
+    let out_run = secureml_batch_cost(
+        BS,
+        d_run,
+        out,
+        TripletMode::ClientAided,
+        BUDGET_SECS,
+        MEM_LIMIT,
+    );
     match out_run {
         SecuremlOutcome::Ok { secs, .. } => {
-            format!("~{} (extrap {}x)", fmt_secs(secs * d as f64 / d_run as f64), d / d_run)
+            format!(
+                "~{} (extrap {}x)",
+                fmt_secs(secs * d as f64 / d_run as f64),
+                d / d_run
+            )
         }
         SecuremlOutcome::Oom { bytes } => format!("OOM ({} GiB)", bytes >> 30),
     }

@@ -7,7 +7,9 @@
 //! baselines.
 
 use bf_baselines::secureml::{secureml_batch_cost, SecuremlOutcome, TripletMode};
-use bf_bench::{cfg_quality, cfg_timing, fmt_secs, matmul_source_batch_secs, quality_spec, timing_spec};
+use bf_bench::{
+    cfg_quality, cfg_timing, fmt_secs, matmul_source_batch_secs, quality_spec, timing_spec,
+};
 use bf_datagen::{generate, vsplit};
 use bf_ml::{MlpModel, TrainConfig};
 use bf_util::Table;
@@ -29,8 +31,7 @@ fn table6() {
     let (train_ds, _) = generate(&spec, 0x7AB6);
     let v = vsplit(&train_ds);
     eprintln!("[table6] BlindFL source layer (dense 784 → {HIDDEN})...");
-    let blindfl =
-        matmul_source_batch_secs(&cfg_timing(), &v.party_a, &v.party_b, HIDDEN, BS, 2);
+    let blindfl = matmul_source_batch_secs(&cfg_timing(), &v.party_a, &v.party_b, HIDDEN, BS, 2);
     eprintln!("[table6] SecureML HE-assisted...");
     let sml = secureml_batch_cost(
         BS,
@@ -43,7 +44,13 @@ fn table6() {
     eprintln!("[table6] SecureML client-aided...");
     let ca = secureml_batch_cost(BS, 784, HIDDEN, TripletMode::ClientAided, 20.0, 8 << 30);
 
-    let mut t = Table::new(vec!["Dataset", "Model", "BlindFL", "SecureML", "SecureML (client-aided)"]);
+    let mut t = Table::new(vec![
+        "Dataset",
+        "Model",
+        "BlindFL",
+        "SecureML",
+        "SecureML (client-aided)",
+    ]);
     t.row(vec![
         "fmnist (Dense)".to_string(),
         "MLP".to_string(),
@@ -58,7 +65,11 @@ fn table6() {
 fn fmt_o(o: &SecuremlOutcome) -> String {
     match o {
         SecuremlOutcome::Ok { secs, extrapolated } => {
-            format!("{}{}", if *extrapolated { "~" } else { "" }, fmt_secs(*secs))
+            format!(
+                "{}{}",
+                if *extrapolated { "~" } else { "" },
+                fmt_secs(*secs)
+            )
         }
         SecuremlOutcome::Oom { bytes } => format!("OOM ({} GiB)", bytes >> 30),
     }
@@ -70,7 +81,10 @@ fn fig15() {
     let (train_ds, test_ds) = generate(&spec, 0xF15);
     let v_train = vsplit(&train_ds);
     let v_test = vsplit(&test_ds);
-    let tc = TrainConfig { epochs: 10, ..Default::default() };
+    let tc = TrainConfig {
+        epochs: 10,
+        ..Default::default()
+    };
     let widths = vec![HIDDEN, 32, 10];
 
     let mut rng = rand::rngs::StdRng::seed_from_u64(0xF15);
@@ -81,7 +95,10 @@ fn fig15() {
     let mut mc = MlpModel::new(&mut rng, train_ds.num_dim(), &widths);
     let collocated = bf_ml::train(&mut mc, &train_ds, &test_ds, &tc).test_metric;
     eprintln!("[fig15] BlindFL...");
-    let ftc = FedTrainConfig { base: tc, snapshot_u_a: false };
+    let ftc = FedTrainConfig {
+        base: tc,
+        snapshot_u_a: false,
+    };
     let outcome = train_federated(
         &FedSpec::Mlp { widths },
         &cfg_quality(),
@@ -93,7 +110,12 @@ fn fig15() {
         0xF15,
     );
 
-    let mut t = Table::new(vec!["NonFed-Party B", "NonFed-collocated", "BlindFL", "BlindFL vs Party B"]);
+    let mut t = Table::new(vec![
+        "NonFed-Party B",
+        "NonFed-collocated",
+        "BlindFL",
+        "BlindFL vs Party B",
+    ]);
     t.row(vec![
         format!("{party_b:.3}"),
         format!("{collocated:.3}"),

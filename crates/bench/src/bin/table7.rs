@@ -26,7 +26,14 @@ fn main() {
     let mut secs = Vec::new();
     for &w in &widths {
         eprintln!("[table7] timing width {w}...");
-        secs.push(matmul_source_batch_secs(&cfg_timing(), &tv.party_a, &tv.party_b, w, BS, 2));
+        secs.push(matmul_source_batch_secs(
+            &cfg_timing(),
+            &tv.party_a,
+            &tv.party_b,
+            w,
+            BS,
+            2,
+        ));
     }
 
     // Accuracy with the Plain backend.
@@ -38,11 +45,16 @@ fn main() {
     for &w in &widths {
         eprintln!("[table7] accuracy width {w}...");
         let tc = FedTrainConfig {
-            base: TrainConfig { epochs: 5, ..Default::default() },
+            base: TrainConfig {
+                epochs: 5,
+                ..Default::default()
+            },
             snapshot_u_a: false,
         };
         let outcome = train_federated(
-            &FedSpec::Mlp { widths: vec![w, 16, 3] },
+            &FedSpec::Mlp {
+                widths: vec![w, 16, 3],
+            },
             &cfg_quality(),
             &tc,
             qv_train.party_a.clone(),
@@ -54,7 +66,11 @@ fn main() {
         accs.push(outcome.report.test_metric);
     }
 
-    let mut t = Table::new(vec!["Hidden Dim", "Relative Time Cost", "Validation Accuracy"]);
+    let mut t = Table::new(vec![
+        "Hidden Dim",
+        "Relative Time Cost",
+        "Validation Accuracy",
+    ]);
     for (i, &w) in widths.iter().enumerate() {
         t.row(vec![
             w.to_string(),

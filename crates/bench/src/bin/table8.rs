@@ -38,13 +38,19 @@ fn main() {
     for &k in &layer_counts {
         eprintln!("[table8] timing {k} layers...");
         let tc = FedTrainConfig {
-            base: TrainConfig { epochs: 1, batch_size: 128, ..Default::default() },
+            base: TrainConfig {
+                epochs: 1,
+                batch_size: 128,
+                ..Default::default()
+            },
             snapshot_u_a: false,
         };
         let mut sw = Stopwatch::new();
         sw.start();
         let _ = train_federated(
-            &FedSpec::Mlp { widths: widths_for(k) },
+            &FedSpec::Mlp {
+                widths: widths_for(k),
+            },
             &cfg_timing(),
             &tc,
             tv_train.party_a.clone(),
@@ -66,11 +72,16 @@ fn main() {
     for &k in &layer_counts {
         eprintln!("[table8] accuracy {k} layers...");
         let tc = FedTrainConfig {
-            base: TrainConfig { epochs: 5, ..Default::default() },
+            base: TrainConfig {
+                epochs: 5,
+                ..Default::default()
+            },
             snapshot_u_a: false,
         };
         let outcome = train_federated(
-            &FedSpec::Mlp { widths: widths_for(k) },
+            &FedSpec::Mlp {
+                widths: widths_for(k),
+            },
             &cfg_quality(),
             &tc,
             qv_train.party_a.clone(),
@@ -82,7 +93,11 @@ fn main() {
         accs.push(outcome.report.test_metric);
     }
 
-    let mut t = Table::new(vec!["# Layers", "Relative Time Cost", "Validation Accuracy"]);
+    let mut t = Table::new(vec![
+        "# Layers",
+        "Relative Time Cost",
+        "Validation Accuracy",
+    ]);
     for (i, &k) in layer_counts.iter().enumerate() {
         t.row(vec![
             k.to_string(),

@@ -13,13 +13,13 @@
 
 use bf_datagen::{DatasetSpec, Shape};
 use bf_ml::data::Dataset;
+use bf_paillier::ObfMode;
 use bf_tensor::Dense;
 use bf_util::Stopwatch;
 use blindfl::config::{Backend, FedConfig};
 use blindfl::session::run_pair;
 use blindfl::source::matmul::{aggregate_a, aggregate_b};
 use blindfl::source::MatMulSource;
-use bf_paillier::ObfMode;
 
 /// Paillier configuration for the timing experiments.
 pub fn cfg_timing() -> FedConfig {
@@ -155,8 +155,7 @@ mod tests {
         let s = bf_datagen::spec("a9a").scaled(200, 1);
         let (train, _) = generate(&s, 1);
         let v = vsplit(&train);
-        let secs =
-            matmul_source_batch_secs(&cfg_quality(), &v.party_a, &v.party_b, 1, 32, 2);
+        let secs = matmul_source_batch_secs(&cfg_quality(), &v.party_a, &v.party_b, 1, 32, 2);
         assert!(secs > 0.0 && secs < 5.0);
     }
 

@@ -81,9 +81,7 @@ fn knuth_d(num: &BigUint, den: &BigUint) -> (BigUint, BigUint) {
         let mut qhat = u_hi / vn1 as u128;
         let mut rhat = u_hi % vn1 as u128;
         // Refine: at most two corrections.
-        while qhat >> 64 != 0
-            || qhat * vn2 as u128 > ((rhat << 64) | u[j + n - 2] as u128)
-        {
+        while qhat >> 64 != 0 || qhat * vn2 as u128 > ((rhat << 64) | u[j + n - 2] as u128) {
             qhat -= 1;
             rhat += vn1 as u128;
             if rhat >> 64 != 0 {

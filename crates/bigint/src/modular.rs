@@ -49,7 +49,11 @@ pub fn mod_inv(a: &BigUint, m: &BigUint) -> Option<BigUint> {
     if !r0.is_one() {
         return None; // not coprime
     }
-    let inv = if neg0 { m.sub(&t0.rem(m)).rem(m) } else { t0.rem(m) };
+    let inv = if neg0 {
+        m.sub(&t0.rem(m)).rem(m)
+    } else {
+        t0.rem(m)
+    };
     Some(inv)
 }
 
@@ -105,14 +109,23 @@ mod tests {
 
     #[test]
     fn gcd_basics() {
-        assert_eq!(gcd(&BigUint::from_u64(12), &BigUint::from_u64(18)).low_u64(), 6);
-        assert_eq!(gcd(&BigUint::from_u64(17), &BigUint::from_u64(13)).low_u64(), 1);
+        assert_eq!(
+            gcd(&BigUint::from_u64(12), &BigUint::from_u64(18)).low_u64(),
+            6
+        );
+        assert_eq!(
+            gcd(&BigUint::from_u64(17), &BigUint::from_u64(13)).low_u64(),
+            1
+        );
         assert_eq!(gcd(&BigUint::zero(), &BigUint::from_u64(5)).low_u64(), 5);
     }
 
     #[test]
     fn lcm_basics() {
-        assert_eq!(lcm(&BigUint::from_u64(4), &BigUint::from_u64(6)).low_u64(), 12);
+        assert_eq!(
+            lcm(&BigUint::from_u64(4), &BigUint::from_u64(6)).low_u64(),
+            12
+        );
     }
 
     #[test]
@@ -142,8 +155,9 @@ mod tests {
     #[test]
     fn batch_mod_inv_matches_individual() {
         let m = BigUint::one().shl(127).sub_u64(1);
-        let values: Vec<BigUint> =
-            (1..20u64).map(|i| BigUint::from_u64(i * 7919 + 3)).collect();
+        let values: Vec<BigUint> = (1..20u64)
+            .map(|i| BigUint::from_u64(i * 7919 + 3))
+            .collect();
         let batch = batch_mod_inv(&values, &m);
         for (v, inv) in values.iter().zip(&batch) {
             assert!(v.mod_mul(inv, &m).is_one());

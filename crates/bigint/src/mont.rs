@@ -30,7 +30,13 @@ impl MontCtx {
         let r = BigUint::one().shl(64 * k);
         let r1 = pad(&r.rem(m), k);
         let r2 = pad(&r.mod_mul(&r, m), k);
-        Self { m: m.clone(), k, m_inv, r1, r2 }
+        Self {
+            m: m.clone(),
+            k,
+            m_inv,
+            r1,
+            r2,
+        }
     }
 
     /// Convert to Montgomery form: `a*R mod m`. `a` must be `< m`.
@@ -286,9 +292,19 @@ mod tests {
     fn pow_edge_cases() {
         let m = BigUint::from_u64(97);
         let ctx = MontCtx::new(&m);
-        assert_eq!(ctx.pow(&BigUint::from_u64(5), &BigUint::zero()).low_u64(), 1);
-        assert_eq!(ctx.pow(&BigUint::zero(), &BigUint::from_u64(5)).low_u64(), 0);
-        assert_eq!(ctx.pow(&BigUint::from_u64(96), &BigUint::from_u64(2)).low_u64(), 1);
+        assert_eq!(
+            ctx.pow(&BigUint::from_u64(5), &BigUint::zero()).low_u64(),
+            1
+        );
+        assert_eq!(
+            ctx.pow(&BigUint::zero(), &BigUint::from_u64(5)).low_u64(),
+            0
+        );
+        assert_eq!(
+            ctx.pow(&BigUint::from_u64(96), &BigUint::from_u64(2))
+                .low_u64(),
+            1
+        );
     }
 
     #[test]
@@ -328,7 +344,11 @@ mod tests {
         let got = ctx.from_mont(&ctx.pow_mont(&am, &e));
         assert_eq!(got, ctx.pow(&a, &e));
         // Zero exponent gives 1.
-        assert_eq!(ctx.from_mont(&ctx.pow_mont(&am, &BigUint::zero())).low_u64(), 1);
+        assert_eq!(
+            ctx.from_mont(&ctx.pow_mont(&am, &BigUint::zero()))
+                .low_u64(),
+            1
+        );
     }
 
     #[test]

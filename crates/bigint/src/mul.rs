@@ -49,9 +49,7 @@ impl BigUint {
         for i in 0..n {
             let mut carry = 0u128;
             for j in (i + 1)..n {
-                let t = self.limbs[i] as u128 * self.limbs[j] as u128
-                    + out[i + j] as u128
-                    + carry;
+                let t = self.limbs[i] as u128 * self.limbs[j] as u128 + out[i + j] as u128 + carry;
                 out[i + j] = t as u64;
                 carry = t >> 64;
             }
@@ -74,9 +72,7 @@ impl BigUint {
         // Diagonal.
         let mut carry = 0u128;
         for i in 0..n {
-            let t = self.limbs[i] as u128 * self.limbs[i] as u128
-                + out[2 * i] as u128
-                + carry;
+            let t = self.limbs[i] as u128 * self.limbs[i] as u128 + out[2 * i] as u128 + carry;
             out[2 * i] = t as u64;
             let t2 = out[2 * i + 1] as u128 + (t >> 64);
             out[2 * i + 1] = t2 as u64;

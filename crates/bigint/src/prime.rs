@@ -7,15 +7,18 @@ use rand::Rng;
 /// Small primes for trial division before Miller–Rabin.
 const SMALL_PRIMES: &[u64] = &[
     3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97,
-    101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191,
-    193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251,
+    101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191, 193,
+    197, 199, 211, 223, 227, 229, 233, 239, 241, 251,
 ];
 
 /// Miller–Rabin with `rounds` random bases (error probability 4^-rounds).
 pub fn is_probable_prime<R: Rng + ?Sized>(n: &BigUint, rounds: usize, rng: &mut R) -> bool {
     if n.bits() <= 6 {
         let v = n.low_u64();
-        return matches!(v, 2 | 3 | 5 | 7 | 11 | 13 | 17 | 19 | 23 | 29 | 31 | 37 | 41 | 43 | 47 | 53 | 59 | 61);
+        return matches!(
+            v,
+            2 | 3 | 5 | 7 | 11 | 13 | 17 | 19 | 23 | 29 | 31 | 37 | 41 | 43 | 47 | 53 | 59 | 61
+        );
     }
     if n.is_even() {
         return false;
@@ -100,7 +103,10 @@ mod tests {
     fn known_small_primes() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
         for p in [2u64, 3, 5, 7, 97, 101, 65537, 1_000_000_007] {
-            assert!(is_probable_prime(&BigUint::from_u64(p), 20, &mut rng), "p={p}");
+            assert!(
+                is_probable_prime(&BigUint::from_u64(p), 20, &mut rng),
+                "p={p}"
+            );
         }
     }
 
@@ -108,8 +114,23 @@ mod tests {
     fn known_composites() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(2);
         // Includes Carmichael numbers 561, 1105, 1729, 294409.
-        for c in [1u64, 4, 9, 15, 91, 561, 1105, 1729, 294409, 65536, 1_000_000_008] {
-            assert!(!is_probable_prime(&BigUint::from_u64(c), 20, &mut rng), "c={c}");
+        for c in [
+            1u64,
+            4,
+            9,
+            15,
+            91,
+            561,
+            1105,
+            1729,
+            294409,
+            65536,
+            1_000_000_008,
+        ] {
+            assert!(
+                !is_probable_prime(&BigUint::from_u64(c), 20, &mut rng),
+                "c={c}"
+            );
         }
     }
 

@@ -24,7 +24,11 @@ pub fn random_below<R: Rng + ?Sized>(rng: &mut R, bound: &BigUint) -> BigUint {
     let bits = bound.bits();
     let limbs = bits.div_ceil(64);
     let top_bits = bits - (limbs - 1) * 64;
-    let mask = if top_bits == 64 { u64::MAX } else { (1u64 << top_bits) - 1 };
+    let mask = if top_bits == 64 {
+        u64::MAX
+    } else {
+        (1u64 << top_bits) - 1
+    };
     loop {
         let mut v: Vec<u64> = (0..limbs).map(|_| rng.random()).collect();
         v[limbs - 1] &= mask;

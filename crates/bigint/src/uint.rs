@@ -37,7 +37,9 @@ impl BigUint {
     pub fn from_u128(v: u128) -> Self {
         let lo = v as u64;
         let hi = (v >> 64) as u64;
-        let mut out = Self { limbs: vec![lo, hi] };
+        let mut out = Self {
+            limbs: vec![lo, hi],
+        };
         out.normalize();
         out
     }

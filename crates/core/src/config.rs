@@ -58,7 +58,9 @@ impl FedConfig {
     /// Paper defaults with a laptop-scale Paillier modulus.
     pub fn paillier_default() -> Self {
         Self {
-            backend: Backend::Paillier { key_bits: bf_paillier::DEFAULT_KEY_BITS },
+            backend: Backend::Paillier {
+                key_bits: bf_paillier::DEFAULT_KEY_BITS,
+            },
             frac_bits: bf_paillier::DEFAULT_FRAC_BITS,
             obf_mode: ObfMode::Pool(32),
             he_mask: 1e4,
@@ -121,7 +123,9 @@ mod tests {
 
     #[test]
     fn builders() {
-        let c = FedConfig::plain().with_lr(0.1).with_grad_mode(GradMode::PlainGradToA { v_scale: 5.0 });
+        let c = FedConfig::plain()
+            .with_lr(0.1)
+            .with_grad_mode(GradMode::PlainGradToA { v_scale: 5.0 });
         assert_eq!(c.lr, 0.1);
         assert!(matches!(c.grad_mode, GradMode::PlainGradToA { .. }));
     }

@@ -32,7 +32,12 @@ pub fn embed_share_vs_table(a: &PartyAModel, b: &PartyBModel) -> Vec<(f64, f64)>
 }
 
 fn zip_coords(piece: &Dense, truth: &Dense) -> Vec<(f64, f64)> {
-    piece.data().iter().zip(truth.data()).map(|(&p, &t)| (p, t)).collect()
+    piece
+        .data()
+        .iter()
+        .zip(truth.data())
+        .map(|(&p, &t)| (p, t))
+        .collect()
 }
 
 /// Summary of how (un)informative a share piece is about the truth:
@@ -44,7 +49,10 @@ pub fn share_informativeness(pairs: &[(f64, f64)]) -> (f64, f64) {
     let pieces: Vec<f64> = pairs.iter().map(|p| p.0).collect();
     let truths: Vec<f64> = pairs.iter().map(|p| p.1).collect();
     let corr = bf_util::stats::pearson(&pieces, &truths);
-    let agree = pairs.iter().filter(|(p, t)| (p > &0.0) == (t > &0.0)).count() as f64
+    let agree = pairs
+        .iter()
+        .filter(|(p, t)| (p > &0.0) == (t > &0.0))
+        .count() as f64
         / pairs.len().max(1) as f64;
     (corr, agree)
 }
@@ -55,7 +63,9 @@ mod tests {
 
     #[test]
     fn informativeness_detects_identity() {
-        let pairs: Vec<(f64, f64)> = (0..100).map(|i| (i as f64 - 50.0, i as f64 - 50.0)).collect();
+        let pairs: Vec<(f64, f64)> = (0..100)
+            .map(|i| (i as f64 - 50.0, i as f64 - 50.0))
+            .collect();
         let (corr, agree) = share_informativeness(&pairs);
         assert!(corr > 0.99);
         assert!(agree > 0.97);

@@ -75,14 +75,20 @@ impl PartyAModel {
         let (matmul, embed) = match spec {
             FedSpec::Glm { out } => (Some(MatMulSource::init(sess, num_dim, *out)), None),
             FedSpec::Mlp { widths } => (Some(MatMulSource::init(sess, num_dim, widths[0])), None),
-            FedSpec::Wdl { emb_dim, deep_hidden, out } => {
+            FedSpec::Wdl {
+                emb_dim,
+                deep_hidden,
+                out,
+            } => {
                 let mm = MatMulSource::init(sess, num_dim, *out);
                 let cat = data.cat.as_ref().expect("WDL needs categorical features");
                 let proj = deep_hidden.first().copied().unwrap_or(*out);
                 let em = EmbedSource::init(sess, cat.vocab(), cat.fields(), *emb_dim, proj);
                 (Some(mm), Some(em))
             }
-            FedSpec::Dlrm { emb_dim, vec_dim, .. } => {
+            FedSpec::Dlrm {
+                emb_dim, vec_dim, ..
+            } => {
                 let mm = MatMulSource::init(sess, num_dim, *vec_dim);
                 let cat = data.cat.as_ref().expect("DLRM needs categorical features");
                 let em = EmbedSource::init(sess, cat.vocab(), cat.fields(), *emb_dim, *vec_dim);
@@ -142,9 +148,18 @@ enum Top {
     /// Bias only (GLM).
     Bias(Bias),
     /// Bias + ReLU + tower (MLP).
-    Tower { bias: Bias, act: Activation, tower: Mlp },
+    Tower {
+        bias: Bias,
+        act: Activation,
+        tower: Mlp,
+    },
     /// WDL: wide Z + deep(Z_cat → bias+relu+tower), summed, plus bias.
-    Wdl { deep_bias: Bias, deep_act: Activation, deep_tower: Mlp, out_bias: Bias },
+    Wdl {
+        deep_bias: Bias,
+        deep_act: Activation,
+        deep_tower: Mlp,
+        out_bias: Bias,
+    },
     /// DLRM: interaction of the two source vectors + top tower.
     Dlrm { tower: Mlp },
 }
@@ -172,7 +187,11 @@ impl PartyBModel {
                     },
                 )
             }
-            FedSpec::Wdl { emb_dim, deep_hidden, out } => {
+            FedSpec::Wdl {
+                emb_dim,
+                deep_hidden,
+                out,
+            } => {
                 let mm = MatMulSource::init(sess, num_dim, *out);
                 let cat = data.cat.as_ref().expect("WDL needs categorical features");
                 let proj = deep_hidden.first().copied().unwrap_or(*out);
@@ -190,7 +209,11 @@ impl PartyBModel {
                     },
                 )
             }
-            FedSpec::Dlrm { emb_dim, vec_dim, top_hidden } => {
+            FedSpec::Dlrm {
+                emb_dim,
+                vec_dim,
+                top_hidden,
+            } => {
                 let mm = MatMulSource::init(sess, num_dim, *vec_dim);
                 let cat = data.cat.as_ref().expect("DLRM needs categorical features");
                 let em = EmbedSource::init(sess, cat.vocab(), cat.fields(), *emb_dim, *vec_dim);
@@ -198,10 +221,21 @@ impl PartyBModel {
                 let mut widths = vec![2 * vec_dim + 1];
                 widths.extend_from_slice(top_hidden);
                 widths.push(1);
-                (Some(mm), Some(em), Top::Dlrm { tower: Mlp::new(&mut sess.rng, &widths) })
+                (
+                    Some(mm),
+                    Some(em),
+                    Top::Dlrm {
+                        tower: Mlp::new(&mut sess.rng, &widths),
+                    },
+                )
             }
         };
-        PartyBModel { spec: spec.clone(), matmul, embed, top }
+        PartyBModel {
+            spec: spec.clone(),
+            matmul,
+            embed,
+            top,
+        }
     }
 
     /// Output width of the model.
@@ -215,7 +249,12 @@ impl PartyBModel {
 
     /// Forward over a batch view: returns the logits plus the caches
     /// needed by the matching backward call.
-    pub fn forward(&mut self, sess: &mut Session, batch: &Dataset, train: bool) -> (Dense, FwdCache) {
+    pub fn forward(
+        &mut self,
+        sess: &mut Session,
+        batch: &Dataset,
+        train: bool,
+    ) -> (Dense, FwdCache) {
         let z_num = self.matmul.as_mut().map(|mm| {
             let x = batch.num.as_ref().expect("missing numerical block");
             let z_own = mm.forward(sess, x, train);
@@ -233,7 +272,12 @@ impl PartyBModel {
                 let h = act.forward(&bias.forward(z_num.as_ref().unwrap()));
                 tower.forward(&h)
             }
-            Top::Wdl { deep_bias, deep_act, deep_tower, out_bias } => {
+            Top::Wdl {
+                deep_bias,
+                deep_act,
+                deep_tower,
+                out_bias,
+            } => {
                 let h = deep_act.forward(&deep_bias.forward(z_cat.as_ref().unwrap()));
                 let deep = deep_tower.forward(&h);
                 out_bias.forward(&z_num.as_ref().unwrap().add(&deep))
@@ -269,7 +313,12 @@ impl PartyBModel {
                 bias.step(&opt);
                 (Some(gz), None)
             }
-            Top::Wdl { deep_bias, deep_act, deep_tower, out_bias } => {
+            Top::Wdl {
+                deep_bias,
+                deep_act,
+                deep_tower,
+                out_bias,
+            } => {
                 out_bias.backward(grad_logits);
                 let g_deep = deep_tower.backward(grad_logits);
                 let gz_cat = deep_act.backward(&g_deep);
@@ -399,6 +448,11 @@ mod tests {
     #[test]
     fn spec_categorical_flag() {
         assert!(!FedSpec::Glm { out: 1 }.uses_categorical());
-        assert!(FedSpec::Wdl { emb_dim: 8, deep_hidden: vec![16], out: 1 }.uses_categorical());
+        assert!(FedSpec::Wdl {
+            emb_dim: 8,
+            deep_hidden: vec![16],
+            out: 1
+        }
+        .uses_categorical());
     }
 }

@@ -55,7 +55,11 @@ impl MultiMatMulB {
             let v_a = bf_mpc::shares::random_mask(&mut sess.rng, in_a, out, bound);
             sess.ep.send(Msg::Ct(sess.own_pk.encrypt(&v_a, &sess.obf)));
             let enc_v_b = sess.ep.recv_ct();
-            links.push(Link { vel_v_a: Dense::zeros(in_a, out), v_a, enc_v_b });
+            links.push(Link {
+                vel_v_a: Dense::zeros(in_a, out),
+                v_a,
+                enc_v_b,
+            });
         }
         let u_own = u_own.expect("at least one Party A");
         MultiMatMulB {
@@ -117,12 +121,14 @@ impl MultiMatMulB {
 
         for (link, sess) in self.links.iter_mut().zip(sessions.iter_mut()) {
             // Lines 22–26 per Party A(i).
-            sess.ep.send(Msg::Ct(sess.own_pk.encrypt(grad_z, &sess.obf)));
+            sess.ep
+                .send(Msg::Ct(sess.own_pk.encrypt(grad_z, &sess.obf)));
             let support_a = sess.ep.recv_support();
             let rows_a: Vec<usize> = support_a.iter().map(|&c| c as usize).collect();
             let piece = he2ss_peer(&sess.ep, &sess.own_sk);
             let delta = step_piece(&mut link.v_a, &mut link.vel_v_a, &piece, &rows_a, lr, mu);
-            sess.ep.send(Msg::Ct(sess.own_pk.encrypt(&delta, &sess.obf)));
+            sess.ep
+                .send(Msg::Ct(sess.own_pk.encrypt(&delta, &sess.obf)));
         }
     }
 }
@@ -153,8 +159,7 @@ mod tests {
             let cfg_a = cfg.clone();
             let gz = grad_z.clone();
             handles.push(std::thread::spawn(move || {
-                let mut sess =
-                    Session::handshake(ep_a, cfg_a, Role::A, 1000 + i as u64);
+                let mut sess = Session::handshake(ep_a, cfg_a, Role::A, 1000 + i as u64);
                 let mut layer = MatMulSource::init(&mut sess, x_a.cols(), out);
                 for _ in 0..steps {
                     let z = layer.forward(&mut sess, &x_a, gz.is_some());
@@ -181,8 +186,10 @@ mod tests {
             }
         }
         let z = layer_b.forward(&mut sessions, &x_b, false);
-        let layers_a: Vec<MatMulSource> =
-            handles.into_iter().map(|h| h.join().expect("party A panicked")).collect();
+        let layers_a: Vec<MatMulSource> = handles
+            .into_iter()
+            .map(|h| h.join().expect("party A panicked"))
+            .collect();
         assert_eq!(layers_a.len(), m);
         (layers_a, layer_b, z)
     }
@@ -210,7 +217,11 @@ mod tests {
             w_b.add_assign(la.v_peer());
         }
         want.add_assign(&x_b.matmul(&w_b));
-        assert!(z.approx_eq(&want, 1e-4), "max err {}", z.sub(&want).max_abs());
+        assert!(
+            z.approx_eq(&want, 1e-4),
+            "max err {}",
+            z.sub(&want).max_abs()
+        );
     }
 
     #[test]
@@ -222,8 +233,7 @@ mod tests {
         ];
         let x_b = Features::Dense(rand_dense(4, 2, 6));
         let grad_z = rand_dense(4, 1, 7).scale(0.1);
-        let (layers_a, layer_b, z) =
-            run_multi(&cfg, xs_a.clone(), x_b.clone(), 1, Some(grad_z), 2);
+        let (layers_a, layer_b, z) = run_multi(&cfg, xs_a.clone(), x_b.clone(), 1, Some(grad_z), 2);
         let mut want = Dense::zeros(4, 1);
         let mut w_b = layer_b.u_own().clone();
         for (i, la) in layers_a.iter().enumerate() {
@@ -232,7 +242,11 @@ mod tests {
             w_b.add_assign(la.v_peer());
         }
         want.add_assign(&x_b.matmul(&w_b));
-        assert!(z.approx_eq(&want, 1e-3), "max err {}", z.sub(&want).max_abs());
+        assert!(
+            z.approx_eq(&want, 1e-3),
+            "max err {}",
+            z.sub(&want).max_abs()
+        );
     }
 
     #[test]

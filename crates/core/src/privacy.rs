@@ -47,13 +47,28 @@ pub enum Observable {
 /// Table 2: observables Party A must never obtain in the MatMul layer.
 pub fn matmul_forbidden_for_a() -> Vec<Observable> {
     use Observable::*;
-    vec![Z, PartialActivationA, PartialActivationB, GradZ, WeightsA, WeightsB, GradWeightsA, GradWeightsB]
+    vec![
+        Z,
+        PartialActivationA,
+        PartialActivationB,
+        GradZ,
+        WeightsA,
+        WeightsB,
+        GradWeightsA,
+        GradWeightsB,
+    ]
 }
 
 /// Table 2: observables Party B must never obtain in the MatMul layer.
 pub fn matmul_forbidden_for_b() -> Vec<Observable> {
     use Observable::*;
-    vec![PartialActivationA, PartialActivationB, WeightsA, WeightsB, GradWeightsA]
+    vec![
+        PartialActivationA,
+        PartialActivationB,
+        WeightsA,
+        WeightsB,
+        GradWeightsA,
+    ]
 }
 
 /// Table 3: observables Party A must never obtain in the Embed-MatMul
@@ -115,7 +130,12 @@ mod tests {
     #[test]
     fn party_a_sees_nothing_informative() {
         let forbidden = matmul_forbidden_for_a();
-        for o in [Observable::Z, Observable::GradZ, Observable::WeightsA, Observable::GradWeightsA] {
+        for o in [
+            Observable::Z,
+            Observable::GradZ,
+            Observable::WeightsA,
+            Observable::GradWeightsA,
+        ] {
             assert!(forbidden.contains(&o));
         }
     }

@@ -55,12 +55,24 @@ impl Session {
         let obf = Obfuscator::new(&own_pk, cfg.obf_mode, seed ^ 0x0bf);
         ep.send(Msg::Key(own_pk.clone()));
         let peer_pk = ep.recv_key();
-        Session { cfg, role, own_pk, own_sk, obf, peer_pk, ep, rng }
+        Session {
+            cfg,
+            role,
+            own_pk,
+            own_sk,
+            obf,
+            peer_pk,
+            ep,
+            rng,
+        }
     }
 
     /// The learning rate as an [`bf_ml::Sgd`] for piecewise updates.
     pub fn sgd(&self) -> bf_ml::Sgd {
-        bf_ml::Sgd { lr: self.cfg.lr, momentum: self.cfg.momentum }
+        bf_ml::Sgd {
+            lr: self.cfg.lr,
+            momentum: self.cfg.momentum,
+        }
     }
 
     /// True if this session runs the Plain (identity) backend.
@@ -115,11 +127,13 @@ mod tests {
             |sess| {
                 let ct: CtMat = sess.ep.recv_ct();
                 let phi = Dense::from_vec(1, 2, vec![10.0, -20.0]);
-                sess.ep.send(bf_mpc::Msg::Ct(sess.peer_pk.sub_plain(&ct, &phi)));
+                sess.ep
+                    .send(bf_mpc::Msg::Ct(sess.peer_pk.sub_plain(&ct, &phi)));
             },
             |sess| {
                 let m = Dense::from_vec(1, 2, vec![1.5, -2.5]);
-                sess.ep.send(bf_mpc::Msg::Ct(sess.own_pk.encrypt(&m, &sess.obf)));
+                sess.ep
+                    .send(bf_mpc::Msg::Ct(sess.own_pk.encrypt(&m, &sess.obf)));
                 let masked = sess.own_sk.decrypt(&sess.ep.recv_ct());
                 let want = Dense::from_vec(1, 2, vec![1.5 - 10.0, -2.5 + 20.0]);
                 assert!(masked.approx_eq(&want, 1e-5));

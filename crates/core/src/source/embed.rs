@@ -98,9 +98,12 @@ impl EmbedSource {
 
         // Send our three encrypted pieces (⟦T_peer⟧, ⟦V_peer⟧, ⟦U_own⟧,
         // all under our own key); receive the symmetric three.
-        sess.ep.send(Msg::Ct(sess.own_pk.encrypt(&t_peer, &sess.obf)));
-        sess.ep.send(Msg::Ct(sess.own_pk.encrypt(&v_peer, &sess.obf)));
-        sess.ep.send(Msg::Ct(sess.own_pk.encrypt(&u_own, &sess.obf)));
+        sess.ep
+            .send(Msg::Ct(sess.own_pk.encrypt(&t_peer, &sess.obf)));
+        sess.ep
+            .send(Msg::Ct(sess.own_pk.encrypt(&v_peer, &sess.obf)));
+        sess.ep
+            .send(Msg::Ct(sess.own_pk.encrypt(&u_own, &sess.obf)));
         let enc_t_own = sess.ep.recv_ct();
         let enc_v_own = sess.ep.recv_ct();
         let enc_u_peer = sess.ep.recv_ct();
@@ -161,13 +164,23 @@ impl EmbedSource {
         // Stage 1 — secret-shared embeddings (lines 5–7): lookup over
         // the encrypted peer piece, HE2SS, add the plaintext piece.
         let lk = sess.peer_pk.lkup(&self.enc_t_own, x);
-        let eps = he2ss_holder(&sess.ep, &sess.peer_pk, &lk, sess.cfg.he_mask, &mut sess.rng);
+        let eps = he2ss_holder(
+            &sess.ep,
+            &sess.peer_pk,
+            &lk,
+            sess.cfg.he_mask,
+            &mut sess.rng,
+        );
         let e_peer = he2ss_peer(&sess.ep, &sess.own_sk); // E_peer − ψ_peer
         let psi = eps.add(&lookup(&self.s_own, x)); // ψ_own
 
         // Stage 2 — two shared matmuls (lines 8–9).
-        let z1 =
-            shared_matmul_fw(sess, &Features::Dense(psi.clone()), &self.u_own, &self.enc_v_own);
+        let z1 = shared_matmul_fw(
+            sess,
+            &Features::Dense(psi.clone()),
+            &self.u_own,
+            &self.enc_v_own,
+        );
         let z2 = shared_matmul_fw(
             sess,
             &Features::Dense(e_peer.clone()),
@@ -192,15 +205,19 @@ impl EmbedSource {
         let e_peer = self.cached_e_peer.take().expect("backward before forward");
 
         // Line 12: send ⟦∇Z⟧ and ⟦∇Z·V_Aᵀ⟧ (V_A is B's piece of A's W).
-        sess.ep.send(Msg::Ct(sess.own_pk.encrypt(grad_z, &sess.obf)));
+        sess.ep
+            .send(Msg::Ct(sess.own_pk.encrypt(grad_z, &sess.obf)));
         let gzva = grad_z.matmul_t(&self.v_peer);
-        sess.ep.send(Msg::Ct(sess.own_pk.encrypt_at_scale(&gzva, 2, &sess.obf)));
+        sess.ep
+            .send(Msg::Ct(sess.own_pk.encrypt_at_scale(&gzva, 2, &sess.obf)));
 
         // ⟦∇E_B⟧ must use the *forward-pass* weights, so compute it now,
         // before any weight piece or cache is updated below:
         // ⟦∇E_B⟧_A = ∇Z·U_Bᵀ (plain) + ∇Z·⟦V_Bᵀ⟧ (homomorphic).
-        let t1 =
-            sess.peer_pk.matmul(&Features::Dense(grad_z.clone()), &self.enc_v_own.transpose());
+        let t1 = sess.peer_pk.matmul(
+            &Features::Dense(grad_z.clone()),
+            &self.enc_v_own.transpose(),
+        );
         let grad_e_ct = sess.peer_pk.add_plain(&t1, &grad_z.matmul_t(&self.u_own));
 
         // ∇W_A (lines 13–14): receive A's HE2SS piece, add our local
@@ -218,7 +235,8 @@ impl EmbedSource {
             sess.cfg.lr,
             sess.cfg.momentum,
         );
-        sess.ep.send(Msg::Ct(sess.own_pk.encrypt(&delta, &sess.obf)));
+        sess.ep
+            .send(Msg::Ct(sess.own_pk.encrypt(&delta, &sess.obf)));
 
         // ∇W_B (lines 15–16): A supplies ⟨(E_B−ψ_B)ᵀ∇Z − ξ⟩; we add
         // ψ_Bᵀ∇Z, update U_B, refresh ⟦U_B⟧ at A.
@@ -233,31 +251,46 @@ impl EmbedSource {
             sess.cfg.lr,
             sess.cfg.momentum,
         );
-        sess.ep.send(Msg::Ct(sess.own_pk.encrypt(&delta, &sess.obf)));
+        sess.ep
+            .send(Msg::Ct(sess.own_pk.encrypt(&delta, &sess.obf)));
 
         // A's refreshes of our caches: ⟦V_B⟧ (A updated V_B by ξ) and
         // ⟦U_A⟧ (A updated U_A by φ).
         let delta_vb = sess.ep.recv_ct();
         let all_vb: Vec<usize> = (0..self.enc_v_own.rows()).collect();
-        sess.peer_pk.rows_add_assign(&mut self.enc_v_own, &all_vb, &delta_vb);
+        sess.peer_pk
+            .rows_add_assign(&mut self.enc_v_own, &all_vb, &delta_vb);
         let delta_ua = sess.ep.recv_ct();
         let all_ua: Vec<usize> = (0..self.enc_u_peer.rows()).collect();
-        sess.peer_pk.rows_add_assign(&mut self.enc_u_peer, &all_ua, &delta_ua);
+        sess.peer_pk
+            .rows_add_assign(&mut self.enc_u_peer, &all_ua, &delta_ua);
 
         // Embed part, own table (lines 21–26, B's half), using the
         // pre-update ⟦∇E_B⟧ computed above.
         let support_b = x.support();
         let grad_q_ct = sess.peer_pk.lkup_bw(&grad_e_ct, &x, &support_b, self.dim);
         sess.ep.send(Msg::Support(support_b.clone()));
-        let rho =
-            he2ss_holder(&sess.ep, &sess.peer_pk, &grad_q_ct, sess.cfg.he_mask, &mut sess.rng);
+        let rho = he2ss_holder(
+            &sess.ep,
+            &sess.peer_pk,
+            &grad_q_ct,
+            sess.cfg.he_mask,
+            &mut sess.rng,
+        );
         // Update S_B by ρ_B (lazy momentum on the support rows).
         let rows: Vec<usize> = support_b.iter().map(|&c| c as usize).collect();
-        let _ =
-            step_piece(&mut self.s_own, &mut self.vel_s, &rho, &rows, sess.cfg.lr, sess.cfg.momentum);
+        let _ = step_piece(
+            &mut self.s_own,
+            &mut self.vel_s,
+            &rho,
+            &rows,
+            sess.cfg.lr,
+            sess.cfg.momentum,
+        );
         // A updates T_B and sends the encrypted delta for our ⟦T_B⟧.
         let delta_tb = sess.ep.recv_ct();
-        sess.peer_pk.rows_add_assign(&mut self.enc_t_own, &rows, &delta_tb);
+        sess.peer_pk
+            .rows_add_assign(&mut self.enc_t_own, &rows, &delta_tb);
 
         // Embed part, peer table: we hold T_A — receive A's support and
         // the HE2SS piece of ∇Q_A, update T_A, refresh A's ⟦T_A⟧.
@@ -272,7 +305,8 @@ impl EmbedSource {
             sess.cfg.lr,
             sess.cfg.momentum,
         );
-        sess.ep.send(Msg::Ct(sess.own_pk.encrypt(&delta, &sess.obf)));
+        sess.ep
+            .send(Msg::Ct(sess.own_pk.encrypt(&delta, &sess.obf)));
     }
 
     /// Backward propagation, Party A side (Figure 7, lines 12–26).
@@ -294,8 +328,16 @@ impl EmbedSource {
         // ∇W_A (line 13): ⟦ψ_Aᵀ∇Z⟧ on the full projection rows, HE2SS.
         let d_a = psi.cols();
         let full_a: Vec<u32> = (0..d_a as u32).collect();
-        let prod = sess.peer_pk.t_matmul_support(&Features::Dense(psi), &ct_gz, &full_a);
-        let phi = he2ss_holder(&sess.ep, &sess.peer_pk, &prod, sess.cfg.he_mask, &mut sess.rng);
+        let prod = sess
+            .peer_pk
+            .t_matmul_support(&Features::Dense(psi), &ct_gz, &full_a);
+        let phi = he2ss_holder(
+            &sess.ep,
+            &sess.peer_pk,
+            &prod,
+            sess.cfg.he_mask,
+            &mut sess.rng,
+        );
         // Update U_A by φ and remember the delta for B's ⟦U_A⟧ cache.
         let rows_a: Vec<usize> = (0..d_a).collect();
         let delta_ua = step_piece(
@@ -310,8 +352,16 @@ impl EmbedSource {
         // ∇W_B (line 15): ⟦(E_B−ψ_B)ᵀ∇Z⟧, HE2SS; update V_B by ξ.
         let d_b = e_peer.cols();
         let full_b: Vec<u32> = (0..d_b as u32).collect();
-        let prod = sess.peer_pk.t_matmul_support(&Features::Dense(e_peer), &ct_gz, &full_b);
-        let xi = he2ss_holder(&sess.ep, &sess.peer_pk, &prod, sess.cfg.he_mask, &mut sess.rng);
+        let prod = sess
+            .peer_pk
+            .t_matmul_support(&Features::Dense(e_peer), &ct_gz, &full_b);
+        let xi = he2ss_holder(
+            &sess.ep,
+            &sess.peer_pk,
+            &prod,
+            sess.cfg.he_mask,
+            &mut sess.rng,
+        );
         let rows_b: Vec<usize> = (0..d_b).collect();
         let delta_vb = step_piece(
             &mut self.v_peer,
@@ -325,13 +375,17 @@ impl EmbedSource {
         // Receive B's refreshes for our caches (⟦V_A⟧ then ⟦U_B⟧)...
         let delta_va = sess.ep.recv_ct();
         let all_va: Vec<usize> = (0..self.enc_v_own.rows()).collect();
-        sess.peer_pk.rows_add_assign(&mut self.enc_v_own, &all_va, &delta_va);
+        sess.peer_pk
+            .rows_add_assign(&mut self.enc_v_own, &all_va, &delta_va);
         let delta_ub = sess.ep.recv_ct();
         let all_ub: Vec<usize> = (0..self.enc_u_peer.rows()).collect();
-        sess.peer_pk.rows_add_assign(&mut self.enc_u_peer, &all_ub, &delta_ub);
+        sess.peer_pk
+            .rows_add_assign(&mut self.enc_u_peer, &all_ub, &delta_ub);
         // ...and send ours (⟦V_B⟧ at B, then ⟦U_A⟧ at B).
-        sess.ep.send(Msg::Ct(sess.own_pk.encrypt(&delta_vb, &sess.obf)));
-        sess.ep.send(Msg::Ct(sess.own_pk.encrypt(&delta_ua, &sess.obf)));
+        sess.ep
+            .send(Msg::Ct(sess.own_pk.encrypt(&delta_vb, &sess.obf)));
+        sess.ep
+            .send(Msg::Ct(sess.own_pk.encrypt(&delta_ua, &sess.obf)));
 
         // Embed part, peer table (B's table): receive support + piece,
         // update T_B, refresh B's ⟦T_B⟧.
@@ -346,21 +400,34 @@ impl EmbedSource {
             sess.cfg.lr,
             sess.cfg.momentum,
         );
-        sess.ep.send(Msg::Ct(sess.own_pk.encrypt(&delta, &sess.obf)));
+        sess.ep
+            .send(Msg::Ct(sess.own_pk.encrypt(&delta, &sess.obf)));
 
         // Embed part, own table (line 21 for A), using the pre-update
         // ⟦∇E_A⟧ computed above.
         let support_a = x.support();
         let grad_q_ct = sess.peer_pk.lkup_bw(&grad_e_ct, &x, &support_a, self.dim);
         sess.ep.send(Msg::Support(support_a.clone()));
-        let rho =
-            he2ss_holder(&sess.ep, &sess.peer_pk, &grad_q_ct, sess.cfg.he_mask, &mut sess.rng);
+        let rho = he2ss_holder(
+            &sess.ep,
+            &sess.peer_pk,
+            &grad_q_ct,
+            sess.cfg.he_mask,
+            &mut sess.rng,
+        );
         let rows: Vec<usize> = support_a.iter().map(|&c| c as usize).collect();
-        let _ =
-            step_piece(&mut self.s_own, &mut self.vel_s, &rho, &rows, sess.cfg.lr, sess.cfg.momentum);
+        let _ = step_piece(
+            &mut self.s_own,
+            &mut self.vel_s,
+            &rho,
+            &rows,
+            sess.cfg.lr,
+            sess.cfg.momentum,
+        );
         // B updates T_A and refreshes our ⟦T_A⟧.
         let delta_ta = sess.ep.recv_ct();
-        sess.peer_pk.rows_add_assign(&mut self.enc_t_own, &rows, &delta_ta);
+        sess.peer_pk
+            .rows_add_assign(&mut self.enc_t_own, &rows, &delta_ta);
     }
 }
 
@@ -447,7 +514,11 @@ mod tests {
         let x_b = cat_block(3, &[5], 2);
         let (a, b, z) = roundtrip(&cfg, x_a.clone(), x_b.clone(), 2, 2, None, 1);
         let want = reference_z(&a, &b, &x_a, &x_b);
-        assert!(z.approx_eq(&want, 1e-3), "max err {}", z.sub(&want).max_abs());
+        assert!(
+            z.approx_eq(&want, 1e-3),
+            "max err {}",
+            z.sub(&want).max_abs()
+        );
     }
 
     #[test]
@@ -457,7 +528,11 @@ mod tests {
         let x_b = cat_block(4, &[8, 3], 4);
         let (a, b, z) = roundtrip(&cfg, x_a.clone(), x_b.clone(), 3, 2, None, 1);
         let want = reference_z(&a, &b, &x_a, &x_b);
-        assert!(z.approx_eq(&want, 1e-4), "max err {}", z.sub(&want).max_abs());
+        assert!(
+            z.approx_eq(&want, 1e-4),
+            "max err {}",
+            z.sub(&want).max_abs()
+        );
     }
 
     #[test]
@@ -474,7 +549,11 @@ mod tests {
         };
         let (a, b, z) = roundtrip(&cfg, x_a.clone(), x_b.clone(), 2, 2, Some(grad_z), 3);
         let want = reference_z(&a, &b, &x_a, &x_b);
-        assert!(z.approx_eq(&want, 1e-2), "max err {}", z.sub(&want).max_abs());
+        assert!(
+            z.approx_eq(&want, 1e-2),
+            "max err {}",
+            z.sub(&want).max_abs()
+        );
     }
 
     #[test]
@@ -490,11 +569,22 @@ mod tests {
         };
 
         let (a0, b0, _) = roundtrip(&cfg, x_a.clone(), x_b.clone(), 2, 2, None, 1);
-        let (a1, b1, _) = roundtrip(&cfg, x_a.clone(), x_b.clone(), 2, 2, Some(grad_z.clone()), 1);
+        let (a1, b1, _) = roundtrip(
+            &cfg,
+            x_a.clone(),
+            x_b.clone(),
+            2,
+            2,
+            Some(grad_z.clone()),
+            1,
+        );
 
         let q_a0 = a0.s_own().add(b0.t_peer());
         let w_a0 = a0.u_own().add(b0.v_peer());
-        let opt = Sgd { lr: cfg.lr, momentum: cfg.momentum };
+        let opt = Sgd {
+            lr: cfg.lr,
+            momentum: cfg.momentum,
+        };
         let mut rng = rand::rngs::StdRng::seed_from_u64(0);
         let mut emb = Embedding::new(&mut rng, q_a0.rows(), 2);
         emb.table = q_a0.clone();
@@ -509,7 +599,15 @@ mod tests {
 
         let q_a1 = a1.s_own().add(b1.t_peer());
         let w_a1 = a1.u_own().add(b1.v_peer());
-        assert!(q_a1.approx_eq(&emb.table, 1e-6), "Q_A err {}", q_a1.sub(&emb.table).max_abs());
-        assert!(w_a1.approx_eq(&lin.w, 1e-6), "W_A err {}", w_a1.sub(&lin.w).max_abs());
+        assert!(
+            q_a1.approx_eq(&emb.table, 1e-6),
+            "Q_A err {}",
+            q_a1.sub(&emb.table).max_abs()
+        );
+        assert!(
+            w_a1.approx_eq(&lin.w, 1e-6),
+            "W_A err {}",
+            w_a1.sub(&lin.w).max_abs()
+        );
     }
 }

@@ -135,7 +135,8 @@ impl MatMulSource {
     pub fn backward_b(&mut self, sess: &mut Session, grad_z: &Dense) {
         assert_eq!(sess.role, Role::B, "backward_b on Party A");
         // Line 9: encrypt ∇Z for Party A.
-        sess.ep.send(Msg::Ct(sess.own_pk.encrypt(grad_z, &sess.obf)));
+        sess.ep
+            .send(Msg::Ct(sess.own_pk.encrypt(grad_z, &sess.obf)));
 
         // Line 11 (right): ∇W_B = X_Bᵀ∇Z locally, lazy momentum on the
         // batch support.
@@ -143,7 +144,8 @@ impl MatMulSource {
         let support = std::mem::take(&mut self.cached_support);
         let g = x.t_matmul_support(grad_z, &support);
         let rows: Vec<usize> = support.iter().map(|&c| c as usize).collect();
-        sess.sgd().step_sparse_rows(&mut self.u_own, &g, &mut self.vel_u, &rows);
+        sess.sgd()
+            .step_sparse_rows(&mut self.u_own, &g, &mut self.vel_u, &rows);
 
         // Lines 10–12 (assisting A): receive A's support and gradient
         // piece, update V_A, and refresh A's encrypted cache.
@@ -153,7 +155,8 @@ impl MatMulSource {
         match sess.cfg.grad_mode {
             GradMode::SecretShared => {
                 let delta = self.step_v_peer(sess, &piece, &rows_a);
-                sess.ep.send(Msg::Ct(sess.own_pk.encrypt(&delta, &sess.obf)));
+                sess.ep
+                    .send(Msg::Ct(sess.own_pk.encrypt(&delta, &sess.obf)));
             }
             GradMode::PlainGradToA { .. } => {
                 // Ablation: hand A its gradient piece in plaintext; V_A
@@ -186,23 +189,32 @@ impl MatMulSource {
 
         // Line 10: ⟦∇W_A⟧ = X_Aᵀ⟦∇Z⟧ on the support, then HE2SS.
         let prod = sess.peer_pk.t_matmul_support(&x, &ct_gz, &support);
-        let phi = he2ss_holder(&sess.ep, &sess.peer_pk, &prod, sess.cfg.he_mask, &mut sess.rng);
+        let phi = he2ss_holder(
+            &sess.ep,
+            &sess.peer_pk,
+            &prod,
+            sess.cfg.he_mask,
+            &mut sess.rng,
+        );
         let rows: Vec<usize> = support.iter().map(|&c| c as usize).collect();
 
         match sess.cfg.grad_mode {
             GradMode::SecretShared => {
                 // Line 11: update U_A by φ (lazy momentum on support).
-                sess.sgd().step_sparse_rows(&mut self.u_own, &phi, &mut self.vel_u, &rows);
+                sess.sgd()
+                    .step_sparse_rows(&mut self.u_own, &phi, &mut self.vel_u, &rows);
                 // Line 12: refresh ⟦V_A⟧ with B's encrypted delta.
                 let delta = sess.ep.recv_ct();
-                sess.peer_pk.rows_add_assign(&mut self.enc_v_own, &rows, &delta);
+                sess.peer_pk
+                    .rows_add_assign(&mut self.enc_v_own, &rows, &delta);
             }
             GradMode::PlainGradToA { .. } => {
                 // Ablation: reconstruct ∇W_A in plaintext (insecure by
                 // design — this is the attack surface Figure 9 probes).
                 let piece = sess.ep.recv_mat();
                 let full = phi.add(&piece);
-                sess.sgd().step_sparse_rows(&mut self.u_own, &full, &mut self.vel_u, &rows);
+                sess.sgd()
+                    .step_sparse_rows(&mut self.u_own, &full, &mut self.vel_u, &rows);
             }
         }
     }
@@ -224,7 +236,13 @@ pub(crate) fn shared_matmul_fw(
     w_enc_peer: &CtMat,
 ) -> Dense {
     let prod = sess.peer_pk.matmul(x, w_enc_peer);
-    let eps = he2ss_holder(&sess.ep, &sess.peer_pk, &prod, sess.cfg.he_mask, &mut sess.rng);
+    let eps = he2ss_holder(
+        &sess.ep,
+        &sess.peer_pk,
+        &prod,
+        sess.cfg.he_mask,
+        &mut sess.rng,
+    );
     let piece = he2ss_peer(&sess.ep, &sess.own_sk);
     x.matmul(w_plain).add(&eps).add(&piece)
 }
@@ -326,7 +344,11 @@ mod tests {
         let w_a = a.u_own().add(b.v_peer());
         let w_b = b.u_own().add(a.v_peer());
         let want = x_a.matmul(&w_a).add(&x_b.matmul(&w_b));
-        assert!(z.approx_eq(&want, 1e-4), "max err {}", z.sub(&want).max_abs());
+        assert!(
+            z.approx_eq(&want, 1e-4),
+            "max err {}",
+            z.sub(&want).max_abs()
+        );
     }
 
     #[test]
@@ -361,7 +383,10 @@ mod tests {
         let w_b1 = b1.u_own().add(a1.v_peer());
 
         // Plaintext reference (same init because run_pair seeds match).
-        let opt = Sgd { lr: cfg.lr, momentum: cfg.momentum };
+        let opt = Sgd {
+            lr: cfg.lr,
+            momentum: cfg.momentum,
+        };
         let mut ref_a = LinearF::from_weights(w_a0.clone());
         ref_a.forward(&x_a);
         ref_a.backward(&grad_z);
@@ -371,8 +396,16 @@ mod tests {
         ref_b.backward(&grad_z);
         ref_b.step(&opt);
 
-        assert!(w_a1.approx_eq(&ref_a.w, 1e-3), "W_A err {}", w_a1.sub(&ref_a.w).max_abs());
-        assert!(w_b1.approx_eq(&ref_b.w, 1e-3), "W_B err {}", w_b1.sub(&ref_b.w).max_abs());
+        assert!(
+            w_a1.approx_eq(&ref_a.w, 1e-3),
+            "W_A err {}",
+            w_a1.sub(&ref_a.w).max_abs()
+        );
+        assert!(
+            w_b1.approx_eq(&ref_b.w, 1e-3),
+            "W_B err {}",
+            w_b1.sub(&ref_b.w).max_abs()
+        );
     }
 
     #[test]
@@ -388,7 +421,11 @@ mod tests {
         let w_a = a.u_own().add(b.v_peer());
         let w_b = b.u_own().add(a.v_peer());
         let want = x_a.matmul(&w_a).add(&x_b.matmul(&w_b));
-        assert!(z.approx_eq(&want, 1e-3), "max err {}", z.sub(&want).max_abs());
+        assert!(
+            z.approx_eq(&want, 1e-3),
+            "max err {}",
+            z.sub(&want).max_abs()
+        );
     }
 
     #[test]

@@ -50,7 +50,13 @@ impl MatMulSource {
 
         // Lines 4–5: ⟦∇W_own⟧ = Xᵀ⟦∇Z⟧ on the support, HE2SS.
         let prod = sess.peer_pk.t_matmul_support(&x, &ct_gz, &support);
-        let phi = he2ss_holder(&sess.ep, &sess.peer_pk, &prod, sess.cfg.he_mask, &mut sess.rng);
+        let phi = he2ss_holder(
+            &sess.ep,
+            &sess.peer_pk,
+            &prod,
+            sess.cfg.he_mask,
+            &mut sess.rng,
+        );
         let piece = he2ss_peer(&sess.ep, &sess.own_sk); // ∇W_peer − φ_peer rows
 
         // Lines 6–8: update U_own by φ; update V_peer by the received
@@ -59,7 +65,8 @@ impl MatMulSource {
         self.step_u_own(sess, &phi, &rows);
         let peer_rows: Vec<usize> = peer_support.iter().map(|&c| c as usize).collect();
         let delta = self.step_v_peer_pub(sess, &piece, &peer_rows);
-        sess.ep.send(Msg::Ct(sess.own_pk.encrypt(&delta, &sess.obf)));
+        sess.ep
+            .send(Msg::Ct(sess.own_pk.encrypt(&delta, &sess.obf)));
         let delta_own = sess.ep.recv_ct();
         self.refresh_enc_v_own(sess, &rows, &delta_own);
     }
@@ -114,7 +121,12 @@ impl MatMulSource {
         let _ = step_piece(u, vel, piece, rows, sess.cfg.lr, sess.cfg.momentum);
     }
 
-    pub(crate) fn step_v_peer_pub(&mut self, sess: &Session, piece: &Dense, rows: &[usize]) -> Dense {
+    pub(crate) fn step_v_peer_pub(
+        &mut self,
+        sess: &Session,
+        piece: &Dense,
+        rows: &[usize],
+    ) -> Dense {
         let (v, vel) = self.v_peer_and_vel_mut();
         step_piece(v, vel, piece, rows, sess.cfg.lr, sess.cfg.momentum)
     }

@@ -16,8 +16,7 @@ use crate::models::{FedSpec, PartyAModel, PartyBModel};
 use crate::session::{run_pair, Session};
 
 /// Training-loop options for a federated run.
-#[derive(Clone, Debug)]
-#[derive(Default)]
+#[derive(Clone, Debug, Default)]
 pub struct FedTrainConfig {
     /// Epoch / batch / shuffle parameters (shared with the plaintext
     /// trainer so runs are comparable).
@@ -26,7 +25,6 @@ pub struct FedTrainConfig {
     /// activation-attack harness).
     pub snapshot_u_a: bool,
 }
-
 
 /// Outcome of a federated training run.
 pub struct FedReport {
@@ -61,7 +59,11 @@ pub struct FedOutcome {
 /// Sequential evaluation batches covering every row (the final short
 /// batch is kept — federated inference handles any batch size).
 fn eval_batches(n: usize, bs: usize) -> Vec<Vec<usize>> {
-    (0..n).collect::<Vec<_>>().chunks(bs).map(|c| c.to_vec()).collect()
+    (0..n)
+        .collect::<Vec<_>>()
+        .chunks(bs)
+        .map(|c| c.to_vec())
+        .collect()
 }
 
 /// Train a federated model and run federated inference on the test
@@ -115,7 +117,11 @@ fn run_party_a(
     let mut model = PartyAModel::init(sess, spec, train);
     let mut snapshots = Vec::new();
     for epoch in 0..tc.base.epochs {
-        let iter = BatchIter::new(train.rows(), tc.base.batch_size, tc.base.seed ^ epoch as u64);
+        let iter = BatchIter::new(
+            train.rows(),
+            tc.base.batch_size,
+            tc.base.seed ^ epoch as u64,
+        );
         for idx in iter {
             let batch = train.select(&idx);
             model.forward(sess, &batch, true);
@@ -149,7 +155,11 @@ fn run_party_b(
     let mut sw = Stopwatch::new();
     sw.start();
     for epoch in 0..tc.base.epochs {
-        let iter = BatchIter::new(train.rows(), tc.base.batch_size, tc.base.seed ^ epoch as u64);
+        let iter = BatchIter::new(
+            train.rows(),
+            tc.base.batch_size,
+            tc.base.seed ^ epoch as u64,
+        );
         for idx in iter {
             let batch = train.select(&idx);
             losses.push(model.train_batch(sess, &batch));
@@ -187,7 +197,10 @@ mod tests {
 
         let cfg = FedConfig::plain();
         let tc = FedTrainConfig {
-            base: bf_ml::TrainConfig { epochs: 8, ..Default::default() },
+            base: bf_ml::TrainConfig {
+                epochs: 8,
+                ..Default::default()
+            },
             snapshot_u_a: false,
         };
         let outcome = train_federated(
@@ -205,7 +218,10 @@ mod tests {
         // NonFed-Party B baseline.
         let mut rng = rand::rngs::StdRng::seed_from_u64(9);
         let mut pb = bf_ml::GlmModel::new(&mut rng, train_v.party_b.num_dim(), 1);
-        let base_cfg = bf_ml::TrainConfig { epochs: 8, ..Default::default() };
+        let base_cfg = bf_ml::TrainConfig {
+            epochs: 8,
+            ..Default::default()
+        };
         let pb_report = bf_ml::train(&mut pb, &train_v.party_b, &test_v.party_b, &base_cfg);
 
         assert!(fed_auc > 0.75, "federated AUC {fed_auc}");
@@ -238,7 +254,10 @@ mod tests {
         let seed = 3;
         let run = |epochs: usize| {
             let tc = FedTrainConfig {
-                base: bf_ml::TrainConfig { epochs, ..Default::default() },
+                base: bf_ml::TrainConfig {
+                    epochs,
+                    ..Default::default()
+                },
                 snapshot_u_a: false,
             };
             train_federated(
@@ -254,10 +273,18 @@ mod tests {
         };
         // Zero-epoch run captures the federated initialisation.
         let init = run(0);
-        let w_a0 =
-            init.party_a.matmul().unwrap().u_own().add(init.party_b.matmul().unwrap().v_peer());
-        let w_b0 =
-            init.party_b.matmul().unwrap().u_own().add(init.party_a.matmul().unwrap().v_peer());
+        let w_a0 = init
+            .party_a
+            .matmul()
+            .unwrap()
+            .u_own()
+            .add(init.party_b.matmul().unwrap().v_peer());
+        let w_b0 = init
+            .party_b
+            .matmul()
+            .unwrap()
+            .u_own()
+            .add(init.party_a.matmul().unwrap().v_peer());
 
         let epochs = 6;
         let outcome = run(epochs);
@@ -279,7 +306,10 @@ mod tests {
         w0_rows.extend_from_slice(w_b0.data());
         let w0 = bf_tensor::Dense::from_vec(w_a0.rows() + w_b0.rows(), 1, w0_rows);
         let mut col = bf_ml::GlmModel::from_weights(w0);
-        let base_cfg = bf_ml::TrainConfig { epochs, ..Default::default() };
+        let base_cfg = bf_ml::TrainConfig {
+            epochs,
+            ..Default::default()
+        };
         let col_report = bf_ml::train(&mut col, &train_ds, &test_ds, &base_cfg);
 
         // Weights equal (up to f64 mask-cancellation noise).
@@ -287,8 +317,16 @@ mod tests {
         let w_col_a = w_col.select_rows(&(0..w_a1.rows()).collect::<Vec<_>>());
         let w_col_b =
             w_col.select_rows(&(w_a1.rows()..w_a1.rows() + w_b1.rows()).collect::<Vec<_>>());
-        assert!(w_a1.approx_eq(&w_col_a, 1e-5), "W_A drift {}", w_a1.sub(&w_col_a).max_abs());
-        assert!(w_b1.approx_eq(&w_col_b, 1e-5), "W_B drift {}", w_b1.sub(&w_col_b).max_abs());
+        assert!(
+            w_a1.approx_eq(&w_col_a, 1e-5),
+            "W_A drift {}",
+            w_a1.sub(&w_col_a).max_abs()
+        );
+        assert!(
+            w_b1.approx_eq(&w_col_b, 1e-5),
+            "W_B drift {}",
+            w_b1.sub(&w_col_b).max_abs()
+        );
         // Metrics equal.
         let gap = (outcome.report.test_metric - col_report.test_metric).abs();
         assert!(gap < 1e-6, "metric gap {gap}");
@@ -305,11 +343,19 @@ mod tests {
 
         let cfg = FedConfig::paillier_test();
         let tc = FedTrainConfig {
-            base: bf_ml::TrainConfig { epochs: 2, batch_size: 64, ..Default::default() },
+            base: bf_ml::TrainConfig {
+                epochs: 2,
+                batch_size: 64,
+                ..Default::default()
+            },
             snapshot_u_a: true,
         };
         let outcome = train_federated(
-            &FedSpec::Wdl { emb_dim: 4, deep_hidden: vec![8], out: 1 },
+            &FedSpec::Wdl {
+                emb_dim: 4,
+                deep_hidden: vec![8],
+                out: 1,
+            },
             &cfg,
             &tc,
             train_v.party_a.clone(),
@@ -322,7 +368,11 @@ mod tests {
         // a sanity bound, not a quality claim (losslessness is verified
         // exactly elsewhere).
         assert!(outcome.report.test_metric.is_finite());
-        assert!(outcome.report.test_metric > 0.3, "AUC {}", outcome.report.test_metric);
+        assert!(
+            outcome.report.test_metric > 0.3,
+            "AUC {}",
+            outcome.report.test_metric
+        );
         assert_eq!(outcome.report.u_a_snapshots.len(), 2);
         assert!(outcome.party_a.embed().is_some());
     }

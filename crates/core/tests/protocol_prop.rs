@@ -17,10 +17,11 @@ fn dense(rows: usize, cols: usize) -> impl Strategy<Value = Dense> {
 
 /// Sparse features with arbitrary (possibly empty) rows.
 fn sparse(rows: usize, cols: usize) -> impl Strategy<Value = Features> {
-    prop::collection::vec(prop_oneof![4 => Just(0.0f64), 1 => -2.0f64..2.0], rows * cols)
-        .prop_map(move |v| {
-            Features::Sparse(Csr::from_dense(&Dense::from_vec(rows, cols, v)))
-        })
+    prop::collection::vec(
+        prop_oneof![4 => Just(0.0f64), 1 => -2.0f64..2.0],
+        rows * cols,
+    )
+    .prop_map(move |v| Features::Sparse(Csr::from_dense(&Dense::from_vec(rows, cols, v))))
 }
 
 fn cat(rows: usize, vocabs: &'static [u32]) -> impl Strategy<Value = CatBlock> {
@@ -199,7 +200,11 @@ fn embed_lossless_exhaustive_small_vocab() {
                 }
                 want.set(r, 0, acc);
             }
-            assert!(z.approx_eq(&want, 1e-4), "i={i} j={j} err {}", z.sub(&want).max_abs());
+            assert!(
+                z.approx_eq(&want, 1e-4),
+                "i={i} j={j} err {}",
+                z.sub(&want).max_abs()
+            );
         }
     }
 }

@@ -86,11 +86,20 @@ impl DatasetSpec {
                 features: (features / feat_div).max(8),
                 avg_nnz: (*avg_nnz).min((features / feat_div).max(8)).max(4),
             },
-            Shape::Dense { features } => Shape::Dense { features: (features / feat_div).max(4) },
-            Shape::Tabular { features, avg_nnz, vocabs } => Shape::Tabular {
+            Shape::Dense { features } => Shape::Dense {
+                features: (features / feat_div).max(4),
+            },
+            Shape::Tabular {
+                features,
+                avg_nnz,
+                vocabs,
+            } => Shape::Tabular {
                 features: (features / feat_div).max(8),
                 avg_nnz: (*avg_nnz).min((features / feat_div).max(8)).max(4),
-                vocabs: vocabs.iter().map(|&v| (v / feat_div as u32).max(4)).collect(),
+                vocabs: vocabs
+                    .iter()
+                    .map(|&v| (v / feat_div as u32).max(4))
+                    .collect(),
             },
             Shape::Image { h, w } => Shape::Image { h: *h, w: *w },
         };
@@ -112,28 +121,42 @@ pub fn catalog() -> Vec<DatasetSpec> {
             train_rows: 32_000,
             test_rows: 16_000,
             classes: 2,
-            shape: Shape::Tabular { features: 123, avg_nnz: 14, vocabs: vec![16, 8, 7, 16, 6, 5, 2, 2] },
+            shape: Shape::Tabular {
+                features: 123,
+                avg_nnz: 14,
+                vocabs: vec![16, 8, 7, 16, 6, 5, 2, 2],
+            },
         },
         DatasetSpec {
             name: "w8a",
             train_rows: 50_000,
             test_rows: 15_000,
             classes: 2,
-            shape: Shape::Tabular { features: 300, avg_nnz: 12, vocabs: vec![32, 16, 16, 8, 8, 4] },
+            shape: Shape::Tabular {
+                features: 300,
+                avg_nnz: 12,
+                vocabs: vec![32, 16, 16, 8, 8, 4],
+            },
         },
         DatasetSpec {
             name: "connect-4",
             train_rows: 50_000,
             test_rows: 17_000,
             classes: 3,
-            shape: Shape::Sparse { features: 126, avg_nnz: 42 },
+            shape: Shape::Sparse {
+                features: 126,
+                avg_nnz: 42,
+            },
         },
         DatasetSpec {
             name: "news20",
             train_rows: 16_000,
             test_rows: 4_000,
             classes: 20,
-            shape: Shape::Sparse { features: 62_000, avg_nnz: 80 },
+            shape: Shape::Sparse {
+                features: 62_000,
+                avg_nnz: 80,
+            },
         },
         DatasetSpec {
             name: "higgs",
@@ -212,7 +235,11 @@ mod tests {
         let s = spec("avazu-app").scaled(1000, 100);
         assert!(s.train_rows >= 256);
         match &s.shape {
-            Shape::Tabular { features, avg_nnz, vocabs } => {
+            Shape::Tabular {
+                features,
+                avg_nnz,
+                vocabs,
+            } => {
                 assert_eq!(*features, 10_000);
                 assert!(*avg_nnz >= 4);
                 assert!(vocabs.iter().all(|&v| v >= 4));

@@ -53,13 +53,24 @@ pub fn parse_libsvm(text: &str, features: usize, classes: usize) -> Result<Datas
     if raw_labels.is_empty() {
         return Err("no instances".to_string());
     }
-    let dim = if features == 0 { max_idx as usize } else { features };
+    let dim = if features == 0 {
+        max_idx as usize
+    } else {
+        features
+    };
     if (max_idx as usize) > dim {
-        return Err(format!("feature index {max_idx} exceeds declared dimensionality {dim}"));
+        return Err(format!(
+            "feature index {max_idx} exceeds declared dimensionality {dim}"
+        ));
     }
     let x = Csr::from_triplets(raw_labels.len(), dim, triplets);
     let labels = if classes == 2 {
-        Labels::Binary(raw_labels.iter().map(|&l| if l > 0.0 { 1.0 } else { 0.0 }).collect())
+        Labels::Binary(
+            raw_labels
+                .iter()
+                .map(|&l| if l > 0.0 { 1.0 } else { 0.0 })
+                .collect(),
+        )
     } else {
         let min = raw_labels.iter().cloned().fold(f64::INFINITY, f64::min);
         let offset = if min >= 1.0 { 1.0 } else { 0.0 };
@@ -79,11 +90,19 @@ pub fn parse_libsvm(text: &str, features: usize, classes: usize) -> Result<Datas
         }
         Labels::Multi { classes, y }
     };
-    Ok(Dataset { num: Some(Features::Sparse(x)), cat: None, labels: Some(labels) })
+    Ok(Dataset {
+        num: Some(Features::Sparse(x)),
+        cat: None,
+        labels: Some(labels),
+    })
 }
 
 /// Load a LIBSVM file from disk.
-pub fn load_libsvm(path: &std::path::Path, features: usize, classes: usize) -> Result<Dataset, String> {
+pub fn load_libsvm(
+    path: &std::path::Path,
+    features: usize,
+    classes: usize,
+) -> Result<Dataset, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
     parse_libsvm(&text, features, classes)
 }
@@ -116,7 +135,10 @@ mod tests {
     fn declared_dimensionality_respected() {
         let ds = parse_libsvm(SAMPLE, 123, 2).unwrap();
         assert_eq!(ds.num_dim(), 123);
-        assert!(parse_libsvm(SAMPLE, 3, 2).is_err(), "index above declared dim must fail");
+        assert!(
+            parse_libsvm(SAMPLE, 3, 2).is_err(),
+            "index above declared dim must fail"
+        );
     }
 
     #[test]

@@ -51,15 +51,26 @@ pub fn vsplit(ds: &Dataset) -> VflData {
                 // A single field cannot be split; Party B keeps it.
                 (None, Some(c.clone()))
             } else {
-                (Some(c.select_fields(0, half)), Some(c.select_fields(half, c.fields())))
+                (
+                    Some(c.select_fields(0, half)),
+                    Some(c.select_fields(half, c.fields())),
+                )
             }
         }
         None => (None, None),
     };
     VflData {
         collocated: ds.clone(),
-        party_a: Dataset { num: num_a, cat: cat_a, labels: None },
-        party_b: Dataset { num: num_b, cat: cat_b, labels: ds.labels.clone() },
+        party_a: Dataset {
+            num: num_a,
+            cat: cat_a,
+            labels: None,
+        },
+        party_b: Dataset {
+            num: num_b,
+            cat: cat_b,
+            labels: ds.labels.clone(),
+        },
     }
 }
 
@@ -75,7 +86,10 @@ mod tests {
         let s = spec("a9a").scaled(200, 1);
         let (train_ds, _) = generate(&s, 1);
         let v = vsplit(&train_ds);
-        assert_eq!(v.party_a.num_dim() + v.party_b.num_dim(), train_ds.num_dim());
+        assert_eq!(
+            v.party_a.num_dim() + v.party_b.num_dim(),
+            train_ds.num_dim()
+        );
         assert!(v.party_a.labels.is_none(), "Party A must not hold labels");
         assert!(v.party_b.labels.is_some());
         assert_eq!(v.party_a.rows(), v.party_b.rows());

@@ -71,7 +71,10 @@ fn synth_rows<R: Rng + ?Sized>(
 
     // Numerical part.
     let num: Features = match &spec.shape {
-        Shape::Sparse { features, avg_nnz } | Shape::Tabular { features, avg_nnz, .. } => {
+        Shape::Sparse { features, avg_nnz }
+        | Shape::Tabular {
+            features, avg_nnz, ..
+        } => {
             let x = sparse_rows(rng, rows, *features, *avg_nnz);
             accumulate_logits(&mut logits, &x.matmul_dense(&planted.w_num));
             Features::Sparse(x)
@@ -123,8 +126,13 @@ fn synth_rows<R: Rng + ?Sized>(
             .map(|r| {
                 // Softmax sample with temperature 1/gain.
                 let row = logits.row(r);
-                let max = row.iter().fold(f64::NEG_INFINITY, |m, &v| m.max(v * planted.gain));
-                let exps: Vec<f64> = row.iter().map(|&v| (v * planted.gain - max).exp()).collect();
+                let max = row
+                    .iter()
+                    .fold(f64::NEG_INFINITY, |m, &v| m.max(v * planted.gain));
+                let exps: Vec<f64> = row
+                    .iter()
+                    .map(|&v| (v * planted.gain - max).exp())
+                    .collect();
                 let total: f64 = exps.iter().sum();
                 let mut t = rng.random::<f64>() * total;
                 let mut cls = 0u32;
@@ -138,10 +146,17 @@ fn synth_rows<R: Rng + ?Sized>(
                 cls
             })
             .collect();
-        Labels::Multi { classes: spec.classes, y }
+        Labels::Multi {
+            classes: spec.classes,
+            y,
+        }
     };
 
-    Dataset { num: Some(num), cat, labels: Some(labels) }
+    Dataset {
+        num: Some(num),
+        cat,
+        labels: Some(labels),
+    }
 }
 
 fn accumulate_logits(logits: &mut Dense, contrib: &Dense) {
@@ -165,7 +180,11 @@ fn sparse_rows<R: Rng + ?Sized>(rng: &mut R, rows: usize, features: usize, avg_n
                 continue;
             }
             let base = f * width;
-            let w = if f == nfields - 1 { features - base } else { width };
+            let w = if f == nfields - 1 {
+                features - base
+            } else {
+                width
+            };
             // Skewed within-field choice (power transform).
             let u: f64 = rng.random::<f64>().max(1e-12);
             let v = ((w as f64).powf(u) - 1.0) as usize;
@@ -212,8 +231,9 @@ fn image_rows<R: Rng + ?Sized>(
     // Fixed prototypes per class (fixed child seed so train and test
     // share them).
     let mut proto_rng = rand::rngs::StdRng::seed_from_u64(0xF00D);
-    let mut protos: Vec<Dense> =
-        (0..classes).map(|_| bf_tensor::init::gaussian(&mut proto_rng, 1, d, 1.0)).collect();
+    let mut protos: Vec<Dense> = (0..classes)
+        .map(|_| bf_tensor::init::gaussian(&mut proto_rng, 1, d, 1.0))
+        .collect();
     // Classes 1 and 3 copy the second half of classes 0 and 2.
     for (dup, src) in [(1usize, 0usize), (3, 2)] {
         if dup < classes && src < classes {
@@ -277,7 +297,10 @@ mod tests {
         let (train_ds, test_ds) = generate(&s, 4);
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);
         let mut m = GlmModel::new(&mut rng, train_ds.num_dim(), 1);
-        let cfg = TrainConfig { epochs: 6, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 6,
+            ..Default::default()
+        };
         let report = train(&mut m, &train_ds, &test_ds, &cfg);
         assert!(report.test_metric > 0.75, "auc={}", report.test_metric);
     }
@@ -289,8 +312,8 @@ mod tests {
         match train_ds.labels.as_ref().unwrap() {
             Labels::Multi { classes, y } => {
                 assert_eq!(*classes, 3);
-                assert!(y.iter().any(|&c| c == 0));
-                assert!(y.iter().any(|&c| c == 2));
+                assert!(y.contains(&0));
+                assert!(y.contains(&2));
             }
             _ => panic!("expected multi-class"),
         }
@@ -304,7 +327,10 @@ mod tests {
         // Same prototypes in train and test: an MLR should beat chance easily.
         let mut rng = rand::rngs::StdRng::seed_from_u64(8);
         let mut m = GlmModel::new(&mut rng, 784, 10);
-        let cfg = TrainConfig { epochs: 4, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 4,
+            ..Default::default()
+        };
         let report = train(&mut m, &train_ds, &test_ds, &cfg);
         assert!(report.test_metric > 0.5, "acc={}", report.test_metric);
     }
@@ -314,6 +340,9 @@ mod tests {
         let s = spec("a9a").scaled(200, 1);
         let (a, _) = generate(&s, 9);
         let (b, _) = generate(&s, 9);
-        assert_eq!(a.labels.as_ref().unwrap().as_binary(), b.labels.as_ref().unwrap().as_binary());
+        assert_eq!(
+            a.labels.as_ref().unwrap().as_binary(),
+            b.labels.as_ref().unwrap().as_binary()
+        );
     }
 }

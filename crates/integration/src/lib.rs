@@ -1,1 +1,76 @@
-//! Integration test crate.
+//! Workspace smoke tests.
+//!
+//! `bf-integration` exists so that one fast `cargo test -p
+//! bf-integration` catches cross-crate breakage — datagen → tensor →
+//! ml → mpc → core wired together through the public APIs — without
+//! paying for the full Paillier-backed suites in `tests/` at the repo
+//! root. Everything here runs on the Plain backend and finishes in a
+//! few seconds even in debug builds.
+//!
+//! The deep coverage lives elsewhere:
+//!
+//! * `tests/crypto_stack.rs` — Paillier + HE↔SS property tests,
+//! * `tests/end_to_end.rs` / `tests/lossless.rs` — full federated
+//!   training vs. collocated reference,
+//! * `tests/security.rs` — message-kind audits against the paper's
+//!   restricted-observable tables.
+
+#[cfg(test)]
+mod smoke {
+    use bf_datagen::{generate, spec, vsplit};
+    use bf_ml::TrainConfig;
+    use blindfl::config::FedConfig;
+    use blindfl::models::FedSpec;
+    use blindfl::train::{train_federated, FedTrainConfig};
+
+    /// One-epoch federated LR on a tiny vertically-split synthetic
+    /// dataset, Plain backend. Guards the datagen → split → session →
+    /// source-layer → train pipeline; must stay under ~5 s in debug.
+    #[test]
+    fn tiny_federated_lr_trains_on_plain_backend() {
+        let mut ds = spec("a9a").scaled(100, 1);
+        ds.train_rows = 256;
+        ds.test_rows = 128;
+        let (train, test) = generate(&ds, 9);
+        let train_v = vsplit(&train);
+        let test_v = vsplit(&test);
+
+        let cfg = FedConfig::plain();
+        let tc = FedTrainConfig {
+            base: TrainConfig {
+                epochs: 1,
+                ..Default::default()
+            },
+            snapshot_u_a: false,
+        };
+        let outcome = train_federated(
+            &FedSpec::Glm { out: 1 },
+            &cfg,
+            &tc,
+            train_v.party_a.clone(),
+            train_v.party_b.clone(),
+            test_v.party_a.clone(),
+            test_v.party_b.clone(),
+            3,
+        );
+
+        assert!(
+            !outcome.report.losses.is_empty(),
+            "training produced no batches"
+        );
+        assert!(
+            outcome.report.losses.iter().all(|l| l.is_finite()),
+            "non-finite loss: {:?}",
+            outcome.report.losses
+        );
+        assert!(
+            outcome.report.test_metric.is_finite() && outcome.report.test_metric > 0.0,
+            "bad test metric {}",
+            outcome.report.test_metric
+        );
+        // Runtime target: well under 5 s even in debug (measured ~10 ms
+        // release / <3 s debug incl. compile). Enforced by CI's overall
+        // timeout rather than a wall-clock assert, which would flake on
+        // loaded shared runners.
+    }
+}

@@ -39,9 +39,10 @@ impl Labels {
     pub fn select(&self, idx: &[usize]) -> Labels {
         match self {
             Labels::Binary(v) => Labels::Binary(idx.iter().map(|&i| v[i]).collect()),
-            Labels::Multi { classes, y } => {
-                Labels::Multi { classes: *classes, y: idx.iter().map(|&i| y[i]).collect() }
-            }
+            Labels::Multi { classes, y } => Labels::Multi {
+                classes: *classes,
+                y: idx.iter().map(|&i| y[i]).collect(),
+            },
         }
     }
 
@@ -125,12 +126,20 @@ impl BatchIter {
         let mut order: Vec<usize> = (0..n).collect();
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         order.shuffle(&mut rng);
-        Self { order, batch, pos: 0 }
+        Self {
+            order,
+            batch,
+            pos: 0,
+        }
     }
 
     /// Sequential (unshuffled) batches, e.g. for evaluation.
     pub fn sequential(n: usize, batch: usize) -> Self {
-        Self { order: (0..n).collect(), batch, pos: 0 }
+        Self {
+            order: (0..n).collect(),
+            batch,
+            pos: 0,
+        }
     }
 
     /// Number of full batches in a pass.
@@ -192,6 +201,13 @@ mod tests {
     #[test]
     fn labels_out_dim() {
         assert_eq!(Labels::Binary(vec![0.0]).out_dim(), 1);
-        assert_eq!(Labels::Multi { classes: 5, y: vec![0] }.out_dim(), 5);
+        assert_eq!(
+            Labels::Multi {
+                classes: 5,
+                y: vec![0]
+            }
+            .out_dim(),
+            5
+        );
     }
 }

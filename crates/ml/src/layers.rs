@@ -71,7 +71,12 @@ impl LinearF {
 
     /// Optimizer step (lazy momentum on the support rows).
     pub fn step(&mut self, opt: &Sgd) {
-        opt.step_sparse_rows(&mut self.w, &self.grad_rows, &mut self.vel_w, &self.grad_support);
+        opt.step_sparse_rows(
+            &mut self.w,
+            &self.grad_rows,
+            &mut self.vel_w,
+            &self.grad_support,
+        );
     }
 
     /// Most recent gradient rows and their support (inspection/tests).
@@ -171,7 +176,11 @@ pub struct Bias {
 impl Bias {
     /// Zero-initialised bias of the given width.
     pub fn new(out: usize) -> Self {
-        Self { b: Dense::zeros(1, out), grad: Dense::zeros(1, out), vel: Dense::zeros(1, out) }
+        Self {
+            b: Dense::zeros(1, out),
+            grad: Dense::zeros(1, out),
+            vel: Dense::zeros(1, out),
+        }
     }
 
     /// `Z + b` (broadcast).
@@ -228,7 +237,10 @@ pub struct Activation {
 impl Activation {
     /// Construct.
     pub fn new(kind: ActKind) -> Self {
-        Self { kind, cached_y: None }
+        Self {
+            kind,
+            cached_y: None,
+        }
     }
 
     fn apply(&self, x: &Dense) -> Dense {
@@ -350,7 +362,12 @@ impl Embedding {
 
     /// Optimizer step (lazy momentum on touched embedding rows).
     pub fn step(&mut self, opt: &Sgd) {
-        opt.step_sparse_rows(&mut self.table, &self.grad_rows, &mut self.vel, &self.grad_support);
+        opt.step_sparse_rows(
+            &mut self.table,
+            &self.grad_rows,
+            &mut self.vel,
+            &self.grad_support,
+        );
     }
 
     /// Most recent gradient rows and their support (inspection/tests).
@@ -371,11 +388,18 @@ impl Mlp {
     /// `Mlp::new(rng, &[64, 32, 16, 1])` is three Linear layers with
     /// ReLU between them.
     pub fn new<R: Rng + ?Sized>(rng: &mut R, widths: &[usize]) -> Self {
-        assert!(widths.len() >= 2, "Mlp needs at least input and output widths");
+        assert!(
+            widths.len() >= 2,
+            "Mlp needs at least input and output widths"
+        );
         let mut blocks = Vec::new();
         for i in 0..widths.len() - 1 {
             let lin = Linear::new(rng, widths[i], widths[i + 1]);
-            let act = if i + 2 < widths.len() { Some(Activation::new(ActKind::Relu)) } else { None };
+            let act = if i + 2 < widths.len() {
+                Some(Activation::new(ActKind::Relu))
+            } else {
+                None
+            };
             blocks.push((lin, act));
         }
         Self { blocks }
@@ -511,7 +535,10 @@ mod tests {
     fn mlp_reduces_loss_on_toy_problem() {
         let mut r = rng();
         let mut mlp = Mlp::new(&mut r, &[2, 8, 1]);
-        let opt = Sgd { lr: 0.1, momentum: 0.9 };
+        let opt = Sgd {
+            lr: 0.1,
+            momentum: 0.9,
+        };
         // XOR-ish target.
         let x = Dense::from_vec(4, 2, vec![0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0]);
         let y = [0.0, 1.0, 1.0, 0.0];
@@ -532,7 +559,11 @@ mod tests {
     fn linearf_sparse_matches_dense() {
         let mut r = rng();
         let w_init = bf_tensor::init::xavier(&mut r, 4, 2);
-        let xd = Dense::from_vec(3, 4, vec![1.0, 0.0, 2.0, 0.0, 0.0, 3.0, 0.0, 0.0, 0.0, 0.0, 0.0, 4.0]);
+        let xd = Dense::from_vec(
+            3,
+            4,
+            vec![1.0, 0.0, 2.0, 0.0, 0.0, 3.0, 0.0, 0.0, 0.0, 0.0, 0.0, 4.0],
+        );
         let xs = bf_tensor::Csr::from_dense(&xd);
         let mut la = LinearF::from_weights(w_init.clone());
         let mut lb = la.clone();

@@ -45,7 +45,11 @@ pub struct GlmModel {
 impl GlmModel {
     /// Construct for the given feature and output dimensionality.
     pub fn new<R: Rng + ?Sized>(rng: &mut R, input: usize, out: usize) -> Self {
-        Self { source: LinearF::new(rng, input, out), bias: Bias::new(out), out }
+        Self {
+            source: LinearF::new(rng, input, out),
+            bias: Bias::new(out),
+            out,
+        }
     }
 
     /// The source-stage weights (inspection/tests).
@@ -58,7 +62,11 @@ impl GlmModel {
     /// with the reconstructed federated initialisation.
     pub fn from_weights(w: Dense) -> Self {
         let out = w.cols();
-        Self { source: LinearF::from_weights(w), bias: Bias::new(out), out }
+        Self {
+            source: LinearF::from_weights(w),
+            bias: Bias::new(out),
+            out,
+        }
     }
 }
 
@@ -101,7 +109,10 @@ impl MlpModel {
     /// `&[64, 16, 3]` builds `input→64 (source) → relu → 64→16 → relu →
     /// 16→3`.
     pub fn new<R: Rng + ?Sized>(rng: &mut R, input: usize, widths: &[usize]) -> Self {
-        assert!(widths.len() >= 2, "MLP needs at least one hidden and one output width");
+        assert!(
+            widths.len() >= 2,
+            "MLP needs at least one hidden and one output width"
+        );
         let h0 = widths[0];
         Self {
             source: LinearF::new(rng, input, h0),
@@ -311,8 +322,12 @@ impl DlrmModel {
             let mut p = dim;
             for i in 0..n {
                 for j in (i + 1)..n {
-                    let dot: f64 =
-                        vecs[i].row(r).iter().zip(vecs[j].row(r)).map(|(a, b)| a * b).sum();
+                    let dot: f64 = vecs[i]
+                        .row(r)
+                        .iter()
+                        .zip(vecs[j].row(r))
+                        .map(|(a, b)| a * b)
+                        .sum();
                     out.row_mut(r)[p] = dot;
                     p += 1;
                 }
@@ -418,9 +433,20 @@ mod tests {
         // y = 1 iff x0 + x1 > 0.
         let mut r = rng();
         let x = bf_tensor::init::uniform(&mut r, n, 4, 1.0);
-        let y: Vec<f64> =
-            (0..n).map(|i| if x.get(i, 0) + x.get(i, 1) > 0.0 { 1.0 } else { 0.0 }).collect();
-        Dataset { num: Some(Features::Dense(x)), cat: None, labels: Some(Labels::Binary(y)) }
+        let y: Vec<f64> = (0..n)
+            .map(|i| {
+                if x.get(i, 0) + x.get(i, 1) > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        Dataset {
+            num: Some(Features::Dense(x)),
+            cat: None,
+            labels: Some(Labels::Binary(y)),
+        }
     }
 
     fn toy_cat(n: usize) -> Dataset {
@@ -440,7 +466,10 @@ mod tests {
     }
 
     fn final_loss<M: Model>(model: &mut M, ds: &Dataset, iters: usize) -> (f64, f64) {
-        let opt = Sgd { lr: 0.1, momentum: 0.9 };
+        let opt = Sgd {
+            lr: 0.1,
+            momentum: 0.9,
+        };
         let idx: Vec<usize> = (0..ds.rows()).collect();
         let batch = ds.select(&idx);
         let first = model.train_batch(&batch, &opt);
@@ -470,8 +499,11 @@ mod tests {
         let y: Vec<u32> = (0..150)
             .map(|i| {
                 let row = [x.get(i, 0), x.get(i, 1), x.get(i, 2)];
-                row.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0
-                    as u32
+                row.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                    .unwrap()
+                    .0 as u32
             })
             .collect();
         let ds = Dataset {
@@ -482,7 +514,10 @@ mod tests {
         let mut m = GlmModel::new(&mut r, 5, 3);
         let (first, last) = final_loss(&mut m, &ds, 250);
         assert!(last < first * 0.6, "{first} -> {last}");
-        let acc = crate::metrics::accuracy_multiclass(&m.predict(&ds), ds.labels.as_ref().unwrap().as_multi());
+        let acc = crate::metrics::accuracy_multiclass(
+            &m.predict(&ds),
+            ds.labels.as_ref().unwrap().as_multi(),
+        );
         assert!(acc > 0.8, "acc={acc}");
     }
 
@@ -531,7 +566,10 @@ mod tests {
                 vp[k].set(r_i, d, cur - eps);
                 let fm: f64 = DlrmModel::interact(&vp).data().iter().sum();
                 let fd = (fp - fm) / (2.0 * eps);
-                assert!((fd - grads[k].get(r_i, d)).abs() < 1e-5, "k={k} r={r_i} d={d}");
+                assert!(
+                    (fd - grads[k].get(r_i, d)).abs() < 1e-5,
+                    "k={k} r={r_i} d={d}"
+                );
             }
         }
     }

@@ -15,7 +15,10 @@ pub struct Sgd {
 impl Sgd {
     /// Standard configuration from the paper's protocol section.
     pub fn paper_default() -> Self {
-        Self { lr: 0.05, momentum: 0.9 }
+        Self {
+            lr: 0.05,
+            momentum: 0.9,
+        }
     }
 
     /// Update `param` in place given `grad`, maintaining `velocity`:
@@ -72,7 +75,10 @@ mod tests {
 
     #[test]
     fn plain_sgd_step() {
-        let opt = Sgd { lr: 0.1, momentum: 0.0 };
+        let opt = Sgd {
+            lr: 0.1,
+            momentum: 0.0,
+        };
         let mut w = Dense::from_vec(1, 2, vec![1.0, -1.0]);
         let g = Dense::from_vec(1, 2, vec![0.5, -0.5]);
         let mut v = Dense::zeros(1, 2);
@@ -82,7 +88,10 @@ mod tests {
 
     #[test]
     fn momentum_accumulates() {
-        let opt = Sgd { lr: 1.0, momentum: 0.5 };
+        let opt = Sgd {
+            lr: 1.0,
+            momentum: 0.5,
+        };
         let mut w = Dense::zeros(1, 1);
         let g = Dense::from_vec(1, 1, vec![1.0]);
         let mut v = Dense::zeros(1, 1);
@@ -95,7 +104,10 @@ mod tests {
     #[test]
     fn converges_on_quadratic() {
         // Minimise (w-3)^2 via its gradient 2(w-3).
-        let opt = Sgd { lr: 0.1, momentum: 0.9 };
+        let opt = Sgd {
+            lr: 0.1,
+            momentum: 0.9,
+        };
         let mut w = Dense::zeros(1, 1);
         let mut v = Dense::zeros(1, 1);
         for _ in 0..600 {

@@ -22,7 +22,13 @@ pub struct TrainConfig {
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        Self { epochs: 10, batch_size: 128, lr: 0.05, momentum: 0.9, seed: 42 }
+        Self {
+            epochs: 10,
+            batch_size: 128,
+            lr: 0.05,
+            momentum: 0.9,
+            seed: 42,
+        }
     }
 }
 
@@ -43,7 +49,10 @@ pub fn train<M: Model>(
     test_data: &Dataset,
     cfg: &TrainConfig,
 ) -> TrainReport {
-    let opt = Sgd { lr: cfg.lr, momentum: cfg.momentum };
+    let opt = Sgd {
+        lr: cfg.lr,
+        momentum: cfg.momentum,
+    };
     let mut losses = Vec::new();
     for epoch in 0..cfg.epochs {
         let iter = BatchIter::new(train_data.rows(), cfg.batch_size, cfg.seed ^ epoch as u64);
@@ -53,13 +62,19 @@ pub fn train<M: Model>(
         }
     }
     let test_metric = evaluate(model, test_data);
-    TrainReport { losses, test_metric }
+    TrainReport {
+        losses,
+        test_metric,
+    }
 }
 
 /// Evaluate a model: AUC for binary labels, accuracy for multi-class.
 pub fn evaluate<M: Model + ?Sized>(model: &M, data: &Dataset) -> f64 {
     let logits = model.predict(data);
-    metric_from_logits(&logits, data.labels.as_ref().expect("evaluation needs labels"))
+    metric_from_logits(
+        &logits,
+        data.labels.as_ref().expect("evaluation needs labels"),
+    )
 }
 
 /// Metric selection shared with the federated trainer.
@@ -82,7 +97,13 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(4);
         let x = bf_tensor::init::uniform(&mut rng, 400, 6, 1.0);
         let y: Vec<f64> = (0..400)
-            .map(|i| if x.get(i, 0) - x.get(i, 3) > 0.0 { 1.0 } else { 0.0 })
+            .map(|i| {
+                if x.get(i, 0) - x.get(i, 3) > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            })
             .collect();
         let ds = Dataset {
             num: Some(Features::Dense(x)),
@@ -90,7 +111,11 @@ mod tests {
             labels: Some(Labels::Binary(y)),
         };
         let mut model = GlmModel::new(&mut rng, 6, 1);
-        let cfg = TrainConfig { epochs: 5, batch_size: 32, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 5,
+            batch_size: 32,
+            ..Default::default()
+        };
         let report = train(&mut model, &ds, &ds, &cfg);
         assert!(report.test_metric > 0.95, "auc={}", report.test_metric);
         assert!(report.losses.last().unwrap() < &report.losses[0]);

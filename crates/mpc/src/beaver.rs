@@ -52,7 +52,18 @@ pub fn dealer_triple<R: Rng + ?Sized>(
     let (a1, a2) = share_dense(rng, &a, mask);
     let (b1, b2) = share_dense(rng, &b, mask);
     let (c1, c2) = share_dense(rng, &c, mask);
-    (TripleShare { a: a1, b: b1, c: c1 }, TripleShare { a: a2, b: b2, c: c2 })
+    (
+        TripleShare {
+            a: a1,
+            b: b1,
+            c: c1,
+        },
+        TripleShare {
+            a: a2,
+            b: b2,
+            c: c2,
+        },
+    )
 }
 
 /// HE-assisted triplet generation (symmetric two-party protocol).
@@ -92,7 +103,11 @@ pub fn he_gen_triple<R: Rng + ?Sized>(
     let mut c = a_own.matmul(&b_own);
     c.add_assign(&d);
     c.add_assign(&r_own);
-    TripleShare { a: a_own, b: b_own, c }
+    TripleShare {
+        a: a_own,
+        b: b_own,
+        c,
+    }
 }
 
 /// Online Beaver multiplication: both parties hold shares of `X` and
@@ -179,7 +194,11 @@ mod tests {
         let a = t1.a.add(&t2.a);
         let b = t1.b.add(&t2.b);
         let c = t1.c.add(&t2.c);
-        assert!(c.approx_eq(&a.matmul(&b), 1e-4), "C != A·B: max err {}", c.sub(&a.matmul(&b)).max_abs());
+        assert!(
+            c.approx_eq(&a.matmul(&b), 1e-4),
+            "C != A·B: max err {}",
+            c.sub(&a.matmul(&b)).max_abs()
+        );
     }
 
     #[test]

@@ -20,4 +20,6 @@ pub mod transport;
 
 pub use convert::{he2ss_holder, he2ss_peer, ss2he};
 pub use shares::{reconstruct, share_dense};
-pub use transport::{channel_pair, channel_pair_with_network, Endpoint, Msg, NetworkProfile, TrafficStats};
+pub use transport::{
+    channel_pair, channel_pair_with_network, Endpoint, Msg, NetworkProfile, TrafficStats,
+};

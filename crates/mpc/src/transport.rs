@@ -100,7 +100,9 @@ impl Endpoint {
     /// Send a message to the peer.
     pub fn send(&self, msg: Msg) {
         let bytes = msg.wire_size();
-        self.stats.bytes_sent.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.stats
+            .bytes_sent
+            .fetch_add(bytes as u64, Ordering::Relaxed);
         self.stats.msgs_sent.fetch_add(1, Ordering::Relaxed);
         self.stats.sent_kinds.lock().push(msg.kind());
         if let Some(net) = &self.net {
@@ -172,8 +174,18 @@ impl Endpoint {
 pub fn channel_pair() -> (Endpoint, Endpoint) {
     let (tx_ab, rx_ab) = unbounded();
     let (tx_ba, rx_ba) = unbounded();
-    let a = Endpoint { tx: tx_ab, rx: rx_ba, stats: Arc::new(TrafficStats::default()), net: None };
-    let b = Endpoint { tx: tx_ba, rx: rx_ab, stats: Arc::new(TrafficStats::default()), net: None };
+    let a = Endpoint {
+        tx: tx_ab,
+        rx: rx_ba,
+        stats: Arc::new(TrafficStats::default()),
+        net: None,
+    };
+    let b = Endpoint {
+        tx: tx_ba,
+        rx: rx_ab,
+        stats: Arc::new(TrafficStats::default()),
+        net: None,
+    };
     (a, b)
 }
 
@@ -203,7 +215,10 @@ impl NetworkProfile {
 
     /// A conservative cross-enterprise WAN: 20 ms, 100 Mbps.
     pub fn wan_100mbps() -> Self {
-        Self { latency: std::time::Duration::from_millis(20), bytes_per_sec: 100_000_000 / 8 }
+        Self {
+            latency: std::time::Duration::from_millis(20),
+            bytes_per_sec: 100_000_000 / 8,
+        }
     }
 
     fn delay_for(&self, bytes: usize) -> std::time::Duration {
@@ -284,8 +299,10 @@ mod tests {
     fn network_profile_serialisation_delay() {
         // 1 KiB at 1 KiB/s ≈ 1s; use a tiny message + tiny bandwidth to
         // keep the test fast but measurable.
-        let profile =
-            NetworkProfile { latency: std::time::Duration::ZERO, bytes_per_sec: 1_000 };
+        let profile = NetworkProfile {
+            latency: std::time::Duration::ZERO,
+            bytes_per_sec: 1_000,
+        };
         assert!(profile.delay_for(100) >= std::time::Duration::from_millis(99));
         let lan = NetworkProfile::lan_10gbps();
         assert!(lan.delay_for(1 << 20) < std::time::Duration::from_millis(2));

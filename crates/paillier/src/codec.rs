@@ -83,7 +83,8 @@ mod tests {
     fn roundtrip_positive_negative() {
         let n = n();
         let half = n.shr(1);
-        for v in [0.0, 1.0, -1.0, 3.14159, -2.71828, 1e-6, -1e-6, 12345.678, -99999.5] {
+        let irr = std::f64::consts::PI;
+        for v in [0.0, 1.0, -1.0, irr, -irr, 1e-6, -1e-6, 12345.678, -99999.5] {
             let enc = encode(v, 32, 1, &n);
             let dec = decode(&enc, 32, 1, &n, &half);
             assert!((dec - v).abs() < 1e-9, "v={v} dec={dec}");

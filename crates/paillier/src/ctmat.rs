@@ -72,7 +72,9 @@ impl CtMat {
     }
 
     fn entry(&self, k: usize, i: usize, j: usize) -> &[u64] {
-        let Body::Enc { limbs, .. } = &self.body else { unreachable!() };
+        let Body::Enc { limbs, .. } = &self.body else {
+            unreachable!()
+        };
         let off = (i * self.cols + j) * k;
         &limbs[off..off + k]
     }
@@ -102,7 +104,12 @@ impl CtMat {
                 Body::Plain(out)
             }
         };
-        CtMat { rows: self.cols, cols: self.rows, scale: self.scale, body }
+        CtMat {
+            rows: self.cols,
+            cols: self.rows,
+            scale: self.scale,
+            body,
+        }
     }
 
     /// Gather a subset of rows.
@@ -124,7 +131,12 @@ impl CtMat {
                 Body::Plain(out)
             }
         };
-        CtMat { rows: rows.len(), cols: self.cols, scale: self.scale, body }
+        CtMat {
+            rows: rows.len(),
+            cols: self.cols,
+            scale: self.scale,
+            body,
+        }
     }
 }
 
@@ -151,7 +163,10 @@ impl PublicKey {
                     rows: m.rows(),
                     cols: m.cols(),
                     scale: 1,
-                    body: Body::Enc { k, limbs: flatten(per_entry, k) },
+                    body: Body::Enc {
+                        k,
+                        limbs: flatten(per_entry, k),
+                    },
                 }
             }
             PublicKey::Plain { frac_bits } => CtMat {
@@ -180,7 +195,10 @@ impl PublicKey {
                     rows: m.rows(),
                     cols: m.cols(),
                     scale,
-                    body: Body::Enc { k, limbs: flatten(per_entry, k) },
+                    body: Body::Enc {
+                        k,
+                        limbs: flatten(per_entry, k),
+                    },
                 }
             }
             PublicKey::Plain { frac_bits } => CtMat {
@@ -203,11 +221,19 @@ impl PublicKey {
                 for _ in 0..rows * cols {
                     limbs.extend_from_slice(&one);
                 }
-                CtMat { rows, cols, scale, body: Body::Enc { k, limbs } }
+                CtMat {
+                    rows,
+                    cols,
+                    scale,
+                    body: Body::Enc { k, limbs },
+                }
             }
-            PublicKey::Plain { .. } => {
-                CtMat { rows, cols, scale, body: Body::Plain(vec![0.0; rows * cols]) }
-            }
+            PublicKey::Plain { .. } => CtMat {
+                rows,
+                cols,
+                scale,
+                body: Body::Plain(vec![0.0; rows * cols]),
+            },
         }
     }
 
@@ -219,9 +245,21 @@ impl PublicKey {
             (PublicKey::Paillier(pk), Body::Enc { k, .. }, Body::Enc { .. }) => {
                 let k = *k;
                 let n = a.rows * a.cols;
-                let per: Vec<Vec<u64>> =
-                    par_map(n, |i| pk.mont.mont_mul(a.entry(k, i / a.cols, i % a.cols), b.entry(k, i / b.cols, i % b.cols)));
-                CtMat { rows: a.rows, cols: a.cols, scale: a.scale, body: Body::Enc { k, limbs: flatten(per, k) } }
+                let per: Vec<Vec<u64>> = par_map(n, |i| {
+                    pk.mont.mont_mul(
+                        a.entry(k, i / a.cols, i % a.cols),
+                        b.entry(k, i / b.cols, i % b.cols),
+                    )
+                });
+                CtMat {
+                    rows: a.rows,
+                    cols: a.cols,
+                    scale: a.scale,
+                    body: Body::Enc {
+                        k,
+                        limbs: flatten(per, k),
+                    },
+                }
             }
             (PublicKey::Plain { .. }, Body::Plain(va), Body::Plain(vb)) => CtMat {
                 rows: a.rows,
@@ -247,7 +285,15 @@ impl PublicKey {
                     let g = pk.raw_encrypt_deterministic(&m);
                     pk.mont.mont_mul(a.entry(k, i / a.cols, i % a.cols), &g)
                 });
-                CtMat { rows: a.rows, cols: a.cols, scale: a.scale, body: Body::Enc { k, limbs: flatten(per, k) } }
+                CtMat {
+                    rows: a.rows,
+                    cols: a.cols,
+                    scale: a.scale,
+                    body: Body::Enc {
+                        k,
+                        limbs: flatten(per, k),
+                    },
+                }
             }
             (PublicKey::Plain { .. }, Body::Plain(v)) => CtMat {
                 rows: a.rows,
@@ -292,7 +338,10 @@ impl PublicKey {
                     rows: x.rows(),
                     cols: out_cols,
                     scale: 2,
-                    body: Body::Enc { k, limbs: rows.concat() },
+                    body: Body::Enc {
+                        k,
+                        limbs: rows.concat(),
+                    },
                 }
             }
             (PublicKey::Plain { frac_bits }, Body::Plain(wv)) => {
@@ -352,7 +401,10 @@ impl PublicKey {
                     rows: support.len(),
                     cols: g.cols,
                     scale: 2,
-                    body: Body::Enc { k, limbs: rows.concat() },
+                    body: Body::Enc {
+                        k,
+                        limbs: rows.concat(),
+                    },
                 }
             }
             (PublicKey::Plain { frac_bits }, Body::Plain(gv)) => {
@@ -367,7 +419,12 @@ impl PublicKey {
                         }
                     }
                 }
-                CtMat { rows: support.len(), cols: g.cols, scale: 2, body: Body::Plain(out.data().to_vec()) }
+                CtMat {
+                    rows: support.len(),
+                    cols: g.cols,
+                    scale: 2,
+                    body: Body::Plain(out.data().to_vec()),
+                }
             }
             _ => panic!("t_matmul backend mismatch"),
         }
@@ -399,7 +456,15 @@ impl PublicKey {
                     }
                     resolve_row(pk, pos, neg, k)
                 });
-                CtMat { rows: g.rows, cols: out_cols, scale: 2, body: Body::Enc { k, limbs: rows.concat() } }
+                CtMat {
+                    rows: g.rows,
+                    cols: out_cols,
+                    scale: 2,
+                    body: Body::Enc {
+                        k,
+                        limbs: rows.concat(),
+                    },
+                }
             }
             (PublicKey::Plain { frac_bits }, Body::Plain(gv)) => {
                 let gd = Dense::from_vec(g.rows, g.cols, gv.clone());
@@ -453,7 +518,12 @@ impl PublicKey {
                         out.extend_from_slice(&v[off..off + dim]);
                     }
                 }
-                CtMat { rows: x.rows(), cols: fields * dim, scale: table.scale, body: Body::Plain(out) }
+                CtMat {
+                    rows: x.rows(),
+                    cols: fields * dim,
+                    scale: table.scale,
+                    body: Body::Plain(out),
+                }
             }
         }
     }
@@ -613,8 +683,11 @@ fn resolve_row(
     neg: Vec<Option<Vec<u64>>>,
     _k: usize,
 ) -> Vec<u64> {
-    let need: Vec<usize> =
-        neg.iter().enumerate().filter_map(|(j, n)| n.as_ref().map(|_| j)).collect();
+    let need: Vec<usize> = neg
+        .iter()
+        .enumerate()
+        .filter_map(|(j, n)| n.as_ref().map(|_| j))
+        .collect();
     if need.is_empty() {
         return pos.concat();
     }
@@ -672,8 +745,12 @@ mod tests {
         let ca = pk.encrypt(&a, &obf);
         let cb = pk.encrypt(&b, &obf);
         assert!(sk.decrypt(&pk.add(&ca, &cb)).approx_eq(&a.add(&b), 1e-5));
-        assert!(sk.decrypt(&pk.add_plain(&ca, &b)).approx_eq(&a.add(&b), 1e-5));
-        assert!(sk.decrypt(&pk.sub_plain(&ca, &b)).approx_eq(&a.sub(&b), 1e-5));
+        assert!(sk
+            .decrypt(&pk.add_plain(&ca, &b))
+            .approx_eq(&a.add(&b), 1e-5));
+        assert!(sk
+            .decrypt(&pk.sub_plain(&ca, &b))
+            .approx_eq(&a.sub(&b), 1e-5));
     }
 
     #[test]

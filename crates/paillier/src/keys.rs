@@ -122,7 +122,14 @@ pub(crate) fn rebuild_secret(p: BigUint, q: BigUint, frac_bits: u32) -> Result<P
     let mont = MontCtx::new(&n2);
     let half_n = n.shr(1);
     let key_bits = n.bits();
-    let pk = Arc::new(PaillierPk { n: n.clone(), n2, mont, half_n, frac_bits, key_bits });
+    let pk = Arc::new(PaillierPk {
+        n: n.clone(),
+        n2,
+        mont,
+        half_n,
+        frac_bits,
+        key_bits,
+    });
     build_sk(p, q, pk).ok_or_else(|| "factors do not form a valid Paillier key".to_string())
 }
 
@@ -140,7 +147,16 @@ fn build_sk(p: BigUint, q: BigUint, pk: Arc<PaillierPk>) -> Option<PaillierSk> {
     let lq = xq.sub_u64(1).div_rem(&q).0;
     let hq = mod_inv(&lq, &q)?;
     let p_inv_q = mod_inv(&p, &q)?;
-    Some(PaillierSk { p, q, mont_p2, mont_q2, hp, hq, p_inv_q, pk })
+    Some(PaillierSk {
+        p,
+        q,
+        mont_p2,
+        mont_q2,
+        hp,
+        hq,
+        p_inv_q,
+        pk,
+    })
 }
 
 /// A public key: real Paillier, or the identity `Plain` backend.
@@ -186,13 +202,19 @@ impl SecretKey {
     pub fn public(&self) -> PublicKey {
         match self {
             SecretKey::Paillier(sk) => PublicKey::Paillier(sk.pk.clone()),
-            SecretKey::Plain => PublicKey::Plain { frac_bits: crate::DEFAULT_FRAC_BITS },
+            SecretKey::Plain => PublicKey::Plain {
+                frac_bits: crate::DEFAULT_FRAC_BITS,
+            },
         }
     }
 }
 
 /// Generate a Paillier key pair with an `key_bits`-bit modulus.
-pub fn keygen<R: Rng + ?Sized>(key_bits: usize, frac_bits: u32, rng: &mut R) -> (PublicKey, SecretKey) {
+pub fn keygen<R: Rng + ?Sized>(
+    key_bits: usize,
+    frac_bits: u32,
+    rng: &mut R,
+) -> (PublicKey, SecretKey) {
     assert!(key_bits >= 64, "keygen: modulus too small");
     let half = key_bits / 2;
     let (p, q) = loop {
@@ -286,7 +308,9 @@ mod tests {
     #[test]
     fn ciphertexts_are_randomised() {
         let (pk, _, obf) = setup();
-        let PublicKey::Paillier(p) = &pk else { unreachable!() };
+        let PublicKey::Paillier(p) = &pk else {
+            unreachable!()
+        };
         let m = codec::encode(5.0, p.frac_bits, 1, &p.n);
         let c1 = p.raw_encrypt(&m, &obf.next_rn(p));
         let c2 = p.raw_encrypt(&m, &obf.next_rn(p));
@@ -296,8 +320,12 @@ mod tests {
     #[test]
     fn homomorphic_add_of_raw_cts() {
         let (pk, sk, obf) = setup();
-        let PublicKey::Paillier(p) = &pk else { unreachable!() };
-        let SecretKey::Paillier(s) = &sk else { unreachable!() };
+        let PublicKey::Paillier(p) = &pk else {
+            unreachable!()
+        };
+        let SecretKey::Paillier(s) = &sk else {
+            unreachable!()
+        };
         let a = codec::encode(2.5, p.frac_bits, 1, &p.n);
         let b = codec::encode(-1.25, p.frac_bits, 1, &p.n);
         let ca = p.raw_encrypt(&a, &obf.next_rn(p));
@@ -310,8 +338,12 @@ mod tests {
     #[test]
     fn scalar_mult_via_pow() {
         let (pk, sk, obf) = setup();
-        let PublicKey::Paillier(p) = &pk else { unreachable!() };
-        let SecretKey::Paillier(s) = &sk else { unreachable!() };
+        let PublicKey::Paillier(p) = &pk else {
+            unreachable!()
+        };
+        let SecretKey::Paillier(s) = &sk else {
+            unreachable!()
+        };
         let m = codec::encode(3.0, p.frac_bits, 1, &p.n);
         let c = p.raw_encrypt(&m, &obf.next_rn(p));
         // 7 * ⟦3⟧ (integer scalar) = ⟦21⟧
@@ -331,8 +363,12 @@ mod tests {
     #[test]
     fn deterministic_encrypt_decrypts() {
         let (pk, sk, _) = setup();
-        let PublicKey::Paillier(p) = &pk else { unreachable!() };
-        let SecretKey::Paillier(s) = &sk else { unreachable!() };
+        let PublicKey::Paillier(p) = &pk else {
+            unreachable!()
+        };
+        let SecretKey::Paillier(s) = &sk else {
+            unreachable!()
+        };
         let m = codec::encode(-4.5, p.frac_bits, 1, &p.n);
         let c = p.raw_encrypt_deterministic(&m);
         let dec = codec::decode(&s.raw_decrypt(&c), p.frac_bits, 1, &p.n, &p.half_n);

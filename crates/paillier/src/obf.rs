@@ -47,18 +47,28 @@ impl Obfuscator {
         let pool = match (pk, mode) {
             (PublicKey::Paillier(p), ObfMode::Pool(size)) => {
                 assert!(size >= 2, "pool must have at least 2 entries");
-                bf_util::par_map(size, |i| fresh_rn(p, splitmix(seed ^ (i as u64).wrapping_mul(0x9e37))))
+                bf_util::par_map(size, |i| {
+                    fresh_rn(p, splitmix(seed ^ (i as u64).wrapping_mul(0x9e37)))
+                })
             }
             _ => Vec::new(),
         };
-        Self { mode, seed, ctr: AtomicU64::new(0), pool }
+        Self {
+            mode,
+            seed,
+            ctr: AtomicU64::new(0),
+            pool,
+        }
     }
 
     /// Next obfuscation value (Montgomery form) for the given key.
     pub fn next_rn(&self, pk: &PaillierPk) -> Vec<u64> {
         let i = self.ctr.fetch_add(1, Ordering::Relaxed);
         match self.mode {
-            ObfMode::Exact => fresh_rn(pk, splitmix(self.seed.wrapping_add(i.wrapping_mul(0x9e3779b97f4a7c15)))),
+            ObfMode::Exact => fresh_rn(
+                pk,
+                splitmix(self.seed.wrapping_add(i.wrapping_mul(0x9e3779b97f4a7c15))),
+            ),
             ObfMode::Pool(size) => {
                 let h = splitmix(self.seed ^ i.wrapping_mul(0xbf58476d1ce4e5b9));
                 let a = (h % size as u64) as usize;
@@ -104,7 +114,9 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);
         let (pk, _) = keygen(128, 16, &mut rng);
         let obf = Obfuscator::new(&pk, ObfMode::Pool(4), 9);
-        let PublicKey::Paillier(p) = &pk else { unreachable!() };
+        let PublicKey::Paillier(p) = &pk else {
+            unreachable!()
+        };
         let a = obf.next_rn(p);
         let b = obf.next_rn(p);
         assert_ne!(a, b);
@@ -116,7 +128,9 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(6);
         let (pk, _) = keygen(128, 16, &mut rng);
         let obf = Obfuscator::new(&pk, ObfMode::Exact, 42);
-        let PublicKey::Paillier(p) = &pk else { unreachable!() };
+        let PublicKey::Paillier(p) = &pk else {
+            unreachable!()
+        };
         assert_ne!(obf.next_rn(p), obf.next_rn(p));
     }
 
@@ -126,8 +140,12 @@ mod tests {
         // obfuscation re-randomises without changing the payload.
         let mut rng = rand::rngs::StdRng::seed_from_u64(7);
         let (pk, sk) = keygen(192, 16, &mut rng);
-        let PublicKey::Paillier(p) = &pk else { unreachable!() };
-        let crate::keys::SecretKey::Paillier(s) = &sk else { unreachable!() };
+        let PublicKey::Paillier(p) = &pk else {
+            unreachable!()
+        };
+        let crate::keys::SecretKey::Paillier(s) = &sk else {
+            unreachable!()
+        };
         let obf = Obfuscator::new(&pk, ObfMode::Pool(3), 11);
         for _ in 0..4 {
             let rn = obf.next_rn(p);

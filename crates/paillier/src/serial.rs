@@ -89,7 +89,14 @@ fn rebuild_pk(n: BigUint, frac_bits: u32) -> PaillierPk {
     let mont = bf_bigint::MontCtx::new(&n2);
     let half_n = n.shr(1);
     let key_bits = n.bits();
-    PaillierPk { n, n2, mont, half_n, frac_bits, key_bits }
+    PaillierPk {
+        n,
+        n2,
+        mont,
+        half_n,
+        frac_bits,
+        key_bits,
+    }
 }
 
 #[cfg(test)]

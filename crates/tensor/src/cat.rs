@@ -37,7 +37,13 @@ impl CatBlock {
             assert!(*idx < vocab_sizes[f], "categorical index out of vocab");
             *idx += field_offsets[f];
         }
-        Self { rows, fields, indices, field_offsets, vocab: acc as usize }
+        Self {
+            rows,
+            fields,
+            indices,
+            field_offsets,
+            vocab: acc as usize,
+        }
     }
 
     /// Number of instances.
@@ -108,9 +114,17 @@ impl CatBlock {
                 indices.push(g - base);
             }
         }
-        let field_offsets =
-            self.field_offsets[lo..hi].iter().map(|&o| o - base).collect();
-        CatBlock { rows: self.rows, fields, indices, field_offsets, vocab: (end - base) as usize }
+        let field_offsets = self.field_offsets[lo..hi]
+            .iter()
+            .map(|&o| o - base)
+            .collect();
+        CatBlock {
+            rows: self.rows,
+            fields,
+            indices,
+            field_offsets,
+            vocab: (end - base) as usize,
+        }
     }
 }
 

@@ -13,7 +13,11 @@ pub struct Dense {
 impl Dense {
     /// All-zeros matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Build from a row-major data vector. Panics on size mismatch.
@@ -31,7 +35,11 @@ impl Dense {
             assert_eq!(row.len(), c, "ragged rows");
             data.extend_from_slice(row);
         }
-        Self { rows: r, cols: c, data }
+        Self {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Number of rows.
@@ -154,15 +162,33 @@ impl Dense {
     /// Elementwise sum (new matrix).
     pub fn add(&self, other: &Dense) -> Dense {
         assert_eq!(self.shape(), other.shape(), "add shape mismatch");
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a + b).collect();
-        Dense { rows: self.rows, cols: self.cols, data }
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Dense {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Elementwise difference (new matrix).
     pub fn sub(&self, other: &Dense) -> Dense {
         assert_eq!(self.shape(), other.shape(), "sub shape mismatch");
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a - b).collect();
-        Dense { rows: self.rows, cols: self.cols, data }
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a - b)
+            .collect();
+        Dense {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// In-place `self += other`.
@@ -192,7 +218,11 @@ impl Dense {
     /// Scaled copy.
     pub fn scale(&self, alpha: f64) -> Dense {
         let data = self.data.iter().map(|a| a * alpha).collect();
-        Dense { rows: self.rows, cols: self.cols, data }
+        Dense {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// In-place scale.
@@ -205,14 +235,27 @@ impl Dense {
     /// Elementwise map (new matrix).
     pub fn map(&self, f: impl Fn(f64) -> f64) -> Dense {
         let data = self.data.iter().map(|&a| f(a)).collect();
-        Dense { rows: self.rows, cols: self.cols, data }
+        Dense {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Elementwise product (Hadamard).
     pub fn hadamard(&self, other: &Dense) -> Dense {
         assert_eq!(self.shape(), other.shape(), "hadamard shape mismatch");
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a * b).collect();
-        Dense { rows: self.rows, cols: self.cols, data }
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a * b)
+            .collect();
+        Dense {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Gather a subset of rows into a new matrix.
@@ -263,7 +306,11 @@ impl Dense {
     /// `other`.
     pub fn approx_eq(&self, other: &Dense, tol: f64) -> bool {
         self.shape() == other.shape()
-            && self.data.iter().zip(&other.data).all(|(a, b)| (a - b).abs() <= tol)
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(a, b)| (a - b).abs() <= tol)
     }
 }
 
@@ -273,9 +320,13 @@ impl fmt::Debug for Dense {
         let show_rows = self.rows.min(6);
         for r in 0..show_rows {
             let row = self.row(r);
-            let cells: Vec<String> =
-                row.iter().take(8).map(|v| format!("{v:>9.4}")).collect();
-            writeln!(f, "  [{}{}]", cells.join(", "), if self.cols > 8 { ", …" } else { "" })?;
+            let cells: Vec<String> = row.iter().take(8).map(|v| format!("{v:>9.4}")).collect();
+            writeln!(
+                f,
+                "  [{}{}]",
+                cells.join(", "),
+                if self.cols > 8 { ", …" } else { "" }
+            )?;
         }
         if self.rows > show_rows {
             writeln!(f, "  …")?;

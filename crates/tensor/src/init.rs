@@ -60,7 +60,12 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(3);
         let m = gaussian(&mut rng, 100, 100, 2.0);
         let mean: f64 = m.data().iter().sum::<f64>() / 10_000.0;
-        let var: f64 = m.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / 10_000.0;
+        let var: f64 = m
+            .data()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f64>()
+            / 10_000.0;
         assert!(mean.abs() < 0.1, "mean={mean}");
         assert!((var.sqrt() - 2.0).abs() < 0.1, "std={}", var.sqrt());
     }

@@ -41,7 +41,13 @@ impl Csr {
         for r in 0..rows {
             indptr[r + 1] += indptr[r];
         }
-        Self { rows, cols, indptr, indices, values }
+        Self {
+            rows,
+            cols,
+            indptr,
+            indices,
+            values,
+        }
     }
 
     /// Build from raw CSR parts (validated).
@@ -56,7 +62,13 @@ impl Csr {
         assert_eq!(indices.len(), values.len());
         assert_eq!(*indptr.last().unwrap_or(&0), indices.len());
         debug_assert!(indices.iter().all(|&c| (c as usize) < cols));
-        Self { rows, cols, indptr, indices, values }
+        Self {
+            rows,
+            cols,
+            indptr,
+            indices,
+            values,
+        }
     }
 
     /// Number of rows.
@@ -144,7 +156,13 @@ impl Csr {
             values.extend_from_slice(vals);
             indptr.push(indices.len());
         }
-        Csr { rows: rows.len(), cols: self.cols, indptr, indices, values }
+        Csr {
+            rows: rows.len(),
+            cols: self.cols,
+            indptr,
+            indices,
+            values,
+        }
     }
 
     /// Sorted unique column indices present in this matrix — the "batch
@@ -203,7 +221,13 @@ impl Csr {
             }
             indptr.push(indices.len());
         }
-        Csr { rows: self.rows, cols: cols.len(), indptr, indices, values }
+        Csr {
+            rows: self.rows,
+            cols: cols.len(),
+            indptr,
+            indices,
+            values,
+        }
     }
 }
 
@@ -213,7 +237,11 @@ mod tests {
 
     fn sample() -> Csr {
         // [[1, 0, 2], [0, 0, 0], [0, 3, 4]]
-        Csr::from_triplets(3, 3, vec![(0, 0, 1.0), (0, 2, 2.0), (2, 1, 3.0), (2, 2, 4.0)])
+        Csr::from_triplets(
+            3,
+            3,
+            vec![(0, 0, 1.0), (0, 2, 2.0), (2, 1, 3.0), (2, 2, 4.0)],
+        )
     }
 
     #[test]

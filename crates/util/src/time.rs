@@ -20,7 +20,10 @@ impl Default for Stopwatch {
 impl Stopwatch {
     /// A stopped stopwatch with zero accumulated time.
     pub fn new() -> Self {
-        Self { accumulated: Duration::ZERO, started: None }
+        Self {
+            accumulated: Duration::ZERO,
+            started: None,
+        }
     }
 
     /// Start (or restart) the current interval. Idempotent while running.

@@ -36,10 +36,20 @@ fn main() {
         cat.vocab()
     );
 
-    let tc = TrainConfig { epochs: 8, ..Default::default() };
-    let ftc = FedTrainConfig { base: tc.clone(), snapshot_u_a: false };
+    let tc = TrainConfig {
+        epochs: 8,
+        ..Default::default()
+    };
+    let ftc = FedTrainConfig {
+        base: tc.clone(),
+        snapshot_u_a: false,
+    };
     let outcome = train_federated(
-        &FedSpec::Wdl { emb_dim: 8, deep_hidden: vec![16], out: 1 },
+        &FedSpec::Wdl {
+            emb_dim: 8,
+            deep_hidden: vec![16],
+            out: 1,
+        },
         &FedConfig::plain(),
         &ftc,
         train_v.party_a.clone(),
@@ -48,20 +58,35 @@ fn main() {
         test_v.party_b.clone(),
         5,
     );
-    println!("federated WDL test AUC      = {:.3}", outcome.report.test_metric);
+    println!(
+        "federated WDL test AUC      = {:.3}",
+        outcome.report.test_metric
+    );
 
     // Baselines: the platform alone, and the (forbidden-in-practice)
     // collocated model.
     let mut rng = rand::rngs::StdRng::seed_from_u64(6);
-    let run = |ds_train: &bf_ml::Dataset, ds_test: &bf_ml::Dataset, rng: &mut rand::rngs::StdRng| {
-        let cat = ds_train.cat.as_ref().unwrap();
-        let mut m = WdlModel::new(rng, ds_train.num_dim(), cat.vocab(), cat.fields(), 8, &[16], 1);
-        bf_ml::train(&mut m, ds_train, ds_test, &tc).test_metric
-    };
+    let run =
+        |ds_train: &bf_ml::Dataset, ds_test: &bf_ml::Dataset, rng: &mut rand::rngs::StdRng| {
+            let cat = ds_train.cat.as_ref().unwrap();
+            let mut m = WdlModel::new(
+                rng,
+                ds_train.num_dim(),
+                cat.vocab(),
+                cat.fields(),
+                8,
+                &[16],
+                1,
+            );
+            bf_ml::train(&mut m, ds_train, ds_test, &tc).test_metric
+        };
     println!(
         "platform-only WDL test AUC  = {:.3}",
         run(&train_v.party_b, &test_v.party_b, &mut rng)
     );
-    println!("collocated WDL test AUC     = {:.3}", run(&train, &test, &mut rng));
+    println!(
+        "collocated WDL test AUC     = {:.3}",
+        run(&train, &test, &mut rng)
+    );
     let _ = WdlModel::out_dim; // (silence unused-trait-import lint paths)
 }

@@ -35,7 +35,10 @@ fn main() {
     // `FedConfig::paillier_default()` for real encryption.
     let cfg = FedConfig::plain();
     let tc = FedTrainConfig {
-        base: TrainConfig { epochs: 10, ..Default::default() },
+        base: TrainConfig {
+            epochs: 10,
+            ..Default::default()
+        },
         snapshot_u_a: false,
     };
     let outcome = train_federated(
@@ -48,7 +51,10 @@ fn main() {
         test_v.party_b.clone(),
         99,
     );
-    println!("joint risk model test AUC = {:.3}", outcome.report.test_metric);
+    println!(
+        "joint risk model test AUC = {:.3}",
+        outcome.report.test_metric
+    );
 
     // The bank can threshold the federated scores as usual…
     let labels = test_v.party_b.labels.as_ref().unwrap().as_binary();

@@ -15,18 +15,24 @@
 use bf_datagen::{generate, spec, vsplit};
 use bf_ml::data::BatchIter;
 use bf_ml::metrics::auc;
+use bf_mpc::transport::Msg;
 use blindfl::config::FedConfig;
 use blindfl::session::run_pair;
 use blindfl::source::ss_top::SquareLossSsTop;
 use blindfl::source::MatMulSource;
-use bf_mpc::transport::Msg;
 
 fn main() {
     let dataset = spec("a9a").scaled(50, 1);
     let (train, test) = generate(&dataset, 13);
     let train_v = vsplit(&train);
     let test_v = vsplit(&test);
-    let y: Vec<f64> = train_v.party_b.labels.as_ref().unwrap().as_binary().to_vec();
+    let y: Vec<f64> = train_v
+        .party_b
+        .labels
+        .as_ref()
+        .unwrap()
+        .as_binary()
+        .to_vec();
     let y_test: Vec<f64> = test_v.party_b.labels.as_ref().unwrap().as_binary().to_vec();
 
     let cfg = FedConfig::plain().with_lr(0.1);

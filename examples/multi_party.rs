@@ -24,7 +24,9 @@ fn main() {
     let d = train.num_dim();
     let (c1, c2) = (d / 3, 2 * d / 3);
     let split3 = |ds: &bf_ml::Dataset| -> [Features; 3] {
-        let Features::Sparse(s) = ds.num.as_ref().unwrap() else { panic!("expect sparse") };
+        let Features::Sparse(s) = ds.num.as_ref().unwrap() else {
+            panic!("expect sparse")
+        };
         let cols = |lo: usize, hi: usize| -> Vec<u32> { (lo as u32..hi as u32).collect() };
         [
             Features::Sparse(s.select_cols(&cols(0, c1))),
@@ -36,7 +38,12 @@ fn main() {
     let [t1, t2, tb] = split3(&test);
     let y: Vec<f64> = train.labels.as_ref().unwrap().as_binary().to_vec();
     let y_test: Vec<f64> = test.labels.as_ref().unwrap().as_binary().to_vec();
-    println!("3-party split: A1 {} / A2 {} / B {} features", c1, c2 - c1, d - c2);
+    println!(
+        "3-party split: A1 {} / A2 {} / B {} features",
+        c1,
+        c2 - c1,
+        d - c2
+    );
 
     let cfg = FedConfig::plain();
     let epochs = 6;
@@ -90,6 +97,9 @@ fn main() {
         h.join().unwrap();
     }
     println!("final training loss = {last_loss:.4}");
-    println!("3-party federated LR test AUC = {:.3}", auc(z_test.data(), &y_test));
+    println!(
+        "3-party federated LR test AUC = {:.3}",
+        auc(z_test.data(), &y_test)
+    );
     let _ = Csr::from_triplets; // keep Csr import obviously used
 }

@@ -3,7 +3,7 @@
 //! the two non-federated baselines.
 //!
 //! ```text
-//! cargo run --release -p bf-integration --example quickstart
+//! cargo run --release --example quickstart
 //! ```
 
 use bf_datagen::{generate, spec, vsplit};
@@ -35,7 +35,10 @@ fn main() {
     //    `FedConfig::plain()` for fast functional runs.
     let cfg = FedConfig::paillier_test();
     let tc = FedTrainConfig {
-        base: TrainConfig { epochs: 3, ..Default::default() },
+        base: TrainConfig {
+            epochs: 3,
+            ..Default::default()
+        },
         snapshot_u_a: false,
     };
     println!("training BlindFL LR (Paillier, {:?})...", cfg.backend);
@@ -58,7 +61,10 @@ fn main() {
     );
 
     // 3. Baselines.
-    let base = TrainConfig { epochs: 3, ..Default::default() };
+    let base = TrainConfig {
+        epochs: 3,
+        ..Default::default()
+    };
     let mut rng = rand::rngs::StdRng::seed_from_u64(1);
     let mut mb = GlmModel::new(&mut rng, train_v.party_b.num_dim(), 1);
     let rb = bf_ml::train(&mut mb, &train_v.party_b, &test_v.party_b, &base);

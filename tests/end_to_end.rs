@@ -22,7 +22,10 @@ fn run(
     let train_v = vsplit(&train);
     let test_v = vsplit(&test);
     let tc = FedTrainConfig {
-        base: TrainConfig { epochs, ..Default::default() },
+        base: TrainConfig {
+            epochs,
+            ..Default::default()
+        },
         snapshot_u_a: false,
     };
     let outcome = train_federated(
@@ -41,7 +44,15 @@ fn run(
 
 #[test]
 fn fed_lr_end_to_end() {
-    let (outcome, auc) = run("a9a", 50, 1, FedSpec::Glm { out: 1 }, &FedConfig::plain(), 8, 1);
+    let (outcome, auc) = run(
+        "a9a",
+        50,
+        1,
+        FedSpec::Glm { out: 1 },
+        &FedConfig::plain(),
+        8,
+        1,
+    );
     assert!(auc > 0.8, "LR AUC {auc}");
     assert!(outcome.report.losses.last().unwrap() < &outcome.report.losses[0]);
 }
@@ -66,7 +77,9 @@ fn fed_mlp_end_to_end() {
         "connect-4",
         25,
         1,
-        FedSpec::Mlp { widths: vec![32, 16, 3] },
+        FedSpec::Mlp {
+            widths: vec![32, 16, 3],
+        },
         &FedConfig::plain(),
         8,
         3,
@@ -80,7 +93,11 @@ fn fed_wdl_end_to_end() {
         "a9a",
         50,
         1,
-        FedSpec::Wdl { emb_dim: 8, deep_hidden: vec![16], out: 1 },
+        FedSpec::Wdl {
+            emb_dim: 8,
+            deep_hidden: vec![16],
+            out: 1,
+        },
         &FedConfig::plain(),
         8,
         4,
@@ -96,7 +113,11 @@ fn fed_dlrm_end_to_end() {
         "a9a",
         50,
         1,
-        FedSpec::Dlrm { emb_dim: 8, vec_dim: 8, top_hidden: vec![8] },
+        FedSpec::Dlrm {
+            emb_dim: 8,
+            vec_dim: 8,
+            top_hidden: vec![8],
+        },
         &FedConfig::plain(),
         8,
         5,
@@ -108,8 +129,15 @@ fn fed_dlrm_end_to_end() {
 fn fed_lr_with_real_paillier() {
     // Small but fully encrypted run: real keygen, real ciphertexts,
     // every protocol message genuine.
-    let (outcome, auc) =
-        run("a9a", 50, 2, FedSpec::Glm { out: 1 }, &FedConfig::paillier_test(), 4, 6);
+    let (outcome, auc) = run(
+        "a9a",
+        50,
+        2,
+        FedSpec::Glm { out: 1 },
+        &FedConfig::paillier_test(),
+        4,
+        6,
+    );
     assert!(auc > 0.6, "Paillier LR AUC {auc}");
     assert!(outcome.report.bytes_b_to_a > outcome.report.losses.len() as u64 * 100);
 }
@@ -119,14 +147,24 @@ fn federated_beats_party_b_on_every_model() {
     // The Figure 12 ordering, spot-checked on two model families.
     for (fed_spec, seed) in [
         (FedSpec::Glm { out: 1 }, 7u64),
-        (FedSpec::Wdl { emb_dim: 4, deep_hidden: vec![8], out: 1 }, 8),
+        (
+            FedSpec::Wdl {
+                emb_dim: 4,
+                deep_hidden: vec![8],
+                out: 1,
+            },
+            8,
+        ),
     ] {
         let ds = spec("a9a").scaled(25, 1);
         let (train, test) = generate(&ds, seed);
         let train_v = vsplit(&train);
         let test_v = vsplit(&test);
         let tc = FedTrainConfig {
-            base: TrainConfig { epochs: 8, ..Default::default() },
+            base: TrainConfig {
+                epochs: 8,
+                ..Default::default()
+            },
             snapshot_u_a: false,
         };
         let outcome = train_federated(
@@ -148,7 +186,10 @@ fn federated_beats_party_b_on_every_model() {
                     &mut m,
                     &train_v.party_b,
                     &test_v.party_b,
-                    &TrainConfig { epochs: 8, ..Default::default() },
+                    &TrainConfig {
+                        epochs: 8,
+                        ..Default::default()
+                    },
                 )
                 .test_metric
             }
@@ -167,7 +208,10 @@ fn federated_beats_party_b_on_every_model() {
                     &mut m,
                     &train_v.party_b,
                     &test_v.party_b,
-                    &TrainConfig { epochs: 8, ..Default::default() },
+                    &TrainConfig {
+                        epochs: 8,
+                        ..Default::default()
+                    },
                 )
                 .test_metric
             }

@@ -16,7 +16,11 @@ fn run(cfg: &FedConfig, epochs: usize, seed: u64) -> (FedOutcome, Dense, Dense) 
     let train_v = vsplit(&train);
     let test_v = vsplit(&test);
     let tc = FedTrainConfig {
-        base: TrainConfig { epochs, batch_size: 64, ..Default::default() },
+        base: TrainConfig {
+            epochs,
+            batch_size: 64,
+            ..Default::default()
+        },
         snapshot_u_a: false,
     };
     let outcome = train_federated(

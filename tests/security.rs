@@ -70,24 +70,33 @@ fn run_and_audit(fed_spec: FedSpec) -> (Vec<&'static str>, Vec<&'static str>) {
 fn party_a_receives_no_plaintext_tensor_matmul() {
     let (a_view, b_view) = run_and_audit(FedSpec::Glm { out: 1 });
     assert!(
-        a_view.iter().all(|&k| matches!(k, "Ct" | "Key" | "U64" | "Support")),
+        a_view
+            .iter()
+            .all(|&k| matches!(k, "Ct" | "Key" | "U64" | "Support")),
         "Party A observed a plaintext message: {a_view:?}"
     );
     // B receives exactly one plaintext tensor per forward pass — the
     // aggregated share Z'_A (permitted by Table 2) — and nothing else
     // in the clear.
     let mats = b_view.iter().filter(|&&k| k == "Mat").count();
-    let ct_or_allowed =
-        b_view.iter().all(|&k| matches!(k, "Ct" | "Key" | "U64" | "Support" | "Mat"));
+    let ct_or_allowed = b_view
+        .iter()
+        .all(|&k| matches!(k, "Ct" | "Key" | "U64" | "Support" | "Mat"));
     assert!(ct_or_allowed);
     assert!(mats > 0, "B must receive the Z'_A shares");
 }
 
 #[test]
 fn party_a_receives_no_plaintext_tensor_embed() {
-    let (a_view, _) = run_and_audit(FedSpec::Wdl { emb_dim: 4, deep_hidden: vec![8], out: 1 });
+    let (a_view, _) = run_and_audit(FedSpec::Wdl {
+        emb_dim: 4,
+        deep_hidden: vec![8],
+        out: 1,
+    });
     assert!(
-        a_view.iter().all(|&k| matches!(k, "Ct" | "Key" | "U64" | "Support")),
+        a_view
+            .iter()
+            .all(|&k| matches!(k, "Ct" | "Key" | "U64" | "Support")),
         "Party A observed a plaintext message: {a_view:?}"
     );
 }
@@ -135,7 +144,10 @@ fn ablation_mode_does_leak_plaintext() {
         },
     );
     let a_view = b_stats.sent_kinds();
-    assert!(a_view.contains(&"Mat"), "ablation should expose plaintext gradients to A");
+    assert!(
+        a_view.contains(&"Mat"),
+        "ablation should expose plaintext gradients to A"
+    );
     let _ = a_stats;
 }
 
@@ -147,7 +159,10 @@ fn activation_attack_fails_against_blindfl() {
     let train_v = vsplit(&train);
     let test_v = vsplit(&test);
     let tc = FedTrainConfig {
-        base: TrainConfig { epochs: 6, ..Default::default() },
+        base: TrainConfig {
+            epochs: 6,
+            ..Default::default()
+        },
         snapshot_u_a: true,
     };
     let outcome = train_federated(
@@ -161,12 +176,21 @@ fn activation_attack_fails_against_blindfl() {
         4,
     );
     let u = outcome.report.u_a_snapshots.last().unwrap();
-    let Labels::Binary(y) = test_v.party_b.labels.as_ref().unwrap() else { panic!() };
+    let Labels::Binary(y) = test_v.party_b.labels.as_ref().unwrap() else {
+        panic!()
+    };
     let auc = bf_baselines::activation_attack_auc(test_v.party_a.num.as_ref().unwrap(), u, y);
-    assert!((auc - 0.5).abs() < 0.1, "BlindFL share leaked labels: attack AUC {auc}");
+    assert!(
+        (auc - 0.5).abs() < 0.1,
+        "BlindFL share leaked labels: attack AUC {auc}"
+    );
 
     // Contrast: the full federated model is genuinely predictive.
-    assert!(outcome.report.test_metric > 0.7, "fed metric {}", outcome.report.test_metric);
+    assert!(
+        outcome.report.test_metric > 0.7,
+        "fed metric {}",
+        outcome.report.test_metric
+    );
 }
 
 #[test]
@@ -176,7 +200,10 @@ fn tables_2_and_3_are_internally_consistent() {
     let a = matmul_forbidden_for_a();
     for o in matmul_forbidden_for_b() {
         if o != Observable::GradWeightsB {
-            assert!(a.contains(&o), "{o:?} forbidden for B must be forbidden for A");
+            assert!(
+                a.contains(&o),
+                "{o:?} forbidden for B must be forbidden for A"
+            );
         }
     }
     let ea = embed_forbidden_for_a();

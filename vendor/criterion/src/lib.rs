@@ -1,0 +1,259 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the benchmark-group API surface the `bf-bench` criterion
+//! benches use (`benchmark_group`, `measurement_time`, `warm_up_time`,
+//! `sample_size`, `bench_function`, `iter`, `criterion_group!`,
+//! `criterion_main!`) with a simple wall-clock sampler: warm up for the
+//! configured time, then collect per-iteration samples until the
+//! measurement budget is spent, and print min / mean / median / p95 per
+//! benchmark.
+//!
+//! Statistical niceties of real criterion (outlier classification,
+//! regression against saved baselines, HTML reports) are out of scope;
+//! the numbers printed here are directly comparable across runs on the
+//! same machine, which is what the Table 5 / Figure 9 reproductions
+//! need.
+//!
+//! Passing `--test` (as `cargo test --benches` does for
+//! `harness = false` targets) or setting `CRITERION_SMOKE=1` runs every
+//! benchmark body exactly once — a compile-and-smoke mode.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level handle passed to every benchmark function.
+pub struct Criterion {
+    smoke: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let smoke = std::env::args().any(|a| a == "--test")
+            || std::env::var("CRITERION_SMOKE")
+                .map(|v| v == "1")
+                .unwrap_or(false);
+        Criterion { smoke }
+    }
+}
+
+impl Criterion {
+    /// Consume CLI arguments (kept for API compatibility; filtering by
+    /// benchmark name is not implemented).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            measurement: Duration::from_secs(5),
+            warm_up: Duration::from_secs(3),
+            sample_size: 100,
+            smoke: self.smoke,
+        }
+    }
+
+    /// Run a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("").bench_function(id, f);
+        self
+    }
+
+    /// Print a trailing summary (no-op; per-bench lines are printed as
+    /// they complete).
+    pub fn final_summary(&self) {}
+}
+
+/// A group of benchmarks sharing timing configuration.
+pub struct BenchmarkGroup {
+    name: String,
+    measurement: Duration,
+    warm_up: Duration,
+    sample_size: usize,
+    smoke: bool,
+}
+
+impl BenchmarkGroup {
+    /// Set the per-benchmark measurement budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Set the per-benchmark warm-up time.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Set the target number of samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            warm_up: if self.smoke {
+                Duration::ZERO
+            } else {
+                self.warm_up
+            },
+            measurement: if self.smoke {
+                Duration::ZERO
+            } else {
+                self.measurement
+            },
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        let label = if self.name.is_empty() {
+            id.to_string()
+        } else {
+            format!("{}/{}", self.name, id)
+        };
+        report(&label, &mut b.samples, self.smoke);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Timer handle: call [`iter`](Bencher::iter) with the body to measure.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Measure repeated executions of `body`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        // Warm-up: run without recording.
+        let start = Instant::now();
+        while start.elapsed() < self.warm_up {
+            black_box(body());
+        }
+        // Measurement: one sample per iteration until either the time
+        // budget or a generous sample cap is reached. Always record at
+        // least one sample so smoke mode still exercises the body.
+        let cap = self.sample_size.max(10) * 100;
+        let start = Instant::now();
+        loop {
+            let t = Instant::now();
+            black_box(body());
+            self.samples.push(t.elapsed());
+            if start.elapsed() >= self.measurement || self.samples.len() >= cap {
+                break;
+            }
+        }
+    }
+}
+
+fn report(label: &str, samples: &mut [Duration], smoke: bool) {
+    if samples.is_empty() {
+        println!("{label:<44} (no samples)");
+        return;
+    }
+    if smoke {
+        println!("{label:<44} smoke ok ({:>10})", fmt_dur(samples[0]));
+        return;
+    }
+    samples.sort_unstable();
+    let n = samples.len();
+    let total: Duration = samples.iter().sum();
+    let mean = total / n as u32;
+    let median = samples[n / 2];
+    let p95 = samples[(n * 95 / 100).min(n - 1)];
+    println!(
+        "{label:<44} {:>6} iters   min {:>10}   mean {:>10}   median {:>10}   p95 {:>10}",
+        n,
+        fmt_dur(samples[0]),
+        fmt_dur(mean),
+        fmt_dur(median),
+        fmt_dur(p95),
+    );
+}
+
+fn fmt_dur(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Bundle benchmark functions into a group runner, as in real
+/// criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Generate `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut c = Criterion { smoke: true };
+        let mut ran = 0u32;
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                ran += 1;
+            })
+        });
+        assert!(ran >= 1);
+    }
+
+    #[test]
+    fn group_chain_configures() {
+        let mut c = Criterion { smoke: true };
+        let mut g = c.benchmark_group("g");
+        g.measurement_time(Duration::from_millis(1))
+            .warm_up_time(Duration::from_millis(1))
+            .sample_size(10);
+        g.bench_function("unit", |b| b.iter(|| 1 + 1));
+        g.finish();
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_dur(Duration::from_nanos(500)), "500 ns");
+        assert!(fmt_dur(Duration::from_micros(1500)).contains("ms"));
+        assert!(fmt_dur(Duration::from_secs(2)).contains("s"));
+    }
+}

@@ -1,0 +1,142 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides the two pieces this workspace uses, backed by `std`:
+//!
+//! * [`scope`] — scoped threads with the crossbeam 0.8 signature
+//!   (spawn closures receive a `&Scope` argument, `scope` returns a
+//!   `Result` whose `Err` carries a child panic payload), implemented
+//!   on `std::thread::scope`,
+//! * [`channel`] — `unbounded` MPSC channels with crossbeam's
+//!   `Sender`/`Receiver` API, implemented on `std::sync::mpsc`.
+
+use std::any::Any;
+
+/// Scoped-thread support.
+pub mod thread {
+    use super::Any;
+
+    /// Result of a [`scope`](super::scope) call: `Err` holds the panic
+    /// payload if any spawned thread panicked.
+    pub type ScopeResult<R> = Result<R, Box<dyn Any + Send + 'static>>;
+
+    /// A handle for spawning scoped threads, mirroring
+    /// `crossbeam::thread::Scope`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread scoped to this block. As in crossbeam, the
+        /// closure receives the scope itself (for nested spawns).
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Run `f` with a scope handle; all threads spawned through the
+    /// handle are joined before this returns. A panic in any spawned
+    /// thread surfaces as `Err(payload)`.
+    pub fn scope<'env, F, R>(f: F) -> ScopeResult<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        // std::thread::scope resumes child panics after joining; catch
+        // them to reproduce crossbeam's Result-returning contract.
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+pub use thread::scope;
+
+/// MPSC channels with the crossbeam API shape.
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// Sending half of an unbounded channel.
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    /// Receiving half of an unbounded channel.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    /// Error returned when the receiving half has been dropped.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned when the sending half has been dropped.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Send a message; never blocks.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            self.0.send(msg).map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a message arrives.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv().map_err(|_| RecvError)
+        }
+
+        /// Non-blocking receive; `None` if the channel is empty or
+        /// disconnected.
+        pub fn try_recv(&self) -> Option<T> {
+            self.0.try_recv().ok()
+        }
+    }
+
+    /// Create an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(rx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_returns() {
+        let data = [1u64, 2, 3, 4];
+        let total: u64 = crate::scope(|s| {
+            let handles: Vec<_> = data.iter().map(|&v| s.spawn(move |_| v * 10)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn scope_propagates_child_panic_as_err() {
+        let r = crate::scope(|s| {
+            s.spawn(|_| panic!("child failure"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn channel_roundtrip_across_threads() {
+        let (tx, rx) = crate::channel::unbounded();
+        let t = std::thread::spawn(move || {
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+        });
+        let got: Vec<i32> = (0..100).map(|_| rx.recv().unwrap()).collect();
+        t.join().unwrap();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,54 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::Strategy;
+
+/// Size specifications accepted by [`vec`]: an exact length, a
+/// half-open range, or an inclusive range.
+pub trait IntoSizeRange {
+    /// Inclusive `(min, max)` length bounds.
+    fn size_bounds(&self) -> (usize, usize);
+}
+
+impl IntoSizeRange for usize {
+    fn size_bounds(&self) -> (usize, usize) {
+        (*self, *self)
+    }
+}
+
+impl IntoSizeRange for core::ops::Range<usize> {
+    fn size_bounds(&self) -> (usize, usize) {
+        assert!(self.start < self.end, "empty vec size range");
+        (self.start, self.end - 1)
+    }
+}
+
+impl IntoSizeRange for core::ops::RangeInclusive<usize> {
+    fn size_bounds(&self) -> (usize, usize) {
+        assert!(self.start() <= self.end(), "empty vec size range");
+        (*self.start(), *self.end())
+    }
+}
+
+/// Strategy for `Vec<S::Value>` with lengths drawn from a size range.
+pub struct VecStrategy<S> {
+    element: S,
+    min: usize,
+    max: usize,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let len = rng.random_range(self.min..=self.max);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Vectors of values from `element`, with length in `size`.
+pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+    let (min, max) = size.size_bounds();
+    VecStrategy { element, min, max }
+}

@@ -1,0 +1,497 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of proptest this workspace's property suites
+//! use: the [`Strategy`] trait with `prop_map`, range / [`Just`] /
+//! [`any`] / weighted-union / collection strategies, the `proptest!`,
+//! `prop_assert*`, `prop_assume!` and `prop_oneof!` macros, and a
+//! deterministic [`ProptestConfig`]-driven runner.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **no shrinking** — a failing case reports its inputs (via the
+//!   assertion message) but is not minimised;
+//! * **deterministic seeding** — each test derives its RNG seed from
+//!   the test name (override with `PROPTEST_SEED`), so failures
+//!   reproduce without a persistence file;
+//! * **`PROPTEST_CASES` caps, never raises** — the env var bounds the
+//!   per-test case count from above so CI can shrink long suites
+//!   without editing explicit `with_cases` settings.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub mod collection;
+
+/// Everything the test files import with `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Just, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// The `prop::` namespace (`prop::collection::vec(...)` in test files).
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Configuration for a `proptest!` block.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required per test.
+    pub cases: u32,
+    /// Abort after this many `prop_assume!` rejections.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: env_cases().unwrap_or(256),
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` successful cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Default::default()
+        }
+    }
+
+    /// Case count after applying the `PROPTEST_CASES` cap. Always at
+    /// least 1 so a cap of 0 cannot silently skip a suite.
+    pub fn effective_cases(&self) -> u32 {
+        let n = match env_cases() {
+            Some(cap) => self.cases.min(cap),
+            None => self.cases,
+        };
+        n.max(1)
+    }
+}
+
+fn env_cases() -> Option<u32> {
+    std::env::var("PROPTEST_CASES").ok()?.trim().parse().ok()
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is retried.
+    Reject(String),
+    /// A `prop_assert*` failed; the whole test fails.
+    Fail(String),
+}
+
+/// Result type the generated case closures return.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// A generator of values of `Self::Value`.
+///
+/// This mirrors proptest's `Strategy` minus shrinking: `generate`
+/// replaces `new_tree(..).current()`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Erase the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// Object-safe shim behind [`BoxedStrategy`].
+trait DynStrategy<T> {
+    fn dyn_generate(&self, rng: &mut StdRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn dyn_generate(&self, rng: &mut StdRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn DynStrategy<T>>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        self.0.dyn_generate(rng)
+    }
+}
+
+/// Strategy that always yields a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*}
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// Types with a canonical "any value" strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// Generate an arbitrary value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rng.random()
+            }
+        }
+    )*}
+}
+impl_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool, f32, f64);
+
+/// Strategy produced by [`any`].
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The full-range strategy for `T`: `any::<u64>()` etc.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+/// Weighted union of strategies (built by `prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u32,
+}
+
+impl<T> Union<T> {
+    /// Build from `(weight, strategy)` arms; weights must sum > 0.
+    pub fn new_weighted(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        let total = arms.iter().map(|(w, _)| *w).sum();
+        assert!(total > 0, "prop_oneof! requires positive total weight");
+        Union { arms, total }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        let mut pick = rng.random_range(0..self.total);
+        for (w, s) in &self.arms {
+            if pick < *w {
+                return s.generate(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weights exhausted")
+    }
+}
+
+/// Runner internals used by the generated test bodies.
+pub mod runner {
+    use super::*;
+
+    fn seed_for(name: &str) -> u64 {
+        if let Ok(s) = std::env::var("PROPTEST_SEED") {
+            if let Ok(v) = s.trim().parse() {
+                return v;
+            }
+        }
+        // FNV-1a over the test name: stable, collision-irrelevant.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    }
+
+    /// Drive one property test: repeat `case` until the configured
+    /// number of successes, retrying `prop_assume!` rejections and
+    /// panicking on the first failure.
+    pub fn run<F>(config: &ProptestConfig, name: &str, mut case: F)
+    where
+        F: FnMut(&mut StdRng) -> TestCaseResult,
+    {
+        let cases = config.effective_cases();
+        let mut rng = StdRng::seed_from_u64(seed_for(name));
+        let mut passed = 0u32;
+        let mut rejected = 0u32;
+        while passed < cases {
+            match case(&mut rng) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(why)) => {
+                    rejected += 1;
+                    if rejected > config.max_global_rejects {
+                        panic!(
+                            "proptest '{name}': too many prop_assume! rejections \
+                             ({rejected}); last: {why}"
+                        );
+                    }
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "proptest '{name}' failed at case {}/{cases} \
+                         (seed {}, set PROPTEST_SEED to reproduce): {msg}",
+                        passed + 1,
+                        seed_for(name),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Declare property tests. Supports the standard form:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_prop(a in strategy_a(), b in 0u64..10) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($config:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $config;
+                let __strategies = ( $($strat,)* );
+                $crate::runner::run(&__config, stringify!($name), |__rng| {
+                    let ( $($arg,)* ) = {
+                        let ( $(ref $arg,)* ) = __strategies;
+                        ( $($crate::Strategy::generate($arg, __rng),)* )
+                    };
+                    #[allow(unreachable_code)]
+                    (|| -> $crate::TestCaseResult {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })()
+                });
+            }
+        )*
+    };
+}
+
+/// Assert inside a property test; failure fails the current case with
+/// the generated inputs still in scope for the message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Assert two expressions are equal (both must impl `Debug`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let __lhs = $lhs;
+        let __rhs = $rhs;
+        $crate::prop_assert!(
+            __lhs == __rhs,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($lhs),
+            stringify!($rhs),
+            __lhs,
+            __rhs
+        );
+    }};
+}
+
+/// Assert two expressions differ (both must impl `Debug`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let __lhs = $lhs;
+        let __rhs = $rhs;
+        $crate::prop_assert!(
+            __lhs != __rhs,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($lhs),
+            stringify!($rhs),
+            __lhs
+        );
+    }};
+}
+
+/// Discard the current case (retried without counting) unless `cond`.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject(String::from(
+                stringify!($cond),
+            )));
+        }
+    };
+}
+
+/// Weighted choice between strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::Union::new_weighted(vec![
+            $(($weight as u32, $crate::Strategy::boxed($strat)),)+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new_weighted(vec![
+            $((1u32, $crate::Strategy::boxed($strat)),)+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn runner_executes_exactly_the_configured_cases() {
+        let mut executed = 0u32;
+        crate::runner::run(
+            &ProptestConfig {
+                cases: 37,
+                max_global_rejects: 10,
+            },
+            "count_probe",
+            |_rng| {
+                executed += 1;
+                Ok(())
+            },
+        );
+        // PROPTEST_CASES can cap below 37 in CI, never raise above it.
+        let expected = ProptestConfig {
+            cases: 37,
+            max_global_rejects: 10,
+        }
+        .effective_cases();
+        assert_eq!(executed, expected);
+        assert!(expected <= 37);
+    }
+
+    #[test]
+    fn env_cap_lowers_but_never_raises() {
+        // Note: relies on PROPTEST_CASES being unset in the unit-test
+        // environment; effective == configured in that case.
+        let cfg = ProptestConfig::with_cases(17);
+        assert!(cfg.effective_cases() <= 17);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_in_bounds(a in 3u64..9, b in -1.5f64..1.5) {
+            prop_assert!((3..9).contains(&a));
+            prop_assert!((-1.5..1.5).contains(&b));
+        }
+
+        #[test]
+        fn map_and_vec_compose(v in prop::collection::vec(0u32..5, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&x| x < 5));
+        }
+
+        #[test]
+        fn oneof_honours_arms(x in prop_oneof![2 => Just(0.0f64), 1 => 10.0f64..11.0]) {
+            prop_assert!(x == 0.0 || (10.0..11.0).contains(&x));
+        }
+
+        #[test]
+        fn assume_retries(x in 0u64..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+
+        #[test]
+        #[should_panic(expected = "failed at case")]
+        fn failing_property_panics(_x in 0u64..2) {
+            prop_assert!(false, "forced failure");
+        }
+    }
+}
