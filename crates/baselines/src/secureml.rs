@@ -133,8 +133,8 @@ fn run_batches(bs: usize, d: usize, out: usize, mode: TripletMode, iters: usize)
                 TripletMode::HeAssisted { key_bits } => {
                     let (pk, sk) = keygen(key_bits, 24, &mut rng);
                     let obf = Obfuscator::new(&pk, ObfMode::Pool(16), 1);
-                    ep1.send(bf_mpc::Msg::Key(pk.clone()));
-                    let peer = ep1.recv_key();
+                    ep1.send(bf_mpc::Msg::Key(pk.clone())).expect("transport");
+                    let peer = ep1.recv_key().expect("transport");
                     Some((pk, sk, obf, peer))
                 }
                 TripletMode::ClientAided => None,
@@ -143,8 +143,10 @@ fn run_batches(bs: usize, d: usize, out: usize, mode: TripletMode, iters: usize)
                 let (tf, tb) = match &crypto {
                     Some((pk, sk, obf, peer)) => {
                         let mut trng = rand::rngs::StdRng::seed_from_u64(100 + i as u64);
-                        let tf = he_gen_triple(&ep1, pk, sk, obf, peer, bs, d, out, &mut trng);
-                        let tb = he_gen_triple(&ep1, pk, sk, obf, peer, d, bs, out, &mut trng);
+                        let tf = he_gen_triple(&ep1, pk, sk, obf, peer, bs, d, out, &mut trng)
+                            .expect("transport");
+                        let tb = he_gen_triple(&ep1, pk, sk, obf, peer, d, bs, out, &mut trng)
+                            .expect("transport");
                         (tf, tb)
                     }
                     None => {
@@ -157,8 +159,8 @@ fn run_batches(bs: usize, d: usize, out: usize, mode: TripletMode, iters: usize)
                         )
                     }
                 };
-                let _z = beaver_matmul(&ep1, true, &x1, &w1, &tf);
-                let _gw = beaver_matmul(&ep1, true, &x1t, &g1, &tb);
+                let _z = beaver_matmul(&ep1, true, &x1, &w1, &tf).expect("transport");
+                let _gw = beaver_matmul(&ep1, true, &x1t, &g1, &tb).expect("transport");
             }
         })
         .expect("spawn secureml party 1");
@@ -168,8 +170,8 @@ fn run_batches(bs: usize, d: usize, out: usize, mode: TripletMode, iters: usize)
             let mut rng = rand::rngs::StdRng::seed_from_u64(0xB);
             let (pk, sk) = keygen(key_bits, 24, &mut rng);
             let obf = Obfuscator::new(&pk, ObfMode::Pool(16), 2);
-            ep2.send(bf_mpc::Msg::Key(pk.clone()));
-            let peer = ep2.recv_key();
+            ep2.send(bf_mpc::Msg::Key(pk.clone())).expect("transport");
+            let peer = ep2.recv_key().expect("transport");
             Some((pk, sk, obf, peer))
         }
         TripletMode::ClientAided => None,
@@ -180,8 +182,10 @@ fn run_batches(bs: usize, d: usize, out: usize, mode: TripletMode, iters: usize)
         let (tf, tb) = match &crypto {
             Some((pk, sk, obf, peer)) => {
                 let mut trng = rand::rngs::StdRng::seed_from_u64(200 + i as u64);
-                let tf = he_gen_triple(&ep2, pk, sk, obf, peer, bs, d, out, &mut trng);
-                let tb = he_gen_triple(&ep2, pk, sk, obf, peer, d, bs, out, &mut trng);
+                let tf = he_gen_triple(&ep2, pk, sk, obf, peer, bs, d, out, &mut trng)
+                    .expect("transport");
+                let tb = he_gen_triple(&ep2, pk, sk, obf, peer, d, bs, out, &mut trng)
+                    .expect("transport");
                 (tf, tb)
             }
             None => (
@@ -189,8 +193,8 @@ fn run_batches(bs: usize, d: usize, out: usize, mode: TripletMode, iters: usize)
                 dealer_share(d, bs, out, i as u64 + 7_000, false),
             ),
         };
-        let _z = beaver_matmul(&ep2, false, &x2, &w2, &tf);
-        let _gw = beaver_matmul(&ep2, false, &x2t, &g2, &tb);
+        let _z = beaver_matmul(&ep2, false, &x2, &w2, &tf).expect("transport");
+        let _gw = beaver_matmul(&ep2, false, &x2t, &g2, &tb).expect("transport");
     }
     sw.stop();
     handle.join().expect("secureml party 1 panicked");
@@ -220,8 +224,8 @@ pub fn secureml_forward_check(bs: usize, d: usize, out: usize) -> f64 {
     let (w1, w2) = share_dense(&mut rng, &w, 5.0);
     let (t1, t2) = dealer_triple(&mut rng, bs, d, out, 5.0);
     let (ep1, ep2) = channel_pair();
-    let h = std::thread::spawn(move || beaver_matmul(&ep1, true, &x1, &w1, &t1));
-    let z2 = beaver_matmul(&ep2, false, &x2, &w2, &t2);
+    let h = std::thread::spawn(move || beaver_matmul(&ep1, true, &x1, &w1, &t1).unwrap());
+    let z2 = beaver_matmul(&ep2, false, &x2, &w2, &t2).unwrap();
     let z1 = h.join().unwrap();
     let z = z1.add(&z2);
     z.sub(&x.matmul(&w)).max_abs()

@@ -89,17 +89,17 @@ pub fn matmul_source_batch_secs(
         cfg,
         0xBEEF,
         move |mut sess| {
-            let mut layer = MatMulSource::init(&mut sess, a_view.num_dim(), out);
+            let mut layer = MatMulSource::init(&mut sess, a_view.num_dim(), out).unwrap();
             for idx in &idx_a {
                 let batch = a_view.select(idx);
                 let x = batch.num.as_ref().unwrap();
-                let z = layer.forward(&mut sess, x, true);
-                aggregate_a(&sess, z);
-                layer.backward_a(&mut sess);
+                let z = layer.forward(&mut sess, x, true).unwrap();
+                aggregate_a(&sess, z).unwrap();
+                layer.backward_a(&mut sess).unwrap();
             }
         },
         move |mut sess| {
-            let mut layer = MatMulSource::init(&mut sess, b_view.num_dim(), out);
+            let mut layer = MatMulSource::init(&mut sess, b_view.num_dim(), out).unwrap();
             let mut sw = Stopwatch::new();
             for (i, idx) in idxs.iter().enumerate() {
                 if i == 1 {
@@ -107,12 +107,12 @@ pub fn matmul_source_batch_secs(
                 }
                 let batch = b_view.select(idx);
                 let x = batch.num.as_ref().unwrap();
-                let z_own = layer.forward(&mut sess, x, true);
-                let _z = aggregate_b(&sess, z_own);
+                let z_own = layer.forward(&mut sess, x, true).unwrap();
+                let _z = aggregate_b(&sess, z_own).unwrap();
                 // A synthetic ∇Z of the right shape: the cost being
                 // measured is the protocol's, not the loss function's.
                 let g = grad_template.map(|_| 0.01);
-                layer.backward_b(&mut sess, &g);
+                layer.backward_b(&mut sess, &g).unwrap();
             }
             sw.stop();
             sw.secs() / batches as f64

@@ -15,27 +15,39 @@
 //! * the outputs and updates are **lossless** — identical to
 //!   non-federated training up to fixed-point quantisation.
 //!
-//! # Crate layout
+//! # Paper-section correspondence / crate layout
+//!
+//! This crate is the paper's **§4 (federated source layers)** and the
+//! protocol flows of **§5 (secure aggregation)**; the §5 primitives
+//! themselves (`HE2SS`/`SS2HE`, sharing, transport) live in `bf-mpc`
+//! and the §7.1 cryptography in `bf-paillier`.
 //!
 //! * [`config`] / [`session`] — protocol parameters and the per-party
-//!   cryptographic session (key handshake, transport, RNG).
+//!   cryptographic session (key handshake, transport, RNG). Sessions
+//!   are transport-agnostic: the same code runs over in-process
+//!   channels or TCP (see `docs/ARCHITECTURE.md` for the seam).
 //! * [`privacy`] — the paper's Tables 2 & 3 as data: the restricted
 //!   observables per party, consumed by the security tests.
-//! * [`source::matmul`] — the MatMul federated source layer (Figure 6).
+//! * [`source::matmul`] — the MatMul federated source layer
+//!   (§4.2, Figure 6).
 //! * [`source::embed`] — the Embed-MatMul federated source layer
-//!   (Figure 7).
+//!   (§4.3, Figure 7).
 //! * [`source::ss_top`] — the secret-shared-top-model variants
 //!   (Appendix B, Figures 13–14).
 //! * [`multiparty`] — the multi-Party-A MatMul extension (Appendix C,
 //!   Algorithm 3).
 //! * [`models`] / [`train`] — the federated model zoo (LR, MLR, MLP,
-//!   WDL, DLRM) and the two-thread training/inference runtime.
+//!   WDL, DLRM) and the training/inference runtime
+//!   ([`train::run_party_a`] / [`train::run_party_b`] per party,
+//!   [`train::train_federated`] as the two-thread harness).
 //!
 //! # Quickstart
 //!
 //! See `examples/quickstart.rs` at the repository root: generate a
 //! vertically-split dataset, call [`train::train_federated`] with a
 //! [`models::FedSpec`], and compare against the collocated baseline.
+//! For the two-process TCP deployment, see
+//! `examples/tcp_federated_lr.rs`.
 
 #![allow(clippy::too_many_arguments)] // protocol functions mirror the paper's parameter lists
 pub mod config;

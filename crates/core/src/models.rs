@@ -11,6 +11,7 @@
 use bf_ml::data::{Dataset, Labels};
 use bf_ml::layers::{ActKind, Activation, Bias, Mlp};
 use bf_ml::models::loss_and_grad;
+use bf_mpc::transport::TransportResult;
 use bf_tensor::Dense;
 
 use crate::session::Session;
@@ -70,57 +71,68 @@ pub struct PartyAModel {
 
 impl PartyAModel {
     /// Initialise from the spec and Party A's data view.
-    pub fn init(sess: &mut Session, spec: &FedSpec, data: &Dataset) -> PartyAModel {
+    pub fn init(
+        sess: &mut Session,
+        spec: &FedSpec,
+        data: &Dataset,
+    ) -> TransportResult<PartyAModel> {
         let num_dim = data.num_dim();
         let (matmul, embed) = match spec {
-            FedSpec::Glm { out } => (Some(MatMulSource::init(sess, num_dim, *out)), None),
-            FedSpec::Mlp { widths } => (Some(MatMulSource::init(sess, num_dim, widths[0])), None),
+            FedSpec::Glm { out } => (Some(MatMulSource::init(sess, num_dim, *out)?), None),
+            FedSpec::Mlp { widths } => (Some(MatMulSource::init(sess, num_dim, widths[0])?), None),
             FedSpec::Wdl {
                 emb_dim,
                 deep_hidden,
                 out,
             } => {
-                let mm = MatMulSource::init(sess, num_dim, *out);
+                let mm = MatMulSource::init(sess, num_dim, *out)?;
                 let cat = data.cat.as_ref().expect("WDL needs categorical features");
                 let proj = deep_hidden.first().copied().unwrap_or(*out);
-                let em = EmbedSource::init(sess, cat.vocab(), cat.fields(), *emb_dim, proj);
+                let em = EmbedSource::init(sess, cat.vocab(), cat.fields(), *emb_dim, proj)?;
                 (Some(mm), Some(em))
             }
             FedSpec::Dlrm {
                 emb_dim, vec_dim, ..
             } => {
-                let mm = MatMulSource::init(sess, num_dim, *vec_dim);
+                let mm = MatMulSource::init(sess, num_dim, *vec_dim)?;
                 let cat = data.cat.as_ref().expect("DLRM needs categorical features");
-                let em = EmbedSource::init(sess, cat.vocab(), cat.fields(), *emb_dim, *vec_dim);
+                let em = EmbedSource::init(sess, cat.vocab(), cat.fields(), *emb_dim, *vec_dim)?;
                 (Some(mm), Some(em))
             }
         };
-        PartyAModel { matmul, embed }
+        Ok(PartyAModel { matmul, embed })
     }
 
     /// One forward pass over a batch view (A's side of every source
     /// layer, in the canonical order: MatMul first, then Embed).
-    pub fn forward(&mut self, sess: &mut Session, batch: &Dataset, train: bool) {
+    pub fn forward(
+        &mut self,
+        sess: &mut Session,
+        batch: &Dataset,
+        train: bool,
+    ) -> TransportResult<()> {
         if let Some(mm) = &mut self.matmul {
             let x = batch.num.as_ref().expect("missing numerical block");
-            let z = mm.forward(sess, x, train);
-            aggregate_a(sess, z);
+            let z = mm.forward(sess, x, train)?;
+            aggregate_a(sess, z)?;
         }
         if let Some(em) = &mut self.embed {
             let x = batch.cat.as_ref().expect("missing categorical block");
-            let z = em.forward(sess, x, train);
-            aggregate_a(sess, z);
+            let z = em.forward(sess, x, train)?;
+            aggregate_a(sess, z)?;
         }
+        Ok(())
     }
 
     /// One backward pass (reverse order: Embed first, then MatMul).
-    pub fn backward(&mut self, sess: &mut Session) {
+    pub fn backward(&mut self, sess: &mut Session) -> TransportResult<()> {
         if let Some(em) = &mut self.embed {
-            em.backward_a(sess);
+            em.backward_a(sess)?;
         }
         if let Some(mm) = &mut self.matmul {
-            mm.backward_a(sess);
+            mm.backward_a(sess)?;
         }
+        Ok(())
     }
 
     /// The MatMul source half (inspection).
@@ -166,16 +178,20 @@ enum Top {
 
 impl PartyBModel {
     /// Initialise from the spec and Party B's data view.
-    pub fn init(sess: &mut Session, spec: &FedSpec, data: &Dataset) -> PartyBModel {
+    pub fn init(
+        sess: &mut Session,
+        spec: &FedSpec,
+        data: &Dataset,
+    ) -> TransportResult<PartyBModel> {
         let num_dim = data.num_dim();
         let (matmul, embed, top) = match spec {
             FedSpec::Glm { out } => (
-                Some(MatMulSource::init(sess, num_dim, *out)),
+                Some(MatMulSource::init(sess, num_dim, *out)?),
                 None,
                 Top::Bias(Bias::new(*out)),
             ),
             FedSpec::Mlp { widths } => {
-                let mm = MatMulSource::init(sess, num_dim, widths[0]);
+                let mm = MatMulSource::init(sess, num_dim, widths[0])?;
                 let tower = Mlp::new(&mut sess.rng, widths);
                 (
                     Some(mm),
@@ -192,10 +208,10 @@ impl PartyBModel {
                 deep_hidden,
                 out,
             } => {
-                let mm = MatMulSource::init(sess, num_dim, *out);
+                let mm = MatMulSource::init(sess, num_dim, *out)?;
                 let cat = data.cat.as_ref().expect("WDL needs categorical features");
                 let proj = deep_hidden.first().copied().unwrap_or(*out);
-                let em = EmbedSource::init(sess, cat.vocab(), cat.fields(), *emb_dim, proj);
+                let em = EmbedSource::init(sess, cat.vocab(), cat.fields(), *emb_dim, proj)?;
                 let mut widths = deep_hidden.clone();
                 widths.push(*out);
                 (
@@ -214,9 +230,9 @@ impl PartyBModel {
                 vec_dim,
                 top_hidden,
             } => {
-                let mm = MatMulSource::init(sess, num_dim, *vec_dim);
+                let mm = MatMulSource::init(sess, num_dim, *vec_dim)?;
                 let cat = data.cat.as_ref().expect("DLRM needs categorical features");
-                let em = EmbedSource::init(sess, cat.vocab(), cat.fields(), *emb_dim, *vec_dim);
+                let em = EmbedSource::init(sess, cat.vocab(), cat.fields(), *emb_dim, *vec_dim)?;
                 // Interaction vector: [z_num | z_cat | dot(z_num, z_cat)].
                 let mut widths = vec![2 * vec_dim + 1];
                 widths.extend_from_slice(top_hidden);
@@ -230,12 +246,12 @@ impl PartyBModel {
                 )
             }
         };
-        PartyBModel {
+        Ok(PartyBModel {
             spec: spec.clone(),
             matmul,
             embed,
             top,
-        }
+        })
     }
 
     /// Output width of the model.
@@ -254,17 +270,23 @@ impl PartyBModel {
         sess: &mut Session,
         batch: &Dataset,
         train: bool,
-    ) -> (Dense, FwdCache) {
-        let z_num = self.matmul.as_mut().map(|mm| {
-            let x = batch.num.as_ref().expect("missing numerical block");
-            let z_own = mm.forward(sess, x, train);
-            aggregate_b(sess, z_own)
-        });
-        let z_cat = self.embed.as_mut().map(|em| {
-            let x = batch.cat.as_ref().expect("missing categorical block");
-            let z_own = em.forward(sess, x, train);
-            aggregate_b(sess, z_own)
-        });
+    ) -> TransportResult<(Dense, FwdCache)> {
+        let z_num = match &mut self.matmul {
+            Some(mm) => {
+                let x = batch.num.as_ref().expect("missing numerical block");
+                let z_own = mm.forward(sess, x, train)?;
+                Some(aggregate_b(sess, z_own)?)
+            }
+            None => None,
+        };
+        let z_cat = match &mut self.embed {
+            Some(em) => {
+                let x = batch.cat.as_ref().expect("missing categorical block");
+                let z_own = em.forward(sess, x, train)?;
+                Some(aggregate_b(sess, z_own)?)
+            }
+            None => None,
+        };
         let mut cache = FwdCache::default();
         let logits = match &mut self.top {
             Top::Bias(bias) => bias.forward(z_num.as_ref().unwrap()),
@@ -291,13 +313,18 @@ impl PartyBModel {
                 tower.forward(&inter)
             }
         };
-        (logits, cache)
+        Ok((logits, cache))
     }
 
     /// Backward from a loss gradient w.r.t. the logits; drives the
     /// federated source-layer updates (Embed first, then MatMul —
     /// mirroring Party A).
-    pub fn backward(&mut self, sess: &mut Session, grad_logits: &Dense, cache: &FwdCache) {
+    pub fn backward(
+        &mut self,
+        sess: &mut Session,
+        grad_logits: &Dense,
+        cache: &FwdCache,
+    ) -> TransportResult<()> {
         let (grad_z_num, grad_z_cat): (Option<Dense>, Option<Dense>) = match &mut self.top {
             Top::Bias(bias) => {
                 bias.backward(grad_logits);
@@ -340,26 +367,27 @@ impl PartyBModel {
         };
         // Reverse order (Embed then MatMul) to mirror Party A.
         if let Some(em) = &mut self.embed {
-            em.backward_b(sess, grad_z_cat.as_ref().expect("missing ∇Z_cat"));
+            em.backward_b(sess, grad_z_cat.as_ref().expect("missing ∇Z_cat"))?;
         }
         if let Some(mm) = &mut self.matmul {
-            mm.backward_b(sess, grad_z_num.as_ref().expect("missing ∇Z_num"));
+            mm.backward_b(sess, grad_z_num.as_ref().expect("missing ∇Z_num"))?;
         }
+        Ok(())
     }
 
     /// One full training step: forward, loss, backward. Returns the
     /// batch loss.
-    pub fn train_batch(&mut self, sess: &mut Session, batch: &Dataset) -> f64 {
+    pub fn train_batch(&mut self, sess: &mut Session, batch: &Dataset) -> TransportResult<f64> {
         let labels = batch.labels.as_ref().expect("Party B holds the labels");
-        let (logits, cache) = self.forward(sess, batch, true);
+        let (logits, cache) = self.forward(sess, batch, true)?;
         let (loss, grad) = loss_and_grad(&logits, labels);
-        self.backward(sess, &grad, &cache);
-        loss
+        self.backward(sess, &grad, &cache)?;
+        Ok(loss)
     }
 
     /// Inference logits for a batch view.
-    pub fn predict_batch(&mut self, sess: &mut Session, batch: &Dataset) -> Dense {
-        self.forward(sess, batch, false).0
+    pub fn predict_batch(&mut self, sess: &mut Session, batch: &Dataset) -> TransportResult<Dense> {
+        Ok(self.forward(sess, batch, false)?.0)
     }
 
     /// Loss/metric helper reused by the trainer.

@@ -8,7 +8,7 @@
 //! "let all Party A's execute the same routines".
 
 use bf_mpc::convert::he2ss_peer;
-use bf_mpc::transport::Msg;
+use bf_mpc::transport::{Msg, TransportResult};
 use bf_paillier::CtMat;
 use bf_tensor::{Dense, Features};
 
@@ -41,20 +41,25 @@ impl MultiMatMulB {
     /// Initialise against `sessions` (one per Party A). Each session
     /// must be a `Role::B` session whose peer runs
     /// `MatMulSource::init`.
-    pub fn init(sessions: &mut [Session], in_own: usize, out: usize) -> MultiMatMulB {
+    pub fn init(
+        sessions: &mut [Session],
+        in_own: usize,
+        out: usize,
+    ) -> TransportResult<MultiMatMulB> {
         let mut links = Vec::with_capacity(sessions.len());
         let mut u_own = None;
         for sess in sessions.iter_mut() {
             assert_eq!(sess.role, Role::B, "MultiMatMulB drives Role::B sessions");
-            sess.ep.send(Msg::U64(in_own as u64));
-            let in_a = sess.ep.recv_u64() as usize;
+            sess.ep.send(Msg::U64(in_own as u64))?;
+            let in_a = sess.ep.recv_u64()? as usize;
             if u_own.is_none() {
                 u_own = Some(bf_tensor::init::xavier(&mut sess.rng, in_own, out));
             }
             let bound = (6.0 / (in_a + out) as f64).sqrt() * 0.5;
             let v_a = bf_mpc::shares::random_mask(&mut sess.rng, in_a, out, bound);
-            sess.ep.send(Msg::Ct(sess.own_pk.encrypt(&v_a, &sess.obf)));
-            let enc_v_b = sess.ep.recv_ct();
+            sess.ep
+                .send(Msg::Ct(sess.own_pk.encrypt(&v_a, &sess.obf)))?;
+            let enc_v_b = sess.ep.recv_ct()?;
             links.push(Link {
                 vel_v_a: Dense::zeros(in_a, out),
                 v_a,
@@ -62,14 +67,14 @@ impl MultiMatMulB {
             });
         }
         let u_own = u_own.expect("at least one Party A");
-        MultiMatMulB {
+        Ok(MultiMatMulB {
             vel_u: Dense::zeros(in_own, out),
             u_own,
             links,
             out,
             cached_x: None,
             cached_support: Vec::new(),
-        }
+        })
     }
 
     /// Number of linked Party A's.
@@ -91,13 +96,18 @@ impl MultiMatMulB {
     /// `U_B/M` as the local piece (Algorithm 3, lines 12–16), receives
     /// each A(i)'s share, and returns the aggregated
     /// `Z = Σ_i X_A(i)·W_A(i) + X_B·W_B`.
-    pub fn forward(&mut self, sessions: &mut [Session], x: &Features, train: bool) -> Dense {
+    pub fn forward(
+        &mut self,
+        sessions: &mut [Session],
+        x: &Features,
+        train: bool,
+    ) -> TransportResult<Dense> {
         let m = self.links.len() as f64;
         let u_frac = self.u_own.scale(1.0 / m);
         let mut z = Dense::zeros(x.rows(), self.out);
         for (link, sess) in self.links.iter().zip(sessions.iter_mut()) {
-            let z_b = shared_matmul_fw(sess, x, &u_frac, &link.enc_v_b);
-            let z_a = sess.ep.recv_mat();
+            let z_b = shared_matmul_fw(sess, x, &u_frac, &link.enc_v_b)?;
+            let z_a = sess.ep.recv_mat()?;
             z.add_assign(&z_b);
             z.add_assign(&z_a);
         }
@@ -105,12 +115,12 @@ impl MultiMatMulB {
             self.cached_support = x.col_support();
             self.cached_x = Some(x.clone());
         }
-        z
+        Ok(z)
     }
 
     /// Backward (Algorithm 3, lines 20–31): update `U_B` locally, then
     /// assist every A(i) exactly as in the two-party protocol.
-    pub fn backward(&mut self, sessions: &mut [Session], grad_z: &Dense) {
+    pub fn backward(&mut self, sessions: &mut [Session], grad_z: &Dense) -> TransportResult<()> {
         let x = self.cached_x.take().expect("backward before forward");
         let support = std::mem::take(&mut self.cached_support);
         let g = x.t_matmul_support(grad_z, &support);
@@ -122,14 +132,15 @@ impl MultiMatMulB {
         for (link, sess) in self.links.iter_mut().zip(sessions.iter_mut()) {
             // Lines 22–26 per Party A(i).
             sess.ep
-                .send(Msg::Ct(sess.own_pk.encrypt(grad_z, &sess.obf)));
-            let support_a = sess.ep.recv_support();
+                .send(Msg::Ct(sess.own_pk.encrypt(grad_z, &sess.obf)))?;
+            let support_a = sess.ep.recv_support()?;
             let rows_a: Vec<usize> = support_a.iter().map(|&c| c as usize).collect();
-            let piece = he2ss_peer(&sess.ep, &sess.own_sk);
+            let piece = he2ss_peer(&sess.ep, &sess.own_sk)?;
             let delta = step_piece(&mut link.v_a, &mut link.vel_v_a, &piece, &rows_a, lr, mu);
             sess.ep
-                .send(Msg::Ct(sess.own_pk.encrypt(&delta, &sess.obf)));
+                .send(Msg::Ct(sess.own_pk.encrypt(&delta, &sess.obf)))?;
         }
+        Ok(())
     }
 }
 
@@ -159,33 +170,35 @@ mod tests {
             let cfg_a = cfg.clone();
             let gz = grad_z.clone();
             handles.push(std::thread::spawn(move || {
-                let mut sess = Session::handshake(ep_a, cfg_a, Role::A, 1000 + i as u64);
-                let mut layer = MatMulSource::init(&mut sess, x_a.cols(), out);
+                let mut sess = Session::handshake(ep_a, cfg_a, Role::A, 1000 + i as u64).unwrap();
+                let mut layer = MatMulSource::init(&mut sess, x_a.cols(), out).unwrap();
                 for _ in 0..steps {
-                    let z = layer.forward(&mut sess, &x_a, gz.is_some());
-                    aggregate_a(&sess, z);
+                    let z = layer.forward(&mut sess, &x_a, gz.is_some()).unwrap();
+                    aggregate_a(&sess, z).unwrap();
                     if gz.is_some() {
-                        layer.backward_a(&mut sess);
+                        layer.backward_a(&mut sess).unwrap();
                     }
                 }
-                let z = layer.forward(&mut sess, &x_a, false);
-                aggregate_a(&sess, z);
+                let z = layer.forward(&mut sess, &x_a, false).unwrap();
+                aggregate_a(&sess, z).unwrap();
                 layer
             }));
         }
         let mut sessions: Vec<Session> = eps_b
             .into_iter()
             .enumerate()
-            .map(|(i, ep)| Session::handshake(ep, cfg.clone(), Role::B, 2000 + i as u64))
+            .map(|(i, ep)| Session::handshake(ep, cfg.clone(), Role::B, 2000 + i as u64).unwrap())
             .collect();
-        let mut layer_b = MultiMatMulB::init(&mut sessions, x_b.cols(), out);
+        let mut layer_b = MultiMatMulB::init(&mut sessions, x_b.cols(), out).unwrap();
         for _ in 0..steps {
-            let _z = layer_b.forward(&mut sessions, &x_b, grad_z.is_some());
+            let _z = layer_b
+                .forward(&mut sessions, &x_b, grad_z.is_some())
+                .unwrap();
             if let Some(g) = &grad_z {
-                layer_b.backward(&mut sessions, g);
+                layer_b.backward(&mut sessions, g).unwrap();
             }
         }
-        let z = layer_b.forward(&mut sessions, &x_b, false);
+        let z = layer_b.forward(&mut sessions, &x_b, false).unwrap();
         let layers_a: Vec<MatMulSource> = handles
             .into_iter()
             .map(|h| h.join().expect("party A panicked"))

@@ -1,8 +1,14 @@
 //! Per-party cryptographic session: own key pair, the peer's public
 //! key, encryption randomness, the transport endpoint, and a seeded RNG
 //! for the secret-sharing masks.
+//!
+//! A [`Session`] is transport-agnostic: hand [`Session::handshake`] an
+//! in-process endpoint (via [`run_pair`]) for single-machine runs, or a
+//! TCP endpoint ([`bf_mpc::Endpoint::tcp_connect`] /
+//! [`bf_mpc::Endpoint::tcp_accept`]) to run the party as its own
+//! process — see `examples/tcp_federated_lr.rs`.
 
-use bf_mpc::transport::{Endpoint, Msg};
+use bf_mpc::transport::{Endpoint, Msg, TransportResult};
 use bf_paillier::{keygen, keys::plain_keys, Obfuscator, PublicKey, SecretKey};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -16,6 +22,19 @@ pub enum Role {
     A,
     /// Label-holding party.
     B,
+}
+
+/// Derive a party's private seed from the shared run seed.
+///
+/// Both the in-process harness ([`run_pair`]) and any cross-process
+/// runner must use this exact derivation: it is what makes a TCP run
+/// reproduce an in-process run coordinate for coordinate (each party's
+/// mask RNG stream depends only on `(role, seed)`).
+pub fn party_seed(role: Role, seed: u64) -> u64 {
+    match role {
+        Role::A => seed.wrapping_mul(2) + 1,
+        Role::B => seed.wrapping_mul(2) + 2,
+    }
 }
 
 /// One party's protocol session.
@@ -40,8 +59,14 @@ pub struct Session {
 }
 
 impl Session {
-    /// Generate keys and exchange public keys with the peer.
-    pub fn handshake(ep: Endpoint, cfg: FedConfig, role: Role, seed: u64) -> Session {
+    /// Generate keys and exchange public keys with the peer. `seed` is
+    /// this party's *private* seed — derive it with [`party_seed`].
+    pub fn handshake(
+        ep: Endpoint,
+        cfg: FedConfig,
+        role: Role,
+        seed: u64,
+    ) -> TransportResult<Session> {
         // Key generation uses a *separate* RNG stream so the protocol
         // RNG (mask/initialisation draws) is identical across crypto
         // backends — this is what makes the Plain and Paillier runs
@@ -53,9 +78,9 @@ impl Session {
             Backend::Plain => plain_keys(cfg.frac_bits),
         };
         let obf = Obfuscator::new(&own_pk, cfg.obf_mode, seed ^ 0x0bf);
-        ep.send(Msg::Key(own_pk.clone()));
-        let peer_pk = ep.recv_key();
-        Session {
+        ep.send(Msg::Key(own_pk.clone()))?;
+        let peer_pk = ep.recv_key()?;
+        Ok(Session {
             cfg,
             role,
             own_pk,
@@ -64,7 +89,7 @@ impl Session {
             peer_pk,
             ep,
             rng,
-        }
+        })
     }
 
     /// The learning rate as an [`bf_ml::Sgd`] for piecewise updates.
@@ -82,8 +107,10 @@ impl Session {
 }
 
 /// Spawn a Party A thread and run `f_b` as Party B on the current
-/// thread; returns `(A's result, B's result)`. The standard harness for
-/// every two-party protocol in this crate.
+/// thread; returns `(A's result, B's result)`. The standard in-process
+/// harness for every two-party protocol in this crate; transport
+/// failures are impossible here by construction, so they surface as
+/// panics rather than `Result`s.
 pub fn run_pair<RA, RB>(
     cfg: &FedConfig,
     seed: u64,
@@ -99,11 +126,13 @@ where
         .name("party-a".into())
         .stack_size(16 << 20)
         .spawn(move || {
-            let sess = Session::handshake(ep_a, cfg_a, Role::A, seed.wrapping_mul(2) + 1);
+            let sess = Session::handshake(ep_a, cfg_a, Role::A, party_seed(Role::A, seed))
+                .expect("in-process handshake");
             f_a(sess)
         })
         .expect("spawn party A");
-    let sess_b = Session::handshake(ep_b, cfg.clone(), Role::B, seed.wrapping_mul(2) + 2);
+    let sess_b = Session::handshake(ep_b, cfg.clone(), Role::B, party_seed(Role::B, seed))
+        .expect("in-process handshake");
     let rb = f_b(sess_b);
     let ra = handle.join().expect("party A panicked");
     (ra, rb)
@@ -125,16 +154,18 @@ mod tests {
             &cfg,
             7,
             |sess| {
-                let ct: CtMat = sess.ep.recv_ct();
+                let ct: CtMat = sess.ep.recv_ct().unwrap();
                 let phi = Dense::from_vec(1, 2, vec![10.0, -20.0]);
                 sess.ep
-                    .send(bf_mpc::Msg::Ct(sess.peer_pk.sub_plain(&ct, &phi)));
+                    .send(bf_mpc::Msg::Ct(sess.peer_pk.sub_plain(&ct, &phi)))
+                    .unwrap();
             },
             |sess| {
                 let m = Dense::from_vec(1, 2, vec![1.5, -2.5]);
                 sess.ep
-                    .send(bf_mpc::Msg::Ct(sess.own_pk.encrypt(&m, &sess.obf)));
-                let masked = sess.own_sk.decrypt(&sess.ep.recv_ct());
+                    .send(bf_mpc::Msg::Ct(sess.own_pk.encrypt(&m, &sess.obf)))
+                    .unwrap();
+                let masked = sess.own_sk.decrypt(&sess.ep.recv_ct().unwrap());
                 let want = Dense::from_vec(1, 2, vec![1.5 - 10.0, -2.5 + 20.0]);
                 assert!(masked.approx_eq(&want, 1e-5));
             },
@@ -153,5 +184,12 @@ mod tests {
             },
             |sess| assert!(sess.is_plain()),
         );
+    }
+
+    #[test]
+    fn party_seeds_are_distinct_and_stable() {
+        assert_ne!(party_seed(Role::A, 9), party_seed(Role::B, 9));
+        assert_eq!(party_seed(Role::A, 9), 19);
+        assert_eq!(party_seed(Role::B, 9), 20);
     }
 }

@@ -20,7 +20,7 @@
 
 use bf_mpc::convert::{he2ss_holder, he2ss_peer};
 use bf_mpc::shares::random_mask;
-use bf_mpc::transport::Msg;
+use bf_mpc::transport::{Msg, TransportResult};
 use bf_paillier::CtMat;
 use bf_tensor::{CatBlock, Dense, Features};
 
@@ -81,12 +81,12 @@ impl EmbedSource {
         fields_own: usize,
         dim: usize,
         out: usize,
-    ) -> EmbedSource {
+    ) -> TransportResult<EmbedSource> {
         // Exchange table dimensions.
-        sess.ep.send(Msg::U64(vocab_own as u64));
-        sess.ep.send(Msg::U64(fields_own as u64));
-        let vocab_peer = sess.ep.recv_u64() as usize;
-        let fields_peer = sess.ep.recv_u64() as usize;
+        sess.ep.send(Msg::U64(vocab_own as u64))?;
+        sess.ep.send(Msg::U64(fields_own as u64))?;
+        let vocab_peer = sess.ep.recv_u64()? as usize;
+        let fields_peer = sess.ep.recv_u64()? as usize;
 
         let d_own = fields_own * dim;
         let d_peer = fields_peer * dim;
@@ -99,16 +99,16 @@ impl EmbedSource {
         // Send our three encrypted pieces (⟦T_peer⟧, ⟦V_peer⟧, ⟦U_own⟧,
         // all under our own key); receive the symmetric three.
         sess.ep
-            .send(Msg::Ct(sess.own_pk.encrypt(&t_peer, &sess.obf)));
+            .send(Msg::Ct(sess.own_pk.encrypt(&t_peer, &sess.obf)))?;
         sess.ep
-            .send(Msg::Ct(sess.own_pk.encrypt(&v_peer, &sess.obf)));
+            .send(Msg::Ct(sess.own_pk.encrypt(&v_peer, &sess.obf)))?;
         sess.ep
-            .send(Msg::Ct(sess.own_pk.encrypt(&u_own, &sess.obf)));
-        let enc_t_own = sess.ep.recv_ct();
-        let enc_v_own = sess.ep.recv_ct();
-        let enc_u_peer = sess.ep.recv_ct();
+            .send(Msg::Ct(sess.own_pk.encrypt(&u_own, &sess.obf)))?;
+        let enc_t_own = sess.ep.recv_ct()?;
+        let enc_v_own = sess.ep.recv_ct()?;
+        let enc_u_peer = sess.ep.recv_ct()?;
 
-        EmbedSource {
+        Ok(EmbedSource {
             vel_s: Dense::zeros(vocab_own, dim),
             vel_t_peer: Dense::zeros(vocab_peer, dim),
             vel_u: Dense::zeros(d_own, out),
@@ -125,7 +125,7 @@ impl EmbedSource {
             cached_x: None,
             cached_psi: None,
             cached_e_peer: None,
-        }
+        })
     }
 
     /// Embedding dimension.
@@ -160,7 +160,12 @@ impl EmbedSource {
 
     /// Forward propagation (Figure 7, lines 5–11): returns this party's
     /// share `Z'_⋄ = Z'_{1,⋄} + Z'_{2,⋄}`.
-    pub fn forward(&mut self, sess: &mut Session, x: &CatBlock, train: bool) -> Dense {
+    pub fn forward(
+        &mut self,
+        sess: &mut Session,
+        x: &CatBlock,
+        train: bool,
+    ) -> TransportResult<Dense> {
         // Stage 1 — secret-shared embeddings (lines 5–7): lookup over
         // the encrypted peer piece, HE2SS, add the plaintext piece.
         let lk = sess.peer_pk.lkup(&self.enc_t_own, x);
@@ -170,8 +175,8 @@ impl EmbedSource {
             &lk,
             sess.cfg.he_mask,
             &mut sess.rng,
-        );
-        let e_peer = he2ss_peer(&sess.ep, &sess.own_sk); // E_peer − ψ_peer
+        )?;
+        let e_peer = he2ss_peer(&sess.ep, &sess.own_sk)?; // E_peer − ψ_peer
         let psi = eps.add(&lookup(&self.s_own, x)); // ψ_own
 
         // Stage 2 — two shared matmuls (lines 8–9).
@@ -180,13 +185,13 @@ impl EmbedSource {
             &Features::Dense(psi.clone()),
             &self.u_own,
             &self.enc_v_own,
-        );
+        )?;
         let z2 = shared_matmul_fw(
             sess,
             &Features::Dense(e_peer.clone()),
             &self.v_peer,
             &self.enc_u_peer,
-        );
+        )?;
         let z_own = z1.add(&z2);
 
         if train {
@@ -194,11 +199,11 @@ impl EmbedSource {
             self.cached_psi = Some(psi);
             self.cached_e_peer = Some(e_peer);
         }
-        z_own
+        Ok(z_own)
     }
 
     /// Backward propagation, Party B side (Figure 7, lines 12–26).
-    pub fn backward_b(&mut self, sess: &mut Session, grad_z: &Dense) {
+    pub fn backward_b(&mut self, sess: &mut Session, grad_z: &Dense) -> TransportResult<()> {
         assert_eq!(sess.role, Role::B, "backward_b on Party A");
         let x = self.cached_x.take().expect("backward before forward");
         let psi = self.cached_psi.take().expect("backward before forward");
@@ -206,10 +211,10 @@ impl EmbedSource {
 
         // Line 12: send ⟦∇Z⟧ and ⟦∇Z·V_Aᵀ⟧ (V_A is B's piece of A's W).
         sess.ep
-            .send(Msg::Ct(sess.own_pk.encrypt(grad_z, &sess.obf)));
+            .send(Msg::Ct(sess.own_pk.encrypt(grad_z, &sess.obf)))?;
         let gzva = grad_z.matmul_t(&self.v_peer);
         sess.ep
-            .send(Msg::Ct(sess.own_pk.encrypt_at_scale(&gzva, 2, &sess.obf)));
+            .send(Msg::Ct(sess.own_pk.encrypt_at_scale(&gzva, 2, &sess.obf)))?;
 
         // ⟦∇E_B⟧ must use the *forward-pass* weights, so compute it now,
         // before any weight piece or cache is updated below:
@@ -223,7 +228,7 @@ impl EmbedSource {
         // ∇W_A (lines 13–14): receive A's HE2SS piece, add our local
         // part (E_A − ψ_A)ᵀ∇Z, update V_A, refresh ⟦V_A⟧ at A.
         let d_a = e_peer.cols();
-        let piece1 = he2ss_peer(&sess.ep, &sess.own_sk); // ψ_Aᵀ∇Z − φ
+        let piece1 = he2ss_peer(&sess.ep, &sess.own_sk)?; // ψ_Aᵀ∇Z − φ
         let own_part = e_peer.t_matmul(grad_z);
         let piece_wa = piece1.add(&own_part); // ∇W_A − φ
         let rows_a: Vec<usize> = (0..d_a).collect();
@@ -236,11 +241,11 @@ impl EmbedSource {
             sess.cfg.momentum,
         );
         sess.ep
-            .send(Msg::Ct(sess.own_pk.encrypt(&delta, &sess.obf)));
+            .send(Msg::Ct(sess.own_pk.encrypt(&delta, &sess.obf)))?;
 
         // ∇W_B (lines 15–16): A supplies ⟨(E_B−ψ_B)ᵀ∇Z − ξ⟩; we add
         // ψ_Bᵀ∇Z, update U_B, refresh ⟦U_B⟧ at A.
-        let piece2 = he2ss_peer(&sess.ep, &sess.own_sk);
+        let piece2 = he2ss_peer(&sess.ep, &sess.own_sk)?;
         let piece_wb = piece2.add(&psi.t_matmul(grad_z)); // ∇W_B − ξ
         let rows_b: Vec<usize> = (0..piece_wb.rows()).collect();
         let delta = step_piece(
@@ -252,15 +257,15 @@ impl EmbedSource {
             sess.cfg.momentum,
         );
         sess.ep
-            .send(Msg::Ct(sess.own_pk.encrypt(&delta, &sess.obf)));
+            .send(Msg::Ct(sess.own_pk.encrypt(&delta, &sess.obf)))?;
 
         // A's refreshes of our caches: ⟦V_B⟧ (A updated V_B by ξ) and
         // ⟦U_A⟧ (A updated U_A by φ).
-        let delta_vb = sess.ep.recv_ct();
+        let delta_vb = sess.ep.recv_ct()?;
         let all_vb: Vec<usize> = (0..self.enc_v_own.rows()).collect();
         sess.peer_pk
             .rows_add_assign(&mut self.enc_v_own, &all_vb, &delta_vb);
-        let delta_ua = sess.ep.recv_ct();
+        let delta_ua = sess.ep.recv_ct()?;
         let all_ua: Vec<usize> = (0..self.enc_u_peer.rows()).collect();
         sess.peer_pk
             .rows_add_assign(&mut self.enc_u_peer, &all_ua, &delta_ua);
@@ -269,14 +274,14 @@ impl EmbedSource {
         // pre-update ⟦∇E_B⟧ computed above.
         let support_b = x.support();
         let grad_q_ct = sess.peer_pk.lkup_bw(&grad_e_ct, &x, &support_b, self.dim);
-        sess.ep.send(Msg::Support(support_b.clone()));
+        sess.ep.send(Msg::Support(support_b.clone()))?;
         let rho = he2ss_holder(
             &sess.ep,
             &sess.peer_pk,
             &grad_q_ct,
             sess.cfg.he_mask,
             &mut sess.rng,
-        );
+        )?;
         // Update S_B by ρ_B (lazy momentum on the support rows).
         let rows: Vec<usize> = support_b.iter().map(|&c| c as usize).collect();
         let _ = step_piece(
@@ -288,14 +293,14 @@ impl EmbedSource {
             sess.cfg.momentum,
         );
         // A updates T_B and sends the encrypted delta for our ⟦T_B⟧.
-        let delta_tb = sess.ep.recv_ct();
+        let delta_tb = sess.ep.recv_ct()?;
         sess.peer_pk
             .rows_add_assign(&mut self.enc_t_own, &rows, &delta_tb);
 
         // Embed part, peer table: we hold T_A — receive A's support and
         // the HE2SS piece of ∇Q_A, update T_A, refresh A's ⟦T_A⟧.
-        let support_a = sess.ep.recv_support();
-        let piece_qa = he2ss_peer(&sess.ep, &sess.own_sk); // ∇Q_A − ρ_A
+        let support_a = sess.ep.recv_support()?;
+        let piece_qa = he2ss_peer(&sess.ep, &sess.own_sk)?; // ∇Q_A − ρ_A
         let rows_a: Vec<usize> = support_a.iter().map(|&c| c as usize).collect();
         let delta = step_piece(
             &mut self.t_peer,
@@ -306,18 +311,19 @@ impl EmbedSource {
             sess.cfg.momentum,
         );
         sess.ep
-            .send(Msg::Ct(sess.own_pk.encrypt(&delta, &sess.obf)));
+            .send(Msg::Ct(sess.own_pk.encrypt(&delta, &sess.obf)))?;
+        Ok(())
     }
 
     /// Backward propagation, Party A side (Figure 7, lines 12–26).
-    pub fn backward_a(&mut self, sess: &mut Session) {
+    pub fn backward_a(&mut self, sess: &mut Session) -> TransportResult<()> {
         assert_eq!(sess.role, Role::A, "backward_a on Party B");
         let x = self.cached_x.take().expect("backward before forward");
         let psi = self.cached_psi.take().expect("backward before forward");
         let e_peer = self.cached_e_peer.take().expect("backward before forward");
 
-        let ct_gz = sess.ep.recv_ct();
-        let ct_gzva = sess.ep.recv_ct();
+        let ct_gz = sess.ep.recv_ct()?;
+        let ct_gzva = sess.ep.recv_ct()?;
 
         // ⟦∇E_A⟧ must use the forward-pass weights: compute the U_A
         // part now, before φ updates U_A below.
@@ -337,7 +343,7 @@ impl EmbedSource {
             &prod,
             sess.cfg.he_mask,
             &mut sess.rng,
-        );
+        )?;
         // Update U_A by φ and remember the delta for B's ⟦U_A⟧ cache.
         let rows_a: Vec<usize> = (0..d_a).collect();
         let delta_ua = step_piece(
@@ -361,7 +367,7 @@ impl EmbedSource {
             &prod,
             sess.cfg.he_mask,
             &mut sess.rng,
-        );
+        )?;
         let rows_b: Vec<usize> = (0..d_b).collect();
         let delta_vb = step_piece(
             &mut self.v_peer,
@@ -373,24 +379,24 @@ impl EmbedSource {
         );
 
         // Receive B's refreshes for our caches (⟦V_A⟧ then ⟦U_B⟧)...
-        let delta_va = sess.ep.recv_ct();
+        let delta_va = sess.ep.recv_ct()?;
         let all_va: Vec<usize> = (0..self.enc_v_own.rows()).collect();
         sess.peer_pk
             .rows_add_assign(&mut self.enc_v_own, &all_va, &delta_va);
-        let delta_ub = sess.ep.recv_ct();
+        let delta_ub = sess.ep.recv_ct()?;
         let all_ub: Vec<usize> = (0..self.enc_u_peer.rows()).collect();
         sess.peer_pk
             .rows_add_assign(&mut self.enc_u_peer, &all_ub, &delta_ub);
         // ...and send ours (⟦V_B⟧ at B, then ⟦U_A⟧ at B).
         sess.ep
-            .send(Msg::Ct(sess.own_pk.encrypt(&delta_vb, &sess.obf)));
+            .send(Msg::Ct(sess.own_pk.encrypt(&delta_vb, &sess.obf)))?;
         sess.ep
-            .send(Msg::Ct(sess.own_pk.encrypt(&delta_ua, &sess.obf)));
+            .send(Msg::Ct(sess.own_pk.encrypt(&delta_ua, &sess.obf)))?;
 
         // Embed part, peer table (B's table): receive support + piece,
         // update T_B, refresh B's ⟦T_B⟧.
-        let support_b = sess.ep.recv_support();
-        let piece_qb = he2ss_peer(&sess.ep, &sess.own_sk); // ∇Q_B − ρ_B
+        let support_b = sess.ep.recv_support()?;
+        let piece_qb = he2ss_peer(&sess.ep, &sess.own_sk)?; // ∇Q_B − ρ_B
         let rows: Vec<usize> = support_b.iter().map(|&c| c as usize).collect();
         let delta = step_piece(
             &mut self.t_peer,
@@ -401,20 +407,20 @@ impl EmbedSource {
             sess.cfg.momentum,
         );
         sess.ep
-            .send(Msg::Ct(sess.own_pk.encrypt(&delta, &sess.obf)));
+            .send(Msg::Ct(sess.own_pk.encrypt(&delta, &sess.obf)))?;
 
         // Embed part, own table (line 21 for A), using the pre-update
         // ⟦∇E_A⟧ computed above.
         let support_a = x.support();
         let grad_q_ct = sess.peer_pk.lkup_bw(&grad_e_ct, &x, &support_a, self.dim);
-        sess.ep.send(Msg::Support(support_a.clone()));
+        sess.ep.send(Msg::Support(support_a.clone()))?;
         let rho = he2ss_holder(
             &sess.ep,
             &sess.peer_pk,
             &grad_q_ct,
             sess.cfg.he_mask,
             &mut sess.rng,
-        );
+        )?;
         let rows: Vec<usize> = support_a.iter().map(|&c| c as usize).collect();
         let _ = step_piece(
             &mut self.s_own,
@@ -425,9 +431,10 @@ impl EmbedSource {
             sess.cfg.momentum,
         );
         // B updates T_A and refreshes our ⟦T_A⟧.
-        let delta_ta = sess.ep.recv_ct();
+        let delta_ta = sess.ep.recv_ct()?;
         sess.peer_pk
             .rows_add_assign(&mut self.enc_t_own, &rows, &delta_ta);
+        Ok(())
     }
 }
 
@@ -466,29 +473,31 @@ mod tests {
             cfg,
             123,
             move |mut sess| {
-                let mut layer = EmbedSource::init(&mut sess, xa2.vocab(), xa2.fields(), dim, out);
+                let mut layer =
+                    EmbedSource::init(&mut sess, xa2.vocab(), xa2.fields(), dim, out).unwrap();
                 for _ in 0..steps {
-                    let z = layer.forward(&mut sess, &xa2, gz_a.is_some());
-                    aggregate_a(&sess, z);
+                    let z = layer.forward(&mut sess, &xa2, gz_a.is_some()).unwrap();
+                    aggregate_a(&sess, z).unwrap();
                     if gz_a.is_some() {
-                        layer.backward_a(&mut sess);
+                        layer.backward_a(&mut sess).unwrap();
                     }
                 }
-                let z = layer.forward(&mut sess, &xa2, false);
-                aggregate_a(&sess, z);
+                let z = layer.forward(&mut sess, &xa2, false).unwrap();
+                aggregate_a(&sess, z).unwrap();
                 layer
             },
             move |mut sess| {
-                let mut layer = EmbedSource::init(&mut sess, xb2.vocab(), xb2.fields(), dim, out);
+                let mut layer =
+                    EmbedSource::init(&mut sess, xb2.vocab(), xb2.fields(), dim, out).unwrap();
                 for _ in 0..steps {
-                    let z_own = layer.forward(&mut sess, &xb2, grad_z.is_some());
-                    let _ = aggregate_b(&sess, z_own);
+                    let z_own = layer.forward(&mut sess, &xb2, grad_z.is_some()).unwrap();
+                    let _ = aggregate_b(&sess, z_own).unwrap();
                     if let Some(g) = &grad_z {
-                        layer.backward_b(&mut sess, g);
+                        layer.backward_b(&mut sess, g).unwrap();
                     }
                 }
-                let z_own = layer.forward(&mut sess, &xb2, false);
-                let z = aggregate_b(&sess, z_own);
+                let z_own = layer.forward(&mut sess, &xb2, false).unwrap();
+                let z = aggregate_b(&sess, z_own).unwrap();
                 (layer, z)
             },
         );

@@ -20,7 +20,7 @@
 
 use bf_mpc::convert::{he2ss_holder, he2ss_peer};
 use bf_mpc::shares::random_mask;
-use bf_mpc::transport::Msg;
+use bf_mpc::transport::{Msg, TransportResult};
 use bf_paillier::CtMat;
 use bf_tensor::{Dense, Features};
 
@@ -48,10 +48,10 @@ pub struct MatMulSource {
 impl MatMulSource {
     /// Joint initialisation (Figure 6, lines 1–4). Both parties invoke
     /// this simultaneously with their own input width.
-    pub fn init(sess: &mut Session, in_own: usize, out: usize) -> MatMulSource {
+    pub fn init(sess: &mut Session, in_own: usize, out: usize) -> TransportResult<MatMulSource> {
         // Exchange input widths so each side can create the peer piece.
-        sess.ep.send(Msg::U64(in_own as u64));
-        let in_peer = sess.ep.recv_u64() as usize;
+        sess.ep.send(Msg::U64(in_own as u64))?;
+        let in_peer = sess.ep.recv_u64()? as usize;
 
         let u_own = bf_tensor::init::xavier(&mut sess.rng, in_own, out);
         // The peer piece this party creates (of the peer's weights).
@@ -66,10 +66,10 @@ impl MatMulSource {
         // Send ⟦V_peer⟧ under our own key; receive ⟦V_own⟧ under the
         // peer's key.
         let enc = sess.own_pk.encrypt(&v_peer, &sess.obf);
-        sess.ep.send(Msg::Ct(enc));
-        let enc_v_own = sess.ep.recv_ct();
+        sess.ep.send(Msg::Ct(enc))?;
+        let enc_v_own = sess.ep.recv_ct()?;
 
-        MatMulSource {
+        Ok(MatMulSource {
             vel_u: Dense::zeros(in_own, out),
             vel_v_peer: Dense::zeros(in_peer, out),
             u_own,
@@ -78,7 +78,7 @@ impl MatMulSource {
             out,
             cached_x: None,
             cached_support: Vec::new(),
-        }
+        })
     }
 
     /// Output width.
@@ -121,22 +121,27 @@ impl MatMulSource {
     /// Forward propagation (Figure 6, lines 5–7): returns this party's
     /// share `Z'_⋄`. The model layer aggregates shares via
     /// [`aggregate_a`] / [`aggregate_b`].
-    pub fn forward(&mut self, sess: &mut Session, x: &Features, train: bool) -> Dense {
-        let z_own = shared_matmul_fw(sess, x, &self.u_own, &self.enc_v_own);
+    pub fn forward(
+        &mut self,
+        sess: &mut Session,
+        x: &Features,
+        train: bool,
+    ) -> TransportResult<Dense> {
+        let z_own = shared_matmul_fw(sess, x, &self.u_own, &self.enc_v_own)?;
         if train {
             self.cached_support = x.col_support();
             self.cached_x = Some(x.clone());
         }
-        z_own
+        Ok(z_own)
     }
 
     /// Backward propagation, Party B side (Figure 6, lines 9–12).
     /// Consumes `∇Z` (which B owns, having run the local top model).
-    pub fn backward_b(&mut self, sess: &mut Session, grad_z: &Dense) {
+    pub fn backward_b(&mut self, sess: &mut Session, grad_z: &Dense) -> TransportResult<()> {
         assert_eq!(sess.role, Role::B, "backward_b on Party A");
         // Line 9: encrypt ∇Z for Party A.
         sess.ep
-            .send(Msg::Ct(sess.own_pk.encrypt(grad_z, &sess.obf)));
+            .send(Msg::Ct(sess.own_pk.encrypt(grad_z, &sess.obf)))?;
 
         // Line 11 (right): ∇W_B = X_Bᵀ∇Z locally, lazy momentum on the
         // batch support.
@@ -149,21 +154,22 @@ impl MatMulSource {
 
         // Lines 10–12 (assisting A): receive A's support and gradient
         // piece, update V_A, and refresh A's encrypted cache.
-        let support_a = sess.ep.recv_support();
+        let support_a = sess.ep.recv_support()?;
         let rows_a: Vec<usize> = support_a.iter().map(|&c| c as usize).collect();
-        let piece = he2ss_peer(&sess.ep, &sess.own_sk); // ∇W_A − φ rows
+        let piece = he2ss_peer(&sess.ep, &sess.own_sk)?; // ∇W_A − φ rows
         match sess.cfg.grad_mode {
             GradMode::SecretShared => {
                 let delta = self.step_v_peer(sess, &piece, &rows_a);
                 sess.ep
-                    .send(Msg::Ct(sess.own_pk.encrypt(&delta, &sess.obf)));
+                    .send(Msg::Ct(sess.own_pk.encrypt(&delta, &sess.obf)))?;
             }
             GradMode::PlainGradToA { .. } => {
                 // Ablation: hand A its gradient piece in plaintext; V_A
                 // stays frozen.
-                sess.ep.send(Msg::Mat(piece));
+                sess.ep.send(Msg::Mat(piece))?;
             }
         }
+        Ok(())
     }
 
     /// Apply this party's piece of a peer-weight gradient with lazy
@@ -180,12 +186,12 @@ impl MatMulSource {
     }
 
     /// Backward propagation, Party A side (Figure 6, lines 9–12).
-    pub fn backward_a(&mut self, sess: &mut Session) {
+    pub fn backward_a(&mut self, sess: &mut Session) -> TransportResult<()> {
         assert_eq!(sess.role, Role::A, "backward_a on Party B");
-        let ct_gz = sess.ep.recv_ct();
+        let ct_gz = sess.ep.recv_ct()?;
         let x = self.cached_x.take().expect("backward before forward");
         let support = std::mem::take(&mut self.cached_support);
-        sess.ep.send(Msg::Support(support.clone()));
+        sess.ep.send(Msg::Support(support.clone()))?;
 
         // Line 10: ⟦∇W_A⟧ = X_Aᵀ⟦∇Z⟧ on the support, then HE2SS.
         let prod = sess.peer_pk.t_matmul_support(&x, &ct_gz, &support);
@@ -195,7 +201,7 @@ impl MatMulSource {
             &prod,
             sess.cfg.he_mask,
             &mut sess.rng,
-        );
+        )?;
         let rows: Vec<usize> = support.iter().map(|&c| c as usize).collect();
 
         match sess.cfg.grad_mode {
@@ -204,19 +210,20 @@ impl MatMulSource {
                 sess.sgd()
                     .step_sparse_rows(&mut self.u_own, &phi, &mut self.vel_u, &rows);
                 // Line 12: refresh ⟦V_A⟧ with B's encrypted delta.
-                let delta = sess.ep.recv_ct();
+                let delta = sess.ep.recv_ct()?;
                 sess.peer_pk
                     .rows_add_assign(&mut self.enc_v_own, &rows, &delta);
             }
             GradMode::PlainGradToA { .. } => {
                 // Ablation: reconstruct ∇W_A in plaintext (insecure by
                 // design — this is the attack surface Figure 9 probes).
-                let piece = sess.ep.recv_mat();
+                let piece = sess.ep.recv_mat()?;
                 let full = phi.add(&piece);
                 sess.sgd()
                     .step_sparse_rows(&mut self.u_own, &full, &mut self.vel_u, &rows);
             }
         }
+        Ok(())
     }
 }
 
@@ -234,7 +241,7 @@ pub(crate) fn shared_matmul_fw(
     x: &Features,
     w_plain: &Dense,
     w_enc_peer: &CtMat,
-) -> Dense {
+) -> TransportResult<Dense> {
     let prod = sess.peer_pk.matmul(x, w_enc_peer);
     let eps = he2ss_holder(
         &sess.ep,
@@ -242,20 +249,20 @@ pub(crate) fn shared_matmul_fw(
         &prod,
         sess.cfg.he_mask,
         &mut sess.rng,
-    );
-    let piece = he2ss_peer(&sess.ep, &sess.own_sk);
-    x.matmul(w_plain).add(&eps).add(&piece)
+    )?;
+    let piece = he2ss_peer(&sess.ep, &sess.own_sk)?;
+    Ok(x.matmul(w_plain).add(&eps).add(&piece))
 }
 
 /// Party A's final forward step: ship `Z'_A` to Party B.
-pub fn aggregate_a(sess: &Session, z_own: Dense) {
-    sess.ep.send(Msg::Mat(z_own));
+pub fn aggregate_a(sess: &Session, z_own: Dense) -> TransportResult<()> {
+    sess.ep.send(Msg::Mat(z_own))
 }
 
 /// Party B's final forward step (Figure 6, line 8): `Z = Z'_A + Z'_B`.
-pub fn aggregate_b(sess: &Session, z_own: Dense) -> Dense {
-    let z_a = sess.ep.recv_mat();
-    z_own.add(&z_a)
+pub fn aggregate_b(sess: &Session, z_own: Dense) -> TransportResult<Dense> {
+    let z_a = sess.ep.recv_mat()?;
+    Ok(z_own.add(&z_a))
 }
 
 #[cfg(test)]
@@ -304,30 +311,30 @@ mod tests {
             cfg,
             99,
             move |mut sess| {
-                let mut layer = MatMulSource::init(&mut sess, ina, out);
+                let mut layer = MatMulSource::init(&mut sess, ina, out).unwrap();
                 for _ in 0..steps {
-                    let z = layer.forward(&mut sess, &x_a, gz_a.is_some());
-                    aggregate_a(&sess, z);
+                    let z = layer.forward(&mut sess, &x_a, gz_a.is_some()).unwrap();
+                    aggregate_a(&sess, z).unwrap();
                     if gz_a.is_some() {
-                        layer.backward_a(&mut sess);
+                        layer.backward_a(&mut sess).unwrap();
                     }
                 }
                 // Final forward so the returned Z reflects all updates.
-                let z = layer.forward(&mut sess, &x_a, false);
-                aggregate_a(&sess, z);
+                let z = layer.forward(&mut sess, &x_a, false).unwrap();
+                aggregate_a(&sess, z).unwrap();
                 layer
             },
             move |mut sess| {
-                let mut layer = MatMulSource::init(&mut sess, inb, out);
+                let mut layer = MatMulSource::init(&mut sess, inb, out).unwrap();
                 for _ in 0..steps {
-                    let z_own = layer.forward(&mut sess, &x_b, grad_z.is_some());
-                    let _ = aggregate_b(&sess, z_own);
+                    let z_own = layer.forward(&mut sess, &x_b, grad_z.is_some()).unwrap();
+                    let _ = aggregate_b(&sess, z_own).unwrap();
                     if let Some(g) = &grad_z {
-                        layer.backward_b(&mut sess, g);
+                        layer.backward_b(&mut sess, g).unwrap();
                     }
                 }
-                let z_own = layer.forward(&mut sess, &x_b, false);
-                let z = aggregate_b(&sess, z_own);
+                let z_own = layer.forward(&mut sess, &x_b, false).unwrap();
+                let z = aggregate_b(&sess, z_own).unwrap();
                 (layer, z)
             },
         );

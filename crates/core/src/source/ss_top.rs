@@ -19,7 +19,7 @@
 //! [`MatMulSource::backward_ss`] interface.)
 
 use bf_mpc::convert::{he2ss_holder, he2ss_peer, ss2he};
-use bf_mpc::transport::Msg;
+use bf_mpc::transport::{Msg, TransportResult};
 use bf_tensor::{Dense, Features};
 
 use crate::session::Session;
@@ -30,7 +30,12 @@ impl MatMulSource {
     /// Forward pass for an SS top model (Figure 13, line 1): identical
     /// joint computation, but this party's share `Z'_⋄` is *returned*
     /// instead of aggregated at B.
-    pub fn forward_ss(&mut self, sess: &mut Session, x: &Features, train: bool) -> Dense {
+    pub fn forward_ss(
+        &mut self,
+        sess: &mut Session,
+        x: &Features,
+        train: bool,
+    ) -> TransportResult<Dense> {
         // The shares produced by the standard forward already form an
         // additive sharing of Z; simply don't aggregate.
         self.forward(sess, x, train)
@@ -39,14 +44,14 @@ impl MatMulSource {
     /// Backward pass for an SS top model (Figure 13, lines 2–8),
     /// symmetric in both parties: `grad_piece` is this party's share of
     /// `∇Z`.
-    pub fn backward_ss(&mut self, sess: &mut Session, grad_piece: &Dense) {
+    pub fn backward_ss(&mut self, sess: &mut Session, grad_piece: &Dense) -> TransportResult<()> {
         // Line 3: ⟨ε, ∇Z−ε⟩ → ⟦∇Z⟧ under the *peer's* key at each side.
-        let ct_gz = ss2he(&sess.ep, &sess.own_pk, &sess.obf, &sess.peer_pk, grad_piece);
+        let ct_gz = ss2he(&sess.ep, &sess.own_pk, &sess.obf, &sess.peer_pk, grad_piece)?;
 
         let x = self.take_cached_x();
         let support = self.take_cached_support();
-        sess.ep.send(Msg::Support(support.clone()));
-        let peer_support = sess.ep.recv_support();
+        sess.ep.send(Msg::Support(support.clone()))?;
+        let peer_support = sess.ep.recv_support()?;
 
         // Lines 4–5: ⟦∇W_own⟧ = Xᵀ⟦∇Z⟧ on the support, HE2SS.
         let prod = sess.peer_pk.t_matmul_support(&x, &ct_gz, &support);
@@ -56,8 +61,8 @@ impl MatMulSource {
             &prod,
             sess.cfg.he_mask,
             &mut sess.rng,
-        );
-        let piece = he2ss_peer(&sess.ep, &sess.own_sk); // ∇W_peer − φ_peer rows
+        )?;
+        let piece = he2ss_peer(&sess.ep, &sess.own_sk)?; // ∇W_peer − φ_peer rows
 
         // Lines 6–8: update U_own by φ; update V_peer by the received
         // piece and refresh the peer's ⟦V_peer⟧ cache.
@@ -66,9 +71,10 @@ impl MatMulSource {
         let peer_rows: Vec<usize> = peer_support.iter().map(|&c| c as usize).collect();
         let delta = self.step_v_peer_pub(sess, &piece, &peer_rows);
         sess.ep
-            .send(Msg::Ct(sess.own_pk.encrypt(&delta, &sess.obf)));
-        let delta_own = sess.ep.recv_ct();
+            .send(Msg::Ct(sess.own_pk.encrypt(&delta, &sess.obf)))?;
+        let delta_own = sess.ep.recv_ct()?;
         self.refresh_enc_v_own(sess, &rows, &delta_own);
+        Ok(())
     }
 }
 
@@ -170,27 +176,27 @@ mod tests {
             cfg,
             55,
             move |mut sess| {
-                let mut layer = MatMulSource::init(&mut sess, ina, 1);
+                let mut layer = MatMulSource::init(&mut sess, ina, 1).unwrap();
                 for _ in 0..steps {
-                    let z_share = layer.forward_ss(&mut sess, &x_a, true);
+                    let z_share = layer.forward_ss(&mut sess, &x_a, true).unwrap();
                     let g = SquareLossSsTop::grad_piece_a(&z_share);
-                    layer.backward_ss(&mut sess, &g);
+                    layer.backward_ss(&mut sess, &g).unwrap();
                 }
                 // Inference: reveal the final prediction share to B
                 // (the model output is B's to learn).
-                let z_share = layer.forward_ss(&mut sess, &x_a, false);
-                sess.ep.send(Msg::Mat(z_share));
+                let z_share = layer.forward_ss(&mut sess, &x_a, false).unwrap();
+                sess.ep.send(Msg::Mat(z_share)).unwrap();
                 layer
             },
             move |mut sess| {
-                let mut layer = MatMulSource::init(&mut sess, inb, 1);
+                let mut layer = MatMulSource::init(&mut sess, inb, 1).unwrap();
                 for _ in 0..steps {
-                    let z_share = layer.forward_ss(&mut sess, &x_b, true);
+                    let z_share = layer.forward_ss(&mut sess, &x_b, true).unwrap();
                     let g = SquareLossSsTop::grad_piece_b(&z_share, &y_b);
-                    layer.backward_ss(&mut sess, &g);
+                    layer.backward_ss(&mut sess, &g).unwrap();
                 }
-                let z_share = layer.forward_ss(&mut sess, &x_b, false);
-                let z = z_share.add(&sess.ep.recv_mat());
+                let z_share = layer.forward_ss(&mut sess, &x_b, false).unwrap();
+                let z = z_share.add(&sess.ep.recv_mat().unwrap());
                 (layer, SquareLossSsTop::loss(&z, &y_b))
             },
         );

@@ -1,13 +1,18 @@
-//! Two-thread federated training and inference runtime.
+//! Federated training and inference runtime.
 //!
-//! Party A runs on its own thread, Party B on the caller's. Both
-//! derive the identical mini-batch schedule from a shared seed (the
-//! paper assumes PSI-aligned instances, so a common ordering is free),
-//! so no control messages are needed: the protocols' own message flow
-//! is the only cross-party traffic.
+//! [`run_party_a`] and [`run_party_b`] drive one party each over any
+//! [`Session`] — in-process or TCP (see `examples/tcp_federated_lr.rs`
+//! for the two-process deployment). [`train_federated`] is the
+//! single-machine convenience harness: Party A on its own thread,
+//! Party B on the caller's. Both parties derive the identical
+//! mini-batch schedule from a shared seed (the paper assumes
+//! PSI-aligned instances, so a common ordering is free), so no control
+//! messages are needed: the protocols' own message flow is the only
+//! cross-party traffic.
 
 use bf_ml::data::{BatchIter, Dataset};
 use bf_ml::train::metric_from_logits;
+use bf_mpc::transport::TransportResult;
 use bf_tensor::Dense;
 use bf_util::Stopwatch;
 
@@ -87,34 +92,65 @@ pub fn train_federated(
     let (party_a_res, party_b_res) = run_pair(
         cfg,
         seed,
-        move |mut sess| run_party_a(&mut sess, &spec_a, &tc_a, &train_a, &test_a),
-        move |mut sess| run_party_b(&mut sess, &spec_b, &tc_b, &train_b, &test_b),
+        move |mut sess| {
+            run_party_a(&mut sess, &spec_a, &tc_a, &train_a, &test_a).expect("party A transport")
+        },
+        move |mut sess| {
+            run_party_b(&mut sess, &spec_b, &tc_b, &train_b, &test_b).expect("party B transport")
+        },
     );
-    let (party_a, u_a_snapshots, bytes_a) = party_a_res;
-    let (party_b, losses, test_logits, test_metric, train_secs, bytes_b) = party_b_res;
     FedOutcome {
         report: FedReport {
-            losses,
-            test_logits,
-            test_metric,
-            train_secs,
-            bytes_a_to_b: bytes_a,
-            bytes_b_to_a: bytes_b,
-            u_a_snapshots,
+            losses: party_b_res.losses,
+            test_logits: party_b_res.test_logits,
+            test_metric: party_b_res.test_metric,
+            train_secs: party_b_res.train_secs,
+            bytes_a_to_b: party_a_res.bytes_sent,
+            bytes_b_to_a: party_b_res.bytes_sent,
+            u_a_snapshots: party_a_res.u_a_snapshots,
         },
-        party_a,
-        party_b,
+        party_a: party_a_res.model,
+        party_b: party_b_res.model,
     }
 }
 
-fn run_party_a(
+/// What [`run_party_a`] produces.
+pub struct PartyARun {
+    /// The trained Party A model half.
+    pub model: PartyAModel,
+    /// `U_A` snapshots per epoch, if requested.
+    pub u_a_snapshots: Vec<Dense>,
+    /// Bytes this party sent over the whole run.
+    pub bytes_sent: u64,
+}
+
+/// What [`run_party_b`] produces.
+pub struct PartyBRun {
+    /// The trained Party B model half (includes the top model).
+    pub model: PartyBModel,
+    /// Per-mini-batch training loss.
+    pub losses: Vec<f64>,
+    /// Test logits from the final federated inference pass.
+    pub test_logits: Dense,
+    /// Test metric (AUC for binary, accuracy for multi-class).
+    pub test_metric: f64,
+    /// Wall-clock seconds spent in the training loop.
+    pub train_secs: f64,
+    /// Bytes this party sent over the whole run.
+    pub bytes_sent: u64,
+}
+
+/// Party A's side of a full training + federated-inference run. Works
+/// over any transport; a transport failure aborts the loop cleanly
+/// with the error instead of crashing the process.
+pub fn run_party_a(
     sess: &mut Session,
     spec: &FedSpec,
     tc: &FedTrainConfig,
     train: &Dataset,
     test: &Dataset,
-) -> (PartyAModel, Vec<Dense>, u64) {
-    let mut model = PartyAModel::init(sess, spec, train);
+) -> TransportResult<PartyARun> {
+    let mut model = PartyAModel::init(sess, spec, train)?;
     let mut snapshots = Vec::new();
     for epoch in 0..tc.base.epochs {
         let iter = BatchIter::new(
@@ -124,8 +160,8 @@ fn run_party_a(
         );
         for idx in iter {
             let batch = train.select(&idx);
-            model.forward(sess, &batch, true);
-            model.backward(sess);
+            model.forward(sess, &batch, true)?;
+            model.backward(sess)?;
         }
         if tc.snapshot_u_a {
             if let Some(mm) = model.matmul() {
@@ -136,21 +172,27 @@ fn run_party_a(
     // Federated inference over the test split.
     for idx in eval_batches(test.rows(), tc.base.batch_size) {
         let batch = test.select(&idx);
-        model.forward(sess, &batch, false);
+        model.forward(sess, &batch, false)?;
     }
     let bytes = sess.ep.stats().bytes();
-    (model, snapshots, bytes)
+    Ok(PartyARun {
+        model,
+        u_a_snapshots: snapshots,
+        bytes_sent: bytes,
+    })
 }
 
-#[allow(clippy::type_complexity)]
-fn run_party_b(
+/// Party B's side of a full training + federated-inference run (the
+/// label holder: computes losses, drives the top model, reports the
+/// test metric).
+pub fn run_party_b(
     sess: &mut Session,
     spec: &FedSpec,
     tc: &FedTrainConfig,
     train: &Dataset,
     test: &Dataset,
-) -> (PartyBModel, Vec<f64>, Dense, f64, f64, u64) {
-    let mut model = PartyBModel::init(sess, spec, train);
+) -> TransportResult<PartyBRun> {
+    let mut model = PartyBModel::init(sess, spec, train)?;
     let mut losses = Vec::new();
     let mut sw = Stopwatch::new();
     sw.start();
@@ -162,7 +204,7 @@ fn run_party_b(
         );
         for idx in iter {
             let batch = train.select(&idx);
-            losses.push(model.train_batch(sess, &batch));
+            losses.push(model.train_batch(sess, &batch)?);
         }
     }
     sw.stop();
@@ -172,14 +214,21 @@ fn run_party_b(
     let out = model.out_dim();
     for idx in eval_batches(test.rows(), tc.base.batch_size) {
         let batch = test.select(&idx);
-        let logits = model.predict_batch(sess, &batch);
+        let logits = model.predict_batch(sess, &batch)?;
         logit_rows.extend_from_slice(logits.data());
     }
     let test_logits = Dense::from_vec(test.rows(), out, logit_rows);
     let labels = test.labels.as_ref().expect("test labels at Party B");
     let metric = metric_from_logits(&test_logits, labels);
     let bytes = sess.ep.stats().bytes();
-    (model, losses, test_logits, metric, sw.secs(), bytes)
+    Ok(PartyBRun {
+        model,
+        losses,
+        test_logits,
+        test_metric: metric,
+        train_secs: sw.secs(),
+        bytes_sent: bytes,
+    })
 }
 
 #[cfg(test)]

@@ -45,25 +45,25 @@ fn matmul_roundtrip(
         &cfg,
         42,
         move |mut sess| {
-            let mut layer = MatMulSource::init(&mut sess, ina, out);
+            let mut layer = MatMulSource::init(&mut sess, ina, out).unwrap();
             for _ in &gz_a {
-                let z = layer.forward(&mut sess, &x_a, true);
-                aggregate_a(&sess, z);
-                layer.backward_a(&mut sess);
+                let z = layer.forward(&mut sess, &x_a, true).unwrap();
+                aggregate_a(&sess, z).unwrap();
+                layer.backward_a(&mut sess).unwrap();
             }
-            let z = layer.forward(&mut sess, &x_a, false);
-            aggregate_a(&sess, z);
+            let z = layer.forward(&mut sess, &x_a, false).unwrap();
+            aggregate_a(&sess, z).unwrap();
             layer
         },
         move |mut sess| {
-            let mut layer = MatMulSource::init(&mut sess, inb, out);
+            let mut layer = MatMulSource::init(&mut sess, inb, out).unwrap();
             for g in &grads {
-                let z_own = layer.forward(&mut sess, &x_b, true);
-                let _ = aggregate_b(&sess, z_own);
-                layer.backward_b(&mut sess, g);
+                let z_own = layer.forward(&mut sess, &x_b, true).unwrap();
+                let _ = aggregate_b(&sess, z_own).unwrap();
+                layer.backward_b(&mut sess, g).unwrap();
             }
-            let z_own = layer.forward(&mut sess, &x_b, false);
-            let z = aggregate_b(&sess, z_own);
+            let z_own = layer.forward(&mut sess, &x_b, false).unwrap();
+            let z = aggregate_b(&sess, z_own).unwrap();
             (layer, z)
         },
     );
@@ -113,25 +113,27 @@ proptest! {
             &cfg,
             7,
             move |mut sess| {
-                let mut layer = EmbedSource::init(&mut sess, xa2.vocab(), xa2.fields(), 2, 2);
+                let mut layer =
+                    EmbedSource::init(&mut sess, xa2.vocab(), xa2.fields(), 2, 2).unwrap();
                 for _ in &gz_a {
-                    let z = layer.forward(&mut sess, &xa2, true);
-                    aggregate_a(&sess, z);
-                    layer.backward_a(&mut sess);
+                    let z = layer.forward(&mut sess, &xa2, true).unwrap();
+                    aggregate_a(&sess, z).unwrap();
+                    layer.backward_a(&mut sess).unwrap();
                 }
-                let z = layer.forward(&mut sess, &xa2, false);
-                aggregate_a(&sess, z);
+                let z = layer.forward(&mut sess, &xa2, false).unwrap();
+                aggregate_a(&sess, z).unwrap();
                 layer
             },
             move |mut sess| {
-                let mut layer = EmbedSource::init(&mut sess, xb2.vocab(), xb2.fields(), 2, 2);
+                let mut layer =
+                    EmbedSource::init(&mut sess, xb2.vocab(), xb2.fields(), 2, 2).unwrap();
                 for g in &grads {
-                    let z_own = layer.forward(&mut sess, &xb2, true);
-                    let _ = aggregate_b(&sess, z_own);
-                    layer.backward_b(&mut sess, g);
+                    let z_own = layer.forward(&mut sess, &xb2, true).unwrap();
+                    let _ = aggregate_b(&sess, z_own).unwrap();
+                    layer.backward_b(&mut sess, g).unwrap();
                 }
-                let z_own = layer.forward(&mut sess, &xb2, false);
-                let z = aggregate_b(&sess, z_own);
+                let z_own = layer.forward(&mut sess, &xb2, false).unwrap();
+                let z = aggregate_b(&sess, z_own).unwrap();
                 (layer, z)
             },
         );
@@ -171,15 +173,15 @@ fn embed_lossless_exhaustive_small_vocab() {
                 &cfg,
                 100 + (i * 3 + j) as u64,
                 move |mut sess| {
-                    let mut layer = EmbedSource::init(&mut sess, 3, 1, 2, 1);
-                    let z = layer.forward(&mut sess, &xa2, false);
-                    aggregate_a(&sess, z);
+                    let mut layer = EmbedSource::init(&mut sess, 3, 1, 2, 1).unwrap();
+                    let z = layer.forward(&mut sess, &xa2, false).unwrap();
+                    aggregate_a(&sess, z).unwrap();
                     layer
                 },
                 move |mut sess| {
-                    let mut layer = EmbedSource::init(&mut sess, 3, 1, 2, 1);
-                    let z_own = layer.forward(&mut sess, &xb2, false);
-                    let z = aggregate_b(&sess, z_own);
+                    let mut layer = EmbedSource::init(&mut sess, 3, 1, 2, 1).unwrap();
+                    let z_own = layer.forward(&mut sess, &xb2, false).unwrap();
+                    let z = aggregate_b(&sess, z_own).unwrap();
                     (layer, z)
                 },
             );

@@ -14,7 +14,7 @@
 //!   NonFed-collocated` (the Figure 12 ordering) is a property of the
 //!   data, not an accident.
 //!
-//! [`catalog`] lists the paper-scale specs (printed by the Table 4
+//! [`catalog`](mod@catalog) lists the paper-scale specs (printed by the Table 4
 //! harness); [`DatasetSpec::scaled`] produces laptop-scale variants used
 //! by the experiment harnesses (documented in EXPERIMENTS.md).
 

@@ -16,7 +16,7 @@ use bf_tensor::Dense;
 use rand::Rng;
 
 use crate::shares::{random_mask, share_dense};
-use crate::transport::{Endpoint, Msg};
+use crate::transport::{Endpoint, Msg, TransportResult};
 
 /// One party's share of a matmul triplet for shapes `(m×k)·(k×n)`.
 #[derive(Clone, Debug)]
@@ -81,33 +81,33 @@ pub fn he_gen_triple<R: Rng + ?Sized>(
     k: usize,
     n: usize,
     rng: &mut R,
-) -> TripleShare {
+) -> TransportResult<TripleShare> {
     let a_own = random_mask(rng, m, k, 1.0);
     let b_own = random_mask(rng, k, n, 1.0);
 
     // 1. Exchange encrypted A factors (each under its owner's key).
     let enc_a = own_pk.encrypt(&a_own, own_obf);
-    ep.send(Msg::Ct(enc_a));
-    let enc_a_peer = ep.recv_ct();
+    ep.send(Msg::Ct(enc_a))?;
+    let enc_a_peer = ep.recv_ct()?;
 
     // 2. Compute ⟦A_peer · B_own⟧ under the peer's key, mask it with a
     //    fresh R, and return it.
     let cross = peer_pk.matmul_ct_wt(&enc_a_peer, &b_own.transpose());
     let r_own = random_mask(rng, m, n, 10.0);
-    ep.send(Msg::Ct(peer_pk.sub_plain(&cross, &r_own)));
+    ep.send(Msg::Ct(peer_pk.sub_plain(&cross, &r_own)))?;
 
     // 3. Decrypt the peer's response: d = A_own · B_peer − R_peer.
-    let d = own_sk.decrypt(&ep.recv_ct());
+    let d = own_sk.decrypt(&ep.recv_ct()?);
 
     // C_own = A_own·B_own + (A_own·B_peer − R_peer) + R_own.
     let mut c = a_own.matmul(&b_own);
     c.add_assign(&d);
     c.add_assign(&r_own);
-    TripleShare {
+    Ok(TripleShare {
         a: a_own,
         b: b_own,
         c,
-    }
+    })
 }
 
 /// Online Beaver multiplication: both parties hold shares of `X` and
@@ -120,14 +120,14 @@ pub fn beaver_matmul(
     x_share: &Dense,
     y_share: &Dense,
     ts: &TripleShare,
-) -> Dense {
+) -> TransportResult<Dense> {
     // Open E = X - A and F = Y - B.
     let e_share = x_share.sub(&ts.a);
     let f_share = y_share.sub(&ts.b);
-    ep.send(Msg::Mat(e_share.clone()));
-    ep.send(Msg::Mat(f_share.clone()));
-    let e_peer = ep.recv_mat();
-    let f_peer = ep.recv_mat();
+    ep.send(Msg::Mat(e_share.clone()))?;
+    ep.send(Msg::Mat(f_share.clone()))?;
+    let e_peer = ep.recv_mat()?;
+    let f_peer = ep.recv_mat()?;
     let e = e_share.add(&e_peer);
     let f = f_share.add(&f_peer);
 
@@ -138,7 +138,7 @@ pub fn beaver_matmul(
     if is_leader {
         z.add_assign(&e.matmul(&f));
     }
-    z
+    Ok(z)
 }
 
 #[cfg(test)]
@@ -167,8 +167,8 @@ mod tests {
         let (y1, y2) = share_dense(&mut rng, &y, 10.0);
         let (t1, t2) = dealer_triple(&mut rng, 3, 4, 2, 10.0);
         let (ep1, ep2) = channel_pair();
-        let h = std::thread::spawn(move || beaver_matmul(&ep1, true, &x1, &y1, &t1));
-        let z2 = beaver_matmul(&ep2, false, &x2, &y2, &t2);
+        let h = std::thread::spawn(move || beaver_matmul(&ep1, true, &x1, &y1, &t1).unwrap());
+        let z2 = beaver_matmul(&ep2, false, &x2, &y2, &t2).unwrap();
         let z1 = h.join().unwrap();
         assert!(z1.add(&z2).approx_eq(&x.matmul(&y), 1e-8));
     }
@@ -186,10 +186,10 @@ mod tests {
         let pk1c = pk1.clone();
         let h = std::thread::spawn(move || {
             let mut rng = rand::rngs::StdRng::seed_from_u64(6);
-            he_gen_triple(&ep1, &pk1c, &sk1, &obf1, &pk2c, m, k, n, &mut rng)
+            he_gen_triple(&ep1, &pk1c, &sk1, &obf1, &pk2c, m, k, n, &mut rng).unwrap()
         });
         let mut rng2 = rand::rngs::StdRng::seed_from_u64(7);
-        let t2 = he_gen_triple(&ep2, &pk2, &sk2, &obf2, &pk1, m, k, n, &mut rng2);
+        let t2 = he_gen_triple(&ep2, &pk2, &sk2, &obf2, &pk1, m, k, n, &mut rng2).unwrap();
         let t1 = h.join().unwrap();
         let a = t1.a.add(&t2.a);
         let b = t1.b.add(&t2.b);

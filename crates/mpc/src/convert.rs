@@ -11,7 +11,7 @@ use bf_tensor::Dense;
 use rand::Rng;
 
 use crate::shares::random_mask;
-use crate::transport::{Endpoint, Msg};
+use crate::transport::{Endpoint, Msg, TransportResult};
 
 /// Algorithm 1, holder side: given `⟦v⟧` under the *peer's* key,
 /// generate a mask `φ`, send `⟦v − φ⟧` to the peer, and return `φ`.
@@ -21,18 +21,18 @@ pub fn he2ss_holder<R: Rng + ?Sized>(
     ct: &CtMat,
     mask: f64,
     rng: &mut R,
-) -> Dense {
+) -> TransportResult<Dense> {
     let phi = random_mask(rng, ct.rows(), ct.cols(), mask);
     let masked = peer_pk.sub_plain(ct, &phi);
-    ep.send(Msg::Ct(masked));
-    phi
+    ep.send(Msg::Ct(masked))?;
+    Ok(phi)
 }
 
 /// Algorithm 1, key-owner side: receive `⟦v − φ⟧` and decrypt it,
 /// yielding this party's piece `v − φ`.
-pub fn he2ss_peer(ep: &Endpoint, sk: &SecretKey) -> Dense {
-    let ct = ep.recv_ct();
-    sk.decrypt(&ct)
+pub fn he2ss_peer(ep: &Endpoint, sk: &SecretKey) -> TransportResult<Dense> {
+    let ct = ep.recv_ct()?;
+    Ok(sk.decrypt(&ct))
 }
 
 /// Algorithm 2 (symmetric in both parties): given this party's piece
@@ -46,11 +46,11 @@ pub fn ss2he(
     own_obf: &Obfuscator,
     peer_pk: &PublicKey,
     v_mine: &Dense,
-) -> CtMat {
+) -> TransportResult<CtMat> {
     let enc_mine = own_pk.encrypt(v_mine, own_obf);
-    ep.send(Msg::Ct(enc_mine));
-    let enc_peer = ep.recv_ct();
-    peer_pk.add_plain(&enc_peer, v_mine)
+    ep.send(Msg::Ct(enc_mine))?;
+    let enc_peer = ep.recv_ct()?;
+    Ok(peer_pk.add_plain(&enc_peer, v_mine))
 }
 
 #[cfg(test)]
@@ -70,8 +70,8 @@ mod tests {
         // B encrypts v under its key; A holds ⟦v⟧_B.
         let ct = pk_b.encrypt(&v, &obf_b);
         let (ep_a, ep_b) = channel_pair();
-        let phi = he2ss_holder(&ep_a, &pk_b, &ct, 100.0, &mut rng);
-        let piece_b = he2ss_peer(&ep_b, &sk_b);
+        let phi = he2ss_holder(&ep_a, &pk_b, &ct, 100.0, &mut rng).unwrap();
+        let piece_b = he2ss_peer(&ep_b, &sk_b).unwrap();
         assert!(phi.add(&piece_b).approx_eq(&v, 1e-5));
     }
 
@@ -89,8 +89,8 @@ mod tests {
         let pk_a2 = pk_a.clone();
         let pk_b2 = pk_b.clone();
         let pa = piece_a.clone();
-        let handle = std::thread::spawn(move || ss2he(&ep_a, &pk_a2, &obf_a, &pk_b2, &pa));
-        let ct_under_a = ss2he(&ep_b, &pk_b, &obf_b, &pk_a, &piece_b);
+        let handle = std::thread::spawn(move || ss2he(&ep_a, &pk_a2, &obf_a, &pk_b2, &pa).unwrap());
+        let ct_under_a = ss2he(&ep_b, &pk_b, &obf_b, &pk_a, &piece_b).unwrap();
         let ct_under_b = handle.join().unwrap();
 
         // A's output decrypts under B's key; B's under A's key.

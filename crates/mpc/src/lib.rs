@@ -1,25 +1,37 @@
-//! Two-party MPC primitives for BlindFL.
+//! Two-party MPC primitives for BlindFL — the machinery under the
+//! paper's **federated source layers (§4)** and **secure aggregation
+//! (§5)**: every cross-party byte of those protocols moves through this
+//! crate, and nothing restricted ever should.
 //!
-//! * [`transport`] — the "network": paired in-process duplex channels
-//!   with full byte/message accounting, so the harnesses can report
-//!   communication volume alongside wall-clock time.
+//! * [`transport`] — the "network": a pluggable [`Endpoint`] with an
+//!   in-process channel backend (tests, single-machine experiments) and
+//!   a TCP backend speaking the documented binary protocol
+//!   (`docs/WIRE_PROTOCOL.md`), both with full byte/message accounting
+//!   so the harnesses can report communication volume alongside
+//!   wall-clock time.
+//! * [`wire`] — the byte-level frame codec the TCP backend speaks
+//!   (golden-tested; see `docs/WIRE_PROTOCOL.md`).
 //! * [`shares`] — two-party additive secret sharing of `f64` tensors
-//!   (the representation the paper's `FederatedParameter`s use; see
+//!   (the representation the paper's §4 `FederatedParameter`s use; see
 //!   Figure 11 for the magnitude convention).
 //! * [`convert`] — the paper's Algorithm 1 (`HE2SS`) and Algorithm 2
-//!   (`SS2HE`), the glue between the Paillier and secret-sharing
+//!   (`SS2HE`), the §5 glue between the Paillier and secret-sharing
 //!   domains.
 //! * [`beaver`] — Beaver matmul triplets (trusted-dealer / client-aided
-//!   and HE-assisted generation) powering the SecureML baseline.
+//!   and HE-assisted generation) powering the SecureML baseline of the
+//!   paper's evaluation.
 
+#![warn(missing_docs)]
 #![allow(clippy::too_many_arguments)] // protocol functions mirror the paper's parameter lists
 pub mod beaver;
 pub mod convert;
 pub mod shares;
 pub mod transport;
+pub mod wire;
 
 pub use convert::{he2ss_holder, he2ss_peer, ss2he};
 pub use shares::{reconstruct, share_dense};
 pub use transport::{
     channel_pair, channel_pair_with_network, Endpoint, Msg, NetworkProfile, TrafficStats,
+    TransportError, TransportResult,
 };

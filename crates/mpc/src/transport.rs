@@ -1,11 +1,29 @@
-//! In-process two-party transport with traffic accounting.
+//! Pluggable two-party transport with traffic accounting.
 //!
 //! Every cross-party value in the BlindFL protocols flows through an
 //! [`Endpoint`] as a typed [`Msg`]. This gives the experiments exact
 //! communication-volume numbers and gives the security tests a single
 //! choke point to audit: if a restricted value never appears in a
 //! message, the other party never sees it.
+//!
+//! Two wire backends sit behind the same [`Endpoint`] API:
+//!
+//! * **in-process** ([`channel_pair`]) — a `crossbeam` channel pair
+//!   moving `Msg` values between threads; the harness every test and
+//!   experiment uses,
+//! * **TCP** ([`Endpoint::tcp_connect`] / [`Endpoint::tcp_accept`]) —
+//!   a length-prefixed binary stream per [`crate::wire`] and
+//!   `docs/WIRE_PROTOCOL.md`, so the two parties can run as separate
+//!   processes or machines.
+//!
+//! [`TrafficStats`] counts the *canonical* message sizes
+//! ([`Msg::wire_size`]) on both backends, so byte counts — the paper's
+//! Table 7/8 numbers — are identical whether a run is in-process or
+//! cross-process. [`NetworkProfile`] simulation likewise applies to
+//! both.
 
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -13,6 +31,8 @@ use bf_paillier::{CtMat, PublicKey};
 use bf_tensor::Dense;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
+
+use crate::wire;
 
 /// A typed cross-party message.
 #[derive(Clone, Debug)]
@@ -33,7 +53,9 @@ pub enum Msg {
 }
 
 impl Msg {
-    /// Serialized size in bytes for traffic accounting.
+    /// Canonical size in bytes for traffic accounting (shape header +
+    /// payload, excluding the 8-byte frame header the TCP backend
+    /// adds; see `docs/WIRE_PROTOCOL.md` §"Traffic accounting").
     pub fn wire_size(&self) -> usize {
         match self {
             Msg::Ct(ct) => ct.wire_size(),
@@ -58,6 +80,83 @@ impl Msg {
         }
     }
 }
+
+/// Why a send or receive failed. At the transport level a malformed or
+/// vanished peer surfaces here as an `Err` — never as a panic — so a
+/// party loop can refuse the connection and keep serving others.
+///
+/// Scope: this covers frame and payload *structure* (bad magic,
+/// truncation, type mismatches, length-field attacks). Semantic
+/// validity — e.g. a well-formed `Ct` whose shape or limb width does
+/// not match the current protocol step and key — is the protocol
+/// layer's contract, enforced by its shape assertions.
+#[derive(Debug)]
+pub enum TransportError {
+    /// The peer endpoint is gone (channel dropped / TCP EOF).
+    Disconnected,
+    /// The peer sent a well-formed message of the wrong kind.
+    TypeMismatch {
+        /// The kind the protocol step expected.
+        expected: &'static str,
+        /// The kind that actually arrived.
+        got: &'static str,
+    },
+    /// The peer sent bytes that do not decode as a protocol frame.
+    Wire(wire::WireError),
+    /// Socket-level failure.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::Disconnected => write!(f, "peer disconnected"),
+            TransportError::TypeMismatch { expected, got } => {
+                write!(f, "protocol error: expected {expected}, got {got}")
+            }
+            TransportError::Wire(e) => write!(f, "wire decode error: {e}"),
+            TransportError::Io(e) => write!(f, "transport i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TransportError::Wire(e) => Some(e),
+            TransportError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<wire::WireError> for TransportError {
+    fn from(e: wire::WireError) -> Self {
+        TransportError::Wire(e)
+    }
+}
+
+impl From<std::io::Error> for TransportError {
+    fn from(e: std::io::Error) -> Self {
+        use std::io::ErrorKind;
+        // Keep the "peer is gone" classification transport-agnostic:
+        // a dead remote surfaces as EOF on reads and as broken-pipe /
+        // reset / abort on writes, all of which mean Disconnected —
+        // the same variant the channel backend yields when the peer
+        // endpoint is dropped.
+        match e.kind() {
+            ErrorKind::UnexpectedEof
+            | ErrorKind::BrokenPipe
+            | ErrorKind::ConnectionReset
+            | ErrorKind::ConnectionAborted => TransportError::Disconnected,
+            _ => TransportError::Io(e),
+        }
+    }
+}
+
+/// Shorthand for transport-fallible results, used by every protocol
+/// function downstream.
+pub type TransportResult<T> = Result<T, TransportError>;
 
 /// Shared traffic counters for one direction of a channel pair.
 #[derive(Debug, Default)]
@@ -88,17 +187,30 @@ impl TrafficStats {
     }
 }
 
-/// One party's end of a duplex channel.
+/// The backend actually moving messages.
+enum Wire {
+    /// In-process `crossbeam` channel pair: values move, nothing is
+    /// serialized.
+    Channel { tx: Sender<Msg>, rx: Receiver<Msg> },
+    /// A TCP stream carrying [`crate::wire`] frames. Reader and writer
+    /// halves are locked independently so full-duplex protocols (send
+    /// while the peer sends) don't deadlock.
+    Tcp {
+        writer: Mutex<BufWriter<TcpStream>>,
+        reader: Mutex<BufReader<TcpStream>>,
+    },
+}
+
+/// One party's end of a duplex link (in-process or TCP).
 pub struct Endpoint {
-    tx: Sender<Msg>,
-    rx: Receiver<Msg>,
+    wire: Wire,
     stats: Arc<TrafficStats>,
     net: Option<NetworkProfile>,
 }
 
 impl Endpoint {
     /// Send a message to the peer.
-    pub fn send(&self, msg: Msg) {
+    pub fn send(&self, msg: Msg) -> TransportResult<()> {
         let bytes = msg.wire_size();
         self.stats
             .bytes_sent
@@ -108,65 +220,158 @@ impl Endpoint {
         if let Some(net) = &self.net {
             std::thread::sleep(net.delay_for(bytes));
         }
-        self.tx.send(msg).expect("peer endpoint dropped");
+        match &self.wire {
+            Wire::Channel { tx, .. } => tx.send(msg).map_err(|_| TransportError::Disconnected),
+            Wire::Tcp { writer, .. } => {
+                // Write header and payload separately: Ct payloads are
+                // megabytes, and `encode_frame`'s contiguous buffer
+                // would re-copy every one of them on the hot path.
+                let payload = wire::encode_payload(&msg);
+                let header = wire::frame_header(&msg, &payload);
+                let mut w = writer.lock();
+                w.write_all(&header)?;
+                w.write_all(&payload)?;
+                w.flush()?;
+                Ok(())
+            }
+        }
     }
 
     /// Blocking receive.
-    pub fn recv(&self) -> Msg {
-        self.rx.recv().expect("peer endpoint dropped")
+    pub fn recv(&self) -> TransportResult<Msg> {
+        match &self.wire {
+            Wire::Channel { rx, .. } => rx.recv().map_err(|_| TransportError::Disconnected),
+            Wire::Tcp { reader, .. } => {
+                let mut r = reader.lock();
+                let mut header = [0u8; wire::HEADER_LEN];
+                r.read_exact(&mut header)?;
+                let (kind, len) = wire::decode_header(&header)?;
+                let mut payload = vec![0u8; len as usize];
+                r.read_exact(&mut payload)?;
+                Ok(wire::decode_payload(kind, &payload)?)
+            }
+        }
     }
 
     /// Receive, expecting a ciphertext tensor.
-    pub fn recv_ct(&self) -> CtMat {
-        match self.recv() {
-            Msg::Ct(ct) => ct,
-            other => panic!("protocol error: expected Ct, got {}", other.kind()),
+    pub fn recv_ct(&self) -> TransportResult<CtMat> {
+        match self.recv()? {
+            Msg::Ct(ct) => Ok(ct),
+            other => Err(mismatch("Ct", &other)),
         }
     }
 
     /// Receive, expecting a plaintext tensor.
-    pub fn recv_mat(&self) -> Dense {
-        match self.recv() {
-            Msg::Mat(m) => m,
-            other => panic!("protocol error: expected Mat, got {}", other.kind()),
+    pub fn recv_mat(&self) -> TransportResult<Dense> {
+        match self.recv()? {
+            Msg::Mat(m) => Ok(m),
+            other => Err(mismatch("Mat", &other)),
         }
     }
 
     /// Receive, expecting a public key.
-    pub fn recv_key(&self) -> PublicKey {
-        match self.recv() {
-            Msg::Key(k) => k,
-            other => panic!("protocol error: expected Key, got {}", other.kind()),
+    pub fn recv_key(&self) -> TransportResult<PublicKey> {
+        match self.recv()? {
+            Msg::Key(k) => Ok(k),
+            other => Err(mismatch("Key", &other)),
         }
     }
 
     /// Receive, expecting a support set.
-    pub fn recv_support(&self) -> Vec<u32> {
-        match self.recv() {
-            Msg::Support(s) => s,
-            other => panic!("protocol error: expected Support, got {}", other.kind()),
+    pub fn recv_support(&self) -> TransportResult<Vec<u32>> {
+        match self.recv()? {
+            Msg::Support(s) => Ok(s),
+            other => Err(mismatch("Support", &other)),
         }
     }
 
     /// Receive, expecting a scalar.
-    pub fn recv_scalar(&self) -> f64 {
-        match self.recv() {
-            Msg::Scalar(v) => v,
-            other => panic!("protocol error: expected Scalar, got {}", other.kind()),
+    pub fn recv_scalar(&self) -> TransportResult<f64> {
+        match self.recv()? {
+            Msg::Scalar(v) => Ok(v),
+            other => Err(mismatch("Scalar", &other)),
         }
     }
 
     /// Receive, expecting a u64.
-    pub fn recv_u64(&self) -> u64 {
-        match self.recv() {
-            Msg::U64(v) => v,
-            other => panic!("protocol error: expected U64, got {}", other.kind()),
+    pub fn recv_u64(&self) -> TransportResult<u64> {
+        match self.recv()? {
+            Msg::U64(v) => Ok(v),
+            other => Err(mismatch("U64", &other)),
         }
     }
 
     /// This endpoint's outbound traffic counters.
     pub fn stats(&self) -> &Arc<TrafficStats> {
         &self.stats
+    }
+
+    /// Attach a simulated network profile (applied to every subsequent
+    /// `send`, exactly as on the in-process backend).
+    pub fn with_network(mut self, profile: NetworkProfile) -> Endpoint {
+        self.net = Some(profile);
+        self
+    }
+
+    /// Wrap an established TCP stream. Disables Nagle's algorithm —
+    /// the protocols are strict request/response ping-pong, where
+    /// delayed ACKs would otherwise dominate round times.
+    pub fn from_tcp_stream(stream: TcpStream) -> TransportResult<Endpoint> {
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        let writer = BufWriter::new(stream);
+        Ok(Endpoint {
+            wire: Wire::Tcp {
+                writer: Mutex::new(writer),
+                reader: Mutex::new(reader),
+            },
+            stats: Arc::new(TrafficStats::default()),
+            net: None,
+        })
+    }
+
+    /// Connect to a listening peer (the "guest" side of a deployment).
+    pub fn tcp_connect<A: ToSocketAddrs>(addr: A) -> TransportResult<Endpoint> {
+        Endpoint::from_tcp_stream(TcpStream::connect(addr)?)
+    }
+
+    /// Connect, retrying while the peer's listener is not up yet (used
+    /// by two-process launches where start order is not guaranteed).
+    /// Only transient failures are retried; a non-transient error
+    /// (unroutable host, permission denied, …) fails fast.
+    pub fn tcp_connect_retry<A: ToSocketAddrs + Clone>(
+        addr: A,
+        timeout: std::time::Duration,
+    ) -> TransportResult<Endpoint> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            match TcpStream::connect(addr.clone()) {
+                Ok(stream) => return Endpoint::from_tcp_stream(stream),
+                Err(e) => {
+                    let transient = matches!(
+                        e.kind(),
+                        std::io::ErrorKind::ConnectionRefused | std::io::ErrorKind::TimedOut
+                    );
+                    if !transient || std::time::Instant::now() >= deadline {
+                        return Err(e.into());
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                }
+            }
+        }
+    }
+
+    /// Accept one peer connection (the "host" side of a deployment).
+    pub fn tcp_accept(listener: &TcpListener) -> TransportResult<Endpoint> {
+        let (stream, _) = listener.accept()?;
+        Endpoint::from_tcp_stream(stream)
+    }
+}
+
+fn mismatch(expected: &'static str, got: &Msg) -> TransportError {
+    TransportError::TypeMismatch {
+        expected,
+        got: got.kind(),
     }
 }
 
@@ -175,14 +380,18 @@ pub fn channel_pair() -> (Endpoint, Endpoint) {
     let (tx_ab, rx_ab) = unbounded();
     let (tx_ba, rx_ba) = unbounded();
     let a = Endpoint {
-        tx: tx_ab,
-        rx: rx_ba,
+        wire: Wire::Channel {
+            tx: tx_ab,
+            rx: rx_ba,
+        },
         stats: Arc::new(TrafficStats::default()),
         net: None,
     };
     let b = Endpoint {
-        tx: tx_ba,
-        rx: rx_ab,
+        wire: Wire::Channel {
+            tx: tx_ba,
+            rx: rx_ab,
+        },
         stats: Arc::new(TrafficStats::default()),
         net: None,
     };
@@ -235,10 +444,8 @@ impl NetworkProfile {
 /// network delay (applied on the sender, so wall-clock measurements of
 /// protocol phases include the wire time).
 pub fn channel_pair_with_network(profile: NetworkProfile) -> (Endpoint, Endpoint) {
-    let (mut a, mut b) = channel_pair();
-    a.net = Some(profile);
-    b.net = Some(profile);
-    (a, b)
+    let (a, b) = channel_pair();
+    (a.with_network(profile), b.with_network(profile))
 }
 
 #[cfg(test)]
@@ -249,10 +456,10 @@ mod tests {
     fn roundtrip_and_accounting() {
         let (a, b) = channel_pair();
         let m = Dense::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
-        a.send(Msg::Mat(m.clone()));
-        a.send(Msg::Scalar(7.5));
-        assert_eq!(b.recv_mat(), m);
-        assert_eq!(b.recv_scalar(), 7.5);
+        a.send(Msg::Mat(m.clone())).unwrap();
+        a.send(Msg::Scalar(7.5)).unwrap();
+        assert_eq!(b.recv_mat().unwrap(), m);
+        assert_eq!(b.recv_scalar().unwrap(), 7.5);
         assert_eq!(a.stats().msgs(), 2);
         assert_eq!(a.stats().bytes(), (16 + 32 + 8) as u64);
         assert_eq!(b.stats().msgs(), 0);
@@ -262,20 +469,36 @@ mod tests {
     fn duplex_across_threads() {
         let (a, b) = channel_pair();
         let t = std::thread::spawn(move || {
-            let v = b.recv_scalar();
-            b.send(Msg::Scalar(v * 2.0));
+            let v = b.recv_scalar().unwrap();
+            b.send(Msg::Scalar(v * 2.0)).unwrap();
         });
-        a.send(Msg::Scalar(21.0));
-        assert_eq!(a.recv_scalar(), 42.0);
+        a.send(Msg::Scalar(21.0)).unwrap();
+        assert_eq!(a.recv_scalar().unwrap(), 42.0);
         t.join().unwrap();
     }
 
     #[test]
-    #[should_panic(expected = "expected Ct")]
-    fn type_mismatch_panics() {
+    fn type_mismatch_is_a_typed_error() {
         let (a, b) = channel_pair();
-        a.send(Msg::Scalar(1.0));
-        let _ = b.recv_ct();
+        a.send(Msg::Scalar(1.0)).unwrap();
+        match b.recv_ct() {
+            Err(TransportError::TypeMismatch { expected, got }) => {
+                assert_eq!(expected, "Ct");
+                assert_eq!(got, "Scalar");
+            }
+            other => panic!("expected TypeMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dropped_peer_is_disconnected_not_panic() {
+        let (a, b) = channel_pair();
+        drop(b);
+        assert!(matches!(
+            a.send(Msg::Scalar(1.0)),
+            Err(TransportError::Disconnected)
+        ));
+        assert!(matches!(a.recv(), Err(TransportError::Disconnected)));
     }
 
     #[test]
@@ -287,11 +510,11 @@ mod tests {
         let (a, b) = channel_pair_with_network(profile);
         let t = std::time::Instant::now();
         for _ in 0..4 {
-            a.send(Msg::Scalar(1.0));
+            a.send(Msg::Scalar(1.0)).unwrap();
         }
         assert!(t.elapsed() >= std::time::Duration::from_millis(20));
         for _ in 0..4 {
-            b.recv_scalar();
+            b.recv_scalar().unwrap();
         }
     }
 
@@ -313,7 +536,66 @@ mod tests {
     #[test]
     fn support_roundtrip() {
         let (a, b) = channel_pair();
-        a.send(Msg::Support(vec![1, 5, 9]));
-        assert_eq!(b.recv_support(), vec![1, 5, 9]);
+        a.send(Msg::Support(vec![1, 5, 9])).unwrap();
+        assert_eq!(b.recv_support().unwrap(), vec![1, 5, 9]);
+    }
+
+    /// One connected TCP endpoint pair over localhost.
+    fn tcp_pair() -> (Endpoint, Endpoint) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let t = std::thread::spawn(move || Endpoint::tcp_connect(addr).unwrap());
+        let host = Endpoint::tcp_accept(&listener).unwrap();
+        (t.join().unwrap(), host)
+    }
+
+    #[test]
+    fn tcp_roundtrip_matches_channel_accounting() {
+        let (a, b) = tcp_pair();
+        let m = Dense::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        a.send(Msg::Mat(m.clone())).unwrap();
+        a.send(Msg::Scalar(7.5)).unwrap();
+        a.send(Msg::Support(vec![3, 1])).unwrap();
+        a.send(Msg::U64(9)).unwrap();
+        assert_eq!(b.recv_mat().unwrap(), m);
+        assert_eq!(b.recv_scalar().unwrap(), 7.5);
+        assert_eq!(b.recv_support().unwrap(), vec![3, 1]);
+        assert_eq!(b.recv_u64().unwrap(), 9);
+        // Byte accounting identical to the in-process backend.
+        let (ca, _cb) = channel_pair();
+        ca.send(Msg::Mat(m)).unwrap();
+        ca.send(Msg::Scalar(7.5)).unwrap();
+        ca.send(Msg::Support(vec![3, 1])).unwrap();
+        ca.send(Msg::U64(9)).unwrap();
+        assert_eq!(a.stats().bytes(), ca.stats().bytes());
+        assert_eq!(a.stats().msgs(), ca.stats().msgs());
+        assert_eq!(a.stats().sent_kinds(), ca.stats().sent_kinds());
+    }
+
+    #[test]
+    fn tcp_duplex_and_disconnect() {
+        let (a, b) = tcp_pair();
+        let t = std::thread::spawn(move || {
+            let v = b.recv_scalar().unwrap();
+            b.send(Msg::Scalar(v + 1.0)).unwrap();
+            // b drops here: a's next recv must be Disconnected.
+        });
+        a.send(Msg::Scalar(1.0)).unwrap();
+        assert_eq!(a.recv_scalar().unwrap(), 2.0);
+        t.join().unwrap();
+        assert!(matches!(a.recv(), Err(TransportError::Disconnected)));
+    }
+
+    #[test]
+    fn tcp_rejects_garbage_stream() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let t = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(b"GET / HTTP/1.1\r\n\r\n").unwrap();
+        });
+        let host = Endpoint::tcp_accept(&listener).unwrap();
+        assert!(matches!(host.recv(), Err(TransportError::Wire(_))));
+        t.join().unwrap();
     }
 }

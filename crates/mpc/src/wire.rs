@@ -1,0 +1,409 @@
+//! The BlindFL binary wire format — byte-for-byte per
+//! `docs/WIRE_PROTOCOL.md` at the repository root.
+//!
+//! Every [`Msg`] travels as one *frame*:
+//!
+//! ```text
+//! offset  size  field
+//! 0       2     magic   0x42 0x46  ("BF")
+//! 2       1     version 0x01
+//! 3       1     kind    (see the KIND_* constants)
+//! 4       4     payload length, u32 little-endian
+//! 8       n     payload (per-kind encoding)
+//! ```
+//!
+//! All multi-byte integers are little-endian; `f64`s are IEEE-754 bits,
+//! little-endian. This module is pure bytes-in/bytes-out — the I/O
+//! lives in [`crate::transport`] — so the codec can be golden-tested
+//! and fuzzed without sockets.
+
+use bf_paillier::{export_ctmat, export_public, import_ctmat, import_public};
+use bf_tensor::Dense;
+
+use crate::transport::Msg;
+
+/// Frame magic: ASCII `"BF"`.
+pub const MAGIC: [u8; 2] = *b"BF";
+/// Current protocol version. Decoders reject every other value.
+pub const VERSION: u8 = 1;
+/// Fixed frame-header length in bytes (magic + version + kind + length).
+pub const HEADER_LEN: usize = 8;
+/// Upper bound on a payload a decoder will accept (1 GiB). A malicious
+/// or corrupted length field must not drive an allocation.
+pub const MAX_PAYLOAD: u32 = 1 << 30;
+
+/// Frame kind byte for [`Msg::Ct`].
+pub const KIND_CT: u8 = 1;
+/// Frame kind byte for [`Msg::Mat`].
+pub const KIND_MAT: u8 = 2;
+/// Frame kind byte for [`Msg::Key`].
+pub const KIND_KEY: u8 = 3;
+/// Frame kind byte for [`Msg::Support`].
+pub const KIND_SUPPORT: u8 = 4;
+/// Frame kind byte for [`Msg::Scalar`].
+pub const KIND_SCALAR: u8 = 5;
+/// Frame kind byte for [`Msg::U64`].
+pub const KIND_U64: u8 = 6;
+
+/// A frame- or payload-level decode failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The first two bytes were not [`MAGIC`].
+    BadMagic([u8; 2]),
+    /// The version byte is not [`VERSION`].
+    UnsupportedVersion(u8),
+    /// The kind byte names no known [`Msg`] variant.
+    UnknownKind(u8),
+    /// The length field exceeds [`MAX_PAYLOAD`].
+    OversizedPayload(u32),
+    /// The buffer ended before the encoding said it would.
+    Truncated,
+    /// A structurally invalid payload (bad lengths, bad key string, …).
+    Malformed(String),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::BadMagic(m) => write!(f, "bad frame magic {m:02x?}"),
+            WireError::UnsupportedVersion(v) => write!(f, "unsupported protocol version {v}"),
+            WireError::UnknownKind(k) => write!(f, "unknown message kind {k}"),
+            WireError::OversizedPayload(n) => write!(f, "payload length {n} exceeds limit"),
+            WireError::Truncated => write!(f, "truncated frame"),
+            WireError::Malformed(why) => write!(f, "malformed payload: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// The kind byte a message is framed with.
+pub fn kind_byte(msg: &Msg) -> u8 {
+    match msg {
+        Msg::Ct(_) => KIND_CT,
+        Msg::Mat(_) => KIND_MAT,
+        Msg::Key(_) => KIND_KEY,
+        Msg::Support(_) => KIND_SUPPORT,
+        Msg::Scalar(_) => KIND_SCALAR,
+        Msg::U64(_) => KIND_U64,
+    }
+}
+
+/// Encode the per-kind payload (frame header excluded).
+pub fn encode_payload(msg: &Msg) -> Vec<u8> {
+    match msg {
+        Msg::Ct(ct) => export_ctmat(ct),
+        Msg::Mat(m) => {
+            let mut out = Vec::with_capacity(16 + 8 * m.rows() * m.cols());
+            out.extend_from_slice(&(m.rows() as u64).to_le_bytes());
+            out.extend_from_slice(&(m.cols() as u64).to_le_bytes());
+            for v in m.data() {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            out
+        }
+        Msg::Key(pk) => export_public(pk).into_bytes(),
+        Msg::Support(s) => {
+            let mut out = Vec::with_capacity(8 + 4 * s.len());
+            out.extend_from_slice(&(s.len() as u64).to_le_bytes());
+            for v in s {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            out
+        }
+        Msg::Scalar(v) => v.to_le_bytes().to_vec(),
+        Msg::U64(v) => v.to_le_bytes().to_vec(),
+    }
+}
+
+/// Build the 8-byte frame header for a message whose payload has
+/// already been encoded. The stream transport writes header and
+/// payload separately so multi-megabyte `Ct` payloads are not copied
+/// into a second contiguous buffer.
+pub fn frame_header(msg: &Msg, payload: &[u8]) -> [u8; HEADER_LEN] {
+    assert!(
+        payload.len() <= MAX_PAYLOAD as usize,
+        "message payload exceeds the {MAX_PAYLOAD}-byte frame limit"
+    );
+    let len = (payload.len() as u32).to_le_bytes();
+    [
+        MAGIC[0],
+        MAGIC[1],
+        VERSION,
+        kind_byte(msg),
+        len[0],
+        len[1],
+        len[2],
+        len[3],
+    ]
+}
+
+/// Encode a complete frame (header + payload) into one buffer.
+pub fn encode_frame(msg: &Msg) -> Vec<u8> {
+    let payload = encode_payload(msg);
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&frame_header(msg, &payload));
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Validate a frame header, returning `(kind, payload_len)`.
+pub fn decode_header(header: &[u8; HEADER_LEN]) -> Result<(u8, u32), WireError> {
+    if header[0..2] != MAGIC {
+        return Err(WireError::BadMagic([header[0], header[1]]));
+    }
+    if header[2] != VERSION {
+        return Err(WireError::UnsupportedVersion(header[2]));
+    }
+    let kind = header[3];
+    if !(KIND_CT..=KIND_U64).contains(&kind) {
+        return Err(WireError::UnknownKind(kind));
+    }
+    let len = u32::from_le_bytes(header[4..8].try_into().unwrap());
+    if len > MAX_PAYLOAD {
+        return Err(WireError::OversizedPayload(len));
+    }
+    Ok((kind, len))
+}
+
+/// Decode a per-kind payload into a [`Msg`].
+pub fn decode_payload(kind: u8, payload: &[u8]) -> Result<Msg, WireError> {
+    let exact = |want: usize| -> Result<&[u8], WireError> {
+        if payload.len() == want {
+            Ok(payload)
+        } else {
+            Err(WireError::Truncated)
+        }
+    };
+    match kind {
+        KIND_CT => import_ctmat(payload)
+            .map(Msg::Ct)
+            .map_err(WireError::Malformed),
+        KIND_MAT => {
+            if payload.len() < 16 {
+                return Err(WireError::Truncated);
+            }
+            let rows = usize::try_from(u64::from_le_bytes(payload[0..8].try_into().unwrap()))
+                .map_err(|_| WireError::Malformed("rows overflow".into()))?;
+            let cols = usize::try_from(u64::from_le_bytes(payload[8..16].try_into().unwrap()))
+                .map_err(|_| WireError::Malformed("cols overflow".into()))?;
+            let n = rows
+                .checked_mul(cols)
+                .ok_or_else(|| WireError::Malformed("rows*cols overflow".into()))?;
+            if n.checked_mul(8) != Some(payload.len() - 16) {
+                return Err(WireError::Truncated);
+            }
+            let data: Vec<f64> = payload[16..]
+                .chunks_exact(8)
+                .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+                .collect();
+            Ok(Msg::Mat(Dense::from_vec(rows, cols, data)))
+        }
+        KIND_KEY => {
+            let s = std::str::from_utf8(payload)
+                .map_err(|_| WireError::Malformed("key is not utf-8".into()))?;
+            import_public(s).map(Msg::Key).map_err(WireError::Malformed)
+        }
+        KIND_SUPPORT => {
+            if payload.len() < 8 {
+                return Err(WireError::Truncated);
+            }
+            let n = usize::try_from(u64::from_le_bytes(payload[0..8].try_into().unwrap()))
+                .map_err(|_| WireError::Malformed("support length overflow".into()))?;
+            if n.checked_mul(4) != Some(payload.len() - 8) {
+                return Err(WireError::Truncated);
+            }
+            let s: Vec<u32> = payload[8..]
+                .chunks_exact(4)
+                .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+                .collect();
+            Ok(Msg::Support(s))
+        }
+        KIND_SCALAR => Ok(Msg::Scalar(f64::from_le_bytes(
+            exact(8)?.try_into().unwrap(),
+        ))),
+        KIND_U64 => Ok(Msg::U64(u64::from_le_bytes(exact(8)?.try_into().unwrap()))),
+        other => Err(WireError::UnknownKind(other)),
+    }
+}
+
+/// Decode one frame from the front of `buf`; returns the message and
+/// the number of bytes consumed. Convenience wrapper used by tests —
+/// the stream transport reads the header and payload separately.
+pub fn decode_frame(buf: &[u8]) -> Result<(Msg, usize), WireError> {
+    if buf.len() < HEADER_LEN {
+        return Err(WireError::Truncated);
+    }
+    let header: [u8; HEADER_LEN] = buf[..HEADER_LEN].try_into().unwrap();
+    let (kind, len) = decode_header(&header)?;
+    let end = HEADER_LEN + len as usize;
+    if buf.len() < end {
+        return Err(WireError::Truncated);
+    }
+    let msg = decode_payload(kind, &buf[HEADER_LEN..end])?;
+    Ok((msg, end))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The golden-bytes contract: these frames are the documented wire
+    /// format (`docs/WIRE_PROTOCOL.md`). Changing any byte here is a
+    /// protocol break and requires a VERSION bump.
+    #[test]
+    fn golden_u64_frame() {
+        let frame = encode_frame(&Msg::U64(0x0102030405060708));
+        assert_eq!(
+            frame,
+            vec![
+                0x42, 0x46, // "BF"
+                0x01, // version
+                0x06, // kind U64
+                0x08, 0x00, 0x00, 0x00, // payload len 8
+                0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01, // u64 LE
+            ]
+        );
+    }
+
+    #[test]
+    fn golden_scalar_frame() {
+        let frame = encode_frame(&Msg::Scalar(1.0));
+        assert_eq!(
+            frame,
+            vec![
+                0x42, 0x46, 0x01, 0x05, 0x08, 0x00, 0x00, 0x00, // header
+                0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xf0, 0x3f, // 1.0f64 LE
+            ]
+        );
+    }
+
+    #[test]
+    fn golden_support_frame() {
+        let frame = encode_frame(&Msg::Support(vec![1, 0x0A0B]));
+        assert_eq!(
+            frame,
+            vec![
+                0x42, 0x46, 0x01, 0x04, 0x10, 0x00, 0x00, 0x00, // header, len 16
+                0x02, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // count 2
+                0x01, 0x00, 0x00, 0x00, // 1
+                0x0B, 0x0A, 0x00, 0x00, // 0x0A0B
+            ]
+        );
+    }
+
+    #[test]
+    fn golden_mat_frame() {
+        let frame = encode_frame(&Msg::Mat(Dense::from_vec(1, 2, vec![0.0, -2.0])));
+        assert_eq!(
+            frame,
+            vec![
+                0x42, 0x46, 0x01, 0x02, 0x20, 0x00, 0x00, 0x00, // header, len 32
+                0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // rows 1
+                0x02, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // cols 2
+                0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // 0.0
+                0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xc0, // -2.0
+            ]
+        );
+    }
+
+    #[test]
+    fn golden_plain_key_frame() {
+        let frame = encode_frame(&Msg::Key(bf_paillier::PublicKey::Plain { frac_bits: 24 }));
+        let mut want = vec![0x42, 0x46, 0x01, 0x03, 0x0B, 0x00, 0x00, 0x00];
+        want.extend_from_slice(b"bfplain1:24");
+        assert_eq!(frame, want);
+    }
+
+    #[test]
+    fn golden_plain_ct_frame() {
+        let (pk, _) = bf_paillier::keys::plain_keys(1);
+        let obf = bf_paillier::Obfuscator::new(&pk, bf_paillier::ObfMode::Pool(2), 0);
+        let ct = pk.encrypt(&Dense::from_vec(1, 1, vec![0.5]), &obf);
+        let frame = encode_frame(&Msg::Ct(ct));
+        assert_eq!(
+            frame,
+            vec![
+                0x42, 0x46, 0x01, 0x01, 0x1A, 0x00, 0x00, 0x00, // header, len 26
+                0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // rows 1
+                0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // cols 1
+                0x01, // scale 1
+                0x00, // body: plain
+                0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xe0, 0x3f, // 0.5
+            ]
+        );
+    }
+
+    #[test]
+    fn header_rejections() {
+        let ok = encode_frame(&Msg::U64(7));
+        let hdr = |f: &[u8]| -> [u8; HEADER_LEN] { f[..HEADER_LEN].try_into().unwrap() };
+        assert!(decode_header(&hdr(&ok)).is_ok());
+        let mut bad = ok.clone();
+        bad[0] = b'X';
+        assert!(matches!(
+            decode_header(&hdr(&bad)),
+            Err(WireError::BadMagic(_))
+        ));
+        let mut bad = ok.clone();
+        bad[2] = 9;
+        assert!(matches!(
+            decode_header(&hdr(&bad)),
+            Err(WireError::UnsupportedVersion(9))
+        ));
+        let mut bad = ok.clone();
+        bad[3] = 0;
+        assert!(matches!(
+            decode_header(&hdr(&bad)),
+            Err(WireError::UnknownKind(0))
+        ));
+        let mut bad = ok;
+        bad[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_header(&hdr(&bad)),
+            Err(WireError::OversizedPayload(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_payloads_error() {
+        let truncated =
+            |kind: u8, p: &[u8]| matches!(decode_payload(kind, p), Err(WireError::Truncated));
+        assert!(truncated(KIND_SCALAR, &[0; 7]));
+        assert!(truncated(KIND_U64, &[0; 9]));
+        assert!(truncated(KIND_MAT, &[0; 15]));
+        assert!(truncated(KIND_SUPPORT, &[0; 7]));
+        // Support claiming 4 entries but carrying 1.
+        let mut p = 4u64.to_le_bytes().to_vec();
+        p.extend_from_slice(&[0; 4]);
+        assert!(truncated(KIND_SUPPORT, &p));
+    }
+
+    #[test]
+    fn frame_roundtrip_every_kind() {
+        let msgs = vec![
+            Msg::U64(u64::MAX),
+            Msg::Scalar(-3.25),
+            Msg::Support(vec![]),
+            Msg::Support(vec![0, 1, u32::MAX]),
+            Msg::Mat(Dense::zeros(0, 5)),
+            Msg::Mat(Dense::from_vec(2, 2, vec![1.0, -1.0, 0.5, 1e300])),
+            Msg::Key(bf_paillier::PublicKey::Plain { frac_bits: 7 }),
+        ];
+        for msg in msgs {
+            let frame = encode_frame(&msg);
+            let (got, used) = decode_frame(&frame).unwrap();
+            assert_eq!(used, frame.len());
+            match (&msg, &got) {
+                (Msg::U64(a), Msg::U64(b)) => assert_eq!(a, b),
+                (Msg::Scalar(a), Msg::Scalar(b)) => assert_eq!(a.to_bits(), b.to_bits()),
+                (Msg::Support(a), Msg::Support(b)) => assert_eq!(a, b),
+                (Msg::Mat(a), Msg::Mat(b)) => assert_eq!(a, b),
+                (Msg::Key(a), Msg::Key(b)) => {
+                    assert_eq!(bf_paillier::export_public(a), bf_paillier::export_public(b))
+                }
+                other => panic!("kind changed in roundtrip: {other:?}"),
+            }
+        }
+    }
+}

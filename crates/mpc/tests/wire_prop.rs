@@ -1,0 +1,165 @@
+//! Property tests for the wire codec: every [`Msg`] variant must
+//! survive encode→decode byte-exactly, including the degenerate shapes
+//! a real deployment will eventually produce (empty matrices,
+//! max-scale ciphertexts, zero-length supports).
+
+use bf_mpc::wire::{decode_frame, encode_frame};
+use bf_mpc::Msg;
+use bf_paillier::{export_public, import_ctmat, CtMat, PublicKey};
+use bf_tensor::Dense;
+use proptest::prelude::*;
+
+/// Build a [`CtMat`] through the documented byte layout (the only
+/// public constructor for arbitrary bodies — which is itself part of
+/// the codec under test).
+fn ctmat_from_parts(rows: usize, cols: usize, scale: u8, body: &CtBody) -> CtMat {
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&(rows as u64).to_le_bytes());
+    bytes.extend_from_slice(&(cols as u64).to_le_bytes());
+    bytes.push(scale);
+    match body {
+        CtBody::Plain(vals) => {
+            bytes.push(0);
+            for v in vals {
+                bytes.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        CtBody::Enc { k, limbs } => {
+            bytes.push(1);
+            bytes.extend_from_slice(&(*k as u64).to_le_bytes());
+            for l in limbs {
+                bytes.extend_from_slice(&l.to_le_bytes());
+            }
+        }
+    }
+    import_ctmat(&bytes).expect("constructed ctmat bytes are valid")
+}
+
+#[derive(Clone, Debug)]
+enum CtBody {
+    Plain(Vec<f64>),
+    Enc { k: usize, limbs: Vec<u64> },
+}
+
+/// Deterministic finite matrix contents covering sign, magnitude
+/// extremes and exact zero.
+fn dense(r: usize, c: usize) -> Dense {
+    let data: Vec<f64> = (0..r * c)
+        .map(|i| match i % 5 {
+            0 => 0.0,
+            1 => -1.5e300,
+            2 => 4.25,
+            3 => f64::MIN_POSITIVE,
+            _ => -(i as f64) * 1e-9,
+        })
+        .collect();
+    Dense::from_vec(r, c, data)
+}
+
+/// Arbitrary ciphertext tensor: rows/cols include 0 (empty matrices),
+/// scale includes `u8::MAX` ("max-scale" ciphertexts), both body kinds.
+fn ct(r: usize, c: usize, scale: u8, plain: bool, k: usize) -> CtMat {
+    let scale = if scale == 0 { u8::MAX } else { scale };
+    let body = if plain {
+        CtBody::Plain((0..r * c).map(|i| i as f64 * 0.5 - 1.0).collect())
+    } else {
+        CtBody::Enc {
+            k,
+            limbs: (0..r * c * k)
+                .map(|i| (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                .collect(),
+        }
+    };
+    ctmat_from_parts(r, c, scale, &body)
+}
+
+fn roundtrip(msg: &Msg) -> Msg {
+    let frame = encode_frame(msg);
+    let (got, used) = decode_frame(&frame).expect("frame decodes");
+    assert_eq!(used, frame.len(), "frame length fully consumed");
+    got
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn mat_roundtrips(r in 0usize..=5, c in 0usize..=5) {
+        let m = dense(r, c);
+        let Msg::Mat(got) = roundtrip(&Msg::Mat(m.clone())) else {
+            panic!("kind changed");
+        };
+        prop_assert_eq!(got, m);
+    }
+
+    #[test]
+    fn ct_roundtrips(
+        r in 0usize..=3,
+        c in 0usize..=3,
+        scale in any::<u8>(),
+        plain in any::<bool>(),
+        k in 1usize..=4,
+    ) {
+        let ct = ct(r, c, scale, plain, k);
+        let Msg::Ct(got) = roundtrip(&Msg::Ct(ct.clone())) else {
+            panic!("kind changed");
+        };
+        prop_assert_eq!(got, ct);
+    }
+
+    #[test]
+    fn support_roundtrips(s in prop::collection::vec(any::<u32>(), 0..=16)) {
+        let Msg::Support(got) = roundtrip(&Msg::Support(s.clone())) else {
+            panic!("kind changed");
+        };
+        prop_assert_eq!(got, s);
+    }
+
+    #[test]
+    fn scalar_roundtrips_bit_exact(bits in any::<u64>()) {
+        // Bit-level identity must hold even for NaNs and infinities.
+        let v = f64::from_bits(bits);
+        let Msg::Scalar(got) = roundtrip(&Msg::Scalar(v)) else {
+            panic!("kind changed");
+        };
+        prop_assert_eq!(got.to_bits(), bits);
+    }
+
+    #[test]
+    fn u64_roundtrips(v in any::<u64>()) {
+        let Msg::U64(got) = roundtrip(&Msg::U64(v)) else {
+            panic!("kind changed");
+        };
+        prop_assert_eq!(got, v);
+    }
+
+    #[test]
+    fn plain_key_roundtrips(frac_bits in 0u32..64) {
+        let pk = PublicKey::Plain { frac_bits };
+        let Msg::Key(got) = roundtrip(&Msg::Key(pk.clone())) else {
+            panic!("kind changed");
+        };
+        prop_assert_eq!(export_public(&got), export_public(&pk));
+    }
+
+    #[test]
+    fn corrupted_frames_never_panic(r in 1usize..=3, flip in 0usize..64, bit in 0u8..8) {
+        // Decoding must reject (or re-interpret) arbitrary single-bit
+        // corruption without panicking.
+        let mut frame = encode_frame(&Msg::Mat(dense(r, 2)));
+        let idx = flip % frame.len();
+        frame[idx] ^= 1 << bit;
+        let _ = decode_frame(&frame);
+    }
+}
+
+#[test]
+fn paillier_key_roundtrips_through_frames() {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    let (pk, _) = bf_paillier::keygen(128, 16, &mut rng);
+    let Msg::Key(got) = roundtrip(&Msg::Key(pk.clone())) else {
+        panic!("kind changed");
+    };
+    assert_eq!(export_public(&got), export_public(&pk));
+}

@@ -18,7 +18,7 @@ use crate::keys::{PaillierPk, PublicKey, SecretKey};
 use crate::obf::Obfuscator;
 
 /// A matrix of ciphertexts (or the Plain backend's `f64`s).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct CtMat {
     rows: usize,
     cols: usize,
@@ -28,13 +28,67 @@ pub struct CtMat {
     body: Body,
 }
 
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 enum Body {
     /// Flat Montgomery-form limbs: entry `(i, j)` occupies
     /// `limbs[(i*cols + j)*k .. +k]`.
     Enc { k: usize, limbs: Vec<u64> },
     /// Plain backend.
     Plain(Vec<f64>),
+}
+
+/// Borrowed view of a [`CtMat`] body used by the byte codec in
+/// [`crate::serial`]. Crate-internal: the wire layout is owned by
+/// `serial`, the in-memory layout by this module.
+pub(crate) enum BodyView<'a> {
+    /// Montgomery-form limbs, `k` per ciphertext.
+    Enc {
+        /// Limbs per ciphertext.
+        k: usize,
+        /// Flat row-major limb buffer.
+        limbs: &'a [u64],
+    },
+    /// Plain-backend values.
+    Plain(&'a [f64]),
+}
+
+impl CtMat {
+    /// Borrow the body for serialization.
+    pub(crate) fn body_view(&self) -> BodyView<'_> {
+        match &self.body {
+            Body::Enc { k, limbs } => BodyView::Enc { k: *k, limbs },
+            Body::Plain(v) => BodyView::Plain(v),
+        }
+    }
+
+    /// Rebuild an encrypted matrix from deserialized parts. The caller
+    /// (the codec) has already validated `limbs.len() == rows*cols*k`.
+    pub(crate) fn from_enc_parts(
+        rows: usize,
+        cols: usize,
+        scale: u8,
+        k: usize,
+        limbs: Vec<u64>,
+    ) -> CtMat {
+        debug_assert_eq!(limbs.len(), rows * cols * k);
+        CtMat {
+            rows,
+            cols,
+            scale,
+            body: Body::Enc { k, limbs },
+        }
+    }
+
+    /// Rebuild a Plain-backend matrix from deserialized parts.
+    pub(crate) fn from_plain_parts(rows: usize, cols: usize, scale: u8, vals: Vec<f64>) -> CtMat {
+        debug_assert_eq!(vals.len(), rows * cols);
+        CtMat {
+            rows,
+            cols,
+            scale,
+            body: Body::Plain(vals),
+        }
+    }
 }
 
 impl CtMat {

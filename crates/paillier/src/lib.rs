@@ -1,11 +1,15 @@
 //! Paillier additive homomorphic encryption and the CryptoTensor layer.
 //!
 //! This crate is the Rust counterpart of the paper's "Cryptography
-//! Acceleration" layer (Section 7.1): a Paillier cryptosystem built on
+//! Acceleration" layer (**§7.1**): a Paillier cryptosystem built on
 //! `bf-bigint` (standing in for GMP) plus a [`CtMat`] abstraction — the
 //! paper's *CryptoTensor* — supporting dense **and sparse** matrix
 //! arithmetic over encrypted tensors, parallelised across cores (the
 //! paper uses OpenMP; we use `crossbeam` scoped threads via `bf-util`).
+//! It underpins the §4 federated source layers and the §5 secure
+//! aggregation in `bf-mpc`/`blindfl`; the [`serial`] module owns the
+//! byte layouts that keys and ciphertext tensors use on the wire
+//! (`docs/WIRE_PROTOCOL.md`).
 //!
 //! # Key objects
 //!
@@ -40,7 +44,9 @@ pub use codec::{decode, encode, encode_exponent, SignedInt};
 pub use ctmat::CtMat;
 pub use keys::{keygen, PaillierPk, PaillierSk, PublicKey, SecretKey};
 pub use obf::{ObfMode, Obfuscator};
-pub use serial::{export_public, export_secret, import_public, import_secret};
+pub use serial::{
+    export_ctmat, export_public, export_secret, import_ctmat, import_public, import_secret,
+};
 
 /// Default fixed-point fractional bits. With 512-bit-and-up moduli this
 /// leaves ample headroom: a scale-2 payload occupies

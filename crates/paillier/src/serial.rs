@@ -1,16 +1,28 @@
-//! Key serialization — hex export/import for persisting and
-//! distributing key material (the paper's deployment exchanges public
-//! keys at initialisation; a production system also needs durable
-//! secret-key storage at each party).
+//! Serialization of key material and ciphertext tensors.
 //!
-//! Format: colon-separated lowercase hex fields with a version/type
-//! prefix, e.g. `bfpk1:<frac_bits>:<n>` and `bfsk1:<frac_bits>:<p>:<q>`.
+//! Two byte-level formats live here:
+//!
+//! * **Keys** — colon-separated lowercase hex fields with a
+//!   version/type prefix, e.g. `bfpk1:<frac_bits>:<n>` and
+//!   `bfsk1:<frac_bits>:<p>:<q>`. The paper's deployment exchanges
+//!   public keys at initialisation; a production system also needs
+//!   durable secret-key storage at each party.
+//! * **[`CtMat`]** — the binary encoding used as the `Ct` payload of
+//!   the wire protocol (see `docs/WIRE_PROTOCOL.md` at the repository
+//!   root): header `rows u64 LE | cols u64 LE | scale u8 | body u8`,
+//!   followed by `rows·cols` IEEE-754 `f64` LE values (body `0`,
+//!   Plain backend) or `k u64 LE` plus `rows·cols·k` Montgomery-form
+//!   limbs as `u64` LE (body `1`, Paillier backend). Ciphertext limbs
+//!   travel verbatim: both parties interpret them against the same
+//!   public modulus, so no Montgomery-domain conversion is needed.
 
 use std::sync::Arc;
 
 use bf_bigint::BigUint;
 
+use crate::ctmat::BodyView;
 use crate::keys::{PaillierPk, PublicKey, SecretKey};
+use crate::CtMat;
 
 /// Serialize a public key.
 pub fn export_public(pk: &PublicKey) -> String {
@@ -67,6 +79,86 @@ pub fn import_secret(s: &str) -> Result<SecretKey, String> {
         }
         Some("bfplainsk1") => Ok(SecretKey::Plain),
         other => Err(format!("unknown key type {other:?}")),
+    }
+}
+
+/// [`CtMat`] body tag: Plain backend (`f64` values follow).
+const CT_BODY_PLAIN: u8 = 0;
+/// [`CtMat`] body tag: Paillier backend (limb count + limbs follow).
+const CT_BODY_ENC: u8 = 1;
+
+/// Serialize a ciphertext tensor to the canonical byte layout (the
+/// `Ct` wire payload).
+pub fn export_ctmat(ct: &CtMat) -> Vec<u8> {
+    let (rows, cols) = ct.shape();
+    let mut out = Vec::with_capacity(18 + 8 * rows * cols);
+    out.extend_from_slice(&(rows as u64).to_le_bytes());
+    out.extend_from_slice(&(cols as u64).to_le_bytes());
+    out.push(ct.scale());
+    match ct.body_view() {
+        BodyView::Plain(vals) => {
+            out.push(CT_BODY_PLAIN);
+            for v in vals {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        BodyView::Enc { k, limbs } => {
+            out.push(CT_BODY_ENC);
+            out.extend_from_slice(&(k as u64).to_le_bytes());
+            for l in limbs {
+                out.extend_from_slice(&l.to_le_bytes());
+            }
+        }
+    }
+    out
+}
+
+/// Deserialize a ciphertext tensor, validating every length field
+/// (malformed input yields `Err`, never a panic or over-allocation).
+pub fn import_ctmat(bytes: &[u8]) -> Result<CtMat, String> {
+    let take_u64 = |off: usize| -> Result<u64, String> {
+        let end = off.checked_add(8).ok_or("offset overflow")?;
+        let s = bytes.get(off..end).ok_or("truncated ctmat header")?;
+        Ok(u64::from_le_bytes(s.try_into().unwrap()))
+    };
+    let rows = usize::try_from(take_u64(0)?).map_err(|_| "rows overflow")?;
+    let cols = usize::try_from(take_u64(8)?).map_err(|_| "cols overflow")?;
+    let scale = *bytes.get(16).ok_or("truncated ctmat header")?;
+    let body = *bytes.get(17).ok_or("truncated ctmat header")?;
+    let n = rows.checked_mul(cols).ok_or("rows*cols overflow")?;
+    match body {
+        CT_BODY_PLAIN => {
+            let want = n.checked_mul(8).ok_or("plain length overflow")?;
+            let data = bytes.get(18..).ok_or("truncated ctmat body")?;
+            if data.len() != want {
+                return Err(format!("plain body length {} != {want}", data.len()));
+            }
+            let vals = data
+                .chunks_exact(8)
+                .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+                .collect();
+            Ok(CtMat::from_plain_parts(rows, cols, scale, vals))
+        }
+        CT_BODY_ENC => {
+            let k = usize::try_from(take_u64(18)?).map_err(|_| "limb count overflow")?;
+            let want = n
+                .checked_mul(k)
+                .and_then(|t| t.checked_mul(8))
+                .ok_or("enc length overflow")?;
+            let data = bytes.get(26..).ok_or("truncated ctmat body")?;
+            if data.len() != want {
+                return Err(format!("enc body length {} != {want}", data.len()));
+            }
+            if n > 0 && k == 0 {
+                return Err("zero limbs per ciphertext".into());
+            }
+            let limbs = data
+                .chunks_exact(8)
+                .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+                .collect();
+            Ok(CtMat::from_enc_parts(rows, cols, scale, k, limbs))
+        }
+        other => Err(format!("unknown ctmat body tag {other}")),
     }
 }
 
@@ -145,5 +237,54 @@ mod tests {
         assert!(import_public("bfpk1:abc:xyz").is_err());
         assert!(import_secret("bfsk1:24:ff").is_err()); // missing q
         assert!(import_public("bfpk1:24:ff:extra").is_err());
+    }
+
+    #[test]
+    fn ctmat_paillier_roundtrip_decrypts() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let (pk, sk) = keygen(256, 24, &mut rng);
+        let obf = Obfuscator::new(&pk, ObfMode::Pool(4), 6);
+        let m = Dense::from_vec(2, 3, vec![1.0, -2.5, 0.0, 7.25, -0.125, 3.0]);
+        let ct = pk.encrypt(&m, &obf);
+        let ct2 = import_ctmat(&export_ctmat(&ct)).unwrap();
+        assert_eq!(ct, ct2);
+        assert!(sk.decrypt(&ct2).approx_eq(&m, 1e-5));
+    }
+
+    #[test]
+    fn ctmat_plain_and_empty_roundtrip() {
+        let (pk, _) = crate::keys::plain_keys(20);
+        let obf = Obfuscator::new(&pk, ObfMode::Pool(2), 0);
+        let m = Dense::from_vec(1, 2, vec![0.5, -4.0]);
+        let ct = pk.encrypt(&m, &obf);
+        assert_eq!(import_ctmat(&export_ctmat(&ct)).unwrap(), ct);
+        // Empty matrix (0 rows) survives too.
+        let empty = pk.encrypt(&Dense::zeros(0, 3), &obf);
+        assert_eq!(import_ctmat(&export_ctmat(&empty)).unwrap(), empty);
+    }
+
+    #[test]
+    fn ctmat_rejects_malformed_bytes() {
+        assert!(import_ctmat(&[]).is_err());
+        assert!(import_ctmat(&[0; 17]).is_err());
+        // Plausible header, wrong body length.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&2u64.to_le_bytes());
+        bytes.extend_from_slice(&2u64.to_le_bytes());
+        bytes.push(1); // scale
+        bytes.push(0); // plain body
+        bytes.extend_from_slice(&[0u8; 8]); // 1 value instead of 4
+        assert!(import_ctmat(&bytes).is_err());
+        // Unknown body tag.
+        let mut bytes = vec![0u8; 18];
+        bytes[17] = 9;
+        assert!(import_ctmat(&bytes).is_err());
+        // Huge claimed dimensions must not allocate.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&u64::MAX.to_le_bytes());
+        bytes.extend_from_slice(&u64::MAX.to_le_bytes());
+        bytes.push(1);
+        bytes.push(0);
+        assert!(import_ctmat(&bytes).is_err());
     }
 }

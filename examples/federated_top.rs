@@ -48,32 +48,36 @@ fn main() {
         &cfg,
         17,
         move |mut sess| {
-            let mut layer = MatMulSource::init(&mut sess, train_a.num_dim(), 1);
+            let mut layer = MatMulSource::init(&mut sess, train_a.num_dim(), 1).unwrap();
             for epoch in 0..epochs {
                 for idx in BatchIter::new(n, bs, 3 ^ epoch as u64) {
                     let xb = train_a.num.as_ref().unwrap().select_rows(&idx);
-                    let z_share = layer.forward_ss(&mut sess, &xb, true);
+                    let z_share = layer.forward_ss(&mut sess, &xb, true).unwrap();
                     let g = SquareLossSsTop::grad_piece_a(&z_share);
-                    layer.backward_ss(&mut sess, &g);
+                    layer.backward_ss(&mut sess, &g).unwrap();
                 }
             }
             // Inference: only now is the *prediction* revealed to B.
-            let z = layer.forward_ss(&mut sess, test_a.num.as_ref().unwrap(), false);
-            sess.ep.send(Msg::Mat(z));
+            let z = layer
+                .forward_ss(&mut sess, test_a.num.as_ref().unwrap(), false)
+                .unwrap();
+            sess.ep.send(Msg::Mat(z)).unwrap();
         },
         move |mut sess| {
-            let mut layer = MatMulSource::init(&mut sess, train_b.num_dim(), 1);
+            let mut layer = MatMulSource::init(&mut sess, train_b.num_dim(), 1).unwrap();
             for epoch in 0..epochs {
                 for idx in BatchIter::new(n, bs, 3 ^ epoch as u64) {
                     let xb = train_b.num.as_ref().unwrap().select_rows(&idx);
                     let yb: Vec<f64> = idx.iter().map(|&i| y[i]).collect();
-                    let z_share = layer.forward_ss(&mut sess, &xb, true);
+                    let z_share = layer.forward_ss(&mut sess, &xb, true).unwrap();
                     let g = SquareLossSsTop::grad_piece_b(&z_share, &yb);
-                    layer.backward_ss(&mut sess, &g);
+                    layer.backward_ss(&mut sess, &g).unwrap();
                 }
             }
-            let z_share = layer.forward_ss(&mut sess, test_b.num.as_ref().unwrap(), false);
-            let z = z_share.add(&sess.ep.recv_mat());
+            let z_share = layer
+                .forward_ss(&mut sess, test_b.num.as_ref().unwrap(), false)
+                .unwrap();
+            let z = z_share.add(&sess.ep.recv_mat().unwrap());
             auc(z.data(), &y_test)
         },
     );

@@ -58,19 +58,19 @@ fn main() {
         b_endpoints.push(ep_b);
         let cfg_a = cfg.clone();
         handles.push(std::thread::spawn(move || {
-            let mut sess = Session::handshake(ep_a, cfg_a, Role::A, 10 + i as u64);
-            let mut layer = MatMulSource::init(&mut sess, x.cols(), 1);
+            let mut sess = Session::handshake(ep_a, cfg_a, Role::A, 10 + i as u64).unwrap();
+            let mut layer = MatMulSource::init(&mut sess, x.cols(), 1).unwrap();
             for epoch in 0..epochs {
                 for idx in BatchIter::new(n, bs, 7 ^ epoch as u64) {
                     let xb = x.select_rows(&idx);
-                    let z = layer.forward(&mut sess, &xb, true);
-                    aggregate_a(&sess, z);
-                    layer.backward_a(&mut sess);
+                    let z = layer.forward(&mut sess, &xb, true).unwrap();
+                    aggregate_a(&sess, z).unwrap();
+                    layer.backward_a(&mut sess).unwrap();
                 }
             }
             // Federated inference on the test split.
-            let z = layer.forward(&mut sess, &t, false);
-            aggregate_a(&sess, z);
+            let z = layer.forward(&mut sess, &t, false).unwrap();
+            aggregate_a(&sess, z).unwrap();
         }));
     }
 
@@ -78,21 +78,21 @@ fn main() {
     let mut sessions: Vec<Session> = b_endpoints
         .into_iter()
         .enumerate()
-        .map(|(i, ep)| Session::handshake(ep, cfg.clone(), Role::B, 20 + i as u64))
+        .map(|(i, ep)| Session::handshake(ep, cfg.clone(), Role::B, 20 + i as u64).unwrap())
         .collect();
-    let mut layer = MultiMatMulB::init(&mut sessions, xb.cols(), 1);
+    let mut layer = MultiMatMulB::init(&mut sessions, xb.cols(), 1).unwrap();
     let mut last_loss = f64::NAN;
     for epoch in 0..epochs {
         for idx in BatchIter::new(n, bs, 7 ^ epoch as u64) {
             let x_batch = xb.select_rows(&idx);
             let y_batch: Vec<f64> = idx.iter().map(|&i| y[i]).collect();
-            let z = layer.forward(&mut sessions, &x_batch, true);
+            let z = layer.forward(&mut sessions, &x_batch, true).unwrap();
             let (loss, grad) = bce_with_logits(&z, &y_batch);
             last_loss = loss;
-            layer.backward(&mut sessions, &grad);
+            layer.backward(&mut sessions, &grad).unwrap();
         }
     }
-    let z_test = layer.forward(&mut sessions, &tb, false);
+    let z_test = layer.forward(&mut sessions, &tb, false).unwrap();
     for h in handles {
         h.join().unwrap();
     }

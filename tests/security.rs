@@ -35,14 +35,15 @@ fn run_and_audit(fed_spec: FedSpec) -> (Vec<&'static str>, Vec<&'static str>) {
             let train_a = train_v.party_a.clone();
             let test_a = test_v.party_a.clone();
             move |mut sess| {
-                let mut model = blindfl::models::PartyAModel::init(&mut sess, &spec, &train_a);
+                let mut model =
+                    blindfl::models::PartyAModel::init(&mut sess, &spec, &train_a).unwrap();
                 for idx in bf_ml::data::BatchIter::new(train_a.rows(), 64, batch_seed) {
                     let batch = train_a.select(&idx);
-                    model.forward(&mut sess, &batch, true);
-                    model.backward(&mut sess);
+                    model.forward(&mut sess, &batch, true).unwrap();
+                    model.backward(&mut sess).unwrap();
                 }
                 let batch = test_a.select(&(0..32).collect::<Vec<_>>());
-                model.forward(&mut sess, &batch, false);
+                model.forward(&mut sess, &batch, false).unwrap();
                 sess.ep.stats().clone()
             }
         },
@@ -51,13 +52,14 @@ fn run_and_audit(fed_spec: FedSpec) -> (Vec<&'static str>, Vec<&'static str>) {
             let train_b = train_v.party_b.clone();
             let test_b = test_v.party_b.clone();
             move |mut sess| {
-                let mut model = blindfl::models::PartyBModel::init(&mut sess, &spec, &train_b);
+                let mut model =
+                    blindfl::models::PartyBModel::init(&mut sess, &spec, &train_b).unwrap();
                 for idx in bf_ml::data::BatchIter::new(train_b.rows(), 64, batch_seed) {
                     let batch = train_b.select(&idx);
-                    model.train_batch(&mut sess, &batch);
+                    model.train_batch(&mut sess, &batch).unwrap();
                 }
                 let batch = test_b.select(&(0..32).collect::<Vec<_>>());
-                model.predict_batch(&mut sess, &batch);
+                model.predict_batch(&mut sess, &batch).unwrap();
                 sess.ep.stats().clone()
             }
         },
@@ -120,11 +122,12 @@ fn ablation_mode_does_leak_plaintext() {
             let test_a = test_v.party_a.clone();
             move |mut sess| {
                 let spec = FedSpec::Glm { out: 1 };
-                let mut model = blindfl::models::PartyAModel::init(&mut sess, &spec, &train_a);
+                let mut model =
+                    blindfl::models::PartyAModel::init(&mut sess, &spec, &train_a).unwrap();
                 for idx in bf_ml::data::BatchIter::new(train_a.rows(), 64, batch_seed) {
                     let batch = train_a.select(&idx);
-                    model.forward(&mut sess, &batch, true);
-                    model.backward(&mut sess);
+                    model.forward(&mut sess, &batch, true).unwrap();
+                    model.backward(&mut sess).unwrap();
                 }
                 let _ = &test_a;
                 sess.ep.stats().clone()
@@ -134,10 +137,11 @@ fn ablation_mode_does_leak_plaintext() {
             let train_b = train_v.party_b.clone();
             move |mut sess| {
                 let spec = FedSpec::Glm { out: 1 };
-                let mut model = blindfl::models::PartyBModel::init(&mut sess, &spec, &train_b);
+                let mut model =
+                    blindfl::models::PartyBModel::init(&mut sess, &spec, &train_b).unwrap();
                 for idx in bf_ml::data::BatchIter::new(train_b.rows(), 64, batch_seed) {
                     let batch = train_b.select(&idx);
-                    model.train_batch(&mut sess, &batch);
+                    model.train_batch(&mut sess, &batch).unwrap();
                 }
                 sess.ep.stats().clone()
             }

@@ -15,7 +15,7 @@ use std::any::Any;
 pub mod thread {
     use super::Any;
 
-    /// Result of a [`scope`](super::scope) call: `Err` holds the panic
+    /// Result of a [`scope`] call: `Err` holds the panic
     /// payload if any spawned thread panicked.
     pub type ScopeResult<R> = Result<R, Box<dyn Any + Send + 'static>>;
 

@@ -5,7 +5,7 @@ use rand::Rng;
 
 use crate::Strategy;
 
-/// Size specifications accepted by [`vec`]: an exact length, a
+/// Size specifications accepted by [`vec`](fn@vec): an exact length, a
 /// half-open range, or an inclusive range.
 pub trait IntoSizeRange {
     /// Inclusive `(min, max)` length bounds.
