@@ -46,6 +46,7 @@ fn trained_pairs(name: &str, spec: FedSpec, embed: bool) -> Vec<(f64, f64)> {
             ..Default::default()
         },
         snapshot_u_a: false,
+        ..Default::default()
     };
     let outcome = train_federated(
         &spec,

@@ -176,6 +176,7 @@ fn run_case(case: &Case) -> Vec<String> {
     let ftc = FedTrainConfig {
         base: tc.clone(),
         snapshot_u_a: false,
+        ..Default::default()
     };
     let outcome = train_federated(
         &fed_spec,

@@ -148,6 +148,7 @@ fn fed_attack_curve(
             ..Default::default()
         },
         snapshot_u_a: true,
+        ..Default::default()
     };
     let outcome = train_federated(
         &FedSpec::Glm { out },

@@ -98,6 +98,7 @@ fn fig15() {
     let ftc = FedTrainConfig {
         base: tc,
         snapshot_u_a: false,
+        ..Default::default()
     };
     let outcome = train_federated(
         &FedSpec::Mlp { widths },

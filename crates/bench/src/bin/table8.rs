@@ -44,6 +44,7 @@ fn main() {
                 ..Default::default()
             },
             snapshot_u_a: false,
+            ..Default::default()
         };
         let mut sw = Stopwatch::new();
         sw.start();
@@ -77,6 +78,7 @@ fn main() {
                 ..Default::default()
             },
             snapshot_u_a: false,
+            ..Default::default()
         };
         let outcome = train_federated(
             &FedSpec::Mlp {

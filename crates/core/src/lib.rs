@@ -40,6 +40,10 @@
 //!   WDL, DLRM) and the training/inference runtime
 //!   ([`train::run_party_a`] / [`train::run_party_b`] per party,
 //!   [`train::train_federated`] as the two-thread harness).
+//! * [`engine`] — the pipelined mini-batch engine:
+//!   [`engine::TrainMode`] selects between the lock-step loop and the
+//!   queue-decoupled, double-buffered pipeline (bit-identical results;
+//!   see the module docs for the determinism contract).
 //!
 //! # Quickstart
 //!
@@ -51,6 +55,7 @@
 
 #![allow(clippy::too_many_arguments)] // protocol functions mirror the paper's parameter lists
 pub mod config;
+pub mod engine;
 pub mod inspect;
 pub mod models;
 pub mod multiparty;
@@ -60,6 +65,7 @@ pub mod source;
 pub mod train;
 
 pub use config::{Backend, FedConfig, GradMode};
+pub use engine::TrainMode;
 pub use models::FedSpec;
 pub use session::Session;
 pub use train::{train_federated, FedOutcome, FedReport, FedTrainConfig};

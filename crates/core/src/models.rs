@@ -14,6 +14,7 @@ use bf_ml::models::loss_and_grad;
 use bf_mpc::transport::TransportResult;
 use bf_tensor::Dense;
 
+use crate::engine::Stage;
 use crate::session::Session;
 use crate::source::matmul::{aggregate_a, aggregate_b};
 use crate::source::{EmbedSource, MatMulSource};
@@ -288,6 +289,7 @@ impl PartyBModel {
             None => None,
         };
         let mut cache = FwdCache::default();
+        let _t = sess.stages.timer(Stage::TopLocal);
         let logits = match &mut self.top {
             Top::Bias(bias) => bias.forward(z_num.as_ref().unwrap()),
             Top::Tower { bias, act, tower } => {
@@ -325,6 +327,7 @@ impl PartyBModel {
         grad_logits: &Dense,
         cache: &FwdCache,
     ) -> TransportResult<()> {
+        let top_timer = sess.stages.timer(Stage::TopLocal);
         let (grad_z_num, grad_z_cat): (Option<Dense>, Option<Dense>) = match &mut self.top {
             Top::Bias(bias) => {
                 bias.backward(grad_logits);
@@ -365,6 +368,7 @@ impl PartyBModel {
                 (Some(gn), Some(gc))
             }
         };
+        drop(top_timer);
         // Reverse order (Embed then MatMul) to mirror Party A.
         if let Some(em) = &mut self.embed {
             em.backward_b(sess, grad_z_cat.as_ref().expect("missing ∇Z_cat"))?;

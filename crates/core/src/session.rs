@@ -8,12 +8,15 @@
 //! [`bf_mpc::Endpoint::tcp_accept`]) to run the party as its own
 //! process — see `examples/tcp_federated_lr.rs`.
 
+use std::sync::Arc;
+
 use bf_mpc::transport::{Endpoint, Msg, TransportResult};
 use bf_paillier::{keygen, keys::plain_keys, Obfuscator, PublicKey, SecretKey};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::config::{Backend, FedConfig};
+use crate::engine::StageTimes;
 
 /// Which role this party plays. Party B holds the labels.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -56,6 +59,9 @@ pub struct Session {
     /// Mask RNG (each party's masks must be private to it, so the two
     /// sessions use independent seeds).
     pub rng: StdRng,
+    /// Per-stage wall-clock attribution (see [`crate::engine`]); the
+    /// source layers time themselves into this, the trainers report it.
+    pub stages: Arc<StageTimes>,
 }
 
 impl Session {
@@ -89,6 +95,7 @@ impl Session {
             peer_pk,
             ep,
             rng,
+            stages: Arc::new(StageTimes::default()),
         })
     }
 

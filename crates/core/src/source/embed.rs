@@ -24,6 +24,7 @@ use bf_mpc::transport::{Msg, TransportResult};
 use bf_paillier::CtMat;
 use bf_tensor::{CatBlock, Dense, Features};
 
+use crate::engine::Stage;
 use crate::session::{Role, Session};
 use crate::source::matmul::shared_matmul_fw;
 use crate::source::step_piece;
@@ -166,6 +167,7 @@ impl EmbedSource {
         x: &CatBlock,
         train: bool,
     ) -> TransportResult<Dense> {
+        let _t = sess.stages.timer(Stage::FedEmbed);
         // Stage 1 — secret-shared embeddings (lines 5–7): lookup over
         // the encrypted peer piece, HE2SS, add the plaintext piece.
         let lk = sess.peer_pk.lkup(&self.enc_t_own, x);
@@ -210,11 +212,17 @@ impl EmbedSource {
         let e_peer = self.cached_e_peer.take().expect("backward before forward");
 
         // Line 12: send ⟦∇Z⟧ and ⟦∇Z·V_Aᵀ⟧ (V_A is B's piece of A's W).
-        sess.ep
-            .send(Msg::Ct(sess.own_pk.encrypt(grad_z, &sess.obf)))?;
-        let gzva = grad_z.matmul_t(&self.v_peer);
-        sess.ep
-            .send(Msg::Ct(sess.own_pk.encrypt_at_scale(&gzva, 2, &sess.obf)))?;
+        let (ct_gz, ct_gzva) = {
+            let _t = sess.stages.timer(Stage::EncryptUpload);
+            let gzva = grad_z.matmul_t(&self.v_peer);
+            (
+                sess.own_pk.encrypt(grad_z, &sess.obf),
+                sess.own_pk.encrypt_at_scale(&gzva, 2, &sess.obf),
+            )
+        };
+        sess.ep.send(Msg::Ct(ct_gz))?;
+        sess.ep.send(Msg::Ct(ct_gzva))?;
+        let _t = sess.stages.timer(Stage::DecryptUpdate);
 
         // ⟦∇E_B⟧ must use the *forward-pass* weights, so compute it now,
         // before any weight piece or cache is updated below:
@@ -318,6 +326,7 @@ impl EmbedSource {
     /// Backward propagation, Party A side (Figure 7, lines 12–26).
     pub fn backward_a(&mut self, sess: &mut Session) -> TransportResult<()> {
         assert_eq!(sess.role, Role::A, "backward_a on Party B");
+        let _t = sess.stages.timer(Stage::DecryptUpdate);
         let x = self.cached_x.take().expect("backward before forward");
         let psi = self.cached_psi.take().expect("backward before forward");
         let e_peer = self.cached_e_peer.take().expect("backward before forward");

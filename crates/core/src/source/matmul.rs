@@ -25,6 +25,7 @@ use bf_paillier::CtMat;
 use bf_tensor::{Dense, Features};
 
 use crate::config::GradMode;
+use crate::engine::Stage;
 use crate::session::{Role, Session};
 
 /// One party's half of a MatMul federated source layer.
@@ -127,6 +128,7 @@ impl MatMulSource {
         x: &Features,
         train: bool,
     ) -> TransportResult<Dense> {
+        let _t = sess.stages.timer(Stage::FedMatmul);
         let z_own = shared_matmul_fw(sess, x, &self.u_own, &self.enc_v_own)?;
         if train {
             self.cached_support = x.col_support();
@@ -140,8 +142,12 @@ impl MatMulSource {
     pub fn backward_b(&mut self, sess: &mut Session, grad_z: &Dense) -> TransportResult<()> {
         assert_eq!(sess.role, Role::B, "backward_b on Party A");
         // Line 9: encrypt ∇Z for Party A.
-        sess.ep
-            .send(Msg::Ct(sess.own_pk.encrypt(grad_z, &sess.obf)))?;
+        let ct_gz = {
+            let _t = sess.stages.timer(Stage::EncryptUpload);
+            sess.own_pk.encrypt(grad_z, &sess.obf)
+        };
+        sess.ep.send(Msg::Ct(ct_gz))?;
+        let _t = sess.stages.timer(Stage::DecryptUpdate);
 
         // Line 11 (right): ∇W_B = X_Bᵀ∇Z locally, lazy momentum on the
         // batch support.
@@ -188,6 +194,7 @@ impl MatMulSource {
     /// Backward propagation, Party A side (Figure 6, lines 9–12).
     pub fn backward_a(&mut self, sess: &mut Session) -> TransportResult<()> {
         assert_eq!(sess.role, Role::A, "backward_a on Party B");
+        let _t = sess.stages.timer(Stage::DecryptUpdate);
         let ct_gz = sess.ep.recv_ct()?;
         let x = self.cached_x.take().expect("backward before forward");
         let support = std::mem::take(&mut self.cached_support);

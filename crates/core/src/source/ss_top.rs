@@ -22,6 +22,7 @@ use bf_mpc::convert::{he2ss_holder, he2ss_peer, ss2he};
 use bf_mpc::transport::{Msg, TransportResult};
 use bf_tensor::{Dense, Features};
 
+use crate::engine::Stage;
 use crate::session::Session;
 use crate::source::matmul::MatMulSource;
 use crate::source::step_piece;
@@ -45,6 +46,7 @@ impl MatMulSource {
     /// symmetric in both parties: `grad_piece` is this party's share of
     /// `∇Z`.
     pub fn backward_ss(&mut self, sess: &mut Session, grad_piece: &Dense) -> TransportResult<()> {
+        let _t = sess.stages.timer(Stage::SsTop);
         // Line 3: ⟨ε, ∇Z−ε⟩ → ⟦∇Z⟧ under the *peer's* key at each side.
         let ct_gz = ss2he(&sess.ep, &sess.own_pk, &sess.obf, &sess.peer_pk, grad_piece)?;
 

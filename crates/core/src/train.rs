@@ -9,14 +9,21 @@
 //! PSI-aligned instances, so a common ordering is free), so no control
 //! messages are needed: the protocols' own message flow is the only
 //! cross-party traffic.
+//!
+//! [`FedTrainConfig::mode`] selects the scheduling engine: the
+//! lock-step loop ([`TrainMode::Sync`]) or the pipelined engine
+//! ([`TrainMode::Pipelined`]) which queue-decouples the transport and
+//! double-buffers batch preparation — bit-identical results, less
+//! wall-clock (see [`crate::engine`] for the determinism contract).
 
-use bf_ml::data::{BatchIter, Dataset};
+use bf_ml::data::Dataset;
 use bf_ml::train::metric_from_logits;
 use bf_mpc::transport::TransportResult;
 use bf_tensor::Dense;
 use bf_util::Stopwatch;
 
 use crate::config::FedConfig;
+use crate::engine::{run_epoch, TrainMode};
 use crate::models::{FedSpec, PartyAModel, PartyBModel};
 use crate::session::{run_pair, Session};
 
@@ -29,6 +36,10 @@ pub struct FedTrainConfig {
     /// Capture Party A's `U_A` after every epoch (used by the Figure 9
     /// activation-attack harness).
     pub snapshot_u_a: bool,
+    /// Scheduling engine (defaults to the lock-step [`TrainMode::Sync`];
+    /// both parties may choose independently — the modes are pure
+    /// wall-clock scheduling and never change math or wire content).
+    pub mode: TrainMode,
 }
 
 /// Outcome of a federated training run.
@@ -47,6 +58,8 @@ pub struct FedReport {
     pub bytes_b_to_a: u64,
     /// Party A's `U_A` snapshots per epoch, if requested.
     pub u_a_snapshots: Vec<Dense>,
+    /// Party B's wall-clock per pipeline stage, `(label, secs)`.
+    pub stage_secs: Vec<(&'static str, f64)>,
 }
 
 /// Everything a federated run returns: the report plus both trained
@@ -108,6 +121,7 @@ pub fn train_federated(
             bytes_a_to_b: party_a_res.bytes_sent,
             bytes_b_to_a: party_b_res.bytes_sent,
             u_a_snapshots: party_a_res.u_a_snapshots,
+            stage_secs: party_b_res.stage_secs,
         },
         party_a: party_a_res.model,
         party_b: party_b_res.model,
@@ -122,6 +136,9 @@ pub struct PartyARun {
     pub u_a_snapshots: Vec<Dense>,
     /// Bytes this party sent over the whole run.
     pub bytes_sent: u64,
+    /// Wall-clock per pipeline stage, `(label, secs)` (see
+    /// [`crate::engine::Stage`]).
+    pub stage_secs: Vec<(&'static str, f64)>,
 }
 
 /// What [`run_party_b`] produces.
@@ -138,6 +155,19 @@ pub struct PartyBRun {
     pub train_secs: f64,
     /// Bytes this party sent over the whole run.
     pub bytes_sent: u64,
+    /// Wall-clock per pipeline stage, `(label, secs)` (see
+    /// [`crate::engine::Stage`]).
+    pub stage_secs: Vec<(&'static str, f64)>,
+}
+
+/// Switch the session's transport into pipelined mode if the training
+/// mode calls for it (idempotent; the handshake already happened over
+/// the blocking transport, which is fine — mode changes scheduling
+/// only).
+fn apply_mode(sess: &mut Session, mode: TrainMode) {
+    if let TrainMode::Pipelined { queue_depth, .. } = mode {
+        sess.ep.make_pipelined(queue_depth);
+    }
 }
 
 /// Party A's side of a full training + federated-inference run. Works
@@ -150,19 +180,20 @@ pub fn run_party_a(
     train: &Dataset,
     test: &Dataset,
 ) -> TransportResult<PartyARun> {
+    apply_mode(sess, tc.mode);
     let mut model = PartyAModel::init(sess, spec, train)?;
     let mut snapshots = Vec::new();
     for epoch in 0..tc.base.epochs {
-        let iter = BatchIter::new(
-            train.rows(),
+        run_epoch(
+            tc.mode,
+            train,
             tc.base.batch_size,
             tc.base.seed ^ epoch as u64,
-        );
-        for idx in iter {
-            let batch = train.select(&idx);
-            model.forward(sess, &batch, true)?;
-            model.backward(sess)?;
-        }
+            |batch| {
+                model.forward(sess, &batch, true)?;
+                model.backward(sess)
+            },
+        )?;
         if tc.snapshot_u_a {
             if let Some(mm) = model.matmul() {
                 snapshots.push(mm.u_own().clone());
@@ -179,6 +210,7 @@ pub fn run_party_a(
         model,
         u_a_snapshots: snapshots,
         bytes_sent: bytes,
+        stage_secs: sess.stages.snapshot(),
     })
 }
 
@@ -192,20 +224,22 @@ pub fn run_party_b(
     train: &Dataset,
     test: &Dataset,
 ) -> TransportResult<PartyBRun> {
+    apply_mode(sess, tc.mode);
     let mut model = PartyBModel::init(sess, spec, train)?;
     let mut losses = Vec::new();
     let mut sw = Stopwatch::new();
     sw.start();
     for epoch in 0..tc.base.epochs {
-        let iter = BatchIter::new(
-            train.rows(),
+        run_epoch(
+            tc.mode,
+            train,
             tc.base.batch_size,
             tc.base.seed ^ epoch as u64,
-        );
-        for idx in iter {
-            let batch = train.select(&idx);
-            losses.push(model.train_batch(sess, &batch)?);
-        }
+            |batch| {
+                losses.push(model.train_batch(sess, &batch)?);
+                TransportResult::Ok(())
+            },
+        )?;
     }
     sw.stop();
 
@@ -228,6 +262,7 @@ pub fn run_party_b(
         test_metric: metric,
         train_secs: sw.secs(),
         bytes_sent: bytes,
+        stage_secs: sess.stages.snapshot(),
     })
 }
 
@@ -251,6 +286,7 @@ mod tests {
                 ..Default::default()
             },
             snapshot_u_a: false,
+            ..Default::default()
         };
         let outcome = train_federated(
             &FedSpec::Glm { out: 1 },
@@ -288,6 +324,58 @@ mod tests {
     }
 
     #[test]
+    fn pipelined_mode_is_bit_identical_to_sync() {
+        // The engine's determinism contract, at unit-test scale: same
+        // seed, Sync vs Pipelined → the exact same floats and the exact
+        // same traffic totals (the full 4-way × backend matrix lives in
+        // tests/pipeline_parity.rs).
+        let ds_spec = dataset_spec("a9a").scaled(40, 1);
+        let (train_ds, test_ds) = generate(&ds_spec, 19);
+        let train_v = vsplit(&train_ds);
+        let test_v = vsplit(&test_ds);
+        let cfg = FedConfig::plain();
+        let run = |mode: crate::engine::TrainMode| {
+            let tc = FedTrainConfig {
+                base: bf_ml::TrainConfig {
+                    epochs: 3,
+                    batch_size: 16,
+                    ..Default::default()
+                },
+                snapshot_u_a: true,
+                mode,
+            };
+            train_federated(
+                &FedSpec::Glm { out: 1 },
+                &cfg,
+                &tc,
+                train_v.party_a.clone(),
+                train_v.party_b.clone(),
+                test_v.party_a.clone(),
+                test_v.party_b.clone(),
+                31,
+            )
+        };
+        let sync = run(crate::engine::TrainMode::Sync);
+        let pipe = run(crate::engine::TrainMode::pipelined());
+        assert_eq!(sync.report.losses, pipe.report.losses);
+        assert_eq!(sync.report.test_metric, pipe.report.test_metric);
+        assert_eq!(sync.report.bytes_a_to_b, pipe.report.bytes_a_to_b);
+        assert_eq!(sync.report.bytes_b_to_a, pipe.report.bytes_b_to_a);
+        assert_eq!(
+            sync.report.u_a_snapshots.len(),
+            pipe.report.u_a_snapshots.len()
+        );
+        for (s, p) in sync
+            .report
+            .u_a_snapshots
+            .iter()
+            .zip(&pipe.report.u_a_snapshots)
+        {
+            assert_eq!(s.data(), p.data());
+        }
+    }
+
+    #[test]
     fn federated_matches_collocated_lossless() {
         // The headline lossless property (Figure 12), verified exactly:
         // a plaintext model initialised with the *reconstructed*
@@ -308,6 +396,7 @@ mod tests {
                     ..Default::default()
                 },
                 snapshot_u_a: false,
+                ..Default::default()
             };
             train_federated(
                 &FedSpec::Glm { out: 1 },
@@ -398,6 +487,7 @@ mod tests {
                 ..Default::default()
             },
             snapshot_u_a: true,
+            ..Default::default()
         };
         let outcome = train_federated(
             &FedSpec::Wdl {

@@ -42,6 +42,7 @@ mod smoke {
                 ..Default::default()
             },
             snapshot_u_a: false,
+            ..Default::default()
         };
         let outcome = train_federated(
             &FedSpec::Glm { out: 1 },

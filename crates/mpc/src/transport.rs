@@ -21,15 +21,29 @@
 //! Table 7/8 numbers — are identical whether a run is in-process or
 //! cross-process. [`NetworkProfile`] simulation likewise applies to
 //! both.
+//!
+//! # Pipelined mode
+//!
+//! Either backend can be converted in place into a **pipelined**
+//! endpoint ([`Endpoint::make_pipelined`]): `send` then enqueues onto a
+//! bounded queue drained by a dedicated writer thread (which owns the
+//! physical send half and the simulated [`NetworkProfile`]), and a
+//! reader thread eagerly drains the physical receive half into a
+//! bounded inbox. The caller's compute thus overlaps wire time instead
+//! of sleeping through it. Message *content*, *order*, and
+//! [`TrafficStats`] accounting are identical to the blocking mode —
+//! pipelining reorders wall-clock work, never bytes (the determinism
+//! contract `tests/pipeline_parity.rs` enforces).
 
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use bf_paillier::{CtMat, PublicKey};
 use bf_tensor::Dense;
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 
 use crate::wire;
@@ -199,6 +213,90 @@ enum Wire {
         writer: Mutex<BufWriter<TcpStream>>,
         reader: Mutex<BufReader<TcpStream>>,
     },
+    /// Queue-decoupled wrapper over either backend: sends enqueue onto
+    /// a writer thread, receives pop a reader thread's prefetch inbox
+    /// (see [`Endpoint::make_pipelined`]).
+    Pipelined(Pipelined),
+}
+
+/// State of a pipelined endpoint. Outbox entries carry their enqueue
+/// time so the writer can schedule simulated delivery relative to when
+/// the protocol produced the message, not to when the writer finished
+/// the previous one (that is what lets propagation latency pipeline).
+struct Pipelined {
+    /// Bounded outbox; `None` only transiently during drop.
+    tx_q: Option<Sender<(Msg, Instant)>>,
+    /// Bounded inbox filled by the reader thread.
+    rx_q: Receiver<TransportResult<Msg>>,
+    /// Writer thread handle, joined on drop so queued tail messages
+    /// reach the wire before the endpoint disappears.
+    writer: Option<std::thread::JoinHandle<()>>,
+    /// Messages the writer has put on the wire so far. Drop watches
+    /// this to tell "writer is draining a slow (simulated) link" from
+    /// "writer is stuck on a peer that stopped reading".
+    progress: Arc<AtomicU64>,
+    /// First writer-side failure, surfaced on the next `send`.
+    send_err: Arc<Mutex<Option<TransportError>>>,
+    /// TCP backend only: a clone of the stream kept for teardown. The
+    /// reader thread holds its own duplicated fd blocked in `read`, so
+    /// without an explicit `shutdown` the kernel would never send FIN
+    /// when this endpoint drops, and the peer's blocking `recv` would
+    /// hang instead of returning `Disconnected`.
+    tcp: Option<TcpStream>,
+}
+
+/// Write one `Msg` as a wire frame. Header and payload are written
+/// separately: Ct payloads are megabytes, and a contiguous
+/// `encode_frame` buffer would re-copy every one of them on the hot
+/// path. Shared by the blocking TCP path and the pipelined writer.
+fn write_frame(w: &mut impl Write, msg: &Msg) -> TransportResult<()> {
+    let payload = wire::encode_payload(msg);
+    let header = wire::frame_header(msg, &payload);
+    w.write_all(&header)?;
+    w.write_all(&payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read one wire frame into a `Msg`. Shared by the blocking TCP path
+/// and the pipelined reader.
+fn read_frame(r: &mut impl Read) -> TransportResult<Msg> {
+    let mut header = [0u8; wire::HEADER_LEN];
+    r.read_exact(&mut header)?;
+    let (kind, len) = wire::decode_header(&header)?;
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(wire::decode_payload(kind, &payload)?)
+}
+
+/// Exclusive send half handed to a pipelined writer thread.
+enum SendHalf {
+    Channel(Sender<Msg>),
+    Tcp(BufWriter<TcpStream>),
+}
+
+impl SendHalf {
+    fn send(&mut self, msg: Msg) -> TransportResult<()> {
+        match self {
+            SendHalf::Channel(tx) => tx.send(msg).map_err(|_| TransportError::Disconnected),
+            SendHalf::Tcp(w) => write_frame(w, &msg),
+        }
+    }
+}
+
+/// Exclusive receive half handed to a pipelined reader thread.
+enum RecvHalf {
+    Channel(Receiver<Msg>),
+    Tcp(BufReader<TcpStream>),
+}
+
+impl RecvHalf {
+    fn recv(&mut self) -> TransportResult<Msg> {
+        match self {
+            RecvHalf::Channel(rx) => rx.recv().map_err(|_| TransportError::Disconnected),
+            RecvHalf::Tcp(r) => read_frame(r),
+        }
+    }
 }
 
 /// One party's end of a duplex link (in-process or TCP).
@@ -222,17 +320,17 @@ impl Endpoint {
         }
         match &self.wire {
             Wire::Channel { tx, .. } => tx.send(msg).map_err(|_| TransportError::Disconnected),
-            Wire::Tcp { writer, .. } => {
-                // Write header and payload separately: Ct payloads are
-                // megabytes, and `encode_frame`'s contiguous buffer
-                // would re-copy every one of them on the hot path.
-                let payload = wire::encode_payload(&msg);
-                let header = wire::frame_header(&msg, &payload);
-                let mut w = writer.lock();
-                w.write_all(&header)?;
-                w.write_all(&payload)?;
-                w.flush()?;
-                Ok(())
+            Wire::Tcp { writer, .. } => write_frame(&mut *writer.lock(), &msg),
+            Wire::Pipelined(p) => {
+                let q = p.tx_q.as_ref().expect("pipelined outbox present");
+                q.send((msg, Instant::now())).map_err(|_| {
+                    // Writer thread died: surface its error once, then
+                    // a generic disconnect.
+                    p.send_err
+                        .lock()
+                        .take()
+                        .unwrap_or(TransportError::Disconnected)
+                })
             }
         }
     }
@@ -241,15 +339,12 @@ impl Endpoint {
     pub fn recv(&self) -> TransportResult<Msg> {
         match &self.wire {
             Wire::Channel { rx, .. } => rx.recv().map_err(|_| TransportError::Disconnected),
-            Wire::Tcp { reader, .. } => {
-                let mut r = reader.lock();
-                let mut header = [0u8; wire::HEADER_LEN];
-                r.read_exact(&mut header)?;
-                let (kind, len) = wire::decode_header(&header)?;
-                let mut payload = vec![0u8; len as usize];
-                r.read_exact(&mut payload)?;
-                Ok(wire::decode_payload(kind, &payload)?)
-            }
+            Wire::Tcp { reader, .. } => read_frame(&mut *reader.lock()),
+            Wire::Pipelined(p) => match p.rx_q.recv() {
+                Ok(res) => res,
+                // Reader thread gone after delivering its final error.
+                Err(_) => Err(TransportError::Disconnected),
+            },
         }
     }
 
@@ -366,6 +461,182 @@ impl Endpoint {
         let (stream, _) = listener.accept()?;
         Endpoint::from_tcp_stream(stream)
     }
+
+    /// Convert this endpoint into **pipelined** mode in place (no-op if
+    /// already pipelined).
+    ///
+    /// After conversion, `send` enqueues onto a bounded queue of
+    /// `depth` messages (blocking only when the queue is full —
+    /// backpressure, bounding memory) and returns immediately; a
+    /// dedicated writer thread performs the physical sends, including
+    /// any [`NetworkProfile`] delay attached at conversion time. A
+    /// reader thread symmetrically prefetches up to `depth` incoming
+    /// messages.
+    ///
+    /// Semantics preserved exactly: message order, message bytes, and
+    /// [`TrafficStats`] accounting (still performed on the calling
+    /// thread, in call order) are identical to the blocking mode. Only
+    /// wall-clock scheduling changes. One deliberate difference in the
+    /// *simulated* network: the blocking mode models a stop-and-wait
+    /// link (each send sleeps `latency + bytes/bw` inline), while the
+    /// pipelined writer models a streaming link — serialisation
+    /// occupies the link back-to-back and propagation latency is
+    /// pipelined across in-flight messages, which is how a real TCP
+    /// stream behaves. Delivery order is unchanged.
+    pub fn make_pipelined(&mut self, depth: usize) {
+        assert!(depth >= 1, "pipeline depth must be at least 1");
+        if matches!(self.wire, Wire::Pipelined(_)) {
+            return;
+        }
+        // Swap in a throwaway channel wire so we can take ownership of
+        // the real one (its halves move into the worker threads).
+        let (dummy_tx, dummy_rx) = unbounded();
+        let inner = std::mem::replace(
+            &mut self.wire,
+            Wire::Channel {
+                tx: dummy_tx,
+                rx: dummy_rx,
+            },
+        );
+        let (send_half, recv_half, tcp) = match inner {
+            Wire::Channel { tx, rx } => (SendHalf::Channel(tx), RecvHalf::Channel(rx), None),
+            Wire::Tcp { writer, reader } => {
+                let writer = writer.into_inner();
+                let tcp = writer.get_ref().try_clone().ok();
+                (
+                    SendHalf::Tcp(writer),
+                    RecvHalf::Tcp(reader.into_inner()),
+                    tcp,
+                )
+            }
+            Wire::Pipelined(_) => unreachable!("checked above"),
+        };
+        // The writer thread takes over the simulated network: inline
+        // sleeps on the caller are exactly what pipelining removes.
+        let net = self.net.take();
+        let send_err = Arc::new(Mutex::new(None));
+        let err_slot = Arc::clone(&send_err);
+        let progress = Arc::new(AtomicU64::new(0));
+        let progress_w = Arc::clone(&progress);
+        let (tx_q, out_q) = bounded(depth);
+        let (in_q, rx_q) = bounded(depth);
+        let writer = std::thread::Builder::new()
+            .name("bf-mpc-writer".into())
+            .spawn(move || writer_loop(send_half, out_q, net, progress_w, err_slot))
+            .expect("spawn transport writer");
+        std::thread::Builder::new()
+            .name("bf-mpc-reader".into())
+            .spawn(move || reader_loop(recv_half, in_q))
+            .expect("spawn transport reader");
+        self.wire = Wire::Pipelined(Pipelined {
+            tx_q: Some(tx_q),
+            rx_q,
+            writer: Some(writer),
+            progress,
+            send_err,
+            tcp,
+        });
+    }
+
+    /// True if this endpoint is in pipelined mode.
+    pub fn is_pipelined(&self) -> bool {
+        matches!(self.wire, Wire::Pipelined(_))
+    }
+}
+
+impl Drop for Endpoint {
+    fn drop(&mut self) {
+        if let Wire::Pipelined(p) = &mut self.wire {
+            // Close the outbox, then wait for the writer to drain the
+            // queued tail onto the wire: the peer may still be waiting
+            // on those messages after this side's party loop returned.
+            p.tx_q.take();
+            if let Some(h) = p.writer.take() {
+                // Let the writer flush the queued tail (at most `depth`
+                // messages), but don't join unconditionally: a peer
+                // that stopped reading would leave the writer blocked
+                // in `write_all` and this Drop stuck forever. A slow
+                // *simulated* link is legitimate, so the deadline is
+                // on per-message progress, not total elapsed time; the
+                // socket is severed only after 5 s with no message
+                // delivered.
+                let mut last_progress = p.progress.load(Ordering::Relaxed);
+                let mut stalled_since = Instant::now();
+                while !h.is_finished() {
+                    std::thread::sleep(Duration::from_millis(2));
+                    let now_progress = p.progress.load(Ordering::Relaxed);
+                    if now_progress != last_progress {
+                        last_progress = now_progress;
+                        stalled_since = Instant::now();
+                    } else if stalled_since.elapsed() > Duration::from_secs(5) {
+                        if let Some(stream) = &p.tcp {
+                            let _ = stream.shutdown(std::net::Shutdown::Both);
+                        }
+                        break;
+                    }
+                }
+                let _ = h.join();
+            }
+            // TCP: the reader thread's duplicated fd would keep the
+            // connection open forever; shut the socket down so the
+            // peer sees FIN (→ `Disconnected`) and our reader exits.
+            // Channel readers exit when the peer's send half drops.
+            if let Some(stream) = p.tcp.take() {
+                let _ = stream.shutdown(std::net::Shutdown::Both);
+            }
+        }
+    }
+}
+
+/// Writer-thread body: drain the outbox onto the physical wire,
+/// applying the simulated network as a *streaming* link.
+fn writer_loop(
+    mut half: SendHalf,
+    q: Receiver<(Msg, Instant)>,
+    net: Option<NetworkProfile>,
+    progress: Arc<AtomicU64>,
+    err_slot: Arc<Mutex<Option<TransportError>>>,
+) {
+    // When the link becomes free for the next message's serialisation.
+    let mut link_free = Instant::now();
+    while let Ok((msg, enqueued_at)) = q.recv() {
+        if let Some(p) = &net {
+            // Serialisation starts when the sender handed the message
+            // over (not when this thread got around to it) or when the
+            // link frees up, whichever is later; propagation latency
+            // then rides on top and pipelines across messages.
+            let start = if link_free > enqueued_at {
+                link_free
+            } else {
+                enqueued_at
+            };
+            link_free = start + p.ser_delay(msg.wire_size());
+            let deliver_at = link_free + p.latency;
+            if let Some(wait) = deliver_at.checked_duration_since(Instant::now()) {
+                std::thread::sleep(wait);
+            }
+        }
+        if let Err(e) = half.send(msg) {
+            *err_slot.lock() = Some(e);
+            // Dropping the queue receiver makes the caller's next
+            // `send` fail and pick up the stored error.
+            return;
+        }
+        progress.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Reader-thread body: eagerly pull physical messages into the inbox.
+/// A transport error is delivered in-stream (after all messages that
+/// preceded it), then the thread exits.
+fn reader_loop(mut half: RecvHalf, q: Sender<TransportResult<Msg>>) {
+    loop {
+        let res = half.recv();
+        let done = res.is_err();
+        if q.send(res).is_err() || done {
+            return;
+        }
+    }
 }
 
 fn mismatch(expected: &'static str, got: &Msg) -> TransportError {
@@ -430,13 +701,20 @@ impl NetworkProfile {
         }
     }
 
-    fn delay_for(&self, bytes: usize) -> std::time::Duration {
-        let ser = if self.bytes_per_sec == 0 {
-            std::time::Duration::ZERO
+    /// Serialisation (bandwidth) delay alone — the portion that
+    /// occupies the link. Propagation latency pipelines across
+    /// in-flight messages on a streaming link, so the pipelined writer
+    /// accounts for the two separately.
+    fn ser_delay(&self, bytes: usize) -> Duration {
+        if self.bytes_per_sec == 0 {
+            Duration::ZERO
         } else {
-            std::time::Duration::from_secs_f64(bytes as f64 / self.bytes_per_sec as f64)
-        };
-        self.latency + ser
+            Duration::from_secs_f64(bytes as f64 / self.bytes_per_sec as f64)
+        }
+    }
+
+    fn delay_for(&self, bytes: usize) -> std::time::Duration {
+        self.latency + self.ser_delay(bytes)
     }
 }
 
@@ -584,6 +862,152 @@ mod tests {
         assert_eq!(a.recv_scalar().unwrap(), 2.0);
         t.join().unwrap();
         assert!(matches!(a.recv(), Err(TransportError::Disconnected)));
+    }
+
+    #[test]
+    fn pipelined_channel_preserves_order_content_and_accounting() {
+        let (mut a, b) = channel_pair();
+        a.make_pipelined(8);
+        assert!(a.is_pipelined());
+        let m = Dense::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        a.send(Msg::Mat(m.clone())).unwrap();
+        a.send(Msg::Scalar(7.5)).unwrap();
+        a.send(Msg::Support(vec![3, 1])).unwrap();
+        assert_eq!(b.recv_mat().unwrap(), m);
+        assert_eq!(b.recv_scalar().unwrap(), 7.5);
+        assert_eq!(b.recv_support().unwrap(), vec![3, 1]);
+        // Accounting identical to the blocking mode.
+        let (sync_a, _sync_b) = channel_pair();
+        sync_a.send(Msg::Mat(m)).unwrap();
+        sync_a.send(Msg::Scalar(7.5)).unwrap();
+        sync_a.send(Msg::Support(vec![3, 1])).unwrap();
+        assert_eq!(a.stats().bytes(), sync_a.stats().bytes());
+        assert_eq!(a.stats().msgs(), sync_a.stats().msgs());
+        assert_eq!(a.stats().sent_kinds(), sync_a.stats().sent_kinds());
+    }
+
+    #[test]
+    fn pipelined_recv_side_prefetches() {
+        let (a, mut b) = channel_pair();
+        b.make_pipelined(4);
+        for i in 0..16 {
+            a.send(Msg::U64(i)).unwrap();
+        }
+        for i in 0..16 {
+            assert_eq!(b.recv_u64().unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn pipelined_send_overlaps_network_latency() {
+        // Blocking mode sleeps latency+ser inline per send; pipelined
+        // mode returns immediately and the writer thread pays the
+        // delays, with latency pipelined across in-flight messages.
+        let profile = NetworkProfile {
+            latency: std::time::Duration::from_millis(30),
+            bytes_per_sec: 0,
+        };
+        let (a, b) = channel_pair_with_network(profile);
+        let mut a = a;
+        a.make_pipelined(8);
+        let t = std::time::Instant::now();
+        for _ in 0..4 {
+            a.send(Msg::Scalar(1.0)).unwrap();
+        }
+        let enqueue_time = t.elapsed();
+        // The blocking path would `sleep` ≥ 4×30 ms = 120 ms inline
+        // (thread::sleep guarantees at least its duration), so these
+        // bounds discriminate even with generous scheduling slack for
+        // loaded CI machines.
+        assert!(
+            enqueue_time < std::time::Duration::from_millis(90),
+            "pipelined sends blocked for {enqueue_time:?}"
+        );
+        for _ in 0..4 {
+            b.recv_scalar().unwrap();
+        }
+        let total = t.elapsed();
+        // Streaming link: ≈ one latency for the whole burst (ideal
+        // 30 ms) vs 120 ms stop-and-wait; 115 ms keeps the
+        // discrimination while absorbing ~85 ms of scheduler noise.
+        assert!(total >= std::time::Duration::from_millis(30));
+        assert!(
+            total < std::time::Duration::from_millis(115),
+            "latencies did not pipeline: {total:?}"
+        );
+    }
+
+    #[test]
+    fn pipelined_drop_flushes_queued_tail() {
+        // Messages still queued when the endpoint drops must reach the
+        // peer (Drop joins the writer thread).
+        let profile = NetworkProfile {
+            latency: std::time::Duration::from_millis(10),
+            bytes_per_sec: 0,
+        };
+        let (a, b) = channel_pair_with_network(profile);
+        let mut a = a;
+        a.make_pipelined(8);
+        for i in 0..5 {
+            a.send(Msg::U64(i)).unwrap();
+        }
+        drop(a);
+        for i in 0..5 {
+            assert_eq!(b.recv_u64().unwrap(), i);
+        }
+        assert!(matches!(b.recv(), Err(TransportError::Disconnected)));
+    }
+
+    #[test]
+    fn pipelined_disconnect_surfaces_as_error() {
+        let (mut a, b) = channel_pair();
+        a.make_pipelined(2);
+        drop(b);
+        // The writer discovers the dead peer asynchronously; keep
+        // sending until the error propagates back.
+        let mut saw_err = false;
+        for _ in 0..64 {
+            if a.send(Msg::Scalar(1.0)).is_err() {
+                saw_err = true;
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert!(saw_err, "send against a dead peer never failed");
+        assert!(matches!(a.recv(), Err(TransportError::Disconnected)));
+    }
+
+    #[test]
+    fn pipelined_tcp_matches_channel_accounting() {
+        let (mut a, mut b) = tcp_pair();
+        a.make_pipelined(4);
+        b.make_pipelined(4);
+        let m = Dense::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        a.send(Msg::Mat(m.clone())).unwrap();
+        b.send(Msg::Scalar(2.0)).unwrap();
+        a.send(Msg::U64(7)).unwrap();
+        assert_eq!(b.recv_mat().unwrap(), m);
+        assert_eq!(b.recv_u64().unwrap(), 7);
+        assert_eq!(a.recv_scalar().unwrap(), 2.0);
+        let (ca, _cb) = channel_pair();
+        ca.send(Msg::Mat(m)).unwrap();
+        ca.send(Msg::U64(7)).unwrap();
+        assert_eq!(a.stats().bytes(), ca.stats().bytes());
+        assert_eq!(a.stats().sent_kinds(), ca.stats().sent_kinds());
+    }
+
+    #[test]
+    fn pipelined_tcp_drop_disconnects_the_peer() {
+        // Regression: the pipelined reader thread holds a duplicated
+        // socket fd; Drop must still get a FIN out so a peer blocked
+        // in a *sync* recv observes Disconnected (with queued tail
+        // messages delivered first) instead of hanging forever.
+        let (mut a, b) = tcp_pair();
+        a.make_pipelined(4);
+        a.send(Msg::U64(5)).unwrap();
+        drop(a);
+        assert_eq!(b.recv_u64().unwrap(), 5);
+        assert!(matches!(b.recv(), Err(TransportError::Disconnected)));
     }
 
     #[test]

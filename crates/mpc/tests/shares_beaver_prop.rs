@@ -1,0 +1,213 @@
+//! Property tests for the secret-sharing primitives (`shares.rs`) and
+//! the Beaver matmul-triplet machinery (`beaver.rs`).
+//!
+//! Coverage the unit tests lack: arbitrary shapes **including the
+//! degenerate ones** (0-row matrices, 0-column factors, 1×1), batched
+//! triplet generation from one RNG stream (every triple in the batch
+//! must be independently consistent), and the online Beaver
+//! multiplication end-to-end over a channel pair.
+
+use bf_mpc::beaver::{beaver_matmul, dealer_triple, he_gen_triple, TripleShare};
+use bf_mpc::shares::{random_mask, reconstruct, share_dense, DEFAULT_MASK};
+use bf_mpc::transport::channel_pair;
+use bf_paillier::{keygen, ObfMode, Obfuscator, PublicKey, SecretKey};
+use bf_tensor::Dense;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::OnceLock;
+
+/// Deterministic matrix with mixed signs/magnitudes (including exact
+/// zeros) for a given shape and salt.
+fn dense(rows: usize, cols: usize, salt: u64) -> Dense {
+    let data: Vec<f64> = (0..rows * cols)
+        .map(|i| {
+            let x = (i as u64).wrapping_mul(0x9e37_79b9).wrapping_add(salt);
+            match x % 4 {
+                0 => 0.0,
+                1 => (x % 1000) as f64 / 8.0,
+                2 => -((x % 777) as f64) * 1.5,
+                _ => ((x % 13) as f64 - 6.0) * 1e3,
+            }
+        })
+        .collect();
+    Dense::from_vec(rows, cols, data)
+}
+
+/// Shapes biased toward the degenerate corners: 0-row/0-col matrices
+/// and 1×1 appear with high probability alongside small general sizes.
+fn dim() -> impl Strategy<Value = usize> {
+    prop_oneof![
+        2 => Just(0usize),
+        3 => Just(1usize),
+        5 => 2usize..8,
+    ]
+}
+
+/// One fixed small Paillier key pair per process: `he_gen_triple` is a
+/// protocol property, not a keygen property, and keygen dominates its
+/// cost.
+fn test_keys() -> &'static ((PublicKey, SecretKey), (PublicKey, SecretKey)) {
+    static KEYS: OnceLock<((PublicKey, SecretKey), (PublicKey, SecretKey))> = OnceLock::new();
+    KEYS.get_or_init(|| {
+        let mut rng = StdRng::seed_from_u64(0xbf_bf);
+        let k1 = keygen(192, 20, &mut rng);
+        let k2 = keygen(192, 20, &mut rng);
+        (k1, k2)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `share_dense` round-trips for any shape, any mask magnitude.
+    #[test]
+    fn share_reconstruct_roundtrip(
+        rows in dim(),
+        cols in dim(),
+        salt in any::<u64>(),
+        mask in prop_oneof![Just(0.0f64), Just(1.0), Just(DEFAULT_MASK), Just(1e6)],
+        seed in any::<u64>(),
+    ) {
+        let v = dense(rows, cols, salt);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (s1, s2) = share_dense(&mut rng, &v, mask);
+        prop_assert_eq!(s1.shape(), v.shape());
+        prop_assert_eq!(s2.shape(), v.shape());
+        let back = reconstruct(&s1, &s2);
+        // Float cancellation error scales with the mask magnitude.
+        let tol = 1e-9 * (1.0 + mask);
+        prop_assert!(back.sub(&v).max_abs() <= tol,
+            "reconstruction error {} for mask {}", back.sub(&v).max_abs(), mask);
+    }
+
+    /// The kept piece is value-independent: same RNG stream, different
+    /// secrets, identical first piece (statistical hiding).
+    #[test]
+    fn kept_piece_is_value_independent(
+        rows in dim(),
+        cols in dim(),
+        salt_a in any::<u64>(),
+        salt_b in any::<u64>(),
+        seed in any::<u64>(),
+    ) {
+        let a = dense(rows, cols, salt_a);
+        let b = dense(rows, cols, salt_b);
+        let (p1a, _) = share_dense(&mut StdRng::seed_from_u64(seed), &a, 50.0);
+        let (p1b, _) = share_dense(&mut StdRng::seed_from_u64(seed), &b, 50.0);
+        prop_assert_eq!(p1a.data(), p1b.data());
+    }
+
+    /// `random_mask` respects its bound for every shape.
+    #[test]
+    fn random_mask_bounds(rows in dim(), cols in dim(), seed in any::<u64>()) {
+        let m = random_mask(&mut StdRng::seed_from_u64(seed), rows, cols, 7.5);
+        prop_assert_eq!(m.shape(), (rows, cols));
+        prop_assert!(m.max_abs() <= 7.5);
+    }
+
+    /// A *batch* of dealer triples drawn from one RNG stream: every
+    /// triple must be independently consistent (C = A·B after
+    /// reconstruction) — catches state bleeding between generations.
+    #[test]
+    fn dealer_triples_batched_consistent(
+        m in dim(), k in dim(), n in dim(),
+        batch in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut prev_a: Option<Dense> = None;
+        for _ in 0..batch {
+            let (t1, t2) = dealer_triple(&mut rng, m, k, n, 25.0);
+            let a = t1.a.add(&t2.a);
+            let b = t1.b.add(&t2.b);
+            let c = t1.c.add(&t2.c);
+            prop_assert_eq!(a.shape(), (m, k));
+            prop_assert_eq!(b.shape(), (k, n));
+            prop_assert_eq!(c.shape(), (m, n));
+            prop_assert!(c.sub(&a.matmul(&b)).max_abs() <= 1e-8,
+                "triple inconsistent: err {}", c.sub(&a.matmul(&b)).max_abs());
+            // Fresh randomness per triple (vacuous for empty shapes).
+            if m * k > 0 {
+                if let Some(pa) = &prev_a {
+                    prop_assert!(pa.sub(&a).max_abs() > 0.0, "repeated A across batch");
+                }
+                prev_a = Some(a);
+            }
+        }
+    }
+
+    /// Online Beaver multiplication reconstructs X·Y for any shapes,
+    /// including degenerate ones.
+    #[test]
+    fn beaver_matmul_reconstructs(
+        m in dim(), k in dim(), n in dim(),
+        salt in any::<u64>(),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = dense(m, k, salt).scale(1e-3);
+        let y = dense(k, n, salt ^ 0xabcd).scale(1e-3);
+        let (x1, x2) = share_dense(&mut rng, &x, 10.0);
+        let (y1, y2) = share_dense(&mut rng, &y, 10.0);
+        let (t1, t2) = dealer_triple(&mut rng, m, k, n, 10.0);
+        let (ep1, ep2) = channel_pair();
+        let h = std::thread::spawn(move || beaver_matmul(&ep1, true, &x1, &y1, &t1).unwrap());
+        let z2 = beaver_matmul(&ep2, false, &x2, &y2, &t2).unwrap();
+        let z1 = h.join().unwrap();
+        let got = z1.add(&z2);
+        prop_assert_eq!(got.shape(), (m, n));
+        prop_assert!(got.sub(&x.matmul(&y)).max_abs() <= 1e-6,
+            "beaver product err {}", got.sub(&x.matmul(&y)).max_abs());
+    }
+}
+
+proptest! {
+    // HE-assisted generation is ciphertext-heavy; keep the case count
+    // low (PROPTEST_CASES caps further in CI).
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// HE-assisted triplet generation is consistent for arbitrary
+    /// shapes, including 0-row/0-col factors and 1×1.
+    #[test]
+    fn he_gen_triple_batched_consistent(
+        m in dim(), k in dim(), n in dim(),
+        seed in any::<u64>(),
+        batch in 1usize..3,
+    ) {
+        let ((pk1, sk1), (pk2, sk2)) = test_keys();
+        let obf1 = Obfuscator::new(pk1, ObfMode::Pool(4), seed);
+        let obf2 = Obfuscator::new(pk2, ObfMode::Pool(4), seed ^ 1);
+        let (ep1, ep2) = channel_pair();
+        let pk1c = pk1.clone();
+        let pk2c = pk2.clone();
+        let sk1c = sk1.clone();
+        let h = std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_add(1));
+            (0..batch)
+                .map(|_| he_gen_triple(&ep1, &pk1c, &sk1c, &obf1, &pk2c, m, k, n, &mut rng).unwrap())
+                .collect::<Vec<TripleShare>>()
+        });
+        let mut rng2 = StdRng::seed_from_u64(seed.wrapping_add(2));
+        let t2s: Vec<TripleShare> = (0..batch)
+            .map(|_| he_gen_triple(&ep2, pk2, sk2, &obf2, pk1, m, k, n, &mut rng2).unwrap())
+            .collect();
+        let t1s = h.join().unwrap();
+        for (t1, t2) in t1s.iter().zip(&t2s) {
+            let a = t1.a.add(&t2.a);
+            let b = t1.b.add(&t2.b);
+            let c = t1.c.add(&t2.c);
+            prop_assert!(c.sub(&a.matmul(&b)).max_abs() <= 1e-3,
+                "HE triple inconsistent: err {}", c.sub(&a.matmul(&b)).max_abs());
+        }
+    }
+}
+
+/// The estimator must track the actual share footprint for degenerate
+/// shapes too (plain #[test]: exact arithmetic, no search needed).
+#[test]
+fn estimated_bytes_degenerate_shapes() {
+    assert_eq!(TripleShare::estimated_bytes(0, 3, 4), 8 * 12);
+    assert_eq!(TripleShare::estimated_bytes(1, 1, 1), 8 * 3);
+    assert_eq!(TripleShare::estimated_bytes(0, 0, 0), 0);
+}

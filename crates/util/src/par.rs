@@ -4,7 +4,27 @@
 //! parallel over matrix rows/entries; these helpers split an index range
 //! into per-thread chunks without any allocation beyond the output.
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+std::thread_local! {
+    /// True while the current thread is a worker inside a parallel
+    /// section. Worker threads are fresh per section, so the flag never
+    /// needs resetting — it dies with the thread.
+    static IN_PAR: Cell<bool> = const { Cell::new(false) };
+}
+
+/// True if the calling thread is currently a parallel-section worker.
+///
+/// Nested parallel helpers ([`par_map`] / [`par_for_each_mut`]) check
+/// this and fall back to a serial loop: with `T` hardware threads, a
+/// `par_map` whose element closure itself calls `par_map` would
+/// otherwise spawn `T²` threads (e.g. an obfuscator pool built inside a
+/// parallel encryption section), thrashing the scheduler for no gain —
+/// the outer section already saturates the machine.
+pub fn in_parallel_section() -> bool {
+    IN_PAR.with(|c| c.get())
+}
 
 /// Number of worker threads to use for parallel sections.
 ///
@@ -39,7 +59,7 @@ where
     F: Fn(usize) -> T + Sync,
 {
     let threads = num_threads().min(n.max(1));
-    if threads <= 1 || n < 32 {
+    if threads <= 1 || n < 32 || in_parallel_section() {
         return (0..n).map(f).collect();
     }
     let mut out: Vec<std::mem::MaybeUninit<T>> = Vec::with_capacity(n);
@@ -57,16 +77,19 @@ where
                 let f = &f;
                 let next = &next;
                 let out_ptr = &out_ptr;
-                s.spawn(move |_| loop {
-                    let start = next.fetch_add(chunk, Ordering::Relaxed);
-                    if start >= n {
-                        break;
-                    }
-                    let end = (start + chunk).min(n);
-                    for i in start..end {
-                        // SAFETY: disjoint indices across threads.
-                        unsafe {
-                            out_ptr.0.add(i).write(std::mem::MaybeUninit::new(f(i)));
+                s.spawn(move |_| {
+                    IN_PAR.with(|c| c.set(true));
+                    loop {
+                        let start = next.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= n {
+                            break;
+                        }
+                        let end = (start + chunk).min(n);
+                        for i in start..end {
+                            // SAFETY: disjoint indices across threads.
+                            unsafe {
+                                out_ptr.0.add(i).write(std::mem::MaybeUninit::new(f(i)));
+                            }
                         }
                     }
                 });
@@ -91,7 +114,7 @@ where
 {
     let n = slice.len();
     let threads = num_threads().min(n.max(1));
-    if threads <= 1 || n < 32 {
+    if threads <= 1 || n < 32 || in_parallel_section() {
         for (i, v) in slice.iter_mut().enumerate() {
             f(i, v);
         }
@@ -105,15 +128,18 @@ where
             let f = &f;
             let next = &next;
             let base = &base;
-            s.spawn(move |_| loop {
-                let start = next.fetch_add(chunk, Ordering::Relaxed);
-                if start >= n {
-                    break;
-                }
-                let end = (start + chunk).min(n);
-                for i in start..end {
-                    // SAFETY: disjoint indices across threads.
-                    unsafe { f(i, &mut *base.0.add(i)) };
+            s.spawn(move |_| {
+                IN_PAR.with(|c| c.set(true));
+                loop {
+                    let start = next.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= n {
+                        break;
+                    }
+                    let end = (start + chunk).min(n);
+                    for i in start..end {
+                        // SAFETY: disjoint indices across threads.
+                        unsafe { f(i, &mut *base.0.add(i)) };
+                    }
                 }
             });
         }
@@ -152,6 +178,54 @@ mod tests {
         let got = par_map(200, |i| vec![i; 3]);
         for (i, v) in got.iter().enumerate() {
             assert_eq!(v, &vec![i; 3]);
+        }
+    }
+
+    #[test]
+    fn nested_par_map_runs_serially_on_the_worker_thread() {
+        // Regression: a par_map inside a par_map worker used to spawn a
+        // full worker pool per outer worker (T² threads). The inner
+        // call must now fall back to a serial loop — every inner
+        // element executes on the calling worker's own thread.
+        assert!(!in_parallel_section(), "flag leaked into the test thread");
+        let outer = par_map(64, |i| {
+            assert!(in_parallel_section() || num_threads() == 1);
+            let me = std::thread::current().id();
+            let inner = par_map(64, move |j| (std::thread::current().id(), i + j));
+            // Inner results are correct *and* were produced serially
+            // (same thread as the worker) whenever the outer section
+            // actually went parallel.
+            for (k, (tid, v)) in inner.iter().enumerate() {
+                assert_eq!(*v, i + k);
+                if num_threads() > 1 {
+                    assert_eq!(*tid, me, "nested par_map spawned threads");
+                }
+            }
+            inner.iter().map(|(_, v)| *v).sum::<usize>()
+        });
+        for (i, s) in outer.iter().enumerate() {
+            assert_eq!(*s, 64 * i + (0..64).sum::<usize>());
+        }
+        // Back outside: the flag must not stick to the caller.
+        assert!(!in_parallel_section());
+    }
+
+    #[test]
+    fn nested_par_for_each_mut_runs_serially() {
+        let mut rows: Vec<Vec<u64>> = (0..64).map(|i| vec![i; 64]).collect();
+        par_for_each_mut(&mut rows, |i, row| {
+            let me = std::thread::current().id();
+            let ids = par_map(row.len(), move |_| std::thread::current().id());
+            if num_threads() > 1 {
+                assert!(ids.iter().all(|t| *t == me));
+            }
+            par_for_each_mut(row, |j, v| *v += j as u64);
+            assert_eq!(row[3], i as u64 + 3);
+        });
+        for (i, row) in rows.iter().enumerate() {
+            for (j, v) in row.iter().enumerate() {
+                assert_eq!(*v, (i + j) as u64);
+            }
         }
     }
 }

@@ -43,6 +43,7 @@ fn main() {
     let ftc = FedTrainConfig {
         base: tc.clone(),
         snapshot_u_a: false,
+        ..Default::default()
     };
     let outcome = train_federated(
         &FedSpec::Wdl {

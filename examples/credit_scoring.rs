@@ -40,6 +40,7 @@ fn main() {
             ..Default::default()
         },
         snapshot_u_a: false,
+        ..Default::default()
     };
     let outcome = train_federated(
         &FedSpec::Glm { out: 1 },

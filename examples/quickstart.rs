@@ -40,6 +40,7 @@ fn main() {
             ..Default::default()
         },
         snapshot_u_a: false,
+        ..Default::default()
     };
     println!("training BlindFL LR (Paillier, {:?})...", cfg.backend);
     let outcome = train_federated(

@@ -48,6 +48,7 @@ fn train_config() -> FedTrainConfig {
             ..Default::default()
         },
         snapshot_u_a: false,
+        ..Default::default()
     }
 }
 

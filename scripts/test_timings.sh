@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Run every workspace crate's test suite once, timing each, and print a
+# slowest-first table so creeping test cost is visible in CI logs. This
+# IS the CI test gate (equivalent coverage to `cargo test --workspace`,
+# run per crate): a suite failure prints that suite's output and fails
+# the script.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Workspace members, from cargo itself (not manifest text parsing, so
+# member renames / glob members cannot silently empty the list).
+meta=$(cargo metadata --no-deps --format-version 1)
+if command -v jq >/dev/null 2>&1; then
+    members=$(printf '%s' "$meta" | jq -r '.packages[].name')
+else
+    members=$(printf '%s' "$meta" | python3 -c \
+        'import json,sys; print("\n".join(p["name"] for p in json.load(sys.stdin)["packages"]))')
+fi
+
+count=0
+times=$(mktemp)
+log=$(mktemp)
+trap 'rm -f "$times" "$log"' EXIT
+for name in $members; do
+    start=$(date +%s.%N)
+    if ! cargo test -q -p "$name" >"$log" 2>&1; then
+        echo "=== FAILED: $name ===" >&2
+        cat "$log" >&2
+        exit 1
+    fi
+    end=$(date +%s.%N)
+    count=$((count + 1))
+    awk -v s="$start" -v e="$end" -v n="$name" \
+        'BEGIN { printf "%9.2f  %s\n", e - s, n }' >>"$times"
+done
+
+# Guard against a parsing regression silently testing nothing: this
+# workspace has 16 members and only ever grows.
+if [ "$count" -lt 10 ]; then
+    echo "only $count test suites ran — member discovery is broken" >&2
+    exit 1
+fi
+
+echo "per-suite test timings ($count suites, seconds, slowest first):"
+sort -rn "$times"

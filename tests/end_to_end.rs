@@ -27,6 +27,7 @@ fn run(
             ..Default::default()
         },
         snapshot_u_a: false,
+        ..Default::default()
     };
     let outcome = train_federated(
         &fed_spec,
@@ -166,6 +167,7 @@ fn federated_beats_party_b_on_every_model() {
                 ..Default::default()
             },
             snapshot_u_a: false,
+            ..Default::default()
         };
         let outcome = train_federated(
             &fed_spec,

@@ -22,6 +22,7 @@ fn run(cfg: &FedConfig, epochs: usize, seed: u64) -> (FedOutcome, Dense, Dense) 
             ..Default::default()
         },
         snapshot_u_a: false,
+        ..Default::default()
     };
     let outcome = train_federated(
         &FedSpec::Glm { out: 1 },

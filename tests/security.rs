@@ -168,6 +168,7 @@ fn activation_attack_fails_against_blindfl() {
             ..Default::default()
         },
         snapshot_u_a: true,
+        ..Default::default()
     };
     let outcome = train_federated(
         &FedSpec::Glm { out: 1 },

@@ -29,6 +29,7 @@ fn train_cfg() -> FedTrainConfig {
             ..Default::default()
         },
         snapshot_u_a: false,
+        ..Default::default()
     }
 }
 
