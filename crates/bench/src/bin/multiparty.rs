@@ -1,0 +1,114 @@
+//! Multi-guest scaling experiment (paper Appendix C): federated LR
+//! with `M ∈ {1, 2, 4, 8}` Party A's against one Party B, over the
+//! in-process transport. One feature matrix is re-split vertically so
+//! every `M` trains over the *same* virtually-joint data
+//! (`bf_datagen::vsplit_multi`); the run reports per-M epoch
+//! wall-clock, the per-link traffic in both directions, and the final
+//! loss / AUC — each link speaks the unchanged two-party protocol over
+//! a `1/M`-width feature slice, so per-link bytes shrink with `M` (the
+//! support-sparse gradient messages scale with slice width) while the
+//! host's total traffic grows.
+//!
+//! ```text
+//! cargo run --release -p bf-bench --bin multiparty
+//! ```
+//!
+//! Env knobs: `MULTIPARTY_ROWS` (default 256), `MULTIPARTY_EPOCHS`
+//! (default 2), `MULTIPARTY_BACKEND` (`plain` | `paillier`, default
+//! `plain`).
+
+use bf_datagen::{generate, spec, vsplit_multi};
+use bf_util::Table;
+use blindfl::config::FedConfig;
+use blindfl::models::FedSpec;
+use blindfl::train::{train_federated_multi, FedTrainConfig, MultiFedOutcome};
+
+const SEED: u64 = 0x3A27;
+const BS: usize = 32;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+fn run(cfg: &FedConfig, m: usize, rows: usize, epochs: usize) -> MultiFedOutcome {
+    let ds = spec("a9a").scaled(rows, 1);
+    let (train, test) = generate(&ds, 0xDA7A);
+    let train_v = vsplit_multi(&train, m);
+    let test_v = vsplit_multi(&test, m);
+    let tc = FedTrainConfig {
+        base: bf_ml::TrainConfig {
+            epochs,
+            batch_size: BS,
+            ..Default::default()
+        },
+        snapshot_u_a: false,
+        ..Default::default()
+    };
+    train_federated_multi(
+        &FedSpec::Glm { out: 1 },
+        cfg,
+        &tc,
+        train_v.guests,
+        train_v.party_b,
+        test_v.guests,
+        test_v.party_b,
+        SEED,
+    )
+}
+
+fn main() {
+    let rows = env_usize("MULTIPARTY_ROWS", 256);
+    let epochs = env_usize("MULTIPARTY_EPOCHS", 2);
+    let backend = std::env::var("MULTIPARTY_BACKEND").unwrap_or_else(|_| "plain".into());
+    let cfg = match backend.as_str() {
+        "paillier" => FedConfig::paillier_test(),
+        _ => FedConfig::plain(),
+    };
+    println!(
+        "Multi-guest scaling: {backend} LR (a9a×{rows}, bs={BS}, {epochs} epochs), \
+         M guests vs one Party B\n"
+    );
+
+    // Links carry unequal widths (the split hands the first
+    // `width % M` guests one extra column), so per-link bytes are a
+    // range, not one number.
+    let span = |per_link: &[u64]| -> String {
+        let min = per_link.iter().min().copied().unwrap_or(0);
+        let max = per_link.iter().max().copied().unwrap_or(0);
+        if min == max {
+            format!("{min}")
+        } else {
+            format!("{min}–{max}")
+        }
+    };
+    let mut t = Table::new(vec![
+        "M",
+        "epoch secs",
+        "final loss",
+        "AUC",
+        "A(i)→B bytes/link",
+        "B→A(i) bytes/link",
+        "total bytes",
+    ]);
+    for m in [1usize, 2, 4, 8] {
+        eprintln!("[multiparty] M = {m}...");
+        let out = run(&cfg, m, rows, epochs);
+        let r = &out.report;
+        let total: u64 = r.bytes_a_to_b_per_link.iter().sum::<u64>()
+            + r.bytes_b_to_a_per_link.iter().sum::<u64>();
+        t.row(vec![
+            format!("{m}"),
+            format!("{:.3}", r.train_secs / epochs as f64),
+            format!("{:.4}", r.losses.last().copied().unwrap_or(f64::NAN)),
+            format!("{:.3}", r.test_metric),
+            span(&r.bytes_a_to_b_per_link),
+            span(&r.bytes_b_to_a_per_link),
+            format!("{total}"),
+        ]);
+    }
+    t.print();
+    println!("\nmultiparty scaling bench completed (M = 1, 2, 4, 8)");
+}

@@ -74,7 +74,11 @@ impl TrainMode {
 /// `(rows, batch_size, epoch_seed)` — exactly [`BatchIter`]'s contract —
 /// so the prepared batches are identical in both modes; only *where*
 /// `Dataset::select` runs differs (protocol thread vs. prefetch
-/// thread).
+/// thread). The callback is topology-agnostic: the two-party trainers
+/// drive one session through it and the multi-guest trainer drives a
+/// whole session slice (every guest shares the schedule, so one
+/// prefetched batch feeds all `M` links; in pipelined mode each
+/// link's transport additionally gets its own writer/reader pair).
 pub(crate) fn run_epoch<E>(
     mode: TrainMode,
     data: &Dataset,

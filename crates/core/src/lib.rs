@@ -34,12 +34,17 @@
 //!   (§4.3, Figure 7).
 //! * [`source::ss_top`] — the secret-shared-top-model variants
 //!   (Appendix B, Figures 13–14).
-//! * [`multiparty`] — the multi-Party-A MatMul extension (Appendix C,
-//!   Algorithm 3).
+//! * [`multiparty`] — the multi-guest extension (Appendix C):
+//!   [`multiparty::MultiMatMulB`] (Algorithm 3's `M+1`-way weight
+//!   split), [`multiparty::MultiEmbedB`] (per-link pairwise submodels
+//!   for the bilinear embedding), and the `Hello` link fan-in for
+//!   one-process-per-guest TCP deployments.
 //! * [`models`] / [`train`] — the federated model zoo (LR, MLR, MLP,
 //!   WDL, DLRM) and the training/inference runtime
 //!   ([`train::run_party_a`] / [`train::run_party_b`] per party,
-//!   [`train::train_federated`] as the two-thread harness).
+//!   [`train::train_federated`] as the two-thread harness;
+//!   [`train::run_party_b_multi`] / [`train::train_federated_multi`]
+//!   for `M` guests — every guest still runs [`train::run_party_a`]).
 //! * [`engine`] — the pipelined mini-batch engine:
 //!   [`engine::TrainMode`] selects between the lock-step loop and the
 //!   queue-decoupled, double-buffered pipeline (bit-identical results;
@@ -68,4 +73,7 @@ pub use config::{Backend, FedConfig, GradMode};
 pub use engine::TrainMode;
 pub use models::FedSpec;
 pub use session::Session;
-pub use train::{train_federated, FedOutcome, FedReport, FedTrainConfig};
+pub use train::{
+    train_federated, train_federated_multi, FedOutcome, FedReport, FedTrainConfig, MultiFedOutcome,
+    MultiFedReport,
+};

@@ -15,6 +15,7 @@ use bf_mpc::transport::TransportResult;
 use bf_tensor::Dense;
 
 use crate::engine::Stage;
+use crate::multiparty::{MultiEmbedB, MultiMatMulB};
 use crate::session::Session;
 use crate::source::matmul::{aggregate_a, aggregate_b};
 use crate::source::{EmbedSource, MatMulSource};
@@ -60,6 +61,15 @@ impl FedSpec {
     /// Does this architecture use an Embed-MatMul source layer?
     pub fn uses_categorical(&self) -> bool {
         matches!(self, FedSpec::Wdl { .. } | FedSpec::Dlrm { .. })
+    }
+
+    /// Output width of a model built from this spec.
+    pub fn out_dim(&self) -> usize {
+        match self {
+            FedSpec::Glm { out } | FedSpec::Wdl { out, .. } => *out,
+            FedSpec::Mlp { widths } => *widths.last().unwrap(),
+            FedSpec::Dlrm { .. } => 1,
+        }
     }
 }
 
@@ -156,7 +166,9 @@ pub struct PartyBModel {
     top: Top,
 }
 
-/// Party B's local top model.
+/// Party B's local top model — shared by the two-party
+/// [`PartyBModel`] and the multi-guest [`MultiPartyBModel`] (the top
+/// is purely local to B, so it is identical in both topologies).
 enum Top {
     /// Bias only (GLM).
     Bias(Bias),
@@ -177,6 +189,131 @@ enum Top {
     Dlrm { tower: Mlp },
 }
 
+impl Top {
+    /// Build the top for a spec. Draws tower weights from `rng` in the
+    /// same order as the source-layer initialisation that precedes it,
+    /// so two-party and multi-guest runs share the derivation.
+    fn init(spec: &FedSpec, rng: &mut rand::rngs::StdRng) -> Top {
+        match spec {
+            FedSpec::Glm { out } => Top::Bias(Bias::new(*out)),
+            FedSpec::Mlp { widths } => Top::Tower {
+                bias: Bias::new(widths[0]),
+                act: Activation::new(ActKind::Relu),
+                tower: Mlp::new(rng, widths),
+            },
+            FedSpec::Wdl {
+                deep_hidden, out, ..
+            } => {
+                let proj = deep_hidden.first().copied().unwrap_or(*out);
+                let mut widths = deep_hidden.clone();
+                widths.push(*out);
+                Top::Wdl {
+                    deep_bias: Bias::new(proj),
+                    deep_act: Activation::new(ActKind::Relu),
+                    deep_tower: Mlp::new(rng, &widths),
+                    out_bias: Bias::new(*out),
+                }
+            }
+            FedSpec::Dlrm {
+                vec_dim,
+                top_hidden,
+                ..
+            } => {
+                let mut widths = vec![2 * vec_dim + 1];
+                widths.extend_from_slice(top_hidden);
+                widths.push(1);
+                Top::Dlrm {
+                    tower: Mlp::new(rng, &widths),
+                }
+            }
+        }
+    }
+
+    /// Forward through the local top: aggregated source outputs in,
+    /// logits out. Fills `cache` with whatever the matching backward
+    /// needs.
+    fn forward(
+        &mut self,
+        z_num: Option<&Dense>,
+        z_cat: Option<&Dense>,
+        cache: &mut FwdCache,
+    ) -> Dense {
+        match self {
+            Top::Bias(bias) => bias.forward(z_num.unwrap()),
+            Top::Tower { bias, act, tower } => {
+                let h = act.forward(&bias.forward(z_num.unwrap()));
+                tower.forward(&h)
+            }
+            Top::Wdl {
+                deep_bias,
+                deep_act,
+                deep_tower,
+                out_bias,
+            } => {
+                let h = deep_act.forward(&deep_bias.forward(z_cat.unwrap()));
+                let deep = deep_tower.forward(&h);
+                out_bias.forward(&z_num.unwrap().add(&deep))
+            }
+            Top::Dlrm { tower } => {
+                let zn = z_num.unwrap();
+                let zc = z_cat.unwrap();
+                let inter = dlrm_interact(zn, zc);
+                cache.z_num = Some(zn.clone());
+                cache.z_cat = Some(zc.clone());
+                tower.forward(&inter)
+            }
+        }
+    }
+
+    /// Backward through the local top (and apply its SGD step):
+    /// returns `(∇Z_num, ∇Z_cat)` for the federated source layers.
+    fn backward(
+        &mut self,
+        grad_logits: &Dense,
+        cache: &FwdCache,
+        opt: &bf_ml::Sgd,
+    ) -> (Option<Dense>, Option<Dense>) {
+        match self {
+            Top::Bias(bias) => {
+                bias.backward(grad_logits);
+                bias.step(opt);
+                (Some(grad_logits.clone()), None)
+            }
+            Top::Tower { bias, act, tower } => {
+                let gh = tower.backward(grad_logits);
+                let gz = act.backward(&gh);
+                bias.backward(&gz);
+                tower.step(opt);
+                bias.step(opt);
+                (Some(gz), None)
+            }
+            Top::Wdl {
+                deep_bias,
+                deep_act,
+                deep_tower,
+                out_bias,
+            } => {
+                out_bias.backward(grad_logits);
+                let g_deep = deep_tower.backward(grad_logits);
+                let gz_cat = deep_act.backward(&g_deep);
+                deep_bias.backward(&gz_cat);
+                out_bias.step(opt);
+                deep_tower.step(opt);
+                deep_bias.step(opt);
+                (Some(grad_logits.clone()), Some(gz_cat))
+            }
+            Top::Dlrm { tower } => {
+                let g_inter = tower.backward(grad_logits);
+                tower.step(opt);
+                let zn = cache.z_num.as_ref().expect("DLRM cache");
+                let zc = cache.z_cat.as_ref().expect("DLRM cache");
+                let (gn, gc) = dlrm_interact_backward(zn, zc, &g_inter);
+                (Some(gn), Some(gc))
+            }
+        }
+    }
+}
+
 impl PartyBModel {
     /// Initialise from the spec and Party B's data view.
     pub fn init(
@@ -185,25 +322,9 @@ impl PartyBModel {
         data: &Dataset,
     ) -> TransportResult<PartyBModel> {
         let num_dim = data.num_dim();
-        let (matmul, embed, top) = match spec {
-            FedSpec::Glm { out } => (
-                Some(MatMulSource::init(sess, num_dim, *out)?),
-                None,
-                Top::Bias(Bias::new(*out)),
-            ),
-            FedSpec::Mlp { widths } => {
-                let mm = MatMulSource::init(sess, num_dim, widths[0])?;
-                let tower = Mlp::new(&mut sess.rng, widths);
-                (
-                    Some(mm),
-                    None,
-                    Top::Tower {
-                        bias: Bias::new(widths[0]),
-                        act: Activation::new(ActKind::Relu),
-                        tower,
-                    },
-                )
-            }
+        let (matmul, embed) = match spec {
+            FedSpec::Glm { out } => (Some(MatMulSource::init(sess, num_dim, *out)?), None),
+            FedSpec::Mlp { widths } => (Some(MatMulSource::init(sess, num_dim, widths[0])?), None),
             FedSpec::Wdl {
                 emb_dim,
                 deep_hidden,
@@ -213,40 +334,20 @@ impl PartyBModel {
                 let cat = data.cat.as_ref().expect("WDL needs categorical features");
                 let proj = deep_hidden.first().copied().unwrap_or(*out);
                 let em = EmbedSource::init(sess, cat.vocab(), cat.fields(), *emb_dim, proj)?;
-                let mut widths = deep_hidden.clone();
-                widths.push(*out);
-                (
-                    Some(mm),
-                    Some(em),
-                    Top::Wdl {
-                        deep_bias: Bias::new(proj),
-                        deep_act: Activation::new(ActKind::Relu),
-                        deep_tower: Mlp::new(&mut sess.rng, &widths),
-                        out_bias: Bias::new(*out),
-                    },
-                )
+                (Some(mm), Some(em))
             }
             FedSpec::Dlrm {
-                emb_dim,
-                vec_dim,
-                top_hidden,
+                emb_dim, vec_dim, ..
             } => {
                 let mm = MatMulSource::init(sess, num_dim, *vec_dim)?;
                 let cat = data.cat.as_ref().expect("DLRM needs categorical features");
                 let em = EmbedSource::init(sess, cat.vocab(), cat.fields(), *emb_dim, *vec_dim)?;
-                // Interaction vector: [z_num | z_cat | dot(z_num, z_cat)].
-                let mut widths = vec![2 * vec_dim + 1];
-                widths.extend_from_slice(top_hidden);
-                widths.push(1);
-                (
-                    Some(mm),
-                    Some(em),
-                    Top::Dlrm {
-                        tower: Mlp::new(&mut sess.rng, &widths),
-                    },
-                )
+                (Some(mm), Some(em))
             }
         };
+        // Top init draws *after* the source layers, preserving the
+        // session RNG stream layout.
+        let top = Top::init(spec, &mut sess.rng);
         Ok(PartyBModel {
             spec: spec.clone(),
             matmul,
@@ -257,11 +358,7 @@ impl PartyBModel {
 
     /// Output width of the model.
     pub fn out_dim(&self) -> usize {
-        match &self.spec {
-            FedSpec::Glm { out } | FedSpec::Wdl { out, .. } => *out,
-            FedSpec::Mlp { widths } => *widths.last().unwrap(),
-            FedSpec::Dlrm { .. } => 1,
-        }
+        self.spec.out_dim()
     }
 
     /// Forward over a batch view: returns the logits plus the caches
@@ -290,31 +387,7 @@ impl PartyBModel {
         };
         let mut cache = FwdCache::default();
         let _t = sess.stages.timer(Stage::TopLocal);
-        let logits = match &mut self.top {
-            Top::Bias(bias) => bias.forward(z_num.as_ref().unwrap()),
-            Top::Tower { bias, act, tower } => {
-                let h = act.forward(&bias.forward(z_num.as_ref().unwrap()));
-                tower.forward(&h)
-            }
-            Top::Wdl {
-                deep_bias,
-                deep_act,
-                deep_tower,
-                out_bias,
-            } => {
-                let h = deep_act.forward(&deep_bias.forward(z_cat.as_ref().unwrap()));
-                let deep = deep_tower.forward(&h);
-                out_bias.forward(&z_num.as_ref().unwrap().add(&deep))
-            }
-            Top::Dlrm { tower } => {
-                let zn = z_num.as_ref().unwrap();
-                let zc = z_cat.as_ref().unwrap();
-                let inter = dlrm_interact(zn, zc);
-                cache.z_num = Some(zn.clone());
-                cache.z_cat = Some(zc.clone());
-                tower.forward(&inter)
-            }
-        };
+        let logits = self.top.forward(z_num.as_ref(), z_cat.as_ref(), &mut cache);
         Ok((logits, cache))
     }
 
@@ -328,46 +401,7 @@ impl PartyBModel {
         cache: &FwdCache,
     ) -> TransportResult<()> {
         let top_timer = sess.stages.timer(Stage::TopLocal);
-        let (grad_z_num, grad_z_cat): (Option<Dense>, Option<Dense>) = match &mut self.top {
-            Top::Bias(bias) => {
-                bias.backward(grad_logits);
-                bias.step(&sess.sgd());
-                (Some(grad_logits.clone()), None)
-            }
-            Top::Tower { bias, act, tower } => {
-                let gh = tower.backward(grad_logits);
-                let gz = act.backward(&gh);
-                bias.backward(&gz);
-                let opt = sess.sgd();
-                tower.step(&opt);
-                bias.step(&opt);
-                (Some(gz), None)
-            }
-            Top::Wdl {
-                deep_bias,
-                deep_act,
-                deep_tower,
-                out_bias,
-            } => {
-                out_bias.backward(grad_logits);
-                let g_deep = deep_tower.backward(grad_logits);
-                let gz_cat = deep_act.backward(&g_deep);
-                deep_bias.backward(&gz_cat);
-                let opt = sess.sgd();
-                out_bias.step(&opt);
-                deep_tower.step(&opt);
-                deep_bias.step(&opt);
-                (Some(grad_logits.clone()), Some(gz_cat))
-            }
-            Top::Dlrm { tower } => {
-                let g_inter = tower.backward(grad_logits);
-                tower.step(&sess.sgd());
-                let zn = cache.z_num.as_ref().expect("DLRM cache");
-                let zc = cache.z_cat.as_ref().expect("DLRM cache");
-                let (gn, gc) = dlrm_interact_backward(zn, zc, &g_inter);
-                (Some(gn), Some(gc))
-            }
-        };
+        let (grad_z_num, grad_z_cat) = self.top.backward(grad_logits, cache, &sess.sgd());
         drop(top_timer);
         // Reverse order (Embed then MatMul) to mirror Party A.
         if let Some(em) = &mut self.embed {
@@ -406,6 +440,165 @@ impl PartyBModel {
 
     /// The Embed source half (inspection).
     pub fn embed(&self) -> Option<&EmbedSource> {
+        self.embed.as_ref()
+    }
+}
+
+/// Party B's half of a **multi-guest** federated model (paper
+/// Appendix C): the same spec and the same local top model as
+/// [`PartyBModel`], but the source layers fan out over `M` guest
+/// sessions — [`MultiMatMulB`] for the numerical block (Algorithm 3's
+/// `M+1`-way weight split) and [`MultiEmbedB`] for the categorical
+/// block (per-link pairwise submodels, outputs summed; see
+/// [`crate::multiparty`] for the exact semantics). Every guest runs
+/// the unmodified two-party [`PartyAModel`] routines; with one guest
+/// this model is bit-for-bit the two-party [`PartyBModel`].
+pub struct MultiPartyBModel {
+    spec: FedSpec,
+    matmul: Option<MultiMatMulB>,
+    embed: Option<MultiEmbedB>,
+    top: Top,
+}
+
+impl MultiPartyBModel {
+    /// Initialise from the spec and Party B's data view, against one
+    /// session per guest (all `Role::B`; typed
+    /// [`bf_mpc::transport::TransportError::Setup`] on an empty or
+    /// wrong-role slice).
+    pub fn init(
+        sessions: &mut [Session],
+        spec: &FedSpec,
+        data: &Dataset,
+    ) -> TransportResult<MultiPartyBModel> {
+        let num_dim = data.num_dim();
+        let (matmul, embed) = match spec {
+            FedSpec::Glm { out } => (Some(MultiMatMulB::init(sessions, num_dim, *out)?), None),
+            FedSpec::Mlp { widths } => (
+                Some(MultiMatMulB::init(sessions, num_dim, widths[0])?),
+                None,
+            ),
+            FedSpec::Wdl {
+                emb_dim,
+                deep_hidden,
+                out,
+            } => {
+                let mm = MultiMatMulB::init(sessions, num_dim, *out)?;
+                let cat = data.cat.as_ref().expect("WDL needs categorical features");
+                let proj = deep_hidden.first().copied().unwrap_or(*out);
+                let em = MultiEmbedB::init(sessions, cat.vocab(), cat.fields(), *emb_dim, proj)?;
+                (Some(mm), Some(em))
+            }
+            FedSpec::Dlrm {
+                emb_dim, vec_dim, ..
+            } => {
+                let mm = MultiMatMulB::init(sessions, num_dim, *vec_dim)?;
+                let cat = data.cat.as_ref().expect("DLRM needs categorical features");
+                let em =
+                    MultiEmbedB::init(sessions, cat.vocab(), cat.fields(), *emb_dim, *vec_dim)?;
+                (Some(mm), Some(em))
+            }
+        };
+        // Top init draws from the first link's session RNG, after the
+        // source layers — the same stream layout as the two-party
+        // model, so an M = 1 run reproduces it exactly.
+        let top = Top::init(spec, &mut sessions[0].rng);
+        Ok(MultiPartyBModel {
+            spec: spec.clone(),
+            matmul,
+            embed,
+            top,
+        })
+    }
+
+    /// Output width of the model.
+    pub fn out_dim(&self) -> usize {
+        self.spec.out_dim()
+    }
+
+    /// Forward over a batch view: returns the logits plus the caches
+    /// needed by the matching backward call. The source layers
+    /// aggregate over every guest link internally.
+    pub fn forward(
+        &mut self,
+        sessions: &mut [Session],
+        batch: &Dataset,
+        train: bool,
+    ) -> TransportResult<(Dense, FwdCache)> {
+        let z_num = match &mut self.matmul {
+            Some(mm) => {
+                let x = batch.num.as_ref().expect("missing numerical block");
+                Some(mm.forward(sessions, x, train)?)
+            }
+            None => None,
+        };
+        let z_cat = match &mut self.embed {
+            Some(em) => {
+                let x = batch.cat.as_ref().expect("missing categorical block");
+                Some(em.forward(sessions, x, train)?)
+            }
+            None => None,
+        };
+        let mut cache = FwdCache::default();
+        let stages = std::sync::Arc::clone(&sessions[0].stages);
+        let _t = stages.timer(Stage::TopLocal);
+        let logits = self.top.forward(z_num.as_ref(), z_cat.as_ref(), &mut cache);
+        Ok((logits, cache))
+    }
+
+    /// Backward from a loss gradient w.r.t. the logits; drives the
+    /// multi-guest source-layer updates (Embed first, then MatMul —
+    /// mirroring every guest's [`PartyAModel::backward`]).
+    pub fn backward(
+        &mut self,
+        sessions: &mut [Session],
+        grad_logits: &Dense,
+        cache: &FwdCache,
+    ) -> TransportResult<()> {
+        let stages = std::sync::Arc::clone(&sessions[0].stages);
+        let opt = sessions[0].sgd();
+        let top_timer = stages.timer(Stage::TopLocal);
+        let (grad_z_num, grad_z_cat) = self.top.backward(grad_logits, cache, &opt);
+        drop(top_timer);
+        if let Some(em) = &mut self.embed {
+            em.backward(sessions, grad_z_cat.as_ref().expect("missing ∇Z_cat"))?;
+        }
+        if let Some(mm) = &mut self.matmul {
+            mm.backward(sessions, grad_z_num.as_ref().expect("missing ∇Z_num"))?;
+        }
+        Ok(())
+    }
+
+    /// One full training step: forward, loss, backward. Returns the
+    /// batch loss.
+    pub fn train_batch(
+        &mut self,
+        sessions: &mut [Session],
+        batch: &Dataset,
+    ) -> TransportResult<f64> {
+        let labels = batch.labels.as_ref().expect("Party B holds the labels");
+        let (logits, cache) = self.forward(sessions, batch, true)?;
+        let (loss, grad) = loss_and_grad(&logits, labels);
+        self.backward(sessions, &grad, &cache)?;
+        Ok(loss)
+    }
+
+    /// Inference logits for a batch view.
+    pub fn predict_batch(
+        &mut self,
+        sessions: &mut [Session],
+        batch: &Dataset,
+    ) -> TransportResult<Dense> {
+        Ok(self.forward(sessions, batch, false)?.0)
+    }
+
+    /// The multi-guest MatMul source half (inspection: the parity
+    /// tests reconstruct `W_B = U_B + Σ_i V_B(i)` through this).
+    pub fn matmul(&self) -> Option<&MultiMatMulB> {
+        self.matmul.as_ref()
+    }
+
+    /// The multi-guest Embed source half (inspection).
+    pub fn embed(&self) -> Option<&MultiEmbedB> {
         self.embed.as_ref()
     }
 }

@@ -35,9 +35,24 @@ pub enum Role {
 /// mask RNG stream depends only on `(role, seed)`).
 pub fn party_seed(role: Role, seed: u64) -> u64 {
     match role {
-        Role::A => seed.wrapping_mul(2) + 1,
-        Role::B => seed.wrapping_mul(2) + 2,
+        Role::A => seed.wrapping_mul(2).wrapping_add(1),
+        Role::B => seed.wrapping_mul(2).wrapping_add(2),
     }
+}
+
+/// Derive the private seed for one end of the `link`-th guest link in
+/// a multi-guest run (see [`crate::multiparty`]).
+///
+/// Like [`party_seed`], this derivation is part of the determinism
+/// contract: an M-guest TCP deployment (one process per guest) and the
+/// in-process harness must both use it so their runs are bit-identical.
+/// Link 0 reduces to `party_seed(role, seed)` — an `M = 1` multi-guest
+/// run reproduces the two-party run exactly.
+pub fn multi_party_seed(role: Role, link: usize, seed: u64) -> u64 {
+    party_seed(
+        role,
+        seed ^ (link as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+    )
 }
 
 /// One party's protocol session.
@@ -198,5 +213,21 @@ mod tests {
         assert_ne!(party_seed(Role::A, 9), party_seed(Role::B, 9));
         assert_eq!(party_seed(Role::A, 9), 19);
         assert_eq!(party_seed(Role::B, 9), 20);
+    }
+
+    #[test]
+    fn multi_party_seed_link0_matches_two_party() {
+        for seed in [0u64, 9, u64::MAX] {
+            for role in [Role::A, Role::B] {
+                assert_eq!(multi_party_seed(role, 0, seed), party_seed(role, seed));
+            }
+        }
+        // Distinct links get distinct streams for both roles.
+        let mut seen = std::collections::HashSet::new();
+        for link in 0..8 {
+            for role in [Role::A, Role::B] {
+                assert!(seen.insert(multi_party_seed(role, link, 9)));
+            }
+        }
     }
 }

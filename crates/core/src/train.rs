@@ -15,17 +15,28 @@
 //! ([`TrainMode::Pipelined`]) which queue-decouples the transport and
 //! double-buffers batch preparation — bit-identical results, less
 //! wall-clock (see [`crate::engine`] for the determinism contract).
+//!
+//! The multi-guest generalisation (paper Appendix C) keeps every
+//! guest on the unmodified [`run_party_a`]; Party B fans out over one
+//! session per guest via [`run_party_b_multi`], with
+//! [`train_federated_multi`] as the `M+1`-thread harness and
+//! `examples/multiparty_lr.rs` as the one-process-per-guest TCP
+//! deployment. `tests/multiparty_parity.rs` proves the equivalence
+//! contract (M-guest ≙ concatenated single-A, transports byte-equal).
+
+use std::sync::Arc;
 
 use bf_ml::data::Dataset;
 use bf_ml::train::metric_from_logits;
-use bf_mpc::transport::TransportResult;
+use bf_mpc::transport::{TransportError, TransportResult};
 use bf_tensor::Dense;
 use bf_util::Stopwatch;
 
 use crate::config::FedConfig;
 use crate::engine::{run_epoch, TrainMode};
-use crate::models::{FedSpec, PartyAModel, PartyBModel};
-use crate::session::{run_pair, Session};
+use crate::models::{FedSpec, MultiPartyBModel, PartyAModel, PartyBModel};
+use crate::multiparty::{collect_guests, send_hello};
+use crate::session::{multi_party_seed, run_pair, Role, Session};
 
 /// Training-loop options for a federated run.
 #[derive(Clone, Debug, Default)]
@@ -266,6 +277,212 @@ pub fn run_party_b(
     })
 }
 
+/// What [`run_party_b_multi`] produces: [`PartyBRun`] generalised to
+/// `M` guest links (per-link traffic instead of a single peer).
+pub struct MultiPartyBRun {
+    /// The trained multi-guest Party B model half.
+    pub model: MultiPartyBModel,
+    /// Per-mini-batch training loss.
+    pub losses: Vec<f64>,
+    /// Test logits from the final federated inference pass.
+    pub test_logits: Dense,
+    /// Test metric (AUC for binary, accuracy for multi-class).
+    pub test_metric: f64,
+    /// Wall-clock seconds spent in the training loop.
+    pub train_secs: f64,
+    /// Bytes this party sent to each guest, per link (B→A(i)).
+    pub bytes_sent_per_link: Vec<u64>,
+    /// Wall-clock per pipeline stage, `(label, secs)`, aggregated
+    /// across all links (the sessions share one accumulator).
+    pub stage_secs: Vec<(&'static str, f64)>,
+}
+
+/// Party B's side of a full multi-guest training + federated-inference
+/// run over one [`Session`] per guest (Appendix C fan-out). Each guest
+/// runs the unmodified [`run_party_a`]; with one session this is
+/// bit-identical to [`run_party_b`] (module tests and
+/// `tests/multiparty_parity.rs` enforce it).
+///
+/// The sessions may ride on any transport — the in-process harness
+/// ([`train_federated_multi`]) or one TCP connection per guest process
+/// (`examples/multiparty_lr.rs`). All links share one stage-time
+/// accumulator, and in pipelined mode every link gets its own
+/// writer/reader (per-guest prefetch) from
+/// [`bf_mpc::Endpoint::make_pipelined`].
+pub fn run_party_b_multi(
+    sessions: &mut [Session],
+    spec: &FedSpec,
+    tc: &FedTrainConfig,
+    train: &Dataset,
+    test: &Dataset,
+) -> TransportResult<MultiPartyBRun> {
+    if sessions.is_empty() {
+        return Err(TransportError::Setup(
+            "run_party_b_multi needs at least one guest session (M = 0)".into(),
+        ));
+    }
+    // One wall-clock accumulator across every link: the stage table
+    // reports the B process, not one link of it.
+    let stages = Arc::clone(&sessions[0].stages);
+    for sess in sessions.iter_mut().skip(1) {
+        sess.stages = Arc::clone(&stages);
+    }
+    for sess in sessions.iter_mut() {
+        apply_mode(sess, tc.mode);
+    }
+    let mut model = MultiPartyBModel::init(sessions, spec, train)?;
+    let mut losses = Vec::new();
+    let mut sw = Stopwatch::new();
+    sw.start();
+    for epoch in 0..tc.base.epochs {
+        run_epoch(
+            tc.mode,
+            train,
+            tc.base.batch_size,
+            tc.base.seed ^ epoch as u64,
+            |batch| {
+                losses.push(model.train_batch(sessions, &batch)?);
+                TransportResult::Ok(())
+            },
+        )?;
+    }
+    sw.stop();
+
+    // Federated inference.
+    let mut logit_rows: Vec<f64> = Vec::new();
+    let out = model.out_dim();
+    for idx in eval_batches(test.rows(), tc.base.batch_size) {
+        let batch = test.select(&idx);
+        let logits = model.predict_batch(sessions, &batch)?;
+        logit_rows.extend_from_slice(logits.data());
+    }
+    let test_logits = Dense::from_vec(test.rows(), out, logit_rows);
+    let labels = test.labels.as_ref().expect("test labels at Party B");
+    let metric = metric_from_logits(&test_logits, labels);
+    let bytes = sessions.iter().map(|s| s.ep.stats().bytes()).collect();
+    Ok(MultiPartyBRun {
+        model,
+        losses,
+        test_logits,
+        test_metric: metric,
+        train_secs: sw.secs(),
+        bytes_sent_per_link: bytes,
+        stage_secs: stages.snapshot(),
+    })
+}
+
+/// Outcome of a multi-guest federated run: metrics/curves plus every
+/// trained model half (per-guest A halves and the multi B half).
+pub struct MultiFedOutcome {
+    /// Metrics and curves.
+    pub report: MultiFedReport,
+    /// One trained Party A half per guest, in link order.
+    pub guests: Vec<PartyARun>,
+    /// Party B's trained multi-guest run (model + per-link traffic).
+    pub party_b: MultiPartyBRun,
+}
+
+/// The [`FedReport`] counterpart for a multi-guest run, with per-link
+/// traffic accounting (the scaling bench plots these).
+pub struct MultiFedReport {
+    /// Per-mini-batch training loss (Party B's view).
+    pub losses: Vec<f64>,
+    /// Test metric (AUC for binary, accuracy for multi-class).
+    pub test_metric: f64,
+    /// Wall-clock seconds spent in Party B's training loop.
+    pub train_secs: f64,
+    /// Bytes sent A(i)→B per link.
+    pub bytes_a_to_b_per_link: Vec<u64>,
+    /// Bytes sent B→A(i) per link.
+    pub bytes_b_to_a_per_link: Vec<u64>,
+    /// Party B's wall-clock per pipeline stage, `(label, secs)`.
+    pub stage_secs: Vec<(&'static str, f64)>,
+}
+
+/// Train an `M`-guest federated model in process: one thread per guest
+/// (each running the unmodified [`run_party_a`] over its own channel
+/// pair, exactly as a separate guest process would over TCP), Party B
+/// on the caller's thread. `guests_train[i]` / `guests_test[i]` are
+/// the `i`-th guest's vertical slices (see `bf_datagen::vsplit_multi`).
+///
+/// Every guest sends the [`bf_mpc::Msg::Hello`] link announcement
+/// before its handshake — the same wire prologue as the TCP
+/// deployment — so per-link traffic accounting is backend-independent.
+///
+/// # Panics
+///
+/// Panics if `guests_train` is empty or the train/test guest counts
+/// differ (harness misuse), and on transport failure — in-process
+/// channels cannot fail mid-run.
+pub fn train_federated_multi(
+    spec: &FedSpec,
+    cfg: &FedConfig,
+    tc: &FedTrainConfig,
+    guests_train: Vec<Dataset>,
+    train_b: Dataset,
+    guests_test: Vec<Dataset>,
+    test_b: Dataset,
+    seed: u64,
+) -> MultiFedOutcome {
+    let m = guests_train.len();
+    assert!(m >= 1, "train_federated_multi needs at least one guest");
+    assert_eq!(m, guests_test.len(), "train/test guest slice counts differ");
+    let mut host_eps = Vec::with_capacity(m);
+    let mut handles = Vec::with_capacity(m);
+    for (i, (train_a, test_a)) in guests_train.into_iter().zip(guests_test).enumerate() {
+        let (ep_a, ep_b) = bf_mpc::channel_pair();
+        host_eps.push(ep_b);
+        let cfg_a = cfg.clone();
+        let spec_a = spec.clone();
+        let tc_a = tc.clone();
+        handles.push(
+            std::thread::Builder::new()
+                .name(format!("guest-{i}"))
+                .stack_size(16 << 20)
+                .spawn(move || {
+                    send_hello(&ep_a, i, m).expect("guest hello");
+                    let mut sess = Session::handshake(
+                        ep_a,
+                        cfg_a,
+                        Role::A,
+                        multi_party_seed(Role::A, i, seed),
+                    )
+                    .expect("guest handshake");
+                    run_party_a(&mut sess, &spec_a, &tc_a, &train_a, &test_a)
+                        .expect("guest transport")
+                })
+                .expect("spawn guest"),
+        );
+    }
+    let ordered = collect_guests(host_eps, m).expect("guest fan-in");
+    let mut sessions: Vec<Session> = ordered
+        .into_iter()
+        .enumerate()
+        .map(|(i, ep)| {
+            Session::handshake(ep, cfg.clone(), Role::B, multi_party_seed(Role::B, i, seed))
+                .expect("host handshake")
+        })
+        .collect();
+    let party_b =
+        run_party_b_multi(&mut sessions, spec, tc, &train_b, &test_b).expect("party B transport");
+    let guests: Vec<PartyARun> = handles
+        .into_iter()
+        .map(|h| h.join().expect("guest panicked"))
+        .collect();
+    MultiFedOutcome {
+        report: MultiFedReport {
+            losses: party_b.losses.clone(),
+            test_metric: party_b.test_metric,
+            train_secs: party_b.train_secs,
+            bytes_a_to_b_per_link: guests.iter().map(|g| g.bytes_sent).collect(),
+            bytes_b_to_a_per_link: party_b.bytes_sent_per_link.clone(),
+            stage_secs: party_b.stage_secs.clone(),
+        },
+        guests,
+        party_b,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -321,6 +538,73 @@ mod tests {
         // Traffic was recorded in both directions.
         assert!(outcome.report.bytes_a_to_b > 0);
         assert!(outcome.report.bytes_b_to_a > 0);
+    }
+
+    #[test]
+    fn single_guest_multi_run_is_bit_identical_to_two_party() {
+        // The multi-guest stack's reduction contract at unit-test
+        // scale: with M = 1 the Appendix C fan-out must reproduce the
+        // two-party run *bit for bit* — same losses, same metric, same
+        // traffic (the guest's extra Hello prologue is the only wire
+        // difference). The full matrix lives in
+        // tests/multiparty_parity.rs.
+        let ds_spec = dataset_spec("a9a").scaled(48, 1);
+        let (train_ds, test_ds) = generate(&ds_spec, 23);
+        let train_v = vsplit(&train_ds);
+        let test_v = vsplit(&test_ds);
+        let cfg = FedConfig::plain();
+        let tc = FedTrainConfig {
+            base: bf_ml::TrainConfig {
+                epochs: 2,
+                batch_size: 16,
+                ..Default::default()
+            },
+            snapshot_u_a: false,
+            ..Default::default()
+        };
+        let seed = 77;
+        let two = train_federated(
+            &FedSpec::Glm { out: 1 },
+            &cfg,
+            &tc,
+            train_v.party_a.clone(),
+            train_v.party_b.clone(),
+            test_v.party_a.clone(),
+            test_v.party_b.clone(),
+            seed,
+        );
+        let multi = train_federated_multi(
+            &FedSpec::Glm { out: 1 },
+            &cfg,
+            &tc,
+            vec![train_v.party_a.clone()],
+            train_v.party_b.clone(),
+            vec![test_v.party_a.clone()],
+            test_v.party_b.clone(),
+            seed,
+        );
+        assert_eq!(two.report.losses, multi.report.losses);
+        assert_eq!(two.report.test_metric, multi.report.test_metric);
+        assert_eq!(
+            multi.report.bytes_b_to_a_per_link,
+            vec![two.report.bytes_b_to_a]
+        );
+        let hello = bf_mpc::Msg::Hello { index: 0, total: 1 }.wire_size() as u64;
+        assert_eq!(
+            multi.report.bytes_a_to_b_per_link,
+            vec![two.report.bytes_a_to_b + hello]
+        );
+        // The reconstructed weights agree too: U_B + Σ V_B(i) at B
+        // matches the two-party U_B, and the single guest's half is
+        // the unmodified PartyAModel.
+        let mm_two = two.party_b.matmul().unwrap();
+        let mm_multi = multi.party_b.model.matmul().unwrap();
+        assert_eq!(mm_two.u_own().data(), mm_multi.u_own().data());
+        assert_eq!(mm_two.v_peer().data(), mm_multi.v_a(0).data());
+        assert_eq!(
+            two.party_a.matmul().unwrap().u_own().data(),
+            multi.guests[0].model.matmul().unwrap().u_own().data()
+        );
     }
 
     #[test]

@@ -1,6 +1,12 @@
 //! Vertical (feature-wise) splitting of a collocated dataset into the
 //! two-party VFL views of Figure 1: Party A holds the first half of the
 //! features; Party B holds the second half **and the labels**.
+//! [`vsplit_multi`] generalises the Party A side to `M` guests (paper
+//! Appendix C): Party B's view is unchanged, and the Party A half is
+//! re-partitioned into `M` contiguous slices — horizontally
+//! concatenating the guest slices reconstructs exactly the two-party
+//! Party A view, which is what makes an M-guest run comparable to the
+//! single-A baseline.
 
 use bf_ml::data::Dataset;
 use bf_tensor::Features;
@@ -74,6 +80,103 @@ pub fn vsplit(ds: &Dataset) -> VflData {
     }
 }
 
+/// Collocated data plus `M` guest views and the Party B view.
+#[derive(Clone, Debug)]
+pub struct MultiVflData {
+    /// The full dataset (baselines only; never materialised in a real
+    /// deployment).
+    pub collocated: Dataset,
+    /// Guest views (Party A(1..M)): features only, in link order.
+    pub guests: Vec<VflView>,
+    /// Party B: features plus labels — identical to [`vsplit`]'s
+    /// `party_b`.
+    pub party_b: VflView,
+}
+
+/// Split a dataset for an `M`-guest run: Party B keeps exactly its
+/// [`vsplit`] share (second half of the features, plus the labels),
+/// and the [`vsplit`] Party A share is partitioned into `M` contiguous
+/// near-equal slices, one per guest.
+///
+/// Invariants (tested below):
+/// * `vsplit_multi(ds, 1)` equals `vsplit(ds)` with a single guest;
+/// * horizontally concatenating `guests[0..M]` reconstructs the
+///   two-party Party A view column-for-column, so the M-guest run and
+///   the single-A run train over the same virtually-joint matrix.
+///
+/// Categorical fields: the Party A field range is partitioned among
+/// the first `min(M, fields_A)` guests; later guests get no
+/// categorical block (a guest running a MatMul-only spec ignores it).
+///
+/// # Panics
+///
+/// Panics if `m == 0` — a data split for zero guests is meaningless
+/// (the runtime's `M = 0` guard is typed; see `blindfl::multiparty`).
+pub fn vsplit_multi(ds: &Dataset, m: usize) -> MultiVflData {
+    assert!(m >= 1, "vsplit_multi needs at least one guest");
+    let two_party = vsplit(ds);
+    let a = &two_party.party_a;
+
+    // Contiguous near-equal column ranges over a width of `n`: the
+    // first `n % m` slices get the extra column.
+    let ranges = |n: usize, parts: usize| -> Vec<(usize, usize)> {
+        let base = n / parts;
+        let extra = n % parts;
+        let mut out = Vec::with_capacity(parts);
+        let mut lo = 0;
+        for i in 0..parts {
+            let hi = lo + base + usize::from(i < extra);
+            out.push((lo, hi));
+            lo = hi;
+        }
+        out
+    };
+
+    let num_slices: Vec<Option<Features>> = match &a.num {
+        Some(Features::Sparse(s)) => ranges(s.cols(), m)
+            .into_iter()
+            .map(|(lo, hi)| {
+                let cols: Vec<u32> = (lo as u32..hi as u32).collect();
+                Some(Features::Sparse(s.select_cols(&cols)))
+            })
+            .collect(),
+        Some(Features::Dense(d)) => ranges(d.cols(), m)
+            .into_iter()
+            .map(|(lo, hi)| {
+                let cols: Vec<usize> = (lo..hi).collect();
+                Some(Features::Dense(d.select_cols(&cols)))
+            })
+            .collect(),
+        None => vec![None; m],
+    };
+    let cat_slices: Vec<Option<bf_tensor::CatBlock>> = match &a.cat {
+        Some(c) => {
+            let holders = m.min(c.fields());
+            let mut slices: Vec<Option<bf_tensor::CatBlock>> = ranges(c.fields(), holders)
+                .into_iter()
+                .map(|(lo, hi)| Some(c.select_fields(lo, hi)))
+                .collect();
+            slices.resize(m, None);
+            slices
+        }
+        None => vec![None; m],
+    };
+    let guests = num_slices
+        .into_iter()
+        .zip(cat_slices)
+        .map(|(num, cat)| Dataset {
+            num,
+            cat,
+            labels: None,
+        })
+        .collect();
+    MultiVflData {
+        collocated: two_party.collocated,
+        guests,
+        party_b: two_party.party_b,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -130,5 +233,64 @@ mod tests {
         let v = vsplit(&train_ds);
         assert_eq!(v.party_a.num_dim(), 14);
         assert_eq!(v.party_b.num_dim(), 14);
+    }
+
+    #[test]
+    fn multi_split_with_one_guest_equals_vsplit() {
+        let s = spec("a9a").scaled(150, 1);
+        let (train_ds, _) = generate(&s, 5);
+        let two = vsplit(&train_ds);
+        let multi = vsplit_multi(&train_ds, 1);
+        assert_eq!(multi.guests.len(), 1);
+        let a2 = two.party_a.num.as_ref().unwrap().to_dense();
+        let a1 = multi.guests[0].num.as_ref().unwrap().to_dense();
+        assert!(a1.approx_eq(&a2, 0.0));
+        let b2 = two.party_b.num.as_ref().unwrap().to_dense();
+        let b1 = multi.party_b.num.as_ref().unwrap().to_dense();
+        assert!(b1.approx_eq(&b2, 0.0));
+    }
+
+    #[test]
+    fn multi_split_concatenation_reconstructs_party_a() {
+        let s = spec("a9a").scaled(150, 1);
+        let (train_ds, _) = generate(&s, 6);
+        let two = vsplit(&train_ds);
+        for m in [2usize, 3, 5] {
+            let multi = vsplit_multi(&train_ds, m);
+            assert_eq!(multi.guests.len(), m);
+            // No guest is empty and widths are near-equal.
+            let widths: Vec<usize> = multi.guests.iter().map(|g| g.num_dim()).collect();
+            let (min, max) = (*widths.iter().min().unwrap(), *widths.iter().max().unwrap());
+            assert!(min >= 1 && max - min <= 1, "widths {widths:?}");
+            // hstack(guests) == the two-party Party A view.
+            let mut rebuilt = multi.guests[0].num.as_ref().unwrap().to_dense();
+            for g in &multi.guests[1..] {
+                rebuilt = rebuilt.hstack(&g.num.as_ref().unwrap().to_dense());
+            }
+            let want = two.party_a.num.as_ref().unwrap().to_dense();
+            assert!(rebuilt.approx_eq(&want, 0.0));
+            // No guest holds labels; B is unchanged.
+            assert!(multi.guests.iter().all(|g| g.labels.is_none()));
+            assert!(multi.party_b.labels.is_some());
+        }
+    }
+
+    #[test]
+    fn multi_split_partitions_categorical_fields() {
+        let s = spec("avazu-app").scaled(10_000, 100);
+        let (train_ds, _) = generate(&s, 7);
+        let two = vsplit(&train_ds);
+        let fields_a = two.party_a.cat.as_ref().unwrap().fields();
+        // More guests than A-side fields: the tail guests get None.
+        let m = fields_a + 2;
+        let multi = vsplit_multi(&train_ds, m);
+        let held: Vec<usize> = multi
+            .guests
+            .iter()
+            .map(|g| g.cat.as_ref().map_or(0, |c| c.fields()))
+            .collect();
+        assert_eq!(held.iter().sum::<usize>(), fields_a);
+        assert!(held[..fields_a].iter().all(|&f| f == 1));
+        assert!(held[fields_a..].iter().all(|&f| f == 0));
     }
 }

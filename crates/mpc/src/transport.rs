@@ -64,6 +64,17 @@ pub enum Msg {
     Scalar(f64),
     /// A small integer (protocol step tags, dimensions).
     U64(u64),
+    /// Multi-party link identification: the first message a guest
+    /// sends on a fresh connection, announcing which of the job's
+    /// `total` guest slots it fills. Lets the host map an arbitrary
+    /// TCP accept order back onto the deterministic link order (and
+    /// reject mis-configured guests with a typed error).
+    Hello {
+        /// This guest's 0-based link index.
+        index: u32,
+        /// The total number of guests the sender was configured with.
+        total: u32,
+    },
 }
 
 impl Msg {
@@ -78,6 +89,7 @@ impl Msg {
             Msg::Support(s) => 8 + s.len() * 4,
             Msg::Scalar(_) => 8,
             Msg::U64(_) => 8,
+            Msg::Hello { .. } => 8,
         }
     }
 
@@ -91,6 +103,7 @@ impl Msg {
             Msg::Support(_) => "Support",
             Msg::Scalar(_) => "Scalar",
             Msg::U64(_) => "U64",
+            Msg::Hello { .. } => "Hello",
         }
     }
 }
@@ -119,6 +132,10 @@ pub enum TransportError {
     Wire(wire::WireError),
     /// Socket-level failure.
     Io(std::io::Error),
+    /// The peer violated the session-setup contract: wrong role, zero
+    /// guests, a duplicate / out-of-range / inconsistent link index in
+    /// a multi-party [`Msg::Hello`], and similar configuration faults.
+    Setup(String),
 }
 
 impl std::fmt::Display for TransportError {
@@ -130,6 +147,7 @@ impl std::fmt::Display for TransportError {
             }
             TransportError::Wire(e) => write!(f, "wire decode error: {e}"),
             TransportError::Io(e) => write!(f, "transport i/o error: {e}"),
+            TransportError::Setup(why) => write!(f, "session setup error: {why}"),
         }
     }
 }
@@ -393,6 +411,14 @@ impl Endpoint {
         match self.recv()? {
             Msg::U64(v) => Ok(v),
             other => Err(mismatch("U64", &other)),
+        }
+    }
+
+    /// Receive, expecting a multi-party hello; returns `(index, total)`.
+    pub fn recv_hello(&self) -> TransportResult<(u32, u32)> {
+        match self.recv()? {
+            Msg::Hello { index, total } => Ok((index, total)),
+            other => Err(mismatch("Hello", &other)),
         }
     }
 

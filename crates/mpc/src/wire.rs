@@ -6,7 +6,7 @@
 //! ```text
 //! offset  size  field
 //! 0       2     magic   0x42 0x46  ("BF")
-//! 2       1     version 0x01
+//! 2       1     version 0x02
 //! 3       1     kind    (see the KIND_* constants)
 //! 4       4     payload length, u32 little-endian
 //! 8       n     payload (per-kind encoding)
@@ -25,7 +25,9 @@ use crate::transport::Msg;
 /// Frame magic: ASCII `"BF"`.
 pub const MAGIC: [u8; 2] = *b"BF";
 /// Current protocol version. Decoders reject every other value.
-pub const VERSION: u8 = 1;
+/// History: v1 = kinds 1–6; v2 added kind 7 (`Hello`, multi-party
+/// link identification) — a new kind is a version bump by rule.
+pub const VERSION: u8 = 2;
 /// Fixed frame-header length in bytes (magic + version + kind + length).
 pub const HEADER_LEN: usize = 8;
 /// Upper bound on a payload a decoder will accept (1 GiB). A malicious
@@ -44,6 +46,8 @@ pub const KIND_SUPPORT: u8 = 4;
 pub const KIND_SCALAR: u8 = 5;
 /// Frame kind byte for [`Msg::U64`].
 pub const KIND_U64: u8 = 6;
+/// Frame kind byte for [`Msg::Hello`].
+pub const KIND_HELLO: u8 = 7;
 
 /// A frame- or payload-level decode failure.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -86,6 +90,7 @@ pub fn kind_byte(msg: &Msg) -> u8 {
         Msg::Support(_) => KIND_SUPPORT,
         Msg::Scalar(_) => KIND_SCALAR,
         Msg::U64(_) => KIND_U64,
+        Msg::Hello { .. } => KIND_HELLO,
     }
 }
 
@@ -113,6 +118,12 @@ pub fn encode_payload(msg: &Msg) -> Vec<u8> {
         }
         Msg::Scalar(v) => v.to_le_bytes().to_vec(),
         Msg::U64(v) => v.to_le_bytes().to_vec(),
+        Msg::Hello { index, total } => {
+            let mut out = Vec::with_capacity(8);
+            out.extend_from_slice(&index.to_le_bytes());
+            out.extend_from_slice(&total.to_le_bytes());
+            out
+        }
     }
 }
 
@@ -156,7 +167,7 @@ pub fn decode_header(header: &[u8; HEADER_LEN]) -> Result<(u8, u32), WireError> 
         return Err(WireError::UnsupportedVersion(header[2]));
     }
     let kind = header[3];
-    if !(KIND_CT..=KIND_U64).contains(&kind) {
+    if !(KIND_CT..=KIND_HELLO).contains(&kind) {
         return Err(WireError::UnknownKind(kind));
     }
     let len = u32::from_le_bytes(header[4..8].try_into().unwrap());
@@ -223,6 +234,13 @@ pub fn decode_payload(kind: u8, payload: &[u8]) -> Result<Msg, WireError> {
             exact(8)?.try_into().unwrap(),
         ))),
         KIND_U64 => Ok(Msg::U64(u64::from_le_bytes(exact(8)?.try_into().unwrap()))),
+        KIND_HELLO => {
+            let p = exact(8)?;
+            Ok(Msg::Hello {
+                index: u32::from_le_bytes(p[0..4].try_into().unwrap()),
+                total: u32::from_le_bytes(p[4..8].try_into().unwrap()),
+            })
+        }
         other => Err(WireError::UnknownKind(other)),
     }
 }
@@ -258,10 +276,29 @@ mod tests {
             frame,
             vec![
                 0x42, 0x46, // "BF"
-                0x01, // version
+                0x02, // version
                 0x06, // kind U64
                 0x08, 0x00, 0x00, 0x00, // payload len 8
                 0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01, // u64 LE
+            ]
+        );
+    }
+
+    #[test]
+    fn golden_hello_frame() {
+        let frame = encode_frame(&Msg::Hello {
+            index: 2,
+            total: 0x0304,
+        });
+        assert_eq!(
+            frame,
+            vec![
+                0x42, 0x46, // "BF"
+                0x02, // version
+                0x07, // kind Hello
+                0x08, 0x00, 0x00, 0x00, // payload len 8
+                0x02, 0x00, 0x00, 0x00, // index 2, u32 LE
+                0x04, 0x03, 0x00, 0x00, // total 0x0304, u32 LE
             ]
         );
     }
@@ -272,7 +309,7 @@ mod tests {
         assert_eq!(
             frame,
             vec![
-                0x42, 0x46, 0x01, 0x05, 0x08, 0x00, 0x00, 0x00, // header
+                0x42, 0x46, 0x02, 0x05, 0x08, 0x00, 0x00, 0x00, // header
                 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xf0, 0x3f, // 1.0f64 LE
             ]
         );
@@ -284,7 +321,7 @@ mod tests {
         assert_eq!(
             frame,
             vec![
-                0x42, 0x46, 0x01, 0x04, 0x10, 0x00, 0x00, 0x00, // header, len 16
+                0x42, 0x46, 0x02, 0x04, 0x10, 0x00, 0x00, 0x00, // header, len 16
                 0x02, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // count 2
                 0x01, 0x00, 0x00, 0x00, // 1
                 0x0B, 0x0A, 0x00, 0x00, // 0x0A0B
@@ -298,7 +335,7 @@ mod tests {
         assert_eq!(
             frame,
             vec![
-                0x42, 0x46, 0x01, 0x02, 0x20, 0x00, 0x00, 0x00, // header, len 32
+                0x42, 0x46, 0x02, 0x02, 0x20, 0x00, 0x00, 0x00, // header, len 32
                 0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // rows 1
                 0x02, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // cols 2
                 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // 0.0
@@ -310,7 +347,7 @@ mod tests {
     #[test]
     fn golden_plain_key_frame() {
         let frame = encode_frame(&Msg::Key(bf_paillier::PublicKey::Plain { frac_bits: 24 }));
-        let mut want = vec![0x42, 0x46, 0x01, 0x03, 0x0B, 0x00, 0x00, 0x00];
+        let mut want = vec![0x42, 0x46, 0x02, 0x03, 0x0B, 0x00, 0x00, 0x00];
         want.extend_from_slice(b"bfplain1:24");
         assert_eq!(frame, want);
     }
@@ -324,7 +361,7 @@ mod tests {
         assert_eq!(
             frame,
             vec![
-                0x42, 0x46, 0x01, 0x01, 0x1A, 0x00, 0x00, 0x00, // header, len 26
+                0x42, 0x46, 0x02, 0x01, 0x1A, 0x00, 0x00, 0x00, // header, len 26
                 0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // rows 1
                 0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // cols 1
                 0x01, // scale 1
@@ -371,6 +408,8 @@ mod tests {
             |kind: u8, p: &[u8]| matches!(decode_payload(kind, p), Err(WireError::Truncated));
         assert!(truncated(KIND_SCALAR, &[0; 7]));
         assert!(truncated(KIND_U64, &[0; 9]));
+        assert!(truncated(KIND_HELLO, &[0; 7]));
+        assert!(truncated(KIND_HELLO, &[0; 9]));
         assert!(truncated(KIND_MAT, &[0; 15]));
         assert!(truncated(KIND_SUPPORT, &[0; 7]));
         // Support claiming 4 entries but carrying 1.
@@ -389,6 +428,11 @@ mod tests {
             Msg::Mat(Dense::zeros(0, 5)),
             Msg::Mat(Dense::from_vec(2, 2, vec![1.0, -1.0, 0.5, 1e300])),
             Msg::Key(bf_paillier::PublicKey::Plain { frac_bits: 7 }),
+            Msg::Hello { index: 0, total: 1 },
+            Msg::Hello {
+                index: u32::MAX,
+                total: u32::MAX,
+            },
         ];
         for msg in msgs {
             let frame = encode_frame(&msg);
@@ -401,6 +445,9 @@ mod tests {
                 (Msg::Mat(a), Msg::Mat(b)) => assert_eq!(a, b),
                 (Msg::Key(a), Msg::Key(b)) => {
                     assert_eq!(bf_paillier::export_public(a), bf_paillier::export_public(b))
+                }
+                (Msg::Hello { index: a, total: b }, Msg::Hello { index: c, total: d }) => {
+                    assert_eq!((a, b), (c, d))
                 }
                 other => panic!("kind changed in roundtrip: {other:?}"),
             }

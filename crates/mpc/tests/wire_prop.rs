@@ -143,6 +143,19 @@ proptest! {
     }
 
     #[test]
+    fn hello_roundtrips(index in any::<u32>(), total in any::<u32>()) {
+        // The multi-guest link-identification frame: every (index,
+        // total) combination — including the degenerate 0-guest hello
+        // and the max-scale u32::MAX payload — must survive the wire
+        // byte-exactly (the host's fan-in sorts links by this value).
+        let Msg::Hello { index: gi, total: gt } =
+            roundtrip(&Msg::Hello { index, total }) else {
+                panic!("kind changed");
+            };
+        prop_assert_eq!((gi, gt), (index, total));
+    }
+
+    #[test]
     fn corrupted_frames_never_panic(r in 1usize..=3, flip in 0usize..64, bit in 0u8..8) {
         // Decoding must reject (or re-interpret) arbitrary single-bit
         // corruption without panicking.
