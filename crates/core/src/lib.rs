@@ -49,6 +49,16 @@
 //!   [`engine::TrainMode`] selects between the lock-step loop and the
 //!   queue-decoupled, double-buffered pipeline (bit-identical results;
 //!   see the module docs for the determinism contract).
+//! * [`persist`] — byte-exact model-state persistence (export/import
+//!   of the trained party halves, momentum buffers and ciphertext
+//!   caches included, so a reloaded model resumes training
+//!   bit-identically; format spec in `docs/SERVING.md`).
+//! * [`serve`] — the federated inference serving runtime: Party B
+//!   hosts a micro-batching request queue that coalesces concurrent
+//!   single-row prediction requests into one federated forward pass
+//!   ([`serve::serve_party_b`] / [`serve::serve_party_a`], plus the
+//!   multi-guest [`serve::serve_party_b_multi`]), completing the
+//!   train → persist → serve model life cycle.
 //!
 //! # Quickstart
 //!
@@ -56,15 +66,20 @@
 //! vertically-split dataset, call [`train::train_federated`] with a
 //! [`models::FedSpec`], and compare against the collocated baseline.
 //! For the two-process TCP deployment, see
-//! `examples/tcp_federated_lr.rs`.
+//! `examples/tcp_federated_lr.rs`; for the serving deployment
+//! (train, persist, then serve predictions over TCP), see
+//! `examples/tcp_serving.rs`.
 
+#![warn(missing_docs)]
 #![allow(clippy::too_many_arguments)] // protocol functions mirror the paper's parameter lists
 pub mod config;
 pub mod engine;
 pub mod inspect;
 pub mod models;
 pub mod multiparty;
+pub mod persist;
 pub mod privacy;
+pub mod serve;
 pub mod session;
 pub mod source;
 pub mod train;
@@ -72,6 +87,14 @@ pub mod train;
 pub use config::{Backend, FedConfig, GradMode};
 pub use engine::TrainMode;
 pub use models::FedSpec;
+pub use persist::{
+    export_multi_party_b, export_party_a, export_party_b, import_multi_party_b, import_party_a,
+    import_party_b, PersistError,
+};
+pub use serve::{
+    queue as serve_queue, serve_party_a, serve_party_b, serve_party_b_multi, PendingPrediction,
+    PredictClient, Prediction, ServeConfig, ServeError, ServeGuestReport, ServeReport,
+};
 pub use session::Session;
 pub use train::{
     train_federated, train_federated_multi, FedOutcome, FedReport, FedTrainConfig, MultiFedOutcome,

@@ -21,7 +21,7 @@ use crate::source::matmul::{aggregate_a, aggregate_b};
 use crate::source::{EmbedSource, MatMulSource};
 
 /// Architecture of a federated model (shared by both parties).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum FedSpec {
     /// Logistic / multinomial logistic regression: MatMul source +
     /// bias top. `out = 1` for LR, `C` for MLR.
@@ -69,6 +69,87 @@ impl FedSpec {
             FedSpec::Glm { out } | FedSpec::Wdl { out, .. } => *out,
             FedSpec::Mlp { widths } => *widths.last().unwrap(),
             FedSpec::Dlrm { .. } => 1,
+        }
+    }
+
+    /// Persist the spec (tag byte + per-variant fields).
+    pub(crate) fn write_state(&self, w: &mut crate::persist::Writer) {
+        let widths = |w: &mut crate::persist::Writer, v: &[usize]| {
+            w.u64(v.len() as u64);
+            for &x in v {
+                w.u64(x as u64);
+            }
+        };
+        match self {
+            FedSpec::Glm { out } => {
+                w.u8(1);
+                w.u64(*out as u64);
+            }
+            FedSpec::Mlp { widths: v } => {
+                w.u8(2);
+                widths(w, v);
+            }
+            FedSpec::Wdl {
+                emb_dim,
+                deep_hidden,
+                out,
+            } => {
+                w.u8(3);
+                w.u64(*emb_dim as u64);
+                widths(w, deep_hidden);
+                w.u64(*out as u64);
+            }
+            FedSpec::Dlrm {
+                emb_dim,
+                vec_dim,
+                top_hidden,
+            } => {
+                w.u8(4);
+                w.u64(*emb_dim as u64);
+                w.u64(*vec_dim as u64);
+                widths(w, top_hidden);
+            }
+        }
+    }
+
+    /// Rebuild the spec from persisted state.
+    pub(crate) fn read_state(
+        r: &mut crate::persist::Reader,
+    ) -> crate::persist::PersistResult<FedSpec> {
+        use crate::persist::PersistError;
+        let widths = |r: &mut crate::persist::Reader| -> crate::persist::PersistResult<Vec<usize>> {
+            let n = r.len_u64()?;
+            // A corrupted count must not drive an allocation: every
+            // entry costs 8 bytes, so the blob bounds the count.
+            if n > 1 << 20 {
+                return Err(PersistError::Malformed(format!(
+                    "implausible width count {n}"
+                )));
+            }
+            (0..n).map(|_| r.len_u64()).collect()
+        };
+        match r.u8()? {
+            1 => Ok(FedSpec::Glm { out: r.len_u64()? }),
+            2 => {
+                let v = widths(r)?;
+                if v.len() < 2 {
+                    return Err(PersistError::Malformed(
+                        "Mlp spec needs at least input and output widths".into(),
+                    ));
+                }
+                Ok(FedSpec::Mlp { widths: v })
+            }
+            3 => Ok(FedSpec::Wdl {
+                emb_dim: r.len_u64()?,
+                deep_hidden: widths(r)?,
+                out: r.len_u64()?,
+            }),
+            4 => Ok(FedSpec::Dlrm {
+                emb_dim: r.len_u64()?,
+                vec_dim: r.len_u64()?,
+                top_hidden: widths(r)?,
+            }),
+            tag => Err(PersistError::Malformed(format!("unknown spec tag {tag}"))),
         }
     }
 }
@@ -146,6 +227,15 @@ impl PartyAModel {
         Ok(())
     }
 
+    /// The forward-only prediction path: one federated forward pass
+    /// over a batch view with **no gradient caches** — the A-side
+    /// counterpart of [`PartyBModel::predict_batch`]. This is what the
+    /// serving loop ([`crate::serve::serve_party_a`]) drives for a
+    /// model loaded via [`crate::persist`].
+    pub fn predict_batch(&mut self, sess: &mut Session, batch: &Dataset) -> TransportResult<()> {
+        self.forward(sess, batch, false)
+    }
+
     /// The MatMul source half (inspection).
     pub fn matmul(&self) -> Option<&MatMulSource> {
         self.matmul.as_ref()
@@ -154,6 +244,55 @@ impl PartyAModel {
     /// The Embed source half (inspection).
     pub fn embed(&self) -> Option<&EmbedSource> {
         self.embed.as_ref()
+    }
+
+    /// Persist the model half: presence flags + per-layer state.
+    pub(crate) fn write_state(&self, w: &mut crate::persist::Writer) {
+        write_opt(w, self.matmul.as_ref(), MatMulSource::write_state);
+        write_opt(w, self.embed.as_ref(), EmbedSource::write_state);
+    }
+
+    /// Rebuild the model half from persisted state.
+    pub(crate) fn read_state(
+        r: &mut crate::persist::Reader,
+    ) -> crate::persist::PersistResult<PartyAModel> {
+        let matmul = read_opt(r, MatMulSource::read_state)?;
+        let embed = read_opt(r, EmbedSource::read_state)?;
+        if matmul.is_none() && embed.is_none() {
+            return Err(crate::persist::PersistError::Malformed(
+                "PartyAModel with no source layers".into(),
+            ));
+        }
+        Ok(PartyAModel { matmul, embed })
+    }
+}
+
+/// Encode an optional component as a presence byte + state.
+fn write_opt<T>(
+    w: &mut crate::persist::Writer,
+    v: Option<&T>,
+    enc: impl FnOnce(&T, &mut crate::persist::Writer),
+) {
+    match v {
+        Some(t) => {
+            w.u8(1);
+            enc(t, w);
+        }
+        None => w.u8(0),
+    }
+}
+
+/// Decode an optional component (presence byte + state).
+fn read_opt<T>(
+    r: &mut crate::persist::Reader,
+    dec: impl FnOnce(&mut crate::persist::Reader) -> crate::persist::PersistResult<T>,
+) -> crate::persist::PersistResult<Option<T>> {
+    match r.u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(dec(r)?)),
+        tag => Err(crate::persist::PersistError::Malformed(format!(
+            "bad presence byte {tag}"
+        ))),
     }
 }
 
@@ -312,6 +451,263 @@ impl Top {
             }
         }
     }
+
+    /// Persist the top model (tag byte + per-variant layer states;
+    /// the activations are implied by the variant).
+    fn write_state(&self, w: &mut crate::persist::Writer) {
+        match self {
+            Top::Bias(bias) => {
+                w.u8(1);
+                write_bias(w, bias);
+            }
+            Top::Tower { bias, tower, .. } => {
+                w.u8(2);
+                write_bias(w, bias);
+                write_mlp(w, tower);
+            }
+            Top::Wdl {
+                deep_bias,
+                deep_tower,
+                out_bias,
+                ..
+            } => {
+                w.u8(3);
+                write_bias(w, deep_bias);
+                write_mlp(w, deep_tower);
+                write_bias(w, out_bias);
+            }
+            Top::Dlrm { tower } => {
+                w.u8(4);
+                write_mlp(w, tower);
+            }
+        }
+    }
+
+    /// Rebuild the top model from persisted state, checking it matches
+    /// the spec's variant (a `Glm` blob must carry a `Bias` top, …).
+    fn read_state(
+        r: &mut crate::persist::Reader,
+        spec: &FedSpec,
+    ) -> crate::persist::PersistResult<Top> {
+        use crate::persist::PersistError;
+        let tag = r.u8()?;
+        let want = match spec {
+            FedSpec::Glm { .. } => 1,
+            FedSpec::Mlp { .. } => 2,
+            FedSpec::Wdl { .. } => 3,
+            FedSpec::Dlrm { .. } => 4,
+        };
+        if tag != want {
+            return Err(PersistError::Malformed(format!(
+                "top-model tag {tag} does not match spec ({spec:?} expects {want})"
+            )));
+        }
+        Ok(match tag {
+            1 => Top::Bias(read_bias(r)?),
+            2 => Top::Tower {
+                bias: read_bias(r)?,
+                act: Activation::new(ActKind::Relu),
+                tower: read_mlp(r)?,
+            },
+            3 => Top::Wdl {
+                deep_bias: read_bias(r)?,
+                deep_act: Activation::new(ActKind::Relu),
+                deep_tower: read_mlp(r)?,
+                out_bias: read_bias(r)?,
+            },
+            4 => Top::Dlrm {
+                tower: read_mlp(r)?,
+            },
+            _ => unreachable!("tag validated against spec above"),
+        })
+    }
+}
+
+/// Encode a [`Bias`] layer (bias row + momentum buffer).
+fn write_bias(w: &mut crate::persist::Writer, b: &Bias) {
+    w.dense(&b.b);
+    w.dense(b.velocity());
+}
+
+/// Decode a [`Bias`] layer, validating shapes before construction.
+fn read_bias(r: &mut crate::persist::Reader) -> crate::persist::PersistResult<Bias> {
+    let b = r.dense()?;
+    let vel = r.dense()?;
+    crate::persist::check_vel(&b, &vel, "Bias")?;
+    if b.rows() != 1 {
+        return Err(crate::persist::PersistError::Malformed(format!(
+            "bias must be a row vector, got {}×{}",
+            b.rows(),
+            b.cols()
+        )));
+    }
+    Ok(Bias::from_state(b, vel))
+}
+
+/// Encode an [`Mlp`] tower (depth + per-layer weights, bias, momentum
+/// buffers and a ReLU-follows flag).
+fn write_mlp(w: &mut crate::persist::Writer, mlp: &Mlp) {
+    w.u64(mlp.depth() as u64);
+    for (lin, has_act) in mlp.layers() {
+        let (wt, b, vel_w, vel_b) = lin.state();
+        w.dense(wt);
+        w.dense(b);
+        w.dense(vel_w);
+        w.dense(vel_b);
+        w.u8(u8::from(has_act));
+    }
+}
+
+/// Decode an [`Mlp`] tower, validating every layer's shapes.
+fn read_mlp(r: &mut crate::persist::Reader) -> crate::persist::PersistResult<Mlp> {
+    use crate::persist::PersistError;
+    let depth = r.len_u64()?;
+    if depth == 0 || depth > 1 << 16 {
+        return Err(PersistError::Malformed(format!(
+            "implausible tower depth {depth}"
+        )));
+    }
+    let mut layers = Vec::with_capacity(depth);
+    for i in 0..depth {
+        let w = r.dense()?;
+        let b = r.dense()?;
+        let vel_w = r.dense()?;
+        let vel_b = r.dense()?;
+        crate::persist::check_vel(&w, &vel_w, "Linear W")?;
+        crate::persist::check_vel(&b, &vel_b, "Linear b")?;
+        if b.rows() != 1 || b.cols() != w.cols() {
+            return Err(PersistError::Malformed(format!(
+                "tower layer {i}: bias {}×{} does not match weights {}×{}",
+                b.rows(),
+                b.cols(),
+                w.rows(),
+                w.cols()
+            )));
+        }
+        let has_act = match r.u8()? {
+            0 => false,
+            1 => true,
+            tag => {
+                return Err(PersistError::Malformed(format!(
+                    "bad activation flag {tag}"
+                )))
+            }
+        };
+        layers.push((
+            bf_ml::layers::Linear::from_state(w, b, vel_w, vel_b),
+            has_act,
+        ));
+    }
+    // Consecutive layers must chain (a break here would only surface
+    // as a matmul shape panic on the first forward pass).
+    for (i, win) in layers.windows(2).enumerate() {
+        let (prev, next) = (win[0].0.state().0, win[1].0.state().0);
+        if prev.cols() != next.rows() {
+            return Err(PersistError::Malformed(format!(
+                "tower layers {i}/{}: widths {} → {} do not chain",
+                i + 1,
+                prev.cols(),
+                next.rows()
+            )));
+        }
+    }
+    Ok(Mlp::from_layers(layers))
+}
+
+/// Input/output widths of a decoded tower (`read_mlp` guarantees it is
+/// non-empty and chained).
+fn mlp_io(mlp: &Mlp) -> (usize, usize) {
+    let first = mlp.layers().next().expect("non-empty tower").0.state().0;
+    let last = mlp.layers().last().expect("non-empty tower").0.state().0;
+    (first.rows(), last.cols())
+}
+
+/// Validate the cross-component dimensions of an imported Party B
+/// model: the spec's widths, the source layers' output widths, and the
+/// top model's layer shapes must all agree — otherwise a corrupted
+/// blob would import cleanly and then panic inside the first forward
+/// pass (the serving loop) rather than being refused at load time.
+fn check_model_widths(
+    spec: &FedSpec,
+    matmul_out: Option<usize>,
+    embed_out: Option<usize>,
+    top: &Top,
+) -> crate::persist::PersistResult<()> {
+    use crate::persist::PersistError;
+    let check = |ok: bool, why: String| {
+        if ok {
+            Ok(())
+        } else {
+            Err(PersistError::Malformed(why))
+        }
+    };
+    // check_spec_layers has already run, so the layer set matches the
+    // spec shape; here we pin the widths at every connection point.
+    let mm = matmul_out.expect("layer set validated against spec");
+    match (spec, top) {
+        (FedSpec::Glm { out }, Top::Bias(bias)) => check(
+            mm == *out && bias.b.cols() == *out,
+            format!(
+                "Glm widths disagree: spec out {out}, MatMul out {mm}, bias {}",
+                bias.b.cols()
+            ),
+        ),
+        (FedSpec::Mlp { widths }, Top::Tower { bias, tower, .. }) => {
+            let (t_in, t_out) = mlp_io(tower);
+            check(
+                mm == widths[0]
+                    && bias.b.cols() == widths[0]
+                    && t_in == widths[0]
+                    && t_out == *widths.last().unwrap(),
+                format!(
+                    "Mlp widths disagree: spec {widths:?}, MatMul out {mm}, bias {}, tower {t_in}→{t_out}",
+                    bias.b.cols()
+                ),
+            )
+        }
+        (
+            FedSpec::Wdl {
+                deep_hidden, out, ..
+            },
+            Top::Wdl {
+                deep_bias,
+                deep_tower,
+                out_bias,
+                ..
+            },
+        ) => {
+            let proj = deep_hidden.first().copied().unwrap_or(*out);
+            let em = embed_out.expect("layer set validated against spec");
+            let (t_in, t_out) = mlp_io(deep_tower);
+            check(
+                mm == *out
+                    && em == proj
+                    && deep_bias.b.cols() == proj
+                    && t_in == proj
+                    && t_out == *out
+                    && out_bias.b.cols() == *out,
+                format!(
+                    "Wdl widths disagree: spec (proj {proj}, out {out}), MatMul out {mm}, \
+                     Embed out {em}, deep bias {}, tower {t_in}→{t_out}, out bias {}",
+                    deep_bias.b.cols(),
+                    out_bias.b.cols()
+                ),
+            )
+        }
+        (FedSpec::Dlrm { vec_dim, .. }, Top::Dlrm { tower }) => {
+            let em = embed_out.expect("layer set validated against spec");
+            let (t_in, t_out) = mlp_io(tower);
+            check(
+                mm == *vec_dim && em == *vec_dim && t_in == 2 * vec_dim + 1 && t_out == 1,
+                format!(
+                    "Dlrm widths disagree: spec vec_dim {vec_dim}, MatMul out {mm}, \
+                     Embed out {em}, tower {t_in}→{t_out}"
+                ),
+            )
+        }
+        // Top::read_state already rejects a tag/spec mismatch.
+        _ => unreachable!("top variant validated against spec"),
+    }
 }
 
 impl PartyBModel {
@@ -441,6 +837,54 @@ impl PartyBModel {
     /// The Embed source half (inspection).
     pub fn embed(&self) -> Option<&EmbedSource> {
         self.embed.as_ref()
+    }
+
+    /// Persist the model half: spec, source layers, top model.
+    pub(crate) fn write_state(&self, w: &mut crate::persist::Writer) {
+        self.spec.write_state(w);
+        write_opt(w, self.matmul.as_ref(), MatMulSource::write_state);
+        write_opt(w, self.embed.as_ref(), EmbedSource::write_state);
+        self.top.write_state(w);
+    }
+
+    /// Rebuild the model half from persisted state.
+    pub(crate) fn read_state(
+        r: &mut crate::persist::Reader,
+    ) -> crate::persist::PersistResult<PartyBModel> {
+        let spec = FedSpec::read_state(r)?;
+        let matmul = read_opt(r, MatMulSource::read_state)?;
+        let embed = read_opt(r, EmbedSource::read_state)?;
+        check_spec_layers(&spec, matmul.is_some(), embed.is_some())?;
+        let top = Top::read_state(r, &spec)?;
+        check_model_widths(
+            &spec,
+            matmul.as_ref().map(MatMulSource::out_dim),
+            embed.as_ref().map(EmbedSource::out_dim),
+            &top,
+        )?;
+        Ok(PartyBModel {
+            spec,
+            matmul,
+            embed,
+            top,
+        })
+    }
+}
+
+/// Validate that a persisted layer set matches its spec: every zoo
+/// member has a MatMul source, and exactly the categorical specs also
+/// have an Embed-MatMul source.
+fn check_spec_layers(
+    spec: &FedSpec,
+    has_matmul: bool,
+    has_embed: bool,
+) -> crate::persist::PersistResult<()> {
+    if has_matmul && has_embed == spec.uses_categorical() {
+        Ok(())
+    } else {
+        Err(crate::persist::PersistError::Malformed(format!(
+            "layer set (matmul: {has_matmul}, embed: {has_embed}) does not match spec {spec:?}"
+        )))
     }
 }
 
@@ -600,6 +1044,52 @@ impl MultiPartyBModel {
     /// The multi-guest Embed source half (inspection).
     pub fn embed(&self) -> Option<&MultiEmbedB> {
         self.embed.as_ref()
+    }
+
+    /// Persist the model half: spec, guest count, fanned-out source
+    /// layers, top model.
+    pub(crate) fn write_state(&self, w: &mut crate::persist::Writer) {
+        self.spec.write_state(w);
+        let m = self
+            .matmul
+            .as_ref()
+            .map(MultiMatMulB::parties)
+            .or_else(|| self.embed.as_ref().map(MultiEmbedB::parties))
+            .expect("a model has at least one source layer");
+        w.u64(m as u64);
+        write_opt(w, self.matmul.as_ref(), MultiMatMulB::write_state);
+        write_opt(w, self.embed.as_ref(), MultiEmbedB::write_state);
+        self.top.write_state(w);
+    }
+
+    /// Rebuild the model half from persisted state.
+    pub(crate) fn read_state(
+        r: &mut crate::persist::Reader,
+    ) -> crate::persist::PersistResult<MultiPartyBModel> {
+        use crate::persist::PersistError;
+        let spec = FedSpec::read_state(r)?;
+        let m = r.len_u64()?;
+        if m == 0 || m > 1 << 16 {
+            return Err(PersistError::Malformed(format!(
+                "implausible guest count {m}"
+            )));
+        }
+        let matmul = read_opt(r, |r| MultiMatMulB::read_state(r, m))?;
+        let embed = read_opt(r, |r| MultiEmbedB::read_state(r, m))?;
+        check_spec_layers(&spec, matmul.is_some(), embed.is_some())?;
+        let top = Top::read_state(r, &spec)?;
+        check_model_widths(
+            &spec,
+            matmul.as_ref().map(|mm| mm.u_own().cols()),
+            embed.as_ref().map(|em| em.link(0).out_dim()),
+            &top,
+        )?;
+        Ok(MultiPartyBModel {
+            spec,
+            matmul,
+            embed,
+            top,
+        })
     }
 }
 

@@ -169,6 +169,71 @@ impl MultiMatMulB {
         Ok(z)
     }
 
+    /// Persist the layer state: `U_B`, its momentum buffer, and every
+    /// link's `(V_A(i), vel, ⟦V_B(i)⟧)` triple in link order.
+    pub(crate) fn write_state(&self, w: &mut crate::persist::Writer) {
+        w.u64(self.out as u64);
+        w.dense(&self.u_own);
+        w.dense(&self.vel_u);
+        for link in &self.links {
+            w.dense(&link.v_a);
+            w.dense(&link.vel_v_a);
+            w.ctmat(&link.enc_v_b);
+        }
+    }
+
+    /// Rebuild the layer from persisted state for `m` links,
+    /// validating shapes.
+    pub(crate) fn read_state(
+        r: &mut crate::persist::Reader,
+        m: usize,
+    ) -> crate::persist::PersistResult<MultiMatMulB> {
+        use crate::persist::{check_vel, PersistError};
+        let out = r.len_u64()?;
+        let u_own = r.dense()?;
+        let vel_u = r.dense()?;
+        check_vel(&u_own, &vel_u, "MultiMatMulB U_B")?;
+        if u_own.cols() != out {
+            return Err(PersistError::Malformed(format!(
+                "MultiMatMulB: U_B width {} does not match out = {out}",
+                u_own.cols()
+            )));
+        }
+        let mut links = Vec::with_capacity(m);
+        for i in 0..m {
+            let v_a = r.dense()?;
+            let vel_v_a = r.dense()?;
+            let enc_v_b = r.ctmat()?;
+            check_vel(&v_a, &vel_v_a, "MultiMatMulB V_A")?;
+            if v_a.cols() != out {
+                return Err(PersistError::Malformed(format!(
+                    "MultiMatMulB link {i}: V_A width {} does not match out = {out}",
+                    v_a.cols()
+                )));
+            }
+            if enc_v_b.shape() != u_own.shape() {
+                return Err(PersistError::Malformed(format!(
+                    "MultiMatMulB link {i}: ⟦V_B⟧ shape {:?} does not match U_B shape {:?}",
+                    enc_v_b.shape(),
+                    u_own.shape()
+                )));
+            }
+            links.push(Link {
+                v_a,
+                vel_v_a,
+                enc_v_b,
+            });
+        }
+        Ok(MultiMatMulB {
+            u_own,
+            vel_u,
+            links,
+            out,
+            cached_x: None,
+            cached_support: Vec::new(),
+        })
+    }
+
     /// Backward (Algorithm 3, lines 20–31): update `U_B` locally, then
     /// assist every A(i) exactly as in the two-party protocol.
     pub fn backward(&mut self, sessions: &mut [Session], grad_z: &Dense) -> TransportResult<()> {
@@ -244,6 +309,36 @@ impl MultiEmbedB {
     /// `W_B(i) = U_B(i) + V_B(i)` against the `i`-th guest's pieces).
     pub fn link(&self, i: usize) -> &EmbedSource {
         &self.links[i]
+    }
+
+    /// Persist the layer state: the output width and every per-link
+    /// pairwise [`EmbedSource`] submodel in link order.
+    pub(crate) fn write_state(&self, w: &mut crate::persist::Writer) {
+        w.u64(self.out as u64);
+        for link in &self.links {
+            link.write_state(w);
+        }
+    }
+
+    /// Rebuild the layer from persisted state for `m` links.
+    pub(crate) fn read_state(
+        r: &mut crate::persist::Reader,
+        m: usize,
+    ) -> crate::persist::PersistResult<MultiEmbedB> {
+        use crate::persist::PersistError;
+        let out = r.len_u64()?;
+        let links = (0..m)
+            .map(|_| EmbedSource::read_state(r))
+            .collect::<crate::persist::PersistResult<Vec<_>>>()?;
+        for (i, link) in links.iter().enumerate() {
+            if link.out_dim() != out {
+                return Err(PersistError::Malformed(format!(
+                    "MultiEmbedB link {i}: submodel width {} does not match out = {out}",
+                    link.out_dim()
+                )));
+            }
+        }
+        Ok(MultiEmbedB { links, out })
     }
 
     /// Forward: runs the pairwise Embed-MatMul forward with every

@@ -1,0 +1,416 @@
+//! Model-state persistence: byte-exact export/import of the trained
+//! party models, closing the paper's train → persist → serve life
+//! cycle (a production VFL deployment trains once and serves many
+//! predictions; see `docs/SERVING.md` for the full format spec).
+//!
+//! Every persisted model is one self-describing byte blob:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic   0x42 0x46 0x4D 0x44  ("BFMD")
+//! 4       1     version 0x01
+//! 5       1     kind    (1 = PartyA, 2 = PartyB, 3 = MultiPartyB)
+//! 6       n     payload (per-kind encoding; see docs/SERVING.md)
+//! ```
+//!
+//! All multi-byte integers are little-endian; `f64`s travel as
+//! IEEE-754 bits; ciphertext caches reuse the canonical
+//! [`bf_paillier::export_ctmat`] wire encoding (Montgomery limbs
+//! verbatim), length-prefixed. The versioning rule mirrors
+//! `docs/WIRE_PROTOCOL.md`: **any** layout change bumps the version
+//! byte, and decoders reject every version they do not know.
+//!
+//! The contract is **byte-exact round-tripping**:
+//! `export(import(export(m))) == export(m)` bit for bit, and a
+//! reloaded model resumes training with a bit-identical loss curve —
+//! so the momentum buffers and the encrypted peer-piece caches are
+//! part of the persisted state, while per-batch caches (forward
+//! activations, gradient supports) are transient and excluded.
+//! `crates/core/tests/persist_prop.rs` enforces both properties.
+//!
+//! Key material is deliberately **not** part of a model file: the
+//! ciphertext caches decrypt only under the training session's keys,
+//! which travel separately (via [`bf_paillier::export_secret`] /
+//! [`bf_paillier::export_public`], or by regenerating them
+//! deterministically from the session seed — see
+//! [`crate::session::Session::handshake`]).
+
+use bf_paillier::{export_ctmat, import_ctmat, CtMat};
+use bf_tensor::Dense;
+
+use crate::models::{MultiPartyBModel, PartyAModel, PartyBModel};
+
+/// Persistence magic: ASCII `"BFMD"` (BlindFL MoDel).
+pub const MAGIC: [u8; 4] = *b"BFMD";
+/// Current persistence-format version. Decoders reject every other
+/// value (the versioning rule of `docs/WIRE_PROTOCOL.md`).
+pub const VERSION: u8 = 1;
+/// Kind byte for a [`PartyAModel`] blob.
+pub const KIND_PARTY_A: u8 = 1;
+/// Kind byte for a [`PartyBModel`] blob.
+pub const KIND_PARTY_B: u8 = 2;
+/// Kind byte for a [`MultiPartyBModel`] blob.
+pub const KIND_MULTI_PARTY_B: u8 = 3;
+/// Fixed header length (magic + version + kind).
+pub const HEADER_LEN: usize = 6;
+
+/// A persistence decode failure. Malformed input yields an `Err`,
+/// never a panic or an unbounded allocation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PersistError {
+    /// The first four bytes were not [`MAGIC`].
+    BadMagic([u8; 4]),
+    /// The version byte is not [`VERSION`].
+    UnsupportedVersion(u8),
+    /// The kind byte does not match the requested model type.
+    WrongKind {
+        /// The kind the importer was asked for.
+        expected: u8,
+        /// The kind byte actually present.
+        got: u8,
+    },
+    /// The buffer ended before the encoding said it would.
+    Truncated,
+    /// A structurally invalid payload (inconsistent shapes, bad
+    /// enum tags, trailing bytes, …).
+    Malformed(String),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::BadMagic(m) => write!(f, "bad model magic {m:02x?}"),
+            PersistError::UnsupportedVersion(v) => {
+                write!(f, "unsupported model-format version {v}")
+            }
+            PersistError::WrongKind { expected, got } => {
+                write!(f, "model kind {got} where kind {expected} was expected")
+            }
+            PersistError::Truncated => write!(f, "truncated model blob"),
+            PersistError::Malformed(why) => write!(f, "malformed model blob: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+/// Shorthand for persistence-fallible results.
+pub type PersistResult<T> = Result<T, PersistError>;
+
+/// Append-only byte sink the model modules encode their state into.
+pub(crate) struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn new(kind: u8) -> Writer {
+        let mut buf = Vec::with_capacity(64);
+        buf.extend_from_slice(&MAGIC);
+        buf.push(VERSION);
+        buf.push(kind);
+        Writer { buf }
+    }
+
+    pub(crate) fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub(crate) fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// `rows u64 | cols u64 | rows·cols f64` — the `Mat` wire layout.
+    pub(crate) fn dense(&mut self, m: &Dense) {
+        self.u64(m.rows() as u64);
+        self.u64(m.cols() as u64);
+        for v in m.data() {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    /// Length-prefixed canonical [`export_ctmat`] bytes.
+    pub(crate) fn ctmat(&mut self, ct: &CtMat) {
+        let bytes = export_ctmat(ct);
+        self.u64(bytes.len() as u64);
+        self.buf.extend_from_slice(&bytes);
+    }
+}
+
+/// Validating cursor over a persisted byte blob.
+pub(crate) struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8], expected_kind: u8) -> PersistResult<Reader<'a>> {
+        if bytes.len() < HEADER_LEN {
+            return Err(PersistError::Truncated);
+        }
+        if bytes[0..4] != MAGIC {
+            return Err(PersistError::BadMagic([
+                bytes[0], bytes[1], bytes[2], bytes[3],
+            ]));
+        }
+        if bytes[4] != VERSION {
+            return Err(PersistError::UnsupportedVersion(bytes[4]));
+        }
+        if bytes[5] != expected_kind {
+            return Err(PersistError::WrongKind {
+                expected: expected_kind,
+                got: bytes[5],
+            });
+        }
+        Ok(Reader {
+            bytes,
+            pos: HEADER_LEN,
+        })
+    }
+
+    fn take(&mut self, n: usize) -> PersistResult<&'a [u8]> {
+        let end = self.pos.checked_add(n).ok_or(PersistError::Truncated)?;
+        let s = self
+            .bytes
+            .get(self.pos..end)
+            .ok_or(PersistError::Truncated)?;
+        self.pos = end;
+        Ok(s)
+    }
+
+    pub(crate) fn u8(&mut self) -> PersistResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub(crate) fn u64(&mut self) -> PersistResult<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// A `u64` that must fit in `usize` (length / dimension fields).
+    pub(crate) fn len_u64(&mut self) -> PersistResult<usize> {
+        usize::try_from(self.u64()?)
+            .map_err(|_| PersistError::Malformed("length field overflows usize".into()))
+    }
+
+    pub(crate) fn dense(&mut self) -> PersistResult<Dense> {
+        let rows = self.len_u64()?;
+        let cols = self.len_u64()?;
+        let n = rows
+            .checked_mul(cols)
+            .ok_or_else(|| PersistError::Malformed("rows*cols overflow".into()))?;
+        let want = n
+            .checked_mul(8)
+            .ok_or_else(|| PersistError::Malformed("matrix byte length overflow".into()))?;
+        // Reject the claimed size before allocating: a corrupted
+        // length field must not drive an allocation larger than the
+        // blob it arrived in.
+        if self.bytes.len() - self.pos < want {
+            return Err(PersistError::Truncated);
+        }
+        let data: Vec<f64> = self
+            .take(want)?
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        Ok(Dense::from_vec(rows, cols, data))
+    }
+
+    pub(crate) fn ctmat(&mut self) -> PersistResult<CtMat> {
+        let len = self.len_u64()?;
+        if self.bytes.len() - self.pos < len {
+            return Err(PersistError::Truncated);
+        }
+        import_ctmat(self.take(len)?).map_err(PersistError::Malformed)
+    }
+
+    /// Error unless every byte has been consumed.
+    fn finish(self) -> PersistResult<()> {
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(PersistError::Malformed(format!(
+                "{} trailing bytes after payload",
+                self.bytes.len() - self.pos
+            )))
+        }
+    }
+}
+
+/// Check that a momentum buffer matches its weight matrix — every
+/// persisted `(piece, velocity)` pair goes through this on import.
+pub(crate) fn check_vel(w: &Dense, vel: &Dense, what: &str) -> PersistResult<()> {
+    if w.shape() != vel.shape() {
+        return Err(PersistError::Malformed(format!(
+            "{what}: velocity shape {:?} does not match weight shape {:?}",
+            vel.shape(),
+            w.shape()
+        )));
+    }
+    Ok(())
+}
+
+/// Serialize a trained [`PartyAModel`] (guest half) to bytes.
+pub fn export_party_a(model: &PartyAModel) -> Vec<u8> {
+    let mut w = Writer::new(KIND_PARTY_A);
+    model.write_state(&mut w);
+    w.buf
+}
+
+/// Deserialize a [`PartyAModel`], validating every field.
+pub fn import_party_a(bytes: &[u8]) -> PersistResult<PartyAModel> {
+    let mut r = Reader::new(bytes, KIND_PARTY_A)?;
+    let model = PartyAModel::read_state(&mut r)?;
+    r.finish()?;
+    Ok(model)
+}
+
+/// Serialize a trained [`PartyBModel`] (host half, including the
+/// local top model) to bytes.
+pub fn export_party_b(model: &PartyBModel) -> Vec<u8> {
+    let mut w = Writer::new(KIND_PARTY_B);
+    model.write_state(&mut w);
+    w.buf
+}
+
+/// Deserialize a [`PartyBModel`], validating every field.
+pub fn import_party_b(bytes: &[u8]) -> PersistResult<PartyBModel> {
+    let mut r = Reader::new(bytes, KIND_PARTY_B)?;
+    let model = PartyBModel::read_state(&mut r)?;
+    r.finish()?;
+    Ok(model)
+}
+
+/// Serialize a trained [`MultiPartyBModel`] (multi-guest host half) to
+/// bytes.
+pub fn export_multi_party_b(model: &MultiPartyBModel) -> Vec<u8> {
+    let mut w = Writer::new(KIND_MULTI_PARTY_B);
+    model.write_state(&mut w);
+    w.buf
+}
+
+/// Deserialize a [`MultiPartyBModel`], validating every field.
+pub fn import_multi_party_b(bytes: &[u8]) -> PersistResult<MultiPartyBModel> {
+    let mut r = Reader::new(bytes, KIND_MULTI_PARTY_B)?;
+    let model = MultiPartyBModel::read_state(&mut r)?;
+    r.finish()?;
+    Ok(model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_rejections() {
+        // Too short.
+        assert_eq!(import_party_a(&[]).err().unwrap(), PersistError::Truncated);
+        // Bad magic.
+        let mut blob = b"XXMD\x01\x01".to_vec();
+        assert!(matches!(
+            import_party_a(&blob).err().unwrap(),
+            PersistError::BadMagic(_)
+        ));
+        // Bad version.
+        blob[..4].copy_from_slice(&MAGIC);
+        blob[4] = 9;
+        assert_eq!(
+            import_party_a(&blob).err().unwrap(),
+            PersistError::UnsupportedVersion(9)
+        );
+        // Wrong kind: a Party B blob fed to the Party A importer.
+        blob[4] = VERSION;
+        blob[5] = KIND_PARTY_B;
+        assert_eq!(
+            import_party_a(&blob).err().unwrap(),
+            PersistError::WrongKind {
+                expected: KIND_PARTY_A,
+                got: KIND_PARTY_B
+            }
+        );
+    }
+
+    /// Hand-build a PartyB blob prefix: Glm/Mlp spec + a MatMul source
+    /// of the given shape + no embed layer.
+    fn party_b_prefix(spec_bytes: &[u8], mm_in: usize, mm_out: usize) -> Writer {
+        use bf_paillier::{keys::plain_keys, ObfMode, Obfuscator};
+        let (pk, _) = plain_keys(20);
+        let obf = Obfuscator::new(&pk, ObfMode::Pool(2), 0);
+        let mut w = Writer::new(KIND_PARTY_B);
+        w.buf.extend_from_slice(spec_bytes);
+        w.u8(1); // matmul present
+        w.u64(mm_out as u64);
+        let piece = Dense::zeros(mm_in, mm_out);
+        for _ in 0..4 {
+            w.dense(&piece);
+        }
+        w.ctmat(&pk.encrypt(&piece, &obf));
+        w.u8(0); // no embed
+        w
+    }
+
+    #[test]
+    fn cross_component_width_mismatch_is_rejected() {
+        // Spec Glm{out: 1} + MatMul out 1, but a width-3 bias top:
+        // each component is internally consistent, so only the
+        // cross-component check can catch it — without it, the blob
+        // imports and the first forward pass panics mid-protocol.
+        let mut spec = vec![1u8];
+        spec.extend_from_slice(&1u64.to_le_bytes());
+        let mut w = party_b_prefix(&spec, 2, 1);
+        w.u8(1); // Top::Bias
+        let bad = Dense::zeros(1, 3);
+        w.dense(&bad);
+        w.dense(&bad);
+        match import_party_b(&w.buf).err() {
+            Some(PersistError::Malformed(why)) => {
+                assert!(why.contains("Glm widths disagree"), "{why}")
+            }
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unchained_tower_layers_are_rejected() {
+        // Spec Mlp[2, 1] + MatMul out 2, tower layers 2×3 then 4×1:
+        // every layer is internally consistent but 3 → 4 do not chain.
+        let mut spec = vec![2u8];
+        for v in [2u64, 2, 1] {
+            spec.extend_from_slice(&v.to_le_bytes());
+        }
+        let mut w = party_b_prefix(&spec, 3, 2);
+        w.u8(2); // Top::Tower
+        let bias = Dense::zeros(1, 2);
+        w.dense(&bias);
+        w.dense(&bias);
+        w.u64(2); // tower depth
+        for (rows, cols, act) in [(2usize, 3usize, 1u8), (4, 1, 0)] {
+            let wt = Dense::zeros(rows, cols);
+            let b = Dense::zeros(1, cols);
+            w.dense(&wt);
+            w.dense(&b);
+            w.dense(&wt);
+            w.dense(&b);
+            w.u8(act);
+        }
+        match import_party_b(&w.buf).err() {
+            Some(PersistError::Malformed(why)) => {
+                assert!(why.contains("do not chain"), "{why}")
+            }
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_length_fields_do_not_allocate() {
+        // A dense header claiming u64::MAX rows must fail before any
+        // allocation happens.
+        let mut blob = Vec::new();
+        blob.extend_from_slice(&MAGIC);
+        blob.push(VERSION);
+        blob.push(KIND_PARTY_A);
+        blob.push(1); // has_matmul
+        blob.extend_from_slice(&1u64.to_le_bytes()); // out
+        blob.extend_from_slice(&u64::MAX.to_le_bytes()); // rows
+        blob.extend_from_slice(&u64::MAX.to_le_bytes()); // cols
+        assert!(import_party_a(&blob).is_err());
+    }
+}

@@ -1,0 +1,594 @@
+//! Federated inference serving: Party B hosts a **micro-batching
+//! request queue** that coalesces concurrent single-row prediction
+//! requests into one federated forward pass per batch, amortizing the
+//! per-pass Paillier work and round trips across every rider (see
+//! `docs/SERVING.md` for the architecture and the equivalence
+//! contract; `crates/bench/src/bin/serving.rs` measures the
+//! throughput win).
+//!
+//! ```text
+//!  clients            Party B (host)                  Party A (guest)
+//!  ───────            ──────────────                  ───────────────
+//!  predict(row) ──┐
+//!  predict(row) ──┼─▶ queue ─▶ coalesce ≤ max_batch
+//!  predict(row) ──┘      │
+//!                        ▼
+//!                 Support(rows)  ────────────────▶  select(rows)
+//!                 forward (B half)  ◀── protocol ──▶  forward (A half)
+//!                        │
+//!                 logits per rider ──▶ reply with latency + batch size
+//! ```
+//!
+//! The wire protocol needs **no new frame kinds**: a request batch is
+//! one [`Msg::Support`] carrying the PSI-aligned row indices (both
+//! parties index their local feature store with them), followed by the
+//! source layers' ordinary forward-pass messages; a [`Msg::U64`]
+//! sentinel ([`SERVE_SHUTDOWN`]) ends the serve session.
+//!
+//! **Equivalence contract**: a served prediction is bit-identical to
+//! the in-process prediction forward pass
+//! ([`PartyBModel::predict_batch`]) on the same rows under the same
+//! session state and batch partition — serving changes *where* the
+//! forward runs, never its bytes (`tests/serving_parity.rs` enforces
+//! this for 2-party and multi-guest, Plain and Paillier, both
+//! transports).
+
+use std::sync::mpsc as std_mpsc;
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bf_ml::data::Dataset;
+use bf_mpc::transport::{Msg, TransportError, TransportResult};
+use bf_tensor::Dense;
+
+use crate::models::{MultiPartyBModel, PartyAModel, PartyBModel};
+use crate::session::Session;
+
+/// The `U64` sentinel Party B sends on every link to end a serve
+/// session (any other `U64` in serve mode is a protocol fault).
+pub const SERVE_SHUTDOWN: u64 = 0x5E12_FD0E;
+
+/// Micro-batching options for the Party B serving loop.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Most riders coalesced into one federated forward pass. `1`
+    /// degenerates to sequential single-row serving (the bench
+    /// baseline).
+    pub max_batch: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig { max_batch: 32 }
+    }
+}
+
+/// Why a prediction request failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// The server is gone (loop exited or transport failed) — the
+    /// request will never be answered.
+    Closed,
+    /// The requested row does not exist in the serving feature store.
+    BadRow {
+        /// The requested row index.
+        row: usize,
+        /// The store's row count.
+        rows: usize,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Closed => write!(f, "prediction server is gone"),
+            ServeError::BadRow { row, rows } => {
+                write!(f, "row {row} out of range for a {rows}-row feature store")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// One answered prediction.
+#[derive(Clone, Debug)]
+pub struct Prediction {
+    /// The model's logits row for the requested instance.
+    pub logits: Vec<f64>,
+    /// Enqueue-to-reply latency of this request.
+    pub latency: Duration,
+    /// How many riders shared this request's federated forward pass.
+    pub batch_rows: usize,
+}
+
+/// An in-flight prediction request.
+struct Request {
+    row: usize,
+    enqueued: Instant,
+    reply: std_mpsc::SyncSender<Result<Prediction, ServeError>>,
+}
+
+/// A client handle onto a serving queue. Cheap to clone; one handle
+/// per client thread is the intended shape. The serving loop exits
+/// (and shuts the guests down) once every client handle is dropped
+/// and the queue has drained.
+#[derive(Clone)]
+pub struct PredictClient {
+    tx: SyncSender<Request>,
+}
+
+/// A submitted request whose reply can be awaited later —
+/// [`PredictClient::submit`] + [`PendingPrediction::wait`] is the
+/// asynchronous form of [`PredictClient::predict`].
+pub struct PendingPrediction {
+    rx: std_mpsc::Receiver<Result<Prediction, ServeError>>,
+}
+
+impl PendingPrediction {
+    /// Block until the server answers (or dies).
+    pub fn wait(self) -> Result<Prediction, ServeError> {
+        self.rx.recv().map_err(|_| ServeError::Closed)?
+    }
+}
+
+impl PredictClient {
+    /// Enqueue a prediction request for `row` of the serving store
+    /// without waiting for the answer.
+    pub fn submit(&self, row: usize) -> Result<PendingPrediction, ServeError> {
+        let (reply, rx) = std_mpsc::sync_channel(1);
+        self.tx
+            .send(Request {
+                row,
+                enqueued: Instant::now(),
+                reply,
+            })
+            .map_err(|_| ServeError::Closed)?;
+        Ok(PendingPrediction { rx })
+    }
+
+    /// Request a prediction for `row` and block until it is answered —
+    /// the closed-loop client call the bench drives from many threads.
+    pub fn predict(&self, row: usize) -> Result<Prediction, ServeError> {
+        self.submit(row)?.wait()
+    }
+}
+
+/// The server side of a serving queue (consumed by
+/// [`serve_party_b`] / [`serve_party_b_multi`]).
+pub struct RequestQueue {
+    rx: Receiver<Request>,
+}
+
+/// Create a serving queue of the given capacity: the client half
+/// (clonable, one per client thread) and the server half. Submissions
+/// beyond `capacity` block — backpressure, bounding server memory.
+pub fn queue(capacity: usize) -> (PredictClient, RequestQueue) {
+    let (tx, rx) = std_mpsc::sync_channel(capacity.max(1));
+    (PredictClient { tx }, RequestQueue { rx })
+}
+
+/// What a Party B serving loop produces: request/batch counts plus
+/// per-request latency and per-batch traffic accounting.
+#[derive(Debug)]
+pub struct ServeReport {
+    /// Requests answered (excluding bad-row rejections).
+    pub requests: u64,
+    /// Federated forward passes executed.
+    pub batches: u64,
+    /// Total bytes this party sent over the serve session (B→A,
+    /// summed across links in the multi-guest case).
+    pub bytes_sent: u64,
+    /// Enqueue-to-reply latency of every answered request, in seconds,
+    /// in answer order.
+    pub latencies_secs: Vec<f64>,
+    /// Rider count of every executed batch, in order.
+    pub batch_sizes: Vec<usize>,
+    /// Bytes this party sent per executed batch, in order (the
+    /// per-batch traffic a rider's upload amortizes over).
+    pub bytes_per_batch: Vec<u64>,
+}
+
+impl ServeReport {
+    /// Mean per-request latency in seconds (0 when nothing served).
+    pub fn mean_latency_secs(&self) -> f64 {
+        if self.latencies_secs.is_empty() {
+            0.0
+        } else {
+            self.latencies_secs.iter().sum::<f64>() / self.latencies_secs.len() as f64
+        }
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) of per-request latency in seconds
+    /// (0 when nothing served).
+    pub fn latency_quantile_secs(&self, q: f64) -> f64 {
+        if self.latencies_secs.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.latencies_secs.clone();
+        sorted.sort_by(f64::total_cmp);
+        let i = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        sorted[i]
+    }
+
+    /// Largest coalesced batch (0 when nothing served).
+    pub fn max_batch(&self) -> usize {
+        self.batch_sizes.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// What a Party A serving loop produces.
+#[derive(Debug)]
+pub struct ServeGuestReport {
+    /// Federated forward passes answered.
+    pub batches: u64,
+    /// Instance rows predicted across all batches.
+    pub rows: u64,
+    /// Total bytes this party sent over the serve session (A→B).
+    pub bytes_sent: u64,
+}
+
+/// Party A's serving loop: answer federated prediction passes against
+/// the local feature-store slice until the host sends
+/// [`SERVE_SHUTDOWN`]. Works unchanged for two-party and multi-guest
+/// serving (each guest serves its own link), over any transport, with
+/// a model freshly trained or loaded via [`crate::persist`].
+///
+/// Out-of-range row indices and unexpected message kinds surface as
+/// typed [`TransportError`]s — a guest facing a faulty host refuses
+/// the request instead of panicking.
+pub fn serve_party_a(
+    sess: &mut Session,
+    model: &mut PartyAModel,
+    store: &Dataset,
+) -> TransportResult<ServeGuestReport> {
+    let mut batches = 0u64;
+    let mut rows_served = 0u64;
+    loop {
+        match sess.ep.recv()? {
+            Msg::Support(rows) => {
+                let idx = check_rows(&rows, store.rows())?;
+                let batch = store.select(&idx);
+                model.predict_batch(sess, &batch)?;
+                batches += 1;
+                rows_served += rows.len() as u64;
+            }
+            Msg::U64(v) if v == SERVE_SHUTDOWN => break,
+            Msg::U64(v) => {
+                return Err(TransportError::Setup(format!(
+                    "unexpected U64 {v:#x} in serve mode (not the shutdown sentinel)"
+                )))
+            }
+            other => {
+                return Err(TransportError::TypeMismatch {
+                    expected: "Support",
+                    got: other.kind(),
+                })
+            }
+        }
+    }
+    Ok(ServeGuestReport {
+        batches,
+        rows: rows_served,
+        bytes_sent: sess.ep.stats().bytes(),
+    })
+}
+
+/// Validate a request batch's row indices against the store size.
+fn check_rows(rows: &[u32], store_rows: usize) -> TransportResult<Vec<usize>> {
+    rows.iter()
+        .map(|&r| {
+            let i = r as usize;
+            if i < store_rows {
+                Ok(i)
+            } else {
+                Err(TransportError::Setup(format!(
+                    "prediction request for row {i} of a {store_rows}-row store"
+                )))
+            }
+        })
+        .collect()
+}
+
+/// Party B's serving loop (two-party): drain the request queue,
+/// coalescing up to [`ServeConfig::max_batch`] concurrent requests
+/// per federated forward pass, until every [`PredictClient`] is
+/// dropped and the queue is empty; then shut the guest down.
+///
+/// Bad-row requests are rejected to their own caller
+/// ([`ServeError::BadRow`]) without disturbing the batch they arrived
+/// in; a transport failure aborts the loop with the error (pending
+/// callers observe [`ServeError::Closed`]).
+pub fn serve_party_b(
+    sess: &mut Session,
+    model: &mut PartyBModel,
+    store: &Dataset,
+    cfg: &ServeConfig,
+    queue: RequestQueue,
+) -> TransportResult<ServeReport> {
+    let stats = Arc::clone(sess.ep.stats());
+    let mut report = run_server_loop(
+        cfg,
+        store.rows(),
+        queue,
+        &mut || stats.bytes(),
+        &mut |rows| {
+            sess.ep.send(Msg::Support(rows.to_vec()))?;
+            let idx: Vec<usize> = rows.iter().map(|&r| r as usize).collect();
+            let batch = store.select(&idx);
+            model.predict_batch(sess, &batch)
+        },
+    )?;
+    sess.ep.send(Msg::U64(SERVE_SHUTDOWN))?;
+    report.bytes_sent = stats.bytes();
+    Ok(report)
+}
+
+/// Party B's serving loop, multi-guest: identical micro-batching, but
+/// each batch's row indices are broadcast to every guest link before
+/// the fanned-out forward pass, and the shutdown sentinel goes to
+/// every link. Each guest runs the unmodified [`serve_party_a`].
+pub fn serve_party_b_multi(
+    sessions: &mut [Session],
+    model: &mut MultiPartyBModel,
+    store: &Dataset,
+    cfg: &ServeConfig,
+    queue: RequestQueue,
+) -> TransportResult<ServeReport> {
+    if sessions.is_empty() {
+        return Err(TransportError::Setup(
+            "serve_party_b_multi needs at least one guest session (M = 0)".into(),
+        ));
+    }
+    let stats: Vec<_> = sessions.iter().map(|s| Arc::clone(s.ep.stats())).collect();
+    let mut report = run_server_loop(
+        cfg,
+        store.rows(),
+        queue,
+        &mut || stats.iter().map(|s| s.bytes()).sum(),
+        &mut |rows| {
+            for sess in sessions.iter() {
+                sess.ep.send(Msg::Support(rows.to_vec()))?;
+            }
+            let idx: Vec<usize> = rows.iter().map(|&r| r as usize).collect();
+            let batch = store.select(&idx);
+            model.predict_batch(sessions, &batch)
+        },
+    )?;
+    for sess in sessions.iter() {
+        sess.ep.send(Msg::U64(SERVE_SHUTDOWN))?;
+    }
+    report.bytes_sent = stats.iter().map(|s| s.bytes()).sum();
+    Ok(report)
+}
+
+/// The shared micro-batching drain: recv one request (blocking), ride
+/// up to `max_batch − 1` more already-queued requests on the same
+/// pass, predict, reply. `predict_rows` runs the federated forward
+/// for one coalesced batch; `bytes_now` samples this party's sent-byte
+/// counter for the per-batch traffic attribution.
+fn run_server_loop(
+    cfg: &ServeConfig,
+    store_rows: usize,
+    queue: RequestQueue,
+    bytes_now: &mut dyn FnMut() -> u64,
+    predict_rows: &mut dyn FnMut(&[u32]) -> TransportResult<Dense>,
+) -> TransportResult<ServeReport> {
+    let mut report = ServeReport {
+        requests: 0,
+        batches: 0,
+        bytes_sent: 0,
+        latencies_secs: Vec::new(),
+        batch_sizes: Vec::new(),
+        bytes_per_batch: Vec::new(),
+    };
+    let max_batch = cfg.max_batch.max(1);
+    loop {
+        // Block for the first rider; every request already queued
+        // behind it rides the same federated pass.
+        let first = match queue.rx.recv() {
+            Ok(r) => r,
+            Err(_) => break, // every client handle dropped, queue drained
+        };
+        let mut pending = vec![first];
+        while pending.len() < max_batch {
+            match queue.rx.try_recv() {
+                Ok(r) => pending.push(r),
+                Err(_) => break,
+            }
+        }
+        // Reject bad rows to their own callers; the rest still ride.
+        // Row indices travel as u32 (the `Support` wire payload), so a
+        // row that would truncate is as bad as one past the store —
+        // serving the wrong row silently is the one unacceptable
+        // outcome.
+        let mut riders = Vec::with_capacity(pending.len());
+        for req in pending {
+            if req.row < store_rows && u32::try_from(req.row).is_ok() {
+                riders.push(req);
+            } else {
+                let _ = req.reply.send(Err(ServeError::BadRow {
+                    row: req.row,
+                    rows: store_rows,
+                }));
+            }
+        }
+        if riders.is_empty() {
+            continue;
+        }
+        let rows: Vec<u32> = riders.iter().map(|r| r.row as u32).collect();
+        let bytes_before = bytes_now();
+        let logits = predict_rows(&rows)?;
+        let batch_bytes = bytes_now() - bytes_before;
+        let answered = Instant::now();
+        for (k, req) in riders.iter().enumerate() {
+            // A rider that gave up waiting is fine to skip.
+            let _ = req.reply.send(Ok(Prediction {
+                logits: logits.row(k).to_vec(),
+                latency: answered.duration_since(req.enqueued),
+                batch_rows: rows.len(),
+            }));
+            report
+                .latencies_secs
+                .push(answered.duration_since(req.enqueued).as_secs_f64());
+        }
+        report.requests += rows.len() as u64;
+        report.batches += 1;
+        report.batch_sizes.push(rows.len());
+        report.bytes_per_batch.push(batch_bytes);
+    }
+    report.bytes_sent = bytes_now();
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FedConfig;
+    use crate::models::FedSpec;
+    use crate::session::run_pair;
+    use bf_ml::data::Labels;
+    use bf_tensor::Features;
+    use rand::SeedableRng;
+
+    fn toy_data(rows: usize, dim: usize, seed: u64, labelled: bool) -> Dataset {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let num = bf_tensor::init::uniform(&mut rng, rows, dim, 1.0);
+        let labels = labelled.then(|| Labels::Binary((0..rows).map(|r| (r % 2) as f64).collect()));
+        Dataset {
+            num: Some(Features::Dense(num)),
+            cat: None,
+            labels,
+        }
+    }
+
+    /// Serve `n` pre-enqueued requests end to end over the in-process
+    /// pair; returns (report, per-request logits).
+    fn serve_n(
+        cfg: &FedConfig,
+        max_batch: usize,
+        n: usize,
+        extra_bad_row: bool,
+    ) -> (ServeReport, Vec<Vec<f64>>) {
+        let store_a = toy_data(n, 3, 1, false);
+        let store_b = toy_data(n, 4, 2, true);
+        let spec = FedSpec::Glm { out: 1 };
+        let (_, out) = run_pair(
+            cfg,
+            5,
+            {
+                let store_a = store_a.clone();
+                let spec = spec.clone();
+                move |mut sess| {
+                    let mut model = PartyAModel::init(&mut sess, &spec, &store_a).unwrap();
+                    serve_party_a(&mut sess, &mut model, &store_a).unwrap()
+                }
+            },
+            move |mut sess| {
+                let mut model = PartyBModel::init(&mut sess, &spec, &store_b).unwrap();
+                let (client, q) = queue(n + 1);
+                let mut pending: Vec<_> = (0..n).map(|r| client.submit(r).unwrap()).collect();
+                let bad = extra_bad_row.then(|| client.submit(n + 7).unwrap());
+                drop(client);
+                let report = serve_party_b(
+                    &mut sess,
+                    &mut model,
+                    &store_b,
+                    &ServeConfig { max_batch },
+                    q,
+                )
+                .unwrap();
+                if let Some(b) = bad {
+                    assert_eq!(
+                        b.wait().unwrap_err(),
+                        ServeError::BadRow {
+                            row: n + 7,
+                            rows: n
+                        }
+                    );
+                }
+                let logits: Vec<Vec<f64>> = pending
+                    .drain(..)
+                    .map(|p| p.wait().unwrap().logits)
+                    .collect();
+                (report, logits)
+            },
+        );
+        out
+    }
+
+    #[test]
+    fn preenqueued_requests_coalesce_deterministically() {
+        let (report, logits) = serve_n(&FedConfig::plain(), 4, 8, false);
+        assert_eq!(report.requests, 8);
+        assert_eq!(report.batches, 2);
+        assert_eq!(report.batch_sizes, vec![4, 4]);
+        assert_eq!(report.latencies_secs.len(), 8);
+        assert_eq!(report.bytes_per_batch.len(), 2);
+        assert!(report.bytes_per_batch.iter().all(|&b| b > 0));
+        assert_eq!(logits.len(), 8);
+        assert!(logits.iter().all(|l| l.len() == 1 && l[0].is_finite()));
+        assert!(report.max_batch() == 4);
+        assert!(report.mean_latency_secs() > 0.0);
+        assert!(report.latency_quantile_secs(0.95) >= report.latency_quantile_secs(0.0));
+    }
+
+    #[test]
+    fn single_row_serving_answers_every_request() {
+        let (report, logits) = serve_n(&FedConfig::plain(), 1, 5, false);
+        assert_eq!(report.batches, 5);
+        assert_eq!(report.batch_sizes, vec![1; 5]);
+        assert_eq!(logits.len(), 5);
+    }
+
+    #[test]
+    fn bad_rows_are_rejected_without_killing_the_batch() {
+        let (report, logits) = serve_n(&FedConfig::plain(), 16, 6, true);
+        // The bad row was rejected to its caller; the 6 good riders
+        // were all answered.
+        assert_eq!(report.requests, 6);
+        assert_eq!(logits.len(), 6);
+    }
+
+    #[test]
+    fn guest_refuses_out_of_range_rows_and_bad_sentinels() {
+        let cfg = FedConfig::plain();
+        let store_a = toy_data(4, 3, 3, false);
+        let spec = FedSpec::Glm { out: 1 };
+        let (guest_err, _) = run_pair(
+            &cfg,
+            9,
+            {
+                let store_a = store_a.clone();
+                move |mut sess| {
+                    let mut model = PartyAModel::init(&mut sess, &spec, &store_a).unwrap();
+                    serve_party_a(&mut sess, &mut model, &store_a).unwrap_err()
+                }
+            },
+            |sess| {
+                // Mirror the guest's init without building a model: the
+                // MatMul init handshake is one U64 + one Ct exchange.
+                sess.ep.send(Msg::U64(3)).unwrap();
+                let _ = sess.ep.recv_u64().unwrap();
+                let v = bf_tensor::Dense::zeros(3, 1);
+                sess.ep
+                    .send(Msg::Ct(sess.own_pk.encrypt(&v, &sess.obf)))
+                    .unwrap();
+                let _ = sess.ep.recv_ct().unwrap();
+                // Out-of-range row: the guest must refuse with Setup.
+                sess.ep.send(Msg::Support(vec![99])).unwrap();
+            },
+        );
+        assert!(matches!(guest_err, TransportError::Setup(_)));
+    }
+
+    #[test]
+    fn client_observes_closed_when_server_never_runs() {
+        let (client, q) = queue(4);
+        let pending = client.submit(0).unwrap();
+        drop(q);
+        assert_eq!(pending.wait().unwrap_err(), ServeError::Closed);
+        assert!(matches!(client.submit(1), Err(ServeError::Closed)));
+    }
+}

@@ -92,12 +92,35 @@ impl Session {
         // RNG (mask/initialisation draws) is identical across crypto
         // backends — this is what makes the Plain and Paillier runs
         // coordinate-for-coordinate comparable in the lossless tests.
+        // It also means the key pair is a pure function of
+        // `(backend, frac_bits, seed)`: a later session with the same
+        // inputs regenerates the identical keys, which is what lets a
+        // persisted model's ciphertext caches (`crate::persist`) be
+        // served without shipping key material alongside the model.
         let mut key_rng = StdRng::seed_from_u64(seed ^ 0x5EED_07E7);
-        let rng = StdRng::seed_from_u64(seed);
         let (own_pk, own_sk) = match cfg.backend {
             Backend::Paillier { key_bits } => keygen(key_bits, cfg.frac_bits, &mut key_rng),
             Backend::Plain => plain_keys(cfg.frac_bits),
         };
+        Session::handshake_with_keys(ep, cfg, role, own_pk, own_sk, seed)
+    }
+
+    /// [`Session::handshake`] with externally supplied key material —
+    /// the production serving path, where the training keys were
+    /// persisted ([`bf_paillier::export_secret`] /
+    /// [`bf_paillier::export_public`]) instead of being regenerated
+    /// from the seed. `seed` still drives the mask RNG and the
+    /// encryption-randomness stream, so two runs with the same keys
+    /// and seed are bit-identical.
+    pub fn handshake_with_keys(
+        ep: Endpoint,
+        cfg: FedConfig,
+        role: Role,
+        own_pk: PublicKey,
+        own_sk: SecretKey,
+        seed: u64,
+    ) -> TransportResult<Session> {
+        let rng = StdRng::seed_from_u64(seed);
         let obf = Obfuscator::new(&own_pk, cfg.obf_mode, seed ^ 0x0bf);
         ep.send(Msg::Key(own_pk.clone()))?;
         let peer_pk = ep.recv_key()?;
@@ -192,6 +215,35 @@ mod tests {
                 assert!(masked.approx_eq(&want, 1e-5));
             },
         );
+    }
+
+    #[test]
+    fn handshake_with_persisted_keys_interoperates() {
+        // Round-trip the key material through the serialized form (the
+        // production persistence path) and handshake with it: the
+        // session must decrypt what the peer encrypts under its pk.
+        use bf_paillier::{export_public, export_secret, import_public, import_secret};
+        let cfg = FedConfig::paillier_test();
+        let mut key_rng = StdRng::seed_from_u64(7 ^ 0x5EED_07E7);
+        let (pk, sk) = bf_paillier::keygen(256, cfg.frac_bits, &mut key_rng);
+        let pk = import_public(&export_public(&pk)).unwrap();
+        let sk = import_secret(&export_secret(&sk)).unwrap();
+        let (ep_a, ep_b) = bf_mpc::channel_pair();
+        let cfg_a = cfg.clone();
+        let peer = std::thread::spawn(move || {
+            let sess = Session::handshake(ep_a, cfg_a, Role::A, party_seed(Role::A, 7)).unwrap();
+            // What the peer observes of B's identity: the key B loaded.
+            export_public(&sess.peer_pk)
+        });
+        let want_pk = export_public(&pk);
+        let sess = Session::handshake_with_keys(ep_b, cfg, Role::B, pk, sk, party_seed(Role::B, 7))
+            .unwrap();
+        // The reloaded pair must still work as a pair (the session obf
+        // stream was rebuilt for the imported public key).
+        let m = Dense::from_vec(1, 2, vec![2.5, -4.0]);
+        let ct = sess.own_pk.encrypt(&m, &sess.obf);
+        assert!(sess.own_sk.decrypt(&ct).approx_eq(&m, 1e-5));
+        assert_eq!(peer.join().unwrap(), want_pk);
     }
 
     #[test]

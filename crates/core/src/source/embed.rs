@@ -159,6 +159,104 @@ impl EmbedSource {
         &self.v_peer
     }
 
+    /// Persist the layer state (see `docs/SERVING.md` §persistence):
+    /// all four plaintext pieces and their momentum buffers, plus the
+    /// three ciphertext caches (`⟦T_own⟧`, `⟦V_own⟧`, `⟦U_peer⟧`).
+    /// Per-batch caches are transient and excluded.
+    pub(crate) fn write_state(&self, w: &mut crate::persist::Writer) {
+        w.u64(self.dim as u64);
+        w.u64(self.out as u64);
+        w.dense(&self.s_own);
+        w.dense(&self.vel_s);
+        w.dense(&self.t_peer);
+        w.dense(&self.vel_t_peer);
+        w.dense(&self.u_own);
+        w.dense(&self.vel_u);
+        w.dense(&self.v_peer);
+        w.dense(&self.vel_v_peer);
+        w.ctmat(&self.enc_t_own);
+        w.ctmat(&self.enc_v_own);
+        w.ctmat(&self.enc_u_peer);
+    }
+
+    /// Rebuild the layer from persisted state, validating shapes.
+    pub(crate) fn read_state(
+        r: &mut crate::persist::Reader,
+    ) -> crate::persist::PersistResult<EmbedSource> {
+        use crate::persist::{check_vel, PersistError};
+        let dim = r.len_u64()?;
+        let out = r.len_u64()?;
+        let s_own = r.dense()?;
+        let vel_s = r.dense()?;
+        let t_peer = r.dense()?;
+        let vel_t_peer = r.dense()?;
+        let u_own = r.dense()?;
+        let vel_u = r.dense()?;
+        let v_peer = r.dense()?;
+        let vel_v_peer = r.dense()?;
+        let enc_t_own = r.ctmat()?;
+        let enc_v_own = r.ctmat()?;
+        let enc_u_peer = r.ctmat()?;
+        check_vel(&s_own, &vel_s, "EmbedSource S")?;
+        check_vel(&t_peer, &vel_t_peer, "EmbedSource T")?;
+        check_vel(&u_own, &vel_u, "EmbedSource U")?;
+        check_vel(&v_peer, &vel_v_peer, "EmbedSource V")?;
+        let malformed = |why: String| Err(PersistError::Malformed(why));
+        if s_own.cols() != dim || t_peer.cols() != dim {
+            return malformed(format!(
+                "EmbedSource: table widths {} / {} do not match dim = {dim}",
+                s_own.cols(),
+                t_peer.cols()
+            ));
+        }
+        if u_own.cols() != out || v_peer.cols() != out {
+            return malformed(format!(
+                "EmbedSource: projection widths {} / {} do not match out = {out}",
+                u_own.cols(),
+                v_peer.cols()
+            ));
+        }
+        if enc_t_own.shape() != s_own.shape() {
+            return malformed(format!(
+                "EmbedSource: ⟦T_own⟧ shape {:?} does not match S_own shape {:?}",
+                enc_t_own.shape(),
+                s_own.shape()
+            ));
+        }
+        if enc_v_own.shape() != u_own.shape() {
+            return malformed(format!(
+                "EmbedSource: ⟦V_own⟧ shape {:?} does not match U_own shape {:?}",
+                enc_v_own.shape(),
+                u_own.shape()
+            ));
+        }
+        if enc_u_peer.shape() != v_peer.shape() {
+            return malformed(format!(
+                "EmbedSource: ⟦U_peer⟧ shape {:?} does not match V_peer shape {:?}",
+                enc_u_peer.shape(),
+                v_peer.shape()
+            ));
+        }
+        Ok(EmbedSource {
+            s_own,
+            t_peer,
+            enc_t_own,
+            u_own,
+            v_peer,
+            enc_v_own,
+            enc_u_peer,
+            vel_s,
+            vel_t_peer,
+            vel_u,
+            vel_v_peer,
+            dim,
+            out,
+            cached_x: None,
+            cached_psi: None,
+            cached_e_peer: None,
+        })
+    }
+
     /// Forward propagation (Figure 7, lines 5–11): returns this party's
     /// share `Z'_⋄ = Z'_{1,⋄} + Z'_{2,⋄}`.
     pub fn forward(

@@ -119,6 +119,59 @@ impl MatMulSource {
         &mut self.enc_v_own
     }
 
+    /// Persist the layer state (see `docs/SERVING.md` §persistence):
+    /// both weight pieces, their momentum buffers and the encrypted
+    /// peer-piece cache. Per-batch caches are transient and excluded.
+    pub(crate) fn write_state(&self, w: &mut crate::persist::Writer) {
+        w.u64(self.out as u64);
+        w.dense(&self.u_own);
+        w.dense(&self.vel_u);
+        w.dense(&self.v_peer);
+        w.dense(&self.vel_v_peer);
+        w.ctmat(&self.enc_v_own);
+    }
+
+    /// Rebuild the layer from persisted state, validating shapes.
+    pub(crate) fn read_state(
+        r: &mut crate::persist::Reader,
+    ) -> crate::persist::PersistResult<MatMulSource> {
+        use crate::persist::{check_vel, PersistError};
+        let out = r.len_u64()?;
+        let u_own = r.dense()?;
+        let vel_u = r.dense()?;
+        let v_peer = r.dense()?;
+        let vel_v_peer = r.dense()?;
+        let enc_v_own = r.ctmat()?;
+        check_vel(&u_own, &vel_u, "MatMulSource U")?;
+        check_vel(&v_peer, &vel_v_peer, "MatMulSource V")?;
+        if u_own.cols() != out || v_peer.cols() != out {
+            return Err(PersistError::Malformed(format!(
+                "MatMulSource: pieces {}×{} / {}×{} do not match out = {out}",
+                u_own.rows(),
+                u_own.cols(),
+                v_peer.rows(),
+                v_peer.cols()
+            )));
+        }
+        if enc_v_own.shape() != u_own.shape() {
+            return Err(PersistError::Malformed(format!(
+                "MatMulSource: ⟦V_own⟧ shape {:?} does not match U_own shape {:?}",
+                enc_v_own.shape(),
+                u_own.shape()
+            )));
+        }
+        Ok(MatMulSource {
+            u_own,
+            v_peer,
+            enc_v_own,
+            vel_u,
+            vel_v_peer,
+            out,
+            cached_x: None,
+            cached_support: Vec::new(),
+        })
+    }
+
     /// Forward propagation (Figure 6, lines 5–7): returns this party's
     /// share `Z'_⋄`. The model layer aggregates shares via
     /// [`aggregate_a`] / [`aggregate_b`].

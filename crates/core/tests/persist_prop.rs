@@ -1,0 +1,340 @@
+//! Persistence contracts (see `docs/SERVING.md` §persistence):
+//!
+//! 1. **Byte-exact round trip** — for arbitrary model shapes (dims
+//!    down to 1×1 and 0-width feature blocks, trained over batches
+//!    including 0-row ones), `export(import(export(m))) == export(m)`
+//!    bit for bit, for both party halves and the multi-guest host
+//!    half, under the Plain and Paillier backends.
+//! 2. **Bit-identical resume** — a training run that round-trips both
+//!    model halves through bytes mid-run produces the *exact* loss
+//!    curve of the uninterrupted run: the blobs capture every piece,
+//!    momentum buffer and ciphertext cache the optimizer needs.
+
+use bf_ml::data::{BatchIter, Dataset, Labels};
+use bf_tensor::Features;
+use blindfl::config::FedConfig;
+use blindfl::models::{FedSpec, MultiPartyBModel, PartyAModel, PartyBModel};
+use blindfl::persist::{
+    export_multi_party_b, export_party_a, export_party_b, import_multi_party_b, import_party_a,
+    import_party_b,
+};
+use blindfl::session::{multi_party_seed, run_pair, Role, Session};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+/// `label_classes`: 0 = unlabelled (a Party A view), 1 = binary,
+/// `n > 1` = n-class (matches a width-`n` model output).
+fn toy_data(
+    rows: usize,
+    num_dim: usize,
+    cat_vocabs: &[u32],
+    seed: u64,
+    label_classes: usize,
+) -> Dataset {
+    use rand::Rng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let num = Some(Features::Dense(bf_tensor::init::uniform(
+        &mut rng, rows, num_dim, 1.0,
+    )));
+    let cat = (!cat_vocabs.is_empty()).then(|| {
+        let local: Vec<u32> = (0..rows * cat_vocabs.len())
+            .map(|i| rng.random_range(0..cat_vocabs[i % cat_vocabs.len()]))
+            .collect();
+        bf_tensor::CatBlock::from_local(rows, cat_vocabs, local)
+    });
+    let labels = match label_classes {
+        0 => None,
+        1 => Some(Labels::Binary((0..rows).map(|r| (r % 2) as f64).collect())),
+        classes => Some(Labels::Multi {
+            classes,
+            y: (0..rows).map(|r| (r % classes) as u32).collect(),
+        }),
+    };
+    Dataset { num, cat, labels }
+}
+
+/// Train a two-party model for `steps` mini-batches (so velocities,
+/// piece updates and ciphertext-cache refreshes are all non-trivial),
+/// then export both halves.
+fn train_and_export(
+    cfg: &FedConfig,
+    spec: &FedSpec,
+    data_a: Dataset,
+    data_b: Dataset,
+    batches: Vec<Vec<usize>>,
+    seed: u64,
+) -> (Vec<u8>, Vec<u8>) {
+    let spec_a = spec.clone();
+    let spec_b = spec.clone();
+    let batches_a = batches.clone();
+    run_pair(
+        cfg,
+        seed,
+        move |mut sess| {
+            let mut model = PartyAModel::init(&mut sess, &spec_a, &data_a).unwrap();
+            for idx in &batches_a {
+                model.forward(&mut sess, &data_a.select(idx), true).unwrap();
+                model.backward(&mut sess).unwrap();
+            }
+            export_party_a(&model)
+        },
+        move |mut sess| {
+            let mut model = PartyBModel::init(&mut sess, &spec_b, &data_b).unwrap();
+            for idx in &batches {
+                model.train_batch(&mut sess, &data_b.select(idx)).unwrap();
+            }
+            export_party_b(&model)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, .. ProptestConfig::default() })]
+
+    /// Byte-exact round trip across random GLM shapes (Plain backend;
+    /// dims down to 1×1, batches down to 0 rows).
+    #[test]
+    fn glm_roundtrip_is_byte_exact(
+        in_a in 1usize..=4,
+        in_b in 1usize..=4,
+        out in 1usize..=2,
+        rows in 1usize..=6,
+        steps in 0usize..=2,
+        zero_row_batch in 0u8..=1,
+        seed in 0u64..1000,
+    ) {
+        let cfg = FedConfig::plain();
+        let spec = FedSpec::Glm { out };
+        let data_a = toy_data(rows, in_a, &[], seed * 3 + 1, 0);
+        let data_b = toy_data(rows, in_b, &[], seed * 3 + 2, out);
+        let mut batches: Vec<Vec<usize>> = (0..steps).map(|_| (0..rows).collect()).collect();
+        if zero_row_batch == 1 {
+            // A 0-row mini-batch must neither corrupt state nor leave
+            // residue in the exported blob.
+            batches.push(Vec::new());
+        }
+        let (bytes_a, bytes_b) = train_and_export(&cfg, &spec, data_a, data_b, batches, seed);
+        let model_a = import_party_a(&bytes_a).unwrap();
+        let model_b = import_party_b(&bytes_b).unwrap();
+        prop_assert_eq!(export_party_a(&model_a), bytes_a);
+        prop_assert_eq!(export_party_b(&model_b), bytes_b);
+    }
+}
+
+#[test]
+fn paillier_wdl_roundtrip_is_byte_exact() {
+    // The densest state any model carries: a WDL half holds both
+    // source layers (nine plaintext pieces + eight momentum buffers +
+    // four real-Paillier ciphertext caches) plus the deep-tower top.
+    let cfg = FedConfig::paillier_test();
+    let spec = FedSpec::Wdl {
+        emb_dim: 2,
+        deep_hidden: vec![3],
+        out: 1,
+    };
+    let data_a = toy_data(6, 3, &[4, 3], 11, 0);
+    let data_b = toy_data(6, 2, &[5], 12, 1);
+    let batches = vec![(0..6).collect::<Vec<_>>(), (0..3).collect()];
+    let (bytes_a, bytes_b) = train_and_export(&cfg, &spec, data_a, data_b, batches, 21);
+    let model_a = import_party_a(&bytes_a).unwrap();
+    let model_b = import_party_b(&bytes_b).unwrap();
+    assert_eq!(export_party_a(&model_a), bytes_a);
+    assert_eq!(export_party_b(&model_b), bytes_b);
+    // The plaintext pieces survived verbatim too (spot check through
+    // the inspection accessors).
+    let m2 = import_party_a(&bytes_a).unwrap();
+    assert_eq!(
+        m2.matmul().unwrap().u_own().data(),
+        model_a.matmul().unwrap().u_own().data()
+    );
+    assert_eq!(
+        m2.embed().unwrap().s_own().data(),
+        model_a.embed().unwrap().s_own().data()
+    );
+}
+
+#[test]
+fn mlp_and_dlrm_tops_roundtrip() {
+    // Cover the remaining Top variants (hidden towers with their
+    // per-layer momentum buffers).
+    for (spec, cat) in [
+        (
+            FedSpec::Mlp {
+                widths: vec![4, 3, 1],
+            },
+            Vec::new(),
+        ),
+        (
+            FedSpec::Dlrm {
+                emb_dim: 2,
+                vec_dim: 3,
+                top_hidden: vec![4],
+            },
+            vec![3u32, 4],
+        ),
+    ] {
+        let cfg = FedConfig::plain();
+        let data_a = toy_data(5, 3, &cat, 31, 0);
+        let data_b = toy_data(5, 4, &cat, 32, 1);
+        let batches = vec![(0..5).collect::<Vec<_>>()];
+        let (bytes_a, bytes_b) = train_and_export(&cfg, &spec, data_a, data_b, batches, 33);
+        assert_eq!(
+            export_party_a(&import_party_a(&bytes_a).unwrap()),
+            bytes_a,
+            "spec {spec:?}"
+        );
+        assert_eq!(
+            export_party_b(&import_party_b(&bytes_b).unwrap()),
+            bytes_b,
+            "spec {spec:?}"
+        );
+    }
+}
+
+#[test]
+fn multi_party_b_roundtrip_is_byte_exact() {
+    // M = 2 guests, WDL spec: exercises MultiMatMulB's per-link
+    // triples and MultiEmbedB's per-link pairwise submodels.
+    let m = 2usize;
+    let cfg = FedConfig::plain();
+    let spec = FedSpec::Wdl {
+        emb_dim: 2,
+        deep_hidden: vec![3],
+        out: 1,
+    };
+    let rows = 6;
+    let guests: Vec<Dataset> = (0..m)
+        .map(|i| toy_data(rows, 2 + i, &[3], 40 + i as u64, 0))
+        .collect();
+    let data_b = toy_data(rows, 3, &[4], 50, 1);
+
+    let mut host_eps = Vec::new();
+    let mut handles = Vec::new();
+    for (i, data_a) in guests.into_iter().enumerate() {
+        let (ep_a, ep_b) = bf_mpc::channel_pair();
+        host_eps.push(ep_b);
+        let cfg_a = cfg.clone();
+        let spec_a = spec.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut sess =
+                Session::handshake(ep_a, cfg_a, Role::A, multi_party_seed(Role::A, i, 60)).unwrap();
+            let mut model = PartyAModel::init(&mut sess, &spec_a, &data_a).unwrap();
+            for _ in 0..2 {
+                let batch = data_a.select(&(0..rows).collect::<Vec<_>>());
+                model.forward(&mut sess, &batch, true).unwrap();
+                model.backward(&mut sess).unwrap();
+            }
+            export_party_a(&model)
+        }));
+    }
+    let mut sessions: Vec<Session> = host_eps
+        .into_iter()
+        .enumerate()
+        .map(|(i, ep)| {
+            Session::handshake(ep, cfg.clone(), Role::B, multi_party_seed(Role::B, i, 60)).unwrap()
+        })
+        .collect();
+    let mut model_b = MultiPartyBModel::init(&mut sessions, &spec, &data_b).unwrap();
+    for _ in 0..2 {
+        let batch = data_b.select(&(0..rows).collect::<Vec<_>>());
+        model_b.train_batch(&mut sessions, &batch).unwrap();
+    }
+    let bytes_b = export_multi_party_b(&model_b);
+    let reloaded = import_multi_party_b(&bytes_b).unwrap();
+    assert_eq!(export_multi_party_b(&reloaded), bytes_b);
+    assert_eq!(reloaded.matmul().unwrap().parties(), m);
+    assert_eq!(reloaded.embed().unwrap().parties(), m);
+    for h in handles {
+        let bytes_a = h.join().unwrap();
+        assert_eq!(export_party_a(&import_party_a(&bytes_a).unwrap()), bytes_a);
+    }
+}
+
+/// Loss curve of a 4-epoch run; when `reload_after` is set, both model
+/// halves are torn down to bytes and rebuilt at that epoch boundary
+/// mid-run (sessions stay, exactly like a serving node reloading its
+/// model). Bit-identical curves ⇔ the blobs are complete.
+fn losses_with_optional_reload(cfg: &FedConfig, reload_after: Option<usize>) -> Vec<u64> {
+    let rows = 24;
+    let bs = 8;
+    let epochs = 4;
+    let data_a = toy_data(rows, 5, &[], 71, 0);
+    let data_b = toy_data(rows, 4, &[], 72, 1);
+    let spec = FedSpec::Glm { out: 1 };
+    let spec_a = spec.clone();
+    let data_a2 = data_a.clone();
+    let (_, losses) = run_pair(
+        cfg,
+        77,
+        move |mut sess| {
+            let mut model = PartyAModel::init(&mut sess, &spec_a, &data_a2).unwrap();
+            for epoch in 0..epochs {
+                if reload_after == Some(epoch) {
+                    model = import_party_a(&export_party_a(&model)).unwrap();
+                }
+                for idx in BatchIter::new(rows, bs, 7 ^ epoch as u64) {
+                    model
+                        .forward(&mut sess, &data_a2.select(&idx), true)
+                        .unwrap();
+                    model.backward(&mut sess).unwrap();
+                }
+            }
+        },
+        move |mut sess| {
+            let mut model = PartyBModel::init(&mut sess, &spec, &data_b).unwrap();
+            let mut losses = Vec::new();
+            for epoch in 0..epochs {
+                if reload_after == Some(epoch) {
+                    model = import_party_b(&export_party_b(&model)).unwrap();
+                }
+                for idx in BatchIter::new(rows, bs, 7 ^ epoch as u64) {
+                    let loss = model.train_batch(&mut sess, &data_b.select(&idx)).unwrap();
+                    losses.push(loss.to_bits());
+                }
+            }
+            losses
+        },
+    );
+    losses
+}
+
+#[test]
+fn reloaded_model_resumes_training_bit_identically_plain() {
+    let cfg = FedConfig::plain();
+    let unbroken = losses_with_optional_reload(&cfg, None);
+    let resumed = losses_with_optional_reload(&cfg, Some(2));
+    assert_eq!(unbroken, resumed);
+    // The curve actually moved (the equality above is not vacuous).
+    assert_ne!(unbroken.first(), unbroken.last());
+}
+
+#[test]
+fn reloaded_model_resumes_training_bit_identically_paillier() {
+    // Same contract under real ciphertext caches: if the export missed
+    // (or re-encrypted) any ⟦V⟧ cache, the resumed run would diverge.
+    let cfg = FedConfig::paillier_test();
+    let unbroken = losses_with_optional_reload(&cfg, None);
+    let resumed = losses_with_optional_reload(&cfg, Some(2));
+    assert_eq!(unbroken, resumed);
+}
+
+#[test]
+fn truncated_and_corrupted_blobs_are_rejected() {
+    let cfg = FedConfig::plain();
+    let spec = FedSpec::Glm { out: 1 };
+    let data_a = toy_data(4, 3, &[], 81, 0);
+    let data_b = toy_data(4, 2, &[], 82, 1);
+    let (bytes_a, bytes_b) =
+        train_and_export(&cfg, &spec, data_a, data_b, vec![vec![0, 1, 2, 3]], 83);
+    // Every proper prefix fails with a typed error, never a panic.
+    for cut in 0..bytes_a.len() {
+        assert!(import_party_a(&bytes_a[..cut]).is_err(), "prefix {cut}");
+    }
+    // Trailing garbage is rejected too (the payload is self-delimiting).
+    let mut padded = bytes_b.clone();
+    padded.push(0);
+    assert!(import_party_b(&padded).is_err());
+    // Cross-kind confusion is a typed error.
+    assert!(import_party_b(&bytes_a).is_err());
+    assert!(import_multi_party_b(&bytes_b).is_err());
+}

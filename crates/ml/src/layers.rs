@@ -139,6 +139,34 @@ impl Linear {
         z
     }
 
+    /// Rebuild a layer from persisted state: weights, bias and their
+    /// momentum buffers (gradients are transient and start empty).
+    /// Shapes must be consistent (`vel_w` matches `w`, `vel_b` matches
+    /// `b`); asserted.
+    pub fn from_state(w: Dense, b: Dense, vel_w: Dense, vel_b: Dense) -> Self {
+        assert_eq!(w.shape(), vel_w.shape(), "vel_w shape mismatch");
+        assert_eq!(b.shape(), vel_b.shape(), "vel_b shape mismatch");
+        assert_eq!(b.rows(), 1, "bias must be a row vector");
+        assert_eq!(w.cols(), b.cols(), "bias width mismatch");
+        let (r, c) = w.shape();
+        Self {
+            grad_w: Dense::zeros(r, c),
+            grad_b: Dense::zeros(1, c),
+            vel_w,
+            vel_b,
+            w,
+            b,
+            cached_x: None,
+        }
+    }
+
+    /// The persistent state `(w, b, vel_w, vel_b)` — everything a
+    /// byte-exact training resume needs (gradients and input caches
+    /// are transient; they are rebuilt by the next backward pass).
+    pub fn state(&self) -> (&Dense, &Dense, &Dense, &Dense) {
+        (&self.w, &self.b, &self.vel_w, &self.vel_b)
+    }
+
     /// Backward: stores `∇W`, `∇b`; returns `∇X = ∇Z·Wᵀ`.
     pub fn backward(&mut self, grad_z: &Dense) -> Dense {
         let x = self.cached_x.take().expect("backward before forward");
@@ -181,6 +209,21 @@ impl Bias {
             grad: Dense::zeros(1, out),
             vel: Dense::zeros(1, out),
         }
+    }
+
+    /// Rebuild a bias from persisted state (bias row + momentum
+    /// buffer; shapes must match — asserted).
+    pub fn from_state(b: Dense, vel: Dense) -> Self {
+        assert_eq!(b.shape(), vel.shape(), "bias velocity shape mismatch");
+        assert_eq!(b.rows(), 1, "bias must be a row vector");
+        let grad = Dense::zeros(1, b.cols());
+        Self { b, grad, vel }
+    }
+
+    /// The momentum buffer (persisted alongside `b` so a reloaded
+    /// model resumes training bit-identically).
+    pub fn velocity(&self) -> &Dense {
+        &self.vel
     }
 
     /// `Z + b` (broadcast).
@@ -408,6 +451,26 @@ impl Mlp {
     /// Number of Linear layers.
     pub fn depth(&self) -> usize {
         self.blocks.len()
+    }
+
+    /// The tower's layers in order, each with a flag for whether a
+    /// ReLU follows it (persistence reads the tower through this).
+    pub fn layers(&self) -> impl Iterator<Item = (&Linear, bool)> {
+        self.blocks.iter().map(|(lin, act)| (lin, act.is_some()))
+    }
+
+    /// Rebuild a tower from persisted layers (`(linear, relu-follows)`
+    /// pairs in order; must be non-empty — asserted).
+    pub fn from_layers(layers: Vec<(Linear, bool)>) -> Self {
+        assert!(!layers.is_empty(), "Mlp needs at least one layer");
+        let blocks = layers
+            .into_iter()
+            .map(|(lin, has_act)| {
+                let act = has_act.then(|| Activation::new(ActKind::Relu));
+                (lin, act)
+            })
+            .collect();
+        Self { blocks }
     }
 
     /// Forward pass.

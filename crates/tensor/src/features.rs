@@ -9,7 +9,9 @@ use crate::{Csr, Dense};
 /// mirroring how BlindFL's CryptoTensor keeps sparse inputs sparse.
 #[derive(Clone, Debug)]
 pub enum Features {
+    /// Row-major dense storage.
     Dense(Dense),
+    /// Compressed-sparse-row storage (high-dimensional sparse blocks).
     Sparse(Csr),
 }
 

@@ -14,6 +14,7 @@
 //! matmul interface so models and protocols are agnostic to the storage
 //! format.
 
+#![warn(missing_docs)]
 pub mod cat;
 pub mod dense;
 pub mod features;
