@@ -3,7 +3,7 @@
 //! matmul kernels that dominate every protocol (Table 5's inner loop).
 
 use bf_bigint::{BigUint, MontCtx};
-use bf_paillier::{keygen, ObfMode, Obfuscator, PublicKey};
+use bf_paillier::{keygen, ObfMode, Obfuscator, PaillierMode, PublicKey};
 use bf_tensor::{Csr, Dense, Features};
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::SeedableRng;
@@ -58,6 +58,15 @@ fn bench_paillier(c: &mut Criterion) {
     });
     let ct = pk.encrypt(&m, &obf_pool);
     g.bench_function("decrypt_64_crt", |b| b.iter(|| sk.decrypt(&ct)));
+
+    // The packed hot path (4 slots per ciphertext at 512/32): the
+    // standing speedup target lives in `crypto_hotpath`; these rows
+    // keep the packed kernels visible in the bench-smoke timing table.
+    g.bench_function("encrypt_64_packed_pooled", |b| {
+        b.iter(|| pk.encrypt_mode(&m, PaillierMode::Packed, &obf_pool))
+    });
+    let ctp = pk.encrypt_mode(&m, PaillierMode::Packed, &obf_pool);
+    g.bench_function("decrypt_64_packed_crt", |b| b.iter(|| sk.decrypt(&ctp)));
     g.finish();
 }
 
@@ -98,6 +107,14 @@ fn bench_ctmat(c: &mut Criterion) {
     let support = x_sparse.col_support();
     g.bench_function("t_matmul_support", |b| {
         b.iter(|| pk.t_matmul_support(&x_sparse, &cgz, &support))
+    });
+
+    // Multi-output weights (an MLP/MLR head) where packing engages:
+    // the 16 columns ride in ceil(16/4) = 4 chunks per row.
+    let w16 = bf_tensor::init::uniform(&mut rng, 2000, 16, 0.1);
+    let cw16 = pk.encrypt_mode(&w16, PaillierMode::Packed, &obf);
+    g.bench_function("sparse_matmul_packed_32x2000x16", |b| {
+        b.iter(|| pk.matmul(&x_sparse, &cw16))
     });
     g.finish();
 }

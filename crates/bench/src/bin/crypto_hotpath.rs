@@ -1,0 +1,215 @@
+//! Crypto hot-path bench — scalar vs packed ciphertexts across
+//! obfuscation settings.
+//!
+//! Times the four CryptoTensor operations every protocol round pays
+//! (encrypt, plaintext×ciphertext matmul, homomorphic add, CRT
+//! decrypt) under `PaillierMode::Scalar` and `PaillierMode::Packed`
+//! at the timing key size (512-bit modulus, 32 fractional bits →
+//! 4 slots per ciphertext), then sweeps the obfuscation modes
+//! (exact draws, pools of several sizes, fixed-base windowed
+//! exponentiation) over the encrypt path, which is where obfuscation
+//! cost lives.
+//!
+//! Results go to `BENCH_crypto.json` at the repo root in
+//! machine-readable form; the composite packed-over-scalar speedup is
+//! asserted to stay above the 3× floor (CI greps the same floor from
+//! the JSON, so a regression fails twice).
+
+use bf_paillier::{keygen, ObfMode, Obfuscator, PaillierMode, PublicKey, SlotLayout};
+use bf_tensor::Features;
+use bf_util::Table;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Table 5-style shape: one mini-batch against one party's piece of a
+/// multi-output first layer (an MLP/MLR head, so columns really pack).
+const BATCH: usize = 32;
+const FEATURES: usize = 128;
+const OUT: usize = 16;
+const REPS: usize = 3;
+const FLOOR: f64 = 3.0;
+
+fn time_best<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        black_box(f());
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn obf_label(mode: ObfMode) -> String {
+    match mode {
+        ObfMode::Exact => "exact".to_string(),
+        ObfMode::Pool(n) => format!("pool({n})"),
+        ObfMode::FixedBase => "fixedbase".to_string(),
+    }
+}
+
+struct OpRow {
+    name: &'static str,
+    scalar_secs: f64,
+    packed_secs: f64,
+}
+
+impl OpRow {
+    fn speedup(&self) -> f64 {
+        self.scalar_secs / self.packed_secs
+    }
+}
+
+fn main() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xC0FE);
+    let (pk, sk) = keygen(512, 32, &mut rng);
+    let PublicKey::Paillier(p) = &pk else {
+        unreachable!()
+    };
+    let layout = SlotLayout::for_key(p.key_bits, p.frac_bits).expect("timing key packs");
+    eprintln!(
+        "[crypto_hotpath] 512-bit key, frac 32: {}-bit slots, {} per ciphertext",
+        layout.slot_bits, layout.slots
+    );
+
+    let obf = Obfuscator::new(&pk, ObfMode::Pool(64), 0x0BF);
+    let w = bf_tensor::init::uniform(&mut rng, FEATURES, OUT, 0.1);
+    let x = Features::Dense(bf_tensor::init::uniform(&mut rng, BATCH, FEATURES, 1.0));
+
+    // --- Main op-by-op comparison (pool(64), the timing default). ---
+    eprintln!("[crypto_hotpath] op sweep ({BATCH}x{FEATURES} batch, {OUT}-column weights)...");
+    let mut ops = Vec::new();
+    let mut cts = Vec::new();
+    for mode in [PaillierMode::Scalar, PaillierMode::Packed] {
+        let enc = time_best(REPS, || pk.encrypt_mode(&w, mode, &obf));
+        let cw = pk.encrypt_mode(&w, mode, &obf);
+        let mm = time_best(REPS, || pk.matmul(&x, &cw));
+        let cz = pk.matmul(&x, &cw);
+        // Gradient-accumulation shape: adding two scale-2 tensors.
+        let add = time_best(REPS, || pk.add(&cz, &cz));
+        let dec = time_best(REPS, || sk.decrypt(&cz));
+        cts.push((cw, cz, [enc, mm, add, dec]));
+    }
+    let (scalar_ct, _, s) = &cts[0];
+    let (packed_ct, _, q) = &cts[1];
+    assert!(
+        packed_ct.is_packed(),
+        "timing shape must take the packed path"
+    );
+    for (i, name) in ["encrypt", "matmul", "add", "decrypt"].iter().enumerate() {
+        ops.push(OpRow {
+            name,
+            scalar_secs: s[i],
+            packed_secs: q[i],
+        });
+    }
+    let scalar_total: f64 = ops.iter().map(|o| o.scalar_secs).sum();
+    let packed_total: f64 = ops.iter().map(|o| o.packed_secs).sum();
+    let composite = scalar_total / packed_total;
+    let wire_scalar = scalar_ct.wire_size();
+    let wire_packed = packed_ct.wire_size();
+
+    // --- Obfuscation sweep: encrypt is the only obfuscation consumer. ---
+    eprintln!("[crypto_hotpath] obfuscation sweep...");
+    let sweep_modes = [
+        ObfMode::Exact,
+        ObfMode::Pool(8),
+        ObfMode::Pool(64),
+        ObfMode::FixedBase,
+    ];
+    let mut sweep = Vec::new();
+    for m in sweep_modes {
+        let o = Obfuscator::new(&pk, m, 0x5EED);
+        let sc = time_best(REPS, || pk.encrypt_mode(&w, PaillierMode::Scalar, &o));
+        let pa = time_best(REPS, || pk.encrypt_mode(&w, PaillierMode::Packed, &o));
+        eprintln!(
+            "[crypto_hotpath]   {:>10}: scalar {:.4}s, packed {:.4}s ({:.1}x)",
+            obf_label(m),
+            sc,
+            pa,
+            sc / pa
+        );
+        sweep.push((m, sc, pa));
+    }
+
+    // Pool sizing from the measured draw rate: the obfuscator counts
+    // its draws, and `sized_for` turns that into a birthday-bounded
+    // pool (ISSUE: pools sized from measured rates, not guessed).
+    let draws = obf.drawn();
+    let sized = ObfMode::sized_for(draws);
+
+    // --- Report. ---
+    let mut t = Table::new(vec!["Op", "Scalar (s)", "Packed (s)", "Speedup"]);
+    for o in &ops {
+        t.row(vec![
+            o.name.to_string(),
+            format!("{:.4}", o.scalar_secs),
+            format!("{:.4}", o.packed_secs),
+            format!("{:.2}x", o.speedup()),
+        ]);
+    }
+    t.row(vec![
+        "composite".to_string(),
+        format!("{scalar_total:.4}"),
+        format!("{packed_total:.4}"),
+        format!("{composite:.2}x"),
+    ]);
+    t.print();
+    println!(
+        "weight ciphertext wire bytes: scalar {wire_scalar}, packed {wire_packed} ({:.2}x smaller)",
+        wire_scalar as f64 / wire_packed as f64
+    );
+    println!(
+        "obf draws this run: {draws}; sized_for → {}",
+        obf_label(sized)
+    );
+
+    // --- Machine-readable record. ---
+    let sweep_json: Vec<String> = sweep
+        .iter()
+        .map(|(m, sc, pa)| {
+            format!(
+                "    {{\"obf\": \"{}\", \"scalar_encrypt_secs\": {sc:.6}, \"packed_encrypt_secs\": {pa:.6}, \"speedup\": {:.3}}}",
+                obf_label(*m),
+                sc / pa
+            )
+        })
+        .collect();
+    let ops_json: Vec<String> = ops
+        .iter()
+        .map(|o| {
+            format!(
+                "    \"{}\": {{\"scalar_secs\": {:.6}, \"packed_secs\": {:.6}, \"speedup\": {:.3}}}",
+                o.name,
+                o.scalar_secs,
+                o.packed_secs,
+                o.speedup()
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"crypto_hotpath\",\n  \"key_bits\": 512,\n  \"frac_bits\": 32,\n  \
+         \"slot_bits\": {},\n  \"slots\": {},\n  \
+         \"shape\": {{\"batch\": {BATCH}, \"features\": {FEATURES}, \"out\": {OUT}}},\n  \
+         \"ops\": {{\n{}\n  }},\n  \
+         \"composite_speedup\": {composite:.3},\n  \"floor\": {FLOOR:.1},\n  \"meets_3x_floor\": {},\n  \
+         \"wire_bytes\": {{\"scalar\": {wire_scalar}, \"packed\": {wire_packed}}},\n  \
+         \"obf_sweep\": [\n{}\n  ],\n  \
+         \"pool_sizing\": {{\"draws_measured\": {draws}, \"sized_for\": \"{}\"}}\n}}\n",
+        layout.slot_bits,
+        layout.slots,
+        ops_json.join(",\n"),
+        composite >= FLOOR,
+        sweep_json.join(",\n"),
+        obf_label(sized),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_crypto.json");
+    std::fs::write(path, &json).expect("write BENCH_crypto.json");
+    println!("wrote {path}");
+
+    assert!(
+        composite >= FLOOR,
+        "packed composite speedup {composite:.2}x below the {FLOOR}x floor"
+    );
+    println!("composite speedup {composite:.2}x >= {FLOOR}x floor: ok");
+}

@@ -18,6 +18,7 @@
 //! addressed where it matters for the protocols (Montgomery arithmetic,
 //! operand scanning multiplication with `u128` intermediates).
 
+#![warn(missing_docs)]
 #![allow(clippy::same_item_push)] // limb padding loops
 pub mod div;
 pub mod modular;

@@ -93,9 +93,46 @@ impl MontCtx {
         t
     }
 
-    /// Montgomery squaring (delegates to `mont_mul`).
+    /// Montgomery squaring: `a*a*R^{-1} mod m` in limb form.
+    ///
+    /// Unlike the interleaved CIOS product, this squares first with the
+    /// half-product schoolbook/Karatsuba path (~half the limb
+    /// multiplies) and then runs a separate SOS reduction pass whose
+    /// inner loop streams sequentially over the modulus limbs — the
+    /// double-width intermediate stays in one linear buffer, so both
+    /// passes walk memory in order. Exponentiation is 4 squarings per
+    /// window and ~1 multiply, so this is the hot path of `pow_mont`.
     pub fn mont_sqr(&self, a: &[u64]) -> Vec<u64> {
-        self.mont_mul(a, a)
+        let k = self.k;
+        debug_assert_eq!(a.len(), k);
+        let m = &self.m.limbs;
+        let mut t = crate::mul::sqr_limbs(a);
+        t.resize(2 * k + 1, 0);
+        // Reduction: clear one low limb per iteration (t += u*m << 64i),
+        // then drop the low k limbs — the same REDC as mont_mul, just
+        // unfused from the product.
+        for i in 0..k {
+            let u = t[i].wrapping_mul(self.m_inv);
+            let mut carry = 0u128;
+            for (j, &mj) in m.iter().enumerate() {
+                let s = t[i + j] as u128 + u as u128 * mj as u128 + carry;
+                t[i + j] = s as u64;
+                carry = s >> 64;
+            }
+            let mut idx = i + k;
+            while carry != 0 {
+                let s = t[idx] as u128 + carry;
+                t[idx] = s as u64;
+                carry = s >> 64;
+                idx += 1;
+            }
+        }
+        let mut out = t[k..=2 * k].to_vec();
+        if out[k] != 0 || cmp_limbs(&out[..k], m) >= 0 {
+            sub_limbs(&mut out, m);
+        }
+        out.truncate(k);
+        out
     }
 
     /// Modular multiplication of reduced operands (`a, b < m`).
@@ -349,6 +386,30 @@ mod tests {
                 .low_u64(),
             1
         );
+    }
+
+    #[test]
+    fn mont_sqr_matches_mont_mul() {
+        // Several widths, including one past the Karatsuba threshold so
+        // the squaring pass exercises both product kernels.
+        for limbs in [1usize, 5, 15, 39] {
+            let mut m = BigUint::from_u64(0xdead_beef);
+            for i in 0..limbs as u64 {
+                m = m.shl(64).add_u64(0x9e37_79b9_7f4a_7c15 ^ (i * 31));
+            }
+            let m = if m.is_even() { m.add_u64(1) } else { m };
+            let ctx = MontCtx::new(&m);
+            let mut a = ctx.to_mont(&m.shr(7).add_u64(12345));
+            for _ in 0..4 {
+                assert_eq!(ctx.mont_sqr(&a), ctx.mont_mul(&a, &a));
+                a = ctx.mont_sqr(&a);
+            }
+            // Edge operands: zero and R (the Montgomery form of 1).
+            let zero = vec![0u64; ctx.limb_count()];
+            assert_eq!(ctx.mont_sqr(&zero), ctx.mont_mul(&zero, &zero));
+            let one = ctx.one_mont();
+            assert_eq!(ctx.mont_sqr(&one), ctx.mont_mul(&one, &one));
+        }
     }
 
     #[test]

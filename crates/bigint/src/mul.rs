@@ -40,47 +40,91 @@ impl BigUint {
         if self.is_zero() {
             return BigUint::zero();
         }
-        if self.limbs.len() >= KARATSUBA_THRESHOLD {
-            return self.mul(self);
-        }
-        let n = self.limbs.len();
-        let mut out = vec![0u64; 2 * n];
-        // Off-diagonal products, doubled.
-        for i in 0..n {
-            let mut carry = 0u128;
-            for j in (i + 1)..n {
-                let t = self.limbs[i] as u128 * self.limbs[j] as u128 + out[i + j] as u128 + carry;
-                out[i + j] = t as u64;
-                carry = t >> 64;
-            }
-            let mut k = i + n;
-            while carry != 0 {
-                let t = out[k] as u128 + carry;
-                out[k] = t as u64;
-                carry = t >> 64;
-                k += 1;
-            }
-        }
-        // Double.
-        let mut carry = 0u64;
-        for limb in out.iter_mut() {
-            let new_carry = *limb >> 63;
-            *limb = (*limb << 1) | carry;
-            carry = new_carry;
-        }
-        debug_assert_eq!(carry, 0);
-        // Diagonal.
-        let mut carry = 0u128;
-        for i in 0..n {
-            let t = self.limbs[i] as u128 * self.limbs[i] as u128 + out[2 * i] as u128 + carry;
-            out[2 * i] = t as u64;
-            let t2 = out[2 * i + 1] as u128 + (t >> 64);
-            out[2 * i + 1] = t2 as u64;
-            carry = t2 >> 64;
-        }
-        debug_assert_eq!(carry, 0);
-        BigUint::from_limbs(out)
+        BigUint::from_limbs(sqr_limbs(&self.limbs))
     }
+}
+
+/// Square a limb slice, dispatching between the half-product schoolbook
+/// squaring and Karatsuba splitting. Output always has `2 * a.len()`
+/// limbs (high limbs may be zero). Used both by [`BigUint::sqr`] and by
+/// the Montgomery squaring in `mont.rs`, whose fixed-width operands may
+/// carry trailing zero limbs.
+pub(crate) fn sqr_limbs(a: &[u64]) -> Vec<u64> {
+    if a.len() < KARATSUBA_THRESHOLD {
+        schoolbook_sqr(a)
+    } else {
+        karatsuba_sqr(a)
+    }
+}
+
+/// Schoolbook squaring: off-diagonal half products, doubled, plus the
+/// diagonal — ~half the limb multiplies of `schoolbook(a, a)`.
+fn schoolbook_sqr(a: &[u64]) -> Vec<u64> {
+    let n = a.len();
+    let mut out = vec![0u64; 2 * n];
+    // Off-diagonal products.
+    for i in 0..n {
+        if a[i] == 0 {
+            continue;
+        }
+        let mut carry = 0u128;
+        for j in (i + 1)..n {
+            let t = a[i] as u128 * a[j] as u128 + out[i + j] as u128 + carry;
+            out[i + j] = t as u64;
+            carry = t >> 64;
+        }
+        let mut k = i + n;
+        while carry != 0 {
+            let t = out[k] as u128 + carry;
+            out[k] = t as u64;
+            carry = t >> 64;
+            k += 1;
+        }
+    }
+    // Double.
+    let mut carry = 0u64;
+    for limb in out.iter_mut() {
+        let new_carry = *limb >> 63;
+        *limb = (*limb << 1) | carry;
+        carry = new_carry;
+    }
+    debug_assert_eq!(carry, 0);
+    // Diagonal.
+    let mut carry = 0u128;
+    for i in 0..n {
+        let t = a[i] as u128 * a[i] as u128 + out[2 * i] as u128 + carry;
+        out[2 * i] = t as u64;
+        let t2 = out[2 * i + 1] as u128 + (t >> 64);
+        out[2 * i + 1] = t2 as u64;
+        carry = t2 >> 64;
+    }
+    debug_assert_eq!(carry, 0);
+    out
+}
+
+/// Karatsuba squaring: three recursive squarings instead of three
+/// general products — `(a0 + a1·B)² = z0 + (z1 − z0 − z2)·B + z2·B²`
+/// with `z0 = a0²`, `z2 = a1²`, `z1 = (a0 + a1)²`.
+fn karatsuba_sqr(a: &[u64]) -> Vec<u64> {
+    let split = a.len() / 2;
+    if split == 0 {
+        return schoolbook_sqr(a);
+    }
+    let (a0, a1) = a.split_at(split);
+    let a0 = trim(a0);
+
+    let z0 = sqr_limbs(a0);
+    let z2 = sqr_limbs(a1);
+    let a01 = add_slices(a0, a1);
+    let mut z1 = sqr_limbs(&a01);
+    sub_in_place(&mut z1, &z0);
+    sub_in_place(&mut z1, &z2);
+
+    let mut out = vec![0u64; 2 * a.len()];
+    add_at(&mut out, &z0, 0);
+    add_at(&mut out, &z1, split);
+    add_at(&mut out, &z2, 2 * split);
+    out
 }
 
 /// Multiply two limb slices, dispatching between schoolbook and Karatsuba.
@@ -243,6 +287,31 @@ mod tests {
 
     fn slow_ref(a: &BigUint, b: &BigUint) -> BigUint {
         BigUint::from_limbs(schoolbook(a.limbs(), b.limbs()))
+    }
+
+    #[test]
+    fn sqr_limbs_handles_trailing_zeros() {
+        // Montgomery operands are fixed-width and may carry high zero
+        // limbs; the squaring paths must tolerate them. 40 limbs also
+        // pushes the padded slice through the Karatsuba branch.
+        let a = BigUint::from_u128(0xffff_abcd_1234_5678_9abc_def0);
+        let mut padded = a.limbs().to_vec();
+        padded.resize(40, 0);
+        assert_eq!(BigUint::from_limbs(sqr_limbs(&padded)), a.sqr());
+        assert_eq!(sqr_limbs(&[]), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn karatsuba_sqr_matches_schoolbook_sqr() {
+        let mut a = BigUint::one();
+        for i in 0..48u64 {
+            a = a.shl(64).add_u64(0x517c_c1b7_2722_0a95 ^ (i * 13));
+        }
+        assert!(a.limbs().len() >= KARATSUBA_THRESHOLD);
+        assert_eq!(
+            BigUint::from_limbs(karatsuba_sqr(a.limbs())),
+            BigUint::from_limbs(schoolbook_sqr(a.limbs()))
+        );
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Protocol configuration.
 
-use bf_paillier::ObfMode;
+use bf_paillier::{ObfMode, PaillierMode};
 
 /// Cryptographic backend selection.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -43,6 +43,11 @@ pub struct FedConfig {
     pub frac_bits: u32,
     /// Encryption-randomness strategy.
     pub obf_mode: ObfMode,
+    /// Ciphertext layout for uploads: [`PaillierMode::Packed`] packs
+    /// several fixed-point values per ciphertext on shapes/keys that
+    /// allow it (falling back to scalar otherwise); decodes are
+    /// bit-identical either way. Must match on both parties.
+    pub paillier_mode: PaillierMode,
     /// Magnitude of the ephemeral HE2SS masks (`ε, φ, ξ, ρ`).
     pub he_mask: f64,
     /// Gradient handling (Figure 9 ablation hook).
@@ -62,7 +67,8 @@ impl FedConfig {
                 key_bits: bf_paillier::DEFAULT_KEY_BITS,
             },
             frac_bits: bf_paillier::DEFAULT_FRAC_BITS,
-            obf_mode: ObfMode::Pool(32),
+            obf_mode: ObfMode::from_env_or(ObfMode::Pool(32)),
+            paillier_mode: PaillierMode::Packed,
             he_mask: 1e4,
             grad_mode: GradMode::SecretShared,
             lr: 0.05,
@@ -75,7 +81,8 @@ impl FedConfig {
         Self {
             backend: Backend::Paillier { key_bits: 256 },
             frac_bits: 24,
-            obf_mode: ObfMode::Pool(8),
+            obf_mode: ObfMode::from_env_or(ObfMode::Pool(8)),
+            paillier_mode: PaillierMode::Packed,
             he_mask: 100.0,
             grad_mode: GradMode::SecretShared,
             lr: 0.05,
@@ -89,6 +96,7 @@ impl FedConfig {
             backend: Backend::Plain,
             frac_bits: bf_paillier::DEFAULT_FRAC_BITS,
             obf_mode: ObfMode::Pool(2),
+            paillier_mode: PaillierMode::Scalar,
             he_mask: 1e4,
             grad_mode: GradMode::SecretShared,
             lr: 0.05,
@@ -105,6 +113,12 @@ impl FedConfig {
     /// Builder-style gradient-mode override.
     pub fn with_grad_mode(mut self, mode: GradMode) -> Self {
         self.grad_mode = mode;
+        self
+    }
+
+    /// Builder-style ciphertext-layout override.
+    pub fn with_paillier_mode(mut self, mode: PaillierMode) -> Self {
+        self.paillier_mode = mode;
         self
     }
 }

@@ -149,6 +149,23 @@ impl Session {
     pub fn is_plain(&self) -> bool {
         matches!(self.cfg.backend, Backend::Plain)
     }
+
+    /// Encrypt an upload under this party's own key in the session's
+    /// configured ciphertext layout ([`FedConfig::paillier_mode`]).
+    /// Packed layouts fall back to scalar per shape/key, so every
+    /// upload site can route through here unconditionally.
+    pub fn encrypt_upload(&self, m: &bf_tensor::Dense) -> bf_paillier::CtMat {
+        self.own_pk
+            .encrypt_mode(m, self.cfg.paillier_mode, &self.obf)
+    }
+
+    /// [`Session::encrypt_upload`] with an explicit segment width —
+    /// embedding tables pack with `seg = dim` so gathered rows stay
+    /// chunk-aligned after concatenation.
+    pub fn encrypt_upload_seg(&self, m: &bf_tensor::Dense, seg: usize) -> bf_paillier::CtMat {
+        self.own_pk
+            .encrypt_mode_seg(m, seg, self.cfg.paillier_mode, &self.obf)
+    }
 }
 
 /// Spawn a Party A thread and run `f_b` as Party B on the current

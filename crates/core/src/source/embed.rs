@@ -98,9 +98,13 @@ impl EmbedSource {
         let v_peer = random_mask(&mut sess.rng, d_peer, out, vbound);
 
         // Send our three encrypted pieces (⟦T_peer⟧, ⟦V_peer⟧, ⟦U_own⟧,
-        // all under our own key); receive the symmetric three.
+        // all under our own key); receive the symmetric three. The
+        // table packs with seg = dim so lkup's row concatenation stays
+        // chunk-aligned; ⟦V⟧/⟦U⟧ stay scalar — the projection backward
+        // transposes them (`enc_v_own.transpose()`, `matmul_ct_wt`),
+        // which contracts over the packed axis.
         sess.ep
-            .send(Msg::Ct(sess.own_pk.encrypt(&t_peer, &sess.obf)))?;
+            .send(Msg::Ct(sess.encrypt_upload_seg(&t_peer, dim)))?;
         sess.ep
             .send(Msg::Ct(sess.own_pk.encrypt(&v_peer, &sess.obf)))?;
         sess.ep
@@ -416,8 +420,9 @@ impl EmbedSource {
             sess.cfg.lr,
             sess.cfg.momentum,
         );
+        // Matches the packed (seg = dim) layout of A's ⟦T_A⟧ cache.
         sess.ep
-            .send(Msg::Ct(sess.own_pk.encrypt(&delta, &sess.obf)))?;
+            .send(Msg::Ct(sess.encrypt_upload_seg(&delta, self.dim)))?;
         Ok(())
     }
 
@@ -513,8 +518,9 @@ impl EmbedSource {
             sess.cfg.lr,
             sess.cfg.momentum,
         );
+        // Matches the packed (seg = dim) layout of B's ⟦T_B⟧ cache.
         sess.ep
-            .send(Msg::Ct(sess.own_pk.encrypt(&delta, &sess.obf)))?;
+            .send(Msg::Ct(sess.encrypt_upload_seg(&delta, self.dim)))?;
 
         // Embed part, own table (line 21 for A), using the pre-update
         // ⟦∇E_A⟧ computed above.

@@ -65,8 +65,9 @@ impl MatMulSource {
         let v_peer = random_mask(&mut sess.rng, in_peer, out, bound * v_scale);
 
         // Send ⟦V_peer⟧ under our own key; receive ⟦V_own⟧ under the
-        // peer's key.
-        let enc = sess.own_pk.encrypt(&v_peer, &sess.obf);
+        // peer's key. Uploads take the session's ciphertext layout —
+        // one packed ciphertext can carry a whole row of `out` columns.
+        let enc = sess.encrypt_upload(&v_peer);
         sess.ep.send(Msg::Ct(enc))?;
         let enc_v_own = sess.ep.recv_ct()?;
 
@@ -197,7 +198,7 @@ impl MatMulSource {
         // Line 9: encrypt ∇Z for Party A.
         let ct_gz = {
             let _t = sess.stages.timer(Stage::EncryptUpload);
-            sess.own_pk.encrypt(grad_z, &sess.obf)
+            sess.encrypt_upload(grad_z)
         };
         sess.ep.send(Msg::Ct(ct_gz))?;
         let _t = sess.stages.timer(Stage::DecryptUpdate);
@@ -219,8 +220,10 @@ impl MatMulSource {
         match sess.cfg.grad_mode {
             GradMode::SecretShared => {
                 let delta = self.step_v_peer(sess, &piece, &rows_a);
-                sess.ep
-                    .send(Msg::Ct(sess.own_pk.encrypt(&delta, &sess.obf)))?;
+                // Same layout decision as the ⟦V_A⟧ cache this refreshes
+                // (same key, same `out` columns), so rows_add_assign on
+                // A's side sees matching bodies.
+                sess.ep.send(Msg::Ct(sess.encrypt_upload(&delta)))?;
             }
             GradMode::PlainGradToA { .. } => {
                 // Ablation: hand A its gradient piece in plaintext; V_A

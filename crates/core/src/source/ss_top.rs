@@ -18,7 +18,7 @@
 //! SecureML-style piecewise approximations; they plug into the same
 //! [`MatMulSource::backward_ss`] interface.)
 
-use bf_mpc::convert::{he2ss_holder, he2ss_peer, ss2he};
+use bf_mpc::convert::{he2ss_holder, he2ss_peer, ss2he_mode};
 use bf_mpc::transport::{Msg, TransportResult};
 use bf_tensor::{Dense, Features};
 
@@ -47,8 +47,16 @@ impl MatMulSource {
     /// `∇Z`.
     pub fn backward_ss(&mut self, sess: &mut Session, grad_piece: &Dense) -> TransportResult<()> {
         let _t = sess.stages.timer(Stage::SsTop);
-        // Line 3: ⟨ε, ∇Z−ε⟩ → ⟦∇Z⟧ under the *peer's* key at each side.
-        let ct_gz = ss2he(&sess.ep, &sess.own_pk, &sess.obf, &sess.peer_pk, grad_piece)?;
+        // Line 3: ⟨ε, ∇Z−ε⟩ → ⟦∇Z⟧ under the *peer's* key at each side,
+        // in the session's ciphertext layout (same on both parties).
+        let ct_gz = ss2he_mode(
+            &sess.ep,
+            &sess.own_pk,
+            &sess.obf,
+            &sess.peer_pk,
+            grad_piece,
+            sess.cfg.paillier_mode,
+        )?;
 
         let x = self.take_cached_x();
         let support = self.take_cached_support();
@@ -72,8 +80,8 @@ impl MatMulSource {
         self.step_u_own(sess, &phi, &rows);
         let peer_rows: Vec<usize> = peer_support.iter().map(|&c| c as usize).collect();
         let delta = self.step_v_peer_pub(sess, &piece, &peer_rows);
-        sess.ep
-            .send(Msg::Ct(sess.own_pk.encrypt(&delta, &sess.obf)))?;
+        // Same layout decision as the ⟦V⟧ cache this refreshes.
+        sess.ep.send(Msg::Ct(sess.encrypt_upload(&delta)))?;
         let delta_own = sess.ep.recv_ct()?;
         self.refresh_enc_v_own(sess, &rows, &delta_own);
         Ok(())

@@ -6,7 +6,7 @@
 //! key owner for decryption. `SS2HE` turns a sharing into ciphertexts
 //! of `v` under each party's key via one exchange of encrypted pieces.
 
-use bf_paillier::{CtMat, Obfuscator, PublicKey, SecretKey};
+use bf_paillier::{CtMat, Obfuscator, PaillierMode, PublicKey, SecretKey};
 use bf_tensor::Dense;
 use rand::Rng;
 
@@ -47,7 +47,23 @@ pub fn ss2he(
     peer_pk: &PublicKey,
     v_mine: &Dense,
 ) -> TransportResult<CtMat> {
-    let enc_mine = own_pk.encrypt(v_mine, own_obf);
+    ss2he_mode(ep, own_pk, own_obf, peer_pk, v_mine, PaillierMode::Scalar)
+}
+
+/// [`ss2he`] with an explicit ciphertext layout for the encrypted piece
+/// this party sends. Both parties must pass the same `mode` (it is part
+/// of the shared session config): the packed layout is derived only
+/// from the key and shape, so the peer's `add_plain` sees a matching
+/// body. Falls back to scalar when the shape or key cannot pack.
+pub fn ss2he_mode(
+    ep: &Endpoint,
+    own_pk: &PublicKey,
+    own_obf: &Obfuscator,
+    peer_pk: &PublicKey,
+    v_mine: &Dense,
+    mode: PaillierMode,
+) -> TransportResult<CtMat> {
+    let enc_mine = own_pk.encrypt_mode(v_mine, mode, own_obf);
     ep.send(Msg::Ct(enc_mine))?;
     let enc_peer = ep.recv_ct()?;
     Ok(peer_pk.add_plain(&enc_peer, v_mine))
@@ -96,5 +112,34 @@ mod tests {
         // A's output decrypts under B's key; B's under A's key.
         assert!(sk_b.decrypt(&ct_under_b).approx_eq(&v, 1e-5));
         assert!(sk_a.decrypt(&ct_under_a).approx_eq(&v, 1e-5));
+    }
+
+    #[test]
+    fn ss2he_packed_bit_identical_to_scalar() {
+        // 256-bit/frac-20 keys pack 3 slots; both parties run Packed and
+        // the reconstruction must equal the scalar run bit-for-bit.
+        let run = |mode: PaillierMode| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+            let (pk_a, sk_a) = keygen(256, 20, &mut rng);
+            let (pk_b, sk_b) = keygen(256, 20, &mut rng);
+            let obf_a = Obfuscator::new(&pk_a, ObfMode::Pool(4), 2);
+            let obf_b = Obfuscator::new(&pk_b, ObfMode::Pool(4), 3);
+            let v = Dense::from_vec(2, 3, vec![5.0, -1.5, 2.25, 0.0, -7.125, 3.5]);
+            let (piece_a, piece_b) = crate::shares::share_dense(&mut rng, &v, 10.0);
+
+            let (ep_a, ep_b) = channel_pair();
+            let pk_a2 = pk_a.clone();
+            let pk_b2 = pk_b.clone();
+            let handle = std::thread::spawn(move || {
+                ss2he_mode(&ep_a, &pk_a2, &obf_a, &pk_b2, &piece_a, mode).unwrap()
+            });
+            let ct_under_a = ss2he_mode(&ep_b, &pk_b, &obf_b, &pk_a, &piece_b, mode).unwrap();
+            let ct_under_b = handle.join().unwrap();
+            (sk_a.decrypt(&ct_under_a), sk_b.decrypt(&ct_under_b))
+        };
+        let (sa, sb) = run(PaillierMode::Scalar);
+        let (pa, pb) = run(PaillierMode::Packed);
+        assert_eq!(pa.data(), sa.data());
+        assert_eq!(pb.data(), sb.data());
     }
 }

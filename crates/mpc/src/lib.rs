@@ -29,7 +29,7 @@ pub mod shares;
 pub mod transport;
 pub mod wire;
 
-pub use convert::{he2ss_holder, he2ss_peer, ss2he};
+pub use convert::{he2ss_holder, he2ss_peer, ss2he, ss2he_mode};
 pub use shares::{reconstruct, share_dense};
 pub use transport::{
     channel_pair, channel_pair_with_network, Endpoint, Msg, NetworkProfile, TrafficStats,

@@ -6,7 +6,7 @@
 //! ```text
 //! offset  size  field
 //! 0       2     magic   0x42 0x46  ("BF")
-//! 2       1     version 0x02
+//! 2       1     version 0x03
 //! 3       1     kind    (see the KIND_* constants)
 //! 4       4     payload length, u32 little-endian
 //! 8       n     payload (per-kind encoding)
@@ -26,8 +26,9 @@ use crate::transport::Msg;
 pub const MAGIC: [u8; 2] = *b"BF";
 /// Current protocol version. Decoders reject every other value.
 /// History: v1 = kinds 1–6; v2 added kind 7 (`Hello`, multi-party
-/// link identification) — a new kind is a version bump by rule.
-pub const VERSION: u8 = 2;
+/// link identification); v3 added `Ct` body tag 2 (packed ciphertext
+/// tensors) — a new kind or body tag is a version bump by rule.
+pub const VERSION: u8 = 3;
 /// Fixed frame-header length in bytes (magic + version + kind + length).
 pub const HEADER_LEN: usize = 8;
 /// Upper bound on a payload a decoder will accept (1 GiB). A malicious
@@ -276,7 +277,7 @@ mod tests {
             frame,
             vec![
                 0x42, 0x46, // "BF"
-                0x02, // version
+                0x03, // version
                 0x06, // kind U64
                 0x08, 0x00, 0x00, 0x00, // payload len 8
                 0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01, // u64 LE
@@ -294,7 +295,7 @@ mod tests {
             frame,
             vec![
                 0x42, 0x46, // "BF"
-                0x02, // version
+                0x03, // version
                 0x07, // kind Hello
                 0x08, 0x00, 0x00, 0x00, // payload len 8
                 0x02, 0x00, 0x00, 0x00, // index 2, u32 LE
@@ -309,7 +310,7 @@ mod tests {
         assert_eq!(
             frame,
             vec![
-                0x42, 0x46, 0x02, 0x05, 0x08, 0x00, 0x00, 0x00, // header
+                0x42, 0x46, 0x03, 0x05, 0x08, 0x00, 0x00, 0x00, // header
                 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xf0, 0x3f, // 1.0f64 LE
             ]
         );
@@ -321,7 +322,7 @@ mod tests {
         assert_eq!(
             frame,
             vec![
-                0x42, 0x46, 0x02, 0x04, 0x10, 0x00, 0x00, 0x00, // header, len 16
+                0x42, 0x46, 0x03, 0x04, 0x10, 0x00, 0x00, 0x00, // header, len 16
                 0x02, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // count 2
                 0x01, 0x00, 0x00, 0x00, // 1
                 0x0B, 0x0A, 0x00, 0x00, // 0x0A0B
@@ -335,7 +336,7 @@ mod tests {
         assert_eq!(
             frame,
             vec![
-                0x42, 0x46, 0x02, 0x02, 0x20, 0x00, 0x00, 0x00, // header, len 32
+                0x42, 0x46, 0x03, 0x02, 0x20, 0x00, 0x00, 0x00, // header, len 32
                 0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // rows 1
                 0x02, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // cols 2
                 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // 0.0
@@ -347,7 +348,7 @@ mod tests {
     #[test]
     fn golden_plain_key_frame() {
         let frame = encode_frame(&Msg::Key(bf_paillier::PublicKey::Plain { frac_bits: 24 }));
-        let mut want = vec![0x42, 0x46, 0x02, 0x03, 0x0B, 0x00, 0x00, 0x00];
+        let mut want = vec![0x42, 0x46, 0x03, 0x03, 0x0B, 0x00, 0x00, 0x00];
         want.extend_from_slice(b"bfplain1:24");
         assert_eq!(frame, want);
     }
@@ -361,7 +362,7 @@ mod tests {
         assert_eq!(
             frame,
             vec![
-                0x42, 0x46, 0x02, 0x01, 0x1A, 0x00, 0x00, 0x00, // header, len 26
+                0x42, 0x46, 0x03, 0x01, 0x1A, 0x00, 0x00, 0x00, // header, len 26
                 0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // rows 1
                 0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // cols 1
                 0x01, // scale 1

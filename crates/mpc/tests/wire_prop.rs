@@ -31,6 +31,22 @@ fn ctmat_from_parts(rows: usize, cols: usize, scale: u8, body: &CtBody) -> CtMat
                 bytes.extend_from_slice(&l.to_le_bytes());
             }
         }
+        CtBody::Packed {
+            k,
+            slot_bits,
+            slots,
+            seg,
+            limbs,
+        } => {
+            bytes.push(2);
+            bytes.extend_from_slice(&(*k as u64).to_le_bytes());
+            bytes.extend_from_slice(&(*slot_bits as u64).to_le_bytes());
+            bytes.extend_from_slice(&(*slots as u64).to_le_bytes());
+            bytes.extend_from_slice(&(*seg as u64).to_le_bytes());
+            for l in limbs {
+                bytes.extend_from_slice(&l.to_le_bytes());
+            }
+        }
     }
     import_ctmat(&bytes).expect("constructed ctmat bytes are valid")
 }
@@ -38,7 +54,17 @@ fn ctmat_from_parts(rows: usize, cols: usize, scale: u8, body: &CtBody) -> CtMat
 #[derive(Clone, Debug)]
 enum CtBody {
     Plain(Vec<f64>),
-    Enc { k: usize, limbs: Vec<u64> },
+    Enc {
+        k: usize,
+        limbs: Vec<u64>,
+    },
+    Packed {
+        k: usize,
+        slot_bits: u32,
+        slots: usize,
+        seg: usize,
+        limbs: Vec<u64>,
+    },
 }
 
 /// Deterministic finite matrix contents covering sign, magnitude
@@ -105,6 +131,51 @@ proptest! {
             panic!("kind changed");
         };
         prop_assert_eq!(got, ct);
+    }
+
+    #[test]
+    fn packed_ct_roundtrips(
+        r in 0usize..=3,
+        segs in 1usize..=2,
+        seg in 2usize..=4,
+        scale in any::<u8>(),
+        slot_bits in 40u32..=120,
+        slots in 2usize..=4,
+        k in 1usize..=4,
+    ) {
+        // Packed bodies (wire v3, body tag 2): cols = segs·seg keeps the
+        // segment-divides-cols invariant; chunk count follows the
+        // documented ceil(seg/slots) rule.
+        let cols = segs * seg;
+        let chunks = segs * seg.div_ceil(slots);
+        let ct = ctmat_from_parts(r, cols, scale.max(1), &CtBody::Packed {
+            k,
+            slot_bits,
+            slots,
+            seg,
+            limbs: (0..r * chunks * k)
+                .map(|i| (i as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93))
+                .collect(),
+        });
+        let Msg::Ct(got) = roundtrip(&Msg::Ct(ct.clone())) else {
+            panic!("kind changed");
+        };
+        prop_assert_eq!(got, ct);
+    }
+
+    #[test]
+    fn corrupted_packed_frames_never_panic(flip in 0usize..96, bit in 0u8..8) {
+        let ct = ctmat_from_parts(2, 4, 1, &CtBody::Packed {
+            k: 2,
+            slot_bits: 80,
+            slots: 3,
+            seg: 4,
+            limbs: (0..2 * 2 * 2).map(|i| i as u64 + 7).collect(),
+        });
+        let mut frame = encode_frame(&Msg::Ct(ct));
+        let idx = flip % frame.len();
+        frame[idx] ^= 1 << bit;
+        let _ = decode_frame(&frame);
     }
 
     #[test]

@@ -16,6 +16,7 @@ use bf_util::par_map;
 use crate::codec;
 use crate::keys::{PaillierPk, PublicKey, SecretKey};
 use crate::obf::Obfuscator;
+use crate::pack::{self, PackedCtMat, PaillierMode, SlotLayout};
 
 /// A matrix of ciphertexts (or the Plain backend's `f64`s).
 #[derive(Clone, Debug, PartialEq)]
@@ -33,6 +34,9 @@ enum Body {
     /// Flat Montgomery-form limbs: entry `(i, j)` occupies
     /// `limbs[(i*cols + j)*k .. +k]`.
     Enc { k: usize, limbs: Vec<u64> },
+    /// Slot-packed layout: one ciphertext per column chunk (see
+    /// [`crate::pack`]).
+    Packed(PackedCtMat),
     /// Plain backend.
     Plain(Vec<f64>),
 }
@@ -48,6 +52,17 @@ pub(crate) enum BodyView<'a> {
         /// Flat row-major limb buffer.
         limbs: &'a [u64],
     },
+    /// Slot-packed ciphertexts.
+    Packed {
+        /// Limbs per ciphertext.
+        k: usize,
+        /// Slot geometry.
+        layout: SlotLayout,
+        /// Segment width in columns.
+        seg: usize,
+        /// Flat row-major chunk limbs.
+        limbs: &'a [u64],
+    },
     /// Plain-backend values.
     Plain(&'a [f64]),
 }
@@ -57,6 +72,12 @@ impl CtMat {
     pub(crate) fn body_view(&self) -> BodyView<'_> {
         match &self.body {
             Body::Enc { k, limbs } => BodyView::Enc { k: *k, limbs },
+            Body::Packed(p) => BodyView::Packed {
+                k: p.k,
+                layout: p.layout,
+                seg: p.seg,
+                limbs: &p.limbs,
+            },
             Body::Plain(v) => BodyView::Plain(v),
         }
     }
@@ -76,6 +97,30 @@ impl CtMat {
             cols,
             scale,
             body: Body::Enc { k, limbs },
+        }
+    }
+
+    /// Rebuild a packed matrix from deserialized parts. The codec has
+    /// already validated the chunk geometry and limb count.
+    pub(crate) fn from_packed_parts(
+        rows: usize,
+        cols: usize,
+        scale: u8,
+        k: usize,
+        layout: SlotLayout,
+        seg: usize,
+        limbs: Vec<u64>,
+    ) -> CtMat {
+        CtMat {
+            rows,
+            cols,
+            scale,
+            body: Body::Packed(PackedCtMat {
+                k,
+                layout,
+                seg,
+                limbs,
+            }),
         }
     }
 
@@ -116,6 +161,8 @@ impl CtMat {
     pub fn wire_size(&self) -> usize {
         16 + match &self.body {
             Body::Enc { limbs, .. } => limbs.len() * 8,
+            // Packed bodies carry a 4-field geometry header on the wire.
+            Body::Packed(p) => 32 + p.limbs.len() * 8,
             Body::Plain(v) => v.len() * 8,
         }
     }
@@ -123,6 +170,11 @@ impl CtMat {
     /// True if this is a Plain-backend matrix.
     pub fn is_plain(&self) -> bool {
         matches!(self.body, Body::Plain(_))
+    }
+
+    /// True if this matrix uses the slot-packed ciphertext layout.
+    pub fn is_packed(&self) -> bool {
+        matches!(self.body, Body::Packed(_))
     }
 
     fn entry(&self, k: usize, i: usize, j: usize) -> &[u64] {
@@ -134,8 +186,13 @@ impl CtMat {
     }
 
     /// Transposed copy (pure index permutation — no homomorphic work).
+    ///
+    /// Panics on a packed matrix: slots run along the column axis, so a
+    /// transpose would need to re-pack ciphertext contents. Paths that
+    /// transpose their ciphertexts must stay in scalar layout.
     pub fn transpose(&self) -> CtMat {
         let body = match &self.body {
+            Body::Packed(_) => panic!("transpose is unsupported for packed ciphertexts"),
             Body::Enc { k, limbs } => {
                 let k = *k;
                 let mut out = vec![0u64; limbs.len()];
@@ -169,6 +226,19 @@ impl CtMat {
     /// Gather a subset of rows.
     pub fn select_rows(&self, rows: &[usize]) -> CtMat {
         let body = match &self.body {
+            Body::Packed(p) => {
+                let stride = p.chunks_total(self.cols) * p.k;
+                let mut out = Vec::with_capacity(rows.len() * stride);
+                for &r in rows {
+                    out.extend_from_slice(&p.limbs[r * stride..(r + 1) * stride]);
+                }
+                Body::Packed(PackedCtMat {
+                    k: p.k,
+                    layout: p.layout,
+                    seg: p.seg,
+                    limbs: out,
+                })
+            }
             Body::Enc { k, limbs } => {
                 let stride = self.cols * k;
                 let mut out = Vec::with_capacity(rows.len() * stride);
@@ -229,6 +299,76 @@ impl PublicKey {
                 scale: 1,
                 body: Body::Plain(m.data().iter().map(|&v| quantize(v, *frac_bits)).collect()),
             },
+        }
+    }
+
+    /// Encrypt selecting the ciphertext layout: `Scalar` is
+    /// [`PublicKey::encrypt`]; `Packed` packs along the column axis as a
+    /// single segment (`seg = cols`), falling back to the scalar body
+    /// when the key or shape cannot pack (see [`crate::pack`]).
+    pub fn encrypt_mode(&self, m: &Dense, mode: PaillierMode, obf: &Obfuscator) -> CtMat {
+        self.encrypt_mode_seg(m, m.cols(), mode, obf)
+    }
+
+    /// [`PublicKey::encrypt_mode`] with an explicit segment width, for
+    /// matrices whose consumers concatenate or gather column groups
+    /// (embedding tables use `seg = dim`). `cols` must be a whole
+    /// number of segments.
+    pub fn encrypt_mode_seg(
+        &self,
+        m: &Dense,
+        seg: usize,
+        mode: PaillierMode,
+        obf: &Obfuscator,
+    ) -> CtMat {
+        if let (PaillierMode::Packed, PublicKey::Paillier(pk)) = (mode, self) {
+            if let Some(layout) = SlotLayout::for_key(pk.key_bits, pk.frac_bits) {
+                // Packing only pays off (and chunk maths only holds) for
+                // ≥2-column segments tiling the matrix exactly. The
+                // decision depends on shared configuration and shape
+                // only, so both parties always agree on the layout.
+                if seg >= 2 && m.cols() % seg == 0 {
+                    return self.encrypt_packed(pk, m, seg, layout, obf);
+                }
+            }
+        }
+        self.encrypt(m, obf)
+    }
+
+    /// Packed encryption body: one ciphertext per column chunk.
+    fn encrypt_packed(
+        &self,
+        pk: &PaillierPk,
+        m: &Dense,
+        seg: usize,
+        layout: SlotLayout,
+        obf: &Obfuscator,
+    ) -> CtMat {
+        let k = pk.ct_limbs();
+        let proto = PackedCtMat {
+            k,
+            layout,
+            seg,
+            limbs: Vec::new(),
+        };
+        let nchunks = proto.chunks_total(m.cols());
+        let per: Vec<Vec<u64>> = par_map(m.rows() * nchunks, |idx| {
+            let (i, c) = (idx / nchunks, idx % nchunks);
+            let col0 = proto.chunk_col0(c);
+            let used = proto.used_in_chunk(c);
+            let vals = &m.row(i)[col0..col0 + used];
+            let p = pack::pack_values(vals, pk.frac_bits, 1, layout, &pk.n)
+                .expect("encrypt: value overflows its pack slot");
+            pk.raw_encrypt(&p, &obf.next_rn(pk))
+        });
+        CtMat {
+            rows: m.rows(),
+            cols: m.cols(),
+            scale: 1,
+            body: Body::Packed(PackedCtMat {
+                limbs: flatten(per, k),
+                ..proto
+            }),
         }
     }
 
@@ -315,6 +455,27 @@ impl PublicKey {
                     },
                 }
             }
+            (PublicKey::Paillier(pk), Body::Packed(pa), Body::Packed(pb)) => {
+                assert_eq!(pa.layout, pb.layout, "ct add slot layout mismatch");
+                assert_eq!(pa.seg, pb.seg, "ct add segment mismatch");
+                let nchunks = pa.chunks_total(a.cols);
+                let per: Vec<Vec<u64>> = par_map(a.rows * nchunks, |idx| {
+                    let (i, c) = (idx / nchunks, idx % nchunks);
+                    pk.mont
+                        .mont_mul(pa.entry(a.cols, i, c), pb.entry(b.cols, i, c))
+                });
+                CtMat {
+                    rows: a.rows,
+                    cols: a.cols,
+                    scale: a.scale,
+                    body: Body::Packed(PackedCtMat {
+                        k: pa.k,
+                        layout: pa.layout,
+                        seg: pa.seg,
+                        limbs: flatten(per, pa.k),
+                    }),
+                }
+            }
             (PublicKey::Plain { .. }, Body::Plain(va), Body::Plain(vb)) => CtMat {
                 rows: a.rows,
                 cols: a.cols,
@@ -347,6 +508,30 @@ impl PublicKey {
                         k,
                         limbs: flatten(per, k),
                     },
+                }
+            }
+            (PublicKey::Paillier(pk), Body::Packed(pa)) => {
+                let nchunks = pa.chunks_total(a.cols);
+                let per: Vec<Vec<u64>> = par_map(a.rows * nchunks, |idx| {
+                    let (i, c) = (idx / nchunks, idx % nchunks);
+                    let col0 = pa.chunk_col0(c);
+                    let used = pa.used_in_chunk(c);
+                    let vals = &p.row(i)[col0..col0 + used];
+                    let m = pack::pack_values(vals, pk.frac_bits, a.scale, pa.layout, &pk.n)
+                        .expect("add_plain: value overflows its pack slot");
+                    let g = pk.raw_encrypt_deterministic(&m);
+                    pk.mont.mont_mul(pa.entry(a.cols, i, c), &g)
+                });
+                CtMat {
+                    rows: a.rows,
+                    cols: a.cols,
+                    scale: a.scale,
+                    body: Body::Packed(PackedCtMat {
+                        k: pa.k,
+                        layout: pa.layout,
+                        seg: pa.seg,
+                        limbs: flatten(per, pa.k),
+                    }),
                 }
             }
             (PublicKey::Plain { .. }, Body::Plain(v)) => CtMat {
@@ -396,6 +581,38 @@ impl PublicKey {
                         k,
                         limbs: rows.concat(),
                     },
+                }
+            }
+            (PublicKey::Paillier(pk), Body::Packed(pw)) => {
+                // Identical accumulation to the scalar arm, but each
+                // pow_mont/mont_mul advances a whole chunk of output
+                // columns at once — the packed speedup.
+                let nchunks = pw.chunks_total(w.cols);
+                let rows: Vec<Vec<u64>> = par_map(x.rows(), |i| {
+                    let mut pos = vec![pk.mont.one_mont(); nchunks];
+                    let mut neg: Vec<Option<Vec<u64>>> = vec![None; nchunks];
+                    for_each_nonzero(x, i, |c, v| {
+                        let e = codec::encode_exponent(v, pk.frac_bits);
+                        if e.is_zero() {
+                            return;
+                        }
+                        for j in 0..nchunks {
+                            let p = pk.mont.pow_mont(pw.entry(w.cols, c, j), &e.mag);
+                            accumulate(pk, &mut pos[j], &mut neg[j], p, e.neg);
+                        }
+                    });
+                    resolve_row(pk, pos, neg, pw.k)
+                });
+                CtMat {
+                    rows: x.rows(),
+                    cols: w.cols,
+                    scale: 2,
+                    body: Body::Packed(PackedCtMat {
+                        k: pw.k,
+                        layout: pw.layout,
+                        seg: pw.seg,
+                        limbs: rows.concat(),
+                    }),
                 }
             }
             (PublicKey::Plain { frac_bits }, Body::Plain(wv)) => {
@@ -461,6 +678,35 @@ impl PublicKey {
                     },
                 }
             }
+            (PublicKey::Paillier(pk), Body::Packed(pg)) => {
+                let nchunks = pg.chunks_total(g.cols);
+                let rows: Vec<Vec<u64>> = par_map(support.len(), |s| {
+                    let mut pos = vec![pk.mont.one_mont(); nchunks];
+                    let mut neg: Vec<Option<Vec<u64>>> = vec![None; nchunks];
+                    for &(i, v) in &coeffs[s] {
+                        let e = codec::encode_exponent(v, pk.frac_bits);
+                        if e.is_zero() {
+                            continue;
+                        }
+                        for j in 0..nchunks {
+                            let p = pk.mont.pow_mont(pg.entry(g.cols, i, j), &e.mag);
+                            accumulate(pk, &mut pos[j], &mut neg[j], p, e.neg);
+                        }
+                    }
+                    resolve_row(pk, pos, neg, pg.k)
+                });
+                CtMat {
+                    rows: support.len(),
+                    cols: g.cols,
+                    scale: 2,
+                    body: Body::Packed(PackedCtMat {
+                        k: pg.k,
+                        layout: pg.layout,
+                        seg: pg.seg,
+                        limbs: rows.concat(),
+                    }),
+                }
+            }
             (PublicKey::Plain { frac_bits }, Body::Plain(gv)) => {
                 let gd = Dense::from_vec(g.rows, g.cols, gv.clone());
                 let mut out = Dense::zeros(support.len(), g.cols);
@@ -490,6 +736,10 @@ impl PublicKey {
     pub fn matmul_ct_wt(&self, g: &CtMat, w: &Dense) -> CtMat {
         assert_eq!(g.cols, w.cols(), "matmul_ct_wt shape mismatch");
         assert_eq!(g.scale, 1, "matmul_ct_wt expects a scale-1 ciphertext");
+        assert!(
+            !g.is_packed(),
+            "matmul_ct_wt contracts over the packed axis; keep ⟦G⟧ scalar"
+        );
         match (self, &g.body) {
             (PublicKey::Paillier(pk), Body::Enc { k, .. }) => {
                 let k = *k;
@@ -547,6 +797,30 @@ impl PublicKey {
         let dim = table.cols;
         let fields = x.fields();
         match &table.body {
+            // Pure limb gather, chunk-wise: each gathered table row is a
+            // whole number of segments, so the concatenated output keeps
+            // the table's segment alignment.
+            Body::Packed(p) => {
+                let stride = p.chunks_total(dim) * p.k;
+                let mut out = Vec::with_capacity(x.rows() * fields * stride);
+                for r in 0..x.rows() {
+                    for &g in x.row(r) {
+                        let off = g as usize * stride;
+                        out.extend_from_slice(&p.limbs[off..off + stride]);
+                    }
+                }
+                CtMat {
+                    rows: x.rows(),
+                    cols: fields * dim,
+                    scale: table.scale,
+                    body: Body::Packed(PackedCtMat {
+                        k: p.k,
+                        layout: p.layout,
+                        seg: p.seg,
+                        limbs: out,
+                    }),
+                }
+            }
             Body::Enc { k, limbs } => {
                 let k = *k;
                 let stride = dim * k;
@@ -589,6 +863,10 @@ impl PublicKey {
     pub fn lkup_bw(&self, grad_e: &CtMat, x: &CatBlock, support: &[u32], dim: usize) -> CtMat {
         assert_eq!(grad_e.cols, x.fields() * dim, "lkup_bw shape mismatch");
         assert_eq!(grad_e.rows, x.rows(), "lkup_bw row mismatch");
+        assert!(
+            !grad_e.is_packed(),
+            "lkup_bw scatters single columns; keep ⟦∇E⟧ scalar"
+        );
         // Per-support hit lists.
         let pos_of: std::collections::HashMap<u32, usize> =
             support.iter().enumerate().map(|(p, &c)| (c, p)).collect();
@@ -652,6 +930,23 @@ impl PublicKey {
                     }
                 }
             }
+            (PublicKey::Paillier(pk), Body::Packed(pc), Body::Packed(pd)) => {
+                assert_eq!(pc.layout, pd.layout, "rows_add_assign layout mismatch");
+                assert_eq!(pc.seg, pd.seg, "rows_add_assign segment mismatch");
+                let k = pc.k;
+                let nchunks = pc.chunks_total(cache.cols);
+                let stride = nchunks * k;
+                for (d, &r) in rows.iter().enumerate() {
+                    for c in 0..nchunks {
+                        let prod = {
+                            let cur = &pc.limbs[r * stride + c * k..r * stride + (c + 1) * k];
+                            pk.mont.mont_mul(cur, pd.entry(delta.cols, d, c))
+                        };
+                        pc.limbs[r * stride + c * k..r * stride + (c + 1) * k]
+                            .copy_from_slice(&prod);
+                    }
+                }
+            }
             (PublicKey::Plain { .. }, Body::Plain(cv), Body::Plain(dv)) => {
                 for (d, &r) in rows.iter().enumerate() {
                     for j in 0..cache.cols {
@@ -678,6 +973,28 @@ impl SecretKey {
                     codec::decode(&m, pk.frac_bits, ct.scale, &pk.n, &pk.half_n)
                 });
                 Dense::from_vec(ct.rows, ct.cols, vals)
+            }
+            (SecretKey::Paillier(sk), Body::Packed(p)) => {
+                let pk = sk.pk();
+                let nchunks = p.chunks_total(ct.cols);
+                let rows: Vec<Vec<f64>> = par_map(ct.rows, |i| {
+                    let mut row = Vec::with_capacity(ct.cols);
+                    for c in 0..nchunks {
+                        let m = sk.raw_decrypt(p.entry(ct.cols, i, c));
+                        pack::unpack_values(
+                            &m,
+                            p.used_in_chunk(c),
+                            pk.frac_bits,
+                            ct.scale,
+                            p.layout,
+                            &pk.n,
+                            &pk.half_n,
+                            &mut row,
+                        );
+                    }
+                    row
+                });
+                Dense::from_vec(ct.rows, ct.cols, rows.concat())
             }
             (SecretKey::Plain, Body::Plain(v)) => Dense::from_vec(ct.rows, ct.cols, v.clone()),
             _ => panic!("decrypt backend mismatch"),
@@ -986,5 +1303,169 @@ mod tests {
         let (pk, _, obf) = setup();
         let ct = pk.encrypt(&dense(2, 2, 20), &obf);
         assert!(ct.wire_size() > 4 * 8);
+    }
+
+    // ---- packed fast path ------------------------------------------------
+    //
+    // The contract is *bit-identity*: every packed op must decrypt to
+    // exactly the same f64s as its scalar counterpart, not merely
+    // approximately. The 256-bit/frac-20 fixture packs 3 slots of 80
+    // bits per ciphertext.
+
+    #[test]
+    fn packed_encrypt_decrypt_bit_identical_to_scalar() {
+        let (pk, sk, obf) = setup();
+        let m = dense(3, 4, 30);
+        let cs = pk.encrypt(&m, &obf);
+        let cp = pk.encrypt_mode(&m, PaillierMode::Packed, &obf);
+        assert!(cp.is_packed());
+        assert!(!cs.is_packed());
+        assert_eq!(sk.decrypt(&cp).data(), sk.decrypt(&cs).data());
+        // Packing 4 columns into ceil(4/3)=2 ciphertexts per row beats
+        // 4 scalar ciphertexts on the wire.
+        assert!(cp.wire_size() < cs.wire_size());
+    }
+
+    #[test]
+    fn packed_matmul_bit_identical_to_scalar() {
+        let (pk, sk, obf) = setup();
+        let x = dense(4, 3, 31);
+        let w = dense(3, 5, 32);
+        let cs = pk.matmul(&Features::Dense(x.clone()), &pk.encrypt(&w, &obf));
+        let cp = pk.matmul(
+            &Features::Dense(x),
+            &pk.encrypt_mode(&w, PaillierMode::Packed, &obf),
+        );
+        assert!(cp.is_packed());
+        assert_eq!(cp.scale(), 2);
+        assert_eq!(sk.decrypt(&cp).data(), sk.decrypt(&cs).data());
+    }
+
+    #[test]
+    fn packed_sparse_matmul_and_t_matmul_bit_identical() {
+        let (pk, sk, obf) = setup();
+        let mut xd = dense(4, 5, 33);
+        for (i, v) in xd.data_mut().iter_mut().enumerate() {
+            if i % 2 == 0 {
+                *v = 0.0;
+            }
+        }
+        let x = Csr::from_dense(&xd);
+        let w = dense(5, 4, 34);
+        let cs = pk.matmul(&Features::Sparse(x.clone()), &pk.encrypt(&w, &obf));
+        let cp = pk.matmul(
+            &Features::Sparse(x.clone()),
+            &pk.encrypt_mode(&w, PaillierMode::Packed, &obf),
+        );
+        assert_eq!(sk.decrypt(&cp).data(), sk.decrypt(&cs).data());
+
+        let support = x.col_support();
+        let g = dense(4, 4, 35);
+        let gs = pk.t_matmul_support(
+            &Features::Sparse(x.clone()),
+            &pk.encrypt(&g, &obf),
+            &support,
+        );
+        let gp = pk.t_matmul_support(
+            &Features::Sparse(x),
+            &pk.encrypt_mode(&g, PaillierMode::Packed, &obf),
+            &support,
+        );
+        assert!(gp.is_packed());
+        assert_eq!(sk.decrypt(&gp).data(), sk.decrypt(&gs).data());
+    }
+
+    #[test]
+    fn packed_add_family_bit_identical() {
+        let (pk, sk, obf) = setup();
+        let a = dense(2, 4, 36);
+        let b = dense(2, 4, 37);
+        let (csa, csb) = (pk.encrypt(&a, &obf), pk.encrypt(&b, &obf));
+        let cpa = pk.encrypt_mode(&a, PaillierMode::Packed, &obf);
+        let cpb = pk.encrypt_mode(&b, PaillierMode::Packed, &obf);
+        assert_eq!(
+            sk.decrypt(&pk.add(&cpa, &cpb)).data(),
+            sk.decrypt(&pk.add(&csa, &csb)).data()
+        );
+        assert_eq!(
+            sk.decrypt(&pk.add_plain(&cpa, &b)).data(),
+            sk.decrypt(&pk.add_plain(&csa, &b)).data()
+        );
+
+        let delta = dense(2, 4, 38);
+        let mut cache_s = pk.encrypt(&dense(4, 4, 39), &obf);
+        let mut cache_p = pk.encrypt_mode(&dense(4, 4, 39), PaillierMode::Packed, &obf);
+        pk.rows_add_assign(&mut cache_s, &[0, 3], &pk.encrypt(&delta, &obf));
+        pk.rows_add_assign(
+            &mut cache_p,
+            &[0, 3],
+            &pk.encrypt_mode(&delta, PaillierMode::Packed, &obf),
+        );
+        assert_eq!(sk.decrypt(&cache_p).data(), sk.decrypt(&cache_s).data());
+    }
+
+    #[test]
+    fn packed_lkup_and_select_rows_bit_identical() {
+        let (pk, sk, obf) = setup();
+        let table = dense(6, 2, 40); // vocab 6, dim 2
+        let x = CatBlock::from_local(3, &[3, 3], vec![0, 2, 1, 0, 2, 2]);
+        // Embedding tables pack with seg = dim so gathered rows keep
+        // chunk alignment after concatenation.
+        let cts = pk.encrypt(&table, &obf);
+        let ctp = pk.encrypt_mode_seg(&table, 2, PaillierMode::Packed, &obf);
+        assert!(ctp.is_packed());
+        let es = pk.lkup(&cts, &x);
+        let ep = pk.lkup(&ctp, &x);
+        assert!(ep.is_packed());
+        assert_eq!(sk.decrypt(&ep).data(), sk.decrypt(&es).data());
+
+        let sel_s = cts.select_rows(&[4, 1]);
+        let sel_p = ctp.select_rows(&[4, 1]);
+        assert_eq!(sk.decrypt(&sel_p).data(), sk.decrypt(&sel_s).data());
+    }
+
+    #[test]
+    fn packed_falls_back_to_scalar_when_unhelpful() {
+        let (pk, _, obf) = setup();
+        // One column: nothing to pack together.
+        let ct = pk.encrypt_mode(&dense(3, 1, 41), PaillierMode::Packed, &obf);
+        assert!(!ct.is_packed());
+        // Segment that does not divide cols: alignment impossible.
+        let ct = pk.encrypt_mode_seg(&dense(3, 5, 42), 3, PaillierMode::Packed, &obf);
+        assert!(!ct.is_packed());
+        // Key too small for two slots (128-bit, frac 32 → 104-bit slots).
+        let mut rng = rand::rngs::StdRng::seed_from_u64(43);
+        let (small_pk, _) = keygen(128, 32, &mut rng);
+        let small_obf = Obfuscator::new(&small_pk, ObfMode::Pool(4), 5);
+        let ct = small_pk.encrypt_mode(&dense(2, 4, 44), PaillierMode::Packed, &small_obf);
+        assert!(!ct.is_packed());
+        // Scalar mode never packs.
+        let ct = pk.encrypt_mode(&dense(2, 4, 45), PaillierMode::Scalar, &obf);
+        assert!(!ct.is_packed());
+    }
+
+    #[test]
+    #[should_panic(expected = "transpose is unsupported for packed")]
+    fn packed_transpose_panics() {
+        let (pk, _, obf) = setup();
+        let ct = pk.encrypt_mode(&dense(2, 4, 46), PaillierMode::Packed, &obf);
+        let _ = ct.transpose();
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul_ct_wt contracts over the packed axis")]
+    fn packed_matmul_ct_wt_panics() {
+        let (pk, _, obf) = setup();
+        let g = pk.encrypt_mode(&dense(3, 4, 47), PaillierMode::Packed, &obf);
+        let _ = pk.matmul_ct_wt(&g, &dense(5, 4, 48));
+    }
+
+    #[test]
+    #[should_panic(expected = "lkup_bw scatters single columns")]
+    fn packed_lkup_bw_panics() {
+        let (pk, _, obf) = setup();
+        let x = CatBlock::from_local(3, &[3, 3], vec![0, 2, 1, 0, 2, 2]);
+        let ge = pk.encrypt_mode(&dense(3, 4, 49), PaillierMode::Packed, &obf);
+        let _ = pk.lkup_bw(&ge, &x, &x.support(), 2);
     }
 }

@@ -25,6 +25,11 @@
 //! * [`CtMat`] — a matrix of ciphertexts kept in Montgomery form, with
 //!   `X·⟦W⟧`, `Xᵀ·⟦G⟧` (sparse-aware), `⟦G⟧·Wᵀ`, embedding
 //!   gather/scatter (`lkup` / `lkup_bw`), and homomorphic add/sub.
+//! * [`pack`] — the packed fast path: multiple fixed-point values
+//!   packed slot-wise into one plaintext so one ciphertext carries a
+//!   whole column chunk ([`PaillierMode::Packed`]); decodes
+//!   bit-identically to the scalar path (`docs/ARCHITECTURE.md`,
+//!   "Packed crypto path").
 //!
 //! # Fixed-point encoding
 //!
@@ -33,17 +38,23 @@
 //! plain-times-cipher product carries scale `2·frac_bits`; [`CtMat`]
 //! tracks the scale and the decoder rescales on decryption.
 
+#![warn(missing_docs)]
 #![allow(clippy::large_enum_variant)] // ScalarCt test helper
 pub mod codec;
 pub mod ctmat;
 pub mod keys;
 pub mod obf;
+pub mod pack;
 pub mod serial;
 
 pub use codec::{decode, encode, encode_exponent, SignedInt};
 pub use ctmat::CtMat;
-pub use keys::{keygen, PaillierPk, PaillierSk, PublicKey, SecretKey};
+pub use keys::{keygen, FixedBaseTable, PaillierPk, PaillierSk, PublicKey, SecretKey};
 pub use obf::{ObfMode, Obfuscator};
+pub use pack::{
+    pack_values, unpack_values, PackError, PackedCtMat, PaillierMode, SlotLayout, MAX_SLOT_BITS,
+    SLOT_HEADROOM_BITS,
+};
 pub use serial::{
     export_ctmat, export_public, export_secret, import_ctmat, import_public, import_secret,
 };

@@ -15,6 +15,11 @@
 //!   limbs as `u64` LE (body `1`, Paillier backend). Ciphertext limbs
 //!   travel verbatim: both parties interpret them against the same
 //!   public modulus, so no Montgomery-domain conversion is needed.
+//!   Body `2` is a *packed* Paillier tensor: the sub-header
+//!   `k u64 | slot_bits u64 | slots u64 | seg u64` (all LE) followed
+//!   by `rows · chunks · k` limbs, where `chunks = (cols/seg) ·
+//!   ceil(seg/slots)` — one ciphertext per column chunk rather than
+//!   per element (see `crate::pack` and `docs/WIRE_PROTOCOL.md`).
 
 use std::sync::Arc;
 
@@ -86,6 +91,8 @@ pub fn import_secret(s: &str) -> Result<SecretKey, String> {
 const CT_BODY_PLAIN: u8 = 0;
 /// [`CtMat`] body tag: Paillier backend (limb count + limbs follow).
 const CT_BODY_ENC: u8 = 1;
+/// [`CtMat`] body tag: packed Paillier backend (slot layout + limbs).
+const CT_BODY_PACKED: u8 = 2;
 
 /// Serialize a ciphertext tensor to the canonical byte layout (the
 /// `Ct` wire payload).
@@ -105,6 +112,21 @@ pub fn export_ctmat(ct: &CtMat) -> Vec<u8> {
         BodyView::Enc { k, limbs } => {
             out.push(CT_BODY_ENC);
             out.extend_from_slice(&(k as u64).to_le_bytes());
+            for l in limbs {
+                out.extend_from_slice(&l.to_le_bytes());
+            }
+        }
+        BodyView::Packed {
+            k,
+            layout,
+            seg,
+            limbs,
+        } => {
+            out.push(CT_BODY_PACKED);
+            out.extend_from_slice(&(k as u64).to_le_bytes());
+            out.extend_from_slice(&(layout.slot_bits as u64).to_le_bytes());
+            out.extend_from_slice(&(layout.slots as u64).to_le_bytes());
+            out.extend_from_slice(&(seg as u64).to_le_bytes());
             for l in limbs {
                 out.extend_from_slice(&l.to_le_bytes());
             }
@@ -157,6 +179,49 @@ pub fn import_ctmat(bytes: &[u8]) -> Result<CtMat, String> {
                 .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
                 .collect();
             Ok(CtMat::from_enc_parts(rows, cols, scale, k, limbs))
+        }
+        CT_BODY_PACKED => {
+            let k = usize::try_from(take_u64(18)?).map_err(|_| "limb count overflow")?;
+            let slot_bits = take_u64(26)?;
+            let slots = usize::try_from(take_u64(34)?).map_err(|_| "slots overflow")?;
+            let seg = usize::try_from(take_u64(42)?).map_err(|_| "seg overflow")?;
+            // Validate the layout fields *before* any chunk arithmetic:
+            // division by zero or absurd widths must yield Err.
+            if k == 0 {
+                return Err("zero limbs per ciphertext".into());
+            }
+            if slots == 0 {
+                return Err("zero slots per ciphertext".into());
+            }
+            if slot_bits == 0 || slot_bits > crate::pack::MAX_SLOT_BITS as u64 {
+                return Err(format!("slot width {slot_bits} out of range"));
+            }
+            if seg == 0 || cols % seg != 0 {
+                return Err(format!("segment width {seg} does not divide cols {cols}"));
+            }
+            let chunks = (cols / seg)
+                .checked_mul(seg.div_ceil(slots))
+                .ok_or("chunk count overflow")?;
+            let want = rows
+                .checked_mul(chunks)
+                .and_then(|t| t.checked_mul(k))
+                .and_then(|t| t.checked_mul(8))
+                .ok_or("packed length overflow")?;
+            let data = bytes.get(50..).ok_or("truncated ctmat body")?;
+            if data.len() != want {
+                return Err(format!("packed body length {} != {want}", data.len()));
+            }
+            let limbs = data
+                .chunks_exact(8)
+                .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+                .collect();
+            let layout = crate::pack::SlotLayout {
+                slot_bits: slot_bits as u32,
+                slots,
+            };
+            Ok(CtMat::from_packed_parts(
+                rows, cols, scale, k, layout, seg, limbs,
+            ))
         }
         other => Err(format!("unknown ctmat body tag {other}")),
     }
@@ -261,6 +326,50 @@ mod tests {
         // Empty matrix (0 rows) survives too.
         let empty = pk.encrypt(&Dense::zeros(0, 3), &obf);
         assert_eq!(import_ctmat(&export_ctmat(&empty)).unwrap(), empty);
+    }
+
+    #[test]
+    fn ctmat_packed_roundtrip_decrypts() {
+        use crate::pack::PaillierMode;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let (pk, sk) = keygen(256, 20, &mut rng);
+        let obf = Obfuscator::new(&pk, ObfMode::Pool(4), 6);
+        let m = Dense::from_vec(2, 4, vec![1.0, -2.5, 0.0, 7.25, -0.125, 3.0, 4.5, -6.0]);
+        let ct = pk.encrypt_mode(&m, PaillierMode::Packed, &obf);
+        assert!(ct.is_packed());
+        let ct2 = import_ctmat(&export_ctmat(&ct)).unwrap();
+        assert_eq!(ct, ct2);
+        assert_eq!(sk.decrypt(&ct2), sk.decrypt(&ct));
+    }
+
+    #[test]
+    fn ctmat_rejects_malformed_packed_bytes() {
+        // A syntactically valid packed header template: 2×4, scale 1.
+        let header = |k: u64, slot_bits: u64, slots: u64, seg: u64| {
+            let mut b = Vec::new();
+            b.extend_from_slice(&2u64.to_le_bytes());
+            b.extend_from_slice(&4u64.to_le_bytes());
+            b.push(1);
+            b.push(2); // packed body
+            b.extend_from_slice(&k.to_le_bytes());
+            b.extend_from_slice(&slot_bits.to_le_bytes());
+            b.extend_from_slice(&slots.to_le_bytes());
+            b.extend_from_slice(&seg.to_le_bytes());
+            b
+        };
+        // Zero slots / zero slot_bits / zero seg: must not divide by zero.
+        assert!(import_ctmat(&header(8, 80, 0, 4)).is_err());
+        assert!(import_ctmat(&header(8, 0, 3, 4)).is_err());
+        assert!(import_ctmat(&header(8, 80, 3, 0)).is_err());
+        assert!(import_ctmat(&header(0, 80, 3, 4)).is_err());
+        // slot_bits beyond the digit-extraction limit.
+        assert!(import_ctmat(&header(8, 500, 3, 4)).is_err());
+        // seg does not divide cols.
+        assert!(import_ctmat(&header(8, 80, 3, 3)).is_err());
+        // Correct header but truncated limb data.
+        let mut b = header(8, 80, 3, 4);
+        b.extend_from_slice(&[0u8; 8]);
+        assert!(import_ctmat(&b).is_err());
     }
 
     #[test]

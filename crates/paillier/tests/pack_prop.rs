@@ -1,0 +1,146 @@
+//! Property tests for slot-wise packing: pack/unpack round-trips
+//! across shapes (0-row, 1×1, max frac_bits), slot-overflow rejection,
+//! and the packed ciphertext-tensor codec (golden bytes + corruption
+//! fuzz, mirroring the wire_prop suite in bf-mpc).
+
+use bf_paillier::{
+    export_ctmat, import_ctmat, keygen, pack_values, unpack_values, ObfMode, Obfuscator,
+    PaillierMode, PublicKey, SlotLayout,
+};
+use bf_tensor::Dense;
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+fn paillier(key_bits: usize, frac_bits: u32) -> (PublicKey, bf_paillier::SecretKey, Obfuscator) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xBEEF ^ key_bits as u64);
+    let (pk, sk) = keygen(key_bits, frac_bits, &mut rng);
+    let obf = Obfuscator::new(&pk, ObfMode::Pool(4), 3);
+    (pk, sk, obf)
+}
+
+/// Fixed-point grid values that survive the codec exactly, so the
+/// round-trip can assert bit-equality rather than a tolerance.
+fn grid_vals(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(
+        (-(1i64 << 20)..(1i64 << 20)).prop_map(|q| q as f64 / 256.0),
+        len,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pack_unpack_roundtrips(vals in grid_vals(3), used in 1usize..=3) {
+        let (pk, _, _) = paillier(256, 20);
+        let PublicKey::Paillier(p) = &pk else { unreachable!() };
+        let layout = SlotLayout::for_key(p.key_bits, p.frac_bits).unwrap();
+        prop_assume!(used <= layout.slots);
+        let chunk = &vals[..used];
+        let m = pack_values(chunk, p.frac_bits, 1, layout, &p.n).unwrap();
+        let mut out = Vec::new();
+        unpack_values(&m, used, p.frac_bits, 1, layout, &p.n, &p.half_n, &mut out);
+        prop_assert_eq!(out, chunk.to_vec());
+    }
+
+    #[test]
+    fn packed_tensor_roundtrips_any_shape(
+        rows in 0usize..=4,
+        cols in 2usize..=6,
+        vals in grid_vals(24),
+    ) {
+        // Includes 0-row tensors; 1×1 and other unpackable shapes are
+        // covered by the fallback test below.
+        let (pk, sk, obf) = paillier(256, 20);
+        let m = Dense::from_vec(rows, cols, vals[..rows * cols].to_vec());
+        let cs = pk.encrypt(&m, &obf);
+        let cp = pk.encrypt_mode(&m, PaillierMode::Packed, &obf);
+        let (dp, ds) = (sk.decrypt(&cp), sk.decrypt(&cs));
+        prop_assert_eq!(dp.data(), ds.data());
+    }
+
+    #[test]
+    fn corrupted_packed_bytes_never_panic(flip in 0usize..256, bit in 0u8..8) {
+        let (pk, _, obf) = paillier(256, 20);
+        let m = Dense::from_vec(2, 4, vec![1.0, -2.0, 3.0, -4.0, 5.5, -6.5, 7.0, 0.0]);
+        let mut bytes = export_ctmat(&pk.encrypt_mode(&m, PaillierMode::Packed, &obf));
+        let idx = flip % bytes.len();
+        bytes[idx] ^= 1 << bit;
+        let _ = import_ctmat(&bytes);
+    }
+}
+
+#[test]
+fn max_frac_bits_layout_roundtrips() {
+    // frac 40 → 120-bit slots, the digit-extraction ceiling; a 256-bit
+    // key still fits 2 slots.
+    let (pk, sk, obf) = paillier(256, 40);
+    let PublicKey::Paillier(p) = &pk else {
+        unreachable!()
+    };
+    let layout = SlotLayout::for_key(p.key_bits, p.frac_bits).unwrap();
+    assert_eq!((layout.slot_bits, layout.slots), (120, 2));
+    assert!(SlotLayout::for_key(256, 41).is_none(), "slot width > 120");
+
+    let m = Dense::from_vec(1, 4, vec![0.5, -0.25, 3.75, -1.0]);
+    let cp = pk.encrypt_mode(&m, PaillierMode::Packed, &obf);
+    assert!(cp.is_packed());
+    let cs = pk.encrypt(&m, &obf);
+    assert_eq!(sk.decrypt(&cp).data(), sk.decrypt(&cs).data());
+}
+
+#[test]
+fn one_by_one_falls_back_to_scalar() {
+    let (pk, sk, obf) = paillier(256, 20);
+    let m = Dense::from_vec(1, 1, vec![-7.5]);
+    let ct = pk.encrypt_mode(&m, PaillierMode::Packed, &obf);
+    assert!(!ct.is_packed());
+    assert!(sk.decrypt(&ct).approx_eq(&m, 1e-4));
+}
+
+#[test]
+fn slot_overflow_rejected_not_wrapped() {
+    let (pk, _, _) = paillier(256, 20);
+    let PublicKey::Paillier(p) = &pk else {
+        unreachable!()
+    };
+    let layout = SlotLayout::for_key(p.key_bits, p.frac_bits).unwrap();
+    // 80-bit slots at frac 20: magnitudes below 2^59 fit, 2^60 does not
+    // (encoded magnitude reaches 2^80 > slot_bits − 1 sign headroom).
+    let ok = (1u64 << 39) as f64;
+    assert!(pack_values(&[ok, -ok], p.frac_bits, 1, layout, &p.n).is_ok());
+    let too_big = (1u64 << 60) as f64;
+    let err = pack_values(&[0.0, too_big], p.frac_bits, 1, layout, &p.n).unwrap_err();
+    assert_eq!(err.slot, 1);
+    assert_eq!(err.value, too_big);
+}
+
+#[test]
+fn packed_codec_golden_bytes() {
+    // The documented byte layout for a packed ciphertext tensor (wire
+    // protocol v3, `Ct` body tag 2): changing any byte here is a
+    // protocol break and requires a wire VERSION bump.
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&1u64.to_le_bytes()); // rows
+    bytes.extend_from_slice(&4u64.to_le_bytes()); // cols
+    bytes.push(1); // scale
+    bytes.push(2); // body tag: packed
+    bytes.extend_from_slice(&2u64.to_le_bytes()); // k (limbs per ct)
+    bytes.extend_from_slice(&80u64.to_le_bytes()); // slot_bits
+    bytes.extend_from_slice(&3u64.to_le_bytes()); // slots
+    bytes.extend_from_slice(&4u64.to_le_bytes()); // seg
+                                                  // 1 row × ceil(4/3)=2 chunks × 2 limbs.
+    for l in [
+        0x0102030405060708u64,
+        0x1112131415161718,
+        0xA1A2A3A4A5A6A7A8,
+        0,
+    ] {
+        bytes.extend_from_slice(&l.to_le_bytes());
+    }
+    let ct = import_ctmat(&bytes).expect("golden packed bytes decode");
+    assert!(ct.is_packed());
+    assert_eq!(ct.shape(), (1, 4));
+    assert_eq!(ct.scale(), 1);
+    assert_eq!(export_ctmat(&ct), bytes, "export is byte-identical");
+}

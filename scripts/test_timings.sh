@@ -4,6 +4,10 @@
 # IS the CI test gate (equivalent coverage to `cargo test --workspace`,
 # run per crate): a suite failure prints that suite's output and fails
 # the script.
+#
+# Set TIMINGS_OUT=<path> to also write the table there in a stable
+# tab-separated form (seconds<TAB>suite), so CI can upload it as an
+# artifact and runs can be diffed across commits.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -43,3 +47,8 @@ fi
 
 echo "per-suite test timings ($count suites, seconds, slowest first):"
 sort -rn "$times"
+
+if [ -n "${TIMINGS_OUT:-}" ]; then
+    sort -rn "$times" | awk '{ printf "%s\t%s\n", $1, $2 }' >"$TIMINGS_OUT"
+    echo "timings artifact written to $TIMINGS_OUT"
+fi

@@ -3,7 +3,7 @@
 //! kernels — the full pipeline the source layers stand on.
 
 use bf_mpc::shares::share_dense;
-use bf_paillier::{keygen, ObfMode, Obfuscator, PublicKey, SecretKey};
+use bf_paillier::{keygen, ObfMode, Obfuscator, PaillierMode, PublicKey, SecretKey};
 use bf_tensor::{Csr, Dense, Features};
 use proptest::prelude::*;
 use rand::SeedableRng;
@@ -88,6 +88,43 @@ proptest! {
         let (pk, sk, obf) = keys();
         let ct = pk.encrypt(&m, &obf);
         prop_assert!(sk.decrypt(&ct.transpose()).approx_eq(&m.transpose(), 1e-4));
+    }
+
+    #[test]
+    fn packed_encrypt_decrypt_bit_identical(m in small_mat(3, 4)) {
+        // 256-bit/frac-20: 80-bit slots, 3 per ciphertext. The packed
+        // decode must equal the scalar decode exactly, not within eps.
+        let (pk, sk, obf) = keys();
+        let cs = pk.encrypt(&m, &obf);
+        let cp = pk.encrypt_mode(&m, PaillierMode::Packed, &obf);
+        prop_assert!(cp.is_packed());
+        let (dp, ds) = (sk.decrypt(&cp), sk.decrypt(&cs));
+        prop_assert_eq!(dp.data(), ds.data());
+    }
+
+    #[test]
+    fn packed_matmul_bit_identical(x in small_mat(3, 4), w in small_mat(4, 3)) {
+        let (pk, sk, obf) = keys();
+        let w = w.scale(0.01);
+        let cs = pk.matmul(&Features::Dense(x.clone()), &pk.encrypt(&w, &obf));
+        let cp = pk.matmul(
+            &Features::Dense(x),
+            &pk.encrypt_mode(&w, PaillierMode::Packed, &obf),
+        );
+        let (dp, ds) = (sk.decrypt(&cp), sk.decrypt(&cs));
+        prop_assert_eq!(dp.data(), ds.data());
+    }
+
+    #[test]
+    fn packed_add_bit_identical(a in small_mat(2, 4), b in small_mat(2, 4)) {
+        let (pk, sk, obf) = keys();
+        let sum_s = pk.add(&pk.encrypt(&a, &obf), &pk.encrypt(&b, &obf));
+        let sum_p = pk.add(
+            &pk.encrypt_mode(&a, PaillierMode::Packed, &obf),
+            &pk.encrypt_mode(&b, PaillierMode::Packed, &obf),
+        );
+        let (dp, ds) = (sk.decrypt(&sum_p), sk.decrypt(&sum_s));
+        prop_assert_eq!(dp.data(), ds.data());
     }
 }
 

@@ -73,6 +73,66 @@ fn metrics_match_across_backends() {
 }
 
 #[test]
+fn packed_and_scalar_paillier_are_bit_identical() {
+    // The packed fast path's contract is *exact* equality, not
+    // tolerance: slot encode/decode reuses the scalar codec's rounding
+    // and f64 conversion, so every loss, weight, metric and logit must
+    // match the scalar run bit-for-bit. An MLP head gives the MatMul
+    // source a multi-column weight matrix that genuinely packs
+    // (Glm out=1 would fall back to scalar columns).
+    use bf_paillier::PaillierMode;
+    let run_mode = |mode: PaillierMode| {
+        let ds = spec("a9a").scaled(120, 1);
+        let (train, test) = generate(&ds, 0x105);
+        let train_v = vsplit(&train);
+        let test_v = vsplit(&test);
+        let tc = FedTrainConfig {
+            base: TrainConfig {
+                epochs: 1,
+                batch_size: 64,
+                ..Default::default()
+            },
+            snapshot_u_a: false,
+            ..Default::default()
+        };
+        train_federated(
+            &FedSpec::Mlp { widths: vec![4, 1] },
+            &FedConfig::paillier_test().with_paillier_mode(mode),
+            &tc,
+            train_v.party_a.clone(),
+            train_v.party_b.clone(),
+            test_v.party_a.clone(),
+            test_v.party_b.clone(),
+            21,
+        )
+    };
+    let scalar = run_mode(PaillierMode::Scalar);
+    let packed = run_mode(PaillierMode::Packed);
+    assert_eq!(scalar.report.losses, packed.report.losses);
+    assert_eq!(scalar.report.test_metric, packed.report.test_metric);
+    assert_eq!(
+        scalar.report.test_logits.data(),
+        packed.report.test_logits.data()
+    );
+    assert_eq!(
+        scalar.party_a.matmul().unwrap().u_own().data(),
+        packed.party_a.matmul().unwrap().u_own().data()
+    );
+    assert_eq!(
+        scalar.party_b.matmul().unwrap().v_peer().data(),
+        packed.party_b.matmul().unwrap().v_peer().data()
+    );
+    // Packing must also shrink the ciphertext traffic.
+    assert!(
+        packed.report.bytes_a_to_b < scalar.report.bytes_a_to_b,
+        "packed A→B traffic {} !< scalar {}",
+        packed.report.bytes_a_to_b,
+        scalar.report.bytes_a_to_b
+    );
+    assert!(packed.report.bytes_b_to_a < scalar.report.bytes_b_to_a);
+}
+
+#[test]
 fn forward_outputs_match_plaintext_model() {
     // Reconstruct W after training and verify the federated test
     // logits equal X·W + b computed in the clear.
