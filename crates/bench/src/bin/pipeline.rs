@@ -58,6 +58,7 @@ fn run(cfg: &FedConfig, mode: TrainMode, rows: usize, epochs: usize) -> RunOut {
         },
         snapshot_u_a: false,
         mode,
+        ..Default::default()
     };
     let fed = FedSpec::Glm { out: 1 };
 

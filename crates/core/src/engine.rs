@@ -68,7 +68,11 @@ impl TrainMode {
     }
 }
 
-/// Drive `f` over one epoch's mini-batches.
+/// Drive `f` over one epoch's mini-batches, skipping the first `skip`
+/// batches (checkpoint resume: the schedule is a pure function of
+/// `(rows, batch_size, epoch_seed)`, so a resumed party rebuilds the
+/// identical epoch and simply fast-forwards past the batches the
+/// checkpoint already covers — no RNG draws, no wire traffic).
 ///
 /// Both parties construct the same deterministic schedule from
 /// `(rows, batch_size, epoch_seed)` — exactly [`BatchIter`]'s contract —
@@ -84,9 +88,10 @@ pub(crate) fn run_epoch<E>(
     data: &Dataset,
     batch_size: usize,
     epoch_seed: u64,
+    skip: usize,
     mut f: impl FnMut(Dataset) -> Result<(), E>,
 ) -> Result<(), E> {
-    let iter = BatchIter::new(data.rows(), batch_size, epoch_seed);
+    let iter = BatchIter::new(data.rows(), batch_size, epoch_seed).skip(skip);
     match mode {
         TrainMode::Sync => {
             for idx in iter {
@@ -248,7 +253,7 @@ mod tests {
     fn batch_trace(mode: TrainMode, rows: usize, bs: usize, seed: u64) -> Vec<Vec<f64>> {
         let ds = toy_dataset(rows);
         let mut out = Vec::new();
-        run_epoch::<()>(mode, &ds, bs, seed, |b| {
+        run_epoch::<()>(mode, &ds, bs, seed, 0, |b| {
             let f = match b.num.as_ref().unwrap() {
                 Features::Dense(d) => (0..d.rows()).map(|r| d.get(r, 0)).collect(),
                 _ => unreachable!(),
@@ -270,11 +275,35 @@ mod tests {
     }
 
     #[test]
+    fn skip_fast_forwards_to_the_identical_tail() {
+        // The checkpoint-resume contract: skipping N batches yields
+        // exactly the full schedule minus its first N entries, in both
+        // modes.
+        let full = batch_trace(TrainMode::Sync, 37, 8, 5);
+        for mode in [TrainMode::Sync, TrainMode::pipelined()] {
+            for skip in [0usize, 1, 3, full.len()] {
+                let ds = toy_dataset(37);
+                let mut tail: Vec<Vec<f64>> = Vec::new();
+                run_epoch::<()>(mode, &ds, 8, 5, skip, |b| {
+                    let f: Vec<f64> = match b.num.as_ref().unwrap() {
+                        Features::Dense(d) => (0..d.rows()).map(|r| d.get(r, 0)).collect(),
+                        _ => unreachable!(),
+                    };
+                    tail.push(f);
+                    Ok(())
+                })
+                .unwrap();
+                assert_eq!(tail, full[skip..]);
+            }
+        }
+    }
+
+    #[test]
     fn run_epoch_propagates_callback_errors() {
         let ds = toy_dataset(64);
         for mode in [TrainMode::Sync, TrainMode::pipelined()] {
             let mut n = 0;
-            let res = run_epoch(mode, &ds, 8, 3, |_| {
+            let res = run_epoch(mode, &ds, 8, 3, 0, |_| {
                 n += 1;
                 if n == 3 {
                     Err("boom")

@@ -88,8 +88,10 @@ pub use config::{Backend, FedConfig, GradMode};
 pub use engine::TrainMode;
 pub use models::FedSpec;
 pub use persist::{
-    export_multi_party_b, export_party_a, export_party_b, import_multi_party_b, import_party_a,
-    import_party_b, PersistError,
+    export_checkpoint_a, export_checkpoint_b, export_checkpoint_multi_b, export_multi_party_b,
+    export_party_a, export_party_b, import_checkpoint_a, import_checkpoint_b,
+    import_checkpoint_multi_b, import_multi_party_b, import_party_a, import_party_b, CheckpointA,
+    CheckpointB, LinkCursor, MultiCheckpointB, PersistError,
 };
 pub use serve::{
     queue as serve_queue, serve_party_a, serve_party_b, serve_party_b_multi, PendingPrediction,
@@ -97,6 +99,6 @@ pub use serve::{
 };
 pub use session::Session;
 pub use train::{
-    train_federated, train_federated_multi, FedOutcome, FedReport, FedTrainConfig, MultiFedOutcome,
-    MultiFedReport,
+    train_federated, train_federated_multi, CheckpointCadence, FedOutcome, FedReport,
+    FedTrainConfig, MultiFedOutcome, MultiFedReport, FAULT_KILL_MARKER,
 };

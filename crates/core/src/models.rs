@@ -1046,16 +1046,20 @@ impl MultiPartyBModel {
         self.embed.as_ref()
     }
 
+    /// Number of guest links this model fans out over.
+    pub fn num_links(&self) -> usize {
+        self.matmul
+            .as_ref()
+            .map(MultiMatMulB::parties)
+            .or_else(|| self.embed.as_ref().map(MultiEmbedB::parties))
+            .expect("a model has at least one source layer")
+    }
+
     /// Persist the model half: spec, guest count, fanned-out source
     /// layers, top model.
     pub(crate) fn write_state(&self, w: &mut crate::persist::Writer) {
         self.spec.write_state(w);
-        let m = self
-            .matmul
-            .as_ref()
-            .map(MultiMatMulB::parties)
-            .or_else(|| self.embed.as_ref().map(MultiEmbedB::parties))
-            .expect("a model has at least one source layer");
+        let m = self.num_links();
         w.u64(m as u64);
         write_opt(w, self.matmul.as_ref(), MultiMatMulB::write_state);
         write_opt(w, self.embed.as_ref(), MultiEmbedB::write_state);

@@ -9,9 +9,22 @@
 //! offset  size  field
 //! 0       4     magic   0x42 0x46 0x4D 0x44  ("BFMD")
 //! 4       1     version 0x01
-//! 5       1     kind    (1 = PartyA, 2 = PartyB, 3 = MultiPartyB)
+//! 5       1     kind    (1 = PartyA, 2 = PartyB, 3 = MultiPartyB,
+//!                        4 = CheckpointA, 5 = CheckpointB,
+//!                        6 = MultiCheckpointB)
 //! 6       n     payload (per-kind encoding; see docs/SERVING.md)
 //! ```
+//!
+//! Kinds 4–6 are **mid-epoch training checkpoints**: a model blob plus
+//! the training cursor (epoch, batch) and the per-link determinism
+//! cursor ([`LinkCursor`]: mask-RNG state, obfuscation draws consumed,
+//! traffic counters). Restoring one puts a fresh process back on the
+//! *bit-identical* loss curve — see `docs/ARCHITECTURE.md` ("Fault
+//! tolerance") and `tests/chaos_parity.rs`. Adding these kinds did not
+//! bump [`VERSION`]: the layout of existing kinds is unchanged, and
+//! pre-checkpoint decoders reject the new kind bytes via
+//! [`PersistError::WrongKind`] (the version byte only moves when a
+//! *shared* layout rule changes).
 //!
 //! All multi-byte integers are little-endian; `f64`s travel as
 //! IEEE-754 bits; ciphertext caches reuse the canonical
@@ -51,6 +64,12 @@ pub const KIND_PARTY_A: u8 = 1;
 pub const KIND_PARTY_B: u8 = 2;
 /// Kind byte for a [`MultiPartyBModel`] blob.
 pub const KIND_MULTI_PARTY_B: u8 = 3;
+/// Kind byte for a Party A mid-epoch training checkpoint.
+pub const KIND_CHECKPOINT_A: u8 = 4;
+/// Kind byte for a Party B mid-epoch training checkpoint.
+pub const KIND_CHECKPOINT_B: u8 = 5;
+/// Kind byte for a multi-guest Party B mid-epoch training checkpoint.
+pub const KIND_CHECKPOINT_MULTI_B: u8 = 6;
 /// Fixed header length (magic + version + kind).
 pub const HEADER_LEN: usize = 6;
 
@@ -116,6 +135,10 @@ impl Writer {
     }
 
     pub(crate) fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn f64(&mut self, v: f64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
@@ -189,6 +212,23 @@ impl<'a> Reader<'a> {
     pub(crate) fn len_u64(&mut self) -> PersistResult<usize> {
         usize::try_from(self.u64()?)
             .map_err(|_| PersistError::Malformed("length field overflows usize".into()))
+    }
+
+    /// A length-prefixed `f64` vector with the usual
+    /// reject-before-allocating guard on the claimed length.
+    pub(crate) fn f64_vec(&mut self) -> PersistResult<Vec<f64>> {
+        let n = self.len_u64()?;
+        let want = n
+            .checked_mul(8)
+            .ok_or_else(|| PersistError::Malformed("f64 vector byte length overflow".into()))?;
+        if self.bytes.len() - self.pos < want {
+            return Err(PersistError::Truncated);
+        }
+        Ok(self
+            .take(want)?
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+            .collect())
     }
 
     pub(crate) fn dense(&mut self) -> PersistResult<Dense> {
@@ -293,6 +333,229 @@ pub fn import_multi_party_b(bytes: &[u8]) -> PersistResult<MultiPartyBModel> {
     let model = MultiPartyBModel::read_state(&mut r)?;
     r.finish()?;
     Ok(model)
+}
+
+/// The per-link determinism cursor captured alongside a checkpoint:
+/// everything a fresh process needs (beyond the model state) to rejoin
+/// one peer link on the *bit-identical* instruction stream.
+///
+/// Captured by [`crate::session::Session::capture_cursor`] and applied
+/// by [`crate::session::Session::restore_cursor`] *after* the resumed
+/// session's handshake, so the re-handshake itself never perturbs the
+/// logical traffic totals.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LinkCursor {
+    /// The session mask RNG's full internal state
+    /// ([`rand::rngs::StdRng::state`]).
+    pub rng: [u64; 4],
+    /// Obfuscation-randomness draws consumed so far
+    /// ([`bf_paillier::Obfuscator::drawn`]) — draw `i` is a pure
+    /// function of `(seed, i)`, so this one counter pins the stream.
+    pub obf_drawn: u64,
+    /// Bytes this party had sent on the link at capture time.
+    pub bytes_sent: u64,
+    /// Messages this party had sent on the link at capture time.
+    pub msgs_sent: u64,
+}
+
+/// `wire layout: rng[0..4] | obf_drawn | bytes_sent | msgs_sent`, all
+/// `u64` LE (56 bytes).
+const LINK_CURSOR_LEN: usize = 56;
+
+fn write_cursor(w: &mut Writer, c: &LinkCursor) {
+    for limb in c.rng {
+        w.u64(limb);
+    }
+    w.u64(c.obf_drawn);
+    w.u64(c.bytes_sent);
+    w.u64(c.msgs_sent);
+}
+
+fn read_cursor(r: &mut Reader<'_>) -> PersistResult<LinkCursor> {
+    let mut rng = [0u64; 4];
+    for limb in &mut rng {
+        *limb = r.u64()?;
+    }
+    Ok(LinkCursor {
+        rng,
+        obf_drawn: r.u64()?,
+        bytes_sent: r.u64()?,
+        msgs_sent: r.u64()?,
+    })
+}
+
+/// A Party A mid-epoch checkpoint (kind [`KIND_CHECKPOINT_A`]).
+pub struct CheckpointA {
+    /// Epoch the cursor points into.
+    pub epoch: u64,
+    /// Batches already completed within that epoch.
+    pub batch: u64,
+    /// The peer-link determinism cursor.
+    pub link: LinkCursor,
+    /// The model half exactly as of `(epoch, batch)`.
+    pub model: PartyAModel,
+}
+
+/// A Party B mid-epoch checkpoint (kind [`KIND_CHECKPOINT_B`]).
+pub struct CheckpointB {
+    /// Epoch the cursor points into.
+    pub epoch: u64,
+    /// Batches already completed within that epoch.
+    pub batch: u64,
+    /// The peer-link determinism cursor.
+    pub link: LinkCursor,
+    /// The loss curve accumulated so far (B is the label holder; the
+    /// resumed run appends to this so the final curve is seamless).
+    pub losses: Vec<f64>,
+    /// The model half exactly as of `(epoch, batch)`.
+    pub model: PartyBModel,
+}
+
+/// A multi-guest Party B mid-epoch checkpoint (kind
+/// [`KIND_CHECKPOINT_MULTI_B`]): one [`LinkCursor`] per guest link, in
+/// link order.
+pub struct MultiCheckpointB {
+    /// Epoch the cursor points into.
+    pub epoch: u64,
+    /// Batches already completed within that epoch.
+    pub batch: u64,
+    /// One determinism cursor per guest link, in link order.
+    pub links: Vec<LinkCursor>,
+    /// The loss curve accumulated so far.
+    pub losses: Vec<f64>,
+    /// The model half exactly as of `(epoch, batch)`.
+    pub model: MultiPartyBModel,
+}
+
+/// Serialize a Party A checkpoint:
+/// `epoch u64 | batch u64 | cursor | model state`.
+pub fn export_checkpoint_a(
+    epoch: u64,
+    batch: u64,
+    link: &LinkCursor,
+    model: &PartyAModel,
+) -> Vec<u8> {
+    let mut w = Writer::new(KIND_CHECKPOINT_A);
+    w.u64(epoch);
+    w.u64(batch);
+    write_cursor(&mut w, link);
+    model.write_state(&mut w);
+    w.buf
+}
+
+/// Deserialize a [`CheckpointA`], validating every field.
+pub fn import_checkpoint_a(bytes: &[u8]) -> PersistResult<CheckpointA> {
+    let mut r = Reader::new(bytes, KIND_CHECKPOINT_A)?;
+    let epoch = r.u64()?;
+    let batch = r.u64()?;
+    let link = read_cursor(&mut r)?;
+    let model = PartyAModel::read_state(&mut r)?;
+    r.finish()?;
+    Ok(CheckpointA {
+        epoch,
+        batch,
+        link,
+        model,
+    })
+}
+
+/// Serialize a Party B checkpoint:
+/// `epoch u64 | batch u64 | cursor | n_losses u64 | losses | model`.
+pub fn export_checkpoint_b(
+    epoch: u64,
+    batch: u64,
+    link: &LinkCursor,
+    losses: &[f64],
+    model: &PartyBModel,
+) -> Vec<u8> {
+    let mut w = Writer::new(KIND_CHECKPOINT_B);
+    w.u64(epoch);
+    w.u64(batch);
+    write_cursor(&mut w, link);
+    w.u64(losses.len() as u64);
+    for &l in losses {
+        w.f64(l);
+    }
+    model.write_state(&mut w);
+    w.buf
+}
+
+/// Deserialize a [`CheckpointB`], validating every field.
+pub fn import_checkpoint_b(bytes: &[u8]) -> PersistResult<CheckpointB> {
+    let mut r = Reader::new(bytes, KIND_CHECKPOINT_B)?;
+    let epoch = r.u64()?;
+    let batch = r.u64()?;
+    let link = read_cursor(&mut r)?;
+    let losses = r.f64_vec()?;
+    let model = PartyBModel::read_state(&mut r)?;
+    r.finish()?;
+    Ok(CheckpointB {
+        epoch,
+        batch,
+        link,
+        losses,
+        model,
+    })
+}
+
+/// Serialize a multi-guest Party B checkpoint:
+/// `epoch u64 | batch u64 | n_links u64 | cursors | n_losses u64 |
+/// losses | model`.
+pub fn export_checkpoint_multi_b(
+    epoch: u64,
+    batch: u64,
+    links: &[LinkCursor],
+    losses: &[f64],
+    model: &MultiPartyBModel,
+) -> Vec<u8> {
+    let mut w = Writer::new(KIND_CHECKPOINT_MULTI_B);
+    w.u64(epoch);
+    w.u64(batch);
+    w.u64(links.len() as u64);
+    for c in links {
+        write_cursor(&mut w, c);
+    }
+    w.u64(losses.len() as u64);
+    for &l in losses {
+        w.f64(l);
+    }
+    model.write_state(&mut w);
+    w.buf
+}
+
+/// Deserialize a [`MultiCheckpointB`], validating every field.
+pub fn import_checkpoint_multi_b(bytes: &[u8]) -> PersistResult<MultiCheckpointB> {
+    let mut r = Reader::new(bytes, KIND_CHECKPOINT_MULTI_B)?;
+    let epoch = r.u64()?;
+    let batch = r.u64()?;
+    let n_links = r.len_u64()?;
+    let want = n_links
+        .checked_mul(LINK_CURSOR_LEN)
+        .ok_or_else(|| PersistError::Malformed("link count overflow".into()))?;
+    if r.bytes.len() - r.pos < want {
+        return Err(PersistError::Truncated);
+    }
+    let mut links = Vec::with_capacity(n_links);
+    for _ in 0..n_links {
+        links.push(read_cursor(&mut r)?);
+    }
+    let losses = r.f64_vec()?;
+    let model = MultiPartyBModel::read_state(&mut r)?;
+    r.finish()?;
+    if links.len() != model.num_links() {
+        return Err(PersistError::Malformed(format!(
+            "checkpoint has {} link cursors but the model has {} links",
+            links.len(),
+            model.num_links()
+        )));
+    }
+    Ok(MultiCheckpointB {
+        epoch,
+        batch,
+        links,
+        losses,
+        model,
+    })
 }
 
 #[cfg(test)]

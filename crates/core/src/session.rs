@@ -137,6 +137,30 @@ impl Session {
         })
     }
 
+    /// Capture this link's determinism cursor for a mid-epoch
+    /// checkpoint: mask-RNG state, obfuscation draws consumed, and the
+    /// traffic counters (see [`crate::persist::LinkCursor`]).
+    pub fn capture_cursor(&self) -> crate::persist::LinkCursor {
+        crate::persist::LinkCursor {
+            rng: self.rng.state(),
+            obf_drawn: self.obf.drawn(),
+            bytes_sent: self.ep.stats().bytes(),
+            msgs_sent: self.ep.stats().msgs(),
+        }
+    }
+
+    /// Restore a captured cursor into this (freshly handshaken)
+    /// session: the mask RNG resumes its exact stream, the obfuscator
+    /// fast-forwards to the captured draw position, and the traffic
+    /// counters are preloaded so post-resume totals equal an
+    /// uninterrupted run's (the re-handshake bytes are deliberately
+    /// discarded — they are recovery overhead, not protocol traffic).
+    pub fn restore_cursor(&mut self, c: &crate::persist::LinkCursor) {
+        self.rng = StdRng::from_state(c.rng);
+        self.obf.set_drawn(c.obf_drawn);
+        self.ep.stats().preload(c.bytes_sent, c.msgs_sent);
+    }
+
     /// The learning rate as an [`bf_ml::Sgd`] for piecewise updates.
     pub fn sgd(&self) -> bf_ml::Sgd {
         bf_ml::Sgd {

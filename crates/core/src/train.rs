@@ -24,11 +24,13 @@
 //! deployment. `tests/multiparty_parity.rs` proves the equivalence
 //! contract (M-guest ≙ concatenated single-A, transports byte-equal).
 
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-use bf_ml::data::Dataset;
+use bf_ml::data::{BatchIter, Dataset};
 use bf_ml::train::metric_from_logits;
-use bf_mpc::transport::{TransportError, TransportResult};
+use bf_mpc::fault::{FaultAction, FaultPlan};
+use bf_mpc::transport::{Endpoint, TransportError, TransportResult};
 use bf_tensor::Dense;
 use bf_util::Stopwatch;
 
@@ -36,7 +38,28 @@ use crate::config::FedConfig;
 use crate::engine::{run_epoch, TrainMode};
 use crate::models::{FedSpec, MultiPartyBModel, PartyAModel, PartyBModel};
 use crate::multiparty::{collect_guests, send_hello};
+use crate::persist::{self, CheckpointA, CheckpointB, MultiCheckpointB};
 use crate::session::{multi_party_seed, run_pair, Role, Session};
+
+/// Mid-epoch checkpoint cadence: both parties must configure the same
+/// `every_batches` (checkpoints are purely local — zero wire traffic —
+/// so the cadence is the only thing keeping the two parties' snapshots
+/// at the same batch position).
+#[derive(Clone, Debug)]
+pub struct CheckpointCadence {
+    /// Write a checkpoint after every this-many completed batches,
+    /// counted run-wide across epochs (values < 1 are treated as 1).
+    pub every_batches: u64,
+    /// Where the latest checkpoint blob lands. Written atomically
+    /// (tmp + rename), so a crash mid-write never corrupts the
+    /// previous checkpoint.
+    pub path: PathBuf,
+}
+
+/// Marker embedded in the [`TransportError::Setup`] message a
+/// [`FaultAction::Kill`] surfaces as — the chaos harness matches on it
+/// to tell an injected kill from a real transport failure.
+pub const FAULT_KILL_MARKER: &str = "fault injection: killed";
 
 /// Training-loop options for a federated run.
 #[derive(Clone, Debug, Default)]
@@ -51,6 +74,53 @@ pub struct FedTrainConfig {
     /// both parties may choose independently — the modes are pure
     /// wall-clock scheduling and never change math or wire content).
     pub mode: TrainMode,
+    /// Mid-epoch checkpoint cadence; `None` (the default) disables
+    /// checkpointing. Checkpoint capture is local-only — it never adds
+    /// a frame to the wire (`tests/chaos_parity.rs` asserts traffic
+    /// parity with checkpointing on and off).
+    pub checkpoint: Option<CheckpointCadence>,
+    /// Scripted fault injection for the chaos harness (`None` runs
+    /// fault-free; [`FaultPlan::from_env`] reads the `BF_FAULT` knob).
+    pub fault: Option<FaultPlan>,
+}
+
+/// Atomic checkpoint write: to a `.tmp` sibling, then rename over the
+/// target, so the latest complete checkpoint is always intact.
+fn write_checkpoint(path: &Path, bytes: &[u8]) -> TransportResult<()> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, bytes)
+        .and_then(|()| std::fs::rename(&tmp, path))
+        .map_err(|e| {
+            TransportError::Setup(format!(
+                "checkpoint write to {} failed: {e}",
+                path.display()
+            ))
+        })
+}
+
+/// Fire the configured fault if it is scheduled after the run-wide
+/// batch that just completed. Runs *after* the cadence checkpoint, so
+/// a kill never outruns the snapshot that recovery needs.
+fn apply_fault(fault: Option<FaultPlan>, batch: u64, eps: &[&Endpoint]) -> TransportResult<()> {
+    let Some(plan) = fault else { return Ok(()) };
+    if !plan.fires_after(batch) {
+        return Ok(());
+    }
+    match plan.action {
+        FaultAction::Kill => Err(TransportError::Setup(format!(
+            "{FAULT_KILL_MARKER} after batch {batch}"
+        ))),
+        FaultAction::Drop => {
+            for ep in eps {
+                ep.sever();
+            }
+            Ok(())
+        }
+        FaultAction::Delay(d) => {
+            std::thread::sleep(d);
+            Ok(())
+        }
+    }
 }
 
 /// Outcome of a federated training run.
@@ -192,17 +262,71 @@ pub fn run_party_a(
     test: &Dataset,
 ) -> TransportResult<PartyARun> {
     apply_mode(sess, tc.mode);
-    let mut model = PartyAModel::init(sess, spec, train)?;
+    let model = PartyAModel::init(sess, spec, train)?;
+    drive_party_a(sess, tc, train, test, model, 0, 0)
+}
+
+/// Resume Party A from a mid-epoch checkpoint: the session must be
+/// freshly handshaken with the *same* `(cfg, role, seed)` as the
+/// original run (so keys and streams regenerate identically); this
+/// restores the determinism cursor and fast-forwards the batch
+/// schedule, landing the run on the bit-identical loss curve.
+pub fn run_party_a_resume(
+    sess: &mut Session,
+    tc: &FedTrainConfig,
+    train: &Dataset,
+    test: &Dataset,
+    cp: CheckpointA,
+) -> TransportResult<PartyARun> {
+    apply_mode(sess, tc.mode);
+    sess.restore_cursor(&cp.link);
+    drive_party_a(sess, tc, train, test, cp.model, cp.epoch, cp.batch)
+}
+
+/// The shared Party A epoch loop: train from `(start_epoch,
+/// start_batch)` to the end, then run federated inference. Checkpoint
+/// cadence and fault injection hook the per-batch boundary.
+fn drive_party_a(
+    sess: &mut Session,
+    tc: &FedTrainConfig,
+    train: &Dataset,
+    test: &Dataset,
+    mut model: PartyAModel,
+    start_epoch: u64,
+    start_batch: u64,
+) -> TransportResult<PartyARun> {
+    let bpe = BatchIter::new(train.rows(), tc.base.batch_size, 0).batches_per_epoch() as u64;
     let mut snapshots = Vec::new();
-    for epoch in 0..tc.base.epochs {
+    let mut global = start_epoch * bpe + start_batch;
+    for epoch in (start_epoch as usize)..tc.base.epochs {
+        let skip = if epoch as u64 == start_epoch {
+            start_batch as usize
+        } else {
+            0
+        };
         run_epoch(
             tc.mode,
             train,
             tc.base.batch_size,
             tc.base.seed ^ epoch as u64,
+            skip,
             |batch| {
                 model.forward(sess, &batch, true)?;
-                model.backward(sess)
+                model.backward(sess)?;
+                if let Some(cad) = &tc.checkpoint {
+                    if (global + 1) % cad.every_batches.max(1) == 0 {
+                        let blob = persist::export_checkpoint_a(
+                            epoch as u64,
+                            global % bpe + 1,
+                            &sess.capture_cursor(),
+                            &model,
+                        );
+                        write_checkpoint(&cad.path, &blob)?;
+                    }
+                }
+                apply_fault(tc.fault, global, &[&sess.ep])?;
+                global += 1;
+                TransportResult::Ok(())
             },
         )?;
         if tc.snapshot_u_a {
@@ -236,18 +360,70 @@ pub fn run_party_b(
     test: &Dataset,
 ) -> TransportResult<PartyBRun> {
     apply_mode(sess, tc.mode);
-    let mut model = PartyBModel::init(sess, spec, train)?;
-    let mut losses = Vec::new();
+    let model = PartyBModel::init(sess, spec, train)?;
+    drive_party_b(sess, tc, train, test, model, Vec::new(), 0, 0)
+}
+
+/// Resume Party B from a mid-epoch checkpoint (see
+/// [`run_party_a_resume`] for the session contract). The checkpointed
+/// loss prefix carries over, so the final curve is seamless.
+pub fn run_party_b_resume(
+    sess: &mut Session,
+    tc: &FedTrainConfig,
+    train: &Dataset,
+    test: &Dataset,
+    cp: CheckpointB,
+) -> TransportResult<PartyBRun> {
+    apply_mode(sess, tc.mode);
+    sess.restore_cursor(&cp.link);
+    drive_party_b(
+        sess, tc, train, test, cp.model, cp.losses, cp.epoch, cp.batch,
+    )
+}
+
+/// The shared Party B epoch loop (see [`drive_party_a`]).
+fn drive_party_b(
+    sess: &mut Session,
+    tc: &FedTrainConfig,
+    train: &Dataset,
+    test: &Dataset,
+    mut model: PartyBModel,
+    mut losses: Vec<f64>,
+    start_epoch: u64,
+    start_batch: u64,
+) -> TransportResult<PartyBRun> {
+    let bpe = BatchIter::new(train.rows(), tc.base.batch_size, 0).batches_per_epoch() as u64;
+    let mut global = start_epoch * bpe + start_batch;
     let mut sw = Stopwatch::new();
     sw.start();
-    for epoch in 0..tc.base.epochs {
+    for epoch in (start_epoch as usize)..tc.base.epochs {
+        let skip = if epoch as u64 == start_epoch {
+            start_batch as usize
+        } else {
+            0
+        };
         run_epoch(
             tc.mode,
             train,
             tc.base.batch_size,
             tc.base.seed ^ epoch as u64,
+            skip,
             |batch| {
                 losses.push(model.train_batch(sess, &batch)?);
+                if let Some(cad) = &tc.checkpoint {
+                    if (global + 1) % cad.every_batches.max(1) == 0 {
+                        let blob = persist::export_checkpoint_b(
+                            epoch as u64,
+                            global % bpe + 1,
+                            &sess.capture_cursor(),
+                            &losses,
+                            &model,
+                        );
+                        write_checkpoint(&cad.path, &blob)?;
+                    }
+                }
+                apply_fault(tc.fault, global, &[&sess.ep])?;
+                global += 1;
                 TransportResult::Ok(())
             },
         )?;
@@ -330,18 +506,88 @@ pub fn run_party_b_multi(
     for sess in sessions.iter_mut() {
         apply_mode(sess, tc.mode);
     }
-    let mut model = MultiPartyBModel::init(sessions, spec, train)?;
-    let mut losses = Vec::new();
+    let model = MultiPartyBModel::init(sessions, spec, train)?;
+    drive_party_b_multi(sessions, tc, train, test, model, Vec::new(), 0, 0, stages)
+}
+
+/// Resume multi-guest Party B from a mid-epoch checkpoint: one freshly
+/// handshaken session per guest link, in the original link order (the
+/// checkpoint carries one determinism cursor per link).
+pub fn run_party_b_multi_resume(
+    sessions: &mut [Session],
+    tc: &FedTrainConfig,
+    train: &Dataset,
+    test: &Dataset,
+    cp: MultiCheckpointB,
+) -> TransportResult<MultiPartyBRun> {
+    if sessions.len() != cp.links.len() {
+        return Err(TransportError::Setup(format!(
+            "checkpoint has {} link cursors but {} sessions were supplied",
+            cp.links.len(),
+            sessions.len()
+        )));
+    }
+    let stages = Arc::clone(&sessions[0].stages);
+    for sess in sessions.iter_mut().skip(1) {
+        sess.stages = Arc::clone(&stages);
+    }
+    for (sess, cursor) in sessions.iter_mut().zip(&cp.links) {
+        apply_mode(sess, tc.mode);
+        sess.restore_cursor(cursor);
+    }
+    drive_party_b_multi(
+        sessions, tc, train, test, cp.model, cp.losses, cp.epoch, cp.batch, stages,
+    )
+}
+
+/// The shared multi-guest Party B epoch loop (see [`drive_party_a`]).
+#[allow(clippy::too_many_arguments)]
+fn drive_party_b_multi(
+    sessions: &mut [Session],
+    tc: &FedTrainConfig,
+    train: &Dataset,
+    test: &Dataset,
+    mut model: MultiPartyBModel,
+    mut losses: Vec<f64>,
+    start_epoch: u64,
+    start_batch: u64,
+    stages: Arc<crate::engine::StageTimes>,
+) -> TransportResult<MultiPartyBRun> {
+    let bpe = BatchIter::new(train.rows(), tc.base.batch_size, 0).batches_per_epoch() as u64;
+    let mut global = start_epoch * bpe + start_batch;
     let mut sw = Stopwatch::new();
     sw.start();
-    for epoch in 0..tc.base.epochs {
+    for epoch in (start_epoch as usize)..tc.base.epochs {
+        let skip = if epoch as u64 == start_epoch {
+            start_batch as usize
+        } else {
+            0
+        };
         run_epoch(
             tc.mode,
             train,
             tc.base.batch_size,
             tc.base.seed ^ epoch as u64,
+            skip,
             |batch| {
                 losses.push(model.train_batch(sessions, &batch)?);
+                if let Some(cad) = &tc.checkpoint {
+                    if (global + 1) % cad.every_batches.max(1) == 0 {
+                        let cursors: Vec<_> =
+                            sessions.iter().map(Session::capture_cursor).collect();
+                        let blob = persist::export_checkpoint_multi_b(
+                            epoch as u64,
+                            global % bpe + 1,
+                            &cursors,
+                            &losses,
+                            &model,
+                        );
+                        write_checkpoint(&cad.path, &blob)?;
+                    }
+                }
+                let eps: Vec<&Endpoint> = sessions.iter().map(|s| &s.ep).collect();
+                apply_fault(tc.fault, global, &eps)?;
+                global += 1;
                 TransportResult::Ok(())
             },
         )?;
@@ -627,6 +873,7 @@ mod tests {
                 },
                 snapshot_u_a: true,
                 mode,
+                ..Default::default()
             };
             train_federated(
                 &FedSpec::Glm { out: 1 },

@@ -15,8 +15,9 @@ use bf_tensor::Features;
 use blindfl::config::FedConfig;
 use blindfl::models::{FedSpec, MultiPartyBModel, PartyAModel, PartyBModel};
 use blindfl::persist::{
-    export_multi_party_b, export_party_a, export_party_b, import_multi_party_b, import_party_a,
-    import_party_b,
+    export_checkpoint_a, export_checkpoint_b, export_checkpoint_multi_b, export_multi_party_b,
+    export_party_a, export_party_b, import_checkpoint_a, import_checkpoint_b,
+    import_checkpoint_multi_b, import_multi_party_b, import_party_a, import_party_b, LinkCursor,
 };
 use blindfl::session::{multi_party_seed, run_pair, Role, Session};
 use proptest::prelude::*;
@@ -337,4 +338,184 @@ fn truncated_and_corrupted_blobs_are_rejected() {
     // Cross-kind confusion is a typed error.
     assert!(import_party_b(&bytes_a).is_err());
     assert!(import_multi_party_b(&bytes_b).is_err());
+}
+
+/// Mid-epoch checkpoint blobs (BFMD kinds 4–6) obey the same
+/// contracts as the model kinds: byte-exact round trip over arbitrary
+/// shapes and cursors, typed rejection of truncation, trailing
+/// garbage, header corruption, and cross-kind confusion.
+mod checkpoints {
+    use super::*;
+    use proptest::collection::vec as pvec;
+
+    /// Expand one seed into a full-entropy cursor (the vendored
+    /// proptest has no tuple strategies; the cursor is still arbitrary
+    /// through the expansion).
+    fn cursor_from(seed: u64) -> LinkCursor {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        LinkCursor {
+            rng: [rng.random(), rng.random(), rng.random(), rng.random()],
+            obf_drawn: rng.random(),
+            bytes_sent: rng.random(),
+            msgs_sent: rng.random(),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 12, .. ProptestConfig::default() })]
+
+        /// Round trip + rejection sweep over random GLM shapes, batch
+        /// cursors, loss prefixes, and link cursors.
+        #[test]
+        fn checkpoint_roundtrip_is_byte_exact(
+            in_a in 1usize..=4,
+            in_b in 1usize..=4,
+            rows in 1usize..=6,
+            epoch in 0u64..=3,
+            batch in 0u64..=5,
+            cur_seed in any::<u64>(),
+            losses in pvec(any::<f64>(), 0..8),
+            seed in 0u64..1000,
+        ) {
+            let cur = cursor_from(cur_seed);
+            let cfg = FedConfig::plain();
+            let spec = FedSpec::Glm { out: 1 };
+            let data_a = toy_data(rows, in_a, &[], seed * 3 + 1, 0);
+            let data_b = toy_data(rows, in_b, &[], seed * 3 + 2, 1);
+            let (bytes_a, bytes_b) =
+                train_and_export(&cfg, &spec, data_a, data_b, vec![(0..rows).collect()], seed);
+            let model_a = import_party_a(&bytes_a).unwrap();
+            let model_b = import_party_b(&bytes_b).unwrap();
+
+            let cp_a = export_checkpoint_a(epoch, batch, &cur, &model_a);
+            let cp_b = export_checkpoint_b(epoch, batch, &cur, &losses, &model_b);
+
+            // Byte-exact round trip, cursor included.
+            let back_a = import_checkpoint_a(&cp_a).unwrap();
+            prop_assert_eq!((back_a.epoch, back_a.batch, back_a.link), (epoch, batch, cur));
+            prop_assert_eq!(export_checkpoint_a(back_a.epoch, back_a.batch, &back_a.link, &back_a.model), cp_a.clone());
+            let back_b = import_checkpoint_b(&cp_b).unwrap();
+            prop_assert_eq!((back_b.epoch, back_b.batch, back_b.link), (epoch, batch, cur));
+            prop_assert_eq!(back_b.losses.len(), losses.len());
+            prop_assert_eq!(
+                export_checkpoint_b(back_b.epoch, back_b.batch, &back_b.link, &back_b.losses, &back_b.model),
+                cp_b.clone()
+            );
+
+            // Every proper prefix is a typed error, never a panic.
+            for cut in 0..cp_a.len() {
+                prop_assert!(import_checkpoint_a(&cp_a[..cut]).is_err(), "prefix {}", cut);
+            }
+            // Trailing garbage is rejected (self-delimiting payload).
+            let mut padded = cp_b.clone();
+            padded.push(0);
+            prop_assert!(import_checkpoint_b(&padded).is_err());
+
+            // Cross-kind confusion is a typed error in every direction:
+            // between the checkpoint kinds, and against the pre-v7 model
+            // kinds (old decoders reject the new kinds and vice versa).
+            prop_assert!(import_checkpoint_b(&cp_a).is_err());
+            prop_assert!(import_checkpoint_a(&cp_b).is_err());
+            prop_assert!(import_checkpoint_multi_b(&cp_b).is_err());
+            prop_assert!(import_party_a(&cp_a).is_err());
+            prop_assert!(import_party_b(&cp_b).is_err());
+            prop_assert!(import_checkpoint_a(&bytes_a).is_err());
+            prop_assert!(import_checkpoint_b(&bytes_b).is_err());
+
+            // Header corruption: a flipped magic or version byte fails.
+            for byte in 0..2 {
+                let mut bad = cp_a.clone();
+                bad[byte] ^= 0xFF;
+                prop_assert!(import_checkpoint_a(&bad).is_err(), "header byte {}", byte);
+            }
+        }
+    }
+
+    /// The multi-guest checkpoint kind: cursor-count validation on top
+    /// of the shared contracts (the model is borrowed from the
+    /// multi-party round-trip harness above).
+    #[test]
+    fn multi_checkpoint_roundtrip_and_link_count_guard() {
+        let m = 2usize;
+        let cfg = FedConfig::plain();
+        let spec = FedSpec::Glm { out: 1 };
+        let rows = 5;
+        let data_b = toy_data(rows, 3, &[], 91, 1);
+
+        let mut host_eps = Vec::new();
+        let mut handles = Vec::new();
+        for i in 0..m {
+            let (ep_a, ep_b) = bf_mpc::channel_pair();
+            host_eps.push(ep_b);
+            let cfg_a = cfg.clone();
+            let spec_a = spec.clone();
+            let data_a = toy_data(rows, 2 + i, &[], 92 + i as u64, 0);
+            handles.push(std::thread::spawn(move || {
+                let mut sess =
+                    Session::handshake(ep_a, cfg_a, Role::A, multi_party_seed(Role::A, i, 93))
+                        .unwrap();
+                let mut model = PartyAModel::init(&mut sess, &spec_a, &data_a).unwrap();
+                let batch = data_a.select(&(0..rows).collect::<Vec<_>>());
+                model.forward(&mut sess, &batch, true).unwrap();
+                model.backward(&mut sess).unwrap();
+            }));
+        }
+        let mut sessions: Vec<Session> = host_eps
+            .into_iter()
+            .enumerate()
+            .map(|(i, ep)| {
+                Session::handshake(ep, cfg.clone(), Role::B, multi_party_seed(Role::B, i, 93))
+                    .unwrap()
+            })
+            .collect();
+        let mut model = MultiPartyBModel::init(&mut sessions, &spec, &data_b).unwrap();
+        model
+            .train_batch(
+                &mut sessions,
+                &data_b.select(&(0..rows).collect::<Vec<_>>()),
+            )
+            .unwrap();
+        for h in handles {
+            h.join().unwrap();
+        }
+
+        let links: Vec<LinkCursor> = (0..m as u64)
+            .map(|i| LinkCursor {
+                rng: [i, i + 1, i + 2, i + 3],
+                obf_drawn: 10 * i,
+                bytes_sent: 100 * i,
+                msgs_sent: i,
+            })
+            .collect();
+        let losses = vec![0.7, 0.65, f64::NAN];
+        let cp = export_checkpoint_multi_b(1, 2, &links, &losses, &model);
+        let back = import_checkpoint_multi_b(&cp).unwrap();
+        assert_eq!((back.epoch, back.batch), (1, 2));
+        assert_eq!(back.links, links);
+        assert_eq!(
+            export_checkpoint_multi_b(
+                back.epoch,
+                back.batch,
+                &back.links,
+                &back.losses,
+                &back.model
+            ),
+            cp
+        );
+
+        // A cursor count that disagrees with the embedded model is a
+        // typed error (import cross-checks `model.num_links()`).
+        let bad = export_checkpoint_multi_b(1, 2, &links[..1], &losses, &model);
+        assert!(import_checkpoint_multi_b(&bad).is_err());
+        // Truncation sweep and cross-kind rejection hold here too.
+        for cut in (0..cp.len()).step_by(7) {
+            assert!(
+                import_checkpoint_multi_b(&cp[..cut]).is_err(),
+                "prefix {cut}"
+            );
+        }
+        assert!(import_checkpoint_b(&cp).is_err());
+        assert!(import_multi_party_b(&cp).is_err());
+    }
 }

@@ -1,0 +1,144 @@
+//! Deterministic fault injection for chaos testing.
+//!
+//! A [`FaultPlan`] scripts exactly one failure into a training run:
+//! *what* happens ([`FaultAction`]) and *when* (after batch
+//! `at_batch` completes, counting batches from 0 across the whole
+//! run). The trainer checks the plan at its per-batch boundary, so an
+//! injected fault lands at the same instruction-stream position on
+//! every backend and transport — which is what lets the chaos harness
+//! (`tests/chaos_parity.rs`) assert *bit-identical* recovery rather
+//! than approximate recovery.
+//!
+//! Plans come from code or from the `BF_FAULT` environment knob:
+//!
+//! ```text
+//! BF_FAULT=kill@3        abort the party after batch 3 (typed error;
+//!                        the harness restarts from the checkpoint)
+//! BF_FAULT=drop@3        sever the TCP link after batch 3 (the
+//!                        reconnect + replay layer recovers in place)
+//! BF_FAULT=delay@3:250   stall this party 250 ms after batch 3
+//!                        (exercises the peer's patience, changes no
+//!                        bytes)
+//! ```
+
+use std::time::Duration;
+
+/// What the injected failure does.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Abort the party's run with a typed error — simulates a process
+    /// kill. Recovery is checkpoint resume, not reconnection.
+    Kill,
+    /// Sever the transport link ([`crate::Endpoint::sever`]) while the
+    /// party stays up — simulates a dropped connection. Recovery is
+    /// transparent reconnect + replay.
+    Drop,
+    /// Stall the party for the given duration — simulates a GC pause /
+    /// network brown-out. Nothing to recover; the run must simply
+    /// tolerate it without changing a byte.
+    Delay(Duration),
+}
+
+/// One scripted failure: do `action` once the batch with this 0-based
+/// run-wide index has completed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Run-wide batch index (counted across epochs) after which the
+    /// fault fires.
+    pub at_batch: u64,
+    /// The failure to inject.
+    pub action: FaultAction,
+}
+
+impl FaultPlan {
+    /// Parse a plan from the `BF_FAULT` environment knob; `None` when
+    /// unset or unparseable (an experiment script with a typo should
+    /// run fault-free, loudly visible in its output, not crash).
+    pub fn from_env() -> Option<FaultPlan> {
+        FaultPlan::parse(&std::env::var("BF_FAULT").ok()?)
+    }
+
+    /// Parse `kill@N` / `drop@N` / `delay@N:MS`.
+    pub fn parse(s: &str) -> Option<FaultPlan> {
+        let (what, rest) = s.split_once('@')?;
+        match what {
+            "kill" => Some(FaultPlan {
+                at_batch: rest.parse().ok()?,
+                action: FaultAction::Kill,
+            }),
+            "drop" => Some(FaultPlan {
+                at_batch: rest.parse().ok()?,
+                action: FaultAction::Drop,
+            }),
+            "delay" => {
+                let (batch, ms) = rest.split_once(':')?;
+                Some(FaultPlan {
+                    at_batch: batch.parse().ok()?,
+                    action: FaultAction::Delay(Duration::from_millis(ms.parse().ok()?)),
+                })
+            }
+            _ => None,
+        }
+    }
+
+    /// True if the fault fires after the batch with this run-wide
+    /// index.
+    pub fn fires_after(&self, batch: u64) -> bool {
+        self.at_batch == batch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_action() {
+        assert_eq!(
+            FaultPlan::parse("kill@3"),
+            Some(FaultPlan {
+                at_batch: 3,
+                action: FaultAction::Kill
+            })
+        );
+        assert_eq!(
+            FaultPlan::parse("drop@0"),
+            Some(FaultPlan {
+                at_batch: 0,
+                action: FaultAction::Drop
+            })
+        );
+        assert_eq!(
+            FaultPlan::parse("delay@7:250"),
+            Some(FaultPlan {
+                at_batch: 7,
+                action: FaultAction::Delay(Duration::from_millis(250))
+            })
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_plans() {
+        for bad in [
+            "",
+            "kill",
+            "kill@",
+            "kill@x",
+            "drop@-1",
+            "delay@3",
+            "delay@3:",
+            "delay@3:x",
+            "panic@3",
+            "kill@3:9",
+        ] {
+            assert_eq!(FaultPlan::parse(bad), None, "parsed {bad:?}");
+        }
+    }
+
+    #[test]
+    fn fires_exactly_once() {
+        let plan = FaultPlan::parse("kill@2").unwrap();
+        let fired: Vec<u64> = (0..5).filter(|&b| plan.fires_after(b)).collect();
+        assert_eq!(fired, vec![2]);
+    }
+}

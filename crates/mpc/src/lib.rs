@@ -20,18 +20,24 @@
 //! * [`beaver`] — Beaver matmul triplets (trusted-dealer / client-aided
 //!   and HE-assisted generation) powering the SecureML baseline of the
 //!   paper's evaluation.
+//! * [`fault`] — deterministic fault injection ([`FaultPlan`]:
+//!   kill/drop/delay at batch N, `BF_FAULT` env knob) for the chaos
+//!   harness; the transport's reconnect + replay layer and the
+//!   trainer's checkpoint resume are what it exercises.
 
 #![warn(missing_docs)]
 #![allow(clippy::too_many_arguments)] // protocol functions mirror the paper's parameter lists
 pub mod beaver;
 pub mod convert;
+pub mod fault;
 pub mod shares;
 pub mod transport;
 pub mod wire;
 
 pub use convert::{he2ss_holder, he2ss_peer, ss2he, ss2he_mode};
+pub use fault::{FaultAction, FaultPlan};
 pub use shares::{reconstruct, share_dense};
 pub use transport::{
-    channel_pair, channel_pair_with_network, Endpoint, Msg, NetworkProfile, TrafficStats,
-    TransportError, TransportResult,
+    channel_pair, channel_pair_with_network, Endpoint, Msg, NetworkProfile, Redial, RetryPolicy,
+    TrafficStats, TransportError, TransportResult,
 };

@@ -75,6 +75,17 @@ pub enum Msg {
         /// The total number of guests the sender was configured with.
         total: u32,
     },
+    /// Reconnect resync cursor (wire kind 8, protocol v4): the first
+    /// frame each side sends on a re-established connection, announcing
+    /// how many logical frames it had received before the link dropped
+    /// so the peer can replay exactly the gap. Transport control, never
+    /// sent by protocol code and never counted in [`TrafficStats`] —
+    /// the logical byte stream of a run is identical with or without a
+    /// mid-run reconnect.
+    Resume {
+        /// Logical frames the sender has received on this link so far.
+        recv_seq: u64,
+    },
 }
 
 impl Msg {
@@ -90,6 +101,7 @@ impl Msg {
             Msg::Scalar(_) => 8,
             Msg::U64(_) => 8,
             Msg::Hello { .. } => 8,
+            Msg::Resume { .. } => 8,
         }
     }
 
@@ -104,6 +116,7 @@ impl Msg {
             Msg::Scalar(_) => "Scalar",
             Msg::U64(_) => "U64",
             Msg::Hello { .. } => "Hello",
+            Msg::Resume { .. } => "Resume",
         }
     }
 }
@@ -136,6 +149,18 @@ pub enum TransportError {
     /// guests, a duplicate / out-of-range / inconsistent link index in
     /// a multi-party [`Msg::Hello`], and similar configuration faults.
     Setup(String),
+    /// An operation's overall deadline elapsed: a connect retry
+    /// ([`Endpoint::tcp_connect_retry`]) or a reconnect attempt
+    /// ([`RetryPolicy::deadline`]) gave up waiting for the peer.
+    Timeout {
+        /// How long the operation waited before giving up.
+        waited: Duration,
+    },
+    /// The link dropped and could not be transparently resumed: the
+    /// reconnect resync failed for the stated reason (e.g. the peer
+    /// missed more frames than the replay window holds, or sent
+    /// something other than a [`Msg::Resume`] cursor).
+    Reconnecting(String),
 }
 
 impl std::fmt::Display for TransportError {
@@ -148,6 +173,12 @@ impl std::fmt::Display for TransportError {
             TransportError::Wire(e) => write!(f, "wire decode error: {e}"),
             TransportError::Io(e) => write!(f, "transport i/o error: {e}"),
             TransportError::Setup(why) => write!(f, "session setup error: {why}"),
+            TransportError::Timeout { waited } => {
+                write!(f, "transport deadline elapsed after {waited:?}")
+            }
+            TransportError::Reconnecting(why) => {
+                write!(f, "link dropped and could not be resumed: {why}")
+            }
         }
     }
 }
@@ -216,6 +247,17 @@ impl TrafficStats {
     /// Kinds of every message sent so far, in order.
     pub fn sent_kinds(&self) -> Vec<&'static str> {
         self.sent_kinds.lock().clone()
+    }
+
+    /// Preload the byte/message counters — the checkpoint-restore hook:
+    /// a run resumed on a fresh endpoint seeds the counters with the
+    /// totals captured at the checkpoint so its final numbers equal an
+    /// uninterrupted run's. The per-kind audit trail is deliberately
+    /// *not* restored (it is a security-test observable of the live
+    /// connection, not an accounting total).
+    pub fn preload(&self, bytes: u64, msgs: u64) {
+        self.bytes_sent.store(bytes, Ordering::Relaxed);
+        self.msgs_sent.store(msgs, Ordering::Relaxed);
     }
 }
 
@@ -317,11 +359,188 @@ impl RecvHalf {
     }
 }
 
+/// How a reconnecting endpoint re-establishes its TCP link after a
+/// drop: redial the peer's address, or re-accept on the listener the
+/// original connection came from. The two ends of a link use opposite
+/// variants, mirroring the original connect/accept split.
+pub enum Redial {
+    /// Redial the peer (the original `tcp_connect` side).
+    Connect(std::net::SocketAddr),
+    /// Re-accept on the original listener (the `tcp_accept` side).
+    Accept(Arc<TcpListener>),
+}
+
+/// Timeout/backoff policy for connect retries and reconnects.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Overall deadline: give up with [`TransportError::Timeout`] once
+    /// this much time has elapsed without a live connection.
+    pub deadline: Duration,
+    /// Pause between attempts (the peer needs time to come back).
+    pub backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            deadline: Duration::from_secs(10),
+            backoff: Duration::from_millis(20),
+        }
+    }
+}
+
+/// Bounded send/recv replay cursor for a reconnecting TCP endpoint.
+///
+/// Every logical frame sent is also appended to a bounded log and
+/// counted in `sent_seq`; every logical frame received bumps
+/// `recv_seq`. When the link drops, both sides re-establish a socket
+/// (per their [`Redial`]), exchange [`Msg::Resume`] cursors (each side
+/// sends first, then reads — deadlock-free), and the sender replays
+/// exactly the `sent_seq − peer.recv_seq` tail of its log. In-flight
+/// frames are therefore neither lost (the gap is replayed) nor
+/// duplicated (frames the peer acknowledged are skipped); a gap wider
+/// than the log window is a typed [`TransportError::Reconnecting`].
+struct ReconnectState {
+    redial: Redial,
+    policy: RetryPolicy,
+    window: usize,
+    sent_seq: AtomicU64,
+    recv_seq: AtomicU64,
+    sent_log: Mutex<std::collections::VecDeque<Msg>>,
+}
+
+impl ReconnectState {
+    /// Log one outgoing logical frame into the bounded replay window.
+    fn log_sent(&self, msg: &Msg) {
+        self.sent_seq.fetch_add(1, Ordering::Relaxed);
+        let mut log = self.sent_log.lock();
+        if log.len() == self.window {
+            log.pop_front();
+        }
+        log.push_back(msg.clone());
+    }
+
+    /// Re-establish the physical stream per the redial policy.
+    fn redial(&self) -> TransportResult<TcpStream> {
+        let start = Instant::now();
+        let deadline = start + self.policy.deadline;
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(TransportError::Timeout {
+                    waited: start.elapsed(),
+                });
+            }
+            let attempt = match &self.redial {
+                Redial::Connect(addr) => TcpStream::connect_timeout(addr, remaining),
+                Redial::Accept(listener) => accept_with_deadline(listener, remaining),
+            };
+            match attempt {
+                Ok(stream) => {
+                    stream.set_nodelay(true)?;
+                    return Ok(stream);
+                }
+                Err(e) if is_transient_connect_error(&e) => {
+                    std::thread::sleep(self.policy.backoff.min(remaining))
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+}
+
+/// Accept one connection within `deadline`, restoring the listener to
+/// blocking mode afterwards. (A plain `accept` has no timeout; polling
+/// in nonblocking mode keeps the reconnect path's overall deadline.)
+fn accept_with_deadline(listener: &TcpListener, deadline: Duration) -> std::io::Result<TcpStream> {
+    listener.set_nonblocking(true)?;
+    let until = Instant::now() + deadline;
+    let res = loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                stream.set_nonblocking(false)?;
+                break Ok(stream);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if Instant::now() >= until {
+                    break Err(std::io::Error::new(
+                        std::io::ErrorKind::TimedOut,
+                        "accept deadline elapsed",
+                    ));
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(e) => break Err(e),
+        }
+    };
+    let _ = listener.set_nonblocking(false);
+    res
+}
+
+/// Try every resolved address once, each under the given per-attempt
+/// timeout; returns the first success or the last failure.
+fn connect_any<A: ToSocketAddrs>(addr: &A, timeout: Duration) -> std::io::Result<TcpStream> {
+    let mut last = None;
+    for sa in addr.to_socket_addrs()? {
+        match TcpStream::connect_timeout(&sa, timeout) {
+            Ok(stream) => return Ok(stream),
+            Err(e) => last = Some(e),
+        }
+    }
+    Err(last.unwrap_or_else(|| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "address resolved to no socket addresses",
+        )
+    }))
+}
+
+/// Connect failures worth retrying while waiting for a peer to (re)
+/// appear; anything else (unroutable host, permission denied, …) is a
+/// configuration error and fails fast.
+fn is_transient_connect_error(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::ConnectionRefused
+            | std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::ConnectionAborted
+            | std::io::ErrorKind::TimedOut
+            | std::io::ErrorKind::WouldBlock
+    )
+}
+
+/// True if this failure means "the link itself died" (as opposed to a
+/// protocol/codec fault) — the trigger for transparent reconnection.
+fn is_link_failure(e: &TransportError) -> bool {
+    matches!(e, TransportError::Disconnected | TransportError::Io(_))
+}
+
+/// The replay-cursor arithmetic of the resync handshake, as a pure
+/// function: given that we have sent `sent` frames, the peer
+/// acknowledges receiving `peer_recv` of them, and the bounded replay
+/// log holds the last `log_len` sent frames, return how many frames
+/// from the tail of the log must be replayed — or a reason the link
+/// cannot be resumed (an impossible cursor, or a gap wider than the
+/// window). Property-tested in this module's test suite.
+fn replay_span(sent: u64, peer_recv: u64, log_len: usize) -> Result<usize, String> {
+    let gap = sent.checked_sub(peer_recv).ok_or_else(|| {
+        format!("peer claims {peer_recv} frames received, only {sent} were ever sent")
+    })?;
+    let gap = usize::try_from(gap).unwrap_or(usize::MAX);
+    if gap > log_len {
+        return Err(format!(
+            "peer missed {gap} frames but the replay window holds only {log_len}"
+        ));
+    }
+    Ok(gap)
+}
+
 /// One party's end of a duplex link (in-process or TCP).
 pub struct Endpoint {
     wire: Wire,
     stats: Arc<TrafficStats>,
     net: Option<NetworkProfile>,
+    reconnect: Option<ReconnectState>,
 }
 
 impl Endpoint {
@@ -338,7 +557,21 @@ impl Endpoint {
         }
         match &self.wire {
             Wire::Channel { tx, .. } => tx.send(msg).map_err(|_| TransportError::Disconnected),
-            Wire::Tcp { writer, .. } => write_frame(&mut *writer.lock(), &msg),
+            Wire::Tcp { writer, .. } => {
+                if let Some(rc) = &self.reconnect {
+                    // Log before the physical write: if the write (or
+                    // any in-flight predecessor) is lost to a link
+                    // drop, the resync replay covers it.
+                    rc.log_sent(&msg);
+                    let res = write_frame(&mut *writer.lock(), &msg);
+                    match res {
+                        Err(e) if is_link_failure(&e) => self.reestablish(),
+                        other => other,
+                    }
+                } else {
+                    write_frame(&mut *writer.lock(), &msg)
+                }
+            }
             Wire::Pipelined(p) => {
                 let q = p.tx_q.as_ref().expect("pipelined outbox present");
                 q.send((msg, Instant::now())).map_err(|_| {
@@ -357,13 +590,134 @@ impl Endpoint {
     pub fn recv(&self) -> TransportResult<Msg> {
         match &self.wire {
             Wire::Channel { rx, .. } => rx.recv().map_err(|_| TransportError::Disconnected),
-            Wire::Tcp { reader, .. } => read_frame(&mut *reader.lock()),
+            Wire::Tcp { reader, .. } => {
+                let Some(rc) = &self.reconnect else {
+                    return read_frame(&mut *reader.lock());
+                };
+                // A couple of reconnect rounds bound the retry: each
+                // round is itself deadline-limited by the policy, and a
+                // link that dies again mid-resync is not coming back.
+                for _ in 0..2 {
+                    let res = read_frame(&mut *reader.lock());
+                    match res {
+                        Ok(msg) => {
+                            rc.recv_seq.fetch_add(1, Ordering::Relaxed);
+                            return Ok(msg);
+                        }
+                        Err(e) if is_link_failure(&e) => self.reestablish()?,
+                        Err(e) => return Err(e),
+                    }
+                }
+                Err(TransportError::Reconnecting(
+                    "link kept dropping across reconnect attempts".into(),
+                ))
+            }
             Wire::Pipelined(p) => match p.rx_q.recv() {
                 Ok(res) => res,
                 // Reader thread gone after delivering its final error.
                 Err(_) => Err(TransportError::Disconnected),
             },
         }
+    }
+
+    /// Re-establish a dropped TCP link and resync the replay cursors:
+    /// redial per the policy, exchange [`Msg::Resume`] cursors (send
+    /// first, then read — both sides doing the same cannot deadlock),
+    /// replay the frames the peer missed, and swap the fresh stream
+    /// into place. Resync and replayed frames bypass [`TrafficStats`]:
+    /// the logical traffic of the run is unchanged by a reconnect.
+    fn reestablish(&self) -> TransportResult<()> {
+        let rc = self
+            .reconnect
+            .as_ref()
+            .expect("reestablish requires reconnect state");
+        let Wire::Tcp { writer, reader } = &self.wire else {
+            return Err(TransportError::Disconnected);
+        };
+        // Both halves are held for the whole resync so a concurrent
+        // send/recv on another thread observes either the dead stream
+        // (and retries into this path) or the fully resynced one.
+        let mut w = writer.lock();
+        let mut r = reader.lock();
+        let stream = rc.redial()?;
+        let mut new_w = BufWriter::new(stream.try_clone()?);
+        let mut new_r = BufReader::new(stream);
+        write_frame(
+            &mut new_w,
+            &Msg::Resume {
+                recv_seq: rc.recv_seq.load(Ordering::Relaxed),
+            },
+        )?;
+        let peer_recv = match read_frame(&mut new_r)? {
+            Msg::Resume { recv_seq } => recv_seq,
+            other => {
+                return Err(TransportError::Reconnecting(format!(
+                    "peer sent {} instead of a Resume cursor",
+                    other.kind()
+                )))
+            }
+        };
+        let sent = rc.sent_seq.load(Ordering::Relaxed);
+        let log = rc.sent_log.lock();
+        let gap = replay_span(sent, peer_recv, log.len()).map_err(TransportError::Reconnecting)?;
+        for msg in log.iter().skip(log.len() - gap) {
+            write_frame(&mut new_w, msg)?;
+        }
+        drop(log);
+        *w = new_w;
+        *r = new_r;
+        Ok(())
+    }
+
+    /// Forcibly shut down the underlying TCP socket — the `Drop` fault
+    /// injection seam: the connection dies mid-run while both party
+    /// processes stay up, exactly what a flaky WAN does. Returns
+    /// `false` on backends with no socket to sever (in-process
+    /// channels). Subsequent operations surface the failure and, on a
+    /// reconnect-enabled endpoint, recover transparently.
+    pub fn sever(&self) -> bool {
+        match &self.wire {
+            Wire::Channel { .. } => false,
+            Wire::Tcp { writer, .. } => {
+                let _ = writer.lock().get_ref().shutdown(std::net::Shutdown::Both);
+                true
+            }
+            Wire::Pipelined(p) => match &p.tcp {
+                Some(stream) => {
+                    let _ = stream.shutdown(std::net::Shutdown::Both);
+                    true
+                }
+                None => false,
+            },
+        }
+    }
+
+    /// Enable transparent reconnection with a bounded replay cursor on
+    /// this (blocking TCP) endpoint. `window` bounds how many recent
+    /// frames are kept for replay; the protocols here are strict
+    /// request/response, so a handful suffices. Pipelined endpoints do
+    /// not reconnect (their writer/reader threads own the stream) —
+    /// convert *after* a run, or rely on checkpoint resume instead.
+    pub fn with_reconnect(
+        mut self,
+        redial: Redial,
+        policy: RetryPolicy,
+        window: usize,
+    ) -> Endpoint {
+        assert!(window >= 1, "replay window must hold at least 1 frame");
+        assert!(
+            matches!(self.wire, Wire::Tcp { .. }),
+            "reconnection requires a blocking TCP endpoint"
+        );
+        self.reconnect = Some(ReconnectState {
+            redial,
+            policy,
+            window,
+            sent_seq: AtomicU64::new(0),
+            recv_seq: AtomicU64::new(0),
+            sent_log: Mutex::new(std::collections::VecDeque::with_capacity(window)),
+        });
+        self
     }
 
     /// Receive, expecting a ciphertext tensor.
@@ -448,6 +802,7 @@ impl Endpoint {
             },
             stats: Arc::new(TrafficStats::default()),
             net: None,
+            reconnect: None,
         })
     }
 
@@ -459,25 +814,32 @@ impl Endpoint {
     /// Connect, retrying while the peer's listener is not up yet (used
     /// by two-process launches where start order is not guaranteed).
     /// Only transient failures are retried; a non-transient error
-    /// (unroutable host, permission denied, …) fails fast.
+    /// (unroutable host, permission denied, …) fails fast. The
+    /// `timeout` is an overall deadline — a peer that never listens
+    /// (or silently drops SYNs, which `connect` alone can out-wait)
+    /// yields a typed [`TransportError::Timeout`], never a hang.
     pub fn tcp_connect_retry<A: ToSocketAddrs + Clone>(
         addr: A,
-        timeout: std::time::Duration,
+        timeout: Duration,
     ) -> TransportResult<Endpoint> {
-        let deadline = std::time::Instant::now() + timeout;
+        let start = Instant::now();
+        let deadline = start + timeout;
         loop {
-            match TcpStream::connect(addr.clone()) {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(TransportError::Timeout {
+                    waited: start.elapsed(),
+                });
+            }
+            // Per-attempt timeout bounded by the remaining budget, so
+            // even a single black-holed connect cannot exceed the
+            // overall deadline.
+            match connect_any(&addr, remaining) {
                 Ok(stream) => return Endpoint::from_tcp_stream(stream),
-                Err(e) => {
-                    let transient = matches!(
-                        e.kind(),
-                        std::io::ErrorKind::ConnectionRefused | std::io::ErrorKind::TimedOut
-                    );
-                    if !transient || std::time::Instant::now() >= deadline {
-                        return Err(e.into());
-                    }
-                    std::thread::sleep(std::time::Duration::from_millis(20));
+                Err(e) if is_transient_connect_error(&e) => {
+                    std::thread::sleep(Duration::from_millis(20).min(remaining));
                 }
+                Err(e) => return Err(e.into()),
             }
         }
     }
@@ -514,6 +876,11 @@ impl Endpoint {
         if matches!(self.wire, Wire::Pipelined(_)) {
             return;
         }
+        // The writer/reader threads take exclusive ownership of the
+        // stream halves; transparent reconnection is a blocking-TCP
+        // feature (a pipelined run that loses its link surfaces an
+        // error and recovers via checkpoint resume instead).
+        self.reconnect = None;
         // Swap in a throwaway channel wire so we can take ownership of
         // the real one (its halves move into the worker threads).
         let (dummy_tx, dummy_rx) = unbounded();
@@ -683,6 +1050,7 @@ pub fn channel_pair() -> (Endpoint, Endpoint) {
         },
         stats: Arc::new(TrafficStats::default()),
         net: None,
+        reconnect: None,
     };
     let b = Endpoint {
         wire: Wire::Channel {
@@ -691,6 +1059,7 @@ pub fn channel_pair() -> (Endpoint, Endpoint) {
         },
         stats: Arc::new(TrafficStats::default()),
         net: None,
+        reconnect: None,
     };
     (a, b)
 }
@@ -1037,6 +1406,151 @@ mod tests {
     }
 
     #[test]
+    fn connect_retry_times_out_with_typed_error() {
+        // Bind a port, then drop the listener: nothing ever listens
+        // there again, so the retry loop must give up at its overall
+        // deadline with a typed Timeout — not loop forever and not
+        // return a raw refused error.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        drop(listener);
+        let budget = Duration::from_millis(200);
+        let t = Instant::now();
+        let err = Endpoint::tcp_connect_retry(addr, budget)
+            .err()
+            .expect("never-listening peer must fail");
+        assert!(
+            matches!(err, TransportError::Timeout { waited } if waited >= budget),
+            "expected Timeout, got {err:?}"
+        );
+        assert!(
+            t.elapsed() < Duration::from_secs(5),
+            "deadline not honoured: {:?}",
+            t.elapsed()
+        );
+    }
+
+    /// A reconnect-enabled TCP pair: the accept side keeps its
+    /// listener for re-accepts, the connect side redials the address.
+    fn reconnecting_tcp_pair(window: usize, policy: RetryPolicy) -> (Endpoint, Endpoint) {
+        let listener = Arc::new(TcpListener::bind("127.0.0.1:0").unwrap());
+        let addr = listener.local_addr().unwrap();
+        let t = std::thread::spawn(move || {
+            Endpoint::tcp_connect(addr).unwrap().with_reconnect(
+                Redial::Connect(addr),
+                policy,
+                window,
+            )
+        });
+        let host = Endpoint::tcp_accept(&listener).unwrap().with_reconnect(
+            Redial::Accept(listener),
+            policy,
+            window,
+        );
+        (t.join().unwrap(), host)
+    }
+
+    #[test]
+    fn severed_link_reconnects_and_replays_in_flight_frames() {
+        let (a, b) = reconnecting_tcp_pair(8, RetryPolicy::default());
+        a.send(Msg::U64(1)).unwrap();
+        assert_eq!(b.recv_u64().unwrap(), 1);
+        // Kill the link, then keep talking: the frame sent into the
+        // dead socket must arrive exactly once after the transparent
+        // reconnect (b blocks in recv on the dead socket, observes the
+        // failure, re-accepts; a's failed send redials and replays).
+        a.sever();
+        let t = std::thread::spawn(move || {
+            let v = b.recv_u64().unwrap();
+            let m = b.recv_mat().unwrap();
+            b.send(Msg::Scalar(v as f64)).unwrap();
+            (v, m, b)
+        });
+        let m = Dense::from_vec(1, 2, vec![4.0, -5.0]);
+        a.send(Msg::U64(2)).unwrap();
+        a.send(Msg::Mat(m.clone())).unwrap();
+        assert_eq!(a.recv_scalar().unwrap(), 2.0);
+        let (v, got, b) = t.join().unwrap();
+        assert_eq!(v, 2);
+        assert_eq!(got, m);
+        // Accounting counts each logical frame exactly once — resync
+        // and replay frames are invisible to TrafficStats.
+        assert_eq!(a.stats().msgs(), 3);
+        assert_eq!(a.stats().bytes(), (8 + 8 + 32) as u64);
+        assert_eq!(a.stats().sent_kinds(), vec!["U64", "U64", "Mat"]);
+        assert_eq!(b.stats().msgs(), 1);
+    }
+
+    #[test]
+    fn reconnect_survives_repeated_drops() {
+        let (a, b) = reconnecting_tcp_pair(4, RetryPolicy::default());
+        let t = std::thread::spawn(move || {
+            for i in 0..6u64 {
+                assert_eq!(b.recv_u64().unwrap(), i);
+            }
+            b
+        });
+        for i in 0..6u64 {
+            if i % 2 == 0 {
+                a.sever();
+            }
+            a.send(Msg::U64(i)).unwrap();
+        }
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn replay_gap_beyond_window_is_a_typed_error() {
+        // A scripted peer that lost everything: it accepts the redial
+        // and announces `recv_seq = 0` although five frames were sent
+        // against a 2-frame window. The resync must refuse with a
+        // typed Reconnecting error — silently dropping the three
+        // unreplayable frames would corrupt the protocol stream.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let peer = std::thread::spawn(move || {
+            // Original connection: swallow frames, never ack anything.
+            let (conn1, _) = listener.accept().unwrap();
+            // Redialled connection: speak the resync handshake raw.
+            let (mut conn2, _) = listener.accept().unwrap();
+            conn2
+                .write_all(&wire::encode_frame(&Msg::Resume { recv_seq: 0 }))
+                .unwrap();
+            let theirs = read_frame(&mut conn2).unwrap();
+            assert!(matches!(theirs, Msg::Resume { recv_seq: 0 }));
+            drop(conn1);
+            conn2
+        });
+        let a = Endpoint::tcp_connect(addr).unwrap().with_reconnect(
+            Redial::Connect(addr),
+            RetryPolicy::default(),
+            2,
+        );
+        for i in 0..4u64 {
+            a.send(Msg::U64(i)).unwrap();
+        }
+        // Kill the local write side so the fifth send deterministically
+        // fails over into the resync path.
+        a.sever();
+        let err = a.send(Msg::U64(4)).expect_err("gap exceeds the window");
+        match err {
+            TransportError::Reconnecting(why) => {
+                assert!(why.contains("replay window"), "unexpected reason: {why}")
+            }
+            other => panic!("expected Reconnecting, got {other:?}"),
+        }
+        peer.join().unwrap();
+    }
+
+    #[test]
+    fn sever_reports_backend_capability() {
+        let (a, _b) = channel_pair();
+        assert!(!a.sever());
+        let (ta, _tb) = tcp_pair();
+        assert!(ta.sever());
+    }
+
+    #[test]
     fn tcp_rejects_garbage_stream() {
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
@@ -1047,5 +1561,60 @@ mod tests {
         let host = Endpoint::tcp_accept(&listener).unwrap();
         assert!(matches!(host.recv(), Err(TransportError::Wire(_))));
         t.join().unwrap();
+    }
+
+    #[test]
+    fn replay_span_edge_cases() {
+        // Fully acknowledged → nothing to replay, even with an empty log.
+        assert_eq!(replay_span(0, 0, 0), Ok(0));
+        assert_eq!(replay_span(7, 7, 0), Ok(0));
+        // Exact window fit.
+        assert_eq!(replay_span(10, 7, 3), Ok(3));
+        // One frame beyond the window → typed refusal.
+        assert!(replay_span(10, 6, 3).unwrap_err().contains("replay window"));
+        // A peer acknowledging more than was sent is an impossible
+        // cursor, not a zero-length replay.
+        assert!(replay_span(3, 4, 8).unwrap_err().contains("ever sent"));
+        // u64 gap far beyond usize must refuse, not wrap.
+        assert!(replay_span(u64::MAX, 0, 16).is_err());
+    }
+
+    proptest::proptest! {
+        /// The resync cursor arithmetic never panics, never replays
+        /// more than the log holds, and accepts exactly the cursors
+        /// with `sent − peer_recv ≤ log_len`.
+        #[test]
+        fn replay_span_is_sound(
+            sent in 0u64..=u64::MAX,
+            lag in 0u64..1024,
+            log_len in 0usize..512,
+        ) {
+            let peer_recv = sent.saturating_sub(lag);
+            let gap = sent - peer_recv;
+            match replay_span(sent, peer_recv, log_len) {
+                Ok(n) => {
+                    proptest::prop_assert!(n <= log_len);
+                    proptest::prop_assert_eq!(n as u64, gap);
+                }
+                Err(why) => {
+                    proptest::prop_assert!(gap > log_len as u64, "refused a coverable gap: {}", why);
+                    proptest::prop_assert!(why.contains("replay window"));
+                }
+            }
+        }
+
+        /// An acknowledgement ahead of the send cursor is always an
+        /// impossible-cursor error, regardless of window size.
+        #[test]
+        fn replay_span_rejects_future_acks(
+            sent in 0u64..u64::MAX,
+            ahead in 1u64..1024,
+            log_len in 0usize..512,
+        ) {
+            let peer_recv = sent.saturating_add(ahead);
+            let res = replay_span(sent, peer_recv, log_len);
+            proptest::prop_assert!(res.is_err());
+            proptest::prop_assert!(res.unwrap_err().contains("ever sent"));
+        }
     }
 }

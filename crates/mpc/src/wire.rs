@@ -6,7 +6,7 @@
 //! ```text
 //! offset  size  field
 //! 0       2     magic   0x42 0x46  ("BF")
-//! 2       1     version 0x03
+//! 2       1     version 0x04
 //! 3       1     kind    (see the KIND_* constants)
 //! 4       4     payload length, u32 little-endian
 //! 8       n     payload (per-kind encoding)
@@ -27,8 +27,9 @@ pub const MAGIC: [u8; 2] = *b"BF";
 /// Current protocol version. Decoders reject every other value.
 /// History: v1 = kinds 1–6; v2 added kind 7 (`Hello`, multi-party
 /// link identification); v3 added `Ct` body tag 2 (packed ciphertext
-/// tensors) — a new kind or body tag is a version bump by rule.
-pub const VERSION: u8 = 3;
+/// tensors); v4 added kind 8 (`Resume`, reconnect replay cursor) — a
+/// new kind or body tag is a version bump by rule.
+pub const VERSION: u8 = 4;
 /// Fixed frame-header length in bytes (magic + version + kind + length).
 pub const HEADER_LEN: usize = 8;
 /// Upper bound on a payload a decoder will accept (1 GiB). A malicious
@@ -49,6 +50,8 @@ pub const KIND_SCALAR: u8 = 5;
 pub const KIND_U64: u8 = 6;
 /// Frame kind byte for [`Msg::Hello`].
 pub const KIND_HELLO: u8 = 7;
+/// Frame kind byte for [`Msg::Resume`].
+pub const KIND_RESUME: u8 = 8;
 
 /// A frame- or payload-level decode failure.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -92,6 +95,7 @@ pub fn kind_byte(msg: &Msg) -> u8 {
         Msg::Scalar(_) => KIND_SCALAR,
         Msg::U64(_) => KIND_U64,
         Msg::Hello { .. } => KIND_HELLO,
+        Msg::Resume { .. } => KIND_RESUME,
     }
 }
 
@@ -125,6 +129,7 @@ pub fn encode_payload(msg: &Msg) -> Vec<u8> {
             out.extend_from_slice(&total.to_le_bytes());
             out
         }
+        Msg::Resume { recv_seq } => recv_seq.to_le_bytes().to_vec(),
     }
 }
 
@@ -168,7 +173,7 @@ pub fn decode_header(header: &[u8; HEADER_LEN]) -> Result<(u8, u32), WireError> 
         return Err(WireError::UnsupportedVersion(header[2]));
     }
     let kind = header[3];
-    if !(KIND_CT..=KIND_HELLO).contains(&kind) {
+    if !(KIND_CT..=KIND_RESUME).contains(&kind) {
         return Err(WireError::UnknownKind(kind));
     }
     let len = u32::from_le_bytes(header[4..8].try_into().unwrap());
@@ -242,6 +247,9 @@ pub fn decode_payload(kind: u8, payload: &[u8]) -> Result<Msg, WireError> {
                 total: u32::from_le_bytes(p[4..8].try_into().unwrap()),
             })
         }
+        KIND_RESUME => Ok(Msg::Resume {
+            recv_seq: u64::from_le_bytes(exact(8)?.try_into().unwrap()),
+        }),
         other => Err(WireError::UnknownKind(other)),
     }
 }
@@ -277,7 +285,7 @@ mod tests {
             frame,
             vec![
                 0x42, 0x46, // "BF"
-                0x03, // version
+                0x04, // version
                 0x06, // kind U64
                 0x08, 0x00, 0x00, 0x00, // payload len 8
                 0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01, // u64 LE
@@ -295,7 +303,7 @@ mod tests {
             frame,
             vec![
                 0x42, 0x46, // "BF"
-                0x03, // version
+                0x04, // version
                 0x07, // kind Hello
                 0x08, 0x00, 0x00, 0x00, // payload len 8
                 0x02, 0x00, 0x00, 0x00, // index 2, u32 LE
@@ -310,7 +318,7 @@ mod tests {
         assert_eq!(
             frame,
             vec![
-                0x42, 0x46, 0x03, 0x05, 0x08, 0x00, 0x00, 0x00, // header
+                0x42, 0x46, 0x04, 0x05, 0x08, 0x00, 0x00, 0x00, // header
                 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xf0, 0x3f, // 1.0f64 LE
             ]
         );
@@ -322,7 +330,7 @@ mod tests {
         assert_eq!(
             frame,
             vec![
-                0x42, 0x46, 0x03, 0x04, 0x10, 0x00, 0x00, 0x00, // header, len 16
+                0x42, 0x46, 0x04, 0x04, 0x10, 0x00, 0x00, 0x00, // header, len 16
                 0x02, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // count 2
                 0x01, 0x00, 0x00, 0x00, // 1
                 0x0B, 0x0A, 0x00, 0x00, // 0x0A0B
@@ -336,7 +344,7 @@ mod tests {
         assert_eq!(
             frame,
             vec![
-                0x42, 0x46, 0x03, 0x02, 0x20, 0x00, 0x00, 0x00, // header, len 32
+                0x42, 0x46, 0x04, 0x02, 0x20, 0x00, 0x00, 0x00, // header, len 32
                 0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // rows 1
                 0x02, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // cols 2
                 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // 0.0
@@ -348,7 +356,7 @@ mod tests {
     #[test]
     fn golden_plain_key_frame() {
         let frame = encode_frame(&Msg::Key(bf_paillier::PublicKey::Plain { frac_bits: 24 }));
-        let mut want = vec![0x42, 0x46, 0x03, 0x03, 0x0B, 0x00, 0x00, 0x00];
+        let mut want = vec![0x42, 0x46, 0x04, 0x03, 0x0B, 0x00, 0x00, 0x00];
         want.extend_from_slice(b"bfplain1:24");
         assert_eq!(frame, want);
     }
@@ -362,12 +370,29 @@ mod tests {
         assert_eq!(
             frame,
             vec![
-                0x42, 0x46, 0x03, 0x01, 0x1A, 0x00, 0x00, 0x00, // header, len 26
+                0x42, 0x46, 0x04, 0x01, 0x1A, 0x00, 0x00, 0x00, // header, len 26
                 0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // rows 1
                 0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // cols 1
                 0x01, // scale 1
                 0x00, // body: plain
                 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xe0, 0x3f, // 0.5
+            ]
+        );
+    }
+
+    #[test]
+    fn golden_resume_frame() {
+        let frame = encode_frame(&Msg::Resume {
+            recv_seq: 0x0102030405060708,
+        });
+        assert_eq!(
+            frame,
+            vec![
+                0x42, 0x46, // "BF"
+                0x04, // version
+                0x08, // kind Resume
+                0x08, 0x00, 0x00, 0x00, // payload len 8
+                0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01, // recv_seq LE
             ]
         );
     }
@@ -395,6 +420,12 @@ mod tests {
             decode_header(&hdr(&bad)),
             Err(WireError::UnknownKind(0))
         ));
+        let mut bad = ok.clone();
+        bad[3] = KIND_RESUME + 1;
+        assert!(matches!(
+            decode_header(&hdr(&bad)),
+            Err(WireError::UnknownKind(_))
+        ));
         let mut bad = ok;
         bad[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
         assert!(matches!(
@@ -411,6 +442,7 @@ mod tests {
         assert!(truncated(KIND_U64, &[0; 9]));
         assert!(truncated(KIND_HELLO, &[0; 7]));
         assert!(truncated(KIND_HELLO, &[0; 9]));
+        assert!(truncated(KIND_RESUME, &[0; 7]));
         assert!(truncated(KIND_MAT, &[0; 15]));
         assert!(truncated(KIND_SUPPORT, &[0; 7]));
         // Support claiming 4 entries but carrying 1.
@@ -434,6 +466,8 @@ mod tests {
                 index: u32::MAX,
                 total: u32::MAX,
             },
+            Msg::Resume { recv_seq: 0 },
+            Msg::Resume { recv_seq: u64::MAX },
         ];
         for msg in msgs {
             let frame = encode_frame(&msg);
@@ -450,6 +484,7 @@ mod tests {
                 (Msg::Hello { index: a, total: b }, Msg::Hello { index: c, total: d }) => {
                     assert_eq!((a, b), (c, d))
                 }
+                (Msg::Resume { recv_seq: a }, Msg::Resume { recv_seq: b }) => assert_eq!(a, b),
                 other => panic!("kind changed in roundtrip: {other:?}"),
             }
         }

@@ -41,6 +41,7 @@ fn train_config(mode: TrainMode) -> FedTrainConfig {
         },
         snapshot_u_a: false,
         mode,
+        ..Default::default()
     }
 }
 

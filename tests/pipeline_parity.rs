@@ -30,6 +30,7 @@ fn train_cfg(mode: TrainMode) -> FedTrainConfig {
         },
         snapshot_u_a: false,
         mode,
+        ..Default::default()
     }
 }
 

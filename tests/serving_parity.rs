@@ -234,6 +234,67 @@ fn served_equals_direct_forward_over_tcp() {
 }
 
 #[test]
+fn client_disconnect_mid_request_leaves_the_serve_loop_running() {
+    // Fault-tolerance regression: a client that submits a request and
+    // then disconnects (drops its `PendingPrediction`) before the
+    // answer arrives must not stall or kill the serve loop — the
+    // abandoned reply lands on a closed channel, the batch still
+    // serves, and every still-connected client gets its exact answer.
+    let cfg = FedConfig::plain();
+    let (bytes_a, bytes_b, store_a, store_b) = train_and_export(&cfg, 48);
+    let bs = 8;
+    let n = store_a.rows();
+    let (direct_bits, _) = direct_predictions(&cfg, &bytes_a, &bytes_b, &store_a, &store_b, bs);
+
+    let (ep_a, ep_b) = bf_mpc::channel_pair();
+    let cfg_a = cfg.clone();
+    let store_a2 = store_a.clone();
+    let guest = std::thread::Builder::new()
+        .name("serve-guest".into())
+        .stack_size(16 << 20)
+        .spawn(move || {
+            let mut sess =
+                Session::handshake(ep_a, cfg_a, Role::A, party_seed(Role::A, SERVE_SEED)).unwrap();
+            let mut model = import_party_a(&bytes_a).unwrap();
+            serve_party_a(&mut sess, &mut model, &store_a2).unwrap()
+        })
+        .unwrap();
+    let mut sess =
+        Session::handshake(ep_b, cfg.clone(), Role::B, party_seed(Role::B, SERVE_SEED)).unwrap();
+    let mut model = import_party_b(&bytes_b).unwrap();
+    let (client, queue) = serve::queue(n);
+    let pending: Vec<_> = (0..n).map(|r| client.submit(r).unwrap()).collect();
+    drop(client);
+    // Every odd-row client hangs up while its request is in flight —
+    // disconnects land in every coalesced batch, not just one.
+    let survivors: Vec<_> = pending
+        .into_iter()
+        .enumerate()
+        .filter(|(r, _)| r % 2 == 0)
+        .collect();
+    let report = serve_party_b(
+        &mut sess,
+        &mut model,
+        &store_b,
+        &ServeConfig { max_batch: bs },
+        queue,
+    )
+    .expect("abandoned requests must not kill the serve loop");
+    // The loop served the full queue, abandoned requests included, and
+    // the guest saw every row.
+    assert_eq!(report.requests, n as u64);
+    let guest_report = guest.join().unwrap();
+    assert_eq!(guest_report.rows, n as u64);
+    // Surviving clients still get bit-exact answers.
+    assert!(!survivors.is_empty());
+    for (r, p) in survivors {
+        let pred = p.wait().unwrap();
+        let bits: Vec<u64> = pred.logits.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(bits, vec![direct_bits[r]], "row {r}");
+    }
+}
+
+#[test]
 fn served_equals_direct_forward_multi_guest() {
     // M = 2 guests: the host's serve loop broadcasts each coalesced
     // batch's rows to every link; every guest runs the unmodified

@@ -299,6 +299,18 @@ mod tests {
     }
 
     #[test]
+    fn state_snapshot_resumes_exact_stream() {
+        let mut a = StdRng::seed_from_u64(9);
+        for _ in 0..5 {
+            a.next_u64();
+        }
+        let mut b = StdRng::from_state(a.state());
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
     fn fill_bytes_covers_tail() {
         let mut rng = StdRng::seed_from_u64(6);
         let mut buf = [0u8; 13];

@@ -14,6 +14,32 @@ pub struct StdRng {
     s: [u64; 4],
 }
 
+impl StdRng {
+    /// Snapshot the generator state. Together with [`StdRng::from_state`]
+    /// this lets a checkpoint capture an RNG mid-stream and resume it
+    /// exactly: `from_state(r.state())` continues the identical draw
+    /// sequence.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuild a generator from a [`StdRng::state`] snapshot.
+    ///
+    /// The snapshot must come from a live generator; an all-zero state
+    /// (unreachable from any seeding path, which maps it to a fixed
+    /// non-zero constant) is normalised the same way `from_seed` does.
+    pub fn from_state(s: [u64; 4]) -> Self {
+        if s == [0; 4] {
+            let mut seed = [0u8; 32];
+            for (chunk, limb) in seed.chunks_exact_mut(8).zip(s) {
+                chunk.copy_from_slice(&limb.to_le_bytes());
+            }
+            return <Self as SeedableRng>::from_seed(seed);
+        }
+        StdRng { s }
+    }
+}
+
 impl RngCore for StdRng {
     fn next_u64(&mut self) -> u64 {
         // xoshiro256++ by Blackman & Vigna (public domain reference).
