@@ -1,0 +1,485 @@
+//! Gateway load-generator: many pipelined TCP clients against the
+//! multi-replica serving gateway vs the single-queue baseline (see
+//! `docs/SERVING.md` §gateway).
+//!
+//! The gateway (`blindfl::gateway`) multiplexes every client
+//! connection onto a pool of serving replicas through sharded
+//! micro-batch queues, so aggregate throughput scales with the pool
+//! while each reply stays bit-identical to the direct forward. This
+//! binary trains a small federated LR once, persists both halves, and
+//! then drives the same request stream through two fleets:
+//!
+//! * **baseline** — a 1-replica gateway: the single-queue `serving`
+//!   architecture behind the same TCP front door,
+//! * **gateway** — an `R`-replica pool fed by the same client fleet.
+//!
+//! Every client pipelines its whole row plan before draining, so the
+//! fleet holds thousands of requests in flight at once; the peak is
+//! measured on the client side (submitted − completed) and the
+//! gateway side (`GatewayReport::peak_in_flight`). The run replays
+//! every replica's recorded batch partitions through the direct
+//! `predict_batch` forward and compares bits, then writes a
+//! machine-readable `BENCH_serving.json` at the repo root and asserts
+//! the floors: ≥ 1000 concurrent in-flight across ≥ 4 client threads
+//! and ≥ 2× the single-queue throughput.
+//!
+//! ```text
+//! cargo run --release -p bf-bench --bin gateway
+//! ```
+//!
+//! Env knobs: `GATEWAY_SCALE` (a9a row divisor, default 8 → a
+//! 2000-row feature store), `GATEWAY_REQUESTS` (default 2000),
+//! `GATEWAY_CLIENTS` (default 8), `GATEWAY_REPLICAS` (default 4),
+//! `GATEWAY_MAX_BATCH` (default 32), `GATEWAY_SHARD_DEPTH`
+//! (default 512), `GATEWAY_BACKEND` (`plain` | `paillier`, default
+//! `plain` — the bench measures event-loop/pool scaling, not crypto),
+//! `GATEWAY_NET` (`metro` | `lan` | `wan` | `none`, default `metro`:
+//! a 5 ms / 1 Gbps guest link, the same-city cross-enterprise
+//! deployment the paper implies).
+
+use std::collections::HashMap;
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
+
+use bf_datagen::{generate, spec, vsplit};
+use bf_mpc::transport::NetworkProfile;
+use bf_util::{Stopwatch, Table};
+use blindfl::config::FedConfig;
+use blindfl::gateway::{
+    gateway_replica_seed, run_gateway, GatewayClient, GatewayConfig, GatewayReplica, GatewayReport,
+};
+use blindfl::models::FedSpec;
+use blindfl::persist::{export_party_a, export_party_b, import_party_a, import_party_b};
+use blindfl::serve::serve_party_a;
+use blindfl::session::{party_seed, run_pair, Role, Session};
+use blindfl::train::{train_federated, FedTrainConfig};
+
+const TRAIN_SEED: u64 = 0x5E17;
+const SERVE_SEED: u64 = 0xCAFE;
+const CONNECT_TIMEOUT: Duration = Duration::from_secs(10);
+const INFLIGHT_FLOOR: u64 = 1000;
+const SPEEDUP_FLOOR: f64 = 2.0;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+struct FleetOut {
+    report: GatewayReport,
+    /// Wall-clock of the client fleet (connect → last drain).
+    secs: f64,
+    /// Peak submitted-but-unanswered across the whole client fleet.
+    peak_client_inflight: u64,
+    /// (row, logit bits) for every answered reply, across clients.
+    answered: Vec<(u64, Vec<u64>)>,
+}
+
+/// Stand up a gateway over `n_replicas` in-process guest links and a
+/// TCP front door, then drive it with a fleet of pipelined clients
+/// that split `plans` between them.
+fn run_fleet(
+    cfg: &FedConfig,
+    net: Option<NetworkProfile>,
+    bytes_a: &[u8],
+    bytes_b: &[u8],
+    store_a: &bf_ml::Dataset,
+    store_b: &bf_ml::Dataset,
+    n_replicas: usize,
+    gw_cfg: &GatewayConfig,
+    plans: Vec<Vec<u64>>,
+) -> FleetOut {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind front door");
+    let addr = listener.local_addr().expect("front-door addr");
+    let stop = AtomicBool::new(false);
+    let submitted = AtomicU64::new(0);
+    let completed = AtomicU64::new(0);
+    let peak = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        let mut replicas = Vec::new();
+        for r in 0..n_replicas {
+            let (ep_a, ep_b) = match net {
+                Some(p) => bf_mpc::channel_pair_with_network(p),
+                None => bf_mpc::channel_pair(),
+            };
+            let seed = gateway_replica_seed(SERVE_SEED, r);
+            let cfg_a = cfg.clone();
+            let bytes_a = bytes_a.to_vec();
+            let store_a = store_a.clone();
+            std::thread::Builder::new()
+                .name(format!("gw-guest-{r}"))
+                .stack_size(16 << 20)
+                .spawn_scoped(s, move || {
+                    let mut sess =
+                        Session::handshake(ep_a, cfg_a, Role::A, party_seed(Role::A, seed))
+                            .expect("guest handshake");
+                    let mut model = import_party_a(&bytes_a).expect("guest model");
+                    serve_party_a(&mut sess, &mut model, &store_a).expect("guest serve loop");
+                })
+                .expect("spawn guest");
+            let sess = Session::handshake(ep_b, cfg.clone(), Role::B, party_seed(Role::B, seed))
+                .expect("host handshake");
+            let model = import_party_b(bytes_b).expect("host model");
+            replicas.push(GatewayReplica::TwoParty { sess, model });
+        }
+        let stop_ref = &stop;
+        let store_b_ref = &*store_b;
+        let gw = std::thread::Builder::new()
+            .name("gateway".into())
+            .stack_size(16 << 20)
+            .spawn_scoped(s, move || {
+                run_gateway(listener, replicas, store_b_ref, gw_cfg, stop_ref).expect("gateway")
+            })
+            .expect("spawn gateway");
+        let mut sw = Stopwatch::new();
+        sw.start();
+        let clients: Vec<_> = plans
+            .into_iter()
+            .enumerate()
+            .map(|(c, plan)| {
+                let (submitted, completed, peak) = (&submitted, &completed, &peak);
+                std::thread::Builder::new()
+                    .name(format!("gw-client-{c}"))
+                    .spawn_scoped(s, move || {
+                        let mut client =
+                            GatewayClient::connect(addr, CONNECT_TIMEOUT).expect("connect");
+                        // Pipeline the whole plan before reading a
+                        // single reply: the fleet-wide in-flight count
+                        // is what the bench is exercising.
+                        for &row in &plan {
+                            client.submit(row).expect("submit");
+                            let up = submitted.fetch_add(1, Ordering::Relaxed) + 1;
+                            let in_flight = up - completed.load(Ordering::Relaxed);
+                            peak.fetch_max(in_flight, Ordering::Relaxed);
+                        }
+                        let mut answered = Vec::new();
+                        while client.in_flight() > 0 {
+                            let (row, reply) = client.recv().expect("recv");
+                            completed.fetch_add(1, Ordering::Relaxed);
+                            let logits = reply.expect("reply was a rejection");
+                            answered.push((row, logits.iter().map(|v| v.to_bits()).collect()));
+                        }
+                        answered
+                    })
+                    .expect("spawn client")
+            })
+            .collect();
+        let mut answered = Vec::new();
+        for c in clients {
+            answered.extend(c.join().expect("client thread"));
+        }
+        sw.stop();
+        stop.store(true, Ordering::Relaxed);
+        let report = gw.join().expect("gateway thread");
+        FleetOut {
+            report,
+            secs: sw.secs(),
+            peak_client_inflight: peak.load(Ordering::Relaxed),
+            answered,
+        }
+    })
+}
+
+/// Replay one replica's recorded batch partitions through the direct
+/// forward (fresh sessions, the replica's seed, no simulated link —
+/// the bits don't depend on the transport). Returns row → logit bits.
+fn replay_replica(
+    cfg: &FedConfig,
+    bytes_a: &[u8],
+    bytes_b: &[u8],
+    store_a: &bf_ml::Dataset,
+    store_b: &bf_ml::Dataset,
+    seed: u64,
+    partitions: &[Vec<u32>],
+) -> HashMap<u64, Vec<u64>> {
+    let parts: Vec<Vec<usize>> = partitions
+        .iter()
+        .map(|p| p.iter().map(|&r| r as usize).collect())
+        .collect();
+    let bytes_a = bytes_a.to_vec();
+    let store_a = store_a.clone();
+    let parts_a = parts.clone();
+    let bytes_b = bytes_b.to_vec();
+    let store_b = store_b.clone();
+    let (_, map) = run_pair(
+        cfg,
+        seed,
+        move |mut sess| {
+            let mut model = import_party_a(&bytes_a).expect("replay guest model");
+            for p in &parts_a {
+                model
+                    .predict_batch(&mut sess, &store_a.select(p))
+                    .expect("replay guest forward");
+            }
+        },
+        move |mut sess| {
+            let mut model = import_party_b(&bytes_b).expect("replay host model");
+            let mut map = HashMap::new();
+            for p in &parts {
+                let logits = model
+                    .predict_batch(&mut sess, &store_b.select(p))
+                    .expect("replay host forward");
+                for (k, &row) in p.iter().enumerate() {
+                    let bits: Vec<u64> = logits.row(k).iter().map(|v| v.to_bits()).collect();
+                    map.insert(row as u64, bits);
+                }
+            }
+            map
+        },
+    );
+    map
+}
+
+fn main() {
+    let scale = env_usize("GATEWAY_SCALE", 8);
+    let requests = env_usize("GATEWAY_REQUESTS", 2000);
+    let clients = env_usize("GATEWAY_CLIENTS", 8).max(1);
+    let n_replicas = env_usize("GATEWAY_REPLICAS", 4).max(1);
+    let max_batch = env_usize("GATEWAY_MAX_BATCH", 32);
+    let shard_depth = env_usize("GATEWAY_SHARD_DEPTH", 512);
+    let backend = std::env::var("GATEWAY_BACKEND").unwrap_or_else(|_| "plain".into());
+    let net_name = std::env::var("GATEWAY_NET").unwrap_or_else(|_| "metro".into());
+    let cfg = match backend.as_str() {
+        "paillier" => FedConfig::paillier_test(),
+        _ => FedConfig::plain(),
+    };
+    let net = match net_name.as_str() {
+        "none" => None,
+        "lan" => Some(NetworkProfile::lan_10gbps()),
+        "wan" => Some(NetworkProfile::wan_100mbps()),
+        // Same-city cross-enterprise link: 5 ms one-way, 1 Gbps.
+        _ => Some(NetworkProfile {
+            latency: Duration::from_millis(5),
+            bytes_per_sec: 125_000_000,
+        }),
+    };
+    println!(
+        "Federated serving gateway: {backend} backend, {net_name} guest links, \
+         {requests} requests from {clients} clients over {n_replicas} replicas\n"
+    );
+
+    // Train → persist once; both fleets start from the same bytes.
+    eprintln!("[gateway] training + persisting the model...");
+    let ds = spec("a9a").scaled(scale, 1);
+    let (train, test) = generate(&ds, 0xDA7A);
+    let train_v = vsplit(&train);
+    let test_v = vsplit(&test);
+    let tc = FedTrainConfig {
+        base: bf_ml::TrainConfig {
+            epochs: 1,
+            batch_size: 64,
+            ..Default::default()
+        },
+        snapshot_u_a: false,
+        ..Default::default()
+    };
+    let outcome = train_federated(
+        &FedSpec::Glm { out: 1 },
+        &cfg,
+        &tc,
+        train_v.party_a,
+        train_v.party_b,
+        test_v.party_a.clone(),
+        test_v.party_b.clone(),
+        TRAIN_SEED,
+    );
+    let bytes_a = export_party_a(&outcome.party_a);
+    let bytes_b = export_party_b(&outcome.party_b);
+    let store_a = test_v.party_a;
+    let store_b = test_v.party_b;
+    let rows = store_b.rows();
+    eprintln!(
+        "[gateway] persisted models: A {} bytes, B {} bytes (AUC {:.3}); {rows}-row store",
+        bytes_a.len(),
+        bytes_b.len(),
+        outcome.report.test_metric
+    );
+
+    // Row plans: globally distinct rows whenever the store is large
+    // enough (row → bits is then single-valued and the replay-parity
+    // check applies); otherwise wrap and skip parity.
+    let distinct = requests <= rows;
+    let plan_rows: Vec<u64> = (0..requests as u64).map(|r| r % rows as u64).collect();
+    let plans = |n_clients: usize| -> Vec<Vec<u64>> {
+        (0..n_clients)
+            .map(|c| plan_rows[c..].iter().step_by(n_clients).copied().collect())
+            .collect()
+    };
+    let gw_cfg = GatewayConfig {
+        max_batch,
+        shard_depth,
+        conn_window: requests.div_ceil(clients).max(256),
+        ..GatewayConfig::default()
+    };
+
+    eprintln!("[gateway] single-queue baseline (1 replica)...");
+    let base = run_fleet(
+        &cfg,
+        net,
+        &bytes_a,
+        &bytes_b,
+        &store_a,
+        &store_b,
+        1,
+        &gw_cfg,
+        plans(clients),
+    );
+    eprintln!("[gateway] {n_replicas}-replica pool...");
+    let pool = run_fleet(
+        &cfg,
+        net,
+        &bytes_a,
+        &bytes_b,
+        &store_a,
+        &store_b,
+        n_replicas,
+        &gw_cfg,
+        plans(clients),
+    );
+
+    for (name, out) in [("baseline", &base), ("gateway", &pool)] {
+        assert_eq!(out.report.answered, requests as u64, "{name} answered");
+        assert_eq!(out.report.rejected, 0, "{name} rejected");
+        assert_eq!(out.report.orphaned, 0, "{name} orphaned");
+        assert!(out.report.replica_failures.is_empty(), "{name} failures");
+    }
+
+    // Parity by replay: every reply the pool delivered must be
+    // bit-identical to the direct forward under the replica's seed
+    // and recorded batch partition.
+    let parity_rows = if distinct {
+        eprintln!("[gateway] replaying {n_replicas} replicas' partitions for bit-parity...");
+        let mut replayed = HashMap::new();
+        for (r, rep) in pool.report.replicas.iter().enumerate() {
+            replayed.extend(replay_replica(
+                &cfg,
+                &bytes_a,
+                &bytes_b,
+                &store_a,
+                &store_b,
+                gateway_replica_seed(SERVE_SEED, r),
+                &rep.batch_rows,
+            ));
+        }
+        for (row, bits) in &pool.answered {
+            assert_eq!(
+                bits,
+                replayed
+                    .get(row)
+                    .unwrap_or_else(|| panic!("row {row} absent from the replay")),
+                "row {row}: gateway bits diverged from the direct forward"
+            );
+        }
+        pool.answered.len()
+    } else {
+        eprintln!(
+            "[gateway] note: {requests} requests > {rows} store rows — rows repeat, \
+             replay parity skipped (run with GATEWAY_REQUESTS <= store rows to check it)"
+        );
+        0
+    };
+
+    let mut t = Table::new(vec![
+        "fleet",
+        "replicas",
+        "requests",
+        "wall secs",
+        "req/s",
+        "p50 lat ms",
+        "p99 lat ms",
+        "peak in-flight (client)",
+        "peak in-flight (gateway)",
+    ]);
+    for (name, replicas, out) in [("baseline", 1, &base), ("gateway", n_replicas, &pool)] {
+        t.row(vec![
+            name.to_string(),
+            format!("{replicas}"),
+            format!("{}", out.report.answered),
+            format!("{:.2}", out.secs),
+            format!("{:.1}", out.report.answered as f64 / out.secs),
+            format!("{:.1}", out.report.p50_latency_secs() * 1e3),
+            format!("{:.1}", out.report.p99_latency_secs() * 1e3),
+            format!("{}", out.peak_client_inflight),
+            format!("{}", out.report.peak_in_flight),
+        ]);
+    }
+    t.print();
+
+    let base_qps = base.report.answered as f64 / base.secs;
+    let pool_qps = pool.report.answered as f64 / pool.secs;
+    let speedup = pool_qps / base_qps;
+    println!(
+        "\nsustained QPS: baseline {base_qps:.1}, gateway {pool_qps:.1} → {speedup:.2}x; \
+         peak in-flight {} across {clients} clients",
+        pool.peak_client_inflight
+    );
+
+    // The floors are defined for the serving-gateway scenario proper:
+    // a replica pool behind real (simulated) links with a saturating
+    // client fleet. Degenerate knob combos only warn.
+    let strict =
+        requests >= INFLIGHT_FLOOR as usize && clients >= 4 && n_replicas >= 4 && net.is_some();
+
+    // --- Machine-readable record. ---
+    let fleet_json = |out: &FleetOut, replicas: usize| {
+        format!(
+            "{{\"replicas\": {replicas}, \"answered\": {}, \"rejected\": {}, \
+             \"wall_secs\": {:.4}, \"qps\": {:.1}, \"p50_latency_ms\": {:.2}, \
+             \"p99_latency_ms\": {:.2}, \"peak_in_flight_client\": {}, \
+             \"peak_in_flight_gateway\": {}}}",
+            out.report.answered,
+            out.report.rejected,
+            out.secs,
+            out.report.answered as f64 / out.secs,
+            out.report.p50_latency_secs() * 1e3,
+            out.report.p99_latency_secs() * 1e3,
+            out.peak_client_inflight,
+            out.report.peak_in_flight,
+        )
+    };
+    let json = format!(
+        "{{\n  \"bench\": \"gateway\",\n  \"backend\": \"{backend}\",\n  \"net\": \"{net_name}\",\n  \
+         \"store_rows\": {rows},\n  \"requests\": {requests},\n  \"clients\": {clients},\n  \
+         \"max_batch\": {max_batch},\n  \"shard_depth\": {shard_depth},\n  \
+         \"baseline\": {},\n  \"gateway\": {},\n  \
+         \"speedup\": {speedup:.3},\n  \"floor\": {SPEEDUP_FLOOR:.1},\n  \
+         \"meets_2x_floor\": {},\n  \"inflight_floor\": {INFLIGHT_FLOOR},\n  \
+         \"meets_inflight_floor\": {},\n  \
+         \"parity\": {{\"replayed_rows\": {parity_rows}, \"bit_identical\": {distinct}}},\n  \
+         \"strict\": {strict}\n}}\n",
+        fleet_json(&base, 1),
+        fleet_json(&pool, n_replicas),
+        speedup >= SPEEDUP_FLOOR,
+        pool.peak_client_inflight >= INFLIGHT_FLOOR,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serving.json");
+    std::fs::write(path, &json).expect("write BENCH_serving.json");
+    println!("wrote {path}");
+
+    if strict {
+        assert!(
+            pool.peak_client_inflight >= INFLIGHT_FLOOR,
+            "client fleet must sustain >= {INFLIGHT_FLOOR} concurrent in-flight requests \
+             (got {})",
+            pool.peak_client_inflight
+        );
+        assert!(
+            speedup >= SPEEDUP_FLOOR,
+            "{n_replicas}-replica gateway must reach >= {SPEEDUP_FLOOR}x the single-queue \
+             throughput (got {speedup:.2}x)"
+        );
+        println!(
+            "floors: in-flight {} >= {INFLIGHT_FLOOR}, speedup {speedup:.2}x >= \
+             {SPEEDUP_FLOOR}x: ok",
+            pool.peak_client_inflight
+        );
+    } else {
+        eprintln!(
+            "[gateway] note: floors not asserted on a degenerate config \
+             (requests {requests}, clients {clients}, replicas {n_replicas}, net {net_name})"
+        );
+    }
+}

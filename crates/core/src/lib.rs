@@ -59,6 +59,14 @@
 //!   ([`serve::serve_party_b`] / [`serve::serve_party_a`], plus the
 //!   multi-guest [`serve::serve_party_b_multi`]), completing the
 //!   train → persist → serve model life cycle.
+//! * [`gateway`] — the multi-client serving front door: a
+//!   nonblocking TCP acceptor + event loop ([`bf_mpc::reactor`])
+//!   multiplexing many concurrent client connections onto a pool of
+//!   serving replicas (each its own session(s) + model over its own
+//!   guest link(s)) through sharded micro-batch queues, with
+//!   admission control and backpressure. Served bits stay identical
+//!   to the direct forward — each replica records its batch
+//!   partitions so the parity contract is replayable.
 //!
 //! # Quickstart
 //!
@@ -74,6 +82,7 @@
 #![allow(clippy::too_many_arguments)] // protocol functions mirror the paper's parameter lists
 pub mod config;
 pub mod engine;
+pub mod gateway;
 pub mod inspect;
 pub mod models;
 pub mod multiparty;
@@ -86,6 +95,10 @@ pub mod train;
 
 pub use config::{Backend, FedConfig, GradMode};
 pub use engine::TrainMode;
+pub use gateway::{
+    gateway_replica_seed, run_gateway, GatewayClient, GatewayConfig, GatewayReject, GatewayReplica,
+    GatewayReport,
+};
 pub use models::FedSpec;
 pub use persist::{
     export_checkpoint_a, export_checkpoint_b, export_checkpoint_multi_b, export_multi_party_b,

@@ -77,6 +77,10 @@ pub enum ServeError {
         /// The store's row count.
         rows: usize,
     },
+    /// The queue is full right now — admission control turned the
+    /// request away instead of blocking the caller
+    /// ([`PredictClient::try_submit`]).
+    Overloaded,
 }
 
 impl std::fmt::Display for ServeError {
@@ -86,6 +90,7 @@ impl std::fmt::Display for ServeError {
             ServeError::BadRow { row, rows } => {
                 write!(f, "row {row} out of range for a {rows}-row feature store")
             }
+            ServeError::Overloaded => write!(f, "prediction queue is full"),
         }
     }
 }
@@ -131,6 +136,18 @@ impl PendingPrediction {
     pub fn wait(self) -> Result<Prediction, ServeError> {
         self.rx.recv().map_err(|_| ServeError::Closed)?
     }
+
+    /// Poll for the answer without blocking: `None` while the request
+    /// is still in flight, `Some` once answered (or once the server
+    /// is known dead). The nonblocking form the gateway's event loop
+    /// uses.
+    pub fn try_wait(&self) -> Option<Result<Prediction, ServeError>> {
+        match self.rx.try_recv() {
+            Ok(r) => Some(r),
+            Err(std_mpsc::TryRecvError::Empty) => None,
+            Err(std_mpsc::TryRecvError::Disconnected) => Some(Err(ServeError::Closed)),
+        }
+    }
 }
 
 impl PredictClient {
@@ -146,6 +163,23 @@ impl PredictClient {
             })
             .map_err(|_| ServeError::Closed)?;
         Ok(PendingPrediction { rx })
+    }
+
+    /// Enqueue a prediction request without blocking: a full queue
+    /// answers [`ServeError::Overloaded`] immediately instead of
+    /// parking the caller. Admission control for the gateway's event
+    /// loop, which must never block on a shard.
+    pub fn try_submit(&self, row: usize) -> Result<PendingPrediction, ServeError> {
+        let (reply, rx) = std_mpsc::sync_channel(1);
+        match self.tx.try_send(Request {
+            row,
+            enqueued: Instant::now(),
+            reply,
+        }) {
+            Ok(()) => Ok(PendingPrediction { rx }),
+            Err(std_mpsc::TrySendError::Full(_)) => Err(ServeError::Overloaded),
+            Err(std_mpsc::TrySendError::Disconnected(_)) => Err(ServeError::Closed),
+        }
     }
 
     /// Request a prediction for `row` and block until it is answered —
@@ -175,11 +209,21 @@ pub fn queue(capacity: usize) -> (PredictClient, RequestQueue) {
 pub struct ServeReport {
     /// Requests answered (excluding bad-row rejections).
     pub requests: u64,
+    /// Requests rejected before any federated work (bad rows). Every
+    /// submission is accounted: `requests + rejected` equals the
+    /// number of requests the loop drained.
+    pub rejected: u64,
     /// Federated forward passes executed.
     pub batches: u64,
-    /// Total bytes this party sent over the serve session (B→A,
-    /// summed across links in the multi-guest case).
+    /// Bytes this party sent during the serve phase only (B→A, summed
+    /// across links in the multi-guest case) — counters are
+    /// snapshotted at serve entry, so training traffic on a reused
+    /// session never pollutes the serve report.
     pub bytes_sent: u64,
+    /// Wall-clock duration of the serve loop in seconds (first drain
+    /// to queue exhaustion), the denominator of
+    /// [`ServeReport::sustained_qps`].
+    pub wall_secs: f64,
     /// Enqueue-to-reply latency of every answered request, in seconds,
     /// in answer order.
     pub latencies_secs: Vec<f64>,
@@ -188,6 +232,12 @@ pub struct ServeReport {
     /// Bytes this party sent per executed batch, in order (the
     /// per-batch traffic a rider's upload amortizes over).
     pub bytes_per_batch: Vec<u64>,
+    /// The exact row partition of every executed batch, in order.
+    /// This is the serving determinism contract made replayable:
+    /// feeding these partitions to the direct `predict_batch` forward
+    /// on an identically-seeded session reproduces every served logit
+    /// bit for bit (`tests/gateway.rs` does exactly that).
+    pub batch_rows: Vec<Vec<u32>>,
 }
 
 impl ServeReport {
@@ -216,6 +266,26 @@ impl ServeReport {
     pub fn max_batch(&self) -> usize {
         self.batch_sizes.iter().copied().max().unwrap_or(0)
     }
+
+    /// Median per-request latency in seconds.
+    pub fn p50_latency_secs(&self) -> f64 {
+        self.latency_quantile_secs(0.50)
+    }
+
+    /// 99th-percentile per-request latency in seconds.
+    pub fn p99_latency_secs(&self) -> f64 {
+        self.latency_quantile_secs(0.99)
+    }
+
+    /// Answered requests per wall-clock second over the serve phase
+    /// (0 when nothing served).
+    pub fn sustained_qps(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.requests as f64 / self.wall_secs
+        } else {
+            0.0
+        }
+    }
 }
 
 /// What a Party A serving loop produces.
@@ -225,7 +295,9 @@ pub struct ServeGuestReport {
     pub batches: u64,
     /// Instance rows predicted across all batches.
     pub rows: u64,
-    /// Total bytes this party sent over the serve session (A→B).
+    /// Bytes this party sent during the serve phase only (A→B) —
+    /// snapshotted at serve entry, so training traffic on a reused
+    /// session is excluded.
     pub bytes_sent: u64,
 }
 
@@ -243,6 +315,9 @@ pub fn serve_party_a(
     model: &mut PartyAModel,
     store: &Dataset,
 ) -> TransportResult<ServeGuestReport> {
+    // Serve-phase traffic only: a session that trained first must not
+    // leak its training bytes into the serve report.
+    let bytes_base = sess.ep.stats().bytes();
     let mut batches = 0u64;
     let mut rows_served = 0u64;
     loop {
@@ -271,7 +346,7 @@ pub fn serve_party_a(
     Ok(ServeGuestReport {
         batches,
         rows: rows_served,
-        bytes_sent: sess.ep.stats().bytes(),
+        bytes_sent: sess.ep.stats().bytes() - bytes_base,
     })
 }
 
@@ -299,7 +374,9 @@ fn check_rows(rows: &[u32], store_rows: usize) -> TransportResult<Vec<usize>> {
 /// Bad-row requests are rejected to their own caller
 /// ([`ServeError::BadRow`]) without disturbing the batch they arrived
 /// in; a transport failure aborts the loop with the error (pending
-/// callers observe [`ServeError::Closed`]).
+/// callers observe [`ServeError::Closed`]) — but the shutdown
+/// sentinel is still sent best-effort so the guest's serve loop can
+/// exit instead of blocking in `recv()` forever.
 pub fn serve_party_b(
     sess: &mut Session,
     model: &mut PartyBModel,
@@ -308,20 +385,32 @@ pub fn serve_party_b(
     queue: RequestQueue,
 ) -> TransportResult<ServeReport> {
     let stats = Arc::clone(sess.ep.stats());
-    let mut report = run_server_loop(
+    // Serve-phase traffic only (see `ServeReport::bytes_sent`).
+    let bytes_base = stats.bytes();
+    let loop_result = run_server_loop(
         cfg,
         store.rows(),
         queue,
-        &mut || stats.bytes(),
+        &mut || stats.bytes() - bytes_base,
         &mut |rows| {
             sess.ep.send(Msg::Support(rows.to_vec()))?;
             let idx: Vec<usize> = rows.iter().map(|&r| r as usize).collect();
             let batch = store.select(&idx);
             model.predict_batch(sess, &batch)
         },
-    )?;
+    );
+    let mut report = match loop_result {
+        Ok(r) => r,
+        Err(e) => {
+            // The forward failed mid-protocol; the guest may still be
+            // healthy and parked in `recv()`. Best-effort shutdown so
+            // it exits; its own error (if the link is what died) wins.
+            let _ = sess.ep.send(Msg::U64(SERVE_SHUTDOWN));
+            return Err(e);
+        }
+    };
     sess.ep.send(Msg::U64(SERVE_SHUTDOWN))?;
-    report.bytes_sent = stats.bytes();
+    report.bytes_sent = stats.bytes() - bytes_base;
     Ok(report)
 }
 
@@ -342,11 +431,13 @@ pub fn serve_party_b_multi(
         ));
     }
     let stats: Vec<_> = sessions.iter().map(|s| Arc::clone(s.ep.stats())).collect();
-    let mut report = run_server_loop(
+    // Serve-phase traffic only, summed across links.
+    let bytes_base: u64 = stats.iter().map(|s| s.bytes()).sum();
+    let loop_result = run_server_loop(
         cfg,
         store.rows(),
         queue,
-        &mut || stats.iter().map(|s| s.bytes()).sum(),
+        &mut || stats.iter().map(|s| s.bytes()).sum::<u64>() - bytes_base,
         &mut |rows| {
             for sess in sessions.iter() {
                 sess.ep.send(Msg::Support(rows.to_vec()))?;
@@ -355,11 +446,23 @@ pub fn serve_party_b_multi(
             let batch = store.select(&idx);
             model.predict_batch(sessions, &batch)
         },
-    )?;
+    );
+    let mut report = match loop_result {
+        Ok(r) => r,
+        Err(e) => {
+            // One failed link must not strand the surviving guests in
+            // `recv()` forever: best-effort shutdown on every link
+            // (the dead one just errors again, which we ignore).
+            for sess in sessions.iter() {
+                let _ = sess.ep.send(Msg::U64(SERVE_SHUTDOWN));
+            }
+            return Err(e);
+        }
+    };
     for sess in sessions.iter() {
         sess.ep.send(Msg::U64(SERVE_SHUTDOWN))?;
     }
-    report.bytes_sent = stats.iter().map(|s| s.bytes()).sum();
+    report.bytes_sent = stats.iter().map(|s| s.bytes()).sum::<u64>() - bytes_base;
     Ok(report)
 }
 
@@ -377,12 +480,16 @@ fn run_server_loop(
 ) -> TransportResult<ServeReport> {
     let mut report = ServeReport {
         requests: 0,
+        rejected: 0,
         batches: 0,
         bytes_sent: 0,
+        wall_secs: 0.0,
         latencies_secs: Vec::new(),
         batch_sizes: Vec::new(),
         bytes_per_batch: Vec::new(),
+        batch_rows: Vec::new(),
     };
+    let started = Instant::now();
     let max_batch = cfg.max_batch.max(1);
     loop {
         // Block for the first rider; every request already queued
@@ -408,6 +515,7 @@ fn run_server_loop(
             if req.row < store_rows && u32::try_from(req.row).is_ok() {
                 riders.push(req);
             } else {
+                report.rejected += 1;
                 let _ = req.reply.send(Err(ServeError::BadRow {
                     row: req.row,
                     rows: store_rows,
@@ -437,7 +545,9 @@ fn run_server_loop(
         report.batches += 1;
         report.batch_sizes.push(rows.len());
         report.bytes_per_batch.push(batch_bytes);
+        report.batch_rows.push(rows);
     }
+    report.wall_secs = started.elapsed().as_secs_f64();
     report.bytes_sent = bytes_now();
     Ok(report)
 }
@@ -522,8 +632,14 @@ mod tests {
     fn preenqueued_requests_coalesce_deterministically() {
         let (report, logits) = serve_n(&FedConfig::plain(), 4, 8, false);
         assert_eq!(report.requests, 8);
+        assert_eq!(report.rejected, 0);
         assert_eq!(report.batches, 2);
         assert_eq!(report.batch_sizes, vec![4, 4]);
+        assert_eq!(
+            report.batch_rows,
+            vec![vec![0, 1, 2, 3], vec![4, 5, 6, 7]],
+            "batch partitions are recorded for replay"
+        );
         assert_eq!(report.latencies_secs.len(), 8);
         assert_eq!(report.bytes_per_batch.len(), 2);
         assert!(report.bytes_per_batch.iter().all(|&b| b > 0));
@@ -532,6 +648,9 @@ mod tests {
         assert!(report.max_batch() == 4);
         assert!(report.mean_latency_secs() > 0.0);
         assert!(report.latency_quantile_secs(0.95) >= report.latency_quantile_secs(0.0));
+        assert!(report.p99_latency_secs() >= report.p50_latency_secs());
+        assert!(report.wall_secs > 0.0);
+        assert!(report.sustained_qps() > 0.0);
     }
 
     #[test]
@@ -546,9 +665,170 @@ mod tests {
     fn bad_rows_are_rejected_without_killing_the_batch() {
         let (report, logits) = serve_n(&FedConfig::plain(), 16, 6, true);
         // The bad row was rejected to its caller; the 6 good riders
-        // were all answered.
+        // were all answered — and the rejection is accounted, so
+        // requests + rejected equals the 7 submissions.
         assert_eq!(report.requests, 6);
+        assert_eq!(report.rejected, 1);
+        assert_eq!(report.requests + report.rejected, 7);
         assert_eq!(logits.len(), 6);
+    }
+
+    /// Serve `n` pre-enqueued requests after `train_batches` training
+    /// steps on the same session; returns (guest, host) serve-phase
+    /// bytes_sent.
+    fn serve_bytes_after_training(train_batches: usize) -> (u64, u64) {
+        let n = 6;
+        let store_a = toy_data(n, 3, 11, false);
+        let store_b = toy_data(n, 4, 12, true);
+        let spec = FedSpec::Glm { out: 1 };
+        let all_rows: Vec<usize> = (0..n).collect();
+        run_pair(
+            &FedConfig::plain(),
+            21,
+            {
+                let store_a = store_a.clone();
+                let spec = spec.clone();
+                let all_rows = all_rows.clone();
+                move |mut sess| {
+                    let mut model = PartyAModel::init(&mut sess, &spec, &store_a).unwrap();
+                    let batch = store_a.select(&all_rows);
+                    for _ in 0..train_batches {
+                        model.forward(&mut sess, &batch, true).unwrap();
+                        model.backward(&mut sess).unwrap();
+                    }
+                    serve_party_a(&mut sess, &mut model, &store_a)
+                        .unwrap()
+                        .bytes_sent
+                }
+            },
+            move |mut sess| {
+                let mut model = PartyBModel::init(&mut sess, &spec, &store_b).unwrap();
+                let batch = store_b.select(&all_rows);
+                for _ in 0..train_batches {
+                    model.train_batch(&mut sess, &batch).unwrap();
+                }
+                let (client, q) = queue(n + 1);
+                let pending: Vec<_> = (0..n).map(|r| client.submit(r).unwrap()).collect();
+                drop(client);
+                let report = serve_party_b(
+                    &mut sess,
+                    &mut model,
+                    &store_b,
+                    &ServeConfig { max_batch: 4 },
+                    q,
+                )
+                .unwrap();
+                for p in pending {
+                    p.wait().unwrap();
+                }
+                report.bytes_sent
+            },
+        )
+    }
+
+    #[test]
+    fn serve_bytes_exclude_training_traffic() {
+        // Serve-phase byte counts depend only on message shapes, so a
+        // session that trained first must report the same serve bytes
+        // as a fresh session serving the identical request sequence —
+        // the old lifetime-total accounting folded every training
+        // byte in.
+        let fresh = serve_bytes_after_training(0);
+        let trained = serve_bytes_after_training(2);
+        assert!(fresh.0 > 0 && fresh.1 > 0);
+        assert_eq!(
+            fresh, trained,
+            "training traffic leaked into the serve-phase byte report"
+        );
+    }
+
+    #[test]
+    fn host_failure_still_shuts_down_surviving_guests() {
+        use crate::models::MultiPartyBModel;
+        use crate::session::{multi_party_seed, Role};
+
+        // M = 2: guest 0 dies after model init; the host's first
+        // broadcast fails on link 0 and must still send the shutdown
+        // sentinel to guest 1, whose serve loop would otherwise block
+        // in recv() forever (this test hangs on the old code).
+        let rows = 4;
+        let cfg = FedConfig::plain();
+        let spec = FedSpec::Glm { out: 1 };
+        let store_b = toy_data(rows, 3, 75, true);
+        let (drop_tx, drop_rx) = std_mpsc::channel();
+        let mut host_eps = Vec::new();
+        let mut handles = Vec::new();
+        for i in 0..2usize {
+            let store = toy_data(rows, 2 + i, 70 + i as u64, false);
+            let (ep_a, ep_b) = bf_mpc::channel_pair();
+            host_eps.push(ep_b);
+            let cfg_a = cfg.clone();
+            let spec_a = spec.clone();
+            let drop_tx = drop_tx.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("serve-guest-{i}"))
+                    .stack_size(16 << 20)
+                    .spawn(move || {
+                        let mut sess = Session::handshake(
+                            ep_a,
+                            cfg_a,
+                            Role::A,
+                            multi_party_seed(Role::A, i, 80),
+                        )
+                        .unwrap();
+                        let mut model = PartyAModel::init(&mut sess, &spec_a, &store).unwrap();
+                        if i == 0 {
+                            drop(sess);
+                            drop_tx.send(()).unwrap();
+                            None
+                        } else {
+                            Some(serve_party_a(&mut sess, &mut model, &store).unwrap())
+                        }
+                    })
+                    .unwrap(),
+            );
+        }
+        let mut sessions: Vec<Session> = host_eps
+            .into_iter()
+            .enumerate()
+            .map(|(i, ep)| {
+                Session::handshake(ep, cfg.clone(), Role::B, multi_party_seed(Role::B, i, 80))
+                    .unwrap()
+            })
+            .collect();
+        let mut model = MultiPartyBModel::init(&mut sessions, &spec, &store_b).unwrap();
+        drop_rx.recv().unwrap();
+        let (client, q) = queue(2);
+        let pending = client.submit(0).unwrap();
+        drop(client);
+        let err = serve_party_b_multi(
+            &mut sessions,
+            &mut model,
+            &store_b,
+            &ServeConfig::default(),
+            q,
+        )
+        .unwrap_err();
+        assert!(matches!(err, TransportError::Disconnected));
+        assert_eq!(pending.wait().unwrap_err(), ServeError::Closed);
+        let reports: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(reports[0].is_none());
+        let survivor = reports[1].as_ref().expect("guest 1 served");
+        assert_eq!(survivor.batches, 0, "no batch ever completed");
+    }
+
+    #[test]
+    fn try_submit_applies_backpressure_and_try_wait_polls() {
+        let (client, q) = queue(2);
+        let a = client.try_submit(0).unwrap();
+        let _b = client.try_submit(1).unwrap();
+        // Queue capacity 2 is exhausted: admission control rejects
+        // instead of blocking.
+        assert!(matches!(client.try_submit(2), Err(ServeError::Overloaded)));
+        assert!(a.try_wait().is_none(), "still in flight");
+        drop(q);
+        assert_eq!(a.try_wait().unwrap().unwrap_err(), ServeError::Closed);
     }
 
     #[test]

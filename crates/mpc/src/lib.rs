@@ -20,6 +20,10 @@
 //! * [`beaver`] — Beaver matmul triplets (trusted-dealer / client-aided
 //!   and HE-assisted generation) powering the SecureML baseline of the
 //!   paper's evaluation.
+//! * [`reactor`] — nonblocking framed-TCP primitives
+//!   ([`FrameAcceptor`] / [`FrameConn`]) for event-loop servers that
+//!   multiplex many connections without a thread per link; the
+//!   serving gateway's readiness seam.
 //! * [`fault`] — deterministic fault injection ([`FaultPlan`]:
 //!   kill/drop/delay at batch N, `BF_FAULT` env knob) for the chaos
 //!   harness; the transport's reconnect + replay layer and the
@@ -30,12 +34,14 @@
 pub mod beaver;
 pub mod convert;
 pub mod fault;
+pub mod reactor;
 pub mod shares;
 pub mod transport;
 pub mod wire;
 
 pub use convert::{he2ss_holder, he2ss_peer, ss2he, ss2he_mode};
 pub use fault::{FaultAction, FaultPlan};
+pub use reactor::{FrameAcceptor, FrameConn};
 pub use shares::{reconstruct, share_dense};
 pub use transport::{
     channel_pair, channel_pair_with_network, Endpoint, Msg, NetworkProfile, Redial, RetryPolicy,

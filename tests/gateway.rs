@@ -1,0 +1,687 @@
+//! Gateway contracts (`docs/SERVING.md` §gateway):
+//!
+//! 1. **Replayable bit-parity** — every prediction a gateway delivers
+//!    is bit-identical to the direct `predict_batch` forward under the
+//!    same replica seed and batch partition. Each replica records its
+//!    exact partitions (`ServeReport::batch_rows`); the tests replay
+//!    them on fresh, identically-seeded sessions and compare bits.
+//!    Cells: 2-party and `M = 2` multi-guest × Plain and
+//!    Paillier/Packed.
+//! 2. **Churn safety** — clients that connect, submit, and vanish
+//!    (including mid-batch) never stall the gateway or corrupt another
+//!    rider's reply; every admitted request is answered, rejected, or
+//!    orphaned — none vanish.
+//! 3. **Admission control** — with `shed_load` and a saturated pool
+//!    the gateway answers `GW_OVERLOADED` instead of queueing without
+//!    bound; bad rows are rejected at the front door without touching
+//!    a replica.
+//!
+//! Every request in these tests targets a globally distinct row, so
+//! "row → logit bits" is single-valued per run and the replayed bits
+//! can be matched to client-observed bits by row alone.
+
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use bf_datagen::{generate, spec, vsplit, vsplit_multi};
+use bf_ml::data::Dataset;
+use bf_mpc::{channel_pair_with_network, NetworkProfile};
+use blindfl::config::FedConfig;
+use blindfl::gateway::{
+    gateway_replica_seed, run_gateway, GatewayClient, GatewayConfig, GatewayReject, GatewayReplica,
+    GatewayReport,
+};
+use blindfl::models::{FedSpec, MultiPartyBModel};
+use blindfl::persist::{
+    export_multi_party_b, export_party_a, export_party_b, import_multi_party_b, import_party_a,
+    import_party_b,
+};
+use blindfl::serve::serve_party_a;
+use blindfl::session::{multi_party_seed, party_seed, run_pair, Role, Session};
+use blindfl::train::{train_federated, train_federated_multi, FedTrainConfig};
+
+const TRAIN_SEED: u64 = 41;
+const SERVE_SEED: u64 = 42;
+const CONNECT_TIMEOUT: Duration = Duration::from_secs(10);
+
+fn train_cfg(epochs: usize) -> FedTrainConfig {
+    FedTrainConfig {
+        base: bf_ml::TrainConfig {
+            epochs,
+            batch_size: 8,
+            ..Default::default()
+        },
+        snapshot_u_a: false,
+        ..Default::default()
+    }
+}
+
+/// Train a two-party LR and export both halves through the
+/// persistence format (the gateway path is always
+/// train → persist → serve).
+fn train_and_export(cfg: &FedConfig, rows: usize) -> (Vec<u8>, Vec<u8>, Dataset, Dataset) {
+    let ds = spec("a9a").scaled(rows, 1);
+    let (train, test) = generate(&ds, 7);
+    let train_v = vsplit(&train);
+    let test_v = vsplit(&test);
+    let outcome = train_federated(
+        &FedSpec::Glm { out: 1 },
+        cfg,
+        &train_cfg(1),
+        train_v.party_a,
+        train_v.party_b,
+        test_v.party_a.clone(),
+        test_v.party_b.clone(),
+        TRAIN_SEED,
+    );
+    (
+        export_party_a(&outcome.party_a),
+        export_party_b(&outcome.party_b),
+        test_v.party_a,
+        test_v.party_b,
+    )
+}
+
+/// Stand up a 2-party gateway (replica pool over in-process guest
+/// links, TCP front door), run `drive` against it, then drain.
+fn two_party_gateway<T: Send>(
+    cfg: &FedConfig,
+    bytes_a: &[u8],
+    bytes_b: &[u8],
+    store_a: &Dataset,
+    store_b: &Dataset,
+    n_replicas: usize,
+    gw_cfg: &GatewayConfig,
+    net: Option<NetworkProfile>,
+    drive: impl FnOnce(SocketAddr) -> T + Send,
+) -> (GatewayReport, T) {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        let mut replicas = Vec::new();
+        for r in 0..n_replicas {
+            let (ep_a, ep_b) = match net {
+                Some(p) => channel_pair_with_network(p),
+                None => bf_mpc::channel_pair(),
+            };
+            let seed = gateway_replica_seed(SERVE_SEED, r);
+            let cfg_a = cfg.clone();
+            let bytes_a = bytes_a.to_vec();
+            let store_a = store_a.clone();
+            std::thread::Builder::new()
+                .name(format!("gw-guest-{r}"))
+                .stack_size(16 << 20)
+                .spawn_scoped(s, move || {
+                    let mut sess =
+                        Session::handshake(ep_a, cfg_a, Role::A, party_seed(Role::A, seed))
+                            .unwrap();
+                    let mut model = import_party_a(&bytes_a).unwrap();
+                    serve_party_a(&mut sess, &mut model, &store_a).unwrap();
+                })
+                .unwrap();
+            let sess =
+                Session::handshake(ep_b, cfg.clone(), Role::B, party_seed(Role::B, seed)).unwrap();
+            let model = import_party_b(bytes_b).unwrap();
+            replicas.push(GatewayReplica::TwoParty { sess, model });
+        }
+        let stop_ref = &stop;
+        let gw = std::thread::Builder::new()
+            .name("gateway".into())
+            .stack_size(16 << 20)
+            .spawn_scoped(s, move || {
+                run_gateway(listener, replicas, store_b, gw_cfg, stop_ref).unwrap()
+            })
+            .unwrap();
+        let out = drive(addr);
+        stop.store(true, Ordering::Relaxed);
+        (gw.join().unwrap(), out)
+    })
+}
+
+/// Replay one replica's recorded batch partitions through the direct
+/// forward on fresh sessions with the replica's seed; returns
+/// row → logit bits (rows are globally distinct in these tests).
+fn replay_two_party(
+    cfg: &FedConfig,
+    bytes_a: &[u8],
+    bytes_b: &[u8],
+    store_a: &Dataset,
+    store_b: &Dataset,
+    seed: u64,
+    partitions: &[Vec<u32>],
+) -> HashMap<u64, Vec<u64>> {
+    let parts: Vec<Vec<usize>> = partitions
+        .iter()
+        .map(|p| p.iter().map(|&r| r as usize).collect())
+        .collect();
+    let bytes_a = bytes_a.to_vec();
+    let store_a = store_a.clone();
+    let parts_a = parts.clone();
+    let (_, map) = run_pair(
+        cfg,
+        seed,
+        move |mut sess| {
+            let mut model = import_party_a(&bytes_a).unwrap();
+            for p in &parts_a {
+                model.predict_batch(&mut sess, &store_a.select(p)).unwrap();
+            }
+        },
+        move |mut sess| {
+            let mut model = import_party_b(bytes_b).unwrap();
+            let mut map = HashMap::new();
+            for p in &parts {
+                let logits = model.predict_batch(&mut sess, &store_b.select(p)).unwrap();
+                for (k, &row) in p.iter().enumerate() {
+                    let bits: Vec<u64> = logits.row(k).iter().map(|v| v.to_bits()).collect();
+                    map.insert(row as u64, bits);
+                }
+            }
+            map
+        },
+    );
+    map
+}
+
+/// A pipelined client fleet: each plan's rows are submitted
+/// back-to-back on one connection, then every reply is drained in
+/// order. Returns per-client (row, bits-or-reject) in reply order.
+type ClientLog = Vec<(u64, Result<Vec<u64>, GatewayReject>)>;
+
+fn drive_clients(addr: SocketAddr, plans: Vec<Vec<u64>>) -> Vec<ClientLog> {
+    std::thread::scope(|s| {
+        let handles: Vec<_> = plans
+            .into_iter()
+            .map(|plan| {
+                s.spawn(move || {
+                    let mut client = GatewayClient::connect(addr, CONNECT_TIMEOUT).unwrap();
+                    for &row in &plan {
+                        client.submit(row).unwrap();
+                    }
+                    let mut log = ClientLog::new();
+                    while client.in_flight() > 0 {
+                        let (row, reply) = client.recv().unwrap();
+                        log.push((row, reply.map(|l| l.iter().map(|v| v.to_bits()).collect())));
+                    }
+                    log
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+}
+
+/// Assert every answered reply in `logs` matches the replayed bits
+/// for its row, and return how many replies were answered.
+fn check_parity_against(logs: &[ClientLog], replayed: &HashMap<u64, Vec<u64>>) -> usize {
+    let mut answered = 0;
+    for log in logs {
+        for (row, reply) in log {
+            let bits = reply.as_ref().expect("reply was a rejection");
+            assert_eq!(
+                bits,
+                replayed
+                    .get(row)
+                    .unwrap_or_else(|| panic!("row {row} absent from the replay")),
+                "row {row}: gateway bits diverged from the direct forward"
+            );
+            answered += 1;
+        }
+    }
+    answered
+}
+
+/// One full 2-party parity cell: serve `rows` globally-distinct rows
+/// through `n_replicas` replicas from `n_clients` pipelined clients,
+/// then replay every replica's partitions and compare bits.
+fn check_two_party_cell(cfg: &FedConfig, rows: usize, n_replicas: usize, n_clients: usize) {
+    let (bytes_a, bytes_b, store_a, store_b) = train_and_export(cfg, rows);
+    let n = store_a.rows();
+    let plans: Vec<Vec<u64>> = (0..n_clients)
+        .map(|c| ((c as u64)..(n as u64)).step_by(n_clients).collect())
+        .collect();
+    let (report, logs) = two_party_gateway(
+        cfg,
+        &bytes_a,
+        &bytes_b,
+        &store_a,
+        &store_b,
+        n_replicas,
+        &GatewayConfig {
+            max_batch: 8,
+            ..GatewayConfig::default()
+        },
+        None,
+        |addr| drive_clients(addr, plans),
+    );
+    // Accounting: every request answered, nothing rejected or lost.
+    assert_eq!(report.answered, n as u64);
+    assert_eq!(report.rejected, 0);
+    assert_eq!(report.orphaned, 0);
+    assert_eq!(report.clients, n_clients as u64);
+    assert_eq!(report.requests(), n as u64);
+    assert_eq!(report.replicas.len(), n_replicas);
+    assert!(report.replica_failures.is_empty());
+    assert!(report.sustained_qps() > 0.0);
+    assert!(report.p99_latency_secs() >= report.p50_latency_secs());
+    // Parity by replay: each replica's exact partitions, re-run
+    // directly under the replica's seed.
+    let mut replayed = HashMap::new();
+    for (r, rep) in report.replicas.iter().enumerate() {
+        assert_eq!(
+            rep.batch_rows.iter().map(Vec::len).sum::<usize>() as u64,
+            rep.requests,
+            "replica {r} partition record is incomplete"
+        );
+        replayed.extend(replay_two_party(
+            cfg,
+            &bytes_a,
+            &bytes_b,
+            &store_a,
+            &store_b,
+            gateway_replica_seed(SERVE_SEED, r),
+            &rep.batch_rows,
+        ));
+    }
+    assert_eq!(check_parity_against(&logs, &replayed), n);
+}
+
+#[test]
+fn gateway_parity_two_party_plain() {
+    check_two_party_cell(&FedConfig::plain(), 64, 3, 4);
+}
+
+#[test]
+fn gateway_parity_two_party_paillier_packed() {
+    check_two_party_cell(&FedConfig::paillier_test(), 320, 2, 2);
+}
+
+/// Multi-guest fixture: train an `M = 2` model and export every half.
+fn train_and_export_multi(
+    cfg: &FedConfig,
+    m: usize,
+    rows: usize,
+) -> (Vec<Vec<u8>>, Vec<u8>, Vec<Dataset>, Dataset) {
+    let ds = spec("a9a").scaled(rows, 1);
+    let (train, test) = generate(&ds, 7);
+    let train_v = vsplit_multi(&train, m);
+    let test_v = vsplit_multi(&test, m);
+    let outcome = train_federated_multi(
+        &FedSpec::Glm { out: 1 },
+        cfg,
+        &train_cfg(1),
+        train_v.guests,
+        train_v.party_b,
+        test_v.guests.clone(),
+        test_v.party_b.clone(),
+        TRAIN_SEED,
+    );
+    let guest_bytes = outcome
+        .guests
+        .iter()
+        .map(|g| export_party_a(&g.model))
+        .collect();
+    (
+        guest_bytes,
+        export_multi_party_b(&outcome.party_b.model),
+        test_v.guests,
+        test_v.party_b,
+    )
+}
+
+/// Stand up a multi-guest gateway and drive it (multi analogue of
+/// [`two_party_gateway`]).
+fn multi_guest_gateway<T: Send>(
+    cfg: &FedConfig,
+    guest_bytes: &[Vec<u8>],
+    host_bytes: &[u8],
+    guest_stores: &[Dataset],
+    store_b: &Dataset,
+    n_replicas: usize,
+    gw_cfg: &GatewayConfig,
+    drive: impl FnOnce(SocketAddr) -> T + Send,
+) -> (GatewayReport, T) {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        let mut replicas = Vec::new();
+        for r in 0..n_replicas {
+            let seed = gateway_replica_seed(SERVE_SEED, r);
+            let mut sessions = Vec::new();
+            for (i, (bytes, store)) in guest_bytes.iter().zip(guest_stores).enumerate() {
+                let (ep_a, ep_b) = bf_mpc::channel_pair();
+                let cfg_a = cfg.clone();
+                let bytes = bytes.clone();
+                let store = store.clone();
+                std::thread::Builder::new()
+                    .name(format!("gw-guest-{r}-{i}"))
+                    .stack_size(16 << 20)
+                    .spawn_scoped(s, move || {
+                        let mut sess = Session::handshake(
+                            ep_a,
+                            cfg_a,
+                            Role::A,
+                            multi_party_seed(Role::A, i, seed),
+                        )
+                        .unwrap();
+                        let mut model = import_party_a(&bytes).unwrap();
+                        serve_party_a(&mut sess, &mut model, &store).unwrap();
+                    })
+                    .unwrap();
+                sessions.push(
+                    Session::handshake(
+                        ep_b,
+                        cfg.clone(),
+                        Role::B,
+                        multi_party_seed(Role::B, i, seed),
+                    )
+                    .unwrap(),
+                );
+            }
+            let model: MultiPartyBModel = import_multi_party_b(host_bytes).unwrap();
+            replicas.push(GatewayReplica::MultiGuest { sessions, model });
+        }
+        let stop_ref = &stop;
+        let gw = std::thread::Builder::new()
+            .name("gateway".into())
+            .stack_size(16 << 20)
+            .spawn_scoped(s, move || {
+                run_gateway(listener, replicas, store_b, gw_cfg, stop_ref).unwrap()
+            })
+            .unwrap();
+        let out = drive(addr);
+        stop.store(true, Ordering::Relaxed);
+        (gw.join().unwrap(), out)
+    })
+}
+
+/// Replay one multi-guest replica's partitions directly.
+fn replay_multi_guest(
+    cfg: &FedConfig,
+    guest_bytes: &[Vec<u8>],
+    host_bytes: &[u8],
+    guest_stores: &[Dataset],
+    store_b: &Dataset,
+    seed: u64,
+    partitions: &[Vec<u32>],
+) -> HashMap<u64, Vec<u64>> {
+    let parts: Vec<Vec<usize>> = partitions
+        .iter()
+        .map(|p| p.iter().map(|&r| r as usize).collect())
+        .collect();
+    std::thread::scope(|s| {
+        let mut host_eps = Vec::new();
+        for (i, (bytes, store)) in guest_bytes.iter().zip(guest_stores).enumerate() {
+            let (ep_a, ep_b) = bf_mpc::channel_pair();
+            host_eps.push(ep_b);
+            let cfg_a = cfg.clone();
+            let bytes = bytes.clone();
+            let store = store.clone();
+            let parts = parts.clone();
+            std::thread::Builder::new()
+                .name(format!("replay-guest-{i}"))
+                .stack_size(16 << 20)
+                .spawn_scoped(s, move || {
+                    let mut sess = Session::handshake(
+                        ep_a,
+                        cfg_a,
+                        Role::A,
+                        multi_party_seed(Role::A, i, seed),
+                    )
+                    .unwrap();
+                    let mut model = import_party_a(&bytes).unwrap();
+                    for p in &parts {
+                        model.predict_batch(&mut sess, &store.select(p)).unwrap();
+                    }
+                })
+                .unwrap();
+        }
+        let mut sessions: Vec<Session> = host_eps
+            .into_iter()
+            .enumerate()
+            .map(|(i, ep)| {
+                Session::handshake(ep, cfg.clone(), Role::B, multi_party_seed(Role::B, i, seed))
+                    .unwrap()
+            })
+            .collect();
+        let mut model: MultiPartyBModel = import_multi_party_b(host_bytes).unwrap();
+        let mut map = HashMap::new();
+        for p in &parts {
+            let logits = model
+                .predict_batch(&mut sessions, &store_b.select(p))
+                .unwrap();
+            for (k, &row) in p.iter().enumerate() {
+                let bits: Vec<u64> = logits.row(k).iter().map(|v| v.to_bits()).collect();
+                map.insert(row as u64, bits);
+            }
+        }
+        map
+    })
+}
+
+/// One full multi-guest parity cell.
+fn check_multi_guest_cell(cfg: &FedConfig, rows: usize, n_replicas: usize, n_clients: usize) {
+    let m = 2;
+    let (guest_bytes, host_bytes, guest_stores, store_b) = train_and_export_multi(cfg, m, rows);
+    let n = store_b.rows();
+    let plans: Vec<Vec<u64>> = (0..n_clients)
+        .map(|c| ((c as u64)..(n as u64)).step_by(n_clients).collect())
+        .collect();
+    let (report, logs) = multi_guest_gateway(
+        cfg,
+        &guest_bytes,
+        &host_bytes,
+        &guest_stores,
+        &store_b,
+        n_replicas,
+        &GatewayConfig {
+            max_batch: 8,
+            ..GatewayConfig::default()
+        },
+        |addr| drive_clients(addr, plans),
+    );
+    assert_eq!(report.answered, n as u64);
+    assert_eq!(report.rejected, 0);
+    assert_eq!(report.orphaned, 0);
+    assert_eq!(report.requests(), n as u64);
+    assert!(report.replica_failures.is_empty());
+    let mut replayed = HashMap::new();
+    for (r, rep) in report.replicas.iter().enumerate() {
+        replayed.extend(replay_multi_guest(
+            cfg,
+            &guest_bytes,
+            &host_bytes,
+            &guest_stores,
+            &store_b,
+            gateway_replica_seed(SERVE_SEED, r),
+            &rep.batch_rows,
+        ));
+    }
+    assert_eq!(check_parity_against(&logs, &replayed), n);
+}
+
+#[test]
+fn gateway_parity_multi_guest_plain() {
+    check_multi_guest_cell(&FedConfig::plain(), 128, 2, 3);
+}
+
+#[test]
+fn gateway_parity_multi_guest_paillier_packed() {
+    check_multi_guest_cell(&FedConfig::paillier_test(), 640, 2, 2);
+}
+
+#[test]
+fn client_churn_never_stalls_the_gateway_or_corrupts_replies() {
+    // 3 surviving clients serve 48 distinct rows; 2 churn clients
+    // submit 8 distinct rows each and vanish without reading a single
+    // reply (their sockets close while their requests are anywhere
+    // from kernel buffer to mid-batch). The gateway must drain, the
+    // survivors' bits must still replay exactly, and every admitted
+    // churned request must be accounted as answered or orphaned.
+    let cfg = FedConfig::plain();
+    let (bytes_a, bytes_b, store_a, store_b) = train_and_export(&cfg, 64);
+    // Survivors split the first 3/4 of the store's rows; churners
+    // split the rest — every row globally distinct so the replay map
+    // is single-valued.
+    let n = store_a.rows() as u64;
+    let split = n * 3 / 4;
+    let mid = split + (n - split) / 2;
+    let survivor_rows: Vec<Vec<u64>> = (0..3u64).map(|c| (c..split).step_by(3).collect()).collect();
+    let churn_rows: Vec<Vec<u64>> = vec![(split..mid).collect(), (mid..n).collect()];
+    let total_survivor: usize = survivor_rows.iter().map(Vec::len).sum();
+    let total_churn: u64 = churn_rows.iter().map(|p| p.len() as u64).sum();
+    let (report, logs) = two_party_gateway(
+        &cfg,
+        &bytes_a,
+        &bytes_b,
+        &store_a,
+        &store_b,
+        2,
+        &GatewayConfig {
+            max_batch: 4,
+            ..GatewayConfig::default()
+        },
+        None,
+        |addr| {
+            std::thread::scope(|s| {
+                // Churners: submit, then drop the connection cold.
+                for plan in churn_rows {
+                    s.spawn(move || {
+                        let mut client = GatewayClient::connect(addr, CONNECT_TIMEOUT).unwrap();
+                        for &row in &plan {
+                            client.submit(row).unwrap();
+                        }
+                        // Stagger the drops so some requests die in
+                        // kernel buffers and some mid-batch.
+                        std::thread::sleep(Duration::from_millis(plan[0] % 3));
+                        drop(client);
+                    });
+                }
+                drive_clients(addr, survivor_rows)
+            })
+        },
+    );
+    // Survivors: every reply delivered and bit-exact under replay.
+    let mut replayed = HashMap::new();
+    for (r, rep) in report.replicas.iter().enumerate() {
+        replayed.extend(replay_two_party(
+            &cfg,
+            &bytes_a,
+            &bytes_b,
+            &store_a,
+            &store_b,
+            gateway_replica_seed(SERVE_SEED, r),
+            &rep.batch_rows,
+        ));
+    }
+    assert_eq!(check_parity_against(&logs, &replayed), total_survivor);
+    // Accounting: nothing vanishes. All survivor requests are
+    // answered; churned requests are either answered-before-the-drop,
+    // orphaned, or never admitted (died in a kernel buffer).
+    assert_eq!(report.rejected, 0);
+    assert!(report.answered >= total_survivor as u64);
+    assert!(report.answered + report.orphaned <= total_survivor as u64 + total_churn);
+    // Every forwarded request was delivered or orphaned.
+    assert_eq!(report.requests(), report.answered + report.orphaned);
+    assert!(report.replica_failures.is_empty());
+    assert_eq!(report.clients, 5);
+}
+
+#[test]
+fn shed_load_rejects_overflow_and_accounts_for_it() {
+    // One replica behind a WAN-latency link, a 2-deep shard, and a
+    // client that pipelines 32 requests: with shed_load the gateway
+    // answers GW_OVERLOADED immediately instead of queueing without
+    // bound, and requests + rejections add up exactly.
+    let cfg = FedConfig::plain();
+    let (bytes_a, bytes_b, store_a, store_b) = train_and_export(&cfg, 500);
+    let n = store_a.rows() as u64;
+    let (report, log) = two_party_gateway(
+        &cfg,
+        &bytes_a,
+        &bytes_b,
+        &store_a,
+        &store_b,
+        1,
+        &GatewayConfig {
+            max_batch: 2,
+            shard_depth: 2,
+            shed_load: true,
+            ..GatewayConfig::default()
+        },
+        Some(NetworkProfile::wan_100mbps()),
+        |addr| {
+            let mut client = GatewayClient::connect(addr, CONNECT_TIMEOUT).unwrap();
+            for row in 0..n {
+                client.submit(row).unwrap();
+            }
+            let mut log = ClientLog::new();
+            while client.in_flight() > 0 {
+                let (row, reply) = client.recv().unwrap();
+                log.push((row, reply.map(|l| l.iter().map(|v| v.to_bits()).collect())));
+            }
+            log
+        },
+    );
+    let answered = log.iter().filter(|(_, r)| r.is_ok()).count() as u64;
+    let shed = log
+        .iter()
+        .filter(|(_, r)| r == &Err(GatewayReject::Overloaded))
+        .count() as u64;
+    assert_eq!(answered + shed, n, "every reply is logits or Overloaded");
+    assert!(answered > 0, "the admitted head of the pipeline is served");
+    assert!(shed > 0, "a 2-deep shard cannot absorb 32 pipelined rows");
+    assert_eq!(report.answered, answered);
+    assert_eq!(report.rejected, shed);
+    assert_eq!(report.requests(), answered);
+    assert_eq!(report.answered + report.rejected, n);
+}
+
+#[test]
+fn bad_rows_are_rejected_at_the_front_door() {
+    let cfg = FedConfig::plain();
+    let (bytes_a, bytes_b, store_a, store_b) = train_and_export(&cfg, 250);
+    let n = store_a.rows() as u64;
+    let (report, log) = two_party_gateway(
+        &cfg,
+        &bytes_a,
+        &bytes_b,
+        &store_a,
+        &store_b,
+        1,
+        &GatewayConfig::default(),
+        None,
+        |addr| {
+            let mut client = GatewayClient::connect(addr, CONNECT_TIMEOUT).unwrap();
+            client.submit(0).unwrap();
+            client.submit(9999).unwrap(); // past the store
+            client.submit(u64::MAX).unwrap(); // would truncate as u32
+            client.submit(n - 1).unwrap();
+            let mut log = ClientLog::new();
+            while client.in_flight() > 0 {
+                let (row, reply) = client.recv().unwrap();
+                log.push((row, reply.map(|l| l.iter().map(|v| v.to_bits()).collect())));
+            }
+            log
+        },
+    );
+    // FIFO reply order with per-request status.
+    assert_eq!(log.len(), 4);
+    assert_eq!(log[0].0, 0);
+    assert!(log[0].1.is_ok());
+    assert_eq!(log[1], (9999, Err(GatewayReject::BadRow)));
+    assert_eq!(log[2], (u64::MAX, Err(GatewayReject::BadRow)));
+    assert_eq!(log[3].0, n - 1);
+    assert!(log[3].1.is_ok());
+    // Bad rows never reach a replica and are fully accounted.
+    assert_eq!(report.answered, 2);
+    assert_eq!(report.rejected, 2);
+    assert_eq!(report.requests(), 2);
+    assert_eq!(
+        report.replicas[0].rejected, 0,
+        "front-door rejections never reach the replica"
+    );
+}

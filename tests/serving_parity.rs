@@ -81,7 +81,8 @@ fn chunks(n: usize, bs: usize) -> Vec<Vec<usize>> {
 
 /// The reference: load both halves and run the ordinary training-stack
 /// prediction forward over the chunk partition. Returns per-row logit
-/// bits and B's total sent bytes.
+/// bits and B's prediction-phase sent bytes (post-handshake delta, to
+/// match the serve reports' serve-phase-only accounting).
 fn direct_predictions(
     cfg: &FedConfig,
     bytes_a: &[u8],
@@ -106,6 +107,7 @@ fn direct_predictions(
         },
         move |mut sess| {
             let mut model = import_party_b(bytes_b).unwrap();
+            let bytes_base = sess.ep.stats().bytes();
             let mut bits = Vec::new();
             for idx in chunks(n, bs) {
                 let logits = model
@@ -113,7 +115,7 @@ fn direct_predictions(
                     .unwrap();
                 bits.extend(logits.data().iter().map(|v| v.to_bits()));
             }
-            (bits, sess.ep.stats().bytes())
+            (bits, sess.ep.stats().bytes() - bytes_base)
         },
     );
     out
