@@ -1,0 +1,178 @@
+//! Federated gradient-boosting bench: per-tree wall-clock and per-link
+//! traffic for SecureBoost-style training (`blindfl::trees`), Plain vs
+//! Paillier-256/Packed, with the bit-exact parity flag against the
+//! collocated XGBoost twin recorded alongside (see `docs/TREES.md`).
+//!
+//! ```text
+//! cargo run --release -p bf-bench --bin trees
+//! ```
+//!
+//! Results go to `BENCH_trees.json` at the repo root in machine-readable
+//! form; CI greps the parity and completion flags.
+//!
+//! Env knobs: `TREES_ROWS` (default 512), `TREES_FEATURES` (default 8),
+//! `TREES_COUNT` (boosting rounds, default 4), `TREES_DEPTH` (default
+//! 3), `TREES_GUESTS` (default 2), `TREES_BINS` (default 16).
+
+use bf_datagen::{generate_tree, vsplit_multi};
+use bf_ml::gbdt::{CollocatedGbdt, GbdtParams};
+use bf_util::{Stopwatch, Table};
+use blindfl::config::FedConfig;
+use blindfl::trees::train_gbdt;
+
+const SEED: u64 = 41;
+const DATA_SEED: u64 = 13;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+struct Cell {
+    backend: &'static str,
+    train_secs: f64,
+    tree_secs: Vec<f64>,
+    final_logloss: f64,
+    host_bytes_per_link: Vec<u64>,
+    guest_bytes_per_link: Vec<u64>,
+    parity: bool,
+}
+
+fn run_cell(
+    backend: &'static str,
+    cfg: &FedConfig,
+    params: &GbdtParams,
+    rows: usize,
+    features: usize,
+    guests: usize,
+) -> Cell {
+    let ds = generate_tree(rows, features, DATA_SEED);
+    let split = vsplit_multi(&ds, guests);
+    let mut sw = Stopwatch::new();
+    sw.start();
+    let fed = train_gbdt(cfg, params, split.guests, &split.party_b, SEED);
+    sw.stop();
+    let (tw, tw_losses) = CollocatedGbdt::train(&ds, params);
+    let parity = fed.host.losses == tw_losses && fed.host.model.trees == tw.trees;
+    Cell {
+        backend,
+        train_secs: sw.secs(),
+        tree_secs: fed.host.tree_secs,
+        final_logloss: fed.host.losses.last().copied().unwrap_or(f64::NAN),
+        host_bytes_per_link: fed.host.bytes_sent_per_link,
+        guest_bytes_per_link: fed.guests.iter().map(|g| g.bytes_sent).collect(),
+        parity,
+    }
+}
+
+fn json_f64s(v: &[f64]) -> String {
+    let items: Vec<String> = v.iter().map(|x| format!("{x:.4}")).collect();
+    format!("[{}]", items.join(", "))
+}
+
+fn json_u64s(v: &[u64]) -> String {
+    let items: Vec<String> = v.iter().map(|x| x.to_string()).collect();
+    format!("[{}]", items.join(", "))
+}
+
+fn main() {
+    let rows = env_usize("TREES_ROWS", 512);
+    let features = env_usize("TREES_FEATURES", 8);
+    let trees = env_usize("TREES_COUNT", 4);
+    let depth = env_usize("TREES_DEPTH", 3);
+    let guests = env_usize("TREES_GUESTS", 2);
+    let bins = env_usize("TREES_BINS", 16);
+    println!(
+        "Federated gradient boosting: {rows} rows × {features} features, \
+         {trees} trees of depth {depth}, {guests} guests, {bins} bins\n"
+    );
+
+    let cells: Vec<Cell> = [
+        ("plain", FedConfig::plain()),
+        ("paillier-256-packed", FedConfig::paillier_test()),
+    ]
+    .into_iter()
+    .map(|(name, cfg)| {
+        eprintln!("[trees] {name} cell...");
+        let params = GbdtParams {
+            trees,
+            max_depth: depth,
+            max_bins: bins,
+            frac_bits: cfg.frac_bits,
+            ..GbdtParams::default()
+        };
+        run_cell(name, &cfg, &params, rows, features, guests)
+    })
+    .collect();
+
+    let mut t = Table::new(vec![
+        "backend",
+        "train secs",
+        "secs/tree",
+        "final logloss",
+        "B→A KiB/link",
+        "A→B KiB/link",
+        "twin parity",
+    ]);
+    for c in &cells {
+        let per_tree = c.train_secs / c.tree_secs.len().max(1) as f64;
+        t.row(vec![
+            c.backend.to_string(),
+            format!("{:.2}", c.train_secs),
+            format!("{per_tree:.3}"),
+            format!("{:.4}", c.final_logloss),
+            json_u64s(
+                &c.host_bytes_per_link
+                    .iter()
+                    .map(|b| b >> 10)
+                    .collect::<Vec<_>>(),
+            ),
+            json_u64s(
+                &c.guest_bytes_per_link
+                    .iter()
+                    .map(|b| b >> 10)
+                    .collect::<Vec<_>>(),
+            ),
+            format!("{}", c.parity),
+        ]);
+    }
+    t.print();
+
+    let parity_all = cells.iter().all(|c| c.parity);
+    let cell_json = |c: &Cell| {
+        format!(
+            "{{\"backend\": \"{}\", \"train_secs\": {:.4}, \"tree_secs\": {}, \
+             \"final_logloss\": {:.6}, \"host_bytes_per_link\": {}, \
+             \"guest_bytes_per_link\": {}, \"parity\": {}}}",
+            c.backend,
+            c.train_secs,
+            json_f64s(&c.tree_secs),
+            c.final_logloss,
+            json_u64s(&c.host_bytes_per_link),
+            json_u64s(&c.guest_bytes_per_link),
+            c.parity,
+        )
+    };
+    let cell_lines: Vec<String> = cells
+        .iter()
+        .map(|c| format!("    {}", cell_json(c)))
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"trees\",\n  \"rows\": {rows},\n  \"features\": {features},\n  \
+         \"trees\": {trees},\n  \"depth\": {depth},\n  \"guests\": {guests},\n  \
+         \"bins\": {bins},\n  \"cells\": [\n{}\n  ],\n  \
+         \"parity_all\": {parity_all},\n  \"completed\": true\n}}\n",
+        cell_lines.join(",\n"),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_trees.json");
+    std::fs::write(path, &json).expect("write BENCH_trees.json");
+    println!("\nwrote {path}");
+
+    assert!(
+        parity_all,
+        "federated forest diverged from the collocated twin — the \
+         equivalence contract is broken"
+    );
+}

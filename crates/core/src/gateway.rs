@@ -170,7 +170,7 @@ impl GatewayReplica {
 /// What a gateway run produced, with the per-replica serve reports
 /// (whose [`ServeReport::batch_rows`] make the parity contract
 /// replayable).
-#[derive(Debug)]
+#[derive(Debug, Default)]
 pub struct GatewayReport {
     /// Prediction replies delivered to clients.
     pub answered: u64,
@@ -194,6 +194,13 @@ pub struct GatewayReport {
     /// Errors from replicas whose serve loop failed, as
     /// `"replica <i>: <error>"` strings, in replica order.
     pub replica_failures: Vec<String>,
+    /// Lazily-sorted merge of every replica's latencies, populated on
+    /// the first quantile query so repeated `p50`/`p99` calls merge and
+    /// sort once. Public only for functional-record-update
+    /// construction; leave it empty (see
+    /// [`ServeReport::sorted_latencies`]).
+    #[doc(hidden)]
+    pub sorted_latencies: std::sync::OnceLock<Vec<f64>>,
 }
 
 impl GatewayReport {
@@ -213,19 +220,21 @@ impl GatewayReport {
     }
 
     /// The `q`-quantile of per-request latency across every replica,
-    /// in seconds (0 when nothing served).
+    /// in seconds, ceil-based nearest rank over the merged sample
+    /// (0 when nothing served). Identical by definition to recomputing
+    /// the quantile over the concatenation of all per-replica latency
+    /// vectors (`tests/quantiles.rs` proves it).
     pub fn latency_quantile_secs(&self, q: f64) -> f64 {
-        let mut all: Vec<f64> = self
-            .replicas
-            .iter()
-            .flat_map(|r| r.latencies_secs.iter().copied())
-            .collect();
-        if all.is_empty() {
-            return 0.0;
-        }
-        all.sort_by(f64::total_cmp);
-        let i = ((all.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
-        all[i]
+        let sorted = self.sorted_latencies.get_or_init(|| {
+            let mut all: Vec<f64> = self
+                .replicas
+                .iter()
+                .flat_map(|r| r.latencies_secs.iter().copied())
+                .collect();
+            all.sort_by(f64::total_cmp);
+            all
+        });
+        crate::serve::quantile_ceil(sorted, q)
     }
 
     /// Median per-request latency in seconds, pool-wide.
@@ -499,6 +508,7 @@ pub fn run_gateway(
             wall_secs: started.elapsed().as_secs_f64(),
             replicas: reports,
             replica_failures,
+            sorted_latencies: std::sync::OnceLock::new(),
         })
     })
 }
@@ -634,6 +644,31 @@ impl GatewayClient {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Mirror of the `ServeReport` regression: the pool-wide quantile
+    /// uses ceil-based nearest rank over the *merged* sample.
+    #[test]
+    fn merged_quantile_uses_ceil_nearest_rank() {
+        // 67 samples split unevenly across two replicas.
+        let all: Vec<f64> = (1..=67).map(|i| i as f64).collect();
+        let report = GatewayReport {
+            replicas: vec![
+                ServeReport {
+                    latencies_secs: all[..20].to_vec(),
+                    ..Default::default()
+                },
+                ServeReport {
+                    latencies_secs: all[20..].to_vec(),
+                    ..Default::default()
+                },
+            ],
+            ..Default::default()
+        };
+        assert_eq!(report.latency_quantile_secs(0.99), 67.0);
+        assert_eq!(report.latency_quantile_secs(0.0), 1.0);
+        // No replicas at all: still 0, no panic.
+        assert_eq!(GatewayReport::default().p99_latency_secs(), 0.0);
+    }
 
     #[test]
     fn replica_zero_keeps_the_base_seed() {

@@ -92,6 +92,7 @@ pub mod serve;
 pub mod session;
 pub mod source;
 pub mod train;
+pub mod trees;
 
 pub use config::{Backend, FedConfig, GradMode};
 pub use engine::TrainMode;
@@ -101,10 +102,11 @@ pub use gateway::{
 };
 pub use models::FedSpec;
 pub use persist::{
-    export_checkpoint_a, export_checkpoint_b, export_checkpoint_multi_b, export_multi_party_b,
-    export_party_a, export_party_b, import_checkpoint_a, import_checkpoint_b,
-    import_checkpoint_multi_b, import_multi_party_b, import_party_a, import_party_b, CheckpointA,
-    CheckpointB, LinkCursor, MultiCheckpointB, PersistError,
+    export_checkpoint_a, export_checkpoint_b, export_checkpoint_multi_b, export_gbdt_guest,
+    export_gbdt_host, export_multi_party_b, export_party_a, export_party_b, import_checkpoint_a,
+    import_checkpoint_b, import_checkpoint_multi_b, import_gbdt_guest, import_gbdt_host,
+    import_multi_party_b, import_party_a, import_party_b, CheckpointA, CheckpointB, LinkCursor,
+    MultiCheckpointB, PersistError,
 };
 pub use serve::{
     queue as serve_queue, serve_party_a, serve_party_b, serve_party_b_multi, PendingPrediction,
@@ -114,4 +116,8 @@ pub use session::Session;
 pub use train::{
     train_federated, train_federated_multi, CheckpointCadence, FedOutcome, FedReport,
     FedTrainConfig, MultiFedOutcome, MultiFedReport, FAULT_KILL_MARKER,
+};
+pub use trees::{
+    predict_gbdt_host, run_gbdt_guest, run_gbdt_host, serve_gbdt_guest, serve_gbdt_host,
+    train_gbdt, GbdtFedOutcome, GbdtGuestModel, GbdtGuestRun, GbdtHostModel, GbdtHostRun,
 };

@@ -52,6 +52,8 @@ use bf_paillier::{export_ctmat, import_ctmat, CtMat};
 use bf_tensor::Dense;
 
 use crate::models::{MultiPartyBModel, PartyAModel, PartyBModel};
+use crate::trees::{GbRecord, GbdtGuestModel, GbdtHostModel};
+use bf_ml::gbdt::{Node, Tree};
 
 /// Persistence magic: ASCII `"BFMD"` (BlindFL MoDel).
 pub const MAGIC: [u8; 4] = *b"BFMD";
@@ -70,6 +72,12 @@ pub const KIND_CHECKPOINT_A: u8 = 4;
 pub const KIND_CHECKPOINT_B: u8 = 5;
 /// Kind byte for a multi-guest Party B mid-epoch training checkpoint.
 pub const KIND_CHECKPOINT_MULTI_B: u8 = 6;
+/// Kind byte for a [`GbdtHostModel`] blob (federated forest, host
+/// share).
+pub const KIND_GBDT_HOST: u8 = 7;
+/// Kind byte for a [`GbdtGuestModel`] blob (federated forest, guest
+/// share).
+pub const KIND_GBDT_GUEST: u8 = 8;
 /// Fixed header length (magic + version + kind).
 pub const HEADER_LEN: usize = 6;
 
@@ -206,6 +214,10 @@ impl<'a> Reader<'a> {
 
     pub(crate) fn u64(&mut self) -> PersistResult<u64> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn f64(&mut self) -> PersistResult<f64> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 
     /// A `u64` that must fit in `usize` (length / dimension fields).
@@ -558,9 +570,379 @@ pub fn import_checkpoint_multi_b(bytes: &[u8]) -> PersistResult<MultiCheckpointB
     })
 }
 
+const NODE_LEAF: u8 = 0;
+const NODE_SPLIT: u8 = 1;
+
+/// Serialize the host share of a federated forest. Guest-owned split
+/// thresholds are not here (and never were on the host): only global
+/// feature ids, buckets and the host's own edges.
+pub fn export_gbdt_host(model: &GbdtHostModel) -> Vec<u8> {
+    let mut w = Writer::new(KIND_GBDT_HOST);
+    w.f64(model.base_score);
+    w.u64(model.guest_widths.len() as u64);
+    for &width in &model.guest_widths {
+        w.u64(width as u64);
+    }
+    w.u64(model.host_edges.len() as u64);
+    for edges in &model.host_edges {
+        w.u64(edges.len() as u64);
+        for &e in edges {
+            w.f64(e);
+        }
+    }
+    w.u64(model.trees.len() as u64);
+    for tree in &model.trees {
+        w.u64(tree.nodes.len() as u64);
+        for node in &tree.nodes {
+            match node {
+                Node::Leaf { weight } => {
+                    w.u8(NODE_LEAF);
+                    w.f64(*weight);
+                }
+                Node::Split {
+                    feature,
+                    bucket,
+                    left,
+                    right,
+                } => {
+                    w.u8(NODE_SPLIT);
+                    w.u64(*feature as u64);
+                    w.u64(*bucket as u64);
+                    w.u64(*left as u64);
+                    w.u64(*right as u64);
+                }
+            }
+        }
+    }
+    w.buf
+}
+
+/// Deserialize a [`GbdtHostModel`], validating tree topology (children
+/// in bounds and forward-pointing, the BFS invariant), feature ids
+/// against the recorded feature layout, and host-split buckets against
+/// the host's edge lists.
+pub fn import_gbdt_host(bytes: &[u8]) -> PersistResult<GbdtHostModel> {
+    let mut r = Reader::new(bytes, KIND_GBDT_HOST)?;
+    let base_score = r.f64()?;
+    let n_links = r.len_u64()?;
+    if r.bytes.len() - r.pos < n_links.saturating_mul(8) {
+        return Err(PersistError::Truncated);
+    }
+    let mut guest_widths = Vec::with_capacity(n_links);
+    for _ in 0..n_links {
+        guest_widths.push(r.len_u64()?);
+    }
+    let guest_width_sum: usize = guest_widths.iter().sum();
+    let host_features = r.len_u64()?;
+    if r.bytes.len() - r.pos < host_features.saturating_mul(8) {
+        return Err(PersistError::Truncated);
+    }
+    let mut host_edges = Vec::with_capacity(host_features);
+    for _ in 0..host_features {
+        host_edges.push(r.f64_vec()?);
+    }
+    let total_features = guest_width_sum
+        .checked_add(host_features)
+        .ok_or_else(|| PersistError::Malformed("feature count overflow".into()))?;
+    let n_trees = r.len_u64()?;
+    let mut trees = Vec::with_capacity(n_trees.min(1024));
+    for t in 0..n_trees {
+        let n_nodes = r.len_u64()?;
+        // A node is at least 2 bytes (tag + smallest body is 8, but
+        // guard cheaply): reject a fabricated count before allocating.
+        if r.bytes.len() - r.pos < n_nodes.saturating_mul(9) {
+            return Err(PersistError::Truncated);
+        }
+        if n_nodes == 0 {
+            return Err(PersistError::Malformed(format!("tree {t} has no nodes")));
+        }
+        let mut nodes = Vec::with_capacity(n_nodes);
+        for i in 0..n_nodes {
+            match r.u8()? {
+                NODE_LEAF => nodes.push(Node::Leaf { weight: r.f64()? }),
+                NODE_SPLIT => {
+                    let feature = r.u64()?;
+                    let bucket = r.u64()?;
+                    let left = r.u64()?;
+                    let right = r.u64()?;
+                    if feature >= total_features as u64 {
+                        return Err(PersistError::Malformed(format!(
+                            "tree {t} node {i} splits feature {feature} of {total_features}"
+                        )));
+                    }
+                    let hf = feature as usize;
+                    if hf >= guest_width_sum
+                        && bucket >= host_edges[hf - guest_width_sum].len() as u64
+                    {
+                        return Err(PersistError::Malformed(format!(
+                            "tree {t} node {i} references host bucket {bucket} out of range"
+                        )));
+                    }
+                    // BFS growth means children always point forward.
+                    if left <= i as u64 || right <= i as u64 || left.max(right) >= n_nodes as u64 {
+                        return Err(PersistError::Malformed(format!(
+                            "tree {t} node {i} has out-of-range children ({left}, {right})"
+                        )));
+                    }
+                    nodes.push(Node::Split {
+                        feature: u32::try_from(feature).map_err(|_| {
+                            PersistError::Malformed("feature id overflows u32".into())
+                        })?,
+                        bucket: u32::try_from(bucket).map_err(|_| {
+                            PersistError::Malformed("bucket id overflows u32".into())
+                        })?,
+                        left: left as u32,
+                        right: right as u32,
+                    });
+                }
+                tag => {
+                    return Err(PersistError::Malformed(format!(
+                        "unknown tree-node tag {tag}"
+                    )))
+                }
+            }
+        }
+        trees.push(Tree { nodes });
+    }
+    r.finish()?;
+    Ok(GbdtHostModel {
+        trees,
+        guest_widths,
+        host_edges,
+        base_score,
+    })
+}
+
+/// Serialize the guest share of a federated forest: its recorded split
+/// predicates, in host split-decision order.
+pub fn export_gbdt_guest(model: &GbdtGuestModel) -> Vec<u8> {
+    let mut w = Writer::new(KIND_GBDT_GUEST);
+    w.u64(model.width as u64);
+    w.u64(model.records.len() as u64);
+    for rec in &model.records {
+        w.u64(rec.feature as u64);
+        w.f64(rec.threshold);
+    }
+    w.buf
+}
+
+/// Deserialize a [`GbdtGuestModel`], validating every record's feature
+/// index against the recorded store width.
+pub fn import_gbdt_guest(bytes: &[u8]) -> PersistResult<GbdtGuestModel> {
+    let mut r = Reader::new(bytes, KIND_GBDT_GUEST)?;
+    let width = r.len_u64()?;
+    let n_records = r.len_u64()?;
+    if r.bytes.len() - r.pos < n_records.saturating_mul(16) {
+        return Err(PersistError::Truncated);
+    }
+    let mut records = Vec::with_capacity(n_records);
+    for i in 0..n_records {
+        let feature = r.u64()?;
+        let threshold = r.f64()?;
+        if feature >= width as u64 {
+            return Err(PersistError::Malformed(format!(
+                "record {i} references feature {feature} of a {width}-feature store"
+            )));
+        }
+        records.push(GbRecord {
+            feature: feature as u32,
+            threshold,
+        });
+    }
+    r.finish()?;
+    Ok(GbdtGuestModel { width, records })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn sample_host_model() -> GbdtHostModel {
+        GbdtHostModel {
+            trees: vec![
+                Tree {
+                    nodes: vec![
+                        Node::Split {
+                            feature: 1, // guest link 1, local 0
+                            bucket: 2,
+                            left: 1,
+                            right: 2,
+                        },
+                        Node::Leaf { weight: -0.25 },
+                        Node::Split {
+                            feature: 2, // host local 0
+                            bucket: 1,
+                            left: 3,
+                            right: 4,
+                        },
+                        Node::Leaf { weight: 0.5 },
+                        Node::Leaf { weight: 0.125 },
+                    ],
+                },
+                Tree {
+                    nodes: vec![Node::Leaf { weight: 1.5 }],
+                },
+            ],
+            guest_widths: vec![1, 1],
+            host_edges: vec![vec![-0.5, 0.0, 0.75]],
+            base_score: 0.0,
+        }
+    }
+
+    #[test]
+    fn gbdt_host_roundtrips_byte_exact() {
+        let model = sample_host_model();
+        let blob = export_gbdt_host(&model);
+        let back = import_gbdt_host(&blob).unwrap();
+        assert_eq!(back, model);
+        // Byte-exact: re-export of the import reproduces the blob.
+        assert_eq!(export_gbdt_host(&back), blob);
+    }
+
+    #[test]
+    fn gbdt_guest_roundtrips_byte_exact() {
+        let model = GbdtGuestModel {
+            width: 3,
+            records: vec![
+                GbRecord {
+                    feature: 0,
+                    threshold: -1.25,
+                },
+                GbRecord {
+                    feature: 2,
+                    threshold: 0.0,
+                },
+            ],
+        };
+        let blob = export_gbdt_guest(&model);
+        let back = import_gbdt_guest(&blob).unwrap();
+        assert_eq!(back, model);
+        assert_eq!(export_gbdt_guest(&back), blob);
+    }
+
+    #[test]
+    fn gbdt_blobs_reject_cross_kind() {
+        let host_blob = export_gbdt_host(&sample_host_model());
+        assert_eq!(
+            import_gbdt_guest(&host_blob).err().unwrap(),
+            PersistError::WrongKind {
+                expected: KIND_GBDT_GUEST,
+                got: KIND_GBDT_HOST
+            }
+        );
+        let guest_blob = export_gbdt_guest(&GbdtGuestModel {
+            width: 1,
+            records: vec![],
+        });
+        assert_eq!(
+            import_gbdt_host(&guest_blob).err().unwrap(),
+            PersistError::WrongKind {
+                expected: KIND_GBDT_HOST,
+                got: KIND_GBDT_GUEST
+            }
+        );
+        // An MLP-family importer refuses a forest blob (typed, no
+        // panic) — the WrongKind seam old decoders rely on.
+        assert!(matches!(
+            import_party_b(&host_blob).err().unwrap(),
+            PersistError::WrongKind { .. }
+        ));
+    }
+
+    #[test]
+    fn gbdt_host_rejects_malformed() {
+        let model = sample_host_model();
+        let blob = export_gbdt_host(&model);
+        // Every strict prefix is Truncated or Malformed, never a panic.
+        for cut in 0..blob.len() {
+            assert!(import_gbdt_host(&blob[..cut]).is_err(), "prefix {cut}");
+        }
+        // Backward-pointing child (breaks the BFS invariant).
+        let mut bad = sample_host_model();
+        bad.trees[0].nodes[0] = Node::Split {
+            feature: 1,
+            bucket: 2,
+            left: 0,
+            right: 2,
+        };
+        assert!(matches!(
+            import_gbdt_host(&export_gbdt_host(&bad)).err().unwrap(),
+            PersistError::Malformed(_)
+        ));
+        // Feature id beyond the recorded layout.
+        let mut bad = sample_host_model();
+        bad.trees[0].nodes[2] = Node::Split {
+            feature: 9,
+            bucket: 0,
+            left: 3,
+            right: 4,
+        };
+        assert!(matches!(
+            import_gbdt_host(&export_gbdt_host(&bad)).err().unwrap(),
+            PersistError::Malformed(_)
+        ));
+        // Host bucket beyond the stored edge list.
+        let mut bad = sample_host_model();
+        bad.trees[0].nodes[2] = Node::Split {
+            feature: 2,
+            bucket: 3,
+            left: 3,
+            right: 4,
+        };
+        assert!(matches!(
+            import_gbdt_host(&export_gbdt_host(&bad)).err().unwrap(),
+            PersistError::Malformed(_)
+        ));
+        // Unknown node tag.
+        let mut corrupt = blob.clone();
+        let tag_pos = blob.len() - 9; // last tree ends [tag:1][weight:8]
+        assert_eq!(corrupt[tag_pos], NODE_LEAF);
+        corrupt[tag_pos] = 7;
+        assert!(matches!(
+            import_gbdt_host(&corrupt).err().unwrap(),
+            PersistError::Malformed(_)
+        ));
+        // Trailing bytes.
+        let mut long = blob;
+        long.push(0);
+        assert!(matches!(
+            import_gbdt_host(&long).err().unwrap(),
+            PersistError::Malformed(_)
+        ));
+    }
+
+    #[test]
+    fn gbdt_guest_rejects_malformed() {
+        let model = GbdtGuestModel {
+            width: 2,
+            records: vec![GbRecord {
+                feature: 1,
+                threshold: 0.5,
+            }],
+        };
+        let blob = export_gbdt_guest(&model);
+        for cut in 0..blob.len() {
+            assert!(import_gbdt_guest(&blob[..cut]).is_err(), "prefix {cut}");
+        }
+        // Record referencing a feature outside the recorded width.
+        let bad = GbdtGuestModel {
+            width: 1,
+            records: vec![GbRecord {
+                feature: 1,
+                threshold: 0.5,
+            }],
+        };
+        assert!(matches!(
+            import_gbdt_guest(&export_gbdt_guest(&bad)).err().unwrap(),
+            PersistError::Malformed(_)
+        ));
+        // A fabricated record count larger than the blob must be
+        // rejected before allocating.
+        let mut huge = export_gbdt_guest(&model);
+        let count_at = HEADER_LEN + 8;
+        huge[count_at..count_at + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(import_gbdt_guest(&huge).is_err());
+    }
 
     #[test]
     fn header_rejections() {

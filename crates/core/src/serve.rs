@@ -205,7 +205,7 @@ pub fn queue(capacity: usize) -> (PredictClient, RequestQueue) {
 
 /// What a Party B serving loop produces: request/batch counts plus
 /// per-request latency and per-batch traffic accounting.
-#[derive(Debug)]
+#[derive(Debug, Default)]
 pub struct ServeReport {
     /// Requests answered (excluding bad-row rejections).
     pub requests: u64,
@@ -238,6 +238,29 @@ pub struct ServeReport {
     /// on an identically-seeded session reproduces every served logit
     /// bit for bit (`tests/gateway.rs` does exactly that).
     pub batch_rows: Vec<Vec<u32>>,
+    /// Lazily-sorted copy of `latencies_secs`, populated on the first
+    /// quantile query so repeated `p50`/`p99` calls sort once. Public
+    /// only so external constructors can use functional-record-update
+    /// (`..Default::default()`); never set it to anything but an empty
+    /// cell — mutating `latencies_secs` after a quantile query would
+    /// otherwise serve stale quantiles.
+    #[doc(hidden)]
+    pub sorted_latencies: std::sync::OnceLock<Vec<f64>>,
+}
+
+/// Ceil-based nearest-rank quantile over an ascending-sorted sample:
+/// rank `⌈q·n⌉` (clamped to `[1, n]`), i.e. the smallest sample value
+/// such that at least a `q` fraction of the sample is ≤ it. The
+/// previous `.round()`-based index could select *below* the true
+/// nearest rank (67 samples, q = 0.99: 0.99·66 = 65.34 rounds to index
+/// 65 where nearest-rank is 66).
+pub(crate) fn quantile_ceil(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let n = sorted.len();
+    let rank = (q.clamp(0.0, 1.0) * n as f64).ceil() as usize;
+    sorted[rank.clamp(1, n) - 1]
 }
 
 impl ServeReport {
@@ -250,16 +273,15 @@ impl ServeReport {
         }
     }
 
-    /// The `q`-quantile (0 ≤ q ≤ 1) of per-request latency in seconds
-    /// (0 when nothing served).
+    /// The `q`-quantile (0 ≤ q ≤ 1) of per-request latency in seconds,
+    /// ceil-based nearest rank (0 when nothing served).
     pub fn latency_quantile_secs(&self, q: f64) -> f64 {
-        if self.latencies_secs.is_empty() {
-            return 0.0;
-        }
-        let mut sorted = self.latencies_secs.clone();
-        sorted.sort_by(f64::total_cmp);
-        let i = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
-        sorted[i]
+        let sorted = self.sorted_latencies.get_or_init(|| {
+            let mut v = self.latencies_secs.clone();
+            v.sort_by(f64::total_cmp);
+            v
+        });
+        quantile_ceil(sorted, q)
     }
 
     /// Largest coalesced batch (0 when nothing served).
@@ -471,7 +493,7 @@ pub fn serve_party_b_multi(
 /// pass, predict, reply. `predict_rows` runs the federated forward
 /// for one coalesced batch; `bytes_now` samples this party's sent-byte
 /// counter for the per-batch traffic attribution.
-fn run_server_loop(
+pub(crate) fn run_server_loop(
     cfg: &ServeConfig,
     store_rows: usize,
     queue: RequestQueue,
@@ -488,6 +510,7 @@ fn run_server_loop(
         batch_sizes: Vec::new(),
         bytes_per_batch: Vec::new(),
         batch_rows: Vec::new(),
+        sorted_latencies: std::sync::OnceLock::new(),
     };
     let started = Instant::now();
     let max_batch = cfg.max_batch.max(1);
@@ -556,6 +579,41 @@ fn run_server_loop(
 mod tests {
     use super::*;
     use crate::config::FedConfig;
+
+    /// Regression for the `.round()` nearest-rank bug: with 67 samples
+    /// the old index `round(0.99·66) = 65` under-selects; ceil-based
+    /// nearest rank is `⌈0.99·67⌉ = 67`, i.e. the maximum. The two
+    /// definitions disagree on this vector, so this test fails against
+    /// the old implementation.
+    #[test]
+    fn quantile_uses_ceil_nearest_rank() {
+        let report = ServeReport {
+            latencies_secs: (1..=67).map(|i| i as f64).collect(),
+            ..Default::default()
+        };
+        let old_round_answer = 66.0; // sorted[round(0.99 * 66)] = sorted[65]
+        assert_eq!(report.latency_quantile_secs(0.99), 67.0);
+        assert_ne!(report.latency_quantile_secs(0.99), old_round_answer);
+        // Boundary ranks: q=0 is the minimum, q=1 the maximum, and the
+        // median of an even-length sample is the lower-middle value.
+        assert_eq!(report.latency_quantile_secs(0.0), 1.0);
+        assert_eq!(report.latency_quantile_secs(1.0), 67.0);
+        let even = ServeReport {
+            latencies_secs: vec![4.0, 2.0, 3.0, 1.0],
+            ..Default::default()
+        };
+        assert_eq!(even.latency_quantile_secs(0.5), 2.0);
+    }
+
+    /// A zero-request report answers 0 for every quantile, no panic.
+    #[test]
+    fn empty_report_quantiles_are_zero() {
+        let report = ServeReport::default();
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(report.latency_quantile_secs(q), 0.0);
+        }
+        assert_eq!(report.mean_latency_secs(), 0.0);
+    }
     use crate::models::FedSpec;
     use crate::session::run_pair;
     use bf_ml::data::Labels;

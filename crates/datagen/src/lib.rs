@@ -26,4 +26,4 @@ pub mod synth;
 pub use catalog::{catalog, spec, DatasetSpec, Shape};
 pub use libsvm::{load_libsvm, parse_libsvm};
 pub use split::{vsplit, vsplit_multi, MultiVflData, VflData, VflView};
-pub use synth::generate;
+pub use synth::{generate, generate_tree};

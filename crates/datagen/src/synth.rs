@@ -21,6 +21,47 @@ pub fn generate(spec: &DatasetSpec, seed: u64) -> (Dataset, Dataset) {
     (train, test)
 }
 
+/// Generate a collocated dataset with a planted **axis-aligned,
+/// non-additive** signal — the shape gradient-boosted trees excel at
+/// and linear models cannot represent.
+///
+/// Labels follow an XOR of two threshold predicates, `(x₀ > 0) ⊕
+/// (x₁ > 0)`, softened by a margin-proportional flip probability near
+/// the thresholds, plus a weak additive nudge from the remaining
+/// features so every column carries some signal (and a vertical split
+/// leaves useful features on both sides). A depth-≥2 tree recovers the
+/// XOR exactly; a GLM on the raw features stays near chance.
+///
+/// Dense features, binary labels, deterministic per `(rows, features,
+/// seed)`. Requires `features >= 2`.
+pub fn generate_tree(rows: usize, features: usize, seed: u64) -> Dataset {
+    assert!(features >= 2, "the XOR signal needs two feature columns");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let x = bf_tensor::init::gaussian(&mut rng, rows, features, 1.0);
+    let mut y = Vec::with_capacity(rows);
+    for r in 0..rows {
+        let a = x.get(r, 0);
+        let b = x.get(r, 1);
+        let core = (a > 0.0) != (b > 0.0);
+        // Margin-aware noise: rows near a threshold flip more often, so
+        // the task is strong-but-not-separable (logloss can improve for
+        // several boosting rounds instead of saturating on round one).
+        let margin = a.abs().min(b.abs());
+        let mut nudge = 0.0;
+        for f in 2..features {
+            nudge += 0.15 * x.get(r, f) * if f % 2 == 0 { 1.0 } else { -1.0 };
+        }
+        let p_true = bf_ml::layers::sigmoid(4.0 * margin + nudge);
+        let keep = rng.random::<f64>() < p_true;
+        y.push(if core == keep { 1.0 } else { 0.0 });
+    }
+    Dataset {
+        num: Some(Features::Dense(x)),
+        cat: None,
+        labels: Some(Labels::Binary(y)),
+    }
+}
+
 /// The hidden ground-truth model.
 struct Planted {
     /// Per-numerical-feature weight, one column per class (binary uses
@@ -333,6 +374,43 @@ mod tests {
         };
         let report = train(&mut m, &train_ds, &test_ds, &cfg);
         assert!(report.test_metric > 0.5, "acc={}", report.test_metric);
+    }
+
+    #[test]
+    fn tree_signal_is_learnable_by_gbdt_not_glm() {
+        use bf_ml::gbdt::{CollocatedGbdt, GbdtParams};
+        let ds = generate_tree(400, 6, 21);
+        let params = GbdtParams {
+            trees: 8,
+            max_depth: 3,
+            ..GbdtParams::default()
+        };
+        let (_, losses) = CollocatedGbdt::train(&ds, &params);
+        let first = losses.first().copied().unwrap();
+        let last = losses.last().copied().unwrap();
+        assert!(
+            last < first - 0.05,
+            "boosting should cut logloss: {first} -> {last}"
+        );
+        // The XOR core defeats a linear model: its logloss stays near
+        // chance (ln 2 ≈ 0.693) where the forest's keeps dropping.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(22);
+        let mut m = GlmModel::new(&mut rng, ds.num_dim(), 1);
+        let report = train(&mut m, &ds, &ds, &TrainConfig::default());
+        assert!(report.test_metric < 0.65, "glm auc={}", report.test_metric);
+        assert!(last < 0.55, "gbdt logloss={last}");
+    }
+
+    #[test]
+    fn tree_generation_deterministic() {
+        let a = generate_tree(100, 4, 3);
+        let b = generate_tree(100, 4, 3);
+        assert_eq!(
+            a.labels.as_ref().unwrap().as_binary(),
+            b.labels.as_ref().unwrap().as_binary()
+        );
+        assert_eq!(a.rows(), 100);
+        assert_eq!(a.num_dim(), 4);
     }
 
     #[test]

@@ -55,7 +55,15 @@ impl FaultPlan {
     /// unset or unparseable (an experiment script with a typo should
     /// run fault-free, loudly visible in its output, not crash).
     pub fn from_env() -> Option<FaultPlan> {
-        FaultPlan::parse(&std::env::var("BF_FAULT").ok()?)
+        let raw = std::env::var("BF_FAULT").ok()?;
+        let plan = FaultPlan::parse(&raw);
+        if plan.is_none() {
+            eprintln!(
+                "warning: BF_FAULT={raw:?} is not a valid fault plan \
+                 (expected kill@N, drop@N or delay@N:MS); running fault-free"
+            );
+        }
+        plan
     }
 
     /// Parse `kill@N` / `drop@N` / `delay@N:MS`.
@@ -124,11 +132,15 @@ mod tests {
             "kill",
             "kill@",
             "kill@x",
+            "kill@3x",
             "drop@-1",
+            "drop@3 ",
             "delay@3",
             "delay@3:",
             "delay@3:x",
+            "delay@3:250ms",
             "panic@3",
+            "@3",
             "kill@3:9",
         ] {
             assert_eq!(FaultPlan::parse(bad), None, "parsed {bad:?}");

@@ -86,6 +86,31 @@ pub enum Msg {
         /// Logical frames the sender has received on this link so far.
         recv_seq: u64,
     },
+    /// Federated gradient boosting (wire kind 9, protocol v5): the
+    /// host tells a guest which of the guest's split candidates won a
+    /// node, naming it only by the guest's *local* feature index and
+    /// bucket — the host never learns the threshold value, the guest
+    /// never learns why it won.
+    GbSplit {
+        /// Guest-local feature index of the winning split.
+        feature: u32,
+        /// Split bucket: rows whose bucket id ≤ `bucket` go left.
+        bucket: u32,
+    },
+    /// Federated gradient boosting (wire kind 10, protocol v5): a
+    /// guest's routing bitmap for an inference batch — for each of its
+    /// `records` stored split predicates and each of the `rows`
+    /// requested rows, one bit saying whether the row satisfies the
+    /// predicate (goes left). Packed LSB-first; bit index is
+    /// `record · rows + row`; padding bits must be zero (canonical).
+    GbBits {
+        /// Number of inference rows covered.
+        rows: u64,
+        /// Number of split records covered.
+        records: u64,
+        /// LSB-first packed predicate bits, `⌈rows·records / 8⌉` bytes.
+        bits: Vec<u8>,
+    },
 }
 
 impl Msg {
@@ -102,6 +127,8 @@ impl Msg {
             Msg::U64(_) => 8,
             Msg::Hello { .. } => 8,
             Msg::Resume { .. } => 8,
+            Msg::GbSplit { .. } => 8,
+            Msg::GbBits { bits, .. } => 16 + bits.len(),
         }
     }
 
@@ -117,6 +144,8 @@ impl Msg {
             Msg::U64(_) => "U64",
             Msg::Hello { .. } => "Hello",
             Msg::Resume { .. } => "Resume",
+            Msg::GbSplit { .. } => "GbSplit",
+            Msg::GbBits { .. } => "GbBits",
         }
     }
 }
@@ -773,6 +802,28 @@ impl Endpoint {
         match self.recv()? {
             Msg::Hello { index, total } => Ok((index, total)),
             other => Err(mismatch("Hello", &other)),
+        }
+    }
+
+    /// Receive, expecting a tree-split record; returns
+    /// `(feature, bucket)`.
+    pub fn recv_gb_split(&self) -> TransportResult<(u32, u32)> {
+        match self.recv()? {
+            Msg::GbSplit { feature, bucket } => Ok((feature, bucket)),
+            other => Err(mismatch("GbSplit", &other)),
+        }
+    }
+
+    /// Receive, expecting a routing bitmap; returns
+    /// `(rows, records, bits)`.
+    pub fn recv_gb_bits(&self) -> TransportResult<(u64, u64, Vec<u8>)> {
+        match self.recv()? {
+            Msg::GbBits {
+                rows,
+                records,
+                bits,
+            } => Ok((rows, records, bits)),
+            other => Err(mismatch("GbBits", &other)),
         }
     }
 

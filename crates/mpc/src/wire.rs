@@ -6,7 +6,7 @@
 //! ```text
 //! offset  size  field
 //! 0       2     magic   0x42 0x46  ("BF")
-//! 2       1     version 0x04
+//! 2       1     version 0x05
 //! 3       1     kind    (see the KIND_* constants)
 //! 4       4     payload length, u32 little-endian
 //! 8       n     payload (per-kind encoding)
@@ -27,9 +27,11 @@ pub const MAGIC: [u8; 2] = *b"BF";
 /// Current protocol version. Decoders reject every other value.
 /// History: v1 = kinds 1–6; v2 added kind 7 (`Hello`, multi-party
 /// link identification); v3 added `Ct` body tag 2 (packed ciphertext
-/// tensors); v4 added kind 8 (`Resume`, reconnect replay cursor) — a
-/// new kind or body tag is a version bump by rule.
-pub const VERSION: u8 = 4;
+/// tensors); v4 added kind 8 (`Resume`, reconnect replay cursor);
+/// v5 added kinds 9–10 (`GbSplit` / `GbBits`, federated tree split
+/// bookkeeping and routing bitmaps) — a new kind or body tag is a
+/// version bump by rule.
+pub const VERSION: u8 = 5;
 /// Fixed frame-header length in bytes (magic + version + kind + length).
 pub const HEADER_LEN: usize = 8;
 /// Upper bound on a payload a decoder will accept (1 GiB). A malicious
@@ -52,6 +54,10 @@ pub const KIND_U64: u8 = 6;
 pub const KIND_HELLO: u8 = 7;
 /// Frame kind byte for [`Msg::Resume`].
 pub const KIND_RESUME: u8 = 8;
+/// Frame kind byte for [`Msg::GbSplit`].
+pub const KIND_GB_SPLIT: u8 = 9;
+/// Frame kind byte for [`Msg::GbBits`].
+pub const KIND_GB_BITS: u8 = 10;
 
 /// A frame- or payload-level decode failure.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -96,7 +102,31 @@ pub fn kind_byte(msg: &Msg) -> u8 {
         Msg::U64(_) => KIND_U64,
         Msg::Hello { .. } => KIND_HELLO,
         Msg::Resume { .. } => KIND_RESUME,
+        Msg::GbSplit { .. } => KIND_GB_SPLIT,
+        Msg::GbBits { .. } => KIND_GB_BITS,
     }
+}
+
+/// Bytes needed for an `nbits`-long bit vector (LSB-first packing).
+pub fn bit_bytes(nbits: u64) -> usize {
+    (nbits as usize).div_ceil(8)
+}
+
+/// Pack booleans LSB-first: bit `i` lands in `out[i / 8]` at position
+/// `i % 8`. The canonical encoding [`Msg::GbBits`] carries.
+pub fn pack_bits(bools: &[bool]) -> Vec<u8> {
+    let mut out = vec![0u8; bools.len().div_ceil(8)];
+    for (i, &b) in bools.iter().enumerate() {
+        if b {
+            out[i / 8] |= 1 << (i % 8);
+        }
+    }
+    out
+}
+
+/// Read bit `i` of an LSB-first packed bit vector.
+pub fn bit_at(bits: &[u8], i: usize) -> bool {
+    (bits[i / 8] >> (i % 8)) & 1 == 1
 }
 
 /// Encode the per-kind payload (frame header excluded).
@@ -130,6 +160,28 @@ pub fn encode_payload(msg: &Msg) -> Vec<u8> {
             out
         }
         Msg::Resume { recv_seq } => recv_seq.to_le_bytes().to_vec(),
+        Msg::GbSplit { feature, bucket } => {
+            let mut out = Vec::with_capacity(8);
+            out.extend_from_slice(&feature.to_le_bytes());
+            out.extend_from_slice(&bucket.to_le_bytes());
+            out
+        }
+        Msg::GbBits {
+            rows,
+            records,
+            bits,
+        } => {
+            debug_assert_eq!(
+                bits.len(),
+                bit_bytes(rows.checked_mul(*records).expect("bit count overflow")),
+                "GbBits bit buffer is not canonical"
+            );
+            let mut out = Vec::with_capacity(16 + bits.len());
+            out.extend_from_slice(&rows.to_le_bytes());
+            out.extend_from_slice(&records.to_le_bytes());
+            out.extend_from_slice(bits);
+            out
+        }
     }
 }
 
@@ -173,7 +225,7 @@ pub fn decode_header(header: &[u8; HEADER_LEN]) -> Result<(u8, u32), WireError> 
         return Err(WireError::UnsupportedVersion(header[2]));
     }
     let kind = header[3];
-    if !(KIND_CT..=KIND_RESUME).contains(&kind) {
+    if !(KIND_CT..=KIND_GB_BITS).contains(&kind) {
         return Err(WireError::UnknownKind(kind));
     }
     let len = u32::from_le_bytes(header[4..8].try_into().unwrap());
@@ -250,6 +302,38 @@ pub fn decode_payload(kind: u8, payload: &[u8]) -> Result<Msg, WireError> {
         KIND_RESUME => Ok(Msg::Resume {
             recv_seq: u64::from_le_bytes(exact(8)?.try_into().unwrap()),
         }),
+        KIND_GB_SPLIT => {
+            let p = exact(8)?;
+            Ok(Msg::GbSplit {
+                feature: u32::from_le_bytes(p[0..4].try_into().unwrap()),
+                bucket: u32::from_le_bytes(p[4..8].try_into().unwrap()),
+            })
+        }
+        KIND_GB_BITS => {
+            if payload.len() < 16 {
+                return Err(WireError::Truncated);
+            }
+            let rows = u64::from_le_bytes(payload[0..8].try_into().unwrap());
+            let records = u64::from_le_bytes(payload[8..16].try_into().unwrap());
+            let nbits = rows
+                .checked_mul(records)
+                .filter(|&n| usize::try_from(n).is_ok())
+                .ok_or_else(|| WireError::Malformed("bit count overflow".into()))?;
+            if payload.len() - 16 != bit_bytes(nbits) {
+                return Err(WireError::Truncated);
+            }
+            let bits = payload[16..].to_vec();
+            // Canonical encoding: padding bits in the last byte are 0.
+            let pad = (nbits % 8) as u32;
+            if pad != 0 && bits.last().map(|&b| b >> pad != 0).unwrap_or(false) {
+                return Err(WireError::Malformed("nonzero padding bits".into()));
+            }
+            Ok(Msg::GbBits {
+                rows,
+                records,
+                bits,
+            })
+        }
         other => Err(WireError::UnknownKind(other)),
     }
 }
@@ -285,7 +369,7 @@ mod tests {
             frame,
             vec![
                 0x42, 0x46, // "BF"
-                0x04, // version
+                0x05, // version
                 0x06, // kind U64
                 0x08, 0x00, 0x00, 0x00, // payload len 8
                 0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01, // u64 LE
@@ -303,7 +387,7 @@ mod tests {
             frame,
             vec![
                 0x42, 0x46, // "BF"
-                0x04, // version
+                0x05, // version
                 0x07, // kind Hello
                 0x08, 0x00, 0x00, 0x00, // payload len 8
                 0x02, 0x00, 0x00, 0x00, // index 2, u32 LE
@@ -318,7 +402,7 @@ mod tests {
         assert_eq!(
             frame,
             vec![
-                0x42, 0x46, 0x04, 0x05, 0x08, 0x00, 0x00, 0x00, // header
+                0x42, 0x46, 0x05, 0x05, 0x08, 0x00, 0x00, 0x00, // header
                 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xf0, 0x3f, // 1.0f64 LE
             ]
         );
@@ -330,7 +414,7 @@ mod tests {
         assert_eq!(
             frame,
             vec![
-                0x42, 0x46, 0x04, 0x04, 0x10, 0x00, 0x00, 0x00, // header, len 16
+                0x42, 0x46, 0x05, 0x04, 0x10, 0x00, 0x00, 0x00, // header, len 16
                 0x02, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // count 2
                 0x01, 0x00, 0x00, 0x00, // 1
                 0x0B, 0x0A, 0x00, 0x00, // 0x0A0B
@@ -344,7 +428,7 @@ mod tests {
         assert_eq!(
             frame,
             vec![
-                0x42, 0x46, 0x04, 0x02, 0x20, 0x00, 0x00, 0x00, // header, len 32
+                0x42, 0x46, 0x05, 0x02, 0x20, 0x00, 0x00, 0x00, // header, len 32
                 0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // rows 1
                 0x02, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // cols 2
                 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // 0.0
@@ -356,7 +440,7 @@ mod tests {
     #[test]
     fn golden_plain_key_frame() {
         let frame = encode_frame(&Msg::Key(bf_paillier::PublicKey::Plain { frac_bits: 24 }));
-        let mut want = vec![0x42, 0x46, 0x04, 0x03, 0x0B, 0x00, 0x00, 0x00];
+        let mut want = vec![0x42, 0x46, 0x05, 0x03, 0x0B, 0x00, 0x00, 0x00];
         want.extend_from_slice(b"bfplain1:24");
         assert_eq!(frame, want);
     }
@@ -370,7 +454,7 @@ mod tests {
         assert_eq!(
             frame,
             vec![
-                0x42, 0x46, 0x04, 0x01, 0x1A, 0x00, 0x00, 0x00, // header, len 26
+                0x42, 0x46, 0x05, 0x01, 0x1A, 0x00, 0x00, 0x00, // header, len 26
                 0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // rows 1
                 0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // cols 1
                 0x01, // scale 1
@@ -389,12 +473,118 @@ mod tests {
             frame,
             vec![
                 0x42, 0x46, // "BF"
-                0x04, // version
+                0x05, // version
                 0x08, // kind Resume
                 0x08, 0x00, 0x00, 0x00, // payload len 8
                 0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01, // recv_seq LE
             ]
         );
+    }
+
+    #[test]
+    fn golden_gb_split_frame() {
+        let frame = encode_frame(&Msg::GbSplit {
+            feature: 3,
+            bucket: 0x0102,
+        });
+        assert_eq!(
+            frame,
+            vec![
+                0x42, 0x46, // "BF"
+                0x05, // version
+                0x09, // kind GbSplit
+                0x08, 0x00, 0x00, 0x00, // payload len 8
+                0x03, 0x00, 0x00, 0x00, // feature 3, u32 LE
+                0x02, 0x01, 0x00, 0x00, // bucket 0x0102, u32 LE
+            ]
+        );
+    }
+
+    #[test]
+    fn golden_gb_bits_frame() {
+        // 3 rows × 3 records = 9 bits: rows 0 and 2 of record 0,
+        // row 1 of record 1, row 0 of record 2 set.
+        let bools = [
+            true, false, true, // record 0
+            false, true, false, // record 1
+            true, false, false, // record 2
+        ];
+        let frame = encode_frame(&Msg::GbBits {
+            rows: 3,
+            records: 3,
+            bits: pack_bits(&bools),
+        });
+        assert_eq!(
+            frame,
+            vec![
+                0x42,
+                0x46, // "BF"
+                0x05, // version
+                0x0A, // kind GbBits
+                0x12,
+                0x00,
+                0x00,
+                0x00, // payload len 18
+                0x03,
+                0x00,
+                0x00,
+                0x00,
+                0x00,
+                0x00,
+                0x00,
+                0x00, // rows 3
+                0x03,
+                0x00,
+                0x00,
+                0x00,
+                0x00,
+                0x00,
+                0x00,
+                0x00,        // records 3
+                0b0101_0101, // bits 0..8 LSB-first
+                0b0000_0000, // bit 8 (false), zero padding
+            ]
+        );
+    }
+
+    #[test]
+    fn gb_bits_rejects_noncanonical() {
+        // Wrong byte count for the claimed bit count.
+        let mut p = Vec::new();
+        p.extend_from_slice(&3u64.to_le_bytes());
+        p.extend_from_slice(&3u64.to_le_bytes());
+        p.extend_from_slice(&[0u8; 3]); // 9 bits need exactly 2 bytes
+        assert!(matches!(
+            decode_payload(KIND_GB_BITS, &p),
+            Err(WireError::Truncated)
+        ));
+        // Nonzero padding bits.
+        let mut p = Vec::new();
+        p.extend_from_slice(&3u64.to_le_bytes());
+        p.extend_from_slice(&3u64.to_le_bytes());
+        p.extend_from_slice(&[0x00, 0x02]); // bit 9 set, beyond 9 bits
+        assert!(matches!(
+            decode_payload(KIND_GB_BITS, &p),
+            Err(WireError::Malformed(_))
+        ));
+        // rows·records overflow must not drive an allocation.
+        let mut p = Vec::new();
+        p.extend_from_slice(&u64::MAX.to_le_bytes());
+        p.extend_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_payload(KIND_GB_BITS, &p),
+            Err(WireError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn bit_packing_roundtrip() {
+        let bools: Vec<bool> = (0..19).map(|i| i % 3 == 0).collect();
+        let bits = pack_bits(&bools);
+        assert_eq!(bits.len(), bit_bytes(19));
+        for (i, &b) in bools.iter().enumerate() {
+            assert_eq!(bit_at(&bits, i), b, "bit {i}");
+        }
     }
 
     #[test]
@@ -421,7 +611,7 @@ mod tests {
             Err(WireError::UnknownKind(0))
         ));
         let mut bad = ok.clone();
-        bad[3] = KIND_RESUME + 1;
+        bad[3] = KIND_GB_BITS + 1;
         assert!(matches!(
             decode_header(&hdr(&bad)),
             Err(WireError::UnknownKind(_))
@@ -445,6 +635,9 @@ mod tests {
         assert!(truncated(KIND_RESUME, &[0; 7]));
         assert!(truncated(KIND_MAT, &[0; 15]));
         assert!(truncated(KIND_SUPPORT, &[0; 7]));
+        assert!(truncated(KIND_GB_SPLIT, &[0; 7]));
+        assert!(truncated(KIND_GB_SPLIT, &[0; 9]));
+        assert!(truncated(KIND_GB_BITS, &[0; 15]));
         // Support claiming 4 entries but carrying 1.
         let mut p = 4u64.to_le_bytes().to_vec();
         p.extend_from_slice(&[0; 4]);
@@ -468,6 +661,24 @@ mod tests {
             },
             Msg::Resume { recv_seq: 0 },
             Msg::Resume { recv_seq: u64::MAX },
+            Msg::GbSplit {
+                feature: 0,
+                bucket: 0,
+            },
+            Msg::GbSplit {
+                feature: u32::MAX,
+                bucket: u32::MAX,
+            },
+            Msg::GbBits {
+                rows: 0,
+                records: 0,
+                bits: vec![],
+            },
+            Msg::GbBits {
+                rows: 5,
+                records: 3,
+                bits: pack_bits(&[true; 15]),
+            },
         ];
         for msg in msgs {
             let frame = encode_frame(&msg);
@@ -485,6 +696,28 @@ mod tests {
                     assert_eq!((a, b), (c, d))
                 }
                 (Msg::Resume { recv_seq: a }, Msg::Resume { recv_seq: b }) => assert_eq!(a, b),
+                (
+                    Msg::GbSplit {
+                        feature: a,
+                        bucket: b,
+                    },
+                    Msg::GbSplit {
+                        feature: c,
+                        bucket: d,
+                    },
+                ) => assert_eq!((a, b), (c, d)),
+                (
+                    Msg::GbBits {
+                        rows: r1,
+                        records: c1,
+                        bits: b1,
+                    },
+                    Msg::GbBits {
+                        rows: r2,
+                        records: c2,
+                        bits: b2,
+                    },
+                ) => assert_eq!((r1, c1, b1), (r2, c2, b2)),
                 other => panic!("kind changed in roundtrip: {other:?}"),
             }
         }

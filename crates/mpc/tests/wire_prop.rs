@@ -227,6 +227,44 @@ proptest! {
     }
 
     #[test]
+    fn gb_split_roundtrips(feature in any::<u32>(), bucket in any::<u32>()) {
+        let Msg::GbSplit { feature: gf, bucket: gb } =
+            roundtrip(&Msg::GbSplit { feature, bucket }) else {
+                panic!("kind changed");
+            };
+        prop_assert_eq!((gf, gb), (feature, bucket));
+    }
+
+    #[test]
+    fn gb_bits_roundtrips(rows in 0u64..=9, records in 0u64..=9, seed in any::<u64>()) {
+        // Canonical bitmaps of every small shape — including the empty
+        // 0×k and k×0 bitmaps — survive the wire byte-exactly.
+        let n = (rows * records) as usize;
+        let bools: Vec<bool> = (0..n)
+            .map(|i| (seed.rotate_left(i as u32 % 64) >> (i % 64)) & 1 == 1)
+            .collect();
+        let bits = bf_mpc::wire::pack_bits(&bools);
+        let msg = Msg::GbBits { rows, records, bits: bits.clone() };
+        let Msg::GbBits { rows: gr, records: gc, bits: gbits } =
+            roundtrip(&msg) else {
+                panic!("kind changed");
+            };
+        prop_assert_eq!((gr, gc, gbits), (rows, records, bits));
+    }
+
+    #[test]
+    fn corrupted_gb_bits_frames_never_panic(flip in 0usize..34, bit in 0u8..8) {
+        let mut frame = encode_frame(&Msg::GbBits {
+            rows: 4,
+            records: 3,
+            bits: bf_mpc::wire::pack_bits(&[true; 12]),
+        });
+        let idx = flip % frame.len();
+        frame[idx] ^= 1 << bit;
+        let _ = decode_frame(&frame);
+    }
+
+    #[test]
     fn corrupted_frames_never_panic(r in 1usize..=3, flip in 0usize..64, bit in 0u8..8) {
         // Decoding must reject (or re-interpret) arbitrary single-bit
         // corruption without panicking.

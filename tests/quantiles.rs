@@ -1,0 +1,97 @@
+//! Property tests for the serving latency quantiles: the pool-wide
+//! (merged) quantile a [`GatewayReport`] answers must be *definitionally*
+//! identical to recomputing the same ceil-based nearest-rank quantile
+//! over the concatenation of every replica's latency vector — merging
+//! must not change the statistic. Plus the ordering and empty-sample
+//! invariants the accounting docs promise.
+
+use blindfl::gateway::GatewayReport;
+use blindfl::serve::ServeReport;
+use proptest::prelude::*;
+
+/// The documented quantile definition, recomputed from scratch:
+/// ceil-based nearest rank over an ascending sort.
+fn nearest_rank(mut sample: Vec<f64>, q: f64) -> f64 {
+    if sample.is_empty() {
+        return 0.0;
+    }
+    sample.sort_by(f64::total_cmp);
+    let n = sample.len();
+    let rank = (q.clamp(0.0, 1.0) * n as f64).ceil() as usize;
+    sample[rank.clamp(1, n) - 1]
+}
+
+fn report_with(latencies: Vec<f64>) -> ServeReport {
+    ServeReport {
+        latencies_secs: latencies,
+        ..Default::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Merged gateway quantiles equal the quantile of the concatenated
+    /// per-replica samples, for every replica split and probe point.
+    #[test]
+    fn gateway_quantile_equals_concatenated_recompute(
+        replicas in prop::collection::vec(
+            prop::collection::vec(0.0f64..10.0, 0..40),
+            1..5,
+        ),
+        q in 0.0f64..=1.0,
+    ) {
+        let concatenated: Vec<f64> = replicas.iter().flatten().copied().collect();
+        let report = GatewayReport {
+            replicas: replicas.into_iter().map(report_with).collect(),
+            ..Default::default()
+        };
+        let merged = report.latency_quantile_secs(q);
+        let direct = nearest_rank(concatenated, q);
+        prop_assert_eq!(merged.to_bits(), direct.to_bits());
+    }
+
+    /// Quantiles are monotone in q: p50 ≤ p99 (and min ≤ p50,
+    /// p99 ≤ max) for arbitrary non-empty samples.
+    #[test]
+    fn quantiles_are_monotone(
+        latencies in prop::collection::vec(0.0f64..100.0, 1..80),
+    ) {
+        let report = report_with(latencies);
+        let min = report.latency_quantile_secs(0.0);
+        let p50 = report.p50_latency_secs();
+        let p99 = report.p99_latency_secs();
+        let max = report.latency_quantile_secs(1.0);
+        prop_assert!(min <= p50, "min {min} > p50 {p50}");
+        prop_assert!(p50 <= p99, "p50 {p50} > p99 {p99}");
+        prop_assert!(p99 <= max, "p99 {p99} > max {max}");
+    }
+
+    /// Every quantile answered is an actual sample value (nearest rank
+    /// never interpolates).
+    #[test]
+    fn quantile_is_a_sample_value(
+        latencies in prop::collection::vec(0.0f64..100.0, 1..40),
+        q in 0.0f64..=1.0,
+    ) {
+        let report = report_with(latencies.clone());
+        let v = report.latency_quantile_secs(q);
+        prop_assert!(latencies.iter().any(|&l| l.to_bits() == v.to_bits()));
+    }
+}
+
+/// A zero-request report answers 0 for every quantile — no panic on
+/// the empty sample — and so does a gateway whose replicas all served
+/// nothing.
+#[test]
+fn empty_samples_answer_zero() {
+    let empty = ServeReport::default();
+    let gateway = GatewayReport {
+        replicas: vec![ServeReport::default(), ServeReport::default()],
+        ..Default::default()
+    };
+    for q in [0.0, 0.5, 0.99, 1.0] {
+        assert_eq!(empty.latency_quantile_secs(q), 0.0);
+        assert_eq!(gateway.latency_quantile_secs(q), 0.0);
+    }
+}
