@@ -1,0 +1,231 @@
+//! PSI sample-alignment bench: overlap fraction vs accuracy vs
+//! per-phase traffic (PSI vs training), with and without the
+//! limited-overlap local encoder (Sun et al.; `docs/ARCHITECTURE.md`
+//! §sample alignment).
+//!
+//! ```text
+//! cargo run --release -p bf-bench --bin psi
+//! ```
+//!
+//! Each cell builds a misaligned vertical split
+//! ([`bf_datagen::vsplit_misaligned`]) at one overlap fraction, runs
+//! the full PSI-aligned federated pipeline
+//! ([`blindfl::train_federated_aligned`]), and records the test
+//! metric plus the exact byte split between the alignment phase and
+//! training. The `encoded` mode additionally fits the guest's
+//! StandardScaler+PCA encoder on *all* of its local rows — the
+//! unaligned remainder contributes — before training on the encoded
+//! intersection.
+//!
+//! Two parity contracts are checked en route and summarised in the
+//! greppable `intersection_parity=ok` line CI looks for:
+//!
+//! * every cell's PSI intersection equals the planted overlap set, in
+//!   canonical order, on both parties;
+//! * the `overlap=1.0 raw` cell's loss curve and metric are
+//!   bit-identical to a vanilla pre-aligned [`train_federated`] run —
+//!   full overlap degenerates to the paper's aligned-instances
+//!   assumption exactly.
+//!
+//! Results go to `BENCH_psi.json` at the repo root.
+//!
+//! Env knobs: `PSI_ROW_DIV` (a9a row divisor, default 64),
+//! `PSI_EPOCHS` (default 3), `PSI_BATCH` (default 16), `PSI_BACKEND`
+//! (`plain` | `paillier`, default plain), `PSI_ENCODER_DIM`
+//! (default 8).
+
+use bf_datagen::{generate, sample_id, spec as dataset_spec, vsplit, vsplit_misaligned};
+use bf_util::Table;
+use blindfl::config::FedConfig;
+use blindfl::models::FedSpec;
+use blindfl::train::{train_federated, FedTrainConfig};
+use blindfl::{train_federated_aligned, LimitedOverlapConfig};
+
+const SEED: u64 = 47;
+const DATA_SEED: u64 = 19;
+const FRACS: [f64; 4] = [0.1, 0.3, 0.5, 1.0];
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+struct Cell {
+    overlap_frac: f64,
+    mode: &'static str,
+    aligned_rows: usize,
+    guest_local_rows: usize,
+    test_metric: f64,
+    /// PSI-phase bytes, both directions summed.
+    psi_bytes: u64,
+    /// Training/inference bytes (run totals minus the PSI phase).
+    train_bytes: u64,
+    train_secs: f64,
+    intersection_ok: bool,
+}
+
+fn main() {
+    let row_div = env_usize("PSI_ROW_DIV", 64);
+    let epochs = env_usize("PSI_EPOCHS", 3);
+    let bs = env_usize("PSI_BATCH", 16);
+    let encoder_dim = env_usize("PSI_ENCODER_DIM", 8);
+    let backend = std::env::var("PSI_BACKEND").unwrap_or_else(|_| "plain".into());
+    let cfg = match backend.as_str() {
+        "paillier" => FedConfig::paillier_test(),
+        _ => FedConfig::plain(),
+    };
+    let spec = FedSpec::Glm { out: 1 };
+    let tc = FedTrainConfig {
+        base: bf_ml::TrainConfig {
+            epochs,
+            batch_size: bs,
+            ..Default::default()
+        },
+        snapshot_u_a: false,
+        ..Default::default()
+    };
+
+    let ds = dataset_spec("a9a").scaled(row_div, 1);
+    let (train, test) = generate(&ds, DATA_SEED);
+    let test_v = vsplit(&test);
+    println!(
+        "PSI alignment sweep: a9a ÷ {row_div} ({} train rows), {epochs} epochs, \
+         batch {bs}, backend {backend}\n",
+        train.rows()
+    );
+
+    // The pre-aligned reference the overlap=1.0 raw cell must hit
+    // bit-for-bit.
+    let full = vsplit(&train);
+    let reference = train_federated(
+        &spec,
+        &cfg,
+        &tc,
+        full.party_a,
+        full.party_b,
+        test_v.party_a.clone(),
+        test_v.party_b.clone(),
+        SEED,
+    );
+
+    let mut cells: Vec<Cell> = Vec::new();
+    let mut full_overlap_parity = true;
+    for frac in FRACS {
+        let mis = vsplit_misaligned(&train, frac, DATA_SEED);
+        let want_ids: Vec<u64> = mis.overlap_rows.iter().map(|&r| sample_id(r)).collect();
+        let modes: [(&'static str, Option<LimitedOverlapConfig>); 2] = [
+            ("raw", None),
+            (
+                "encoded",
+                Some(LimitedOverlapConfig {
+                    encoder_dim,
+                    ..Default::default()
+                }),
+            ),
+        ];
+        for (mode, overlap) in modes {
+            eprintln!("[psi] overlap={frac} {mode} cell...");
+            let out = train_federated_aligned(
+                &spec,
+                &cfg,
+                &tc,
+                mis.party_a.data.clone(),
+                mis.party_a.ids.clone(),
+                mis.party_b.data.clone(),
+                mis.party_b.ids.clone(),
+                test_v.party_a.clone(),
+                test_v.party_b.clone(),
+                overlap.as_ref(),
+                SEED,
+            );
+            let intersection_ok = out.align_a.ids == want_ids && out.align_b.ids == want_ids;
+            if frac == 1.0 && mode == "raw" {
+                full_overlap_parity = out.report.losses == reference.report.losses
+                    && out.report.test_metric == reference.report.test_metric;
+            }
+            let psi_bytes = out.align_a.psi_bytes_sent + out.align_b.psi_bytes_sent;
+            let total = out.report.bytes_a_to_b + out.report.bytes_b_to_a;
+            cells.push(Cell {
+                overlap_frac: frac,
+                mode,
+                aligned_rows: out.align_a.len(),
+                guest_local_rows: mis.party_a.ids.len(),
+                test_metric: out.report.test_metric,
+                psi_bytes,
+                train_bytes: total - psi_bytes,
+                train_secs: out.report.train_secs,
+                intersection_ok,
+            });
+        }
+    }
+
+    let mut t = Table::new(vec![
+        "overlap",
+        "mode",
+        "aligned rows",
+        "guest rows",
+        "test metric",
+        "PSI KiB",
+        "train KiB",
+        "secs",
+    ]);
+    for c in &cells {
+        t.row(vec![
+            format!("{:.1}", c.overlap_frac),
+            c.mode.to_string(),
+            c.aligned_rows.to_string(),
+            c.guest_local_rows.to_string(),
+            format!("{:.4}", c.test_metric),
+            format!("{}", c.psi_bytes >> 10),
+            format!("{}", c.train_bytes >> 10),
+            format!("{:.2}", c.train_secs),
+        ]);
+    }
+    t.print();
+
+    let intersection_all = cells.iter().all(|c| c.intersection_ok) && full_overlap_parity;
+    println!(
+        "\nintersection_parity={}",
+        if intersection_all { "ok" } else { "FAIL" }
+    );
+
+    let cell_lines: Vec<String> = cells
+        .iter()
+        .map(|c| {
+            format!(
+                "    {{\"overlap_frac\": {:.1}, \"mode\": \"{}\", \"aligned_rows\": {}, \
+                 \"guest_local_rows\": {}, \"test_metric\": {:.6}, \"psi_bytes\": {}, \
+                 \"train_bytes\": {}, \"train_secs\": {:.4}, \"intersection_ok\": {}}}",
+                c.overlap_frac,
+                c.mode,
+                c.aligned_rows,
+                c.guest_local_rows,
+                c.test_metric,
+                c.psi_bytes,
+                c.train_bytes,
+                c.train_secs,
+                c.intersection_ok,
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"psi\",\n  \"dataset\": \"a9a\",\n  \"row_div\": {row_div},\n  \
+         \"train_rows\": {},\n  \"epochs\": {epochs},\n  \"batch_size\": {bs},\n  \
+         \"backend\": \"{backend}\",\n  \"encoder_dim\": {encoder_dim},\n  \
+         \"cells\": [\n{}\n  ],\n  \"full_overlap_parity\": {full_overlap_parity},\n  \
+         \"intersection_parity\": {intersection_all},\n  \"completed\": true\n}}\n",
+        train.rows(),
+        cell_lines.join(",\n"),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_psi.json");
+    std::fs::write(path, &json).expect("write BENCH_psi.json");
+    println!("wrote {path}");
+
+    assert!(
+        intersection_all,
+        "PSI alignment diverged from the planted overlap — the \
+         alignment contract is broken"
+    );
+}

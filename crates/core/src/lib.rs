@@ -28,6 +28,12 @@
 //!   channels or TCP (see `docs/ARCHITECTURE.md` for the seam).
 //! * [`privacy`] — the paper's Tables 2 & 3 as data: the restricted
 //!   observables per party, consumed by the security tests.
+//! * [`align`] — the sample-alignment (PSI) phase: salted-digest
+//!   private set intersection over sample-ID columns right after the
+//!   handshake, relaxing the paper's pre-aligned-instances assumption,
+//!   plus the limited-overlap regime (guest-local StandardScaler+PCA
+//!   encoders fitted on unaligned rows). Bit-identity with pre-aligned
+//!   runs is proven by `tests/alignment_parity.rs`.
 //! * [`source::matmul`] — the MatMul federated source layer
 //!   (§4.2, Figure 6).
 //! * [`source::embed`] — the Embed-MatMul federated source layer
@@ -80,6 +86,7 @@
 
 #![warn(missing_docs)]
 #![allow(clippy::too_many_arguments)] // protocol functions mirror the paper's parameter lists
+pub mod align;
 pub mod config;
 pub mod engine;
 pub mod gateway;
@@ -94,6 +101,11 @@ pub mod source;
 pub mod train;
 pub mod trees;
 
+pub use align::{
+    align_guest, align_host, align_host_multi, psi_salt, train_federated_aligned,
+    train_federated_multi_aligned, AlignedFedOutcome, Alignment, LimitedOverlapConfig,
+    MultiAlignedFedOutcome,
+};
 pub use config::{Backend, FedConfig, GradMode};
 pub use engine::TrainMode;
 pub use gateway::{
@@ -105,14 +117,18 @@ pub use persist::{
     export_checkpoint_a, export_checkpoint_b, export_checkpoint_multi_b, export_gbdt_guest,
     export_gbdt_host, export_multi_party_b, export_party_a, export_party_b, import_checkpoint_a,
     import_checkpoint_b, import_checkpoint_multi_b, import_gbdt_guest, import_gbdt_host,
-    import_multi_party_b, import_party_a, import_party_b, CheckpointA, CheckpointB, LinkCursor,
-    MultiCheckpointB, PersistError,
+    import_multi_party_b, import_party_a, import_party_b, AlignCursor, CheckpointA, CheckpointB,
+    LinkCursor, MultiCheckpointB, PersistError,
 };
 pub use serve::{
     queue as serve_queue, serve_party_a, serve_party_b, serve_party_b_multi, PendingPrediction,
     PredictClient, Prediction, ServeConfig, ServeError, ServeGuestReport, ServeReport,
 };
 pub use session::Session;
+pub use train::{
+    run_party_a_aligned, run_party_a_aligned_resume, run_party_b_aligned,
+    run_party_b_aligned_resume, run_party_b_multi_aligned, run_party_b_multi_aligned_resume,
+};
 pub use train::{
     train_federated, train_federated_multi, CheckpointCadence, FedOutcome, FedReport,
     FedTrainConfig, MultiFedOutcome, MultiFedReport, FAULT_KILL_MARKER,

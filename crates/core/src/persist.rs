@@ -11,7 +11,9 @@
 //! 4       1     version 0x01
 //! 5       1     kind    (1 = PartyA, 2 = PartyB, 3 = MultiPartyB,
 //!                        4 = CheckpointA, 5 = CheckpointB,
-//!                        6 = MultiCheckpointB)
+//!                        6 = MultiCheckpointB, 7 = GbdtHost,
+//!                        8 = GbdtGuest, 9–11 = PSI-aligned
+//!                        checkpoints)
 //! 6       n     payload (per-kind encoding; see docs/SERVING.md)
 //! ```
 //!
@@ -25,6 +27,15 @@
 //! pre-checkpoint decoders reject the new kind bytes via
 //! [`PersistError::WrongKind`] (the version byte only moves when a
 //! *shared* layout rule changes).
+//!
+//! Kinds 9–11 are the PSI-**aligned** variants of kinds 4–6: the same
+//! checkpoint payload, prefixed with an [`AlignCursor`] (PSI salt plus
+//! the intersection's sample IDs) so a restarted process can rebuild
+//! its aligned row selection from its local ID column with **zero**
+//! wire traffic — re-running PSI on resume would double-count PSI
+//! bytes in [`LinkCursor`]'s preloaded traffic totals. A checkpoint
+//! taken in an unaligned run still exports as kinds 4–6, byte-for-byte
+//! as before (same non-bump rationale as kinds 4–8).
 //!
 //! All multi-byte integers are little-endian; `f64`s travel as
 //! IEEE-754 bits; ciphertext caches reuse the canonical
@@ -78,6 +89,13 @@ pub const KIND_GBDT_HOST: u8 = 7;
 /// Kind byte for a [`GbdtGuestModel`] blob (federated forest, guest
 /// share).
 pub const KIND_GBDT_GUEST: u8 = 8;
+/// Kind byte for a PSI-aligned Party A checkpoint ([`AlignCursor`]
+/// prefix + the [`KIND_CHECKPOINT_A`] payload).
+pub const KIND_CHECKPOINT_A_ALIGNED: u8 = 9;
+/// Kind byte for a PSI-aligned Party B checkpoint.
+pub const KIND_CHECKPOINT_B_ALIGNED: u8 = 10;
+/// Kind byte for a PSI-aligned multi-guest Party B checkpoint.
+pub const KIND_CHECKPOINT_MULTI_B_ALIGNED: u8 = 11;
 /// Fixed header length (magic + version + kind).
 pub const HEADER_LEN: usize = 6;
 
@@ -175,6 +193,14 @@ pub(crate) struct Reader<'a> {
 
 impl<'a> Reader<'a> {
     fn new(bytes: &'a [u8], expected_kind: u8) -> PersistResult<Reader<'a>> {
+        Self::new_either(bytes, expected_kind, expected_kind).map(|(r, _)| r)
+    }
+
+    /// Accept either of two kind bytes (a checkpoint kind and its
+    /// PSI-aligned variant); returns the reader and whether the
+    /// `aligned` kind was present. `WrongKind` reports `plain` as the
+    /// expected kind — the base type the caller asked for.
+    fn new_either(bytes: &'a [u8], plain: u8, aligned: u8) -> PersistResult<(Reader<'a>, bool)> {
         if bytes.len() < HEADER_LEN {
             return Err(PersistError::Truncated);
         }
@@ -186,16 +212,19 @@ impl<'a> Reader<'a> {
         if bytes[4] != VERSION {
             return Err(PersistError::UnsupportedVersion(bytes[4]));
         }
-        if bytes[5] != expected_kind {
+        if bytes[5] != plain && bytes[5] != aligned {
             return Err(PersistError::WrongKind {
-                expected: expected_kind,
+                expected: plain,
                 got: bytes[5],
             });
         }
-        Ok(Reader {
-            bytes,
-            pos: HEADER_LEN,
-        })
+        Ok((
+            Reader {
+                bytes,
+                pos: HEADER_LEN,
+            },
+            bytes[5] == aligned && aligned != plain,
+        ))
     }
 
     fn take(&mut self, n: usize) -> PersistResult<&'a [u8]> {
@@ -396,7 +425,70 @@ fn read_cursor(r: &mut Reader<'_>) -> PersistResult<LinkCursor> {
     })
 }
 
-/// A Party A mid-epoch checkpoint (kind [`KIND_CHECKPOINT_A`]).
+/// The alignment cursor persisted inside a PSI-aligned checkpoint:
+/// everything a restarted party needs to rebuild its aligned row
+/// selection from its *local* ID column without touching the wire.
+///
+/// `ids` is the intersection in canonical (ascending) order — the
+/// same list on every party of a run, which is what
+/// `tests/chaos_parity.rs`'s PSI cell asserts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AlignCursor {
+    /// The PSI salt of the aligned run.
+    pub salt: u64,
+    /// The intersection's sample IDs, strictly ascending.
+    pub ids: Vec<u64>,
+}
+
+/// `wire layout: salt u64 | n u64 | ids`, all `u64` LE.
+fn write_align(w: &mut Writer, a: &AlignCursor) {
+    debug_assert!(
+        a.ids.windows(2).all(|x| x[0] < x[1]),
+        "AlignCursor ids must be strictly ascending"
+    );
+    w.u64(a.salt);
+    w.u64(a.ids.len() as u64);
+    for &id in &a.ids {
+        w.u64(id);
+    }
+}
+
+fn read_align(r: &mut Reader<'_>) -> PersistResult<AlignCursor> {
+    let salt = r.u64()?;
+    let n = r.len_u64()?;
+    let want = n
+        .checked_mul(8)
+        .ok_or_else(|| PersistError::Malformed("aligned id count overflow".into()))?;
+    if r.bytes.len() - r.pos < want {
+        return Err(PersistError::Truncated);
+    }
+    let mut ids = Vec::with_capacity(n);
+    for _ in 0..n {
+        ids.push(r.u64()?);
+    }
+    if !ids.windows(2).all(|x| x[0] < x[1]) {
+        return Err(PersistError::Malformed(
+            "aligned ids not strictly ascending".into(),
+        ));
+    }
+    Ok(AlignCursor { salt, ids })
+}
+
+/// Kind byte + optional align prefix shared by the three checkpoint
+/// exporters: `None` keeps the pre-PSI kind and byte layout.
+fn checkpoint_writer(plain: u8, aligned_kind: u8, aligned: Option<&AlignCursor>) -> Writer {
+    match aligned {
+        None => Writer::new(plain),
+        Some(a) => {
+            let mut w = Writer::new(aligned_kind);
+            write_align(&mut w, a);
+            w
+        }
+    }
+}
+
+/// A Party A mid-epoch checkpoint (kind [`KIND_CHECKPOINT_A`], or
+/// [`KIND_CHECKPOINT_A_ALIGNED`] when taken in a PSI-aligned run).
 pub struct CheckpointA {
     /// Epoch the cursor points into.
     pub epoch: u64,
@@ -404,11 +496,14 @@ pub struct CheckpointA {
     pub batch: u64,
     /// The peer-link determinism cursor.
     pub link: LinkCursor,
+    /// The PSI alignment cursor, when the run was aligned.
+    pub aligned: Option<AlignCursor>,
     /// The model half exactly as of `(epoch, batch)`.
     pub model: PartyAModel,
 }
 
-/// A Party B mid-epoch checkpoint (kind [`KIND_CHECKPOINT_B`]).
+/// A Party B mid-epoch checkpoint (kind [`KIND_CHECKPOINT_B`], or
+/// [`KIND_CHECKPOINT_B_ALIGNED`] when taken in a PSI-aligned run).
 pub struct CheckpointB {
     /// Epoch the cursor points into.
     pub epoch: u64,
@@ -416,6 +511,8 @@ pub struct CheckpointB {
     pub batch: u64,
     /// The peer-link determinism cursor.
     pub link: LinkCursor,
+    /// The PSI alignment cursor, when the run was aligned.
+    pub aligned: Option<AlignCursor>,
     /// The loss curve accumulated so far (B is the label holder; the
     /// resumed run appends to this so the final curve is seamless).
     pub losses: Vec<f64>,
@@ -424,8 +521,9 @@ pub struct CheckpointB {
 }
 
 /// A multi-guest Party B mid-epoch checkpoint (kind
-/// [`KIND_CHECKPOINT_MULTI_B`]): one [`LinkCursor`] per guest link, in
-/// link order.
+/// [`KIND_CHECKPOINT_MULTI_B`] /
+/// [`KIND_CHECKPOINT_MULTI_B_ALIGNED`]): one [`LinkCursor`] per guest
+/// link, in link order.
 pub struct MultiCheckpointB {
     /// Epoch the cursor points into.
     pub epoch: u64,
@@ -433,6 +531,8 @@ pub struct MultiCheckpointB {
     pub batch: u64,
     /// One determinism cursor per guest link, in link order.
     pub links: Vec<LinkCursor>,
+    /// The PSI alignment cursor, when the run was aligned.
+    pub aligned: Option<AlignCursor>,
     /// The loss curve accumulated so far.
     pub losses: Vec<f64>,
     /// The model half exactly as of `(epoch, batch)`.
@@ -440,14 +540,17 @@ pub struct MultiCheckpointB {
 }
 
 /// Serialize a Party A checkpoint:
-/// `epoch u64 | batch u64 | cursor | model state`.
+/// `[align cursor |] epoch u64 | batch u64 | cursor | model state`
+/// (kind 9 with the align prefix when `aligned` is set, kind 4 —
+/// byte-identical to pre-PSI blobs — otherwise).
 pub fn export_checkpoint_a(
     epoch: u64,
     batch: u64,
     link: &LinkCursor,
+    aligned: Option<&AlignCursor>,
     model: &PartyAModel,
 ) -> Vec<u8> {
-    let mut w = Writer::new(KIND_CHECKPOINT_A);
+    let mut w = checkpoint_writer(KIND_CHECKPOINT_A, KIND_CHECKPOINT_A_ALIGNED, aligned);
     w.u64(epoch);
     w.u64(batch);
     write_cursor(&mut w, link);
@@ -455,9 +558,16 @@ pub fn export_checkpoint_a(
     w.buf
 }
 
-/// Deserialize a [`CheckpointA`], validating every field.
+/// Deserialize a [`CheckpointA`] (plain or aligned kind), validating
+/// every field.
 pub fn import_checkpoint_a(bytes: &[u8]) -> PersistResult<CheckpointA> {
-    let mut r = Reader::new(bytes, KIND_CHECKPOINT_A)?;
+    let (mut r, is_aligned) =
+        Reader::new_either(bytes, KIND_CHECKPOINT_A, KIND_CHECKPOINT_A_ALIGNED)?;
+    let aligned = if is_aligned {
+        Some(read_align(&mut r)?)
+    } else {
+        None
+    };
     let epoch = r.u64()?;
     let batch = r.u64()?;
     let link = read_cursor(&mut r)?;
@@ -467,20 +577,23 @@ pub fn import_checkpoint_a(bytes: &[u8]) -> PersistResult<CheckpointA> {
         epoch,
         batch,
         link,
+        aligned,
         model,
     })
 }
 
 /// Serialize a Party B checkpoint:
-/// `epoch u64 | batch u64 | cursor | n_losses u64 | losses | model`.
+/// `[align cursor |] epoch u64 | batch u64 | cursor | n_losses u64 |
+/// losses | model`.
 pub fn export_checkpoint_b(
     epoch: u64,
     batch: u64,
     link: &LinkCursor,
+    aligned: Option<&AlignCursor>,
     losses: &[f64],
     model: &PartyBModel,
 ) -> Vec<u8> {
-    let mut w = Writer::new(KIND_CHECKPOINT_B);
+    let mut w = checkpoint_writer(KIND_CHECKPOINT_B, KIND_CHECKPOINT_B_ALIGNED, aligned);
     w.u64(epoch);
     w.u64(batch);
     write_cursor(&mut w, link);
@@ -492,9 +605,16 @@ pub fn export_checkpoint_b(
     w.buf
 }
 
-/// Deserialize a [`CheckpointB`], validating every field.
+/// Deserialize a [`CheckpointB`] (plain or aligned kind), validating
+/// every field.
 pub fn import_checkpoint_b(bytes: &[u8]) -> PersistResult<CheckpointB> {
-    let mut r = Reader::new(bytes, KIND_CHECKPOINT_B)?;
+    let (mut r, is_aligned) =
+        Reader::new_either(bytes, KIND_CHECKPOINT_B, KIND_CHECKPOINT_B_ALIGNED)?;
+    let aligned = if is_aligned {
+        Some(read_align(&mut r)?)
+    } else {
+        None
+    };
     let epoch = r.u64()?;
     let batch = r.u64()?;
     let link = read_cursor(&mut r)?;
@@ -505,22 +625,28 @@ pub fn import_checkpoint_b(bytes: &[u8]) -> PersistResult<CheckpointB> {
         epoch,
         batch,
         link,
+        aligned,
         losses,
         model,
     })
 }
 
 /// Serialize a multi-guest Party B checkpoint:
-/// `epoch u64 | batch u64 | n_links u64 | cursors | n_losses u64 |
-/// losses | model`.
+/// `[align cursor |] epoch u64 | batch u64 | n_links u64 | cursors |
+/// n_losses u64 | losses | model`.
 pub fn export_checkpoint_multi_b(
     epoch: u64,
     batch: u64,
     links: &[LinkCursor],
+    aligned: Option<&AlignCursor>,
     losses: &[f64],
     model: &MultiPartyBModel,
 ) -> Vec<u8> {
-    let mut w = Writer::new(KIND_CHECKPOINT_MULTI_B);
+    let mut w = checkpoint_writer(
+        KIND_CHECKPOINT_MULTI_B,
+        KIND_CHECKPOINT_MULTI_B_ALIGNED,
+        aligned,
+    );
     w.u64(epoch);
     w.u64(batch);
     w.u64(links.len() as u64);
@@ -535,9 +661,19 @@ pub fn export_checkpoint_multi_b(
     w.buf
 }
 
-/// Deserialize a [`MultiCheckpointB`], validating every field.
+/// Deserialize a [`MultiCheckpointB`] (plain or aligned kind),
+/// validating every field.
 pub fn import_checkpoint_multi_b(bytes: &[u8]) -> PersistResult<MultiCheckpointB> {
-    let mut r = Reader::new(bytes, KIND_CHECKPOINT_MULTI_B)?;
+    let (mut r, is_aligned) = Reader::new_either(
+        bytes,
+        KIND_CHECKPOINT_MULTI_B,
+        KIND_CHECKPOINT_MULTI_B_ALIGNED,
+    )?;
+    let aligned = if is_aligned {
+        Some(read_align(&mut r)?)
+    } else {
+        None
+    };
     let epoch = r.u64()?;
     let batch = r.u64()?;
     let n_links = r.len_u64()?;
@@ -565,6 +701,7 @@ pub fn import_checkpoint_multi_b(bytes: &[u8]) -> PersistResult<MultiCheckpointB
         epoch,
         batch,
         links,
+        aligned,
         losses,
         model,
     })

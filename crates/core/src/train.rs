@@ -34,11 +34,12 @@ use bf_mpc::transport::{Endpoint, TransportError, TransportResult};
 use bf_tensor::Dense;
 use bf_util::Stopwatch;
 
+use crate::align::{align_guest, align_host, align_host_multi, Alignment};
 use crate::config::FedConfig;
 use crate::engine::{run_epoch, TrainMode};
 use crate::models::{FedSpec, MultiPartyBModel, PartyAModel, PartyBModel};
 use crate::multiparty::{collect_guests, send_hello};
-use crate::persist::{self, CheckpointA, CheckpointB, MultiCheckpointB};
+use crate::persist::{self, AlignCursor, CheckpointA, CheckpointB, MultiCheckpointB};
 use crate::session::{multi_party_seed, run_pair, Role, Session};
 
 /// Mid-epoch checkpoint cadence: both parties must configure the same
@@ -263,7 +264,7 @@ pub fn run_party_a(
 ) -> TransportResult<PartyARun> {
     apply_mode(sess, tc.mode);
     let model = PartyAModel::init(sess, spec, train)?;
-    drive_party_a(sess, tc, train, test, model, 0, 0)
+    drive_party_a(sess, tc, train, test, model, 0, 0, None)
 }
 
 /// Resume Party A from a mid-epoch checkpoint: the session must be
@@ -278,9 +279,79 @@ pub fn run_party_a_resume(
     test: &Dataset,
     cp: CheckpointA,
 ) -> TransportResult<PartyARun> {
+    if cp.aligned.is_some() {
+        return Err(TransportError::Setup(
+            "checkpoint is PSI-aligned; resume with run_party_a_aligned_resume".into(),
+        ));
+    }
     apply_mode(sess, tc.mode);
     sess.restore_cursor(&cp.link);
-    drive_party_a(sess, tc, train, test, cp.model, cp.epoch, cp.batch)
+    drive_party_a(sess, tc, train, test, cp.model, cp.epoch, cp.batch, None)
+}
+
+/// Party A's side of a **PSI-aligned** run: after the handshake, run
+/// the guest side of the alignment phase over the session's endpoint
+/// (`ids[r]` = sample ID of local train row `r`), select the aligned
+/// train view in canonical order, then train exactly as
+/// [`run_party_a`] would. Checkpoints taken in this run embed the
+/// alignment cursor (persist kind 9), so a resume rebuilds the same
+/// selection wire-free. The test split must already be aligned across
+/// the parties.
+pub fn run_party_a_aligned(
+    sess: &mut Session,
+    spec: &FedSpec,
+    tc: &FedTrainConfig,
+    train: &Dataset,
+    test: &Dataset,
+    ids: &[u64],
+) -> TransportResult<(Alignment, PartyARun)> {
+    let alignment = align_guest(sess, ids)?;
+    apply_mode(sess, tc.mode);
+    let train = alignment.select(train);
+    let model = PartyAModel::init(sess, spec, &train)?;
+    let run = drive_party_a(
+        sess,
+        tc,
+        &train,
+        test,
+        model,
+        0,
+        0,
+        Some(alignment.cursor()),
+    )?;
+    Ok((alignment, run))
+}
+
+/// Resume Party A from a PSI-aligned checkpoint: the selection is
+/// rebuilt from the checkpointed ID list against the local column —
+/// **zero wire traffic**, so the restored traffic totals (which
+/// already include the original PSI phase) stay exact.
+pub fn run_party_a_aligned_resume(
+    sess: &mut Session,
+    tc: &FedTrainConfig,
+    train: &Dataset,
+    test: &Dataset,
+    ids: &[u64],
+    cp: CheckpointA,
+) -> TransportResult<(Alignment, PartyARun)> {
+    let cur = cp.aligned.ok_or_else(|| {
+        TransportError::Setup("checkpoint is not PSI-aligned; use run_party_a_resume".into())
+    })?;
+    let alignment = Alignment::from_cursor(&cur, ids)?;
+    apply_mode(sess, tc.mode);
+    sess.restore_cursor(&cp.link);
+    let train = alignment.select(train);
+    let run = drive_party_a(
+        sess,
+        tc,
+        &train,
+        test,
+        cp.model,
+        cp.epoch,
+        cp.batch,
+        Some(cur),
+    )?;
+    Ok((alignment, run))
 }
 
 /// The shared Party A epoch loop: train from `(start_epoch,
@@ -294,6 +365,7 @@ fn drive_party_a(
     mut model: PartyAModel,
     start_epoch: u64,
     start_batch: u64,
+    aligned: Option<AlignCursor>,
 ) -> TransportResult<PartyARun> {
     let bpe = BatchIter::new(train.rows(), tc.base.batch_size, 0).batches_per_epoch() as u64;
     let mut snapshots = Vec::new();
@@ -319,6 +391,7 @@ fn drive_party_a(
                             epoch as u64,
                             global % bpe + 1,
                             &sess.capture_cursor(),
+                            aligned.as_ref(),
                             &model,
                         );
                         write_checkpoint(&cad.path, &blob)?;
@@ -361,7 +434,7 @@ pub fn run_party_b(
 ) -> TransportResult<PartyBRun> {
     apply_mode(sess, tc.mode);
     let model = PartyBModel::init(sess, spec, train)?;
-    drive_party_b(sess, tc, train, test, model, Vec::new(), 0, 0)
+    drive_party_b(sess, tc, train, test, model, Vec::new(), 0, 0, None)
 }
 
 /// Resume Party B from a mid-epoch checkpoint (see
@@ -374,11 +447,80 @@ pub fn run_party_b_resume(
     test: &Dataset,
     cp: CheckpointB,
 ) -> TransportResult<PartyBRun> {
+    if cp.aligned.is_some() {
+        return Err(TransportError::Setup(
+            "checkpoint is PSI-aligned; resume with run_party_b_aligned_resume".into(),
+        ));
+    }
     apply_mode(sess, tc.mode);
     sess.restore_cursor(&cp.link);
     drive_party_b(
-        sess, tc, train, test, cp.model, cp.losses, cp.epoch, cp.batch,
+        sess, tc, train, test, cp.model, cp.losses, cp.epoch, cp.batch, None,
     )
+}
+
+/// Party B's side of a **PSI-aligned** run: draw no salt here — pass
+/// [`crate::align::psi_salt`]`(seed)` so the salt derivation never
+/// touches the session mask RNG. Runs the host side of the alignment
+/// phase, selects the aligned train view, then trains exactly as
+/// [`run_party_b`] would; checkpoints embed the alignment cursor
+/// (persist kind 10).
+pub fn run_party_b_aligned(
+    sess: &mut Session,
+    spec: &FedSpec,
+    tc: &FedTrainConfig,
+    train: &Dataset,
+    test: &Dataset,
+    salt: u64,
+    ids: &[u64],
+) -> TransportResult<(Alignment, PartyBRun)> {
+    let alignment = align_host(sess, salt, ids)?;
+    apply_mode(sess, tc.mode);
+    let train = alignment.select(train);
+    let model = PartyBModel::init(sess, spec, &train)?;
+    let run = drive_party_b(
+        sess,
+        tc,
+        &train,
+        test,
+        model,
+        Vec::new(),
+        0,
+        0,
+        Some(alignment.cursor()),
+    )?;
+    Ok((alignment, run))
+}
+
+/// Resume Party B from a PSI-aligned checkpoint (wire-free selection
+/// rebuild; see [`run_party_a_aligned_resume`]).
+pub fn run_party_b_aligned_resume(
+    sess: &mut Session,
+    tc: &FedTrainConfig,
+    train: &Dataset,
+    test: &Dataset,
+    ids: &[u64],
+    cp: CheckpointB,
+) -> TransportResult<(Alignment, PartyBRun)> {
+    let cur = cp.aligned.ok_or_else(|| {
+        TransportError::Setup("checkpoint is not PSI-aligned; use run_party_b_resume".into())
+    })?;
+    let alignment = Alignment::from_cursor(&cur, ids)?;
+    apply_mode(sess, tc.mode);
+    sess.restore_cursor(&cp.link);
+    let train = alignment.select(train);
+    let run = drive_party_b(
+        sess,
+        tc,
+        &train,
+        test,
+        cp.model,
+        cp.losses,
+        cp.epoch,
+        cp.batch,
+        Some(cur),
+    )?;
+    Ok((alignment, run))
 }
 
 /// The shared Party B epoch loop (see [`drive_party_a`]).
@@ -391,6 +533,7 @@ fn drive_party_b(
     mut losses: Vec<f64>,
     start_epoch: u64,
     start_batch: u64,
+    aligned: Option<AlignCursor>,
 ) -> TransportResult<PartyBRun> {
     let bpe = BatchIter::new(train.rows(), tc.base.batch_size, 0).batches_per_epoch() as u64;
     let mut global = start_epoch * bpe + start_batch;
@@ -416,6 +559,7 @@ fn drive_party_b(
                             epoch as u64,
                             global % bpe + 1,
                             &sess.capture_cursor(),
+                            aligned.as_ref(),
                             &losses,
                             &model,
                         );
@@ -507,7 +651,108 @@ pub fn run_party_b_multi(
         apply_mode(sess, tc.mode);
     }
     let model = MultiPartyBModel::init(sessions, spec, train)?;
-    drive_party_b_multi(sessions, tc, train, test, model, Vec::new(), 0, 0, stages)
+    drive_party_b_multi(
+        sessions,
+        tc,
+        train,
+        test,
+        model,
+        Vec::new(),
+        0,
+        0,
+        stages,
+        None,
+    )
+}
+
+/// Multi-guest Party B's side of a **PSI-aligned** run: one global
+/// intersection (host ∩ every guest) is computed over all links, every
+/// party selects into the same canonical order, and training proceeds
+/// as [`run_party_b_multi`]. Returns the host's alignment, the PSI
+/// bytes sent per link, and the run. Checkpoints embed the alignment
+/// cursor (persist kind 11).
+pub fn run_party_b_multi_aligned(
+    sessions: &mut [Session],
+    spec: &FedSpec,
+    tc: &FedTrainConfig,
+    train: &Dataset,
+    test: &Dataset,
+    salt: u64,
+    ids: &[u64],
+) -> TransportResult<(Alignment, Vec<u64>, MultiPartyBRun)> {
+    if sessions.is_empty() {
+        return Err(TransportError::Setup(
+            "run_party_b_multi_aligned needs at least one guest session (M = 0)".into(),
+        ));
+    }
+    let stages = Arc::clone(&sessions[0].stages);
+    for sess in sessions.iter_mut().skip(1) {
+        sess.stages = Arc::clone(&stages);
+    }
+    let (alignment, psi_bytes_per_link) = align_host_multi(sessions, salt, ids)?;
+    for sess in sessions.iter_mut() {
+        apply_mode(sess, tc.mode);
+    }
+    let train = alignment.select(train);
+    let model = MultiPartyBModel::init(sessions, spec, &train)?;
+    let run = drive_party_b_multi(
+        sessions,
+        tc,
+        &train,
+        test,
+        model,
+        Vec::new(),
+        0,
+        0,
+        stages,
+        Some(alignment.cursor()),
+    )?;
+    Ok((alignment, psi_bytes_per_link, run))
+}
+
+/// Resume multi-guest Party B from a PSI-aligned checkpoint
+/// (wire-free selection rebuild; see [`run_party_a_aligned_resume`]).
+pub fn run_party_b_multi_aligned_resume(
+    sessions: &mut [Session],
+    tc: &FedTrainConfig,
+    train: &Dataset,
+    test: &Dataset,
+    ids: &[u64],
+    cp: MultiCheckpointB,
+) -> TransportResult<(Alignment, MultiPartyBRun)> {
+    if sessions.len() != cp.links.len() {
+        return Err(TransportError::Setup(format!(
+            "checkpoint has {} link cursors but {} sessions were supplied",
+            cp.links.len(),
+            sessions.len()
+        )));
+    }
+    let cur = cp.aligned.ok_or_else(|| {
+        TransportError::Setup("checkpoint is not PSI-aligned; use run_party_b_multi_resume".into())
+    })?;
+    let alignment = Alignment::from_cursor(&cur, ids)?;
+    let stages = Arc::clone(&sessions[0].stages);
+    for sess in sessions.iter_mut().skip(1) {
+        sess.stages = Arc::clone(&stages);
+    }
+    for (sess, cursor) in sessions.iter_mut().zip(&cp.links) {
+        apply_mode(sess, tc.mode);
+        sess.restore_cursor(cursor);
+    }
+    let train = alignment.select(train);
+    let run = drive_party_b_multi(
+        sessions,
+        tc,
+        &train,
+        test,
+        cp.model,
+        cp.losses,
+        cp.epoch,
+        cp.batch,
+        stages,
+        Some(cur),
+    )?;
+    Ok((alignment, run))
 }
 
 /// Resume multi-guest Party B from a mid-epoch checkpoint: one freshly
@@ -527,6 +772,11 @@ pub fn run_party_b_multi_resume(
             sessions.len()
         )));
     }
+    if cp.aligned.is_some() {
+        return Err(TransportError::Setup(
+            "checkpoint is PSI-aligned; resume with run_party_b_multi_aligned_resume".into(),
+        ));
+    }
     let stages = Arc::clone(&sessions[0].stages);
     for sess in sessions.iter_mut().skip(1) {
         sess.stages = Arc::clone(&stages);
@@ -536,7 +786,7 @@ pub fn run_party_b_multi_resume(
         sess.restore_cursor(cursor);
     }
     drive_party_b_multi(
-        sessions, tc, train, test, cp.model, cp.losses, cp.epoch, cp.batch, stages,
+        sessions, tc, train, test, cp.model, cp.losses, cp.epoch, cp.batch, stages, None,
     )
 }
 
@@ -552,6 +802,7 @@ fn drive_party_b_multi(
     start_epoch: u64,
     start_batch: u64,
     stages: Arc<crate::engine::StageTimes>,
+    aligned: Option<AlignCursor>,
 ) -> TransportResult<MultiPartyBRun> {
     let bpe = BatchIter::new(train.rows(), tc.base.batch_size, 0).batches_per_epoch() as u64;
     let mut global = start_epoch * bpe + start_batch;
@@ -579,6 +830,7 @@ fn drive_party_b_multi(
                             epoch as u64,
                             global % bpe + 1,
                             &cursors,
+                            aligned.as_ref(),
                             &losses,
                             &model,
                         );

@@ -17,7 +17,8 @@ use blindfl::models::{FedSpec, MultiPartyBModel, PartyAModel, PartyBModel};
 use blindfl::persist::{
     export_checkpoint_a, export_checkpoint_b, export_checkpoint_multi_b, export_multi_party_b,
     export_party_a, export_party_b, import_checkpoint_a, import_checkpoint_b,
-    import_checkpoint_multi_b, import_multi_party_b, import_party_a, import_party_b, LinkCursor,
+    import_checkpoint_multi_b, import_multi_party_b, import_party_a, import_party_b, AlignCursor,
+    LinkCursor,
 };
 use blindfl::session::{multi_party_seed, run_pair, Role, Session};
 use proptest::prelude::*;
@@ -388,18 +389,18 @@ mod checkpoints {
             let model_a = import_party_a(&bytes_a).unwrap();
             let model_b = import_party_b(&bytes_b).unwrap();
 
-            let cp_a = export_checkpoint_a(epoch, batch, &cur, &model_a);
-            let cp_b = export_checkpoint_b(epoch, batch, &cur, &losses, &model_b);
+            let cp_a = export_checkpoint_a(epoch, batch, &cur, None, &model_a);
+            let cp_b = export_checkpoint_b(epoch, batch, &cur, None, &losses, &model_b);
 
             // Byte-exact round trip, cursor included.
             let back_a = import_checkpoint_a(&cp_a).unwrap();
             prop_assert_eq!((back_a.epoch, back_a.batch, back_a.link), (epoch, batch, cur));
-            prop_assert_eq!(export_checkpoint_a(back_a.epoch, back_a.batch, &back_a.link, &back_a.model), cp_a.clone());
+            prop_assert_eq!(export_checkpoint_a(back_a.epoch, back_a.batch, &back_a.link, back_a.aligned.as_ref(), &back_a.model), cp_a.clone());
             let back_b = import_checkpoint_b(&cp_b).unwrap();
             prop_assert_eq!((back_b.epoch, back_b.batch, back_b.link), (epoch, batch, cur));
             prop_assert_eq!(back_b.losses.len(), losses.len());
             prop_assert_eq!(
-                export_checkpoint_b(back_b.epoch, back_b.batch, &back_b.link, &back_b.losses, &back_b.model),
+                export_checkpoint_b(back_b.epoch, back_b.batch, &back_b.link, back_b.aligned.as_ref(), &back_b.losses, &back_b.model),
                 cp_b.clone()
             );
 
@@ -489,7 +490,7 @@ mod checkpoints {
             })
             .collect();
         let losses = vec![0.7, 0.65, f64::NAN];
-        let cp = export_checkpoint_multi_b(1, 2, &links, &losses, &model);
+        let cp = export_checkpoint_multi_b(1, 2, &links, None, &losses, &model);
         let back = import_checkpoint_multi_b(&cp).unwrap();
         assert_eq!((back.epoch, back.batch), (1, 2));
         assert_eq!(back.links, links);
@@ -498,6 +499,7 @@ mod checkpoints {
                 back.epoch,
                 back.batch,
                 &back.links,
+                back.aligned.as_ref(),
                 &back.losses,
                 &back.model
             ),
@@ -506,7 +508,7 @@ mod checkpoints {
 
         // A cursor count that disagrees with the embedded model is a
         // typed error (import cross-checks `model.num_links()`).
-        let bad = export_checkpoint_multi_b(1, 2, &links[..1], &losses, &model);
+        let bad = export_checkpoint_multi_b(1, 2, &links[..1], None, &losses, &model);
         assert!(import_checkpoint_multi_b(&bad).is_err());
         // Truncation sweep and cross-kind rejection hold here too.
         for cut in (0..cp.len()).step_by(7) {
@@ -517,5 +519,194 @@ mod checkpoints {
         }
         assert!(import_checkpoint_b(&cp).is_err());
         assert!(import_multi_party_b(&cp).is_err());
+    }
+
+    proptest! {
+        /// PSI-aligned checkpoints (kinds 9/10): the align-cursor
+        /// prefix round-trips byte-exactly, `aligned: None` blobs are
+        /// byte-identical to the pre-PSI kinds, truncation anywhere is
+        /// a typed error, and non-canonical (unsorted / duplicated)
+        /// ID lists are rejected on import.
+        #[test]
+        fn aligned_checkpoint_roundtrip_and_canonical_ids(
+            salt in any::<u64>(),
+            raw_ids in pvec(any::<u64>(), 0..12),
+            epoch in 0u64..=3,
+            batch in 0u64..=5,
+            cur_seed in any::<u64>(),
+            losses in pvec(any::<f64>(), 0..6),
+            seed in 0u64..1000,
+        ) {
+            let mut ids = raw_ids;
+            ids.sort_unstable();
+            ids.dedup();
+            let align = AlignCursor { salt, ids };
+            let cur = cursor_from(cur_seed);
+            let cfg = FedConfig::plain();
+            let spec = FedSpec::Glm { out: 1 };
+            let rows = 4;
+            let data_a = toy_data(rows, 2, &[], seed * 3 + 1, 0);
+            let data_b = toy_data(rows, 3, &[], seed * 3 + 2, 1);
+            let (bytes_a, bytes_b) =
+                train_and_export(&cfg, &spec, data_a, data_b, vec![(0..rows).collect()], seed);
+            let model_a = import_party_a(&bytes_a).unwrap();
+            let model_b = import_party_b(&bytes_b).unwrap();
+
+            let plain_a = export_checkpoint_a(epoch, batch, &cur, None, &model_a);
+            let cp_a = export_checkpoint_a(epoch, batch, &cur, Some(&align), &model_a);
+            let cp_b = export_checkpoint_b(epoch, batch, &cur, Some(&align), &losses, &model_b);
+
+            // Kind byte differs, payload grows by exactly the prefix.
+            prop_assert_eq!(cp_a.len(), plain_a.len() + 16 + 8 * align.ids.len());
+            prop_assert_eq!(&cp_a[6..], {
+                let mut want = Vec::new();
+                want.extend_from_slice(&align.salt.to_le_bytes());
+                want.extend_from_slice(&(align.ids.len() as u64).to_le_bytes());
+                for id in &align.ids {
+                    want.extend_from_slice(&id.to_le_bytes());
+                }
+                want.extend_from_slice(&plain_a[6..]);
+                want
+            });
+
+            let back_a = import_checkpoint_a(&cp_a).unwrap();
+            prop_assert_eq!(back_a.aligned.as_ref(), Some(&align));
+            prop_assert_eq!((back_a.epoch, back_a.batch, back_a.link), (epoch, batch, cur));
+            prop_assert_eq!(
+                export_checkpoint_a(back_a.epoch, back_a.batch, &back_a.link, back_a.aligned.as_ref(), &back_a.model),
+                cp_a.clone()
+            );
+            let back_b = import_checkpoint_b(&cp_b).unwrap();
+            prop_assert_eq!(back_b.aligned.as_ref(), Some(&align));
+            prop_assert_eq!(
+                export_checkpoint_b(back_b.epoch, back_b.batch, &back_b.link, back_b.aligned.as_ref(), &back_b.losses, &back_b.model),
+                cp_b.clone()
+            );
+
+            // Truncation sweep never panics, and cross-kind confusion
+            // (aligned A as aligned B, aligned vs model kinds) fails.
+            for cut in 0..cp_a.len() {
+                prop_assert!(import_checkpoint_a(&cp_a[..cut]).is_err(), "prefix {}", cut);
+            }
+            prop_assert!(import_checkpoint_b(&cp_a).is_err());
+            prop_assert!(import_checkpoint_a(&cp_b).is_err());
+            prop_assert!(import_checkpoint_multi_b(&cp_a).is_err());
+            prop_assert!(import_party_a(&cp_a).is_err());
+
+            // Non-canonical ID lists are malformed: descending order
+            // and duplicates both fail on import.
+            if align.ids.len() >= 2 {
+                let mut swapped = align.clone();
+                swapped.ids.reverse();
+                let bad = export_with_raw_ids(epoch, batch, &cur, &swapped, &model_a);
+                prop_assert!(import_checkpoint_a(&bad).is_err());
+                let mut dup = align.clone();
+                dup.ids[0] = dup.ids[1];
+                let bad = export_with_raw_ids(epoch, batch, &cur, &dup, &model_a);
+                prop_assert!(import_checkpoint_a(&bad).is_err());
+            }
+        }
+    }
+
+    /// Re-encode an aligned Party A checkpoint with an arbitrary
+    /// (possibly non-canonical) ID list by splicing raw bytes — the
+    /// exporter itself debug-asserts canonical order, so malformed
+    /// blobs have to be built by hand.
+    fn export_with_raw_ids(
+        epoch: u64,
+        batch: u64,
+        cur: &LinkCursor,
+        align: &AlignCursor,
+        model: &PartyAModel,
+    ) -> Vec<u8> {
+        let canon = AlignCursor {
+            salt: align.salt,
+            ids: {
+                let mut ids = align.ids.clone();
+                ids.sort_unstable();
+                ids.dedup();
+                ids
+            },
+        };
+        let good = export_checkpoint_a(epoch, batch, cur, Some(&canon), model);
+        let body_at = 6 + 16 + 8 * canon.ids.len();
+        let mut out = good[..6].to_vec();
+        out.extend_from_slice(&align.salt.to_le_bytes());
+        out.extend_from_slice(&(align.ids.len() as u64).to_le_bytes());
+        for id in &align.ids {
+            out.extend_from_slice(&id.to_le_bytes());
+        }
+        out.extend_from_slice(&good[body_at..]);
+        out
+    }
+
+    /// Train a tiny `m`-guest multi model over in-process channels and
+    /// return Party B's half (enough structure for checkpoint tests).
+    fn train_multi_model(m: usize, rows: usize, seed: u64) -> MultiPartyBModel {
+        let cfg = FedConfig::plain();
+        let spec = FedSpec::Glm { out: 1 };
+        let data_b = toy_data(rows, 3, &[], seed, 1);
+        let mut host_eps = Vec::new();
+        let mut handles = Vec::new();
+        for i in 0..m {
+            let (ep_a, ep_b) = bf_mpc::channel_pair();
+            host_eps.push(ep_b);
+            let cfg_a = cfg.clone();
+            let spec_a = spec.clone();
+            let data_a = toy_data(rows, 2 + i, &[], seed + 1 + i as u64, 0);
+            handles.push(std::thread::spawn(move || {
+                let mut sess =
+                    Session::handshake(ep_a, cfg_a, Role::A, multi_party_seed(Role::A, i, seed))
+                        .unwrap();
+                let mut model = PartyAModel::init(&mut sess, &spec_a, &data_a).unwrap();
+                let batch = data_a.select(&(0..rows).collect::<Vec<_>>());
+                model.forward(&mut sess, &batch, true).unwrap();
+                model.backward(&mut sess).unwrap();
+            }));
+        }
+        let mut sessions: Vec<Session> = host_eps
+            .into_iter()
+            .enumerate()
+            .map(|(i, ep)| {
+                Session::handshake(ep, cfg.clone(), Role::B, multi_party_seed(Role::B, i, seed))
+                    .unwrap()
+            })
+            .collect();
+        let mut model = MultiPartyBModel::init(&mut sessions, &spec, &data_b).unwrap();
+        model
+            .train_batch(
+                &mut sessions,
+                &data_b.select(&(0..rows).collect::<Vec<_>>()),
+            )
+            .unwrap();
+        for h in handles {
+            h.join().unwrap();
+        }
+        model
+    }
+
+    /// The multi-guest aligned kind (11) carries the same prefix.
+    #[test]
+    fn aligned_multi_checkpoint_roundtrips() {
+        let align = AlignCursor {
+            salt: 0xD1CE,
+            ids: vec![3, 9, 27],
+        };
+        let links: Vec<LinkCursor> = (0..2u64)
+            .map(|i| LinkCursor {
+                rng: [i; 4],
+                obf_drawn: i,
+                bytes_sent: i,
+                msgs_sent: i,
+            })
+            .collect();
+        // Tiny two-guest run, then checkpoint with the align prefix.
+        let model = train_multi_model(2, 4, 95);
+        let cp = export_checkpoint_multi_b(0, 1, &links, Some(&align), &[0.5], &model);
+        let back = import_checkpoint_multi_b(&cp).unwrap();
+        assert_eq!(back.aligned, Some(align));
+        assert_eq!(back.links, links);
+        assert!(import_checkpoint_multi_b(&cp[..cp.len() - 1]).is_err());
+        assert!(import_checkpoint_b(&cp).is_err());
     }
 }

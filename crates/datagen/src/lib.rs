@@ -25,5 +25,8 @@ pub mod synth;
 
 pub use catalog::{catalog, spec, DatasetSpec, Shape};
 pub use libsvm::{load_libsvm, parse_libsvm};
-pub use split::{vsplit, vsplit_multi, MultiVflData, VflData, VflView};
+pub use split::{
+    sample_id, vsplit, vsplit_misaligned, vsplit_misaligned_multi, vsplit_multi,
+    MisalignedMultiVflData, MisalignedParty, MisalignedVflData, MultiVflData, VflData, VflView,
+};
 pub use synth::{generate, generate_tree};

@@ -10,6 +10,9 @@
 
 use bf_ml::data::Dataset;
 use bf_tensor::Features;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
 
 /// One party's view of a vertically-partitioned dataset.
 pub type VflView = Dataset;
@@ -177,6 +180,166 @@ pub fn vsplit_multi(ds: &Dataset, m: usize) -> MultiVflData {
     }
 }
 
+/// Base of the synthetic sample-ID space. IDs are assigned
+/// monotonically in row order (`id = PSI_ID_BASE + 3·row`) so the
+/// canonical PSI order (ascending ID) of any overlap subset coincides
+/// with original row order — which is what makes `overlap_frac = 1.0`
+/// reproduce [`vsplit`] *bit-exactly* after alignment. The stride of 3
+/// keeps the IDs from being a trivial 0..n range (off-by-one bugs in
+/// id↔row bookkeeping would otherwise cancel out).
+pub const PSI_ID_BASE: u64 = 0x5A17;
+
+/// The sample ID planted on collocated row `row`.
+pub fn sample_id(row: usize) -> u64 {
+    PSI_ID_BASE + 3 * row as u64
+}
+
+/// One party's *misaligned* view: a locally-shuffled superset of the
+/// overlap rows, plus the sample-ID column that PSI aligns on.
+#[derive(Clone, Debug)]
+pub struct MisalignedParty {
+    /// The party's feature view over its local rows (overlap rows plus
+    /// its private remainder, in locally-shuffled order).
+    pub data: VflView,
+    /// `ids[r]` identifies local row `r`; input to the PSI phase.
+    pub ids: Vec<u64>,
+}
+
+/// A partial-overlap vertical split: each party holds a shuffled
+/// superset of a common sample set, and [`MisalignedVflData::aligned`]
+/// is the ground-truth pre-aligned [`vsplit`] of exactly that common
+/// set — the oracle the alignment-parity suite compares PSI against.
+#[derive(Clone, Debug)]
+pub struct MisalignedVflData {
+    /// `vsplit` of the overlap rows in canonical (ascending-ID) order:
+    /// what a PSI-aligned run must reproduce bit-for-bit.
+    pub aligned: VflData,
+    /// Party A's misaligned view (features only).
+    pub party_a: MisalignedParty,
+    /// Party B's misaligned view (features + labels).
+    pub party_b: MisalignedParty,
+    /// Collocated row indices of the overlap, ascending.
+    pub overlap_rows: Vec<usize>,
+}
+
+/// A partial-overlap `M`-guest split, mirroring [`vsplit_multi`].
+#[derive(Clone, Debug)]
+pub struct MisalignedMultiVflData {
+    /// `vsplit_multi` of the overlap rows in canonical order.
+    pub aligned: MultiVflData,
+    /// Guest views in link order, each a shuffled superset.
+    pub guests: Vec<MisalignedParty>,
+    /// Party B's misaligned view.
+    pub party_b: MisalignedParty,
+    /// Collocated row indices of the overlap, ascending.
+    pub overlap_rows: Vec<usize>,
+}
+
+/// Row bookkeeping shared by the two-party and `M`-guest misaligned
+/// splits: pick `round(overlap_frac·n)` overlap rows (seeded), deal
+/// the remaining rows round-robin into `parties` disjoint private
+/// remainders, and give every party a seeded local shuffle of
+/// `overlap ∪ remainderᵢ`.
+///
+/// Returns `(overlap_rows, per-party local row lists)`.
+fn misaligned_rows(
+    n: usize,
+    parties: usize,
+    overlap_frac: f64,
+    seed: u64,
+) -> (Vec<usize>, Vec<Vec<usize>>) {
+    assert!(
+        (0.0..=1.0).contains(&overlap_frac),
+        "overlap_frac must be in [0, 1], got {overlap_frac}"
+    );
+    let k = ((overlap_frac * n as f64).round() as usize).min(n);
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(&mut StdRng::seed_from_u64(seed ^ 0x0A11_6E00));
+    let mut overlap: Vec<usize> = order[..k].to_vec();
+    overlap.sort_unstable();
+    // Disjoint private remainders, dealt round-robin so every party
+    // gets a near-equal share of the unaligned rows.
+    let mut extras: Vec<Vec<usize>> = vec![Vec::new(); parties];
+    for (i, &row) in order[k..].iter().enumerate() {
+        extras[i % parties].push(row);
+    }
+    let locals: Vec<Vec<usize>> = extras
+        .into_iter()
+        .enumerate()
+        .map(|(p, extra)| {
+            let mut local: Vec<usize> = overlap.iter().copied().chain(extra).collect();
+            local.shuffle(&mut StdRng::seed_from_u64(
+                seed ^ 0x10CA_1000 ^ (p as u64 + 1),
+            ));
+            local
+        })
+        .collect();
+    (overlap, locals)
+}
+
+/// Vertically split `ds` with only a fraction of rows common to both
+/// parties — the limited-overlap regime of Sun et al. (SNIPPETS.md
+/// snippet 3). Each party receives its [`vsplit`] feature columns over
+/// a locally-shuffled superset of the overlap rows (its private
+/// remainder rows are disjoint from the other party's), plus a
+/// sample-ID column. The PSI phase run on those ID columns must
+/// reconstruct [`MisalignedVflData::aligned`] exactly on both sides.
+///
+/// `overlap_frac = 1.0` degenerates to [`vsplit`] (modulo the local
+/// shuffles PSI undoes); `0.0` leaves the parties fully disjoint.
+pub fn vsplit_misaligned(ds: &Dataset, overlap_frac: f64, seed: u64) -> MisalignedVflData {
+    let full = vsplit(ds);
+    let (overlap, locals) = misaligned_rows(ds.rows(), 2, overlap_frac, seed);
+    let party = |view: &VflView, local: &[usize]| MisalignedParty {
+        data: view.select(local),
+        ids: local.iter().map(|&r| sample_id(r)).collect(),
+    };
+    MisalignedVflData {
+        aligned: VflData {
+            collocated: full.collocated.select(&overlap),
+            party_a: full.party_a.select(&overlap),
+            party_b: full.party_b.select(&overlap),
+        },
+        party_a: party(&full.party_a, &locals[0]),
+        party_b: party(&full.party_b, &locals[1]),
+        overlap_rows: overlap,
+    }
+}
+
+/// The `M`-guest generalisation of [`vsplit_misaligned`]: Party B and
+/// every guest hold shuffled supersets with pairwise-disjoint private
+/// remainders, and the global intersection across all `M + 1` ID
+/// columns is exactly `aligned` (a [`vsplit_multi`] of the overlap).
+pub fn vsplit_misaligned_multi(
+    ds: &Dataset,
+    m: usize,
+    overlap_frac: f64,
+    seed: u64,
+) -> MisalignedMultiVflData {
+    assert!(m >= 1, "vsplit_misaligned_multi needs at least one guest");
+    let full = vsplit_multi(ds, m);
+    let (overlap, locals) = misaligned_rows(ds.rows(), m + 1, overlap_frac, seed);
+    let party = |view: &VflView, local: &[usize]| MisalignedParty {
+        data: view.select(local),
+        ids: local.iter().map(|&r| sample_id(r)).collect(),
+    };
+    MisalignedMultiVflData {
+        aligned: MultiVflData {
+            collocated: full.collocated.select(&overlap),
+            guests: full.guests.iter().map(|g| g.select(&overlap)).collect(),
+            party_b: full.party_b.select(&overlap),
+        },
+        guests: full
+            .guests
+            .iter()
+            .enumerate()
+            .map(|(i, g)| party(g, &locals[i]))
+            .collect(),
+        party_b: party(&full.party_b, &locals[m]),
+        overlap_rows: overlap,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -272,6 +435,148 @@ mod tests {
             // No guest holds labels; B is unchanged.
             assert!(multi.guests.iter().all(|g| g.labels.is_none()));
             assert!(multi.party_b.labels.is_some());
+        }
+    }
+
+    /// Emulate a party's PSI outcome: select local rows whose ID is in
+    /// `common`, in ascending-ID order (the canonical PSI order).
+    fn psi_select(p: &MisalignedParty, common: &std::collections::HashSet<u64>) -> Dataset {
+        let mut hits: Vec<(u64, usize)> = p
+            .ids
+            .iter()
+            .enumerate()
+            .filter(|(_, id)| common.contains(id))
+            .map(|(row, &id)| (id, row))
+            .collect();
+        hits.sort_unstable_by_key(|&(id, _)| id);
+        let rows: Vec<usize> = hits.into_iter().map(|(_, row)| row).collect();
+        p.data.select(&rows)
+    }
+
+    fn common_ids(parties: &[&MisalignedParty]) -> std::collections::HashSet<u64> {
+        let mut it = parties.iter();
+        let mut common: std::collections::HashSet<u64> =
+            it.next().unwrap().ids.iter().copied().collect();
+        for p in it {
+            let theirs: std::collections::HashSet<u64> = p.ids.iter().copied().collect();
+            common.retain(|id| theirs.contains(id));
+        }
+        common
+    }
+
+    fn assert_same_view(got: &Dataset, want: &Dataset) {
+        assert_eq!(got.rows(), want.rows());
+        match (&got.num, &want.num) {
+            (Some(g), Some(w)) => assert!(g.to_dense().approx_eq(&w.to_dense(), 0.0)),
+            (None, None) => {}
+            _ => panic!("numerical block presence differs"),
+        }
+        match (&got.labels, &want.labels) {
+            (Some(g), Some(w)) => assert_eq!(g.as_binary(), w.as_binary()),
+            (None, None) => {}
+            _ => panic!("label presence differs"),
+        }
+    }
+
+    #[test]
+    fn misaligned_intersection_reconstructs_aligned_vsplit() {
+        let s = spec("a9a").scaled(160, 1);
+        let (ds, _) = generate(&s, 8);
+        let mis = vsplit_misaligned(&ds, 0.4, 21);
+        assert_eq!(mis.aligned.party_a.rows(), mis.overlap_rows.len());
+        let common = common_ids(&[&mis.party_a, &mis.party_b]);
+        assert_eq!(common.len(), mis.overlap_rows.len());
+        assert_same_view(&psi_select(&mis.party_a, &common), &mis.aligned.party_a);
+        assert_same_view(&psi_select(&mis.party_b, &common), &mis.aligned.party_b);
+        // The intersection IDs are exactly the planted IDs of the
+        // overlap rows (monotone map row → id).
+        let mut got: Vec<u64> = common.iter().copied().collect();
+        got.sort_unstable();
+        let want: Vec<u64> = mis.overlap_rows.iter().map(|&r| sample_id(r)).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn misaligned_remainders_are_disjoint_supersets() {
+        let s = spec("a9a").scaled(160, 1);
+        let (ds, _) = generate(&s, 9);
+        let mis = vsplit_misaligned(&ds, 0.3, 5);
+        let common = common_ids(&[&mis.party_a, &mis.party_b]);
+        let extra = |p: &MisalignedParty| -> std::collections::HashSet<u64> {
+            p.ids
+                .iter()
+                .copied()
+                .filter(|id| !common.contains(id))
+                .collect()
+        };
+        let (ea, eb) = (extra(&mis.party_a), extra(&mis.party_b));
+        assert!(ea.is_disjoint(&eb), "private remainders must not overlap");
+        // Every original row lands somewhere: overlap + both remainders.
+        assert_eq!(common.len() + ea.len() + eb.len(), ds.rows());
+        // Local shuffles really shuffle (supersets are not pre-aligned).
+        assert_ne!(
+            mis.party_a.ids,
+            {
+                let mut sorted = mis.party_a.ids.clone();
+                sorted.sort_unstable();
+                sorted
+            },
+            "party A's local rows should arrive shuffled"
+        );
+    }
+
+    #[test]
+    fn misaligned_degenerate_fractions() {
+        let s = spec("a9a").scaled(120, 1);
+        let (ds, _) = generate(&s, 10);
+        // 0.0: parties fully disjoint, empty aligned set.
+        let none = vsplit_misaligned(&ds, 0.0, 3);
+        assert!(none.overlap_rows.is_empty());
+        assert_eq!(none.aligned.party_a.rows(), 0);
+        assert!(common_ids(&[&none.party_a, &none.party_b]).is_empty());
+        assert_eq!(none.party_a.ids.len() + none.party_b.ids.len(), ds.rows());
+        // 1.0: every row is common; aligned ≡ vsplit, and PSI-selecting
+        // the shuffled supersets reconstructs it exactly.
+        let all = vsplit_misaligned(&ds, 1.0, 3);
+        assert_eq!(all.overlap_rows.len(), ds.rows());
+        let two = vsplit(&ds);
+        assert_same_view(&all.aligned.party_a, &two.party_a);
+        assert_same_view(&all.aligned.party_b, &two.party_b);
+        let common = common_ids(&[&all.party_a, &all.party_b]);
+        assert_same_view(&psi_select(&all.party_a, &common), &two.party_a);
+        assert_same_view(&psi_select(&all.party_b, &common), &two.party_b);
+    }
+
+    #[test]
+    fn misaligned_multi_global_intersection() {
+        let s = spec("a9a").scaled(150, 1);
+        let (ds, _) = generate(&s, 11);
+        let m = 3;
+        let mis = vsplit_misaligned_multi(&ds, m, 0.5, 7);
+        assert_eq!(mis.guests.len(), m);
+        let mut parties: Vec<&MisalignedParty> = mis.guests.iter().collect();
+        parties.push(&mis.party_b);
+        let common = common_ids(&parties);
+        assert_eq!(common.len(), mis.overlap_rows.len());
+        for (g, aligned) in mis.guests.iter().zip(&mis.aligned.guests) {
+            assert_same_view(&psi_select(g, &common), aligned);
+        }
+        assert_same_view(&psi_select(&mis.party_b, &common), &mis.aligned.party_b);
+        // Private remainders pairwise disjoint across all M+1 parties.
+        let extras: Vec<std::collections::HashSet<u64>> = parties
+            .iter()
+            .map(|p| {
+                p.ids
+                    .iter()
+                    .copied()
+                    .filter(|id| !common.contains(id))
+                    .collect()
+            })
+            .collect();
+        for i in 0..extras.len() {
+            for j in i + 1..extras.len() {
+                assert!(extras[i].is_disjoint(&extras[j]), "parties {i} and {j}");
+            }
         }
     }
 

@@ -1,0 +1,265 @@
+//! Client-side local encoders for the limited-overlap regime.
+//!
+//! Sun et al. ("Communication-Efficient Vertical Federated Learning
+//! with Limited Overlapping Samples", SNIPPETS.md snippet 3) have each
+//! client learn an **unsupervised** representation of its local
+//! features — the reference implementation uses `StandardScaler +
+//! PCA` — on *all* of its local rows, including the ones outside the
+//! PSI intersection. Federated training then runs over the encoded
+//! features of the intersection only. The unaligned rows, useless to
+//! the joint protocol (no common sample, no label), still contribute:
+//! they shape the encoder.
+//!
+//! [`LocalEncoder`] is that object: a frozen
+//! standardise-then-project transform fitted by deterministic,
+//! seeded orthogonal power iteration (no LAPACK in this workspace).
+//! Everything is `f64` and fully deterministic for a given seed, so
+//! encoder-assisted federated runs stay bit-reproducible — the repo's
+//! proof style extends through the limited-overlap path.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::data::Dataset;
+use bf_tensor::{Dense, Features};
+
+/// A frozen StandardScaler + PCA transform over one party's
+/// numerical features: `encode(x) = standardise(x) · proj`.
+#[derive(Clone, Debug)]
+pub struct LocalEncoder {
+    /// Per-column mean of the fitting rows.
+    mean: Vec<f64>,
+    /// Per-column inverse standard deviation (0 for constant columns,
+    /// which standardise to exactly 0).
+    inv_std: Vec<f64>,
+    /// `d × k` projection; columns are orthonormal principal
+    /// directions of the standardised fitting rows.
+    proj: Dense,
+}
+
+impl LocalEncoder {
+    /// Output dimensionality `k`.
+    pub fn dim(&self) -> usize {
+        self.proj.cols()
+    }
+
+    /// Input dimensionality `d`.
+    pub fn input_dim(&self) -> usize {
+        self.proj.rows()
+    }
+
+    /// Fit on `x` (rows = local samples): standardise each column,
+    /// then extract `k` principal directions by orthogonal power
+    /// iteration with deflation. `k` is clamped to `min(d, rows)`;
+    /// `iters` power steps per component (≈10 is plenty at these
+    /// scales). Deterministic in `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has zero rows or columns, or `k == 0` — an
+    /// encoder fitted on nothing is a caller bug.
+    pub fn fit(x: &Dense, k: usize, iters: usize, seed: u64) -> LocalEncoder {
+        let (n, d) = (x.rows(), x.cols());
+        assert!(n > 0 && d > 0, "cannot fit an encoder on an empty matrix");
+        assert!(k > 0, "encoder output dimension must be positive");
+        let k = k.min(d).min(n);
+
+        // StandardScaler: per-column mean and (population) std.
+        let mut mean = vec![0.0; d];
+        for r in 0..n {
+            for c in 0..d {
+                mean[c] += x.get(r, c);
+            }
+        }
+        for m in &mut mean {
+            *m /= n as f64;
+        }
+        let mut var = vec![0.0; d];
+        for r in 0..n {
+            for c in 0..d {
+                let dv = x.get(r, c) - mean[c];
+                var[c] += dv * dv;
+            }
+        }
+        let inv_std: Vec<f64> = var
+            .iter()
+            .map(|&v| {
+                let s = (v / n as f64).sqrt();
+                if s > 0.0 {
+                    1.0 / s
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+
+        // Standardised data, then its d×d covariance (population).
+        let z = standardise(x, &mean, &inv_std);
+        let cov = z.t_matmul(&z).scale(1.0 / n as f64);
+
+        // Orthogonal power iteration with deflation: component j is
+        // repeatedly multiplied by the covariance and re-orthogonalised
+        // against components 0..j.
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9CA0_E27D);
+        let mut proj = Dense::zeros(d, k);
+        for j in 0..k {
+            let mut v: Vec<f64> = (0..d).map(|_| rng.random_range(-1.0..1.0)).collect();
+            for _ in 0..iters.max(1) {
+                // v ← cov · v
+                let mut next = vec![0.0; d];
+                for r in 0..d {
+                    let mut acc = 0.0;
+                    for c in 0..d {
+                        acc += cov.get(r, c) * v[c];
+                    }
+                    next[r] = acc;
+                }
+                // Gram–Schmidt against earlier components.
+                for p in 0..j {
+                    let dot: f64 = (0..d).map(|r| next[r] * proj.get(r, p)).sum();
+                    for r in 0..d {
+                        next[r] -= dot * proj.get(r, p);
+                    }
+                }
+                let norm = next.iter().map(|a| a * a).sum::<f64>().sqrt();
+                if norm > 0.0 {
+                    for a in &mut next {
+                        *a /= norm;
+                    }
+                } else {
+                    // Degenerate direction (rank-deficient data): keep
+                    // a deterministic unit basis vector instead.
+                    next = vec![0.0; d];
+                    next[j % d] = 1.0;
+                    for p in 0..j {
+                        let dot: f64 = (0..d).map(|r| next[r] * proj.get(r, p)).sum();
+                        for r in 0..d {
+                            next[r] -= dot * proj.get(r, p);
+                        }
+                    }
+                    let n2 = next.iter().map(|a| a * a).sum::<f64>().sqrt();
+                    if n2 > 0.0 {
+                        for a in &mut next {
+                            *a /= n2;
+                        }
+                    }
+                }
+                v = next;
+            }
+            for r in 0..d {
+                proj.set(r, j, v[r]);
+            }
+        }
+        LocalEncoder {
+            mean,
+            inv_std,
+            proj,
+        }
+    }
+
+    /// Encode a feature matrix (`rows × d` → `rows × k`).
+    pub fn transform(&self, x: &Dense) -> Dense {
+        assert_eq!(x.cols(), self.input_dim(), "encoder dimension mismatch");
+        standardise(x, &self.mean, &self.inv_std).matmul(&self.proj)
+    }
+
+    /// Encode a dataset's numerical block in place of the original
+    /// features (categorical blocks and labels pass through).
+    pub fn encode_dataset(&self, ds: &Dataset) -> Dataset {
+        let num = ds
+            .num
+            .as_ref()
+            .map(|f| Features::Dense(self.transform(&f.to_dense())));
+        Dataset {
+            num,
+            cat: ds.cat.clone(),
+            labels: ds.labels.clone(),
+        }
+    }
+}
+
+fn standardise(x: &Dense, mean: &[f64], inv_std: &[f64]) -> Dense {
+    let (n, d) = (x.rows(), x.cols());
+    let mut out = Dense::zeros(n, d);
+    for r in 0..n {
+        for c in 0..d {
+            out.set(r, c, (x.get(r, c) - mean[c]) * inv_std[c]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(n: usize, d: usize, seed: u64) -> Dense {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut x = Dense::zeros(n, d);
+        for r in 0..n {
+            let t: f64 = rng.random_range(-2.0..2.0);
+            for c in 0..d {
+                // Strong rank-1 signal plus noise: PCA must find `t`.
+                let noise: f64 = rng.random_range(-0.05..0.05);
+                x.set(r, c, t * (c as f64 + 1.0) + noise + 3.0);
+            }
+        }
+        x
+    }
+
+    #[test]
+    fn fit_is_deterministic() {
+        let x = toy(40, 6, 1);
+        let a = LocalEncoder::fit(&x, 3, 12, 9);
+        let b = LocalEncoder::fit(&x, 3, 12, 9);
+        assert!(a.transform(&x).approx_eq(&b.transform(&x), 0.0));
+    }
+
+    #[test]
+    fn projection_is_orthonormal() {
+        let x = toy(50, 5, 2);
+        let enc = LocalEncoder::fit(&x, 3, 15, 4);
+        let gram = enc.proj.t_matmul(&enc.proj);
+        for i in 0..3 {
+            for j in 0..3 {
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!(
+                    (gram.get(i, j) - want).abs() < 1e-9,
+                    "gram[{i}][{j}] = {}",
+                    gram.get(i, j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn first_component_captures_the_planted_signal() {
+        let x = toy(80, 6, 3);
+        let enc = LocalEncoder::fit(&x, 1, 20, 5);
+        // The planted direction is ∝ (1, 2, …, d) after standardising
+        // ⇒ ∝ (1, 1, …, 1)/√d. Check |cos| close to 1.
+        let d = 6;
+        let unit = 1.0 / (d as f64).sqrt();
+        let cos: f64 = (0..d).map(|r| enc.proj.get(r, 0) * unit).sum();
+        assert!(cos.abs() > 0.999, "cos = {cos}");
+    }
+
+    #[test]
+    fn constant_columns_standardise_to_zero() {
+        let mut x = toy(30, 4, 6);
+        for r in 0..30 {
+            x.set(r, 2, 42.0);
+        }
+        let enc = LocalEncoder::fit(&x, 2, 12, 7);
+        let z = enc.transform(&x);
+        assert!(z.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn k_is_clamped_to_rank_bounds() {
+        let x = toy(4, 9, 8);
+        let enc = LocalEncoder::fit(&x, 32, 10, 9);
+        assert_eq!(enc.dim(), 4, "k clamps to min(d, rows)");
+        assert_eq!(enc.transform(&x).cols(), 4);
+    }
+}

@@ -10,6 +10,7 @@
 
 #![allow(clippy::needless_range_loop)] // index-parallel numeric loops
 pub mod data;
+pub mod encoder;
 pub mod gbdt;
 pub mod layers;
 pub mod loss;
@@ -19,6 +20,7 @@ pub mod optim;
 pub mod train;
 
 pub use data::{BatchIter, Dataset, Labels};
+pub use encoder::LocalEncoder;
 pub use gbdt::{CollocatedGbdt, GbdtParams, Node, Tree};
 pub use layers::{ActKind, Activation, Embedding, Linear, LinearF, Mlp};
 pub use loss::{bce_with_logits, softmax_ce};

@@ -28,12 +28,17 @@
 //!   kill/drop/delay at batch N, `BF_FAULT` env knob) for the chaos
 //!   harness; the transport's reconnect + replay layer and the
 //!   trainer's checkpoint resume are what it exercises.
+//! * [`psi`] — salted-digest private set intersection over sample-ID
+//!   columns (wire kinds 11–12, protocol v6): the alignment phase that
+//!   runs before any training or serving protocol, emitting each
+//!   party's deterministic row selection for the common samples.
 
 #![warn(missing_docs)]
 #![allow(clippy::too_many_arguments)] // protocol functions mirror the paper's parameter lists
 pub mod beaver;
 pub mod convert;
 pub mod fault;
+pub mod psi;
 pub mod reactor;
 pub mod shares;
 pub mod transport;
@@ -41,6 +46,9 @@ pub mod wire;
 
 pub use convert::{he2ss_holder, he2ss_peer, ss2he, ss2he_mode};
 pub use fault::{FaultAction, FaultPlan};
+pub use psi::{
+    psi_digest, psi_guest, psi_host, psi_host_multi, select_common, PsiError, PsiSelection,
+};
 pub use reactor::{FrameAcceptor, FrameConn};
 pub use shares::{reconstruct, share_dense};
 pub use transport::{

@@ -111,6 +111,28 @@ pub enum Msg {
         /// LSB-first packed predicate bits, `⌈rows·records / 8⌉` bytes.
         bits: Vec<u8>,
     },
+    /// Sample alignment (wire kind 11, protocol v6): the host opens the
+    /// PSI phase by announcing the shared digest salt and its own set
+    /// size. The salt travels in the clear — salted hashing defends
+    /// against *precomputed* dictionaries, not against a peer grinding
+    /// a low-entropy ID space; see `docs/ARCHITECTURE.md` §"Sample
+    /// alignment" for the threat model.
+    PsiOffer {
+        /// Salt mixed into every ID digest of this PSI phase.
+        salt: u64,
+        /// Number of sample IDs the host holds (set size leaks by
+        /// design in digest-exchange PSI).
+        count: u64,
+    },
+    /// Sample alignment (wire kind 12, protocol v6): a salted-digest
+    /// *set*, strictly ascending on the wire — the canonical form means
+    /// a party's row order can never leak through frame bytes. Sent
+    /// guest→host with the guest's full column, then host→guest with
+    /// the intersection.
+    PsiDigests {
+        /// Strictly ascending salted ID digests.
+        digests: Vec<u64>,
+    },
 }
 
 impl Msg {
@@ -129,6 +151,8 @@ impl Msg {
             Msg::Resume { .. } => 8,
             Msg::GbSplit { .. } => 8,
             Msg::GbBits { bits, .. } => 16 + bits.len(),
+            Msg::PsiOffer { .. } => 16,
+            Msg::PsiDigests { digests } => 8 + digests.len() * 8,
         }
     }
 
@@ -146,6 +170,8 @@ impl Msg {
             Msg::Resume { .. } => "Resume",
             Msg::GbSplit { .. } => "GbSplit",
             Msg::GbBits { .. } => "GbBits",
+            Msg::PsiOffer { .. } => "PsiOffer",
+            Msg::PsiDigests { .. } => "PsiDigests",
         }
     }
 }
@@ -824,6 +850,22 @@ impl Endpoint {
                 bits,
             } => Ok((rows, records, bits)),
             other => Err(mismatch("GbBits", &other)),
+        }
+    }
+
+    /// Receive, expecting a PSI offer; returns `(salt, count)`.
+    pub fn recv_psi_offer(&self) -> TransportResult<(u64, u64)> {
+        match self.recv()? {
+            Msg::PsiOffer { salt, count } => Ok((salt, count)),
+            other => Err(mismatch("PsiOffer", &other)),
+        }
+    }
+
+    /// Receive, expecting a PSI digest set (strictly ascending).
+    pub fn recv_psi_digests(&self) -> TransportResult<Vec<u64>> {
+        match self.recv()? {
+            Msg::PsiDigests { digests } => Ok(digests),
+            other => Err(mismatch("PsiDigests", &other)),
         }
     }
 

@@ -6,7 +6,7 @@
 //! ```text
 //! offset  size  field
 //! 0       2     magic   0x42 0x46  ("BF")
-//! 2       1     version 0x05
+//! 2       1     version 0x06
 //! 3       1     kind    (see the KIND_* constants)
 //! 4       4     payload length, u32 little-endian
 //! 8       n     payload (per-kind encoding)
@@ -29,9 +29,10 @@ pub const MAGIC: [u8; 2] = *b"BF";
 /// link identification); v3 added `Ct` body tag 2 (packed ciphertext
 /// tensors); v4 added kind 8 (`Resume`, reconnect replay cursor);
 /// v5 added kinds 9–10 (`GbSplit` / `GbBits`, federated tree split
-/// bookkeeping and routing bitmaps) — a new kind or body tag is a
-/// version bump by rule.
-pub const VERSION: u8 = 5;
+/// bookkeeping and routing bitmaps); v6 added kinds 11–12
+/// (`PsiOffer` / `PsiDigests`, the sample-alignment phase) — a new
+/// kind or body tag is a version bump by rule.
+pub const VERSION: u8 = 6;
 /// Fixed frame-header length in bytes (magic + version + kind + length).
 pub const HEADER_LEN: usize = 8;
 /// Upper bound on a payload a decoder will accept (1 GiB). A malicious
@@ -58,6 +59,10 @@ pub const KIND_RESUME: u8 = 8;
 pub const KIND_GB_SPLIT: u8 = 9;
 /// Frame kind byte for [`Msg::GbBits`].
 pub const KIND_GB_BITS: u8 = 10;
+/// Frame kind byte for [`Msg::PsiOffer`].
+pub const KIND_PSI_OFFER: u8 = 11;
+/// Frame kind byte for [`Msg::PsiDigests`].
+pub const KIND_PSI_DIGESTS: u8 = 12;
 
 /// A frame- or payload-level decode failure.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -104,6 +109,8 @@ pub fn kind_byte(msg: &Msg) -> u8 {
         Msg::Resume { .. } => KIND_RESUME,
         Msg::GbSplit { .. } => KIND_GB_SPLIT,
         Msg::GbBits { .. } => KIND_GB_BITS,
+        Msg::PsiOffer { .. } => KIND_PSI_OFFER,
+        Msg::PsiDigests { .. } => KIND_PSI_DIGESTS,
     }
 }
 
@@ -182,6 +189,24 @@ pub fn encode_payload(msg: &Msg) -> Vec<u8> {
             out.extend_from_slice(bits);
             out
         }
+        Msg::PsiOffer { salt, count } => {
+            let mut out = Vec::with_capacity(16);
+            out.extend_from_slice(&salt.to_le_bytes());
+            out.extend_from_slice(&count.to_le_bytes());
+            out
+        }
+        Msg::PsiDigests { digests } => {
+            debug_assert!(
+                digests.windows(2).all(|w| w[0] < w[1]),
+                "PsiDigests must be a strictly ascending set"
+            );
+            let mut out = Vec::with_capacity(8 + 8 * digests.len());
+            out.extend_from_slice(&(digests.len() as u64).to_le_bytes());
+            for d in digests {
+                out.extend_from_slice(&d.to_le_bytes());
+            }
+            out
+        }
     }
 }
 
@@ -225,7 +250,7 @@ pub fn decode_header(header: &[u8; HEADER_LEN]) -> Result<(u8, u32), WireError> 
         return Err(WireError::UnsupportedVersion(header[2]));
     }
     let kind = header[3];
-    if !(KIND_CT..=KIND_GB_BITS).contains(&kind) {
+    if !(KIND_CT..=KIND_PSI_DIGESTS).contains(&kind) {
         return Err(WireError::UnknownKind(kind));
     }
     let len = u32::from_le_bytes(header[4..8].try_into().unwrap());
@@ -334,6 +359,36 @@ pub fn decode_payload(kind: u8, payload: &[u8]) -> Result<Msg, WireError> {
                 bits,
             })
         }
+        KIND_PSI_OFFER => {
+            let p = exact(16)?;
+            Ok(Msg::PsiOffer {
+                salt: u64::from_le_bytes(p[0..8].try_into().unwrap()),
+                count: u64::from_le_bytes(p[8..16].try_into().unwrap()),
+            })
+        }
+        KIND_PSI_DIGESTS => {
+            if payload.len() < 8 {
+                return Err(WireError::Truncated);
+            }
+            let n = usize::try_from(u64::from_le_bytes(payload[0..8].try_into().unwrap()))
+                .map_err(|_| WireError::Malformed("digest count overflow".into()))?;
+            if n.checked_mul(8) != Some(payload.len() - 8) {
+                return Err(WireError::Truncated);
+            }
+            let digests: Vec<u64> = payload[8..]
+                .chunks_exact(8)
+                .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+                .collect();
+            // Canonical encoding: a digest *set*, strictly ascending.
+            // This both pins a unique byte form (row order can never
+            // leak through frame bytes) and rejects duplicates.
+            if !digests.windows(2).all(|w| w[0] < w[1]) {
+                return Err(WireError::Malformed(
+                    "digests not strictly ascending".into(),
+                ));
+            }
+            Ok(Msg::PsiDigests { digests })
+        }
         other => Err(WireError::UnknownKind(other)),
     }
 }
@@ -369,7 +424,7 @@ mod tests {
             frame,
             vec![
                 0x42, 0x46, // "BF"
-                0x05, // version
+                0x06, // version
                 0x06, // kind U64
                 0x08, 0x00, 0x00, 0x00, // payload len 8
                 0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01, // u64 LE
@@ -387,7 +442,7 @@ mod tests {
             frame,
             vec![
                 0x42, 0x46, // "BF"
-                0x05, // version
+                0x06, // version
                 0x07, // kind Hello
                 0x08, 0x00, 0x00, 0x00, // payload len 8
                 0x02, 0x00, 0x00, 0x00, // index 2, u32 LE
@@ -402,7 +457,7 @@ mod tests {
         assert_eq!(
             frame,
             vec![
-                0x42, 0x46, 0x05, 0x05, 0x08, 0x00, 0x00, 0x00, // header
+                0x42, 0x46, 0x06, 0x05, 0x08, 0x00, 0x00, 0x00, // header
                 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xf0, 0x3f, // 1.0f64 LE
             ]
         );
@@ -414,7 +469,7 @@ mod tests {
         assert_eq!(
             frame,
             vec![
-                0x42, 0x46, 0x05, 0x04, 0x10, 0x00, 0x00, 0x00, // header, len 16
+                0x42, 0x46, 0x06, 0x04, 0x10, 0x00, 0x00, 0x00, // header, len 16
                 0x02, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // count 2
                 0x01, 0x00, 0x00, 0x00, // 1
                 0x0B, 0x0A, 0x00, 0x00, // 0x0A0B
@@ -428,7 +483,7 @@ mod tests {
         assert_eq!(
             frame,
             vec![
-                0x42, 0x46, 0x05, 0x02, 0x20, 0x00, 0x00, 0x00, // header, len 32
+                0x42, 0x46, 0x06, 0x02, 0x20, 0x00, 0x00, 0x00, // header, len 32
                 0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // rows 1
                 0x02, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // cols 2
                 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // 0.0
@@ -440,7 +495,7 @@ mod tests {
     #[test]
     fn golden_plain_key_frame() {
         let frame = encode_frame(&Msg::Key(bf_paillier::PublicKey::Plain { frac_bits: 24 }));
-        let mut want = vec![0x42, 0x46, 0x05, 0x03, 0x0B, 0x00, 0x00, 0x00];
+        let mut want = vec![0x42, 0x46, 0x06, 0x03, 0x0B, 0x00, 0x00, 0x00];
         want.extend_from_slice(b"bfplain1:24");
         assert_eq!(frame, want);
     }
@@ -454,7 +509,7 @@ mod tests {
         assert_eq!(
             frame,
             vec![
-                0x42, 0x46, 0x05, 0x01, 0x1A, 0x00, 0x00, 0x00, // header, len 26
+                0x42, 0x46, 0x06, 0x01, 0x1A, 0x00, 0x00, 0x00, // header, len 26
                 0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // rows 1
                 0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // cols 1
                 0x01, // scale 1
@@ -473,7 +528,7 @@ mod tests {
             frame,
             vec![
                 0x42, 0x46, // "BF"
-                0x05, // version
+                0x06, // version
                 0x08, // kind Resume
                 0x08, 0x00, 0x00, 0x00, // payload len 8
                 0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01, // recv_seq LE
@@ -491,7 +546,7 @@ mod tests {
             frame,
             vec![
                 0x42, 0x46, // "BF"
-                0x05, // version
+                0x06, // version
                 0x09, // kind GbSplit
                 0x08, 0x00, 0x00, 0x00, // payload len 8
                 0x03, 0x00, 0x00, 0x00, // feature 3, u32 LE
@@ -519,7 +574,7 @@ mod tests {
             vec![
                 0x42,
                 0x46, // "BF"
-                0x05, // version
+                0x06, // version
                 0x0A, // kind GbBits
                 0x12,
                 0x00,
@@ -545,6 +600,84 @@ mod tests {
                 0b0000_0000, // bit 8 (false), zero padding
             ]
         );
+    }
+
+    #[test]
+    fn golden_psi_offer_frame() {
+        let frame = encode_frame(&Msg::PsiOffer {
+            salt: 0x0102030405060708,
+            count: 3,
+        });
+        assert_eq!(
+            frame,
+            vec![
+                0x42, 0x46, // "BF"
+                0x06, // version
+                0x0B, // kind PsiOffer
+                0x10, 0x00, 0x00, 0x00, // payload len 16
+                0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01, // salt LE
+                0x03, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // count 3
+            ]
+        );
+    }
+
+    #[test]
+    fn golden_psi_digests_frame() {
+        let frame = encode_frame(&Msg::PsiDigests {
+            digests: vec![1, 0x0A0B],
+        });
+        assert_eq!(
+            frame,
+            vec![
+                0x42, 0x46, // "BF"
+                0x06, // version
+                0x0C, // kind PsiDigests
+                0x18, 0x00, 0x00, 0x00, // payload len 24
+                0x02, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // count 2
+                0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // 1
+                0x0B, 0x0A, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // 0x0A0B
+            ]
+        );
+    }
+
+    #[test]
+    fn psi_digests_rejects_noncanonical() {
+        let enc = |digests: &[u64]| -> Vec<u8> {
+            let mut p = (digests.len() as u64).to_le_bytes().to_vec();
+            for d in digests {
+                p.extend_from_slice(&d.to_le_bytes());
+            }
+            p
+        };
+        // Descending order is not the canonical set encoding.
+        assert!(matches!(
+            decode_payload(KIND_PSI_DIGESTS, &enc(&[5, 2])),
+            Err(WireError::Malformed(_))
+        ));
+        // A duplicate digest means the sender's ID column was not a set.
+        assert!(matches!(
+            decode_payload(KIND_PSI_DIGESTS, &enc(&[2, 2])),
+            Err(WireError::Malformed(_))
+        ));
+        // Count claiming 4 digests but carrying 1.
+        let mut p = 4u64.to_le_bytes().to_vec();
+        p.extend_from_slice(&7u64.to_le_bytes());
+        assert!(matches!(
+            decode_payload(KIND_PSI_DIGESTS, &p),
+            Err(WireError::Truncated)
+        ));
+        // Count overflow must not drive an allocation.
+        let p = u64::MAX.to_le_bytes().to_vec();
+        assert!(matches!(
+            decode_payload(KIND_PSI_DIGESTS, &p),
+            Err(WireError::Truncated) | Err(WireError::Malformed(_))
+        ));
+        // The empty set is canonical (disjoint parties are legal).
+        let Msg::PsiDigests { digests } = decode_payload(KIND_PSI_DIGESTS, &enc(&[])).unwrap()
+        else {
+            panic!("kind changed");
+        };
+        assert!(digests.is_empty());
     }
 
     #[test]
@@ -611,7 +744,7 @@ mod tests {
             Err(WireError::UnknownKind(0))
         ));
         let mut bad = ok.clone();
-        bad[3] = KIND_GB_BITS + 1;
+        bad[3] = KIND_PSI_DIGESTS + 1;
         assert!(matches!(
             decode_header(&hdr(&bad)),
             Err(WireError::UnknownKind(_))
@@ -638,6 +771,9 @@ mod tests {
         assert!(truncated(KIND_GB_SPLIT, &[0; 7]));
         assert!(truncated(KIND_GB_SPLIT, &[0; 9]));
         assert!(truncated(KIND_GB_BITS, &[0; 15]));
+        assert!(truncated(KIND_PSI_OFFER, &[0; 15]));
+        assert!(truncated(KIND_PSI_OFFER, &[0; 17]));
+        assert!(truncated(KIND_PSI_DIGESTS, &[0; 7]));
         // Support claiming 4 entries but carrying 1.
         let mut p = 4u64.to_le_bytes().to_vec();
         p.extend_from_slice(&[0; 4]);
@@ -679,6 +815,15 @@ mod tests {
                 records: 3,
                 bits: pack_bits(&[true; 15]),
             },
+            Msg::PsiOffer { salt: 0, count: 0 },
+            Msg::PsiOffer {
+                salt: u64::MAX,
+                count: u64::MAX,
+            },
+            Msg::PsiDigests { digests: vec![] },
+            Msg::PsiDigests {
+                digests: vec![0, 7, u64::MAX],
+            },
         ];
         for msg in msgs {
             let frame = encode_frame(&msg);
@@ -718,6 +863,19 @@ mod tests {
                         bits: b2,
                     },
                 ) => assert_eq!((r1, c1, b1), (r2, c2, b2)),
+                (
+                    Msg::PsiOffer {
+                        salt: s1,
+                        count: n1,
+                    },
+                    Msg::PsiOffer {
+                        salt: s2,
+                        count: n2,
+                    },
+                ) => assert_eq!((s1, n1), (s2, n2)),
+                (Msg::PsiDigests { digests: a }, Msg::PsiDigests { digests: b }) => {
+                    assert_eq!(a, b)
+                }
                 other => panic!("kind changed in roundtrip: {other:?}"),
             }
         }

@@ -265,6 +265,37 @@ proptest! {
     }
 
     #[test]
+    fn psi_offer_roundtrips(salt in any::<u64>(), count in any::<u64>()) {
+        let Msg::PsiOffer { salt: gs, count: gc } =
+            roundtrip(&Msg::PsiOffer { salt, count }) else {
+                panic!("kind changed");
+            };
+        prop_assert_eq!((gs, gc), (salt, count));
+    }
+
+    #[test]
+    fn psi_digests_roundtrip(raw in prop::collection::vec(any::<u64>(), 0..=24)) {
+        // Sort + dedup produces exactly the canonical wire form (a
+        // strictly ascending digest set).
+        let mut digests = raw;
+        digests.sort_unstable();
+        digests.dedup();
+        let Msg::PsiDigests { digests: got } =
+            roundtrip(&Msg::PsiDigests { digests: digests.clone() }) else {
+                panic!("kind changed");
+            };
+        prop_assert_eq!(got, digests);
+    }
+
+    #[test]
+    fn corrupted_psi_frames_never_panic(flip in 0usize..40, bit in 0u8..8) {
+        let mut frame = encode_frame(&Msg::PsiDigests { digests: vec![3, 9, 11] });
+        let idx = flip % frame.len();
+        frame[idx] ^= 1 << bit;
+        let _ = decode_frame(&frame);
+    }
+
+    #[test]
     fn corrupted_frames_never_panic(r in 1usize..=3, flip in 0usize..64, bit in 0u8..8) {
         // Decoding must reject (or re-interpret) arbitrary single-bit
         // corruption without panicking.

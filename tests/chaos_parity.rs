@@ -29,7 +29,7 @@
 use std::net::TcpListener;
 use std::path::{Path, PathBuf};
 
-use bf_datagen::{generate, spec as dataset_spec, vsplit, vsplit_multi};
+use bf_datagen::{generate, spec as dataset_spec, vsplit, vsplit_misaligned, vsplit_multi};
 use bf_mpc::Endpoint;
 use rand::{RngCore, SeedableRng};
 
@@ -44,10 +44,12 @@ use blindfl::persist::{
 };
 use blindfl::session::{multi_party_seed, party_seed, Role, Session};
 use blindfl::train::{
-    run_party_a, run_party_a_resume, run_party_b, run_party_b_multi, run_party_b_multi_resume,
+    run_party_a, run_party_a_aligned, run_party_a_aligned_resume, run_party_a_resume, run_party_b,
+    run_party_b_aligned, run_party_b_aligned_resume, run_party_b_multi, run_party_b_multi_resume,
     run_party_b_resume, CheckpointCadence, FedTrainConfig, MultiPartyBRun, PartyARun, PartyBRun,
     FAULT_KILL_MARKER,
 };
+use blindfl::{psi_salt, Alignment};
 
 const SEED: u64 = 29;
 const DATA_SEED: u64 = 17;
@@ -553,4 +555,174 @@ fn plain_checkpoint_capture_adds_no_wire_traffic() {
 #[test]
 fn paillier_checkpoint_capture_adds_no_wire_traffic() {
     assert_checkpointing_is_wire_silent("silent_pail", FedConfig::paillier_test(), 1024, 8);
+}
+
+/// Overlap fraction of the PSI chaos cells: the aligned run trains on
+/// half the generated rows.
+const OVERLAP: f64 = 0.5;
+
+/// One PSI-aligned two-party run (fresh or resumed) over a misaligned
+/// split: shuffled supersets plus ID columns in, alignment + run out.
+#[allow(clippy::type_complexity)]
+fn run_two_party_aligned(
+    cfg: &FedConfig,
+    row_div: usize,
+    tcp: bool,
+    tc_a: FedTrainConfig,
+    tc_b: FedTrainConfig,
+    resume: Option<(CheckpointA, CheckpointB)>,
+) -> (
+    TransportResult<(Alignment, PartyARun)>,
+    TransportResult<(Alignment, PartyBRun)>,
+) {
+    let ds = dataset_spec("a9a").scaled(row_div, 1);
+    let (train, test) = generate(&ds, DATA_SEED);
+    let mis = vsplit_misaligned(&train, OVERLAP, DATA_SEED);
+    let test_v = vsplit(&test);
+    let salt = psi_salt(SEED);
+    let fed = FedSpec::Glm { out: 1 };
+
+    let (ep_a, ep_b) = endpoints(tcp);
+    let (cp_a, cp_b) = match resume {
+        Some((a, b)) => (Some(a), Some(b)),
+        None => (None, None),
+    };
+    let cfg_a = cfg.clone();
+    let fed_a = fed.clone();
+    let (train_a, ids_a) = (mis.party_a.data.clone(), mis.party_a.ids.clone());
+    let test_a = test_v.party_a.clone();
+    let guest = std::thread::Builder::new()
+        .name("chaos-aligned-a".into())
+        .stack_size(16 << 20)
+        .spawn(move || {
+            let mut sess = Session::handshake(ep_a, cfg_a, Role::A, party_seed(Role::A, SEED))?;
+            match cp_a {
+                None => run_party_a_aligned(&mut sess, &fed_a, &tc_a, &train_a, &test_a, &ids_a),
+                Some(cp) => {
+                    run_party_a_aligned_resume(&mut sess, &tc_a, &train_a, &test_a, &ids_a, cp)
+                }
+            }
+        })
+        .expect("spawn party A");
+    let res_b = Session::handshake(ep_b, cfg.clone(), Role::B, party_seed(Role::B, SEED)).and_then(
+        |mut sess| match cp_b {
+            None => run_party_b_aligned(
+                &mut sess,
+                &fed,
+                &tc_b,
+                &mis.party_b.data,
+                &test_v.party_b,
+                salt,
+                &mis.party_b.ids,
+            ),
+            Some(cp) => run_party_b_aligned_resume(
+                &mut sess,
+                &tc_b,
+                &mis.party_b.data,
+                &test_v.party_b,
+                &mis.party_b.ids,
+                cp,
+            ),
+        },
+    );
+    let res_a = guest.join().expect("party A panicked");
+    (res_a, res_b)
+}
+
+/// The chaos experiment through the PSI phase: kill Party A mid-run of
+/// a PSI-aligned training, restart from the aligned checkpoints, and
+/// demand bit-identity with the uninterrupted aligned baseline —
+/// traffic totals included, which is the no-double-count contract:
+/// the resumed run rebuilds its selection from the checkpointed
+/// cursor with **zero** wire traffic, while `restore_cursor` preloads
+/// totals that already contain the original PSI bytes exactly once.
+fn assert_aligned_recovery(cell: &str, cfg: FedConfig, row_div: usize, bs: usize, tcp: bool) {
+    let aligned_rows = (OVERLAP * train_rows(row_div) as f64).round() as usize;
+    let total = (aligned_rows / bs * EPOCHS) as u64;
+    let kill_at = kill_batch(cell, total);
+    let tc = base_tc(bs);
+
+    // 1. Uninterrupted aligned baseline (totals include the PSI phase).
+    let (ra, rb) = run_two_party_aligned(&cfg, row_div, tcp, tc.clone(), tc.clone(), None);
+    let (al_a, a) = ra.expect("baseline A");
+    let (al_b, b) = rb.expect("baseline B");
+    assert!(al_a.psi_bytes_sent > 0 && al_b.psi_bytes_sent > 0);
+    let baseline = collect_two_party(a, b);
+    assert_eq!(baseline.losses.len() as u64, total);
+
+    // 2. Chaos run: checkpoints on, Party A killed after `kill_at`.
+    let (path_a, path_b) = (tmp(&format!("{cell}_a")), tmp(&format!("{cell}_b")));
+    let (ra, rb) = run_two_party_aligned(
+        &cfg,
+        row_div,
+        tcp,
+        with_kill(with_ckpt(tc.clone(), &path_a), kill_at),
+        with_ckpt(tc.clone(), &path_b),
+        None,
+    );
+    let err_a = ra.err().expect("A must die from the injected kill");
+    assert!(
+        err_a.to_string().contains(FAULT_KILL_MARKER),
+        "unexpected A error: {err_a}"
+    );
+    assert!(rb.is_err(), "B must observe the dead peer");
+
+    // 3. The checkpoints embed the alignment cursor (persist kinds
+    //    9–10), pointing at exactly the intersection the run selected.
+    let cp_a = import_checkpoint_a(&std::fs::read(&path_a).expect("A checkpoint file"))
+        .expect("A checkpoint decodes");
+    let cp_b = import_checkpoint_b(&std::fs::read(&path_b).expect("B checkpoint file"))
+        .expect("B checkpoint decodes");
+    for cur in [
+        cp_a.aligned
+            .as_ref()
+            .expect("A checkpoint carries no cursor"),
+        cp_b.aligned
+            .as_ref()
+            .expect("B checkpoint carries no cursor"),
+    ] {
+        assert_eq!(cur.salt, psi_salt(SEED));
+        assert_eq!(cur.ids, al_a.ids);
+    }
+    assert_eq!(
+        (cp_a.epoch, cp_a.batch),
+        (cp_b.epoch, cp_b.batch),
+        "the parties' latest checkpoints must sit at the same batch"
+    );
+
+    // 4. Restart both parties; the realignment must be wire-free.
+    let (ra, rb) = run_two_party_aligned(
+        &cfg,
+        row_div,
+        tcp,
+        with_ckpt(tc.clone(), &path_a),
+        with_ckpt(tc, &path_b),
+        Some((cp_a, cp_b)),
+    );
+    let (ral_a, a) = ra.expect("resumed A");
+    let (ral_b, b) = rb.expect("resumed B");
+    assert_eq!(ral_a.ids, al_a.ids, "resumed A re-selected a different set");
+    assert_eq!(ral_b.ids, al_b.ids, "resumed B re-selected a different set");
+    assert_eq!(
+        (ral_a.psi_bytes_sent, ral_b.psi_bytes_sent),
+        (0, 0),
+        "cursor-based realignment must cost zero wire bytes"
+    );
+    let recovered = collect_two_party(a, b);
+
+    // 5. Bit-identical to the aligned baseline — the equal traffic
+    //    totals prove the PSI bytes were counted exactly once.
+    assert_eq!(baseline, recovered, "recovery diverged from the baseline");
+    cleanup(&path_a);
+    cleanup(&path_b);
+}
+
+#[test]
+fn psi_aligned_plain_in_process_recovers_bit_identically() {
+    assert_aligned_recovery("2p_ali_plain_chan", FedConfig::plain(), 256, 16, false);
+}
+
+#[test]
+fn psi_aligned_paillier_packed_tcp_recovers_bit_identically() {
+    assert_aligned_recovery("2p_ali_pail_tcp", FedConfig::paillier_test(), 1024, 8, true);
 }
